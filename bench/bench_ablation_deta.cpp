@@ -1,0 +1,111 @@
+/// \file bench_ablation_deta.cpp
+/// Ablation of the dEta estimator (the paper's second network).
+///
+/// Two questions:
+///   1. Calibration — is the quoted d_eta statistically honest?  For
+///      each estimator we measure the *coverage*: the fraction of GRB
+///      rings whose true |eta error| falls within k * d_eta for
+///      k = 1, 2, 3.  An honest Gaussian width gives ~68/95/99.7%.
+///      The paper's motivating observation (Sec. II) is that
+///      propagation of error is over-confident ("many rings have much
+///      larger actual errors in eta than our estimates predict").
+///   2. Localization impact — containment with propagated d_eta, with
+///      the network's d_eta, and with the truth oracle, holding
+///      background rejection fixed (the paper's own network).
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace adapt;
+
+int main() {
+  const auto cc = bench::containment_config(0xAB1A'2);
+  bench::print_banner("Ablation — dEta estimator quality",
+                      "supports paper Sec. II / Fig. 4 (d_eta error bars)",
+                      cc);
+
+  eval::TrialSetup setup = bench::default_setup();
+  eval::ModelProvider provider(setup, bench::provider_config());
+
+  // ---- 1. Coverage calibration over a fresh simulated sample -------
+  const eval::TrialRunner runner(setup);
+  std::vector<recon::ComptonRing> grb_rings;
+  core::Vec3 true_source;
+  {
+    core::Rng rng(0xCA11);
+    for (int window = 0; window < 4; ++window) {
+      const auto rings = runner.reconstruct_window(rng, &true_source);
+      for (const auto& r : rings) {
+        if (r.origin == detector::Origin::kGrb) grb_rings.push_back(r);
+      }
+    }
+  }
+  const auto nn_d_eta =
+      provider.deta_net().predict(grb_rings, setup.grb.polar_deg);
+
+  core::TextTable coverage({"estimator", "within 1 sigma [%]",
+                            "within 2 sigma [%]", "within 3 sigma [%]",
+                            "(honest Gaussian: 68 / 95 / 99.7)"});
+  const auto coverage_row = [&](const char* label, auto width_of) {
+    double within[3] = {0, 0, 0};
+    for (std::size_t i = 0; i < grb_rings.size(); ++i) {
+      const double err = std::abs(grb_rings[i].eta_error(true_source));
+      const double w = width_of(i);
+      for (int k = 1; k <= 3; ++k)
+        if (err < k * w) within[k - 1] += 1.0;
+    }
+    const auto n = static_cast<double>(grb_rings.size());
+    coverage.add_row({label, core::TextTable::num(100 * within[0] / n, 1),
+                      core::TextTable::num(100 * within[1] / n, 1),
+                      core::TextTable::num(100 * within[2] / n, 1), ""});
+  };
+  const double cal = provider.deta_calibration();
+  coverage_row("propagation of error",
+               [&](std::size_t i) { return grb_rings[i].d_eta; });
+  coverage_row("dEta network (raw)",
+               [&](std::size_t i) { return nn_d_eta[i]; });
+  coverage_row("dEta network (coverage-calibrated)",
+               [&](std::size_t i) { return cal * nn_d_eta[i]; });
+  coverage.print(std::cout,
+                 "Coverage of the true |eta error| (" +
+                     std::to_string(grb_rings.size()) +
+                     " GRB rings; calibration factor " +
+                     core::TextTable::num(cal, 2) + ")");
+
+  // ---- 2. Localization impact --------------------------------------
+  eval::PipelineVariant propagated;
+  propagated.background_net = &provider.background_net();
+  eval::PipelineVariant with_nn = propagated;
+  with_nn.deta_net = &provider.deta_net();
+  eval::PipelineVariant oracle = propagated;
+  oracle.oracle_true_deta = true;
+
+  core::TextTable impact({"d_eta source", "68% cont. [deg]",
+                          "95% cont. [deg]"});
+  const struct {
+    const char* label;
+    const eval::PipelineVariant* variant;
+  } rows[] = {{"propagation of error", &propagated},
+              {"dEta network", &with_nn},
+              {"truth oracle", &oracle}};
+  for (const auto& r : rows) {
+    const auto summary = eval::measure_containment(runner, *r.variant, cc);
+    impact.add_row(
+        {r.label, bench::pm(summary.c68), bench::pm(summary.c95)});
+  }
+  impact.print(std::cout,
+               "Localization with background rejection fixed, "
+               "1 MeV/cm^2 at 0 deg");
+  impact.write_csv("bench_ablation_deta.csv");
+
+  std::printf(
+      "\nreading: propagation of error under-covers (the paper's 'false "
+      "certainty');\nthe calibrated network is honest by construction "
+      "(~68/95/99.7).  Localization\ndeploys the RAW network: a uniform "
+      "width inflation would loosen the robust\ninlier cut without adding "
+      "per-ring discrimination (the truth-oracle row shows\nwhat per-ring "
+      "discrimination is worth).\n");
+  return 0;
+}

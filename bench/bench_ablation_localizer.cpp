@@ -1,0 +1,70 @@
+/// \file bench_ablation_localizer.cpp
+/// Ablation study of the localizer's robustness machinery (the design
+/// choices DESIGN.md Sec. 4 calls out, beyond what the paper itself
+/// ablates):
+///
+///   * multi-start candidate refinement (n_starts) vs a single seed;
+///   * scoring approximation candidates against all rings vs only the
+///     random sample;
+///   * the truncated (outlier-capped) likelihood vs an effectively
+///     quadratic score (cap at 100 sigma).
+///
+/// Run at 0.75 MeV/cm^2 — the marginal regime where robustness
+/// machinery decides between localizing and failing.  No networks
+/// involved: this isolates the classical pipeline.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace adapt;
+
+int main() {
+  const auto cc = bench::containment_config(0xAB1A);
+  bench::print_banner("Ablation — localizer robustness machinery",
+                      "design-choice ablation (DESIGN.md Sec. 4)", cc);
+
+  eval::TrialSetup base = bench::default_setup();
+  base.grb.fluence = 0.75;
+  base.grb.polar_deg = 20.0;
+
+  struct Config {
+    const char* label;
+    int n_starts;
+    bool score_all;
+    double truncation;
+  };
+  const Config configs[] = {
+      {"full (6 starts, all-ring scoring, 3-sigma cap)", 6, true, 3.0},
+      {"single start", 1, true, 3.0},
+      {"sample-only candidate scoring", 6, false, 3.0},
+      {"quadratic scoring (cap 100 sigma)", 6, true, 100.0},
+      {"minimal (1 start, sample scoring, quadratic)", 1, false, 100.0},
+  };
+
+  core::TextTable table({"configuration", "68% cont. [deg]",
+                         "95% cont. [deg]", "failed trials"});
+  for (const Config& cfg : configs) {
+    eval::TrialSetup setup = base;
+    auto& approx = setup.ml_localizer.localizer.approximation;
+    approx.n_starts = cfg.n_starts;
+    approx.score_against_all = cfg.score_all;
+    approx.truncation_sigma = cfg.truncation;
+    const eval::TrialRunner runner(setup);
+    const auto summary =
+        eval::measure_containment(runner, eval::PipelineVariant{}, cc);
+    table.add_row({cfg.label, bench::pm(summary.c68), bench::pm(summary.c95),
+                   core::TextTable::integer(
+                       static_cast<long long>(summary.failed_trials))});
+  }
+  table.print(std::cout,
+              "No-ML localization at 0.75 MeV/cm^2, 20 deg (marginal "
+              "regime)");
+  table.write_csv("bench_ablation_localizer.csv");
+
+  std::printf(
+      "\nreading: each removed mechanism should cost containment; the "
+      "truncated\nlikelihood and all-ring candidate scoring carry most of "
+      "the robustness\nagainst the 2-3x background.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared scaffolding for the reproduction benches (one binary per
+/// paper table/figure; see DESIGN.md Sec. 3).
+///
+/// Scale knobs (environment variables):
+///   ADAPT_TRIALS        localization trials per meta-trial
+///                       (default 40; paper: 1000)
+///   ADAPT_META_TRIALS   meta-trials for error bars
+///                       (default 3; paper: 10)
+///   ADAPT_TRAIN_RINGS   training rings per polar angle
+///                       (default 5000; paper-equivalent: ~110000)
+///   ADAPT_TRAIN_EPOCHS  training epoch cap (default 45; paper: 120)
+///   ADAPT_TIMING_REPS   repetitions for the timing tables
+///                       (default 60; paper: 300)
+///
+/// Every bench prints the measured rows next to the paper's reported
+/// values so shape comparisons are immediate; EXPERIMENTS.md records
+/// the outcome.
+
+#include <cstdio>
+#include <string>
+
+#include "core/table.hpp"
+#include "eval/containment.hpp"
+#include "eval/model_provider.hpp"
+#include "eval/trial.hpp"
+
+namespace adapt::bench {
+
+/// Canonical instrument + workload configuration every experiment
+/// starts from (1 MeV/cm^2 burst, calibrated background, defaults
+/// everywhere else).
+inline eval::TrialSetup default_setup() { return eval::TrialSetup{}; }
+
+/// Containment protocol sized from the environment.
+inline eval::ContainmentConfig containment_config(std::uint64_t seed) {
+  eval::ContainmentConfig cfg;
+  cfg.trials = eval::env_size("ADAPT_TRIALS", 40);
+  cfg.meta_trials = eval::env_size("ADAPT_META_TRIALS", 3);
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Model provider sized from the environment, sharing the canonical
+/// on-disk cache across benches.
+inline eval::ModelProviderConfig provider_config() {
+  eval::ModelProviderConfig cfg;
+  cfg.dataset.rings_per_angle =
+      eval::env_size("ADAPT_TRAIN_RINGS", cfg.dataset.rings_per_angle);
+  cfg.max_epochs = eval::env_size("ADAPT_TRAIN_EPOCHS", cfg.max_epochs);
+  return cfg;
+}
+
+/// "12.34 +- 0.56" formatting for containment cells.
+inline std::string pm(const core::MeanStd& m) {
+  return core::TextTable::num(m.mean, 2) + " +- " +
+         core::TextTable::num(m.stddev, 2);
+}
+
+/// Standard bench banner with the effective statistics.
+inline void print_banner(const char* name, const char* paper_ref,
+                         const eval::ContainmentConfig& cfg) {
+  std::printf("=== %s ===\n", name);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf(
+      "statistics: %zu trials x %zu meta-trials per point "
+      "(paper: 1000 x 10; scale with ADAPT_TRIALS / ADAPT_META_TRIALS)\n\n",
+      cfg.trials, cfg.meta_trials);
+}
+
+}  // namespace adapt::bench

@@ -1,0 +1,64 @@
+/// \file bench_ext_pileup.cpp
+/// Extension experiment (the paper's first item of future work,
+/// Sec. VI): "consideration of additional sources of error, such as
+/// multiple events that arrive simultaneously to within the detection
+/// latency of the instrument."
+///
+/// We sweep the detection-latency window: coincident events are read
+/// out merged, producing corrupted trajectories.  Reported: ring yield
+/// per window, pileup fraction, and localization containment with and
+/// without the ML pipeline.  Expected: graceful degradation, with the
+/// ML pipeline retaining an edge (piled-up events are mostly rejected
+/// by reconstruction's kinematic cuts; survivors look like background
+/// to the classifier).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace adapt;
+
+int main() {
+  const auto cc = bench::containment_config(0xE117);
+  bench::print_banner("Extension — detection-latency pileup",
+                      "paper Sec. VI future work (not evaluated there)", cc);
+
+  eval::TrialSetup setup = bench::default_setup();
+  setup.grb.fluence = 1.0;
+  setup.grb.polar_deg = 0.0;
+  eval::ModelProvider provider(setup, bench::provider_config());
+
+  eval::PipelineVariant no_ml;
+  eval::PipelineVariant ml;
+  ml.background_net = &provider.background_net();
+  ml.deta_net = &provider.deta_net();
+
+  // Detected-event rates are ~1.4e4 per second in this configuration,
+  // so tens of microseconds already produce heavy pileup.
+  core::TextTable table({"latency window [us]", "mean rings", "no-ML 68%",
+                         "no-ML 95%", "ML 68%", "ML 95%"});
+  for (const double window_us : {0.0, 5.0, 20.0, 100.0}) {
+    eval::TrialSetup s = setup;
+    s.pileup.detection_latency_s = window_us * 1e-6;
+    const eval::TrialRunner runner(s);
+    const auto plain = eval::measure_containment(runner, no_ml, cc);
+    const auto with_ml = eval::measure_containment(runner, ml, cc);
+    table.add_row({core::TextTable::num(window_us, 0),
+                   core::TextTable::num(plain.mean_rings_total, 0),
+                   bench::pm(plain.c68), bench::pm(plain.c95),
+                   bench::pm(with_ml.c68), bench::pm(with_ml.c95)});
+  }
+  table.print(std::cout,
+              "Localization under event pileup, 1 MeV/cm^2 at 0 deg");
+  table.write_csv("bench_ext_pileup.csv");
+
+  std::printf(
+      "\nreading: moderate windows INFLATE the ring count — two "
+      "unreconstructable\nsingle-hit events merge into a fake but "
+      "kinematically plausible 2-hit 'ring'\n(fake coincidences), "
+      "poisoning localization; very wide windows merge events\ninto "
+      "blobs that fail the energy cuts and the yield collapses.  Both "
+      "regimes\ndegrade containment, motivating the paper's interest in "
+      "modeling this error\nsource.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// \file bench_fig4_motivation.cpp
+/// Reproduces paper Fig. 4: the motivation study quantifying how much
+/// background particles and d_eta mis-estimation each cost the prior
+/// (no-ML) pipeline.
+///
+/// Three configurations of a 1 MeV/cm^2, normally incident burst:
+///   "Full"            — the realistic pipeline input (background
+///                       present, propagated d_eta);
+///   "No background"   — oracle removal of every background ring;
+///   "True d_eta"      — oracle replacement of d_eta by the actual
+///                       |eta error| of each ring.
+/// Reported: 68% and 95% containment with meta-trial error bars.
+///
+/// Paper values (deg, read from Fig. 4): Full ~12 / ~38;
+/// No background ~7 / ~20; True d_eta ~3 / ~8.  Expected shape: both
+/// oracles improve substantially on Full, with 95% containment gaining
+/// the most.  Absolute numbers differ (our simulator is not the
+/// authors' Geant4 model); the ordering and the relative factors are
+/// the reproduction target.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace adapt;
+
+int main() {
+  const auto cc = bench::containment_config(0xF16'4);
+  bench::print_banner("Fig. 4 — impact of background and d_eta error",
+                      "paper Fig. 4 (Sec. II)", cc);
+
+  eval::TrialSetup setup = bench::default_setup();
+  setup.grb.fluence = 1.0;
+  setup.grb.polar_deg = 0.0;
+  const eval::TrialRunner runner(setup);
+
+  struct Config {
+    const char* label;
+    eval::PipelineVariant variant;
+    const char* paper;
+  };
+  eval::PipelineVariant full;
+  eval::PipelineVariant no_bkg;
+  no_bkg.oracle_remove_background = true;
+  eval::PipelineVariant true_deta;
+  true_deta.oracle_true_deta = true;
+
+  const Config configs[] = {
+      {"Full (bkg + est. d_eta)", full, "~12 / ~38"},
+      {"No background (oracle)", no_bkg, "~7 / ~20"},
+      {"True d_eta (oracle)", true_deta, "~3 / ~8"},
+  };
+
+  core::TextTable table({"configuration", "68% cont. [deg]",
+                         "95% cont. [deg]", "paper 68%/95% [deg]",
+                         "mean rings (grb/bkg)"});
+  double full_c95 = 0.0;
+  for (const Config& cfg : configs) {
+    const auto summary = eval::measure_containment(runner, cfg.variant, cc);
+    if (std::string(cfg.label).rfind("Full", 0) == 0)
+      full_c95 = summary.c95.mean;
+    table.add_row({cfg.label, bench::pm(summary.c68), bench::pm(summary.c95),
+                   cfg.paper,
+                   core::TextTable::num(summary.mean_rings_grb, 0) + " / " +
+                       core::TextTable::num(summary.mean_rings_background, 0)});
+  }
+  table.print(std::cout, "Localization error, 1 MeV/cm^2 burst at 0 deg");
+  table.write_csv("bench_fig4_motivation.csv");
+
+  std::printf(
+      "\nshape check: both oracle corrections should beat the full "
+      "configuration,\nand the paper's 2-3x background-to-GRB ring ratio "
+      "should hold in the rings column.\n(full-config 95%% containment: "
+      "%.2f deg)\n",
+      full_c95);
+  return 0;
+}

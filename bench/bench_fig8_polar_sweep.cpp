@@ -1,0 +1,57 @@
+/// \file bench_fig8_polar_sweep.cpp
+/// Reproduces paper Fig. 8: localization accuracy versus source polar
+/// angle (0-80 degrees) for a 1 MeV/cm^2 burst, with and without the
+/// neural networks.
+///
+/// Paper shape: the ML pipeline is consistently at or below the no-ML
+/// curve, with the largest gains in the 95% containment tail; the
+/// paper's summary claim — "across all polar angles, ADAPT can
+/// localize GRBs with fluence at least 1 MeV/cm^2 to within 6 degrees
+/// of error at least 68% of the time" — is checked at the end.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace adapt;
+
+int main() {
+  const auto cc = bench::containment_config(0xF16'8);
+  bench::print_banner("Fig. 8 — accuracy vs polar angle, with/without ML",
+                      "paper Fig. 8 (Sec. IV)", cc);
+
+  eval::TrialSetup setup = bench::default_setup();
+  eval::ModelProvider provider(setup, bench::provider_config());
+
+  eval::PipelineVariant no_ml;
+  eval::PipelineVariant ml;
+  ml.background_net = &provider.background_net();
+  ml.deta_net = &provider.deta_net();
+
+  core::TextTable table({"polar [deg]", "no-ML 68%", "no-ML 95%", "ML 68%",
+                         "ML 95%"});
+  bool claim_holds = true;
+  double worst_ml_c68 = 0.0;
+  for (double angle = 0.0; angle <= 80.0; angle += 10.0) {
+    eval::TrialSetup s = setup;
+    s.grb.polar_deg = angle;
+    const eval::TrialRunner runner(s);
+    const auto plain = eval::measure_containment(runner, no_ml, cc);
+    const auto with_ml = eval::measure_containment(runner, ml, cc);
+    table.add_row({core::TextTable::num(angle, 0), bench::pm(plain.c68),
+                   bench::pm(plain.c95), bench::pm(with_ml.c68),
+                   bench::pm(with_ml.c95)});
+    worst_ml_c68 = std::max(worst_ml_c68, with_ml.c68.mean);
+    if (with_ml.c68.mean > 6.0) claim_holds = false;
+  }
+  table.print(std::cout,
+              "Localization error [deg] vs polar angle, 1 MeV/cm^2");
+  table.write_csv("bench_fig8_polar_sweep.csv");
+
+  std::printf(
+      "\npaper claim (Sec. IV): 1 MeV/cm^2 localized to within 6 deg at "
+      "68%% across all polar angles.\nmeasured: worst ML 68%% containment "
+      "= %.2f deg -> claim %s on this instrument model.\n",
+      worst_ml_c68, claim_holds ? "HOLDS" : "does NOT hold");
+  return 0;
+}

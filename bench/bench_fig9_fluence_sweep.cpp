@@ -1,0 +1,55 @@
+/// \file bench_fig9_fluence_sweep.cpp
+/// Reproduces paper Fig. 9: localization accuracy versus GRB fluence
+/// for normally incident bursts, with and without the networks.
+///
+/// Paper shape: accuracy degrades as the burst dims (the fixed
+/// background swamps the shrinking signal), and the ML pipeline's
+/// advantage grows toward dim fluences — the paper highlights
+/// improvement "especially ... for dimmer GRBs".  At the bright end
+/// both pipelines converge.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace adapt;
+
+int main() {
+  const auto cc = bench::containment_config(0xF16'9);
+  bench::print_banner("Fig. 9 — accuracy vs fluence, with/without ML",
+                      "paper Fig. 9 (Sec. IV)", cc);
+
+  eval::TrialSetup setup = bench::default_setup();
+  setup.grb.polar_deg = 0.0;
+  eval::ModelProvider provider(setup, bench::provider_config());
+
+  eval::PipelineVariant no_ml;
+  eval::PipelineVariant ml;
+  ml.background_net = &provider.background_net();
+  ml.deta_net = &provider.deta_net();
+
+  core::TextTable table({"fluence [MeV/cm^2]", "no-ML 68%", "no-ML 95%",
+                         "ML 68%", "ML 95%"});
+  double dim_gain = 0.0;
+  for (const double fluence : {0.25, 0.5, 0.75, 1.0, 2.0}) {
+    eval::TrialSetup s = setup;
+    s.grb.fluence = fluence;
+    const eval::TrialRunner runner(s);
+    const auto plain = eval::measure_containment(runner, no_ml, cc);
+    const auto with_ml = eval::measure_containment(runner, ml, cc);
+    table.add_row({core::TextTable::num(fluence, 2), bench::pm(plain.c68),
+                   bench::pm(plain.c95), bench::pm(with_ml.c68),
+                   bench::pm(with_ml.c95)});
+    if (fluence == 0.5) dim_gain = plain.c68.mean - with_ml.c68.mean;
+  }
+  table.print(std::cout,
+              "Localization error [deg] vs fluence, normal incidence");
+  table.write_csv("bench_fig9_fluence_sweep.csv");
+
+  std::printf(
+      "\nshape check: ML's 68%% containment gain at the dim 0.5 MeV/cm^2 "
+      "point is %.1f deg\n(positive = ML better, the paper's headline "
+      "behaviour).\n",
+      dim_gain);
+  return 0;
+}

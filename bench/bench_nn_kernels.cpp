@@ -1,0 +1,142 @@
+/// \file bench_nn_kernels.cpp
+/// google-benchmark microbenchmarks for the computational kernels
+/// behind the timing tables: FP32 inference of both paper networks,
+/// the INT8 integer engine, the fused stack, reconstruction, and
+/// localization.  These are the per-stage costs that Tables I/II
+/// aggregate; run with --benchmark_filter=... to isolate one.
+
+#include <benchmark/benchmark.h>
+
+#include "eval/trial.hpp"
+#include "nn/mlp.hpp"
+#include "quant/fuse.hpp"
+#include "quant/quantized_mlp.hpp"
+
+using namespace adapt;
+
+namespace {
+
+nn::Tensor random_features(std::size_t n, std::size_t d, std::uint64_t seed) {
+  core::Rng rng(seed);
+  nn::Tensor x(n, d);
+  for (auto& v : x.vec()) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return x;
+}
+
+/// The paper's reference batch: 597 rings in the first background
+/// network iteration.
+constexpr std::size_t kPaperBatch = 597;
+
+void BM_BackgroundNetFp32(benchmark::State& state) {
+  core::Rng rng(1);
+  nn::Sequential model = nn::build_mlp(nn::background_net_spec(13), rng);
+  const nn::Tensor x =
+      random_features(static_cast<std::size_t>(state.range(0)), 13, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(x, false));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BackgroundNetFp32)->Arg(64)->Arg(kPaperBatch);
+
+void BM_DetaNetFp32(benchmark::State& state) {
+  core::Rng rng(3);
+  nn::Sequential model = nn::build_mlp(nn::deta_net_spec(13), rng);
+  const nn::Tensor x =
+      random_features(static_cast<std::size_t>(state.range(0)), 13, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(x, false));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DetaNetFp32)->Arg(64)->Arg(kPaperBatch);
+
+void BM_BackgroundNetFused(benchmark::State& state) {
+  core::Rng rng(5);
+  nn::Sequential swapped =
+      nn::build_mlp(nn::background_net_spec(13, true), rng);
+  for (int pass = 0; pass < 4; ++pass)
+    (void)swapped.forward(random_features(64, 13, 6 + pass), true);
+  const auto fused = quant::fuse_bn(swapped);
+  const nn::Tensor x = random_features(kPaperBatch, 13, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quant::fused_forward(fused, x));
+  }
+  state.SetItemsProcessed(state.iterations() * kPaperBatch);
+}
+BENCHMARK(BM_BackgroundNetFused);
+
+void BM_BackgroundNetInt8(benchmark::State& state) {
+  core::Rng rng(7);
+  nn::Sequential swapped =
+      nn::build_mlp(nn::background_net_spec(13, true), rng);
+  for (int pass = 0; pass < 4; ++pass)
+    (void)swapped.forward(random_features(64, 13, 8 + pass), true);
+  const auto fused = quant::fuse_bn(swapped);
+  core::Rng qrng(9);
+  nn::Sequential qat = quant::build_qat_model(fused, qrng);
+  for (int pass = 0; pass < 4; ++pass)
+    (void)qat.forward(random_features(64, 13, 20 + pass), true);
+  const quant::QuantizedMlp engine = quant::export_quantized(qat);
+  const nn::Tensor x = random_features(kPaperBatch, 13, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * kPaperBatch);
+}
+BENCHMARK(BM_BackgroundNetInt8);
+
+void BM_Reconstruction(benchmark::State& state) {
+  const eval::TrialSetup setup;
+  const eval::TrialRunner runner(setup);
+  // Pre-simulate one window's measured events, then time recon only.
+  const detector::Geometry geometry(setup.geometry);
+  const sim::ExposureSimulator simulator(geometry, setup.material,
+                                         setup.readout);
+  core::Rng rng(12);
+  const sim::Exposure exposure =
+      simulator.simulate(setup.grb, setup.background, rng);
+  const recon::EventReconstructor reconstructor(setup.material,
+                                                setup.reconstruction);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reconstructor.reconstruct_all(exposure.events));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(exposure.events.size()));
+}
+BENCHMARK(BM_Reconstruction);
+
+void BM_Localization(benchmark::State& state) {
+  const eval::TrialSetup setup;
+  const eval::TrialRunner runner(setup);
+  core::Rng rng(13);
+  const auto rings = runner.reconstruct_window(rng);
+  const loc::Localizer localizer;
+  for (auto _ : state) {
+    core::Rng loc_rng(14);
+    benchmark::DoNotOptimize(localizer.localize(rings, loc_rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(rings.size()));
+}
+BENCHMARK(BM_Localization);
+
+void BM_MonteCarloTransport(benchmark::State& state) {
+  const detector::Geometry geometry;
+  const auto material = detector::Material::csi();
+  const physics::Transport transport(geometry, material);
+  const sim::GrbSource source(sim::GrbConfig{}, geometry);
+  core::Rng rng(15);
+  for (auto _ : state) {
+    const auto photon = source.sample_photon(rng);
+    benchmark::DoNotOptimize(
+        transport.propagate(photon.origin, photon.direction, photon.energy,
+                            rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MonteCarloTransport);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+/// \file bench_table1_2_timing.cpp
+/// Reproduces paper Tables I and II: wall-clock of every pipeline
+/// stage for a 1 MeV/cm^2 normally incident burst, repeated
+/// ADAPT_TIMING_REPS times (default 60; paper: 300), all stages
+/// OpenMP-parallel.
+///
+/// The paper measures on a Raspberry Pi 3B+ (Table I) and an Intel
+/// Atom E3845 (Table II); neither platform exists here, so the table
+/// reports this host's times next to both papers' reference columns
+/// (see DESIGN.md's substitution note).  The reproduction targets are
+/// the stage *breakdown* — reconstruction, localization setup, the two
+/// network inferences, approximation+refinement — and the accounting
+/// that a full 5-iteration run stays within a small multiple of the
+/// single-stage costs (sub-second end-to-end on flight-class CPUs).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace adapt;
+
+int main() {
+  const std::size_t reps = eval::env_size("ADAPT_TIMING_REPS", 60);
+  std::printf("=== Tables I & II — pipeline stage timing ===\n");
+  std::printf("reproduces: paper Tables I (RPi 3B+) and II (Atom E3845)\n");
+  std::printf("repetitions: %zu (paper: 300; scale with ADAPT_TIMING_REPS)\n\n",
+              reps);
+
+  eval::TrialSetup setup = bench::default_setup();
+  setup.grb.fluence = 1.0;
+  setup.grb.polar_deg = 0.0;
+  eval::ModelProvider provider(setup, bench::provider_config());
+  const eval::TrialRunner runner(setup);
+
+  eval::PipelineVariant ml;
+  ml.background_net = &provider.background_net();
+  ml.deta_net = &provider.deta_net();
+
+  // The per-stage rows report the cost of ONE pass through the stage
+  // (as in the paper, whose per-stage rows sum to well below the
+  // 5-iteration total); the background network and approx+refine run
+  // once per Fig. 6 iteration, so their accumulated time is divided by
+  // the executed pass count.
+  core::RunningStat recon;
+  core::RunningStat loc_setup;
+  core::RunningStat deta_nn;
+  core::RunningStat bkg_nn;
+  core::RunningStat approx_refine;
+  core::RunningStat total;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    core::Rng rng(0x71e + rep);
+    const eval::TrialOutcome o = runner.run(ml, rng);
+    const double nn_passes = std::max(1, o.background_iterations);
+    // Localization passes: initial + one per loop iteration + final.
+    const double loc_passes = 2.0 + o.background_iterations;
+    recon.add(o.timings.reconstruction_ms);
+    loc_setup.add(o.timings.setup_ms);
+    deta_nn.add(o.timings.deta_inference_ms);
+    bkg_nn.add(o.timings.background_inference_ms / nn_passes);
+    approx_refine.add(o.timings.approx_refine_ms / loc_passes);
+    total.add(o.timings.total_ms);
+  }
+
+  const auto row = [](const char* stage, const core::RunningStat& s,
+                      const char* rpi, const char* atom) {
+    return std::vector<std::string>{
+        stage, core::TextTable::num(s.mean(), 1),
+        core::TextTable::num(s.min(), 0) + "-" +
+            core::TextTable::num(s.max(), 0),
+        rpi, atom};
+  };
+
+  core::TextTable table({"stage", "host mean (ms)", "host range (ms)",
+                         "paper RPi 3B+ (ms)", "paper Atom (ms)"});
+  table.add_row(row("Reconstruction", recon, "36.9 (35-44)", "18.6 (15-26)"));
+  table.add_row(row("Localization Setup", loc_setup, "35.4 (34-99)",
+                    "12.1 (12-13)"));
+  table.add_row(row("DEta NN Inference", deta_nn, "31.0 (17-41)",
+                    "5.5 (5-6)"));
+  table.add_row(row("Bkg NN Inference", bkg_nn, "36.1 (22-58)",
+                    "14.7 (14-15)"));
+  table.add_row(row("Approx + Refine", approx_refine, "91.7 (89-107)",
+                    "18.5 (17-21)"));
+  table.add_row(row("Total (Max 5 iter)", total, "834.0 (730-1116)",
+                    "220.7 (204-246)"));
+  table.print(std::cout, "Per-stage pipeline timing (ML pipeline, Fig. 6)");
+  table.write_csv("bench_table1_2_timing.csv");
+
+  std::printf(
+      "\nshape checks:\n"
+      "  total / (recon + setup + both NNs + approx-refine) = %.2f "
+      "(paper RPi: %.2f, Atom: %.2f —\n  the 5-iteration total is a small "
+      "multiple of the single-pass stage sum)\n"
+      "  end-to-end total is %s the paper's sub-second budget on this "
+      "host.\n",
+      total.mean() / (recon.mean() + loc_setup.mean() + deta_nn.mean() +
+                      bkg_nn.mean() + approx_refine.mean()),
+      834.0 / (36.9 + 35.4 + 31.0 + 36.1 + 91.7),
+      220.7 / (18.6 + 12.1 + 5.5 + 14.7 + 18.5),
+      total.mean() < 1000.0 ? "within" : "outside");
+  return 0;
+}

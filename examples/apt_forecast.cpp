@@ -1,0 +1,71 @@
+/// \file apt_forecast.cpp
+/// Forward look at the full APT instrument (paper Sec. VI): "the full
+/// APT instrument, whose much larger detector ... could allow
+/// localization of even dim (< 0.1 MeV/cm^2) GRBs to within a degree
+/// or less."
+///
+/// We scale the instrument model up — more, larger tile layers (an
+/// APT-class stack instead of the four-tile ADAPT demonstrator) — and
+/// sweep dim fluences with the classical pipeline, printing the
+/// detected-ring yield and localization error.  This exercises every
+/// substrate at a different operating point from the benches.
+///
+/// Usage: apt_forecast [trials_per_point]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "eval/containment.hpp"
+#include "eval/trial.hpp"
+
+using namespace adapt;
+
+int main(int argc, char** argv) {
+  const std::size_t trials =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 8;
+
+  // APT-class instrument: deeper stack of larger tiles (the flight
+  // design targets ~a square meter of aperture and many more layers;
+  // this keeps single-core runtimes sane while scaling the geometric
+  // acceptance ~8x over ADAPT).
+  eval::TrialSetup apt;
+  apt.geometry.n_layers = 8;
+  apt.geometry.tile_half_width = 40.0;
+  apt.geometry.layer_pitch = 10.0;
+  // Space platform at L2: no atmospheric albedo; only the diffuse
+  // cosmic background remains, at a much lower rate.
+  apt.background.photons_per_second = 4000.0;
+  apt.background.albedo_fraction = 0.0;
+
+  std::printf("APT-class instrument: %d layers of %.0f x %.0f cm tiles\n",
+              apt.geometry.n_layers, 2 * apt.geometry.tile_half_width,
+              2 * apt.geometry.tile_half_width);
+
+  core::TextTable table({"fluence [MeV/cm^2]", "mean rings",
+                         "68% cont. [deg]", "95% cont. [deg]"});
+  eval::ContainmentConfig cc;
+  cc.trials = trials;
+  cc.meta_trials = 1;
+  for (const double fluence : {0.2, 0.1, 0.05}) {
+    eval::TrialSetup s = apt;
+    s.grb.fluence = fluence;
+    s.grb.polar_deg = 25.0;
+    const eval::TrialRunner runner(s);
+    const auto summary =
+        eval::measure_containment(runner, eval::PipelineVariant{}, cc);
+    table.add_row({core::TextTable::num(fluence, 2),
+                   core::TextTable::num(summary.mean_rings_total, 0),
+                   core::TextTable::num(summary.c68.mean, 2),
+                   core::TextTable::num(summary.c95.mean, 2)});
+  }
+  table.print(std::cout, "Dim-GRB forecast, APT-class geometry (no ML)");
+
+  std::printf(
+      "\npaper conjecture (Sec. VI): APT's larger detector could localize "
+      "< 0.1 MeV/cm^2\nbursts to within a degree — compare the 0.1 row "
+      "above.\n");
+  return 0;
+}

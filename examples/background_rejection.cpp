@@ -1,0 +1,93 @@
+/// \file background_rejection.cpp
+/// Demonstrates the background network on a realistic burst window:
+/// simulate a GRB plus atmospheric background, classify every
+/// reconstructed Compton ring with the per-polar-bin dynamic
+/// thresholds, and report the confusion matrix plus the effect on the
+/// ring mix entering localization — the paper's core data-reduction
+/// step (Sec. III).
+///
+/// Usage: background_rejection [polar_deg] [fluence]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/units.hpp"
+#include "eval/model_provider.hpp"
+
+using namespace adapt;
+
+int main(int argc, char** argv) {
+  const double polar_deg = argc > 1 ? std::atof(argv[1]) : 30.0;
+  const double fluence = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  eval::TrialSetup setup;
+  setup.grb.polar_deg = polar_deg;
+  setup.grb.fluence = fluence;
+
+  std::printf("loading (or training) models from ./adaptml_models ...\n");
+  eval::ModelProvider provider(eval::TrialSetup{}, {});
+  pipeline::BackgroundNet& net = provider.background_net();
+
+  const eval::TrialRunner runner(setup);
+  core::Rng rng(2024);
+  core::Vec3 true_source;
+  const auto rings = runner.reconstruct_window(rng, &true_source);
+
+  // Classify at the *true* polar angle (the pipeline's Fig. 6 loop
+  // would converge to an estimate of it; this example isolates the
+  // classifier itself).
+  const auto flagged = net.classify(rings, polar_deg);
+
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    const bool is_bkg = rings[i].origin == detector::Origin::kBackground;
+    const bool called_bkg = flagged[i] != 0;
+    if (is_bkg && called_bkg) ++tp;
+    if (!is_bkg && called_bkg) ++fp;
+    if (!is_bkg && !called_bkg) ++tn;
+    if (is_bkg && !called_bkg) ++fn;
+  }
+  const std::size_t n = rings.size();
+  const std::size_t grb_in = tn + fp;
+  const std::size_t bkg_in = tp + fn;
+
+  std::printf("\nburst: %.2f MeV/cm^2 at polar %.0f deg\n", fluence,
+              polar_deg);
+  std::printf("rings entering localization: %zu (%zu GRB + %zu background, "
+              "ratio %.1fx)\n",
+              n, grb_in, bkg_in,
+              static_cast<double>(bkg_in) / static_cast<double>(grb_in));
+  std::printf("\nconfusion matrix (threshold for the %d-deg bin: logit "
+              ">= %.3f):\n",
+              static_cast<int>(polar_deg),
+              net.thresholds().logit_threshold(polar_deg));
+  std::printf("                      called GRB   called background\n");
+  std::printf("  truly GRB        %10zu   %10zu\n", tn, fp);
+  std::printf("  truly background %10zu   %10zu\n", fn, tp);
+
+  std::printf("\nbackground removed: %.1f%%   GRB retained: %.1f%%\n",
+              100.0 * static_cast<double>(tp) / static_cast<double>(bkg_in),
+              100.0 * static_cast<double>(tn) / static_cast<double>(grb_in));
+  std::printf("GRB purity: %.2f before -> %.2f after rejection\n",
+              static_cast<double>(grb_in) / static_cast<double>(n),
+              static_cast<double>(tn) / static_cast<double>(tn + fn));
+
+  // Show the downstream effect: localize with and without rejection.
+  const pipeline::MlLocalizer localizer;
+  core::Rng rng_a(7);
+  core::Rng rng_b(7);
+  const auto plain = localizer.run(rings, nullptr, nullptr, rng_a);
+  const auto with_net = localizer.run(rings, &net, nullptr, rng_b);
+  const auto err = [&](const pipeline::MlLocalizationResult& r) {
+    return r.valid
+               ? core::rad_to_deg(core::angle_between(r.direction, true_source))
+               : 180.0;
+  };
+  std::printf("\nlocalization error without rejection: %7.2f deg\n",
+              err(plain));
+  std::printf("localization error with rejection:    %7.2f deg "
+              "(%d iterations, %zu rings kept)\n",
+              err(with_net), with_net.background_iterations,
+              with_net.rings_kept);
+  return 0;
+}

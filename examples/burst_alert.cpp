@@ -1,0 +1,96 @@
+/// \file burst_alert.cpp
+/// The full on-board alert chain, end to end — what ADAPT actually has
+/// to do in flight, of which the paper's pipeline is the localization
+/// back half:
+///
+///   1. stream time-tagged events from the detector simulation;
+///   2. DETECT: multi-timescale Poisson rate trigger against the
+///      running background rate;
+///   3. SELECT: take the events around the triggered window;
+///   4. LOCALIZE: reconstruct Compton rings and run the ML-in-the-loop
+///      localizer (paper Fig. 6);
+///   5. ALERT: trigger time, significance, best-fit position, and the
+///      90% credible radius from the posterior sky map — the data a
+///      GCN-style alert network would broadcast for follow-up.
+///
+/// All of it is one pipeline::AlertPipeline call; this example wires
+/// the simulation to it and prints the alert.
+///
+/// Usage: burst_alert [fluence] [polar_deg]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/units.hpp"
+#include "eval/model_provider.hpp"
+#include "pipeline/alert.hpp"
+
+using namespace adapt;
+
+int main(int argc, char** argv) {
+  eval::TrialSetup setup;
+  setup.grb.fluence = argc > 1 ? std::atof(argv[1]) : 1.0;
+  setup.grb.polar_deg = argc > 2 ? std::atof(argv[2]) : 35.0;
+
+  std::printf("loading (or training) models from ./adaptml_models ...\n");
+  eval::ModelProvider provider(eval::TrialSetup{}, {});
+
+  // One second of time-tagged detector data, plus a pre-burst
+  // calibration window for the running background-rate estimate.
+  const detector::Geometry geometry(setup.geometry);
+  const sim::ExposureSimulator simulator(geometry, setup.material,
+                                         setup.readout);
+  core::Rng rng(20260706);
+
+  pipeline::AlertPipeline alert_pipeline;
+  const auto quiet =
+      simulator.simulate_background_only(setup.background, rng);
+  alert_pipeline.calibrate_background(quiet.events, 1.0);
+  std::printf("background rate calibrated: %.0f detected events/s\n",
+              alert_pipeline.background_rate_hz());
+
+  const sim::Exposure exposure =
+      simulator.simulate(setup.grb, setup.background, rng);
+  std::printf("burst window: %zu detected events (%.2f MeV/cm^2 at "
+              "polar %.0f deg, onset %.2f s)\n",
+              exposure.events.size(), setup.grb.fluence,
+              setup.grb.polar_deg, setup.grb.light_curve.t_start);
+
+  const pipeline::Alert alert = alert_pipeline.process_window(
+      exposure.events, 1.0, &provider.background_net(),
+      &provider.deta_net(), rng);
+
+  if (!alert.detection.triggered) {
+    std::printf("no trigger (best %.1f sigma) — no alert.\n",
+                alert.detection.significance_sigma);
+    return 1;
+  }
+  std::printf("TRIGGER: %.1f sigma in [%.3f, %.3f] s (%zu events, "
+              "%.0f expected); %zu events selected, %zu rings\n",
+              alert.detection.significance_sigma, alert.detection.t_start,
+              alert.detection.t_end, alert.detection.counts,
+              alert.detection.expected, alert.events_selected,
+              alert.rings_total);
+  if (!alert.issued) {
+    std::printf("localization withheld (too few rings or no valid fit).\n");
+    return 1;
+  }
+
+  alert.sky_map->write_csv("burst_alert_skymap.csv");
+  const double err = core::rad_to_deg(core::angle_between(
+      alert.direction, exposure.true_source_direction));
+  std::printf("\n================ GRB ALERT ================\n");
+  std::printf("trigger time      : %.3f s (%.1f sigma)\n",
+              alert.detection.t_start, alert.detection.significance_sigma);
+  std::printf("best-fit position : polar %.2f deg, azimuth %.2f deg\n",
+              alert.polar_deg, alert.azimuth_deg);
+  std::printf("90%% error radius  : %.2f deg (sky map: "
+              "burst_alert_skymap.csv)\n",
+              alert.credible_radius_deg);
+  std::printf("rings used        : %zu of %zu (%d rejection iterations)\n",
+              alert.rings_kept, alert.rings_total,
+              alert.rejection_iterations);
+  std::printf("===========================================\n");
+  std::printf("\n[truth check: actual error %.2f deg]\n", err);
+  return 0;
+}

@@ -1,0 +1,62 @@
+/// \file grb_survey.cpp
+/// A small survey campaign: sweep burst brightness and sky position,
+/// localize each burst with the full ML pipeline (Fig. 6), and print a
+/// detection/localization summary — roughly what ADAPT's one-day
+/// quick-look products would contain.
+///
+/// Usage: grb_survey [bursts_per_point]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "eval/model_provider.hpp"
+
+#include <iostream>
+
+using namespace adapt;
+
+int main(int argc, char** argv) {
+  const int bursts =
+      argc > 1 ? std::max(1, std::atoi(argv[1])) : 6;
+
+  std::printf("loading (or training) models from ./adaptml_models ...\n");
+  eval::ModelProvider provider(eval::TrialSetup{}, {});
+  eval::PipelineVariant ml;
+  ml.background_net = &provider.background_net();
+  ml.deta_net = &provider.deta_net();
+
+  core::TextTable table({"fluence [MeV/cm^2]", "polar [deg]",
+                         "localized (<6 deg)", "median err [deg]",
+                         "mean rings"});
+  for (const double fluence : {2.0, 1.0, 0.5}) {
+    for (const double polar : {0.0, 40.0, 75.0}) {
+      eval::TrialSetup setup;
+      setup.grb.fluence = fluence;
+      setup.grb.polar_deg = polar;
+      const eval::TrialRunner runner(setup);
+
+      std::vector<double> errors;
+      core::RunningStat rings;
+      int localized = 0;
+      for (int b = 0; b < bursts; ++b) {
+        core::Rng rng(0x5042 + 131 * b + static_cast<int>(10 * fluence) +
+                      static_cast<int>(polar));
+        const eval::TrialOutcome o = runner.run(ml, rng);
+        const double err = o.valid ? o.error_deg : 180.0;
+        errors.push_back(err);
+        rings.add(static_cast<double>(o.rings_total));
+        if (err < 6.0) ++localized;
+      }
+      table.add_row({core::TextTable::num(fluence, 1),
+                     core::TextTable::num(polar, 0),
+                     std::to_string(localized) + "/" + std::to_string(bursts),
+                     core::TextTable::num(core::quantile(errors, 0.5), 2),
+                     core::TextTable::num(rings.mean(), 0)});
+    }
+  }
+  table.print(std::cout, "Simulated short-GRB survey (ML pipeline)");
+  return 0;
+}

@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file mat3.hpp
+/// 3x3 matrix support for the localization normal equations
+/// (sum of weighted outer products of ring axes) and for rotating
+/// photon directions during Monte-Carlo transport.
+
+#include <array>
+#include <cmath>
+
+#include "core/vec3.hpp"
+
+namespace adapt::core {
+
+struct Mat3 {
+  // Row-major storage.
+  std::array<double, 9> m{0, 0, 0, 0, 0, 0, 0, 0, 0};
+
+  static constexpr Mat3 identity() {
+    Mat3 r;
+    r.m = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+    return r;
+  }
+
+  static Mat3 zero() { return Mat3{}; }
+
+  double& operator()(int r, int c) { return m[static_cast<size_t>(3 * r + c)]; }
+  double operator()(int r, int c) const {
+    return m[static_cast<size_t>(3 * r + c)];
+  }
+
+  Mat3 operator+(const Mat3& o) const {
+    Mat3 r;
+    for (size_t i = 0; i < 9; ++i) r.m[i] = m[i] + o.m[i];
+    return r;
+  }
+  Mat3 operator-(const Mat3& o) const {
+    Mat3 r;
+    for (size_t i = 0; i < 9; ++i) r.m[i] = m[i] - o.m[i];
+    return r;
+  }
+  Mat3 operator*(double s) const {
+    Mat3 r;
+    for (size_t i = 0; i < 9; ++i) r.m[i] = m[i] * s;
+    return r;
+  }
+  Mat3& operator+=(const Mat3& o) {
+    for (size_t i = 0; i < 9; ++i) m[i] += o.m[i];
+    return *this;
+  }
+
+  Vec3 operator*(const Vec3& v) const {
+    return {m[0] * v.x + m[1] * v.y + m[2] * v.z,
+            m[3] * v.x + m[4] * v.y + m[5] * v.z,
+            m[6] * v.x + m[7] * v.y + m[8] * v.z};
+  }
+
+  Mat3 operator*(const Mat3& o) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) {
+        double s = 0.0;
+        for (int k = 0; k < 3; ++k) s += (*this)(i, k) * o(k, j);
+        r(i, j) = s;
+      }
+    return r;
+  }
+
+  Mat3 transposed() const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r(i, j) = (*this)(j, i);
+    return r;
+  }
+
+  double det() const {
+    return m[0] * (m[4] * m[8] - m[5] * m[7]) -
+           m[1] * (m[3] * m[8] - m[5] * m[6]) +
+           m[2] * (m[3] * m[7] - m[4] * m[6]);
+  }
+
+  /// Adjugate-based inverse.  Returns false (and leaves `out`
+  /// untouched) when the determinant is smaller than `eps`, which the
+  /// localizer treats as "rings are degenerate, damp and retry".
+  bool inverse(Mat3& out, double eps = 1e-300) const {
+    const double d = det();
+    if (std::abs(d) < eps) return false;
+    const double inv_d = 1.0 / d;
+    Mat3 r;
+    r(0, 0) = (m[4] * m[8] - m[5] * m[7]) * inv_d;
+    r(0, 1) = (m[2] * m[7] - m[1] * m[8]) * inv_d;
+    r(0, 2) = (m[1] * m[5] - m[2] * m[4]) * inv_d;
+    r(1, 0) = (m[5] * m[6] - m[3] * m[8]) * inv_d;
+    r(1, 1) = (m[0] * m[8] - m[2] * m[6]) * inv_d;
+    r(1, 2) = (m[2] * m[3] - m[0] * m[5]) * inv_d;
+    r(2, 0) = (m[3] * m[7] - m[4] * m[6]) * inv_d;
+    r(2, 1) = (m[1] * m[6] - m[0] * m[7]) * inv_d;
+    r(2, 2) = (m[0] * m[4] - m[1] * m[3]) * inv_d;
+    out = r;
+    return true;
+  }
+
+  /// a * b^T.
+  static Mat3 outer(const Vec3& a, const Vec3& b) {
+    Mat3 r;
+    r.m = {a.x * b.x, a.x * b.y, a.x * b.z, a.y * b.x, a.y * b.y,
+           a.y * b.z, a.z * b.x, a.z * b.y, a.z * b.z};
+    return r;
+  }
+
+  /// Rodrigues rotation matrix: rotate by `angle` about unit `axis`.
+  static Mat3 rotation(const Vec3& axis, double angle) {
+    const Vec3 u = axis.normalized();
+    const double c = std::cos(angle);
+    const double s = std::sin(angle);
+    const double t = 1.0 - c;
+    Mat3 r;
+    r.m = {c + u.x * u.x * t,       u.x * u.y * t - u.z * s, u.x * u.z * t + u.y * s,
+           u.y * u.x * t + u.z * s, c + u.y * u.y * t,       u.y * u.z * t - u.x * s,
+           u.z * u.x * t - u.y * s, u.z * u.y * t + u.x * s, c + u.z * u.z * t};
+    return r;
+  }
+
+  /// Rotation taking +z onto unit vector `d` (any such rotation).
+  /// Used to express a sampled scattering direction, generated in a
+  /// frame where the incoming photon travels along +z, back in the
+  /// detector frame.
+  static Mat3 frame_to(const Vec3& d) {
+    const Vec3 u = d.normalized();
+    const Vec3 z{0, 0, 1};
+    const double c = u.z;
+    if (c > 1.0 - 1e-14) return identity();
+    if (c < -1.0 + 1e-14) {
+      // 180-degree rotation about x.
+      Mat3 r;
+      r.m = {1, 0, 0, 0, -1, 0, 0, 0, -1};
+      return r;
+    }
+    const Vec3 axis = z.cross(u).normalized();
+    return rotation(axis, std::acos(c));
+  }
+};
+
+/// Solve the symmetric positive-(semi)definite system A x = b with a
+/// Tikhonov damping term: (A + damping*I) x = b.  Returns false when
+/// even the damped system is singular.
+inline bool solve_damped(const Mat3& a, const Vec3& b, double damping,
+                         Vec3& x) {
+  Mat3 ad = a;
+  ad(0, 0) += damping;
+  ad(1, 1) += damping;
+  ad(2, 2) += damping;
+  Mat3 inv;
+  if (!ad.inverse(inv, 1e-300)) return false;
+  x = inv * b;
+  return true;
+}
+
+}  // namespace adapt::core

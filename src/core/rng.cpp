@@ -1,0 +1,130 @@
+#include "core/rng.hpp"
+
+#include <cmath>
+
+#include "core/require.hpp"
+#include "core/units.hpp"
+
+namespace adapt::core {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro must not start in the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  ADAPT_REQUIRE(n > 0, "uniform_index needs n > 0");
+  // Debiased modulo (Lemire-style rejection on the low range).
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 is kept away from 0 so log() is finite.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  cached_normal_ = r * std::sin(kTwoPi * u2);
+  has_cached_normal_ = true;
+  return r * std::cos(kTwoPi * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double mean) {
+  ADAPT_REQUIRE(mean > 0.0, "exponential needs mean > 0");
+  double u = uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  ADAPT_REQUIRE(mean >= 0.0, "poisson needs mean >= 0");
+  if (mean == 0.0) return 0;
+  if (mean < 256.0) {
+    // Knuth inversion in log space is unnecessary at this size.
+    const double l = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction.
+  const double g = normal(mean, std::sqrt(mean));
+  return g <= 0.0 ? 0 : static_cast<std::uint64_t>(g + 0.5);
+}
+
+Vec3 Rng::isotropic_direction() {
+  const double z = uniform(-1.0, 1.0);
+  const double phi = uniform(0.0, kTwoPi);
+  const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+  return {r * std::cos(phi), r * std::sin(phi), z};
+}
+
+Vec3 Rng::hemisphere_direction_up() {
+  const double z = uniform();
+  const double phi = uniform(0.0, kTwoPi);
+  const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+  return {r * std::cos(phi), r * std::sin(phi), z};
+}
+
+Vec3 Rng::uniform_disk(double radius) {
+  const double r = radius * std::sqrt(uniform());
+  const double phi = uniform(0.0, kTwoPi);
+  return {r * std::cos(phi), r * std::sin(phi), 0.0};
+}
+
+Rng Rng::split() {
+  // Two raw draws feed a SplitMix chain to decorrelate the child.
+  std::uint64_t seed = next_u64() ^ rotl(next_u64(), 31);
+  return Rng(splitmix64(seed));
+}
+
+}  // namespace adapt::core

@@ -1,0 +1,150 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "core/require.hpp"
+
+namespace adapt::core {
+
+void RunningStat::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  ADAPT_REQUIRE(q >= 0.0 && q <= 1.0, "quantile level out of range");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double containment(std::vector<double> errors, double level) {
+  if (errors.empty()) return 0.0;
+  ADAPT_REQUIRE(level > 0.0 && level <= 1.0, "containment level out of range");
+  std::sort(errors.begin(), errors.end());
+  // Largest error among at most ceil(level * n) trials.
+  auto k = static_cast<std::size_t>(
+      std::ceil(level * static_cast<double>(errors.size())));
+  if (k == 0) k = 1;
+  if (k > errors.size()) k = errors.size();
+  return errors[k - 1];
+}
+
+Containment containment_68_95(std::vector<double> errors) {
+  Containment c;
+  c.trials = errors.size();
+  c.c68 = containment(errors, 0.68);
+  c.c95 = containment(std::move(errors), 0.95);
+  return c;
+}
+
+double poisson_tail_log_p(std::uint64_t k, double mu) {
+  ADAPT_REQUIRE(mu >= 0.0, "poisson mean must be >= 0");
+  if (k == 0) return 0.0;  // P(X >= 0) = 1.
+  if (mu == 0.0) return -std::numeric_limits<double>::infinity();
+
+  const double kd = static_cast<double>(k);
+  if (kd <= mu && mu > 64.0) {
+    // Deep in the bulk of a large-mu Poisson: p >= ~0.5 and a cheap
+    // normal approximation is plenty (the trigger only cares about the
+    // significant upper tail).  Small mu falls through to the exact
+    // series, which converges absolutely for any k.
+    const double z = (kd - 0.5 - mu) / std::sqrt(mu);
+    return std::log(0.5 * std::erfc(z / std::sqrt(2.0)));
+  }
+
+  // Exact tail sum in log space:
+  //   P(X >= k) = e^{-mu} mu^k / k! * (1 + mu/(k+1) + mu^2/((k+1)(k+2)) + ...)
+  const double log_term0 = kd * std::log(mu) - mu - std::lgamma(kd + 1.0);
+  double series = 1.0;
+  double ratio = 1.0;
+  for (std::uint64_t i = 1; i < 100000; ++i) {
+    ratio *= mu / (kd + static_cast<double>(i));
+    series += ratio;
+    if (ratio < 1e-16 * series) break;
+  }
+  return log_term0 + std::log(series);
+}
+
+double normal_quantile(double p) {
+  ADAPT_REQUIRE(p > 0.0 && p < 1.0, "quantile needs p in (0, 1)");
+  // Acklam's rational approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double q;
+  double r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double poisson_significance_sigma(std::uint64_t k, double mu) {
+  const double log_p = poisson_tail_log_p(k, mu);
+  if (log_p >= std::log(0.5)) return 0.0;  // Not an excess.
+  // sigma = -Phi^-1(p).  For very small p the quantile approximation
+  // is applied to exp(log_p); below ~1e-300 use the asymptotic form
+  // sigma ~ sqrt(-2 ln p).
+  if (log_p < -650.0) return std::sqrt(-2.0 * log_p);
+  return -normal_quantile(std::exp(log_p));
+}
+
+MeanStd mean_std(const std::vector<double>& values) {
+  MeanStd r;
+  if (values.empty()) return r;
+  RunningStat s;
+  for (double v : values) s.add(v);
+  r.mean = s.mean();
+  r.stddev = s.stddev();
+  return r;
+}
+
+}  // namespace adapt::core

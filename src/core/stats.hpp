@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file stats.hpp
+/// Statistics utilities used by the evaluation harness: running
+/// moments for timing tables, and the 68%/95% containment estimator
+/// that every localization figure in the paper reports.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adapt::core {
+
+/// Streaming mean/variance/min/max (Welford).  Used for the timing
+/// tables (mean + range over 300 runs).
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of `values` by linear interpolation between order
+/// statistics (type-7, the numpy default).  `q` in [0, 1].  The input
+/// is copied; an empty input returns 0.
+double quantile(std::vector<double> values, double q);
+
+/// Containment statistic as defined in the paper (Sec. II): the
+/// largest error observed in at most a fraction `level` of the trials.
+/// That is the ceil(level*n)-th smallest value — a conservative
+/// order-statistic rather than an interpolated quantile.
+double containment(std::vector<double> errors, double level);
+
+/// 68% and 95% containment of a set of angular errors, plus the trial
+/// count — the tuple every localization figure plots.
+struct Containment {
+  double c68 = 0.0;
+  double c95 = 0.0;
+  std::size_t trials = 0;
+};
+
+Containment containment_68_95(std::vector<double> errors);
+
+/// Mean and sample standard deviation of a vector (for meta-trial
+/// error bars).  Empty input yields zeros.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+MeanStd mean_std(const std::vector<double>& values);
+
+/// Natural log of the Poisson upper tail, ln P(X >= k | mu).  Exact
+/// series in log space for the tail (k > mu); returns 0 (p = 1) for
+/// k = 0.  The burst trigger's core statistic.
+double poisson_tail_log_p(std::uint64_t k, double mu);
+
+/// Quantile (inverse CDF) of the standard normal distribution
+/// (Acklam's rational approximation, |error| < 1.2e-9).
+double normal_quantile(double p);
+
+/// Gaussian-sigma significance of observing >= k events when mu are
+/// expected: sigma = -Phi^-1(P(X >= k)).  Values below 0 are clamped
+/// (an under-fluctuation is "not significant", not negatively so).
+double poisson_significance_sigma(std::uint64_t k, double mu);
+
+}  // namespace adapt::core

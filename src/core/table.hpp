@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file table.hpp
+/// Plain-text table / CSV emission for the benchmark harness.  Each
+/// bench prints the same rows and series the paper's tables and
+/// figures report, so the output is directly comparable.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace adapt::core {
+
+/// Column-aligned text table with an optional title, printed to any
+/// ostream.  Cells are strings; numeric helpers format consistently.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Number formatting helpers (fixed precision, trailing-zero kept so
+  /// columns line up).
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Write as CSV (header + rows) to the given path.  Returns false on
+  /// I/O failure instead of throwing: benches treat CSV dumps as
+  /// best-effort artifacts.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace adapt::core

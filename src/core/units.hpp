@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file units.hpp
+/// Physical constants and unit conventions used throughout adaptml.
+///
+/// Conventions:
+///   * energy   in MeV
+///   * length   in cm
+///   * time     in seconds
+///   * angles   in radians internally; degrees only at API boundaries
+///     that mirror the paper's figures (which are labeled in degrees).
+
+#include <numbers>
+
+namespace adapt::core {
+
+/// Electron rest mass energy, m_e c^2 [MeV].  Compton kinematics pivot
+/// on this constant.
+inline constexpr double kElectronMassMeV = 0.51099895;
+
+/// Classical electron radius [cm]; sets the scale of the Klein-Nishina
+/// cross section.
+inline constexpr double kClassicalElectronRadiusCm = 2.8179403262e-13;
+
+/// Avogadro's number [1/mol].
+inline constexpr double kAvogadro = 6.02214076e23;
+
+/// Thomson cross section [cm^2] = (8/3) pi r_e^2.
+inline constexpr double kThomsonCrossSectionCm2 =
+    8.0 / 3.0 * std::numbers::pi * kClassicalElectronRadiusCm *
+    kClassicalElectronRadiusCm;
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Degrees -> radians.
+constexpr double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+
+/// Radians -> degrees.
+constexpr double rad_to_deg(double rad) { return rad * 180.0 / kPi; }
+
+/// keV -> MeV convenience (detector thresholds are quoted in keV).
+constexpr double kev(double e_kev) { return e_kev * 1e-3; }
+
+}  // namespace adapt::core

@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file vec3.hpp
+/// Minimal 3-vector used for hit positions, photon directions, Compton
+/// ring axes, and source directions.  Double precision throughout: the
+/// localization least-squares is sensitive to cancellation when rings
+/// are nearly parallel.
+
+#include <cmath>
+#include <ostream>
+
+#include "core/units.hpp"
+
+namespace adapt::core {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr double norm2() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm2()); }
+
+  /// Unit vector in the same direction.  Degenerate (near-zero) input
+  /// returns +z so downstream geometry stays finite; callers that care
+  /// should check norm() first.
+  Vec3 normalized() const {
+    const double n = norm();
+    if (n < 1e-300) return {0.0, 0.0, 1.0};
+    return *this / n;
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+/// Angle [rad] between two (not necessarily unit) vectors, numerically
+/// robust for nearly parallel/antiparallel inputs via atan2 of the
+/// cross/dot pair.
+inline double angle_between(const Vec3& a, const Vec3& b) {
+  return std::atan2(a.cross(b).norm(), a.dot(b));
+}
+
+/// Build a unit direction from spherical coordinates.
+/// `polar` is measured from +z (the detector zenith in our frame),
+/// matching the paper's convention where a 0-degree burst is normally
+/// incident from above.
+inline Vec3 from_spherical(double polar, double azimuth) {
+  const double s = std::sin(polar);
+  return {s * std::cos(azimuth), s * std::sin(azimuth), std::cos(polar)};
+}
+
+/// Polar angle [rad] of a unit direction (angle from +z).
+inline double polar_of(const Vec3& unit_dir) {
+  double c = unit_dir.z;
+  if (c > 1.0) c = 1.0;
+  if (c < -1.0) c = -1.0;
+  return std::acos(c);
+}
+
+/// Azimuthal angle [rad] in [-pi, pi].
+inline double azimuth_of(const Vec3& dir) { return std::atan2(dir.y, dir.x); }
+
+/// Return any unit vector orthogonal to `v` (used to parameterize the
+/// circle of candidate directions around a Compton ring axis).
+inline Vec3 any_orthogonal(const Vec3& v) {
+  const Vec3 u = v.normalized();
+  // Pick the seed axis least aligned with u to avoid degeneracy.
+  const Vec3 seed = std::abs(u.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+  return u.cross(seed).normalized();
+}
+
+/// Point on the unit sphere at angular distance `theta` from unit axis
+/// `axis`, at azimuth `phi` around it.  This is how we enumerate
+/// candidate source directions lying on a Compton ring.
+inline Vec3 rotate_about_axis(const Vec3& axis, double theta, double phi) {
+  const Vec3 u = axis.normalized();
+  const Vec3 e1 = any_orthogonal(u);
+  const Vec3 e2 = u.cross(e1);
+  return u * std::cos(theta) +
+         (e1 * std::cos(phi) + e2 * std::sin(phi)) * std::sin(theta);
+}
+
+}  // namespace adapt::core

@@ -1,0 +1,95 @@
+#include "detector/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.hpp"
+
+namespace adapt::detector {
+
+Geometry::Geometry(const GeometryConfig& config) : config_(config) {
+  ADAPT_REQUIRE(config.n_layers >= 1, "need at least one layer");
+  ADAPT_REQUIRE(config.tile_half_width > 0.0, "tile half width must be > 0");
+  ADAPT_REQUIRE(config.tile_thickness > 0.0, "tile thickness must be > 0");
+  ADAPT_REQUIRE(config.layer_pitch >= config.tile_thickness,
+                "layers must not overlap");
+  layers_.reserve(static_cast<size_t>(config.n_layers));
+  for (int i = 0; i < config.n_layers; ++i) {
+    const double z_top = -static_cast<double>(i) * config.layer_pitch;
+    layers_.push_back(Layer{z_top, z_top - config.tile_thickness});
+  }
+}
+
+int Geometry::layer_at(double z) const {
+  for (int i = 0; i < n_layers(); ++i) {
+    const Layer& l = layers_[static_cast<size_t>(i)];
+    if (z <= l.z_top && z >= l.z_bottom) return i;
+  }
+  return -1;
+}
+
+bool Geometry::contains(const core::Vec3& p) const {
+  if (std::abs(p.x) > config_.tile_half_width ||
+      std::abs(p.y) > config_.tile_half_width)
+    return false;
+  return layer_at(p.z) >= 0;
+}
+
+double Geometry::z_min() const { return layers_.back().z_bottom; }
+
+core::Vec3 Geometry::center() const { return {0.0, 0.0, z_min() / 2.0}; }
+
+double Geometry::bounding_radius() const {
+  const double half_height = -z_min() / 2.0;
+  const double w = config_.tile_half_width;
+  return std::sqrt(2.0 * w * w + half_height * half_height) + 1.0;
+}
+
+std::optional<PathSegment> Geometry::clip_to_layer(const core::Vec3& origin,
+                                                   const core::Vec3& dir,
+                                                   int layer,
+                                                   double t_min) const {
+  const Layer& l = layers_[static_cast<size_t>(layer)];
+  double t0 = t_min;
+  double t1 = std::numeric_limits<double>::infinity();
+
+  // Clip against a pair of axis-aligned planes lo <= coord <= hi for a
+  // ray component p + t*d.  Shrinks [t0, t1]; returns false when the
+  // interval empties.
+  const auto clip_axis = [&](double p, double d, double lo, double hi) {
+    constexpr double kParallelEps = 1e-12;
+    if (std::abs(d) < kParallelEps) return p >= lo && p <= hi;
+    double ta = (lo - p) / d;
+    double tb = (hi - p) / d;
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+    return t0 < t1;
+  };
+
+  const double w = config_.tile_half_width;
+  if (!clip_axis(origin.z, dir.z, l.z_bottom, l.z_top)) return std::nullopt;
+  if (!clip_axis(origin.x, dir.x, -w, w)) return std::nullopt;
+  if (!clip_axis(origin.y, dir.y, -w, w)) return std::nullopt;
+  if (t1 <= t0 + 1e-12) return std::nullopt;
+  return PathSegment{t0, t1, layer};
+}
+
+std::vector<PathSegment> Geometry::trace(const core::Vec3& origin,
+                                         const core::Vec3& dir,
+                                         double t_min) const {
+  std::vector<PathSegment> segments;
+  segments.reserve(static_cast<size_t>(n_layers()));
+  for (int i = 0; i < n_layers(); ++i) {
+    if (auto seg = clip_to_layer(origin, dir, i, t_min)) {
+      segments.push_back(*seg);
+    }
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const PathSegment& a, const PathSegment& b) {
+              return a.t_enter < b.t_enter;
+            });
+  return segments;
+}
+
+}  // namespace adapt::detector

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file geometry.hpp
+/// ADAPT detector geometry: a vertical stack of square scintillating
+/// tile layers (paper Fig. 1).  The top tile surface sits at z = 0 and
+/// layers extend downward; a normally incident (0-degree polar) GRB
+/// photon travels in -z.
+///
+/// The geometry also provides the ray tracing the Monte-Carlo
+/// transport needs: the ordered list of path segments a ray spends
+/// inside scintillator material.
+
+#include <optional>
+#include <vector>
+
+#include "core/vec3.hpp"
+
+namespace adapt::detector {
+
+/// One scintillator layer: a square tile slab.
+struct Layer {
+  double z_top = 0.0;     ///< Upper surface [cm].
+  double z_bottom = 0.0;  ///< Lower surface [cm] (z_bottom < z_top).
+};
+
+/// A contiguous stretch of a ray inside scintillator.
+struct PathSegment {
+  double t_enter = 0.0;  ///< Ray parameter at entry [cm].
+  double t_exit = 0.0;   ///< Ray parameter at exit [cm].
+  int layer = -1;        ///< Which layer the segment crosses.
+};
+
+/// Geometry configuration.  Defaults model the ADAPT demonstrator
+/// scale: four layers of 40 cm x 40 cm x 1.5 cm tiles on a 10 cm
+/// vertical pitch.
+struct GeometryConfig {
+  int n_layers = 4;
+  double tile_half_width = 20.0;  ///< Half extent in x and y [cm].
+  double tile_thickness = 1.5;    ///< Slab thickness [cm].
+  double layer_pitch = 10.0;      ///< Top-to-top spacing [cm].
+};
+
+class Geometry {
+ public:
+  explicit Geometry(const GeometryConfig& config = {});
+
+  const GeometryConfig& config() const { return config_; }
+  int n_layers() const { return config_.n_layers; }
+  const Layer& layer(int i) const { return layers_[static_cast<size_t>(i)]; }
+
+  /// Index of the layer whose slab contains z, or -1.
+  int layer_at(double z) const;
+
+  /// True if the point lies inside scintillator material.
+  bool contains(const core::Vec3& p) const;
+
+  /// z of the lowest material surface (bottom of the last layer).
+  double z_min() const;
+
+  /// Radius of a sphere (centered on the stack axis midpoint) that
+  /// encloses the whole detector; used to aim source photons.
+  double bounding_radius() const;
+  core::Vec3 center() const;
+
+  /// All material segments of the ray p(t) = origin + t * dir for
+  /// t >= t_min, ordered by increasing t.  `dir` must be unit length.
+  std::vector<PathSegment> trace(const core::Vec3& origin,
+                                 const core::Vec3& dir,
+                                 double t_min = 0.0) const;
+
+ private:
+  /// Clip the ray against one layer slab; returns the t-interval (if
+  /// any) spent inside it.
+  std::optional<PathSegment> clip_to_layer(const core::Vec3& origin,
+                                           const core::Vec3& dir, int layer,
+                                           double t_min) const;
+
+  GeometryConfig config_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace adapt::detector

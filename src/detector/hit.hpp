@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file hit.hpp
+/// Event/hit data model shared by the simulator, readout, and
+/// reconstruction.
+///
+/// Terminology follows the paper (Sec. II-B): an *event* is the set of
+/// measurements of a single gamma-ray photon; each *hit* is one
+/// interaction (Compton scatter or photoabsorption) with a 3-D
+/// position and a deposited energy.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vec3.hpp"
+
+namespace adapt::detector {
+
+/// Where a photon came from.  Ground truth carried through the
+/// simulation chain; available to training/evaluation only (a real
+/// flight event obviously has no such tag — the background network's
+/// job is to infer it).
+enum class Origin : std::uint8_t {
+  kGrb,         ///< Photon from the simulated gamma-ray burst.
+  kBackground,  ///< Atmospheric / albedo background particle.
+};
+
+/// One energy deposition exactly as the physics Monte Carlo produced
+/// it (no measurement effects).
+struct TrueHit {
+  core::Vec3 position;   ///< Interaction point [cm].
+  double energy = 0.0;   ///< Deposited energy [MeV].
+  int layer = -1;        ///< Index of the detector layer hit.
+};
+
+/// A full photon interaction history before readout.
+struct RawEvent {
+  std::vector<TrueHit> hits;      ///< In true chronological order.
+  Origin origin = Origin::kGrb;
+  core::Vec3 true_direction;      ///< Unit vector of photon travel.
+  double true_energy = 0.0;       ///< Incident photon energy [MeV].
+  bool fully_absorbed = false;    ///< True if no energy escaped.
+};
+
+/// One hit after the readout model: quantized position, smeared
+/// energy, and the measurement uncertainties the electronics model
+/// quotes for it.  The three energy uncertainties (total + first two
+/// deposits) are part of the networks' 12 base input features.
+struct MeasuredHit {
+  core::Vec3 position;      ///< Reported interaction point [cm].
+  double energy = 0.0;      ///< Reported deposited energy [MeV].
+  core::Vec3 sigma_position;  ///< Per-axis position uncertainty [cm].
+  double sigma_energy = 0.0;  ///< Energy uncertainty [MeV].
+  int layer = -1;
+};
+
+/// A photon event as seen by the data acquisition, with simulation
+/// ground truth carried alongside for training and evaluation.
+struct MeasuredEvent {
+  std::vector<MeasuredHit> hits;  ///< Order as reported (chronological
+                                  ///< in simulation; reconstruction
+                                  ///< must re-derive ordering).
+  double time_s = 0.0;            ///< Arrival time within the exposure
+                                  ///< window [s] (drives the burst
+                                  ///< trigger and pileup).
+  Origin origin = Origin::kGrb;
+  core::Vec3 true_direction;
+  double true_energy = 0.0;
+  bool fully_absorbed = false;
+};
+
+}  // namespace adapt::detector

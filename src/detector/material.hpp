@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file material.hpp
+/// Scintillator material model.  ADAPT's tiles are CsI:Na crystals;
+/// the transport Monte Carlo needs the electron density (for the exact
+/// Klein-Nishina Compton attenuation) and calibrated parameterizations
+/// of the photoelectric and pair-production attenuation coefficients.
+///
+/// The photoelectric/pair parameterizations are fits with the correct
+/// qualitative energy dependence (photoabsorption dominant below
+/// ~0.3 MeV, Compton dominant through the MeV band, pair production
+/// appearing above 1.022 MeV), anchored to NIST XCOM-scale values for
+/// CsI.  See DESIGN.md for the substitution rationale versus Geant4.
+
+namespace adapt::detector {
+
+struct Material {
+  /// Human-readable name for reports.
+  const char* name = "CsI";
+
+  /// Mass density [g/cm^3].
+  double density = 4.51;
+
+  /// Electrons per cm^3 = density * N_A * (Z/A).  For CsI,
+  /// Z/A = (55 + 53) / (132.91 + 126.90) ~= 0.4157.
+  double electron_density = 1.129e24;
+
+  /// Photoelectric attenuation calibration: mu_pe(E) [1/cm] =
+  /// photo_coeff * E^-3 below photo_knee [MeV], continued as a
+  /// shallower power law (photo_high_exponent) above the knee, where
+  /// the cross section flattens.
+  double photo_coeff = 0.0068;
+  double photo_knee = 0.5;
+  double photo_high_exponent = 1.2;
+
+  /// Pair-production calibration: mu_pp(E) [1/cm] =
+  /// pair_coeff * ln(E / threshold) above threshold = 2 m_e c^2.
+  double pair_coeff = 0.012;
+
+  /// Standard CsI scintillator.
+  static Material csi() { return Material{}; }
+
+  /// A light plastic scintillator (EJ-200-like) used by tests to check
+  /// the cross-section model scales with material properties.
+  static Material plastic() {
+    Material m;
+    m.name = "plastic";
+    m.density = 1.02;
+    m.electron_density = 3.37e23;
+    m.photo_coeff = 2.2e-5;  // Z^~4.5 suppression relative to CsI.
+    m.photo_knee = 0.15;
+    m.photo_high_exponent = 1.0;
+    m.pair_coeff = 0.0016;
+    return m;
+  }
+};
+
+}  // namespace adapt::detector

@@ -1,0 +1,160 @@
+#include "detector/readout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.hpp"
+#include "core/units.hpp"
+
+namespace adapt::detector {
+
+ReadoutModel::ReadoutModel(const Geometry& geometry,
+                           const ReadoutConfig& config)
+    : geometry_(&geometry), config_(config) {
+  ADAPT_REQUIRE(config.fiber_pitch > 0.0, "fiber pitch must be > 0");
+  ADAPT_REQUIRE(config.hit_threshold >= 0.0, "threshold must be >= 0");
+  ADAPT_REQUIRE(config.max_hits >= 1, "max_hits must be >= 1");
+  ADAPT_REQUIRE(config.perturbation_percent >= 0.0,
+                "perturbation must be >= 0");
+}
+
+double ReadoutModel::quantize_xy(double v) const {
+  const double p = config_.fiber_pitch;
+  return std::round(v / p) * p;
+}
+
+double ReadoutModel::energy_sigma(double energy) const {
+  if (energy <= 0.0) return 0.0;
+  const double a = config_.energy_res_stochastic;
+  const double b = config_.energy_res_floor;
+  // Relative resolution: stochastic term in quadrature with a floor.
+  const double rel =
+      std::sqrt(a * a / energy + b * b);
+  return rel * energy;
+}
+
+core::Vec3 ReadoutModel::position_sigma() const {
+  const double sxy = config_.fiber_pitch / std::sqrt(12.0);
+  return {sxy, sxy, config_.z_resolution};
+}
+
+std::optional<MeasuredEvent> ReadoutModel::read_out(const RawEvent& event,
+                                                    core::Rng& rng) const {
+  // Pass 1: digitize each deposit, applying the optional Fig. 10
+  // perturbation *before* quantization (the paper perturbs inputs
+  // "prior to reconstruction", i.e. at the measurement level).
+  struct Digit {
+    core::Vec3 pos;
+    double energy;
+    int layer;
+    std::size_t order;  // Chronological index, kept through merging.
+  };
+  std::vector<Digit> digits;
+  digits.reserve(event.hits.size());
+
+  const double eps = config_.perturbation_percent / 100.0;
+  for (std::size_t i = 0; i < event.hits.size(); ++i) {
+    const TrueHit& h = event.hits[i];
+    core::Vec3 p = h.position;
+    double e = h.energy;
+
+    if (eps > 0.0) {
+      p.x = rng.normal(p.x, std::abs(p.x) * eps);
+      p.y = rng.normal(p.y, std::abs(p.y) * eps);
+      p.z = rng.normal(p.z, std::abs(p.z) * eps);
+      e = rng.normal(e, std::abs(e) * eps);
+    }
+
+    // Energy smearing per the resolution model.
+    e = rng.normal(e, energy_sigma(h.energy));
+    if (e < 0.0) e = 0.0;
+
+    // Position digitization: fiber grid in x/y; in z the tile's
+    // top/bottom light-sharing ratio resolves depth with Gaussian
+    // resolution, clamped to the tile volume.
+    const int layer = h.layer >= 0 ? h.layer : geometry_->layer_at(p.z);
+    if (layer < 0) continue;  // Perturbed out of any tile: lost.
+    const Layer& l = geometry_->layer(layer);
+    const double z = std::clamp(rng.normal(p.z, config_.z_resolution),
+                                l.z_bottom, l.z_top);
+    core::Vec3 q{quantize_xy(p.x), quantize_xy(p.y), z};
+    digits.push_back(Digit{q, e, layer, i});
+  }
+
+  // Pass 2: merge digits that landed on the same fiber crossing of the
+  // same tile — the readout cannot separate them.  Energy-weighted
+  // order keeps the earliest contribution's rank.
+  std::vector<Digit> merged;
+  for (const Digit& d : digits) {
+    bool absorbed = false;
+    for (Digit& m : merged) {
+      const bool same_cell = m.layer == d.layer &&
+                             std::abs(m.pos.x - d.pos.x) < 1e-9 &&
+                             std::abs(m.pos.y - d.pos.y) < 1e-9;
+      if (same_cell) {
+        m.energy += d.energy;
+        m.order = std::min(m.order, d.order);
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) merged.push_back(d);
+  }
+
+  // Pass 3: spurious SiPM noise hits (uniform position, exponential
+  // near-threshold energies), appended after the real deposits so
+  // reconstruction has to cope with them like flight data would.
+  if (config_.noise_hits_per_event > 0.0) {
+    const auto n_noise = rng.poisson(config_.noise_hits_per_event);
+    const double w = geometry_->config().tile_half_width;
+    for (std::uint64_t i = 0; i < n_noise; ++i) {
+      const int layer =
+          static_cast<int>(rng.uniform_index(
+              static_cast<std::uint64_t>(geometry_->n_layers())));
+      const Layer& l = geometry_->layer(layer);
+      Digit d;
+      d.pos = {quantize_xy(rng.uniform(-w, w)), quantize_xy(rng.uniform(-w, w)),
+               rng.uniform(l.z_bottom, l.z_top)};
+      d.energy = config_.hit_threshold + rng.exponential(0.02);
+      d.layer = layer;
+      d.order = event.hits.size() + i;  // After all real deposits.
+      merged.push_back(d);
+    }
+  }
+
+  // Pass 4: threshold, cap, and emit in chronological order.
+  std::erase_if(merged,
+                [&](const Digit& d) { return d.energy < config_.hit_threshold; });
+  if (merged.empty()) return std::nullopt;
+
+  std::sort(merged.begin(), merged.end(),
+            [](const Digit& a, const Digit& b) { return a.order < b.order; });
+  if (static_cast<int>(merged.size()) > config_.max_hits) {
+    // Keep the largest deposits, then restore chronological order.
+    std::sort(merged.begin(), merged.end(),
+              [](const Digit& a, const Digit& b) { return a.energy > b.energy; });
+    merged.resize(static_cast<std::size_t>(config_.max_hits));
+    std::sort(merged.begin(), merged.end(),
+              [](const Digit& a, const Digit& b) { return a.order < b.order; });
+  }
+
+  MeasuredEvent out;
+  out.origin = event.origin;
+  out.true_direction = event.true_direction;
+  out.true_energy = event.true_energy;
+  out.fully_absorbed = event.fully_absorbed;
+  out.hits.reserve(merged.size());
+  const core::Vec3 sp = position_sigma();
+  for (const Digit& d : merged) {
+    MeasuredHit h;
+    h.position = d.pos;
+    h.energy = d.energy;
+    h.sigma_position = sp;
+    h.sigma_energy = energy_sigma(d.energy);
+    h.layer = d.layer;
+    out.hits.push_back(h);
+  }
+  return out;
+}
+
+}  // namespace adapt::detector

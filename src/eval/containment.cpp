@@ -1,0 +1,60 @@
+#include "eval/containment.hpp"
+
+#include "core/require.hpp"
+#include "core/rng.hpp"
+
+namespace adapt::eval {
+
+ContainmentSummary measure_containment(const TrialRunner& runner,
+                                       const PipelineVariant& variant,
+                                       const ContainmentConfig& config) {
+  ADAPT_REQUIRE(config.trials >= 1, "need at least one trial");
+  ADAPT_REQUIRE(config.meta_trials >= 1, "need at least one meta-trial");
+
+  ContainmentSummary summary;
+  std::vector<double> c68s;
+  std::vector<double> c95s;
+  double sum_rings_total = 0.0;
+  double sum_rings_grb = 0.0;
+  double sum_rings_bkg = 0.0;
+  std::size_t counted = 0;
+
+  for (std::size_t meta = 0; meta < config.meta_trials; ++meta) {
+    std::vector<double> errors(config.trials);
+    // Each trial gets its own deterministic stream so results do not
+    // depend on scheduling.
+    const auto n = static_cast<std::ptrdiff_t>(config.trials);
+    std::vector<TrialOutcome> outcomes(config.trials);
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::ptrdiff_t t = 0; t < n; ++t) {
+      core::Rng rng(config.seed + 1000003ULL * meta +
+                    static_cast<std::uint64_t>(t));
+      outcomes[static_cast<std::size_t>(t)] = runner.run(variant, rng);
+    }
+    for (std::size_t t = 0; t < config.trials; ++t) {
+      const TrialOutcome& o = outcomes[t];
+      errors[t] = o.valid ? o.error_deg : 180.0;
+      if (!o.valid) ++summary.failed_trials;
+      sum_rings_total += static_cast<double>(o.rings_total);
+      sum_rings_grb += static_cast<double>(o.rings_grb);
+      sum_rings_bkg += static_cast<double>(o.rings_background);
+      ++counted;
+    }
+    const core::Containment c = core::containment_68_95(std::move(errors));
+    summary.per_meta.push_back(c);
+    c68s.push_back(c.c68);
+    c95s.push_back(c.c95);
+  }
+
+  summary.c68 = core::mean_std(c68s);
+  summary.c95 = core::mean_std(c95s);
+  if (counted > 0) {
+    summary.mean_rings_total = sum_rings_total / static_cast<double>(counted);
+    summary.mean_rings_grb = sum_rings_grb / static_cast<double>(counted);
+    summary.mean_rings_background =
+        sum_rings_bkg / static_cast<double>(counted);
+  }
+  return summary;
+}
+
+}  // namespace adapt::eval

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file containment.hpp
+/// Containment-statistics harness: N localization trials per
+/// meta-trial, M meta-trials for error bars — the measurement protocol
+/// behind every accuracy figure in the paper (Sec. II: "68% and 95%
+/// containment ... error bars are over ten meta-trials").
+
+#include <vector>
+
+#include "core/stats.hpp"
+#include "eval/trial.hpp"
+
+namespace adapt::eval {
+
+struct ContainmentConfig {
+  std::size_t trials = 100;       ///< Paper: 1000.
+  std::size_t meta_trials = 3;    ///< Paper: 10.
+  std::uint64_t seed = 0x5eed;    ///< Base seed; each trial derives an
+                                  ///< independent stream.
+};
+
+/// Containment with meta-trial error bars.
+struct ContainmentSummary {
+  core::MeanStd c68;  ///< Mean/σ of the 68% containment [deg].
+  core::MeanStd c95;  ///< Mean/σ of the 95% containment [deg].
+  std::vector<core::Containment> per_meta;
+  std::size_t failed_trials = 0;  ///< Trials with no valid estimate;
+                                  ///< they count as 180 deg error.
+  double mean_rings_total = 0.0;
+  double mean_rings_grb = 0.0;
+  double mean_rings_background = 0.0;
+};
+
+/// Run the protocol for one pipeline variant.
+ContainmentSummary measure_containment(const TrialRunner& runner,
+                                       const PipelineVariant& variant,
+                                       const ContainmentConfig& config);
+
+}  // namespace adapt::eval

@@ -1,0 +1,112 @@
+#include "eval/dataset_gen.hpp"
+
+#include "core/require.hpp"
+#include "pipeline/features.hpp"
+
+namespace adapt::eval {
+
+std::size_t GeneratedRings::count_background() const {
+  std::size_t n = 0;
+  for (const auto& r : rings)
+    if (r.origin == detector::Origin::kBackground) ++n;
+  return n;
+}
+
+GeneratedRings generate_training_rings(const TrialSetup& setup,
+                                       const DatasetGenConfig& config) {
+  ADAPT_REQUIRE(!config.polar_angles_deg.empty(), "no polar angles");
+  ADAPT_REQUIRE(config.rings_per_angle >= 1, "ring quota must be >= 1");
+
+  GeneratedRings out;
+  out.rings.reserve(config.polar_angles_deg.size() * config.rings_per_angle);
+
+  core::Rng master(config.seed);
+  for (const double angle : config.polar_angles_deg) {
+    TrialSetup angle_setup = setup;
+    angle_setup.grb.polar_deg = angle;
+    const TrialRunner runner(angle_setup);
+    core::Rng rng = master.split();
+
+    std::size_t collected = 0;
+    // Cap the number of windows so a mis-calibrated configuration
+    // cannot loop forever (e.g. zero-fluence bursts).
+    const std::size_t max_windows = 64 + 4 * config.rings_per_angle;
+    for (std::size_t window = 0;
+         collected < config.rings_per_angle && window < max_windows;
+         ++window) {
+      core::Vec3 true_source;
+      std::vector<recon::ComptonRing> rings =
+          runner.reconstruct_window(rng, &true_source);
+      // Shuffle within the window: reconstruction emits GRB rings
+      // before background rings, and the quota may truncate the last
+      // window — collecting in order would bias the class mix.
+      for (std::size_t i = rings.size(); i > 1; --i) {
+        const std::size_t j =
+            static_cast<std::size_t>(rng.uniform_index(i));
+        std::swap(rings[i - 1], rings[j]);
+      }
+      for (auto& ring : rings) {
+        out.rings.push_back(std::move(ring));
+        out.polar_degs.push_back(angle);
+        out.true_sources.push_back(true_source);
+        ++collected;
+        if (collected >= config.rings_per_angle) break;
+      }
+    }
+    ADAPT_REQUIRE(collected > 0,
+                  "no rings collected — instrument configuration yields no "
+                  "reconstructable events");
+  }
+  return out;
+}
+
+nn::Dataset make_background_dataset(const GeneratedRings& data,
+                                    bool include_polar) {
+  ADAPT_REQUIRE(data.rings.size() == data.polar_degs.size(),
+                "generated rings inconsistent");
+  nn::Dataset ds;
+  if (include_polar) {
+    ds.x = pipeline::feature_matrix(
+        data.rings, std::span<const double>(data.polar_degs));
+  } else {
+    ds.x = pipeline::feature_matrix(data.rings, false, 0.0);
+  }
+  ds.y.reserve(data.rings.size());
+  for (const auto& ring : data.rings)
+    ds.y.push_back(pipeline::background_label(ring));
+  return ds;
+}
+
+nn::Dataset make_deta_dataset(const GeneratedRings& data, bool include_polar,
+                              double floor, double cap) {
+  ADAPT_REQUIRE(data.rings.size() == data.true_sources.size(),
+                "generated rings inconsistent");
+  // GRB rings only.
+  std::vector<recon::ComptonRing> grb_rings;
+  std::vector<double> polars;
+  std::vector<float> targets;
+  for (std::size_t i = 0; i < data.rings.size(); ++i) {
+    if (data.rings[i].origin != detector::Origin::kGrb) continue;
+    grb_rings.push_back(data.rings[i]);
+    polars.push_back(data.polar_degs[i]);
+    targets.push_back(pipeline::deta_target(data.rings[i],
+                                            data.true_sources[i], floor, cap));
+  }
+  ADAPT_REQUIRE(!grb_rings.empty(), "no GRB rings for dEta training");
+
+  nn::Dataset ds;
+  if (include_polar) {
+    ds.x = pipeline::feature_matrix(grb_rings,
+                                    std::span<const double>(polars));
+  } else {
+    ds.x = pipeline::feature_matrix(grb_rings, false, 0.0);
+  }
+  ds.y = std::move(targets);
+  return ds;
+}
+
+std::vector<double> background_dataset_polars(const GeneratedRings& data) {
+  return data.polar_degs;
+}
+
+}  // namespace adapt::eval

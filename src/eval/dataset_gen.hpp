@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file dataset_gen.hpp
+/// Training-set generation (paper Sec. III, Model Training).
+///
+/// The paper simulates GRB photons evenly over nine polar angles
+/// (0..80 degrees in 10-degree steps) plus background particles, runs
+/// them through the detector model and reconstruction, and keeps only
+/// rings the pre-localization filters accept.  We reproduce that
+/// protocol at configurable scale: the result is a set of truth-tagged
+/// Compton rings, each with the polar angle of the burst it was
+/// simulated with (the training-time stand-in for the pipeline's
+/// runtime polar guess) and the burst's true source direction (for the
+/// dEta regression target).
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/vec3.hpp"
+#include "eval/trial.hpp"
+#include "nn/data.hpp"
+#include "recon/ring.hpp"
+
+namespace adapt::eval {
+
+struct GeneratedRings {
+  std::vector<recon::ComptonRing> rings;
+  std::vector<double> polar_degs;      ///< Per ring: its burst's angle.
+  std::vector<core::Vec3> true_sources;  ///< Per ring: burst direction.
+
+  std::size_t size() const { return rings.size(); }
+  std::size_t count_background() const;
+};
+
+struct DatasetGenConfig {
+  std::vector<double> polar_angles_deg = {0,  10, 20, 30, 40,
+                                          50, 60, 70, 80};
+  std::size_t rings_per_angle = 5000;  ///< Collected per polar angle.
+                                       ///< (Paper scale is ~110k; see
+                                       ///< ADAPT_TRAIN_RINGS.)
+  std::uint64_t seed = 0xda7a;
+};
+
+/// Simulate burst windows (GRB + background) at each polar angle until
+/// the per-angle ring quota is met.
+GeneratedRings generate_training_rings(const TrialSetup& setup,
+                                       const DatasetGenConfig& config);
+
+/// Assemble supervised datasets from generated rings.
+///   * Background classification: all rings, label 1 = background.
+///   * dEta regression: GRB rings only (the paper removes background
+///     rings from the dEta training set), target ln(true eta error).
+nn::Dataset make_background_dataset(const GeneratedRings& data,
+                                    bool include_polar);
+nn::Dataset make_deta_dataset(const GeneratedRings& data, bool include_polar,
+                              double floor = 1e-4, double cap = 2.0);
+
+/// Per-ring polar angles subset helper used by threshold fitting: the
+/// polar guesses of the rows in a background dataset (same order as
+/// make_background_dataset emits them).
+std::vector<double> background_dataset_polars(const GeneratedRings& data);
+
+}  // namespace adapt::eval

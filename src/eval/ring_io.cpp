@@ -1,0 +1,133 @@
+#include "eval/ring_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace adapt::eval {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'D', 'R', 'G'};
+constexpr std::uint32_t kVersion = 1;
+
+/// Fixed-size on-disk ring record.  Plain doubles, no padding games:
+/// the struct is only used through explicit field copies.
+struct RingRecord {
+  double axis[3];
+  double eta;
+  double d_eta;
+  double e_total;
+  double sigma_e_total;
+  double hit1_pos[3];
+  double hit1_energy;
+  double hit1_sigma_pos[3];
+  double hit1_sigma_energy;
+  double hit2_pos[3];
+  double hit2_energy;
+  double hit2_sigma_pos[3];
+  double hit2_sigma_energy;
+  double order_chi2;
+  double true_direction[3];
+  double polar_deg;
+  double true_source[3];
+  std::int32_t n_hits;
+  std::int32_t origin;
+};
+
+void pack_vec(double out[3], const core::Vec3& v) {
+  out[0] = v.x;
+  out[1] = v.y;
+  out[2] = v.z;
+}
+
+core::Vec3 unpack_vec(const double in[3]) { return {in[0], in[1], in[2]}; }
+
+}  // namespace
+
+bool save_rings(const GeneratedRings& rings, const std::string& path) {
+  if (rings.polar_degs.size() != rings.size() ||
+      rings.true_sources.size() != rings.size()) {
+    return false;
+  }
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os.write(kMagic, sizeof(kMagic));
+  os.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  const std::uint64_t count = rings.size();
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    const recon::ComptonRing& r = rings.rings[i];
+    RingRecord rec{};
+    pack_vec(rec.axis, r.axis);
+    rec.eta = r.eta;
+    rec.d_eta = r.d_eta;
+    rec.e_total = r.e_total;
+    rec.sigma_e_total = r.sigma_e_total;
+    pack_vec(rec.hit1_pos, r.hit1.position);
+    rec.hit1_energy = r.hit1.energy;
+    pack_vec(rec.hit1_sigma_pos, r.hit1.sigma_position);
+    rec.hit1_sigma_energy = r.hit1.sigma_energy;
+    pack_vec(rec.hit2_pos, r.hit2.position);
+    rec.hit2_energy = r.hit2.energy;
+    pack_vec(rec.hit2_sigma_pos, r.hit2.sigma_position);
+    rec.hit2_sigma_energy = r.hit2.sigma_energy;
+    rec.order_chi2 = r.order_chi2;
+    pack_vec(rec.true_direction, r.true_direction);
+    rec.polar_deg = rings.polar_degs[i];
+    pack_vec(rec.true_source, rings.true_sources[i]);
+    rec.n_hits = r.n_hits;
+    rec.origin = r.origin == detector::Origin::kBackground ? 1 : 0;
+    os.write(reinterpret_cast<const char*>(&rec), sizeof(rec));
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<GeneratedRings> load_rings(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    return std::nullopt;
+  std::uint32_t version = 0;
+  is.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!is || version != kVersion) return std::nullopt;
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!is || count > (1ULL << 32)) return std::nullopt;
+
+  GeneratedRings out;
+  out.rings.reserve(count);
+  out.polar_degs.reserve(count);
+  out.true_sources.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    RingRecord rec;
+    is.read(reinterpret_cast<char*>(&rec), sizeof(rec));
+    if (!is) return std::nullopt;
+    recon::ComptonRing r;
+    r.axis = unpack_vec(rec.axis);
+    r.eta = rec.eta;
+    r.d_eta = rec.d_eta;
+    r.e_total = rec.e_total;
+    r.sigma_e_total = rec.sigma_e_total;
+    r.hit1 = recon::RingHit{unpack_vec(rec.hit1_pos), rec.hit1_energy,
+                            unpack_vec(rec.hit1_sigma_pos),
+                            rec.hit1_sigma_energy};
+    r.hit2 = recon::RingHit{unpack_vec(rec.hit2_pos), rec.hit2_energy,
+                            unpack_vec(rec.hit2_sigma_pos),
+                            rec.hit2_sigma_energy};
+    r.order_chi2 = rec.order_chi2;
+    r.true_direction = unpack_vec(rec.true_direction);
+    r.n_hits = rec.n_hits;
+    r.origin = rec.origin != 0 ? detector::Origin::kBackground
+                               : detector::Origin::kGrb;
+    out.rings.push_back(r);
+    out.polar_degs.push_back(rec.polar_deg);
+    out.true_sources.push_back(unpack_vec(rec.true_source));
+  }
+  return out;
+}
+
+}  // namespace adapt::eval

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file ring_io.hpp
+/// Binary (de)serialization of truth-tagged Compton-ring datasets.
+///
+/// Generating training rings costs a full detector simulation pass;
+/// the model provider caches the generated set on disk so retraining
+/// with new hyperparameters (the common iteration) skips the
+/// simulation.  The format is also the interchange surface for
+/// offline analysis (adaptctl can dump it; any tool can mmap it).
+///
+/// Format (little-endian): magic "ADRG", version u32, count u64, then
+/// per ring a fixed-size record, followed by the aligned polar/true-
+/// source arrays.
+
+#include <optional>
+#include <string>
+
+#include "eval/dataset_gen.hpp"
+
+namespace adapt::eval {
+
+/// Write a generated ring set.  Returns false on I/O failure.
+bool save_rings(const GeneratedRings& rings, const std::string& path);
+
+/// Read a ring set back.  Returns nullopt on missing/corrupt file.
+std::optional<GeneratedRings> load_rings(const std::string& path);
+
+}  // namespace adapt::eval

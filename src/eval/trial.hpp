@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file trial.hpp
+/// One localization trial = one simulated burst window pushed through
+/// the full pipeline (simulate -> read out -> reconstruct -> localize)
+/// with the angular error against ground truth as the outcome.  Every
+/// localization figure in the paper is containment statistics over
+/// many such trials.
+///
+/// The variant flags cover every pipeline configuration the paper
+/// evaluates, including the Fig. 4 oracles (perfect background
+/// removal; true d_eta values), which only a simulation can provide.
+
+#include <optional>
+
+#include "core/rng.hpp"
+#include "detector/geometry.hpp"
+#include "detector/material.hpp"
+#include "detector/readout.hpp"
+#include "pipeline/ml_localizer.hpp"
+#include "recon/event_reconstruction.hpp"
+#include "sim/exposure.hpp"
+
+namespace adapt::eval {
+
+/// Which pipeline to run on the reconstructed rings.
+struct PipelineVariant {
+  pipeline::BackgroundNet* background_net = nullptr;  ///< Null = no ML
+                                                      ///< rejection.
+  pipeline::DEtaNet* deta_net = nullptr;  ///< Null = propagated d_eta.
+  bool oracle_remove_background = false;  ///< Fig. 4 middle bars.
+  bool oracle_true_deta = false;          ///< Fig. 4 right bars.
+
+  /// d_eta bounds applied when oracle_true_deta substitutes truth.
+  double deta_floor = 1e-4;
+  double deta_cap = 2.0;
+};
+
+/// The full instrument + workload configuration of a trial.
+struct TrialSetup {
+  detector::GeometryConfig geometry;
+  detector::Material material = detector::Material::csi();
+  detector::ReadoutConfig readout;   ///< perturbation_percent => Fig. 10.
+  recon::ReconstructionConfig reconstruction;
+  pipeline::MlLocalizerConfig ml_localizer;
+  sim::GrbConfig grb;
+  sim::BackgroundConfig background;
+  sim::PileupConfig pileup;        ///< Detection-latency pileup (the
+                                   ///< paper's future-work extension).
+  bool include_background = true;  ///< False for GRB-only studies.
+};
+
+struct TrialOutcome {
+  bool valid = false;
+  double error_deg = 0.0;      ///< Angle between truth and estimate.
+  std::size_t rings_total = 0;
+  std::size_t rings_grb = 0;
+  std::size_t rings_background = 0;
+  std::size_t rings_kept = 0;  ///< After ML/oracle rejection.
+  int background_iterations = 0;
+  pipeline::StageTimings timings;
+};
+
+/// Runs trials against a fixed instrument configuration.  The heavy
+/// per-trial state (geometry, transport, reconstructor) is built once.
+class TrialRunner {
+ public:
+  explicit TrialRunner(const TrialSetup& setup);
+
+  /// One full trial.  `rng` drives everything stochastic, so a fixed
+  /// seed reproduces the trial exactly.
+  TrialOutcome run(const PipelineVariant& variant, core::Rng& rng) const;
+
+  /// Simulate + reconstruct only; returns the rings with truth tags
+  /// (used by dataset generation and by diagnostics).
+  std::vector<recon::ComptonRing> reconstruct_window(
+      core::Rng& rng, core::Vec3* true_source = nullptr) const;
+
+  const TrialSetup& setup() const { return setup_; }
+
+ private:
+  TrialSetup setup_;
+  detector::Geometry geometry_;
+  sim::ExposureSimulator simulator_;
+  recon::EventReconstructor reconstructor_;
+  pipeline::MlLocalizer ml_localizer_;
+};
+
+}  // namespace adapt::eval

@@ -1,0 +1,172 @@
+#include "fpga/hls_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.hpp"
+
+namespace adapt::fpga {
+
+const char* to_string(DataType t) {
+  return t == DataType::kInt8 ? "INT8" : "FP32";
+}
+
+std::size_t KernelLayerSpec::weight_bytes(DataType t) const {
+  const std::size_t per_value = t == DataType::kInt8 ? 1 : 4;
+  return macs() * per_value;
+}
+
+DataTypeModel DataTypeModel::int8() {
+  DataTypeModel m;
+  // Two int8 MACs pack into one DSP48; the sustained rate and unit
+  // costs below reproduce the paper's Vitis HLS 2021.1 synthesis of
+  // the background network (Table III).
+  m.sustained_macs_per_cycle = 48.0;
+  m.dsp_per_mac_unit = 0.67;
+  m.simd = 16;
+  m.ff_per_mac_unit = 54;
+  m.lut_per_mac_unit = 113;
+  m.bytes_per_value = 1;
+  m.bank_replication = 1;
+  return m;
+}
+
+DataTypeModel DataTypeModel::fp32() {
+  DataTypeModel m;
+  // FP32 multiply-add consumes several DSPs and deep adder pipelines;
+  // sustained throughput is ~1.75x lower than INT8.
+  m.sustained_macs_per_cycle = 27.3;
+  m.dsp_per_mac_unit = 4.16;
+  m.simd = 4;
+  m.ff_per_mac_unit = 350;
+  m.lut_per_mac_unit = 427;
+  m.bytes_per_value = 4;
+  m.bank_replication = 2;
+  return m;
+}
+
+DataTypeModel DataTypeModel::narrow_int(int bits) {
+  ADAPT_REQUIRE(bits >= 2 && bits <= 8, "narrow int bits in [2, 8]");
+  DataTypeModel m = int8();
+  const double pack = 8.0 / static_cast<double>(bits);
+  // DSP48 packing improves with narrower operands; arithmetic cost and
+  // storage shrink proportionally, logic cost roughly linearly.
+  m.sustained_macs_per_cycle *= pack;
+  m.dsp_per_mac_unit /= pack;
+  m.ff_per_mac_unit = static_cast<std::size_t>(
+      static_cast<double>(m.ff_per_mac_unit) / pack);
+  m.lut_per_mac_unit = static_cast<std::size_t>(
+      static_cast<double>(m.lut_per_mac_unit) / pack);
+  m.bytes_per_value = static_cast<double>(bits) / 8.0;
+  return m;
+}
+
+std::size_t KernelReport::batch_latency_cycles(std::size_t n) const {
+  if (n == 0) return 0;
+  return n * ii_cycles + (latency_cycles - ii_cycles);
+}
+
+double KernelReport::batch_latency_ms(std::size_t n) const {
+  return static_cast<double>(batch_latency_cycles(n)) * clock_ns * 1e-6;
+}
+
+double KernelReport::throughput_per_second() const {
+  ADAPT_REQUIRE(ii_cycles > 0, "kernel has zero II");
+  return 1e9 / (static_cast<double>(ii_cycles) * clock_ns);
+}
+
+namespace {
+
+/// Pipeline fill depth of one stage: the reduction-tree depth over the
+/// input fan-in plus the per-datatype operator latency.
+std::size_t stage_depth(const KernelLayerSpec& layer, DataType t) {
+  const double fan_in = std::max<std::size_t>(layer.in_features, 2);
+  const auto tree = static_cast<std::size_t>(std::ceil(std::log2(fan_in)));
+  // FP32 adders are ~4-cycle pipelined cores; int adds are 1 cycle.
+  return t == DataType::kInt8 ? tree + 6 : tree * 4 + 10;
+}
+
+}  // namespace
+
+KernelReport synthesize(const std::vector<KernelLayerSpec>& layers,
+                        DataType data_type, const HlsConfig& config,
+                        const DataTypeModel* model_override) {
+  ADAPT_REQUIRE(!layers.empty(), "kernel needs at least one layer");
+  const DataTypeModel model =
+      model_override ? *model_override
+                     : (data_type == DataType::kInt8 ? DataTypeModel::int8()
+                                                     : DataTypeModel::fp32());
+  ADAPT_REQUIRE(model.sustained_macs_per_cycle > 0.0,
+                "model throughput must be positive");
+
+  KernelReport report;
+  report.data_type = data_type;
+  report.clock_ns = config.clock_ns;
+  report.stages.reserve(layers.size());
+
+  std::size_t max_stage_ii = 0;
+  std::size_t total_depth = 0;
+  for (const KernelLayerSpec& layer : layers) {
+    ADAPT_REQUIRE(layer.in_features > 0 && layer.out_features > 0,
+                  "layer dims must be positive");
+    StageReport stage;
+    stage.ii_cycles = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(layer.macs()) /
+                  model.sustained_macs_per_cycle));
+    stage.depth_cycles = stage_depth(layer, data_type);
+
+    // Instantiated MAC hardware: every output channel gets a SIMD-wide
+    // dot-product engine (the "parallelize computational logic to the
+    // extent possible" optimization the paper applies).
+    stage.mac_units =
+        layer.out_features * std::min(model.simd, layer.in_features);
+    stage.dsp = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(stage.mac_units) *
+                  model.dsp_per_mac_unit));
+
+    const auto bytes = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(layer.macs()) * model.bytes_per_value) *
+        static_cast<double>(model.bank_replication));
+    stage.bram = bytes <= config.lutram_threshold_bytes
+                     ? 0
+                     : (bytes + config.bram_bytes - 1) / config.bram_bytes;
+
+    max_stage_ii = std::max(max_stage_ii, stage.ii_cycles);
+    total_depth += stage.depth_cycles;
+    report.dsp += stage.dsp;
+    report.bram += stage.bram;
+    report.ff += stage.mac_units * model.ff_per_mac_unit;
+    report.lut += stage.mac_units * model.lut_per_mac_unit;
+    report.stages.push_back(stage);
+  }
+
+  report.ff += config.base_ff;
+  report.lut += config.base_lut;
+  report.ii_cycles = max_stage_ii + config.control_overhead_cycles;
+  // First-result latency: the bottleneck interval, every stage's fill
+  // depth, and the AXI transfer beats (which scale with value width).
+  report.latency_cycles =
+      report.ii_cycles + total_depth +
+      static_cast<std::size_t>(std::ceil(
+          static_cast<double>(config.io_beats) * model.bytes_per_value));
+  return report;
+}
+
+std::vector<KernelLayerSpec> kernel_spec_from(
+    const std::vector<quant::FusedLayer>& fused) {
+  std::vector<KernelLayerSpec> out;
+  out.reserve(fused.size());
+  for (const auto& f : fused)
+    out.push_back(KernelLayerSpec{f.in_features(), f.out_features(), f.relu});
+  return out;
+}
+
+std::vector<KernelLayerSpec> kernel_spec_from(const quant::QuantizedMlp& mlp) {
+  std::vector<KernelLayerSpec> out;
+  out.reserve(mlp.layers().size());
+  for (const auto& l : mlp.layers())
+    out.push_back(KernelLayerSpec{l.in_features, l.out_features, l.relu});
+  return out;
+}
+
+}  // namespace adapt::fpga

@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file hls_model.hpp
+/// Analytic model of the paper's HLS FPGA kernel (Sec. V, Table III).
+///
+/// The paper synthesizes the (layer-swapped, BN-fused, sigmoid-free)
+/// background network with Vitis HLS 2021.1 as a deep dataflow
+/// pipeline and reports latency L, initiation interval II, and
+/// resource usage for INT8 and FP32 variants.  We have no FPGA
+/// toolchain in this environment, so this module substitutes an
+/// analytic dataflow model with the same structure real HLS kernels
+/// obey:
+///
+///  * each fused layer is a dataflow stage; the kernel II is the
+///    maximum stage II plus loop-control overhead;
+///  * a stage's II is its MAC count divided by the sustained
+///    MACs/cycle the datatype's arithmetic supports
+///    (INT8 DSP packing sustains ~1.75x the FP32 rate — the paper's
+///    observed throughput ratio);
+///  * pipelined batch latency follows the paper's law
+///    n * II + (L - II)  [37];
+///  * weights below a LUTRAM threshold live in distributed RAM, the
+///    rest in BRAM18 blocks (FP32 additionally replicates banks for
+///    port width);
+///  * DSP/FF/LUT scale with the instantiated MAC units (output
+///    channels x SIMD factor) at per-datatype unit costs.
+///
+/// The unit-cost constants are calibrated against the paper's reported
+/// synthesis (Table III); the *model structure* is what carries the
+/// INT8-vs-FP32 comparison, so changing network shape or clock gives
+/// sensible extrapolations.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "quant/fuse.hpp"
+#include "quant/quantized_mlp.hpp"
+
+namespace adapt::fpga {
+
+enum class DataType { kInt8, kFp32 };
+
+const char* to_string(DataType t);
+
+/// One fully connected stage of the kernel.
+struct KernelLayerSpec {
+  std::size_t in_features = 0;
+  std::size_t out_features = 0;
+  bool relu = false;
+
+  std::size_t macs() const { return in_features * out_features; }
+  std::size_t weight_bytes(DataType t) const;
+};
+
+/// Per-datatype synthesis characteristics.  Defaults are calibrated to
+/// Vitis HLS 2021.1 synthesis of the background network as reported in
+/// the paper's Table III.
+struct DataTypeModel {
+  double sustained_macs_per_cycle = 0.0;  ///< Pipeline throughput cap.
+  double dsp_per_mac_unit = 0.0;  ///< DSP slices per instantiated MAC.
+  std::size_t simd = 0;           ///< Input-side unroll per channel.
+  std::size_t ff_per_mac_unit = 0;
+  std::size_t lut_per_mac_unit = 0;
+  double bytes_per_value = 0.0;   ///< Fractional for sub-byte widths.
+  std::size_t bank_replication = 1;  ///< BRAM banks per logical array.
+
+  static DataTypeModel int8();
+  static DataTypeModel fp32();
+
+  /// Extrapolated model for narrow integer weights (paper future work:
+  /// broader quantization strategies).  DSP packing and storage scale
+  /// with the bit width; sustained throughput improves with packing.
+  static DataTypeModel narrow_int(int bits);
+};
+
+struct HlsConfig {
+  double clock_ns = 10.0;  ///< Conservative 100 MHz (paper Sec. V).
+  std::size_t control_overhead_cycles = 8;  ///< Loop entry/flush.
+  std::size_t io_beats = 140;  ///< AXI transfer beats per inference,
+                               ///< scaled by bytes_per_value.
+  std::size_t lutram_threshold_bytes = 8192;  ///< Arrays at or below
+                                              ///< this live in LUTRAM.
+  std::size_t bram_bytes = 2304;  ///< One BRAM18 (18 kbit).
+  std::size_t base_ff = 22000;    ///< Interface/control flip-flops.
+  std::size_t base_lut = 50000;   ///< Interface/control LUTs.
+};
+
+struct StageReport {
+  std::size_t ii_cycles = 0;
+  std::size_t depth_cycles = 0;  ///< Pipeline fill depth.
+  std::size_t dsp = 0;
+  std::size_t bram = 0;  ///< 0 when the stage fits in LUTRAM.
+  std::size_t mac_units = 0;
+};
+
+struct KernelReport {
+  DataType data_type = DataType::kFp32;
+  std::size_t latency_cycles = 0;
+  std::size_t ii_cycles = 0;
+  std::size_t bram = 0;
+  std::size_t dsp = 0;
+  std::size_t ff = 0;
+  std::size_t lut = 0;
+  double clock_ns = 10.0;
+  std::vector<StageReport> stages;
+
+  /// Total latency for n pipelined inputs: n * II + (L - II) cycles.
+  std::size_t batch_latency_cycles(std::size_t n) const;
+  double batch_latency_ms(std::size_t n) const;
+
+  /// Sustained inferences per second at the configured clock.
+  double throughput_per_second() const;
+};
+
+/// Synthesize the analytic kernel for a stack of fused layers.
+KernelReport synthesize(const std::vector<KernelLayerSpec>& layers,
+                        DataType data_type, const HlsConfig& config = {},
+                        const DataTypeModel* model_override = nullptr);
+
+/// Convenience adapters from the quantization module's layer forms.
+std::vector<KernelLayerSpec> kernel_spec_from(
+    const std::vector<quant::FusedLayer>& fused);
+std::vector<KernelLayerSpec> kernel_spec_from(const quant::QuantizedMlp& mlp);
+
+}  // namespace adapt::fpga

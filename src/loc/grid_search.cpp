@@ -1,0 +1,89 @@
+#include "loc/grid_search.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/require.hpp"
+#include "core/units.hpp"
+#include "loc/likelihood.hpp"
+
+namespace adapt::loc {
+
+namespace {
+
+using core::Vec3;
+
+/// Scan a spherical cap (or the whole upper sky) at a given pitch and
+/// return the best-scoring direction.
+Vec3 scan(std::span<const recon::ComptonRing> rings, const Vec3& center,
+          double radius_rad, double pitch_rad, bool upper_only,
+          double truncation) {
+  double best_nll = std::numeric_limits<double>::infinity();
+  Vec3 best = center;
+  const int n_radial = std::max(1, static_cast<int>(radius_rad / pitch_rad));
+  for (int ir = 0; ir <= n_radial; ++ir) {
+    const double theta = radius_rad * static_cast<double>(ir) /
+                         static_cast<double>(n_radial);
+    // Azimuthal steps sized to keep arc spacing ~ pitch.
+    const int n_az = std::max(
+        1, static_cast<int>(std::ceil(core::kTwoPi * std::sin(theta) /
+                                      pitch_rad)));
+    for (int ia = 0; ia < n_az; ++ia) {
+      const double phi = core::kTwoPi * static_cast<double>(ia) /
+                         static_cast<double>(n_az);
+      const Vec3 dir = ir == 0
+                           ? center
+                           : core::rotate_about_axis(center, theta, phi);
+      if (upper_only && dir.z < 0.0) continue;
+      const double nll =
+          truncated_neg_log_likelihood(rings, dir, truncation);
+      if (nll < best_nll) {
+        best_nll = nll;
+        best = dir;
+      }
+    }
+    if (ir == 0 && n_radial == 0) break;
+  }
+  return best;
+}
+
+}  // namespace
+
+LocalizationResult grid_search_localize(
+    std::span<const recon::ComptonRing> rings,
+    const GridSearchConfig& config) {
+  ADAPT_REQUIRE(config.coarse_resolution_deg > 0.0 &&
+                    config.fine_resolution_deg > 0.0,
+                "grid resolutions must be positive");
+  LocalizationResult result;
+  result.rings_total = rings.size();
+  if (rings.size() < 2) return result;
+
+  // Coarse: the whole visible sky, scanned as a 90-degree cap around
+  // the zenith (or the full sphere when the horizon constraint is
+  // off).
+  const bool upper = config.restrict_to_upper_sky;
+  const Vec3 coarse = scan(
+      rings, Vec3{0, 0, 1}, upper ? core::kPi / 2.0 : core::kPi,
+      core::deg_to_rad(config.coarse_resolution_deg), upper,
+      config.truncation_sigma);
+
+  // Fine: re-scan the winning neighbourhood.
+  const Vec3 fine = scan(rings, coarse,
+                         core::deg_to_rad(config.fine_radius_deg),
+                         core::deg_to_rad(config.fine_resolution_deg), upper,
+                         config.truncation_sigma);
+
+  // Polish with the robust least-squares refinement.
+  const Localizer localizer{LocalizerConfig{{}, config.refine}};
+  LocalizationResult refined = localizer.refine(rings, fine);
+  if (!refined.valid) {
+    result.direction = fine;
+    result.valid = true;
+    result.rings_used = rings.size();
+    return result;
+  }
+  return refined;
+}
+
+}  // namespace adapt::loc

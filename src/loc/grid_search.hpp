@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file grid_search.hpp
+/// Brute-force reference localizer: exhaustively evaluate the
+/// truncated joint likelihood over a fine directional grid, then polish
+/// the winning cell with the constrained least-squares refinement.
+///
+/// Orders of magnitude slower than the production approximation +
+/// refinement pipeline, but free of sampling and multi-start effects —
+/// the gold standard the fast localizer is validated against (see
+/// tests/loc and bench_ablation_localizer), and a debugging fallback
+/// when a burst's geometry defeats the fast path.
+
+#include <span>
+
+#include "loc/localizer.hpp"
+#include "recon/ring.hpp"
+
+namespace adapt::loc {
+
+struct GridSearchConfig {
+  double coarse_resolution_deg = 2.0;  ///< Global scan pitch.
+  double fine_resolution_deg = 0.25;   ///< Local re-scan pitch.
+  double fine_radius_deg = 4.0;        ///< Re-scan radius around the
+                                       ///< coarse winner.
+  double truncation_sigma = 3.0;
+  bool restrict_to_upper_sky = true;
+  RefineConfig refine;  ///< Final least-squares polish.
+};
+
+/// Exhaustive maximum-likelihood localization.  Returns an invalid
+/// result only for degenerate inputs (< 2 rings).
+LocalizationResult grid_search_localize(
+    std::span<const recon::ComptonRing> rings,
+    const GridSearchConfig& config = {});
+
+}  // namespace adapt::loc

@@ -1,0 +1,79 @@
+#include "loc/least_squares.hpp"
+
+#include <cmath>
+
+#include "core/mat3.hpp"
+#include "core/require.hpp"
+#include "loc/likelihood.hpp"
+
+namespace adapt::loc {
+
+using core::Mat3;
+using core::Vec3;
+
+std::optional<Vec3> fit_direction(std::span<const recon::ComptonRing> rings,
+                                  std::span<const std::uint8_t> mask,
+                                  const LeastSquaresConfig& config,
+                                  std::optional<Vec3> initial) {
+  ADAPT_REQUIRE(mask.empty() || mask.size() == rings.size(),
+                "mask size must match ring count");
+
+  // Assemble the normal equations once; both the seed and every
+  // Gauss-Newton step reuse them.
+  Mat3 a = Mat3::zero();
+  Vec3 b{};
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    if (!mask.empty() && !mask[i]) continue;
+    const auto& ring = rings[i];
+    const double w = ring_weight(ring);
+    a += Mat3::outer(ring.axis, ring.axis) * w;
+    b += ring.axis * (w * ring.eta);
+    ++used;
+  }
+  if (used < 2) return std::nullopt;
+
+  // Seed: normalized unconstrained minimizer (or the caller's guess).
+  Vec3 s;
+  if (initial) {
+    s = initial->normalized();
+  } else {
+    Vec3 x;
+    double damping = config.damping;
+    bool ok = core::solve_damped(a, b, damping, x);
+    while (!ok && damping < 1.0) {
+      damping *= 100.0;
+      ok = core::solve_damped(a, b, damping, x);
+    }
+    if (!ok || x.norm() < 1e-12) return std::nullopt;
+    s = x.normalized();
+  }
+
+  // Tangent-plane Gauss-Newton.  For F(s) = sum w (c.s - eta)^2 the
+  // gradient restricted to the sphere uses the projected axis
+  // p_i = c_i - (c_i.s) s; the Gauss-Newton Hessian is sum w p p^T.
+  for (int it = 0; it < config.max_iterations; ++it) {
+    Mat3 h = Mat3::zero();
+    Vec3 g{};
+    for (std::size_t i = 0; i < rings.size(); ++i) {
+      if (!mask.empty() && !mask[i]) continue;
+      const auto& ring = rings[i];
+      const double w = ring_weight(ring);
+      const double cs = ring.axis.dot(s);
+      const Vec3 p = ring.axis - s * cs;
+      h += Mat3::outer(p, p) * w;
+      g += p * (w * (cs - ring.eta));
+    }
+    Vec3 delta;
+    // The Hessian is rank <= 2 (tangent plane); damping along s makes
+    // the 3x3 solve well posed without biasing the tangent step.
+    if (!core::solve_damped(h, -1.0 * g, config.damping + 1e-12, delta))
+      return std::nullopt;
+    delta -= s * delta.dot(s);  // Stay in the tangent plane.
+    s = (s + delta).normalized();
+    if (delta.norm() < config.step_tolerance) break;
+  }
+  return s;
+}
+
+}  // namespace adapt::loc

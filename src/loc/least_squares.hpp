@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file least_squares.hpp
+/// The "almost-linear least-squares" core of localization (paper
+/// Sec. II-B and ref [4]).
+///
+/// Maximizing the joint ring likelihood over unit vectors s minimizes
+///
+///   F(s) = sum_i w_i (c_i . s - eta_i)^2,   w_i = 1 / d_eta_i^2,
+///
+/// subject to |s| = 1.  The problem is "almost linear": dropping the
+/// unit constraint gives the 3x3 normal equations A s = b with
+/// A = sum w c c^T and b = sum w eta c, whose normalized solution is
+/// an excellent seed.  The constraint is then enforced exactly by a
+/// few Gauss-Newton steps in the tangent plane of the sphere, which
+/// converge quadratically.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "core/vec3.hpp"
+#include "recon/ring.hpp"
+
+namespace adapt::loc {
+
+struct LeastSquaresConfig {
+  int max_iterations = 16;       ///< Tangent Gauss-Newton steps.
+  double step_tolerance = 1e-10; ///< Stop when |delta s| falls below.
+  double damping = 1e-9;         ///< Tikhonov floor for degeneracy.
+};
+
+/// Weighted direction fit over `rings`, optionally restricted to the
+/// subset flagged in `mask` (mask empty = use all; otherwise
+/// mask.size() == rings.size()).  `initial`, when given, seeds the
+/// constrained iteration (refinement passes the previous estimate).
+/// Returns nullopt when fewer than two usable rings remain or the
+/// system is degenerate.
+std::optional<core::Vec3> fit_direction(
+    std::span<const recon::ComptonRing> rings,
+    std::span<const std::uint8_t> mask = {},
+    const LeastSquaresConfig& config = {},
+    std::optional<core::Vec3> initial = std::nullopt);
+
+}  // namespace adapt::loc

@@ -1,0 +1,40 @@
+#include "loc/likelihood.hpp"
+
+#include "core/require.hpp"
+
+namespace adapt::loc {
+
+double ring_residual(const recon::ComptonRing& ring, const core::Vec3& s) {
+  ADAPT_REQUIRE(ring.d_eta > 0.0, "ring has non-positive d_eta");
+  return (ring.axis.dot(s) - ring.eta) / ring.d_eta;
+}
+
+double neg_log_likelihood(std::span<const recon::ComptonRing> rings,
+                          const core::Vec3& s) {
+  double nll = 0.0;
+  for (const auto& ring : rings) {
+    const double r = ring_residual(ring, s);
+    nll += 0.5 * r * r;
+  }
+  return nll;
+}
+
+double truncated_neg_log_likelihood(std::span<const recon::ComptonRing> rings,
+                                    const core::Vec3& s, double cap_sigma) {
+  ADAPT_REQUIRE(cap_sigma > 0.0, "cap must be positive");
+  const double cap2 = cap_sigma * cap_sigma;
+  double nll = 0.0;
+  for (const auto& ring : rings) {
+    const double r = ring_residual(ring, s);
+    const double r2 = r * r;
+    nll += 0.5 * (r2 < cap2 ? r2 : cap2);
+  }
+  return nll;
+}
+
+double ring_weight(const recon::ComptonRing& ring) {
+  ADAPT_REQUIRE(ring.d_eta > 0.0, "ring has non-positive d_eta");
+  return 1.0 / (ring.d_eta * ring.d_eta);
+}
+
+}  // namespace adapt::loc

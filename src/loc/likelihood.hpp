@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file likelihood.hpp
+/// Probabilistic model tying Compton rings to a source direction.
+///
+/// Per the paper (footnote 1), each ring defines a radially symmetric
+/// Gaussian probability density for the source direction, centered on
+/// the cone c.s = eta with width d_eta in cosine space:
+///
+///   -log P(s | ring_i) = (c_i . s - eta_i)^2 / (2 d_eta_i^2) + const.
+///
+/// Localization maximizes the joint likelihood over all rings, i.e.
+/// minimizes the weighted sum of squared cosine residuals.
+
+#include <span>
+
+#include "core/vec3.hpp"
+#include "recon/ring.hpp"
+
+namespace adapt::loc {
+
+/// Standardized residual of one ring for a candidate direction:
+/// (c.s - eta) / d_eta.
+double ring_residual(const recon::ComptonRing& ring, const core::Vec3& s);
+
+/// Joint negative log-likelihood (up to the ring-independent constant)
+/// of direction `s` for a set of rings.
+double neg_log_likelihood(std::span<const recon::ComptonRing> rings,
+                          const core::Vec3& s);
+
+/// Outlier-robust variant: each ring's squared residual is capped at
+/// `cap_sigma`^2, so rings far from the candidate (background or
+/// mis-reconstructed — routinely 2-3x the signal) contribute a bounded
+/// penalty instead of dominating the sum.  This is the score the
+/// approximation stage and the multi-start selection use; without the
+/// cap a candidate near the true source is out-voted by the quadratic
+/// penalty of every background ring.
+double truncated_neg_log_likelihood(std::span<const recon::ComptonRing> rings,
+                                    const core::Vec3& s,
+                                    double cap_sigma = 3.0);
+
+/// Per-ring Gaussian weight w = 1 / d_eta^2 used by the least-squares
+/// normal equations.
+double ring_weight(const recon::ComptonRing& ring);
+
+}  // namespace adapt::loc

@@ -1,0 +1,178 @@
+#include "loc/localizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/require.hpp"
+#include "core/units.hpp"
+#include "loc/likelihood.hpp"
+
+namespace adapt::loc {
+
+using core::Vec3;
+
+Localizer::Localizer(const LocalizerConfig& config) : config_(config) {
+  ADAPT_REQUIRE(config.approximation.sample_rings >= 1,
+                "approximation sample must be >= 1");
+  ADAPT_REQUIRE(config.approximation.candidates_per_ring >= 4,
+                "need at least a few candidates per ring");
+  ADAPT_REQUIRE(config.refine.inclusion_sigma > 0.0,
+                "inclusion sigma must be positive");
+}
+
+std::vector<Vec3> Localizer::approximate_candidates(
+    std::span<const recon::ComptonRing> rings, core::Rng& rng) const {
+  if (rings.empty()) return {};
+  const auto& cfg = config_.approximation;
+
+  // Draw the random ring sample (without replacement via partial
+  // Fisher-Yates over an index vector).
+  std::vector<std::size_t> index(rings.size());
+  for (std::size_t i = 0; i < index.size(); ++i) index[i] = i;
+  const std::size_t m =
+      std::min<std::size_t>(static_cast<std::size_t>(cfg.sample_rings),
+                            rings.size());
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform_index(index.size() - i));
+    std::swap(index[i], index[j]);
+  }
+
+  // Candidate directions: points on each sampled ring's cone.  The
+  // sample bounds the *candidate geometry*; scoring uses either the
+  // sample (the paper's cheapest variant) or, by default, the full
+  // ring set, which ranks the true mode far more reliably under heavy
+  // background.
+  std::vector<recon::ComptonRing> sample;
+  sample.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) sample.push_back(rings[index[i]]);
+  const std::span<const recon::ComptonRing> scoring_set =
+      cfg.score_against_all ? rings
+                            : std::span<const recon::ComptonRing>(sample);
+
+  struct Scored {
+    double nll;
+    Vec3 dir;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(m * static_cast<std::size_t>(cfg.candidates_per_ring));
+  for (const auto& ring : sample) {
+    const double eta = std::clamp(ring.eta, -1.0, 1.0);
+    const double theta = std::acos(eta);
+    for (int k = 0; k < cfg.candidates_per_ring; ++k) {
+      const double phi =
+          core::kTwoPi * static_cast<double>(k) /
+          static_cast<double>(cfg.candidates_per_ring);
+      const Vec3 candidate = core::rotate_about_axis(ring.axis, theta, phi);
+      if (cfg.restrict_to_upper_sky && candidate.z < 0.0) continue;
+      scored.push_back(Scored{
+          truncated_neg_log_likelihood(scoring_set, candidate,
+                                       cfg.truncation_sigma),
+          candidate});
+    }
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.nll < b.nll; });
+
+  // Keep the top n_starts candidates, skipping near-duplicates so the
+  // starts actually explore distinct likelihood modes.
+  constexpr double kMinSeparationCos = 0.995;  // ~5.7 degrees.
+  std::vector<Vec3> seeds;
+  for (const Scored& s : scored) {
+    if (static_cast<int>(seeds.size()) >= cfg.n_starts) break;
+    bool duplicate = false;
+    for (const Vec3& kept : seeds) {
+      if (kept.dot(s.dir) > kMinSeparationCos) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) seeds.push_back(s.dir);
+  }
+  return seeds;
+}
+
+std::optional<Vec3> Localizer::approximate(
+    std::span<const recon::ComptonRing> rings, core::Rng& rng) const {
+  const auto seeds = approximate_candidates(rings, rng);
+  if (seeds.empty()) return std::nullopt;
+  return seeds.front();
+}
+
+LocalizationResult Localizer::refine(std::span<const recon::ComptonRing> rings,
+                                     const Vec3& initial) const {
+  const auto& cfg = config_.refine;
+  LocalizationResult result;
+  result.rings_total = rings.size();
+  result.direction = initial.normalized();
+  if (rings.size() < 2) return result;
+
+  std::vector<std::uint8_t> mask(rings.size(), 1);
+  Vec3 s = result.direction;
+
+  for (int it = 0; it < cfg.max_iterations; ++it) {
+    result.iterations = it + 1;
+
+    // Select rings consistent with the current estimate; relax the cut
+    // rather than proceed with too few.
+    double cut = cfg.inclusion_sigma;
+    std::size_t kept = 0;
+    for (int relax = 0; relax <= cfg.max_relaxations; ++relax) {
+      kept = 0;
+      for (std::size_t i = 0; i < rings.size(); ++i) {
+        const bool keep = std::abs(ring_residual(rings[i], s)) < cut;
+        mask[i] = keep ? 1 : 0;
+        if (keep) ++kept;
+      }
+      if (kept >= std::min(cfg.min_rings, rings.size())) break;
+      cut *= cfg.relax_factor;
+    }
+    if (kept < 2) break;
+
+    const auto next = fit_direction(
+        rings, std::span<const std::uint8_t>(mask.data(), mask.size()),
+        cfg.least_squares, s);
+    if (!next) break;
+
+    const double step = core::angle_between(s, *next);
+    s = *next;
+    result.direction = s;
+    result.valid = true;
+    result.rings_used = kept;
+    if (step < cfg.convergence_angle_rad) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+LocalizationResult Localizer::localize(
+    std::span<const recon::ComptonRing> rings, core::Rng& rng) const {
+  const auto seeds = approximate_candidates(rings, rng);
+  if (seeds.empty()) {
+    LocalizationResult r;
+    r.rings_total = rings.size();
+    return r;
+  }
+
+  // Multi-start: refine each seed, keep the direction whose truncated
+  // joint likelihood over *all* rings is best.
+  LocalizationResult best;
+  best.rings_total = rings.size();
+  double best_nll = std::numeric_limits<double>::infinity();
+  for (const Vec3& seed : seeds) {
+    const LocalizationResult candidate = refine(rings, seed);
+    if (!candidate.valid) continue;
+    const double nll = truncated_neg_log_likelihood(
+        rings, candidate.direction, config_.approximation.truncation_sigma);
+    if (nll < best_nll) {
+      best_nll = nll;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace adapt::loc

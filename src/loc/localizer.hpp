@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file localizer.hpp
+/// GRB source localization from a set of Compton rings (paper
+/// Sec. II-B): an approximation stage that seeds the estimate from a
+/// small random sample of rings, followed by robust iterative
+/// least-squares refinement over all rings.
+///
+/// Robustness matters because the input mix contains background rings
+/// (2-3x the GRB rings) and mis-reconstructed rings; each refinement
+/// pass re-selects the rings statistically consistent with the current
+/// estimate before re-fitting.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/vec3.hpp"
+#include "loc/least_squares.hpp"
+#include "recon/ring.hpp"
+
+namespace adapt::loc {
+
+struct ApproximationConfig {
+  int sample_rings = 16;        ///< Size of the random ring sample.
+  int candidates_per_ring = 48; ///< Azimuth steps around each cone.
+  int n_starts = 6;             ///< Top candidates refined in the
+                                ///< multi-start search.
+  double truncation_sigma = 3.0;  ///< Residual cap of the robust
+                                  ///< candidate score.
+  bool score_against_all = true;  ///< Score candidates on every ring
+                                  ///< rather than only the sample.
+                                  ///< With 2-3x background the sample
+                                  ///< alone is too noisy to rank the
+                                  ///< true mode first; scoring is
+                                  ///< O(candidates x rings) and cheap.
+  bool restrict_to_upper_sky = true;  ///< Earth blocks sources below
+                                      ///< the horizon (z < 0).
+};
+
+struct RefineConfig {
+  int max_iterations = 10;
+  double convergence_angle_rad = 1e-4;  ///< ~0.006 degrees.
+  double inclusion_sigma = 3.0;  ///< Ring kept when |residual| < this.
+  std::size_t min_rings = 5;     ///< Relax the cut rather than fit
+                                 ///< fewer rings than this.
+  double relax_factor = 1.6;     ///< Cut multiplier when relaxing.
+  int max_relaxations = 6;
+  LeastSquaresConfig least_squares;
+};
+
+struct LocalizerConfig {
+  ApproximationConfig approximation;
+  RefineConfig refine;
+};
+
+struct LocalizationResult {
+  core::Vec3 direction;        ///< Estimated unit source direction.
+  bool valid = false;          ///< False when no estimate possible.
+  bool converged = false;      ///< Refinement met its tolerance.
+  int iterations = 0;          ///< Refinement iterations executed.
+  std::size_t rings_used = 0;  ///< Rings in the final inlier set.
+  std::size_t rings_total = 0;
+};
+
+class Localizer {
+ public:
+  explicit Localizer(const LocalizerConfig& config = {});
+
+  /// Approximation stage: candidate directions on a random sample of
+  /// ring cones, scored by the sample's truncated joint likelihood.
+  /// Returns the best candidate.
+  std::optional<core::Vec3> approximate(
+      std::span<const recon::ComptonRing> rings, core::Rng& rng) const;
+
+  /// The `n_starts` best-scoring, mutually well-separated candidates
+  /// (the multi-start seeds of localize()).
+  std::vector<core::Vec3> approximate_candidates(
+      std::span<const recon::ComptonRing> rings, core::Rng& rng) const;
+
+  /// Robust refinement from an initial direction, using all rings.
+  LocalizationResult refine(std::span<const recon::ComptonRing> rings,
+                            const core::Vec3& initial) const;
+
+  /// Full pipeline: multi-start — refine every approximation
+  /// candidate, keep the result with the best truncated joint
+  /// likelihood over all rings.  Multi-start matters because with
+  /// 2-3x background a single seed can lock the robust refinement
+  /// onto a coincidental background cluster.
+  LocalizationResult localize(std::span<const recon::ComptonRing> rings,
+                              core::Rng& rng) const;
+
+  const LocalizerConfig& config() const { return config_; }
+
+ private:
+  LocalizerConfig config_;
+};
+
+}  // namespace adapt::loc

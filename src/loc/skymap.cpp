@@ -1,0 +1,168 @@
+#include "loc/skymap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+
+#include "core/require.hpp"
+#include "core/units.hpp"
+#include "loc/likelihood.hpp"
+
+namespace adapt::loc {
+
+using core::Vec3;
+
+SkyMap SkyMap::compute(std::span<const recon::ComptonRing> rings,
+                       const SkyMapConfig& config) {
+  ADAPT_REQUIRE(config.resolution_deg > 0.0, "resolution must be positive");
+  ADAPT_REQUIRE(config.max_polar_deg > 0.0 && config.max_polar_deg <= 180.0,
+                "max polar out of range");
+
+  SkyMap map;
+  map.config_ = config;
+  map.n_polar_ = std::max(
+      1, static_cast<int>(std::ceil(config.max_polar_deg /
+                                    config.resolution_deg)));
+
+  // Equal-angle rows; azimuth bins per row scale with sin(polar) so
+  // pixels keep roughly equal solid angle (a poor man's equal-area
+  // map — adequate for credible-region integrals at 1-degree scale).
+  map.az_bins_per_row_.resize(static_cast<std::size_t>(map.n_polar_));
+  map.row_offset_.resize(static_cast<std::size_t>(map.n_polar_));
+  std::size_t total = 0;
+  for (int row = 0; row < map.n_polar_; ++row) {
+    const double polar_mid =
+        core::deg_to_rad((row + 0.5) * config.resolution_deg);
+    const int bins = std::max(
+        1, static_cast<int>(std::ceil(360.0 / config.resolution_deg *
+                                      std::sin(polar_mid))));
+    map.az_bins_per_row_[static_cast<std::size_t>(row)] = bins;
+    map.row_offset_[static_cast<std::size_t>(row)] = total;
+    total += static_cast<std::size_t>(bins);
+  }
+  map.probability_.assign(total, 0.0);
+
+  // Log-posterior per pixel, then a stable softmax with solid-angle
+  // weights.
+  std::vector<double> log_post(total);
+  const auto n = static_cast<std::ptrdiff_t>(total);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const Vec3 dir = map.pixel_center(static_cast<std::size_t>(i));
+    log_post[static_cast<std::size_t>(i)] =
+        -truncated_neg_log_likelihood(rings, dir, config.truncation_sigma);
+  }
+  const double max_log =
+      *std::max_element(log_post.begin(), log_post.end());
+  double norm = 0.0;
+  for (std::size_t i = 0; i < total; ++i) {
+    const double mass = std::exp(log_post[i] - max_log) *
+                        map.pixel_solid_angle_deg2(i);
+    map.probability_[i] = mass;
+    norm += mass;
+  }
+  ADAPT_REQUIRE(norm > 0.0, "degenerate posterior");
+  for (double& p : map.probability_) p /= norm;
+  return map;
+}
+
+Vec3 SkyMap::pixel_center(std::size_t index) const {
+  // Find the row by binary search over row offsets.
+  const auto row_it = std::upper_bound(row_offset_.begin(),
+                                       row_offset_.end(), index);
+  const auto row =
+      static_cast<std::size_t>(std::distance(row_offset_.begin(), row_it)) -
+      1;
+  const std::size_t az = index - row_offset_[row];
+  const double polar = core::deg_to_rad(
+      (static_cast<double>(row) + 0.5) * config_.resolution_deg);
+  const double azimuth =
+      core::kTwoPi * (static_cast<double>(az) + 0.5) /
+      static_cast<double>(az_bins_per_row_[row]);
+  return core::from_spherical(polar, azimuth);
+}
+
+double SkyMap::pixel_solid_angle_deg2(std::size_t index) const {
+  const auto row_it = std::upper_bound(row_offset_.begin(),
+                                       row_offset_.end(), index);
+  const auto row =
+      static_cast<std::size_t>(std::distance(row_offset_.begin(), row_it)) -
+      1;
+  const double t0 = core::deg_to_rad(static_cast<double>(row) *
+                                     config_.resolution_deg);
+  const double t1 = core::deg_to_rad((static_cast<double>(row) + 1.0) *
+                                     config_.resolution_deg);
+  const double band_sr = core::kTwoPi * (std::cos(t0) - std::cos(t1));
+  const double sr =
+      band_sr / static_cast<double>(az_bins_per_row_[row]);
+  constexpr double deg2_per_sr = 180.0 / core::kPi * 180.0 / core::kPi;
+  return sr * deg2_per_sr;
+}
+
+std::optional<std::size_t> SkyMap::pixel_of(const Vec3& direction) const {
+  const double polar_deg = core::rad_to_deg(core::polar_of(direction));
+  if (polar_deg >= config_.max_polar_deg) return std::nullopt;
+  const auto row = std::min(
+      static_cast<std::size_t>(polar_deg / config_.resolution_deg),
+      static_cast<std::size_t>(n_polar_ - 1));
+  double az = core::azimuth_of(direction);
+  if (az < 0.0) az += core::kTwoPi;
+  const auto bins = static_cast<double>(az_bins_per_row_[row]);
+  auto az_bin = static_cast<std::size_t>(az / core::kTwoPi * bins);
+  if (az_bin >= static_cast<std::size_t>(az_bins_per_row_[row]))
+    az_bin = static_cast<std::size_t>(az_bins_per_row_[row]) - 1;
+  return row_offset_[row] + az_bin;
+}
+
+Vec3 SkyMap::peak() const {
+  const auto it =
+      std::max_element(probability_.begin(), probability_.end());
+  return pixel_center(
+      static_cast<std::size_t>(std::distance(probability_.begin(), it)));
+}
+
+double SkyMap::credible_region_area_deg2(double content) const {
+  ADAPT_REQUIRE(content > 0.0 && content < 1.0,
+                "credible content in (0, 1)");
+  // Greedy: add pixels in decreasing posterior density until the mass
+  // target is met.
+  std::vector<std::size_t> order(probability_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return probability_[a] / pixel_solid_angle_deg2(a) >
+           probability_[b] / pixel_solid_angle_deg2(b);
+  });
+  double mass = 0.0;
+  double area = 0.0;
+  for (const std::size_t i : order) {
+    mass += probability_[i];
+    area += pixel_solid_angle_deg2(i);
+    if (mass >= content) break;
+  }
+  return area;
+}
+
+double SkyMap::credible_radius_deg(double content) const {
+  return std::sqrt(credible_region_area_deg2(content) / core::kPi);
+}
+
+double SkyMap::probability_at(const Vec3& direction) const {
+  const auto pixel = pixel_of(direction);
+  return pixel ? probability_[*pixel] : 0.0;
+}
+
+bool SkyMap::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << "polar_deg,azimuth_deg,probability\n";
+  for (std::size_t i = 0; i < probability_.size(); ++i) {
+    const Vec3 dir = pixel_center(i);
+    f << core::rad_to_deg(core::polar_of(dir)) << ','
+      << core::rad_to_deg(core::azimuth_of(dir)) << ',' << probability_[i]
+      << '\n';
+  }
+  return static_cast<bool>(f);
+}
+
+}  // namespace adapt::loc

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file skymap.hpp
+/// Posterior sky maps: the localization product a GRB alert actually
+/// ships (follow-up telescopes consume probability maps with credible
+/// regions, not bare point estimates).
+///
+/// The map evaluates the rings' truncated joint likelihood on a
+/// latitude/longitude grid over the visible (upper) hemisphere and
+/// normalizes the per-pixel posterior with solid-angle weights.  From
+/// it: the maximum-a-posteriori direction and the area of the smallest
+/// credible region at a given probability content — the "error circle"
+/// radius quoted in alerts.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/vec3.hpp"
+#include "recon/ring.hpp"
+
+namespace adapt::loc {
+
+struct SkyMapConfig {
+  double resolution_deg = 1.0;    ///< Pixel size in polar angle.
+  double truncation_sigma = 3.0;  ///< Outlier cap of the likelihood.
+  double max_polar_deg = 90.0;    ///< Field-of-view edge.
+};
+
+class SkyMap {
+ public:
+  /// Evaluate the posterior for a ring set.
+  static SkyMap compute(std::span<const recon::ComptonRing> rings,
+                        const SkyMapConfig& config = {});
+
+  /// Maximum-a-posteriori direction.
+  core::Vec3 peak() const;
+
+  /// Area [deg^2] of the smallest set of pixels containing `content`
+  /// of the posterior probability (e.g. 0.9 for the 90% region).
+  double credible_region_area_deg2(double content) const;
+
+  /// Equivalent radius [deg] of a circle with the credible-region
+  /// area — the alert's error-circle radius.
+  double credible_radius_deg(double content) const;
+
+  /// Posterior probability of the pixel containing `direction`
+  /// (0 outside the field of view).
+  double probability_at(const core::Vec3& direction) const;
+
+  /// Dump as CSV (polar_deg, azimuth_deg, probability).  Returns false
+  /// on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t n_pixels() const { return probability_.size(); }
+  const SkyMapConfig& config() const { return config_; }
+
+ private:
+  SkyMap() = default;
+
+  std::optional<std::size_t> pixel_of(const core::Vec3& direction) const;
+  core::Vec3 pixel_center(std::size_t index) const;
+  double pixel_solid_angle_deg2(std::size_t index) const;
+
+  SkyMapConfig config_;
+  int n_polar_ = 0;
+  std::vector<int> az_bins_per_row_;     ///< Azimuth bins per polar row.
+  std::vector<std::size_t> row_offset_;  ///< Pixel index of each row.
+  std::vector<double> probability_;      ///< Normalized posterior mass
+                                         ///< per pixel.
+};
+
+}  // namespace adapt::loc

@@ -1,0 +1,121 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/require.hpp"
+
+namespace adapt::nn {
+
+BatchNorm1d::BatchNorm1d(std::size_t features, double momentum, double eps)
+    : features_(features), momentum_(momentum), eps_(eps) {
+  ADAPT_REQUIRE(features > 0, "batchnorm needs features > 0");
+  ADAPT_REQUIRE(momentum > 0.0 && momentum <= 1.0, "momentum in (0, 1]");
+  gamma_.name = "gamma";
+  gamma_.value = Tensor(1, features, 1.0f);
+  gamma_.zero_grad();
+  beta_.name = "beta";
+  beta_.value = Tensor(1, features, 0.0f);
+  beta_.zero_grad();
+  running_mean_.assign(features, 0.0f);
+  running_var_.assign(features, 1.0f);
+}
+
+Tensor BatchNorm1d::forward(const Tensor& x, bool training) {
+  ADAPT_REQUIRE(x.cols() == features_, "batchnorm width mismatch");
+  const std::size_t n = x.rows();
+  Tensor y(n, features_);
+
+  if (!training) {
+    for (std::size_t c = 0; c < features_; ++c) {
+      const float inv_std =
+          1.0f / std::sqrt(running_var_[c] + static_cast<float>(eps_));
+      const float g = gamma_.value(0, c);
+      const float b = beta_.value(0, c);
+      const float mu = running_mean_[c];
+      for (std::size_t r = 0; r < n; ++r)
+        y(r, c) = (x(r, c) - mu) * inv_std * g + b;
+    }
+    return y;
+  }
+
+  ADAPT_REQUIRE(n >= 2, "batchnorm training needs batch size >= 2");
+  x_hat_ = Tensor(n, features_);
+  batch_inv_std_.assign(features_, 0.0f);
+
+  for (std::size_t c = 0; c < features_; ++c) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < n; ++r) mean += x(r, c);
+    mean /= static_cast<double>(n);
+
+    double var = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double d = x(r, c) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);  // Biased, as PyTorch normalizes.
+
+    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
+    batch_inv_std_[c] = inv_std;
+    const float g = gamma_.value(0, c);
+    const float b = beta_.value(0, c);
+    for (std::size_t r = 0; r < n; ++r) {
+      const float xh = (x(r, c) - static_cast<float>(mean)) * inv_std;
+      x_hat_(r, c) = xh;
+      y(r, c) = xh * g + b;
+    }
+
+    // Running estimates use the unbiased variance, matching PyTorch.
+    const double unbiased =
+        var * static_cast<double>(n) / static_cast<double>(n - 1);
+    running_mean_[c] = static_cast<float>(
+        (1.0 - momentum_) * running_mean_[c] + momentum_ * mean);
+    running_var_[c] = static_cast<float>(
+        (1.0 - momentum_) * running_var_[c] + momentum_ * unbiased);
+  }
+  return y;
+}
+
+Tensor BatchNorm1d::backward(const Tensor& grad_out) {
+  ADAPT_REQUIRE(grad_out.cols() == features_, "batchnorm grad mismatch");
+  ADAPT_REQUIRE(grad_out.rows() == x_hat_.rows(),
+                "backward batch mismatch (forward(training=true) first?)");
+  const std::size_t n = grad_out.rows();
+  Tensor dx(n, features_);
+
+  for (std::size_t c = 0; c < features_; ++c) {
+    const float g = gamma_.value(0, c);
+    const float inv_std = batch_inv_std_[c];
+
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const float dy = grad_out(r, c);
+      sum_dy += dy;
+      sum_dy_xhat += static_cast<double>(dy) * x_hat_(r, c);
+    }
+
+    gamma_.grad(0, c) += static_cast<float>(sum_dy_xhat);
+    beta_.grad(0, c) += static_cast<float>(sum_dy);
+
+    // Standard batchnorm input gradient:
+    // dx = (g * inv_std / n) * (n*dy - sum(dy) - x_hat * sum(dy*x_hat))
+    const double scale = static_cast<double>(g) * inv_std /
+                         static_cast<double>(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double dy = grad_out(r, c);
+      dx(r, c) = static_cast<float>(
+          scale * (static_cast<double>(n) * dy - sum_dy -
+                   static_cast<double>(x_hat_(r, c)) * sum_dy_xhat));
+    }
+  }
+  return dx;
+}
+
+std::string BatchNorm1d::describe() const {
+  std::ostringstream os;
+  os << "batchnorm1d(" << features_ << ")";
+  return os.str();
+}
+
+}  // namespace adapt::nn

@@ -1,0 +1,121 @@
+#include "nn/data.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.hpp"
+
+namespace adapt::nn {
+
+Dataset Dataset::subset(const std::vector<std::size_t>& rows) const {
+  Dataset out;
+  out.x = Tensor(rows.size(), x.cols());
+  out.y.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    ADAPT_REQUIRE(rows[i] < size(), "subset row out of range");
+    for (std::size_t c = 0; c < x.cols(); ++c) out.x(i, c) = x(rows[i], c);
+    out.y.push_back(y[rows[i]]);
+  }
+  return out;
+}
+
+SplitResult split(const Dataset& data, double first_fraction,
+                  core::Rng& rng) {
+  ADAPT_REQUIRE(first_fraction > 0.0 && first_fraction < 1.0,
+                "split fraction must be in (0, 1)");
+  ADAPT_REQUIRE(data.y.size() == data.size(), "dataset x/y size mismatch");
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Fisher-Yates with the library Rng for reproducibility.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.uniform_index(i));
+    std::swap(order[i - 1], order[j]);
+  }
+  const auto n_first =
+      static_cast<std::size_t>(first_fraction * static_cast<double>(order.size()));
+  const std::vector<std::size_t> first_rows(order.begin(),
+                                            order.begin() + static_cast<std::ptrdiff_t>(n_first));
+  const std::vector<std::size_t> second_rows(order.begin() + static_cast<std::ptrdiff_t>(n_first),
+                                             order.end());
+  return SplitResult{data.subset(first_rows), data.subset(second_rows)};
+}
+
+void Standardizer::fit(const Tensor& x) {
+  ADAPT_REQUIRE(x.rows() >= 2, "standardizer needs at least two rows");
+  const std::size_t d = x.cols();
+  mean_.assign(d, 0.0f);
+  inv_std_.assign(d, 1.0f);
+  for (std::size_t c = 0; c < d; ++c) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < x.rows(); ++r) mean += x(r, c);
+    mean /= static_cast<double>(x.rows());
+    double var = 0.0;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      const double dlt = x(r, c) - mean;
+      var += dlt * dlt;
+    }
+    var /= static_cast<double>(x.rows());
+    mean_[c] = static_cast<float>(mean);
+    // Constant features pass through unscaled rather than exploding.
+    inv_std_[c] = var > 1e-12 ? static_cast<float>(1.0 / std::sqrt(var)) : 1.0f;
+  }
+}
+
+Tensor Standardizer::transform(const Tensor& x) const {
+  Tensor out = x;
+  transform_in_place(out);
+  return out;
+}
+
+void Standardizer::transform_in_place(Tensor& x) const {
+  ADAPT_REQUIRE(fitted(), "standardizer not fitted");
+  ADAPT_REQUIRE(x.cols() == mean_.size(), "standardizer width mismatch");
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < x.cols(); ++c)
+      x(r, c) = (x(r, c) - mean_[c]) * inv_std_[c];
+}
+
+void Standardizer::set(std::vector<float> mean, std::vector<float> inv_std) {
+  ADAPT_REQUIRE(mean.size() == inv_std.size(), "standardizer size mismatch");
+  mean_ = std::move(mean);
+  inv_std_ = std::move(inv_std);
+}
+
+DataLoader::DataLoader(const Dataset& data, std::size_t batch_size,
+                       core::Rng& rng)
+    : data_(&data), batch_size_(batch_size), rng_(&rng) {
+  ADAPT_REQUIRE(batch_size >= 1, "batch size must be >= 1");
+  ADAPT_REQUIRE(!data.empty(), "empty dataset");
+  order_.resize(data.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  reset();
+}
+
+void DataLoader::reset() {
+  for (std::size_t i = order_.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng_->uniform_index(i));
+    std::swap(order_[i - 1], order_[j]);
+  }
+  cursor_ = 0;
+}
+
+bool DataLoader::next(Tensor& x_batch, std::vector<float>& y_batch) {
+  if (cursor_ >= order_.size()) return false;
+  const std::size_t take = std::min(batch_size_, order_.size() - cursor_);
+  x_batch = Tensor(take, data_->x.cols());
+  y_batch.resize(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t row = order_[cursor_ + i];
+    for (std::size_t c = 0; c < data_->x.cols(); ++c)
+      x_batch(i, c) = data_->x(row, c);
+    y_batch[i] = data_->y[row];
+  }
+  cursor_ += take;
+  return true;
+}
+
+std::size_t DataLoader::n_batches() const {
+  return (order_.size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace adapt::nn

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file data.hpp
+/// Dataset plumbing: feature standardization, train/val/test splits
+/// (the paper uses 80/20 train/test with a further 80/20
+/// train/validation split), and a shuffled mini-batch loader.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace adapt::nn {
+
+/// A supervised dataset: features (n x d) and one target per row.
+struct Dataset {
+  Tensor x;
+  std::vector<float> y;
+
+  std::size_t size() const { return x.rows(); }
+  bool empty() const { return x.rows() == 0; }
+
+  /// Select a subset of rows.
+  Dataset subset(const std::vector<std::size_t>& rows) const;
+};
+
+/// Split a dataset into two parts with the first receiving
+/// `first_fraction` of the rows, after a seeded shuffle.
+struct SplitResult {
+  Dataset first;
+  Dataset second;
+};
+SplitResult split(const Dataset& data, double first_fraction, core::Rng& rng);
+
+/// Per-feature affine standardization to zero mean / unit variance,
+/// fit on training data and frozen for validation/test/inference.
+/// The fitted constants ship with the serialized model so the flight
+/// software applies the identical transform.
+class Standardizer {
+ public:
+  void fit(const Tensor& x);
+  Tensor transform(const Tensor& x) const;
+  void transform_in_place(Tensor& x) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& inv_std() const { return inv_std_; }
+  void set(std::vector<float> mean, std::vector<float> inv_std);
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> inv_std_;
+};
+
+/// Shuffled mini-batch iteration over a dataset.
+class DataLoader {
+ public:
+  DataLoader(const Dataset& data, std::size_t batch_size, core::Rng& rng);
+
+  /// Prepare a new epoch (reshuffle).
+  void reset();
+
+  /// Fetch the next batch; returns false at epoch end.
+  bool next(Tensor& x_batch, std::vector<float>& y_batch);
+
+  std::size_t n_batches() const;
+
+ private:
+  const Dataset* data_;
+  std::size_t batch_size_;
+  core::Rng* rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace adapt::nn

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file layer.hpp
+/// Layer abstraction for the MLPs of paper Fig. 5.
+///
+/// The networks are small sequential stacks, so instead of a general
+/// autograd graph each layer implements an explicit forward/backward
+/// pair and caches whatever it needs between the two.  Parameters
+/// expose value+gradient pairs to the optimizer.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace adapt::nn {
+
+/// A trainable parameter: value and accumulated gradient.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  void zero_grad() {
+    if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
+      grad = Tensor(value.rows(), value.cols());
+    }
+    grad.zero();
+  }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass.  `training` toggles batch-statistics vs running
+  /// statistics in BatchNorm (and is forwarded to any stateful layer).
+  virtual Tensor forward(const Tensor& x, bool training) = 0;
+
+  /// Backward pass: gradient of the loss w.r.t. this layer's input,
+  /// given the gradient w.r.t. its output.  Must be called after
+  /// forward(training=true) on the same batch.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Trainable parameters (empty for activations).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Layer type tag for serialization and reports.
+  virtual std::string type() const = 0;
+
+  /// Human-readable shape summary.
+  virtual std::string describe() const { return type(); }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace adapt::nn

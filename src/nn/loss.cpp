@@ -1,0 +1,51 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "core/require.hpp"
+
+namespace adapt::nn {
+
+LossResult bce_with_logits(const Tensor& logits,
+                           const std::vector<float>& targets) {
+  ADAPT_REQUIRE(logits.cols() == 1, "bce expects (n x 1) logits");
+  ADAPT_REQUIRE(logits.rows() == targets.size(), "bce target count mismatch");
+  const std::size_t n = logits.rows();
+  ADAPT_REQUIRE(n > 0, "empty batch");
+
+  LossResult out;
+  out.grad = Tensor(n, 1);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double z = logits(i, 0);
+    const double t = targets[i];
+    // loss = max(z,0) - z t + log(1 + exp(-|z|))
+    total += std::max(z, 0.0) - z * t + std::log1p(std::exp(-std::abs(z)));
+    // dloss/dz = sigmoid(z) - t
+    const double s = z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
+                              : std::exp(z) / (1.0 + std::exp(z));
+    out.grad(i, 0) = static_cast<float>((s - t) / static_cast<double>(n));
+  }
+  out.value = total / static_cast<double>(n);
+  return out;
+}
+
+LossResult mse(const Tensor& pred, const std::vector<float>& targets) {
+  ADAPT_REQUIRE(pred.cols() == 1, "mse expects (n x 1) predictions");
+  ADAPT_REQUIRE(pred.rows() == targets.size(), "mse target count mismatch");
+  const std::size_t n = pred.rows();
+  ADAPT_REQUIRE(n > 0, "empty batch");
+
+  LossResult out;
+  out.grad = Tensor(n, 1);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(pred(i, 0)) - targets[i];
+    total += d * d;
+    out.grad(i, 0) = static_cast<float>(2.0 * d / static_cast<double>(n));
+  }
+  out.value = total / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace adapt::nn

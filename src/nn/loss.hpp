@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file loss.hpp
+/// Training losses: binary cross-entropy on logits for the background
+/// classifier, and L2 (MSE) for the dEta regressor — the two losses
+/// the paper trains with (Sec. III, Model Training).
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace adapt::nn {
+
+struct LossResult {
+  double value = 0.0;  ///< Mean loss over the batch.
+  Tensor grad;         ///< d(loss)/d(prediction), same shape as input.
+};
+
+/// Binary cross-entropy with logits (numerically stable log-sum-exp
+/// form).  `logits` is (n x 1); `targets` holds n values in {0, 1}
+/// (1 = background, by the convention in pipeline/features.hpp).
+LossResult bce_with_logits(const Tensor& logits,
+                           const std::vector<float>& targets);
+
+/// Mean squared error.  `pred` is (n x 1); `targets` holds n values
+/// (the dEta network regresses ln(d_eta), which spans several orders
+/// of magnitude — hence the log, per the paper).
+LossResult mse(const Tensor& pred, const std::vector<float>& targets);
+
+}  // namespace adapt::nn

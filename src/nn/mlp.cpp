@@ -1,0 +1,54 @@
+#include "nn/mlp.hpp"
+
+#include <memory>
+
+#include "core/require.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/linear.hpp"
+
+namespace adapt::nn {
+
+MlpSpec background_net_spec(std::size_t input_dim, bool swap_bn_fc) {
+  MlpSpec spec;
+  spec.input_dim = input_dim;
+  spec.widths = {256, 128, 64};
+  spec.swap_bn_fc = swap_bn_fc;
+  return spec;
+}
+
+MlpSpec deta_net_spec(std::size_t input_dim) {
+  MlpSpec spec;
+  spec.input_dim = input_dim;
+  spec.widths = {8, 16, 8};
+  return spec;
+}
+
+Sequential build_mlp(const MlpSpec& spec, core::Rng& rng) {
+  ADAPT_REQUIRE(spec.input_dim > 0, "input dim must be positive");
+  ADAPT_REQUIRE(!spec.widths.empty(), "need at least one hidden layer");
+
+  Sequential model;
+  std::size_t dim = spec.input_dim;
+  for (std::size_t w : spec.widths) {
+    ADAPT_REQUIRE(w > 0, "hidden width must be positive");
+    if (spec.swap_bn_fc) {
+      // Quantizable block: FC -> BN -> ReLU (fusable).
+      model.add(std::make_unique<Linear>(dim, w, rng));
+      model.add(std::make_unique<BatchNorm1d>(w));
+      model.add(std::make_unique<ReLU>());
+    } else {
+      // Paper Fig. 5 block: BN -> FC -> ReLU.
+      model.add(std::make_unique<BatchNorm1d>(dim));
+      model.add(std::make_unique<Linear>(dim, w, rng));
+      model.add(std::make_unique<ReLU>());
+    }
+    dim = w;
+  }
+  // Final FC to a single output: a logit for the background
+  // classifier, ln(d_eta) for the regressor.
+  model.add(std::make_unique<Linear>(dim, 1, rng));
+  return model;
+}
+
+}  // namespace adapt::nn

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file mlp.hpp
+/// Builders for the paper's network architecture (Fig. 5): a stack of
+/// blocks, each BatchNorm1d -> FC -> ReLU, followed by a final FC to
+/// one output.  A "layer-swapped" variant (FC -> BatchNorm1d -> ReLU)
+/// exists for quantization: swapping the order lets Linear+BN+ReLU
+/// fuse into a single integer kernel (paper Sec. V).
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace adapt::nn {
+
+struct MlpSpec {
+  std::size_t input_dim = 13;  ///< 12 ring features + polar angle.
+  std::vector<std::size_t> widths;  ///< Hidden FC widths, block order.
+  bool swap_bn_fc = false;  ///< Layer-swapped (quantizable) blocks.
+
+  /// Total fully connected layers (hidden + output), the count the
+  /// paper reports as "four FC layers in total".
+  std::size_t n_fc_layers() const { return widths.size() + 1; }
+};
+
+/// Background network: 4 FC layers, maximum width 256 in the first FC,
+/// gradually decreasing (paper Sec. III, Model Training).
+MlpSpec background_net_spec(std::size_t input_dim = 13,
+                            bool swap_bn_fc = false);
+
+/// dEta network: 4 FC layers, maximum width 16 in the middle, shorter
+/// at the beginning and end (paper Sec. III, Model Training).
+MlpSpec deta_net_spec(std::size_t input_dim = 13);
+
+/// Instantiate the architecture with fresh (He) weights.
+Sequential build_mlp(const MlpSpec& spec, core::Rng& rng);
+
+}  // namespace adapt::nn

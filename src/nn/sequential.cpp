@@ -1,0 +1,86 @@
+#include "nn/sequential.hpp"
+
+#include <sstream>
+
+#include "core/require.hpp"
+#include "nn/batchnorm.hpp"
+
+namespace adapt::nn {
+
+void Sequential::add(LayerPtr layer) {
+  ADAPT_REQUIRE(layer != nullptr, "null layer");
+  layers_.push_back(std::move(layer));
+}
+
+Tensor Sequential::forward(const Tensor& x, bool training) {
+  Tensor y = x;
+  for (auto& layer : layers_) y = layer->forward(y, training);
+  return y;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_)
+    for (Param* p : layer->params()) all.push_back(p);
+  return all;
+}
+
+void Sequential::zero_grad() {
+  for (Param* p : params()) p->zero_grad();
+}
+
+std::size_t Sequential::n_parameters() {
+  std::size_t n = 0;
+  for (Param* p : params()) n += p->value.size();
+  return n;
+}
+
+std::vector<std::vector<float>> Sequential::snapshot_weights() {
+  std::vector<std::vector<float>> snap;
+  for (Param* p : params()) snap.push_back(p->value.vec());
+  // Batchnorm running statistics are state too.
+  for (auto& layer : layers_) {
+    if (auto* bn = dynamic_cast<BatchNorm1d*>(layer.get())) {
+      snap.push_back(bn->running_mean());
+      snap.push_back(bn->running_var());
+    }
+  }
+  return snap;
+}
+
+void Sequential::restore_weights(
+    const std::vector<std::vector<float>>& snapshot) {
+  std::size_t idx = 0;
+  for (Param* p : params()) {
+    ADAPT_REQUIRE(idx < snapshot.size() &&
+                      snapshot[idx].size() == p->value.size(),
+                  "weight snapshot shape mismatch");
+    p->value.vec() = snapshot[idx++];
+  }
+  for (auto& layer : layers_) {
+    if (auto* bn = dynamic_cast<BatchNorm1d*>(layer.get())) {
+      ADAPT_REQUIRE(idx + 1 < snapshot.size(), "snapshot missing BN stats");
+      bn->running_mean() = snapshot[idx++];
+      bn->running_var() = snapshot[idx++];
+    }
+  }
+  ADAPT_REQUIRE(idx == snapshot.size(), "snapshot has extra entries");
+}
+
+std::string Sequential::describe() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (i) os << " -> ";
+    os << layers_[i]->describe();
+  }
+  return os.str();
+}
+
+}  // namespace adapt::nn

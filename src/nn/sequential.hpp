@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file sequential.hpp
+/// Ordered layer stack with whole-network forward/backward, parameter
+/// collection, and weight snapshot/restore (used by early stopping to
+/// keep the best-validation weights, as the paper trains with early
+/// stopping).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace adapt::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  void add(LayerPtr layer);
+
+  Tensor forward(const Tensor& x, bool training = false);
+
+  /// Backward through the whole stack; returns the input gradient.
+  Tensor backward(const Tensor& grad_out);
+
+  std::vector<Param*> params();
+  void zero_grad();
+
+  std::size_t n_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+  const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  /// Total trainable scalar count.
+  std::size_t n_parameters();
+
+  /// Deep copy of all parameter values (and batchnorm running stats).
+  std::vector<std::vector<float>> snapshot_weights();
+  void restore_weights(const std::vector<std::vector<float>>& snapshot);
+
+  std::string describe() const;
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace adapt::nn

@@ -1,0 +1,213 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+
+#include "core/require.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/linear.hpp"
+
+namespace adapt::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'D', 'N', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+enum class LayerTag : std::uint32_t {
+  kLinear = 1,
+  kBatchNorm1d = 2,
+  kReLU = 3,
+  kSigmoid = 4,
+};
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_f64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_floats(std::ostream& os, const std::vector<float>& v) {
+  write_u32(os, static_cast<std::uint32_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+void write_string(std::ostream& os, const std::string& s) {
+  write_u32(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool read_u32(std::istream& is, std::uint32_t& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(is);
+}
+bool read_f64(std::istream& is, double& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(is);
+}
+bool read_floats(std::istream& is, std::vector<float>& v,
+                 std::uint32_t max_len = 1u << 26) {
+  std::uint32_t n = 0;
+  if (!read_u32(is, n) || n > max_len) return false;
+  v.resize(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  return static_cast<bool>(is);
+}
+bool read_string(std::istream& is, std::string& s,
+                 std::uint32_t max_len = 4096) {
+  std::uint32_t n = 0;
+  if (!read_u32(is, n) || n > max_len) return false;
+  s.resize(n);
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+bool save_model(Sequential& model, const Standardizer& standardizer,
+                const std::map<std::string, double>& metadata,
+                const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os.write(kMagic, sizeof(kMagic));
+  write_u32(os, kVersion);
+
+  if (standardizer.fitted()) {
+    write_u32(os, static_cast<std::uint32_t>(standardizer.mean().size()));
+    os.write(reinterpret_cast<const char*>(standardizer.mean().data()),
+             static_cast<std::streamsize>(standardizer.mean().size() *
+                                          sizeof(float)));
+    os.write(reinterpret_cast<const char*>(standardizer.inv_std().data()),
+             static_cast<std::streamsize>(standardizer.inv_std().size() *
+                                          sizeof(float)));
+  } else {
+    write_u32(os, 0);
+  }
+
+  write_u32(os, static_cast<std::uint32_t>(model.n_layers()));
+  for (std::size_t i = 0; i < model.n_layers(); ++i) {
+    Layer& layer = model.layer(i);
+    if (auto* lin = dynamic_cast<Linear*>(&layer)) {
+      write_u32(os, static_cast<std::uint32_t>(LayerTag::kLinear));
+      write_u32(os, static_cast<std::uint32_t>(lin->in_features()));
+      write_u32(os, static_cast<std::uint32_t>(lin->out_features()));
+      write_floats(os, lin->weight().value.vec());
+      write_floats(os, lin->bias().value.vec());
+    } else if (auto* bn = dynamic_cast<BatchNorm1d*>(&layer)) {
+      write_u32(os, static_cast<std::uint32_t>(LayerTag::kBatchNorm1d));
+      write_u32(os, static_cast<std::uint32_t>(bn->features()));
+      write_floats(os, bn->gamma().value.vec());
+      write_floats(os, bn->beta().value.vec());
+      write_floats(os, bn->running_mean());
+      write_floats(os, bn->running_var());
+    } else if (dynamic_cast<ReLU*>(&layer) != nullptr) {
+      write_u32(os, static_cast<std::uint32_t>(LayerTag::kReLU));
+    } else if (dynamic_cast<Sigmoid*>(&layer) != nullptr) {
+      write_u32(os, static_cast<std::uint32_t>(LayerTag::kSigmoid));
+    } else {
+      return false;  // Unknown layer type.
+    }
+  }
+
+  write_u32(os, static_cast<std::uint32_t>(metadata.size()));
+  for (const auto& [key, value] : metadata) {
+    write_string(os, key);
+    write_f64(os, value);
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<SavedModel> load_model(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    return std::nullopt;
+  std::uint32_t version = 0;
+  if (!read_u32(is, version) || version != kVersion) return std::nullopt;
+
+  SavedModel out;
+  std::uint32_t std_dim = 0;
+  if (!read_u32(is, std_dim)) return std::nullopt;
+  if (std_dim > 0) {
+    std::vector<float> mean(std_dim);
+    std::vector<float> inv_std(std_dim);
+    is.read(reinterpret_cast<char*>(mean.data()),
+            static_cast<std::streamsize>(std_dim * sizeof(float)));
+    is.read(reinterpret_cast<char*>(inv_std.data()),
+            static_cast<std::streamsize>(std_dim * sizeof(float)));
+    if (!is) return std::nullopt;
+    out.standardizer.set(std::move(mean), std::move(inv_std));
+  }
+
+  std::uint32_t n_layers = 0;
+  if (!read_u32(is, n_layers) || n_layers > 1024) return std::nullopt;
+  core::Rng dummy_rng(0);  // Weights are overwritten after construction.
+  for (std::uint32_t i = 0; i < n_layers; ++i) {
+    std::uint32_t tag = 0;
+    if (!read_u32(is, tag)) return std::nullopt;
+    switch (static_cast<LayerTag>(tag)) {
+      case LayerTag::kLinear: {
+        std::uint32_t in = 0;
+        std::uint32_t out_f = 0;
+        if (!read_u32(is, in) || !read_u32(is, out_f)) return std::nullopt;
+        auto lin = std::make_unique<Linear>(in, out_f, dummy_rng);
+        std::vector<float> w;
+        std::vector<float> b;
+        if (!read_floats(is, w) || !read_floats(is, b)) return std::nullopt;
+        if (w.size() != static_cast<std::size_t>(in) * out_f ||
+            b.size() != out_f)
+          return std::nullopt;
+        lin->weight().value.vec() = std::move(w);
+        lin->bias().value.vec() = std::move(b);
+        out.model.add(std::move(lin));
+        break;
+      }
+      case LayerTag::kBatchNorm1d: {
+        std::uint32_t features = 0;
+        if (!read_u32(is, features)) return std::nullopt;
+        auto bn = std::make_unique<BatchNorm1d>(features);
+        std::vector<float> gamma;
+        std::vector<float> beta;
+        std::vector<float> mean;
+        std::vector<float> var;
+        if (!read_floats(is, gamma) || !read_floats(is, beta) ||
+            !read_floats(is, mean) || !read_floats(is, var))
+          return std::nullopt;
+        if (gamma.size() != features || beta.size() != features ||
+            mean.size() != features || var.size() != features)
+          return std::nullopt;
+        bn->gamma().value.vec() = std::move(gamma);
+        bn->beta().value.vec() = std::move(beta);
+        bn->running_mean() = std::move(mean);
+        bn->running_var() = std::move(var);
+        out.model.add(std::move(bn));
+        break;
+      }
+      case LayerTag::kReLU:
+        out.model.add(std::make_unique<ReLU>());
+        break;
+      case LayerTag::kSigmoid:
+        out.model.add(std::make_unique<Sigmoid>());
+        break;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  std::uint32_t n_meta = 0;
+  if (!read_u32(is, n_meta) || n_meta > 4096) return std::nullopt;
+  for (std::uint32_t i = 0; i < n_meta; ++i) {
+    std::string key;
+    double value = 0.0;
+    if (!read_string(is, key) || !read_f64(is, value)) return std::nullopt;
+    out.metadata.emplace(std::move(key), value);
+  }
+  return out;
+}
+
+}  // namespace adapt::nn

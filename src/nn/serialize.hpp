@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file serialize.hpp
+/// Binary (de)serialization of trained models.  The flight software
+/// loads models produced on the ground, so the format carries
+/// everything inference needs: the layer stack with weights and
+/// batchnorm running statistics, the input standardizer, and a small
+/// key/value metadata block (e.g. the per-polar-bin classification
+/// thresholds of pipeline/thresholds.hpp).
+///
+/// Format (little-endian):
+///   magic "ADNN", version u32
+///   standardizer: u32 dim (0 = absent), dim x f32 mean, dim x f32 inv_std
+///   u32 n_layers, then per layer:
+///     u32 tag (see LayerTag), payload per type
+///   u32 n_metadata, then per entry: string key, f64 value
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "nn/data.hpp"
+#include "nn/sequential.hpp"
+
+namespace adapt::nn {
+
+struct SavedModel {
+  Sequential model;
+  Standardizer standardizer;
+  std::map<std::string, double> metadata;
+};
+
+/// Serialize to `path`.  Returns false on I/O failure.
+bool save_model(Sequential& model, const Standardizer& standardizer,
+                const std::map<std::string, double>& metadata,
+                const std::string& path);
+
+/// Deserialize from `path`.  Returns nullopt on missing/corrupt file.
+std::optional<SavedModel> load_model(const std::string& path);
+
+}  // namespace adapt::nn

@@ -1,0 +1,116 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.hpp"
+
+namespace adapt::nn {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::he_init(std::size_t fan_in, core::Rng& rng) {
+  ADAPT_REQUIRE(fan_in > 0, "fan_in must be positive");
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (float& v : data_) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void Tensor::xavier_init(std::size_t fan_in, std::size_t fan_out,
+                         core::Rng& rng) {
+  ADAPT_REQUIRE(fan_in + fan_out > 0, "fans must be positive");
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (float& v : data_) v = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+Tensor Tensor::slice_rows(std::size_t begin, std::size_t end) const {
+  ADAPT_REQUIRE(begin <= end && end <= rows_, "row slice out of range");
+  Tensor out(end - begin, cols_);
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(begin * cols_),
+            data_.begin() + static_cast<std::ptrdiff_t>(end * cols_),
+            out.data());
+  return out;
+}
+
+double Tensor::squared_norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+void matmul_abt(const Tensor& a, const Tensor& b, Tensor& c) {
+  ADAPT_REQUIRE(a.cols() == b.cols(), "matmul_abt: inner dims mismatch");
+  const std::size_t n = a.rows();
+  const std::size_t m = b.rows();
+  const std::size_t k = a.cols();
+  if (c.rows() != n || c.cols() != m) c = Tensor(n, m);
+
+  const auto ni = static_cast<std::ptrdiff_t>(n);
+#pragma omp parallel for schedule(static) if (n * m * k > 16384)
+  for (std::ptrdiff_t i = 0; i < ni; ++i) {
+    const float* ai = a.data() + static_cast<std::size_t>(i) * k;
+    float* ci = c.data() + static_cast<std::size_t>(i) * m;
+    for (std::size_t j = 0; j < m; ++j) {
+      const float* bj = b.data() + j * k;
+      float s = 0.0f;
+      for (std::size_t t = 0; t < k; ++t) s += ai[t] * bj[t];
+      ci[j] = s;
+    }
+  }
+}
+
+void matmul_ab(const Tensor& a, const Tensor& b, Tensor& c) {
+  ADAPT_REQUIRE(a.cols() == b.rows(), "matmul_ab: inner dims mismatch");
+  const std::size_t n = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t m = b.cols();
+  if (c.rows() != n || c.cols() != m) c = Tensor(n, m);
+  c.zero();
+
+  const auto ni = static_cast<std::ptrdiff_t>(n);
+#pragma omp parallel for schedule(static) if (n * m * k > 16384)
+  for (std::ptrdiff_t i = 0; i < ni; ++i) {
+    const float* ai = a.data() + static_cast<std::size_t>(i) * k;
+    float* ci = c.data() + static_cast<std::size_t>(i) * m;
+    for (std::size_t t = 0; t < k; ++t) {
+      const float av = ai[t];
+      const float* bt = b.data() + t * m;
+      for (std::size_t j = 0; j < m; ++j) ci[j] += av * bt[j];
+    }
+  }
+}
+
+void matmul_atb(const Tensor& a, const Tensor& b, Tensor& c) {
+  ADAPT_REQUIRE(a.rows() == b.rows(), "matmul_atb: inner dims mismatch");
+  const std::size_t k = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t m = b.cols();
+  if (c.rows() != n || c.cols() != m) c = Tensor(n, m);
+  c.zero();
+
+  // Accumulate outer products; parallel over output rows to avoid
+  // write conflicts.
+  const auto nn_ = static_cast<std::ptrdiff_t>(n);
+#pragma omp parallel for schedule(static) if (n * m * k > 16384)
+  for (std::ptrdiff_t i = 0; i < nn_; ++i) {
+    float* ci = c.data() + static_cast<std::size_t>(i) * m;
+    for (std::size_t t = 0; t < k; ++t) {
+      const float av = a(t, static_cast<std::size_t>(i));
+      const float* bt = b.data() + t * m;
+      for (std::size_t j = 0; j < m; ++j) ci[j] += av * bt[j];
+    }
+  }
+}
+
+void add_row_broadcast(Tensor& y, const std::vector<float>& row) {
+  ADAPT_REQUIRE(y.cols() == row.size(), "bias width mismatch");
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    float* yi = y.data() + i * y.cols();
+    for (std::size_t j = 0; j < y.cols(); ++j) yi[j] += row[j];
+  }
+}
+
+}  // namespace adapt::nn

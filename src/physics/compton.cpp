@@ -1,0 +1,43 @@
+#include "physics/compton.hpp"
+
+#include <cmath>
+
+#include "core/require.hpp"
+#include "core/units.hpp"
+
+namespace adapt::physics {
+
+using core::kElectronMassMeV;
+
+double compton_scattered_energy(double e_in, double cos_theta) {
+  ADAPT_REQUIRE(e_in > 0.0, "photon energy must be positive");
+  const double denom = 1.0 + (e_in / kElectronMassMeV) * (1.0 - cos_theta);
+  return e_in / denom;
+}
+
+double compton_cos_theta(double e_in, double e_out) {
+  ADAPT_REQUIRE(e_in > 0.0 && e_out > 0.0, "energies must be positive");
+  return 1.0 - kElectronMassMeV * (1.0 / e_out - 1.0 / e_in);
+}
+
+double ring_cosine(double e_total, double e_first) {
+  ADAPT_REQUIRE(e_total > 0.0, "total energy must be positive");
+  ADAPT_REQUIRE(e_first > 0.0 && e_first < e_total,
+                "first deposit must be in (0, e_total)");
+  return 1.0 + kElectronMassMeV * (1.0 / e_total - 1.0 / (e_total - e_first));
+}
+
+double min_energy_for_first_deposit(double e_first) {
+  ADAPT_REQUIRE(e_first > 0.0, "deposit must be positive");
+  // At cos_theta = -1 the deposit is maximal:
+  //   dep(E) = E - E / (1 + 2 E / m) = 2 E^2 / (m + 2 E).
+  // Solving dep(E) = e_first for E:
+  const double m = kElectronMassMeV;
+  return (e_first + std::sqrt(e_first * e_first + 2.0 * m * e_first)) / 2.0;
+}
+
+double compton_energy_deposit(double e_in, double cos_theta) {
+  return e_in - compton_scattered_energy(e_in, cos_theta);
+}
+
+}  // namespace adapt::physics

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file compton.hpp
+/// Compton scattering kinematics.  These formulas are the physical
+/// heart of the instrument: the same relation that the Monte-Carlo
+/// uses to scatter photons is inverted by reconstruction to recover
+/// the scattering angle (the Compton ring cosine eta) from measured
+/// energies.
+
+namespace adapt::physics {
+
+/// Scattered photon energy after a Compton scatter of a photon with
+/// energy `e_in` [MeV] through an angle with cosine `cos_theta`.
+///   E' = E / (1 + (E / m_e c^2) (1 - cos_theta))
+double compton_scattered_energy(double e_in, double cos_theta);
+
+/// Cosine of the scattering angle given incoming and outgoing photon
+/// energies [MeV]:
+///   cos_theta = 1 + m_e c^2 (1/E_in' ... ) rearranged as
+///   cos_theta = 1 - m_e c^2 (1/E_out - 1/E_in).
+/// The result is NOT clamped: values outside [-1, 1] signal
+/// kinematically impossible energy pairs, which reconstruction uses to
+/// reject mis-ordered hit sequences.
+double compton_cos_theta(double e_in, double e_out);
+
+/// The Compton-ring cosine eta for an event with total energy
+/// `e_total` whose first hit deposited `e_first` (paper Sec. II-B):
+/// the photon arrived with E = e_total and left the first interaction
+/// with E' = e_total - e_first, so
+///   eta = 1 + m_e c^2 * (1/e_total - 1/(e_total - e_first)).
+/// Unclamped for the same reason as compton_cos_theta.
+double ring_cosine(double e_total, double e_first);
+
+/// Minimum incident energy [MeV] capable of depositing `e_first` in a
+/// single Compton scatter (the backscatter, cos_theta = -1, limit).
+/// Events violating this bound cannot be a Compton scatter of a fully
+/// absorbed photon and are rejected by reconstruction filters.
+double min_energy_for_first_deposit(double e_first);
+
+/// Energy deposited by a Compton scatter of `e_in` at `cos_theta`.
+double compton_energy_deposit(double e_in, double cos_theta);
+
+}  // namespace adapt::physics

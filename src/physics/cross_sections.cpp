@@ -1,0 +1,76 @@
+#include "physics/cross_sections.hpp"
+
+#include <cmath>
+
+#include "core/require.hpp"
+#include "core/units.hpp"
+#include "physics/compton.hpp"
+
+namespace adapt::physics {
+
+using core::kClassicalElectronRadiusCm;
+using core::kElectronMassMeV;
+
+double klein_nishina_total(double e) {
+  ADAPT_REQUIRE(e > 0.0, "photon energy must be positive");
+  const double k = e / kElectronMassMeV;
+  const double re2 = kClassicalElectronRadiusCm * kClassicalElectronRadiusCm;
+  const double one_2k = 1.0 + 2.0 * k;
+  const double log_term = std::log(one_2k);
+  // Exact Klein-Nishina integral (e.g. Evans, "The Atomic Nucleus").
+  const double term1 =
+      (1.0 + k) / (k * k) * (2.0 * (1.0 + k) / one_2k - log_term / k);
+  const double term2 = log_term / (2.0 * k);
+  const double term3 = (1.0 + 3.0 * k) / (one_2k * one_2k);
+  return 2.0 * core::kPi * re2 * (term1 + term2 - term3);
+}
+
+double sample_klein_nishina_cos_theta(double e, core::Rng& rng) {
+  ADAPT_REQUIRE(e > 0.0, "photon energy must be positive");
+  // Unnormalized dsigma/dcos_theta ~ r^2 (r + 1/r - sin^2 theta) with
+  // r = E'/E.  The integrand is bounded above by its forward value 2
+  // (r = 1 at cos_theta = 1), so plain rejection is exact.
+  for (;;) {
+    const double c = rng.uniform(-1.0, 1.0);
+    const double r = compton_scattered_energy(e, c) / e;
+    const double sin2 = 1.0 - c * c;
+    const double f = r * r * (r + 1.0 / r - sin2);
+    if (rng.uniform() * 2.0 < f) return c;
+  }
+}
+
+Attenuation attenuation(const detector::Material& material, double e) {
+  ADAPT_REQUIRE(e > 0.0, "photon energy must be positive");
+  Attenuation mu;
+  mu.compton = material.electron_density * klein_nishina_total(e);
+
+  // Photoelectric: steep E^-3 below the knee, shallower power law
+  // above it (the cross section flattens once all shells contribute
+  // and relativistic effects set in).
+  const double knee = material.photo_knee;
+  if (e <= knee) {
+    mu.photoelectric = material.photo_coeff / (e * e * e);
+  } else {
+    const double at_knee = material.photo_coeff / (knee * knee * knee);
+    mu.photoelectric =
+        at_knee * std::pow(e / knee, -material.photo_high_exponent);
+  }
+
+  // Pair production above threshold, slowly (logarithmically) rising.
+  const double threshold = 2.0 * kElectronMassMeV;
+  if (e > threshold) {
+    mu.pair = material.pair_coeff * std::log(e / threshold);
+  }
+  return mu;
+}
+
+Process sample_process(const Attenuation& mu, core::Rng& rng) {
+  const double total = mu.total();
+  ADAPT_REQUIRE(total > 0.0, "total attenuation must be positive");
+  const double u = rng.uniform() * total;
+  if (u < mu.compton) return Process::kCompton;
+  if (u < mu.compton + mu.photoelectric) return Process::kPhotoelectric;
+  return Process::kPair;
+}
+
+}  // namespace adapt::physics

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file cross_sections.hpp
+/// Photon interaction cross sections and attenuation coefficients.
+///
+/// The Compton channel uses the exact (free-electron) Klein-Nishina
+/// total cross section and exact rejection sampling of the scattering
+/// angle.  The photoelectric and pair-production channels use the
+/// calibrated parameterizations stored in detector::Material (see
+/// material.hpp and DESIGN.md for the Geant4 substitution rationale).
+
+#include "core/rng.hpp"
+#include "detector/material.hpp"
+
+namespace adapt::physics {
+
+/// Klein-Nishina total cross section per electron [cm^2] for a photon
+/// of energy `e` [MeV].
+double klein_nishina_total(double e);
+
+/// Sample the cosine of the Compton scattering angle for a photon of
+/// energy `e` [MeV] from the Klein-Nishina differential cross section
+/// (exact rejection sampling).
+double sample_klein_nishina_cos_theta(double e, core::Rng& rng);
+
+/// Linear attenuation coefficients [1/cm] in a material.
+struct Attenuation {
+  double compton = 0.0;
+  double photoelectric = 0.0;
+  double pair = 0.0;
+
+  double total() const { return compton + photoelectric + pair; }
+};
+
+Attenuation attenuation(const detector::Material& material, double e);
+
+/// Interaction channels selected by the transport loop.
+enum class Process {
+  kCompton,
+  kPhotoelectric,
+  kPair,
+};
+
+/// Pick an interaction channel proportionally to the partial
+/// attenuation coefficients.
+Process sample_process(const Attenuation& mu, core::Rng& rng);
+
+}  // namespace adapt::physics

@@ -1,0 +1,120 @@
+#include "physics/transport.hpp"
+
+#include <cmath>
+
+#include "core/mat3.hpp"
+#include "core/require.hpp"
+#include "core/units.hpp"
+#include "physics/compton.hpp"
+#include "physics/cross_sections.hpp"
+
+namespace adapt::physics {
+
+using core::Mat3;
+using core::Vec3;
+
+Transport::Transport(const detector::Geometry& geometry,
+                     const detector::Material& material,
+                     const TransportConfig& config)
+    : geometry_(&geometry), material_(&material), config_(config) {
+  ADAPT_REQUIRE(config.energy_cutoff > 0.0, "energy cutoff must be > 0");
+  ADAPT_REQUIRE(config.max_interactions > 0, "max_interactions must be > 0");
+}
+
+std::optional<Vec3> Transport::next_interaction_point(const Vec3& origin,
+                                                      const Vec3& dir,
+                                                      double mu_total,
+                                                      core::Rng& rng) const {
+  // Optical depth to consume, sampled from the exponential law.
+  double tau = rng.exponential(1.0);
+  const auto segments = geometry_->trace(origin, dir, 1e-9);
+  for (const auto& seg : segments) {
+    const double length = seg.t_exit - seg.t_enter;
+    const double depth = mu_total * length;
+    if (tau <= depth) {
+      const double t = seg.t_enter + tau / mu_total;
+      return origin + dir * t;
+    }
+    tau -= depth;
+  }
+  return std::nullopt;  // Escaped through the far side.
+}
+
+bool Transport::track(Vec3 position, Vec3 direction, double energy, int depth,
+                      detector::RawEvent& event, core::Rng& rng) const {
+  bool all_deposited = true;
+  for (int n = 0; n < config_.max_interactions; ++n) {
+    const Attenuation mu = attenuation(*material_, energy);
+    const auto point =
+        next_interaction_point(position, direction, mu.total(), rng);
+    if (!point) return false;  // Photon escaped.
+
+    const int layer = geometry_->layer_at(point->z);
+
+    // Below the cutoff, the photon range is negligible: absorb here.
+    if (energy <= config_.energy_cutoff) {
+      event.hits.push_back(detector::TrueHit{*point, energy, layer});
+      return all_deposited;
+    }
+
+    switch (sample_process(mu, rng)) {
+      case Process::kPhotoelectric: {
+        event.hits.push_back(detector::TrueHit{*point, energy, layer});
+        return all_deposited;
+      }
+      case Process::kCompton: {
+        const double cos_theta = sample_klein_nishina_cos_theta(energy, rng);
+        const double e_out = compton_scattered_energy(energy, cos_theta);
+        const double deposit = energy - e_out;
+        if (deposit > 0.0) {
+          event.hits.push_back(detector::TrueHit{*point, deposit, layer});
+        }
+        // New direction: polar angle theta about the old direction,
+        // uniform azimuth, rotated back to the detector frame.
+        const double sin_theta =
+            std::sqrt(std::max(0.0, 1.0 - cos_theta * cos_theta));
+        const double phi = rng.uniform(0.0, core::kTwoPi);
+        const Vec3 local{sin_theta * std::cos(phi), sin_theta * std::sin(phi),
+                         cos_theta};
+        direction = (Mat3::frame_to(direction) * local).normalized();
+        position = *point;
+        energy = e_out;
+        break;
+      }
+      case Process::kPair: {
+        // Pair production: the e+/e- kinetic energy (E - 2 m_e c^2)
+        // deposits locally; positron annihilation then emits two
+        // back-to-back 511 keV photons.
+        const double kinetic = energy - 2.0 * core::kElectronMassMeV;
+        if (kinetic > 0.0) {
+          event.hits.push_back(detector::TrueHit{*point, kinetic, layer});
+        }
+        if (depth < config_.max_secondary_depth) {
+          const Vec3 dir_a = rng.isotropic_direction();
+          const bool a = track(*point, dir_a, core::kElectronMassMeV,
+                               depth + 1, event, rng);
+          const bool b = track(*point, -dir_a, core::kElectronMassMeV,
+                               depth + 1, event, rng);
+          return all_deposited && a && b;
+        }
+        return false;  // Annihilation photons not tracked: energy lost.
+      }
+    }
+  }
+  return false;  // Interaction cap hit; treat as partially contained.
+}
+
+detector::RawEvent Transport::propagate(const Vec3& origin,
+                                        const Vec3& direction, double energy,
+                                        core::Rng& rng) const {
+  ADAPT_REQUIRE(energy > 0.0, "photon energy must be positive");
+  ADAPT_REQUIRE(std::abs(direction.norm() - 1.0) < 1e-6,
+                "direction must be unit length");
+  detector::RawEvent event;
+  event.true_direction = direction;
+  event.true_energy = energy;
+  event.fully_absorbed = track(origin, direction, energy, 0, event, rng);
+  return event;
+}
+
+}  // namespace adapt::physics

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file transport.hpp
+/// Monte-Carlo photon transport through the ADAPT tile stack.
+///
+/// This is the repository's stand-in for the paper's Geant4
+/// simulation: it propagates a photon through the layered scintillator
+/// geometry, sampling interaction points from the exponential
+/// attenuation law and interaction types from the partial attenuation
+/// coefficients.  Compton scatters use exact Klein-Nishina angle
+/// sampling; photoabsorption deposits the remaining energy; pair
+/// production deposits the kinetic energy locally and emits two
+/// back-to-back 511 keV annihilation photons that are themselves
+/// transported.  The result is the photon's true interaction history
+/// (a RawEvent) with chronological hits.
+
+#include <optional>
+
+#include "core/rng.hpp"
+#include "detector/geometry.hpp"
+#include "detector/hit.hpp"
+#include "detector/material.hpp"
+
+namespace adapt::physics {
+
+struct TransportConfig {
+  /// Photons below this energy [MeV] are considered locally absorbed
+  /// at their next interaction (their range is millimetric in CsI).
+  double energy_cutoff = 0.010;
+
+  /// Hard cap on interactions per primary (pathological-history guard;
+  /// physical events terminate long before this).
+  int max_interactions = 32;
+
+  /// Annihilation-photon recursion depth (pair production chains).
+  int max_secondary_depth = 2;
+};
+
+class Transport {
+ public:
+  Transport(const detector::Geometry& geometry,
+            const detector::Material& material,
+            const TransportConfig& config = {});
+
+  /// Propagate one primary photon.  `origin` is a point outside (or
+  /// on the boundary of) the detector, `direction` its unit travel
+  /// direction, `energy` in MeV.  Returns the event's true interaction
+  /// history; an event with zero hits means the photon crossed the
+  /// detector without interacting.
+  detector::RawEvent propagate(const core::Vec3& origin,
+                               const core::Vec3& direction, double energy,
+                               core::Rng& rng) const;
+
+  const detector::Geometry& geometry() const { return *geometry_; }
+  const detector::Material& material() const { return *material_; }
+
+ private:
+  /// Sample the next interaction point of a ray starting at `origin`
+  /// along `dir` with attenuation mu_total.  Returns nullopt when the
+  /// photon escapes all material.
+  std::optional<core::Vec3> next_interaction_point(const core::Vec3& origin,
+                                                   const core::Vec3& dir,
+                                                   double mu_total,
+                                                   core::Rng& rng) const;
+
+  /// Transport one photon (primary or secondary), appending hits.
+  /// Returns true if the photon's full energy was deposited.
+  bool track(core::Vec3 position, core::Vec3 direction, double energy,
+             int depth, detector::RawEvent& event, core::Rng& rng) const;
+
+  const detector::Geometry* geometry_;
+  const detector::Material* material_;
+  TransportConfig config_;
+};
+
+}  // namespace adapt::physics

@@ -1,0 +1,62 @@
+#include "pipeline/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.hpp"
+
+namespace adapt::pipeline {
+
+void write_base_features(const recon::ComptonRing& ring, float* row) {
+  std::size_t i = 0;
+  row[i++] = static_cast<float>(ring.e_total);
+  row[i++] = static_cast<float>(ring.hit1.position.x);
+  row[i++] = static_cast<float>(ring.hit1.position.y);
+  row[i++] = static_cast<float>(ring.hit1.position.z);
+  row[i++] = static_cast<float>(ring.hit1.energy);
+  row[i++] = static_cast<float>(ring.hit2.position.x);
+  row[i++] = static_cast<float>(ring.hit2.position.y);
+  row[i++] = static_cast<float>(ring.hit2.position.z);
+  row[i++] = static_cast<float>(ring.hit2.energy);
+  row[i++] = static_cast<float>(ring.sigma_e_total);
+  row[i++] = static_cast<float>(ring.hit1.sigma_energy);
+  row[i++] = static_cast<float>(ring.hit2.sigma_energy);
+  ADAPT_REQUIRE(i == kBaseFeatureCount, "feature layout drifted");
+}
+
+nn::Tensor feature_matrix(std::span<const recon::ComptonRing> rings,
+                          bool include_polar, double polar_deg_guess) {
+  const std::size_t d = include_polar ? kFeatureCount : kBaseFeatureCount;
+  nn::Tensor x(rings.size(), d);
+  for (std::size_t r = 0; r < rings.size(); ++r) {
+    write_base_features(rings[r], x.data() + r * d);
+    if (include_polar)
+      x(r, kBaseFeatureCount) = static_cast<float>(polar_deg_guess);
+  }
+  return x;
+}
+
+nn::Tensor feature_matrix(std::span<const recon::ComptonRing> rings,
+                          std::span<const double> polar_deg_per_ring) {
+  ADAPT_REQUIRE(polar_deg_per_ring.size() == rings.size(),
+                "per-ring polar guess count mismatch");
+  nn::Tensor x(rings.size(), kFeatureCount);
+  for (std::size_t r = 0; r < rings.size(); ++r) {
+    write_base_features(rings[r], x.data() + r * kFeatureCount);
+    x(r, kBaseFeatureCount) = static_cast<float>(polar_deg_per_ring[r]);
+  }
+  return x;
+}
+
+float background_label(const recon::ComptonRing& ring) {
+  return ring.origin == detector::Origin::kBackground ? 1.0f : 0.0f;
+}
+
+float deta_target(const recon::ComptonRing& ring,
+                  const core::Vec3& true_source, double floor, double cap) {
+  ADAPT_REQUIRE(floor > 0.0 && cap > floor, "invalid d_eta bounds");
+  const double err = std::abs(ring.eta_error(true_source));
+  return static_cast<float>(std::log(std::clamp(err, floor, cap)));
+}
+
+}  // namespace adapt::pipeline

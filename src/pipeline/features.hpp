@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file features.hpp
+/// The networks' input features (paper Sec. III, "Input Features").
+///
+/// Twelve features come from the Compton ring's event: the total
+/// deposited energy; position (x, y, z) and deposited energy of each
+/// of the first two hits; and the quoted uncertainties of the three
+/// energy measurements (total + two deposits).  A thirteenth feature
+/// is a guess of the source's polar angle — ADAPT's field of view is
+/// bounded by the Earth, and the paper shows (Fig. 7) that a roughly
+/// correct angle materially improves the networks at the extremes.
+/// The pipeline supplies its current localization estimate as that
+/// guess (Fig. 6).
+
+#include <span>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "recon/ring.hpp"
+
+namespace adapt::pipeline {
+
+/// Number of base (non-polar) features.
+inline constexpr std::size_t kBaseFeatureCount = 12;
+/// Full feature count including the polar-angle guess.
+inline constexpr std::size_t kFeatureCount = 13;
+
+/// Fill one feature row (without polar angle) from a ring.
+void write_base_features(const recon::ComptonRing& ring, float* row);
+
+/// Feature matrix for a batch of rings.  When `include_polar` is true
+/// the 13th column is `polar_deg_guess` for every row (the pipeline's
+/// single current estimate of the source polar angle, in degrees).
+nn::Tensor feature_matrix(std::span<const recon::ComptonRing> rings,
+                          bool include_polar, double polar_deg_guess);
+
+/// Same, but with an independent polar guess per ring (training uses
+/// the true per-burst angle).
+nn::Tensor feature_matrix(std::span<const recon::ComptonRing> rings,
+                          std::span<const double> polar_deg_per_ring);
+
+/// Classification target: 1.0 for background rings, 0.0 for GRB rings.
+float background_label(const recon::ComptonRing& ring);
+
+/// Regression target for the dEta network: the natural log of the
+/// ring's *actual* eta error against the true source direction,
+/// floored/capped so the log stays bounded (the paper's network
+/// regresses ln(d_eta) because the error spans orders of magnitude).
+float deta_target(const recon::ComptonRing& ring,
+                  const core::Vec3& true_source,
+                  double floor = 1e-4, double cap = 2.0);
+
+}  // namespace adapt::pipeline

@@ -1,0 +1,157 @@
+#include "pipeline/ml_localizer.hpp"
+
+#include <chrono>
+
+#include "core/require.hpp"
+#include "core/units.hpp"
+#include "loc/likelihood.hpp"
+
+namespace adapt::pipeline {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Accumulate into a timing slot only when the caller asked for it.
+class StageTimer {
+ public:
+  explicit StageTimer(double* slot) : slot_(slot), start_(Clock::now()) {}
+  ~StageTimer() {
+    if (slot_) *slot_ += ms_since(start_);
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  double* slot_;
+  Clock::time_point start_;
+};
+
+}  // namespace
+
+MlLocalizer::MlLocalizer(const MlLocalizerConfig& config) : config_(config) {
+  ADAPT_REQUIRE(config.max_background_iterations >= 0,
+                "negative iteration cap");
+  ADAPT_REQUIRE(config.convergence_angle_rad > 0.0,
+                "convergence angle must be positive");
+}
+
+MlLocalizationResult MlLocalizer::run(
+    std::span<const recon::ComptonRing> rings, BackgroundNet* background_net,
+    DEtaNet* deta_net, core::Rng& rng, StageTimings* timings) const {
+  const auto total_start = Clock::now();
+  MlLocalizationResult result;
+  result.rings_in = rings.size();
+  result.rings_kept = rings.size();
+
+  const loc::Localizer localizer(config_.localizer);
+
+  // --- Setup: copy the ring set we will edit (d_eta updates and
+  // background removal operate on the working copy) and precompute the
+  // classifier's polar-independent feature columns once — the loop
+  // re-classifies every iteration but only the polar guess changes.
+  std::vector<recon::ComptonRing> working;
+  nn::Tensor prepared_features;
+  {
+    StageTimer t(timings ? &timings->setup_ms : nullptr);
+    working.assign(rings.begin(), rings.end());
+    if (background_net != nullptr) {
+      prepared_features = background_net->prepare_features(working);
+    }
+  }
+
+  // --- Initial (no-ML) localization: multi-start approximation plus
+  // robust refinement.
+  {
+    StageTimer t(timings ? &timings->approx_refine_ms : nullptr);
+    result.base = localizer.localize(working, rng);
+  }
+  if (!result.base.valid) {
+    if (timings) timings->total_ms = ms_since(total_start);
+    return result;
+  }
+  core::Vec3 s_hat = result.base.direction;
+  result.direction = s_hat;
+  result.valid = true;
+
+  // --- Step 2 (Fig. 6): iterate background rejection at the current
+  // polar angle against re-localization.  Classification always runs
+  // on the full input set so rings wrongly dropped by an earlier, less
+  // accurate estimate can be recovered.  Per the paper, this iteration
+  // removes background more effectively than a single application of
+  // the model at the first estimate of s-hat.
+  std::vector<recon::ComptonRing> kept = working;
+  if (background_net != nullptr) {
+    for (int iter = 0; iter < config_.max_background_iterations; ++iter) {
+      result.background_iterations = iter + 1;
+      const double polar_deg = core::rad_to_deg(core::polar_of(s_hat));
+
+      std::vector<std::uint8_t> is_background;
+      {
+        StageTimer t(timings ? &timings->background_inference_ms : nullptr);
+        is_background =
+            background_net->classify_prepared(prepared_features, polar_deg);
+      }
+      kept.clear();
+      for (std::size_t i = 0; i < working.size(); ++i)
+        if (!is_background[i]) kept.push_back(working[i]);
+      if (kept.size() < 2) {
+        kept = working;  // Degenerate rejection: fall back to all rings.
+        break;
+      }
+
+      // Full re-localization (multi-start approximation + refinement)
+      // on the surviving rings: when the pre-rejection estimate was
+      // captured by a background mode, refinement alone cannot escape
+      // it, but with the background removed the approximation re-finds
+      // the true mode.
+      loc::LocalizationResult step;
+      {
+        StageTimer t(timings ? &timings->approx_refine_ms : nullptr);
+        step = localizer.localize(kept, rng);
+      }
+      if (!step.valid) break;
+
+      const double moved = core::angle_between(s_hat, step.direction);
+      s_hat = step.direction;
+      result.direction = s_hat;
+      if (moved < config_.convergence_angle_rad) {
+        result.loop_converged = true;
+        break;
+      }
+    }
+  }
+  result.rings_kept = kept.size();
+
+  // --- Step 3: replace the survivors' propagated d_eta with the dEta
+  // network's estimate at the final polar angle.
+  if (deta_net != nullptr && !kept.empty()) {
+    const double polar_deg = core::rad_to_deg(core::polar_of(s_hat));
+    std::vector<double> d_eta;
+    {
+      StageTimer t(timings ? &timings->deta_inference_ms : nullptr);
+      d_eta = deta_net->predict(kept, polar_deg, config_.deta_floor,
+                                config_.deta_cap);
+    }
+    for (std::size_t i = 0; i < kept.size(); ++i) kept[i].d_eta = d_eta[i];
+  }
+
+  // --- Step 4: final localization from the last estimate.
+  {
+    StageTimer t(timings ? &timings->approx_refine_ms : nullptr);
+    const loc::LocalizationResult final_fit = localizer.refine(kept, s_hat);
+    if (final_fit.valid) {
+      result.direction = final_fit.direction;
+    }
+  }
+
+  if (timings) timings->total_ms = ms_since(total_start);
+  return result;
+}
+
+}  // namespace adapt::pipeline

@@ -1,0 +1,159 @@
+#include "pipeline/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.hpp"
+#include "nn/activations.hpp"
+#include "nn/serialize.hpp"
+
+namespace adapt::pipeline {
+
+BackgroundNet::BackgroundNet(nn::Sequential model,
+                             nn::Standardizer standardizer,
+                             PolarThresholds thresholds, bool uses_polar)
+    : fp32_(std::move(model)),
+      standardizer_(std::move(standardizer)),
+      thresholds_(std::move(thresholds)),
+      uses_polar_(uses_polar) {}
+
+BackgroundNet::BackgroundNet(quant::QuantizedMlp model,
+                             nn::Standardizer standardizer,
+                             PolarThresholds thresholds, bool uses_polar)
+    : int8_(std::move(model)),
+      standardizer_(std::move(standardizer)),
+      thresholds_(std::move(thresholds)),
+      uses_polar_(uses_polar) {}
+
+std::vector<float> BackgroundNet::logits_for_features(
+    const nn::Tensor& raw_features) {
+  nn::Tensor x = standardizer_.fitted() ? standardizer_.transform(raw_features)
+                                        : raw_features;
+  nn::Tensor out;
+  if (int8_) {
+    out = int8_->forward(x);
+  } else {
+    ADAPT_REQUIRE(fp32_.has_value(), "background net has no model");
+    out = fp32_->forward(x, /*training=*/false);
+  }
+  ADAPT_REQUIRE(out.cols() == 1, "background net must output one logit");
+  std::vector<float> logits(out.rows());
+  for (std::size_t i = 0; i < logits.size(); ++i) logits[i] = out(i, 0);
+  return logits;
+}
+
+std::vector<float> BackgroundNet::logits(
+    std::span<const recon::ComptonRing> rings, double polar_deg_guess) {
+  if (rings.empty()) return {};
+  return logits_for_features(
+      feature_matrix(rings, uses_polar_, polar_deg_guess));
+}
+
+nn::Tensor BackgroundNet::prepare_features(
+    std::span<const recon::ComptonRing> rings) const {
+  return feature_matrix(rings, uses_polar_, 0.0);
+}
+
+std::vector<float> BackgroundNet::logits_prepared(const nn::Tensor& prepared,
+                                                  double polar_deg_guess) {
+  if (prepared.rows() == 0) return {};
+  nn::Tensor x = prepared;
+  if (uses_polar_) {
+    for (std::size_t r = 0; r < x.rows(); ++r)
+      x(r, kBaseFeatureCount) = static_cast<float>(polar_deg_guess);
+  }
+  return logits_for_features(x);
+}
+
+std::vector<std::uint8_t> BackgroundNet::classify_prepared(
+    const nn::Tensor& prepared, double polar_deg_guess) {
+  const auto l = logits_prepared(prepared, polar_deg_guess);
+  const double thr = thresholds_.logit_threshold(polar_deg_guess);
+  std::vector<std::uint8_t> out(l.size());
+  for (std::size_t i = 0; i < l.size(); ++i)
+    out[i] = static_cast<double>(l[i]) >= thr ? 1 : 0;
+  return out;
+}
+
+std::vector<float> BackgroundNet::probabilities(
+    std::span<const recon::ComptonRing> rings, double polar_deg_guess) {
+  auto out = logits(rings, polar_deg_guess);
+  for (float& v : out) v = nn::sigmoid(v);
+  return out;
+}
+
+std::vector<std::uint8_t> BackgroundNet::classify(
+    std::span<const recon::ComptonRing> rings, double polar_deg_guess) {
+  const auto l = logits(rings, polar_deg_guess);
+  const double thr = thresholds_.logit_threshold(polar_deg_guess);
+  std::vector<std::uint8_t> out(l.size());
+  for (std::size_t i = 0; i < l.size(); ++i)
+    out[i] = static_cast<double>(l[i]) >= thr ? 1 : 0;
+  return out;
+}
+
+bool BackgroundNet::save(const std::string& path) {
+  ADAPT_REQUIRE(fp32_.has_value(),
+                "only the FP32 background net serializes directly");
+  auto meta = thresholds_.to_metadata();
+  meta["uses_polar"] = uses_polar_ ? 1.0 : 0.0;
+  return nn::save_model(*fp32_, standardizer_, meta, path);
+}
+
+std::optional<BackgroundNet> BackgroundNet::load(const std::string& path) {
+  auto saved = nn::load_model(path);
+  if (!saved) return std::nullopt;
+  const bool uses_polar =
+      saved->metadata.count("uses_polar") == 0 ||
+      saved->metadata.at("uses_polar") > 0.5;
+  return BackgroundNet(std::move(saved->model), std::move(saved->standardizer),
+                       PolarThresholds::from_metadata(saved->metadata),
+                       uses_polar);
+}
+
+DEtaNet::DEtaNet(nn::Sequential model, nn::Standardizer standardizer,
+                 bool uses_polar, double calibration)
+    : model_(std::move(model)),
+      standardizer_(std::move(standardizer)),
+      uses_polar_(uses_polar),
+      calibration_(calibration) {
+  ADAPT_REQUIRE(calibration > 0.0, "calibration must be positive");
+}
+
+std::vector<double> DEtaNet::predict(std::span<const recon::ComptonRing> rings,
+                                     double polar_deg_guess, double floor,
+                                     double cap) {
+  ADAPT_REQUIRE(floor > 0.0 && cap > floor, "invalid d_eta bounds");
+  if (rings.empty()) return {};
+  nn::Tensor x = feature_matrix(rings, uses_polar_, polar_deg_guess);
+  if (standardizer_.fitted()) standardizer_.transform_in_place(x);
+  const nn::Tensor out = model_.forward(x, /*training=*/false);
+  ADAPT_REQUIRE(out.cols() == 1, "dEta net must output one value");
+  std::vector<double> d(out.rows());
+  for (std::size_t i = 0; i < d.size(); ++i)
+    d[i] = std::clamp(
+        calibration_ * std::exp(static_cast<double>(out(i, 0))), floor, cap);
+  return d;
+}
+
+bool DEtaNet::save(const std::string& path) {
+  std::map<std::string, double> meta;
+  meta["uses_polar"] = uses_polar_ ? 1.0 : 0.0;
+  meta["calibration"] = calibration_;
+  return nn::save_model(model_, standardizer_, meta, path);
+}
+
+std::optional<DEtaNet> DEtaNet::load(const std::string& path) {
+  auto saved = nn::load_model(path);
+  if (!saved) return std::nullopt;
+  const bool uses_polar =
+      saved->metadata.count("uses_polar") == 0 ||
+      saved->metadata.at("uses_polar") > 0.5;
+  const double calibration = saved->metadata.count("calibration")
+                                 ? saved->metadata.at("calibration")
+                                 : 1.0;
+  return DEtaNet(std::move(saved->model), std::move(saved->standardizer),
+                 uses_polar, calibration);
+}
+
+}  // namespace adapt::pipeline

@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file models.hpp
+/// Deployment wrappers around the two trained networks.
+///
+/// A wrapper owns everything inference needs — the layer stack (FP32
+/// or the INT8 engine), the input standardizer, and for the background
+/// network the per-polar-bin thresholds — and exposes the ring-level
+/// operations the localization pipeline calls (paper Fig. 6).
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/data.hpp"
+#include "nn/sequential.hpp"
+#include "quant/quantized_mlp.hpp"
+#include "pipeline/features.hpp"
+#include "pipeline/thresholds.hpp"
+#include "recon/ring.hpp"
+
+namespace adapt::pipeline {
+
+/// Background-rejection network (classifier).  Supports the FP32
+/// model and the INT8-quantized engine behind one interface so the
+/// localization loop and the benches can swap them (Fig. 11).
+class BackgroundNet {
+ public:
+  /// FP32 variant.
+  BackgroundNet(nn::Sequential model, nn::Standardizer standardizer,
+                PolarThresholds thresholds, bool uses_polar = true);
+  /// INT8 variant.
+  BackgroundNet(quant::QuantizedMlp model, nn::Standardizer standardizer,
+                PolarThresholds thresholds, bool uses_polar = true);
+
+  bool uses_polar() const { return uses_polar_; }
+  bool quantized() const { return int8_.has_value(); }
+  const PolarThresholds& thresholds() const { return thresholds_; }
+
+  /// Raw logits for a batch of rings given the current polar guess.
+  std::vector<float> logits(std::span<const recon::ComptonRing> rings,
+                            double polar_deg_guess);
+
+  /// Precompute the (unstandardized) feature matrix for a ring set.
+  /// The 12 base features do not depend on the polar guess, so the
+  /// Fig. 6 loop assembles them once during localization setup and
+  /// re-classifies per iteration by rewriting only the polar column.
+  nn::Tensor prepare_features(
+      std::span<const recon::ComptonRing> rings) const;
+
+  /// Logits from a prepared matrix at the given polar guess.
+  std::vector<float> logits_prepared(const nn::Tensor& prepared,
+                                     double polar_deg_guess);
+
+  /// Classification from a prepared matrix (1 = background).
+  std::vector<std::uint8_t> classify_prepared(const nn::Tensor& prepared,
+                                              double polar_deg_guess);
+
+  /// Background probabilities (sigmoid of the logits).
+  std::vector<float> probabilities(std::span<const recon::ComptonRing> rings,
+                                   double polar_deg_guess);
+
+  /// Classification with the bin's dynamic threshold: 1 = background.
+  std::vector<std::uint8_t> classify(std::span<const recon::ComptonRing> rings,
+                                     double polar_deg_guess);
+
+  /// Logits for an externally assembled (unstandardized) feature
+  /// matrix — used by threshold fitting and tests.
+  std::vector<float> logits_for_features(const nn::Tensor& raw_features);
+
+  /// Persist / restore (FP32 variant only; the INT8 engine is
+  /// re-exported from its QAT model instead).
+  bool save(const std::string& path);
+  static std::optional<BackgroundNet> load(const std::string& path);
+
+  nn::Sequential* fp32_model() { return fp32_ ? &*fp32_ : nullptr; }
+  const nn::Standardizer& standardizer() const { return standardizer_; }
+
+ private:
+  std::optional<nn::Sequential> fp32_;
+  std::optional<quant::QuantizedMlp> int8_;
+  nn::Standardizer standardizer_;
+  PolarThresholds thresholds_;
+  bool uses_polar_ = true;
+};
+
+/// dEta regression network: predicts ln(d_eta); exposed as d_eta with
+/// sane bounds.
+///
+/// A scalar coverage calibration multiplies the prediction so the
+/// quoted width is statistically honest: it is fit on validation data
+/// as the 68th percentile of |true error| / predicted width, making
+/// "within 1 d_eta" mean 68% by construction (see
+/// bench_ablation_deta for the before/after coverage numbers).
+class DEtaNet {
+ public:
+  DEtaNet(nn::Sequential model, nn::Standardizer standardizer,
+          bool uses_polar = true, double calibration = 1.0);
+
+  bool uses_polar() const { return uses_polar_; }
+  double calibration() const { return calibration_; }
+
+  /// Predicted d_eta for each ring (exp of the network output,
+  /// clamped to [floor, cap]).
+  std::vector<double> predict(std::span<const recon::ComptonRing> rings,
+                              double polar_deg_guess, double floor = 1e-4,
+                              double cap = 2.0);
+
+  bool save(const std::string& path);
+  static std::optional<DEtaNet> load(const std::string& path);
+
+  nn::Sequential* model() { return &model_; }
+  const nn::Standardizer& standardizer() const { return standardizer_; }
+
+ private:
+  nn::Sequential model_;
+  nn::Standardizer standardizer_;
+  bool uses_polar_ = true;
+  double calibration_ = 1.0;
+};
+
+}  // namespace adapt::pipeline

@@ -1,0 +1,101 @@
+#include "pipeline/thresholds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.hpp"
+
+namespace adapt::pipeline {
+
+PolarThresholds::PolarThresholds() : thresholds_(kNumBins, 0.0) {}
+
+int PolarThresholds::bin_of(double polar_deg) {
+  const double clamped = std::clamp(polar_deg, 0.0, 89.999);
+  return std::min(static_cast<int>(clamped / kBinWidthDeg), kNumBins - 1);
+}
+
+double PolarThresholds::logit_threshold(double polar_deg) const {
+  return thresholds_[static_cast<std::size_t>(bin_of(polar_deg))];
+}
+
+void PolarThresholds::set_logit_threshold(int bin, double threshold) {
+  ADAPT_REQUIRE(bin >= 0 && bin < kNumBins, "bin out of range");
+  thresholds_[static_cast<std::size_t>(bin)] = threshold;
+}
+
+void PolarThresholds::fit(const std::vector<float>& logits,
+                          const std::vector<float>& labels,
+                          const std::vector<double>& polar_degs) {
+  ADAPT_REQUIRE(logits.size() == labels.size() &&
+                    logits.size() == polar_degs.size(),
+                "threshold fit input size mismatch");
+
+  struct Sample {
+    float logit;
+    float label;
+  };
+  std::vector<std::vector<Sample>> bins(kNumBins);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    bins[static_cast<std::size_t>(bin_of(polar_degs[i]))].push_back(
+        Sample{logits[i], labels[i]});
+  }
+
+  for (int b = 0; b < kNumBins; ++b) {
+    auto& samples = bins[static_cast<std::size_t>(b)];
+    if (samples.empty()) continue;  // Keep the neutral default.
+    std::sort(samples.begin(), samples.end(),
+              [](const Sample& a, const Sample& s) { return a.logit < s.logit; });
+
+    // Sweep candidate thresholds between consecutive logits.  A sample
+    // is classified background when logit >= threshold, so with the
+    // threshold after position k the misclassifications are the
+    // background samples among the first k (predicted GRB) plus the
+    // GRB samples from k onward (predicted background).
+    std::size_t total_bkg = 0;
+    for (const Sample& s : samples)
+      if (s.label > 0.5f) ++total_bkg;
+
+    std::size_t bkg_below = 0;   // Background predicted GRB.
+    std::size_t grb_below = 0;
+    std::size_t best_errors = samples.size() - total_bkg;  // Threshold at
+                                                           // -inf: every
+                                                           // GRB flagged.
+    double best_threshold = samples.front().logit - 1.0;
+    for (std::size_t k = 0; k < samples.size(); ++k) {
+      if (samples[k].label > 0.5f)
+        ++bkg_below;
+      else
+        ++grb_below;
+      const std::size_t grb_above = (samples.size() - total_bkg) - grb_below;
+      const std::size_t errors = bkg_below + grb_above;
+      if (errors < best_errors) {
+        best_errors = errors;
+        best_threshold = k + 1 < samples.size()
+                             ? 0.5 * (samples[k].logit + samples[k + 1].logit)
+                             : samples[k].logit + 1.0;
+      }
+    }
+    thresholds_[static_cast<std::size_t>(b)] = best_threshold;
+  }
+}
+
+std::map<std::string, double> PolarThresholds::to_metadata() const {
+  std::map<std::string, double> meta;
+  for (int b = 0; b < kNumBins; ++b) {
+    meta["polar_thr_" + std::to_string(b)] =
+        thresholds_[static_cast<std::size_t>(b)];
+  }
+  return meta;
+}
+
+PolarThresholds PolarThresholds::from_metadata(
+    const std::map<std::string, double>& metadata) {
+  PolarThresholds t;
+  for (int b = 0; b < kNumBins; ++b) {
+    const auto it = metadata.find("polar_thr_" + std::to_string(b));
+    if (it != metadata.end()) t.set_logit_threshold(b, it->second);
+  }
+  return t;
+}
+
+}  // namespace adapt::pipeline

@@ -1,0 +1,70 @@
+#include "quant/fake_quant.hpp"
+
+#include <algorithm>
+
+#include "core/require.hpp"
+
+namespace adapt::quant {
+
+FakeQuant::FakeQuant(double ema_momentum) : momentum_(ema_momentum) {
+  ADAPT_REQUIRE(ema_momentum > 0.0 && ema_momentum <= 1.0,
+                "EMA momentum must be in (0, 1]");
+}
+
+QParams FakeQuant::qparams() const {
+  return QParams::from_range(running_lo_, running_hi_);
+}
+
+void FakeQuant::set_range(float lo, float hi) {
+  ADAPT_REQUIRE(lo <= hi, "invalid range");
+  running_lo_ = lo;
+  running_hi_ = hi;
+  observed_ = true;
+}
+
+nn::Tensor FakeQuant::forward(const nn::Tensor& x, bool training) {
+  if (training) {
+    float lo = x.vec().empty() ? 0.0f : x.vec()[0];
+    float hi = lo;
+    for (float v : x.vec()) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (!observed_) {
+      running_lo_ = lo;
+      running_hi_ = hi;
+      observed_ = true;
+    } else {
+      const auto m = static_cast<float>(momentum_);
+      running_lo_ = (1.0f - m) * running_lo_ + m * lo;
+      running_hi_ = (1.0f - m) * running_hi_ + m * hi;
+    }
+  }
+  if (!observed_) return x;  // Inference before any observation: no-op.
+
+  const QParams p = qparams();
+  const float lo_rep = p.min_value();
+  const float hi_rep = p.max_value();
+  nn::Tensor y(x.rows(), x.cols());
+  if (training) pass_mask_ = nn::Tensor(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float v = x.vec()[i];
+    y.vec()[i] = p.fake(v);
+    if (training)
+      pass_mask_.vec()[i] = (v >= lo_rep && v <= hi_rep) ? 1.0f : 0.0f;
+  }
+  return y;
+}
+
+nn::Tensor FakeQuant::backward(const nn::Tensor& grad_out) {
+  if (pass_mask_.empty()) return grad_out;  // Was a no-op forward.
+  ADAPT_REQUIRE(grad_out.rows() == pass_mask_.rows() &&
+                    grad_out.cols() == pass_mask_.cols(),
+                "fake_quant backward shape mismatch");
+  nn::Tensor dx(grad_out.rows(), grad_out.cols());
+  for (std::size_t i = 0; i < dx.size(); ++i)
+    dx.vec()[i] = grad_out.vec()[i] * pass_mask_.vec()[i];
+  return dx;
+}
+
+}  // namespace adapt::quant

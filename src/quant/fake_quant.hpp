@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file fake_quant.hpp
+/// Activation fake-quantization layer for quantization-aware training
+/// (paper Sec. V: PyTorch Eager-mode QAT).
+///
+/// During training the layer tracks the activation range with an
+/// exponential moving average, quantize-dequantizes the forward pass
+/// so the network learns around the rounding error, and passes
+/// gradients straight through inside the representable range (zero
+/// outside — the straight-through estimator with clipping).  At
+/// inference the frozen range emulates INT8 numerics in FP32; the true
+/// integer path lives in quantized_mlp.hpp.
+
+#include "nn/layer.hpp"
+#include "quant/qparams.hpp"
+
+namespace adapt::quant {
+
+class FakeQuant : public nn::Layer {
+ public:
+  /// `ema_momentum` weights new observations into the running range.
+  explicit FakeQuant(double ema_momentum = 0.05);
+
+  nn::Tensor forward(const nn::Tensor& x, bool training) override;
+  nn::Tensor backward(const nn::Tensor& grad_out) override;
+  std::string type() const override { return "fake_quant"; }
+
+  /// Current activation quantization parameters.
+  QParams qparams() const;
+
+  bool observed() const { return observed_; }
+
+  /// Freeze/override the observed range (used when importing
+  /// calibration from another run).
+  void set_range(float lo, float hi);
+
+ private:
+  double momentum_;
+  bool observed_ = false;
+  float running_lo_ = 0.0f;
+  float running_hi_ = 0.0f;
+  nn::Tensor pass_mask_;  ///< 1 where input was inside the range.
+};
+
+}  // namespace adapt::quant

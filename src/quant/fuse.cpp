@@ -1,0 +1,72 @@
+#include "quant/fuse.hpp"
+
+#include <cmath>
+
+#include "core/require.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/linear.hpp"
+
+namespace adapt::quant {
+
+std::vector<FusedLayer> fuse_bn(nn::Sequential& model) {
+  std::vector<FusedLayer> fused;
+  std::size_t i = 0;
+  const std::size_t n = model.n_layers();
+  while (i < n) {
+    auto* lin = dynamic_cast<nn::Linear*>(&model.layer(i));
+    ADAPT_REQUIRE(lin != nullptr,
+                  "fuse_bn expects a layer-swapped model (Linear first in "
+                  "each block)");
+    FusedLayer stage;
+    stage.weight = lin->weight().value;
+    stage.bias = lin->bias().value.vec();
+    ++i;
+
+    // Optional BatchNorm to fold.
+    if (i < n) {
+      if (auto* bn = dynamic_cast<nn::BatchNorm1d*>(&model.layer(i))) {
+        ADAPT_REQUIRE(bn->features() == lin->out_features(),
+                      "BN width does not match Linear output");
+        for (std::size_t oc = 0; oc < stage.weight.rows(); ++oc) {
+          const float g =
+              bn->gamma().value(0, oc) /
+              std::sqrt(bn->running_var()[oc] +
+                        static_cast<float>(bn->eps()));
+          for (std::size_t ic = 0; ic < stage.weight.cols(); ++ic)
+            stage.weight(oc, ic) *= g;
+          stage.bias[oc] = (stage.bias[oc] - bn->running_mean()[oc]) * g +
+                           bn->beta().value(0, oc);
+        }
+        ++i;
+      }
+    }
+
+    // Optional ReLU to fold.
+    if (i < n && dynamic_cast<nn::ReLU*>(&model.layer(i)) != nullptr) {
+      stage.relu = true;
+      ++i;
+    }
+    fused.push_back(std::move(stage));
+  }
+  ADAPT_REQUIRE(!fused.empty(), "nothing to fuse");
+  return fused;
+}
+
+nn::Tensor fused_forward(const std::vector<FusedLayer>& layers,
+                         const nn::Tensor& x) {
+  nn::Tensor y = x;
+  nn::Tensor next;
+  for (const FusedLayer& stage : layers) {
+    nn::matmul_abt(y, stage.weight, next);
+    nn::add_row_broadcast(next, stage.bias);
+    if (stage.relu) {
+      for (float& v : next.vec())
+        if (v < 0.0f) v = 0.0f;
+    }
+    y = next;
+  }
+  return y;
+}
+
+}  // namespace adapt::quant

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file fuse.hpp
+/// Linear + BatchNorm fusion (paper Sec. V).
+///
+/// Quantization requires the "layer-swapped" block order
+/// FC -> BatchNorm -> ReLU so the batchnorm can be folded into the
+/// preceding fully connected layer:
+///
+///   BN(W x + b) = gamma/sqrt(var+eps) * (W x + b - mean) + beta
+///               = W' x + b',
+///   W'[oc,:] = W[oc,:] * g_oc,   b'[oc] = (b[oc] - mean[oc]) * g_oc + beta[oc],
+///   g_oc = gamma[oc] / sqrt(var[oc] + eps).
+///
+/// The folded stack is a plain sequence of Linear(+ReLU) stages — the
+/// form both the INT8 engine and the FPGA kernel model consume.
+
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "nn/tensor.hpp"
+
+namespace adapt::quant {
+
+/// One fused stage: y = W x + b, optionally ReLU-activated.
+struct FusedLayer {
+  nn::Tensor weight;          ///< (out x in).
+  std::vector<float> bias;    ///< out entries.
+  bool relu = false;
+
+  std::size_t in_features() const { return weight.cols(); }
+  std::size_t out_features() const { return weight.rows(); }
+};
+
+/// Fold a layer-swapped model (blocks of Linear -> BatchNorm1d -> ReLU
+/// with a final bare Linear) into fused stages.  Throws on any other
+/// layer pattern — fusion of the paper's original (BN-first) blocks is
+/// exactly what the layer swap exists to avoid.
+std::vector<FusedLayer> fuse_bn(nn::Sequential& model);
+
+/// Run the fused stack in FP32 (reference for fusion-correctness tests
+/// and the FP32 FPGA kernel baseline).
+nn::Tensor fused_forward(const std::vector<FusedLayer>& layers,
+                         const nn::Tensor& x);
+
+}  // namespace adapt::quant

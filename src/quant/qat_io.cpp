@@ -1,0 +1,194 @@
+#include "quant/qat_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <memory>
+
+#include "core/require.hpp"
+#include "nn/activations.hpp"
+#include "quant/fake_quant.hpp"
+#include "quant/qat_linear.hpp"
+
+namespace adapt::quant {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'D', 'Q', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+enum class Tag : std::uint32_t {
+  kQatLinear = 1,
+  kFakeQuant = 2,
+  kReLU = 3,
+};
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_f32(std::ostream& os, float v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_f64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_floats(std::ostream& os, const std::vector<float>& v) {
+  write_u32(os, static_cast<std::uint32_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+bool read_u32(std::istream& is, std::uint32_t& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(is);
+}
+bool read_f32(std::istream& is, float& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(is);
+}
+bool read_f64(std::istream& is, double& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(is);
+}
+bool read_floats(std::istream& is, std::vector<float>& v) {
+  std::uint32_t n = 0;
+  if (!read_u32(is, n) || n > (1u << 26)) return false;
+  v.resize(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+bool save_qat_model(nn::Sequential& model,
+                    const nn::Standardizer& standardizer,
+                    const std::map<std::string, double>& metadata,
+                    const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os.write(kMagic, sizeof(kMagic));
+  write_u32(os, kVersion);
+
+  if (standardizer.fitted()) {
+    write_u32(os, static_cast<std::uint32_t>(standardizer.mean().size()));
+    os.write(reinterpret_cast<const char*>(standardizer.mean().data()),
+             static_cast<std::streamsize>(standardizer.mean().size() *
+                                          sizeof(float)));
+    os.write(reinterpret_cast<const char*>(standardizer.inv_std().data()),
+             static_cast<std::streamsize>(standardizer.inv_std().size() *
+                                          sizeof(float)));
+  } else {
+    write_u32(os, 0);
+  }
+
+  write_u32(os, static_cast<std::uint32_t>(model.n_layers()));
+  for (std::size_t i = 0; i < model.n_layers(); ++i) {
+    nn::Layer& layer = model.layer(i);
+    if (auto* lin = dynamic_cast<QatLinear*>(&layer)) {
+      write_u32(os, static_cast<std::uint32_t>(Tag::kQatLinear));
+      write_u32(os, static_cast<std::uint32_t>(lin->in_features()));
+      write_u32(os, static_cast<std::uint32_t>(lin->out_features()));
+      write_floats(os, lin->weight().value.vec());
+      write_floats(os, lin->bias().value.vec());
+    } else if (auto* fq = dynamic_cast<FakeQuant*>(&layer)) {
+      ADAPT_REQUIRE(fq->observed(), "cannot save uncalibrated FakeQuant");
+      write_u32(os, static_cast<std::uint32_t>(Tag::kFakeQuant));
+      const QParams p = fq->qparams();
+      write_f32(os, p.min_value());
+      write_f32(os, p.max_value());
+    } else if (dynamic_cast<nn::ReLU*>(&layer) != nullptr) {
+      write_u32(os, static_cast<std::uint32_t>(Tag::kReLU));
+    } else {
+      return false;
+    }
+  }
+
+  write_u32(os, static_cast<std::uint32_t>(metadata.size()));
+  for (const auto& [key, value] : metadata) {
+    write_u32(os, static_cast<std::uint32_t>(key.size()));
+    os.write(key.data(), static_cast<std::streamsize>(key.size()));
+    write_f64(os, value);
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<SavedQatModel> load_qat_model(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    return std::nullopt;
+  std::uint32_t version = 0;
+  if (!read_u32(is, version) || version != kVersion) return std::nullopt;
+
+  SavedQatModel out;
+  std::uint32_t std_dim = 0;
+  if (!read_u32(is, std_dim)) return std::nullopt;
+  if (std_dim > 0) {
+    std::vector<float> mean(std_dim);
+    std::vector<float> inv_std(std_dim);
+    is.read(reinterpret_cast<char*>(mean.data()),
+            static_cast<std::streamsize>(std_dim * sizeof(float)));
+    is.read(reinterpret_cast<char*>(inv_std.data()),
+            static_cast<std::streamsize>(std_dim * sizeof(float)));
+    if (!is) return std::nullopt;
+    out.standardizer.set(std::move(mean), std::move(inv_std));
+  }
+
+  std::uint32_t n_layers = 0;
+  if (!read_u32(is, n_layers) || n_layers > 1024) return std::nullopt;
+  core::Rng dummy_rng(0);
+  for (std::uint32_t i = 0; i < n_layers; ++i) {
+    std::uint32_t tag = 0;
+    if (!read_u32(is, tag)) return std::nullopt;
+    switch (static_cast<Tag>(tag)) {
+      case Tag::kQatLinear: {
+        std::uint32_t in = 0;
+        std::uint32_t out_f = 0;
+        if (!read_u32(is, in) || !read_u32(is, out_f)) return std::nullopt;
+        std::vector<float> w;
+        std::vector<float> b;
+        if (!read_floats(is, w) || !read_floats(is, b)) return std::nullopt;
+        if (w.size() != static_cast<std::size_t>(in) * out_f ||
+            b.size() != out_f)
+          return std::nullopt;
+        auto lin = std::make_unique<QatLinear>(in, out_f, dummy_rng);
+        nn::Tensor weight(out_f, in);
+        weight.vec() = std::move(w);
+        lin->load_weights(weight, b);
+        out.model.add(std::move(lin));
+        break;
+      }
+      case Tag::kFakeQuant: {
+        float lo = 0.0f;
+        float hi = 0.0f;
+        if (!read_f32(is, lo) || !read_f32(is, hi)) return std::nullopt;
+        auto fq = std::make_unique<FakeQuant>();
+        fq->set_range(lo, hi);
+        out.model.add(std::move(fq));
+        break;
+      }
+      case Tag::kReLU:
+        out.model.add(std::make_unique<nn::ReLU>());
+        break;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  std::uint32_t n_meta = 0;
+  if (!read_u32(is, n_meta) || n_meta > 4096) return std::nullopt;
+  for (std::uint32_t i = 0; i < n_meta; ++i) {
+    std::uint32_t len = 0;
+    if (!read_u32(is, len) || len > 4096) return std::nullopt;
+    std::string key(len, '\0');
+    is.read(key.data(), static_cast<std::streamsize>(len));
+    double value = 0.0;
+    if (!is || !read_f64(is, value)) return std::nullopt;
+    out.metadata.emplace(std::move(key), value);
+  }
+  return out;
+}
+
+}  // namespace adapt::quant

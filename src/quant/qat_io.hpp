@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file qat_io.hpp
+/// (De)serialization of calibrated QAT models (the stacks produced by
+/// build_qat_model: FakeQuant / QatLinear / ReLU).  Persisting the QAT
+/// model rather than the exported integer engine keeps one source of
+/// truth: the INT8 engine is always re-exported from the calibrated
+/// QAT weights, so the serialized form and the deployed form cannot
+/// drift apart.
+///
+/// Format: magic "ADQT", version, standardizer block, layer list with
+/// per-type payloads (QatLinear: dims + weights + bias; FakeQuant:
+/// observed range; ReLU: nothing), metadata key/value block — the same
+/// conventions as nn::serialize.
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "nn/data.hpp"
+#include "nn/sequential.hpp"
+
+namespace adapt::quant {
+
+struct SavedQatModel {
+  nn::Sequential model;
+  nn::Standardizer standardizer;
+  std::map<std::string, double> metadata;
+};
+
+bool save_qat_model(nn::Sequential& model,
+                    const nn::Standardizer& standardizer,
+                    const std::map<std::string, double>& metadata,
+                    const std::string& path);
+
+std::optional<SavedQatModel> load_qat_model(const std::string& path);
+
+}  // namespace adapt::quant

@@ -1,0 +1,68 @@
+#include "quant/qparams.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.hpp"
+
+namespace adapt::quant {
+
+QParams QParams::from_range(float lo, float hi) {
+  // Zero must be representable: widen the range to include it.
+  lo = std::min(lo, 0.0f);
+  hi = std::max(hi, 0.0f);
+  QParams p;
+  const float span = hi - lo;
+  if (span < 1e-12f) {
+    p.scale = 1.0f;
+    p.zero_point = 0;
+    return p;
+  }
+  p.scale = span / static_cast<float>(kQMax - kQMin);
+  const float zp = static_cast<float>(kQMin) - lo / p.scale;
+  p.zero_point = static_cast<std::int32_t>(std::lround(
+      std::clamp(zp, static_cast<float>(kQMin), static_cast<float>(kQMax))));
+  return p;
+}
+
+std::int32_t QParams::quantize(float x) const {
+  const auto q =
+      static_cast<std::int32_t>(std::lround(x / scale)) + zero_point;
+  return std::clamp(q, kQMin, kQMax);
+}
+
+ChannelQParams ChannelQParams::from_max_abs(float max_abs, int bits) {
+  ADAPT_REQUIRE(bits >= 2 && bits <= 16, "weight bits must be in [2, 16]");
+  ChannelQParams p;
+  p.q_max = (1 << (bits - 1)) - 1;
+  p.scale = max_abs > 1e-12f ? max_abs / static_cast<float>(p.q_max) : 1.0f;
+  return p;
+}
+
+std::int32_t ChannelQParams::quantize(float x) const {
+  const auto q = static_cast<std::int32_t>(std::lround(x / scale));
+  return std::clamp(q, -q_max, q_max);
+}
+
+std::vector<ChannelQParams> weight_qparams(const nn::Tensor& weight,
+                                           int bits, bool per_channel) {
+  ADAPT_REQUIRE(weight.rows() > 0 && weight.cols() > 0, "empty weight");
+  std::vector<ChannelQParams> out;
+  out.reserve(weight.rows());
+  if (per_channel) {
+    for (std::size_t r = 0; r < weight.rows(); ++r) {
+      float max_abs = 0.0f;
+      for (std::size_t c = 0; c < weight.cols(); ++c)
+        max_abs = std::max(max_abs, std::abs(weight(r, c)));
+      out.push_back(ChannelQParams::from_max_abs(max_abs, bits));
+    }
+  } else {
+    float max_abs = 0.0f;
+    for (const float v : weight.vec()) max_abs = std::max(max_abs, std::abs(v));
+    const ChannelQParams shared = ChannelQParams::from_max_abs(max_abs, bits);
+    out.assign(weight.rows(), shared);
+  }
+  return out;
+}
+
+}  // namespace adapt::quant

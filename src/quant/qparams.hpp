@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file qparams.hpp
+/// Affine quantization parameters, mirroring the PyTorch x86 backend
+/// the paper quantizes with (Sec. V): uint8 affine activations
+/// (q = round(x/scale) + zero_point) and symmetric per-channel int8
+/// weights.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace adapt::quant {
+
+/// Per-tensor affine parameters for uint8 activations.
+struct QParams {
+  float scale = 1.0f;
+  std::int32_t zero_point = 0;
+
+  static constexpr std::int32_t kQMin = 0;
+  static constexpr std::int32_t kQMax = 255;
+
+  /// Parameters covering the range [lo, hi] (expanded to include 0 so
+  /// that zero is exactly representable, as PyTorch requires).
+  static QParams from_range(float lo, float hi);
+
+  std::int32_t quantize(float x) const;
+  float dequantize(std::int32_t q) const { return scale * static_cast<float>(q - zero_point); }
+
+  /// Fake-quantize: quantize then dequantize (QAT forward).
+  float fake(float x) const { return dequantize(quantize(x)); }
+
+  /// The float range representable by these parameters.
+  float min_value() const { return dequantize(kQMin); }
+  float max_value() const { return dequantize(kQMax); }
+};
+
+/// Symmetric integer parameters for one weight row (output channel).
+/// The bit width is variable (default 8): the paper's future work
+/// includes "a broader range of quantization strategies", and narrower
+/// weights trade accuracy for FPGA resources (see
+/// bench_ext_quant_strategies).
+struct ChannelQParams {
+  float scale = 1.0f;
+  std::int32_t q_max = 127;  ///< Symmetric range [-q_max, q_max].
+
+  static ChannelQParams from_max_abs(float max_abs, int bits = 8);
+
+  std::int32_t quantize(float x) const;
+  float dequantize(std::int32_t q) const { return scale * static_cast<float>(q); }
+  float fake(float x) const { return dequantize(quantize(x)); }
+};
+
+/// Symmetric scales for a (out x in) weight tensor.  `per_channel`
+/// gives each output channel its own scale (PyTorch x86 default);
+/// otherwise one tensor-wide scale is shared — coarser, but cheaper to
+/// implement in hardware.
+std::vector<ChannelQParams> weight_qparams(const nn::Tensor& weight,
+                                           int bits = 8,
+                                           bool per_channel = true);
+
+}  // namespace adapt::quant

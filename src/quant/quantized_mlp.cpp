@@ -1,0 +1,160 @@
+#include "quant/quantized_mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/require.hpp"
+#include "nn/activations.hpp"
+#include "quant/fake_quant.hpp"
+#include "quant/qat_linear.hpp"
+
+namespace adapt::quant {
+
+QuantizedMlp::QuantizedMlp(std::vector<QuantizedLayer> layers)
+    : layers_(std::move(layers)) {
+  ADAPT_REQUIRE(!layers_.empty(), "quantized model needs layers");
+  for (const auto& l : layers_) {
+    ADAPT_REQUIRE(l.weight.size() == l.in_features * l.out_features,
+                  "quantized weight size mismatch");
+    ADAPT_REQUIRE(l.bias.size() == l.out_features, "bias size mismatch");
+    ADAPT_REQUIRE(l.weight_scales.size() == l.out_features,
+                  "scale count mismatch");
+  }
+}
+
+nn::Tensor QuantizedMlp::forward(const nn::Tensor& x) const {
+  ADAPT_REQUIRE(x.cols() == layers_.front().in_features,
+                "input width mismatch");
+  const std::size_t n = x.rows();
+
+  // Activations travel between layers as uint8 plus their qparams.
+  std::vector<std::uint8_t> act(n * x.cols());
+  {
+    const QParams& q = layers_.front().input_q;
+    for (std::size_t i = 0; i < act.size(); ++i)
+      act[i] = static_cast<std::uint8_t>(q.quantize(x.vec()[i]));
+  }
+
+  nn::Tensor out;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const QuantizedLayer& layer = layers_[li];
+    const bool last = li + 1 == layers_.size();
+    const std::int32_t zp_in = layer.input_q.zero_point;
+    const float s_in = layer.input_q.scale;
+
+    const QParams* next_q = last ? nullptr : &layers_[li + 1].input_q;
+    std::vector<std::uint8_t> next_act;
+    if (!last) next_act.resize(n * layer.out_features);
+    if (last) out = nn::Tensor(n, layer.out_features);
+
+    const auto rows = static_cast<std::ptrdiff_t>(n);
+#pragma omp parallel for schedule(static) if (n > 64)
+    for (std::ptrdiff_t r = 0; r < rows; ++r) {
+      const std::uint8_t* xi =
+          act.data() + static_cast<std::size_t>(r) * layer.in_features;
+      for (std::size_t oc = 0; oc < layer.out_features; ++oc) {
+        const std::int8_t* w =
+            layer.weight.data() + oc * layer.in_features;
+        // Integer accumulation: sum (q_x - zp_in) * q_w in int32.
+        std::int32_t acc = 0;
+        for (std::size_t ic = 0; ic < layer.in_features; ++ic)
+          acc += (static_cast<std::int32_t>(xi[ic]) - zp_in) *
+                 static_cast<std::int32_t>(w[ic]);
+        acc += layer.bias[oc];
+        if (layer.relu && acc < 0) acc = 0;
+
+        const float real = static_cast<float>(acc) * s_in *
+                           layer.weight_scales[oc];
+        if (last) {
+          out(static_cast<std::size_t>(r), oc) = real;
+        } else {
+          next_act[static_cast<std::size_t>(r) * layer.out_features + oc] =
+              static_cast<std::uint8_t>(next_q->quantize(real));
+        }
+      }
+    }
+    if (!last) act = std::move(next_act);
+  }
+  return out;
+}
+
+std::size_t QuantizedMlp::model_size_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& l : layers_) {
+    bytes += l.weight.size() * sizeof(std::int8_t);
+    bytes += l.bias.size() * sizeof(std::int32_t);
+    bytes += l.weight_scales.size() * sizeof(float);
+  }
+  return bytes;
+}
+
+nn::Sequential build_qat_model(const std::vector<FusedLayer>& fused,
+                               core::Rng& rng,
+                               const QuantStrategy& strategy) {
+  ADAPT_REQUIRE(!fused.empty(), "no fused layers");
+  nn::Sequential model;
+  model.add(std::make_unique<FakeQuant>());
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    const FusedLayer& stage = fused[i];
+    auto lin = std::make_unique<QatLinear>(stage.in_features(),
+                                           stage.out_features(), rng);
+    lin->load_weights(stage.weight, stage.bias);
+    lin->set_weight_bits(strategy.weight_bits);
+    lin->set_per_channel(strategy.per_channel);
+    model.add(std::move(lin));
+    if (stage.relu) model.add(std::make_unique<nn::ReLU>());
+    if (i + 1 < fused.size()) model.add(std::make_unique<FakeQuant>());
+  }
+  return model;
+}
+
+QuantizedMlp export_quantized(nn::Sequential& qat_model) {
+  std::vector<QuantizedLayer> layers;
+  const FakeQuant* pending_q = nullptr;
+
+  for (std::size_t i = 0; i < qat_model.n_layers(); ++i) {
+    nn::Layer& layer = qat_model.layer(i);
+    if (auto* fq = dynamic_cast<FakeQuant*>(&layer)) {
+      ADAPT_REQUIRE(fq->observed(),
+                    "FakeQuant never calibrated — run data through the QAT "
+                    "model first");
+      pending_q = fq;
+      continue;
+    }
+    if (auto* lin = dynamic_cast<QatLinear*>(&layer)) {
+      ADAPT_REQUIRE(pending_q != nullptr,
+                    "QatLinear without a preceding FakeQuant");
+      QuantizedLayer out;
+      out.in_features = lin->in_features();
+      out.out_features = lin->out_features();
+      out.input_q = pending_q->qparams();
+
+      const auto qp = lin->channel_qparams();
+      out.weight.resize(out.in_features * out.out_features);
+      out.weight_scales.resize(out.out_features);
+      out.bias.resize(out.out_features);
+      for (std::size_t oc = 0; oc < out.out_features; ++oc) {
+        out.weight_scales[oc] = qp[oc].scale;
+        for (std::size_t ic = 0; ic < out.in_features; ++ic) {
+          out.weight[oc * out.in_features + ic] = static_cast<std::int8_t>(
+              qp[oc].quantize(lin->weight().value(oc, ic)));
+        }
+        const float bias_scale = out.input_q.scale * qp[oc].scale;
+        out.bias[oc] = static_cast<std::int32_t>(
+            std::lround(lin->bias().value(0, oc) / bias_scale));
+      }
+      layers.push_back(std::move(out));
+      continue;
+    }
+    if (dynamic_cast<nn::ReLU*>(&layer) != nullptr) {
+      ADAPT_REQUIRE(!layers.empty(), "ReLU before any linear layer");
+      layers.back().relu = true;
+      continue;
+    }
+    ADAPT_REQUIRE(false, "unexpected layer type in QAT model");
+  }
+  return QuantizedMlp(std::move(layers));
+}
+
+}  // namespace adapt::quant

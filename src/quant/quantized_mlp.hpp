@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file quantized_mlp.hpp
+/// The INT8 integer inference engine and the QAT assembly/export flow
+/// (paper Sec. V).
+///
+/// Flow mirroring PyTorch's Eager-mode QAT with the 'x86' config:
+///   1. train the layer-swapped FP32 model (nn::mlp, swap_bn_fc=true);
+///   2. fold BatchNorm into the Linears (quant::fuse_bn);
+///   3. build_qat_model() inserts activation FakeQuant observers and
+///      weight-fake-quantizing QatLinears;
+///   4. calibrate / fine-tune with nn::Trainer;
+///   5. export_quantized() emits this integer engine: uint8 affine
+///      activations, per-channel symmetric int8 weights, int32
+///      accumulation and bias, float requantization multipliers.
+///
+/// The engine computes genuinely in integers (the only float per layer
+/// is the requantization multiply), so its outputs quantify the real
+/// INT8 accuracy cost in Fig. 11 — not a float emulation.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "quant/fuse.hpp"
+#include "quant/qparams.hpp"
+
+namespace adapt::quant {
+
+struct QuantizedLayer {
+  std::size_t in_features = 0;
+  std::size_t out_features = 0;
+  std::vector<std::int8_t> weight;    ///< (out x in), row-major.
+  std::vector<std::int32_t> bias;     ///< In s_in * s_w[oc] units.
+  std::vector<float> weight_scales;   ///< Per output channel.
+  QParams input_q;                    ///< uint8 params of this layer's
+                                      ///< input activation.
+  bool relu = false;
+};
+
+class QuantizedMlp {
+ public:
+  explicit QuantizedMlp(std::vector<QuantizedLayer> layers);
+
+  /// Run a float batch through the integer pipeline; returns float
+  /// outputs (n x out_features of the last layer) — for the
+  /// background network, pre-sigmoid logits.
+  nn::Tensor forward(const nn::Tensor& x) const;
+
+  /// Weight + bias storage in bytes (INT8 footprint; the number the
+  /// paper's BRAM comparison cares about).
+  std::size_t model_size_bytes() const;
+
+  const std::vector<QuantizedLayer>& layers() const { return layers_; }
+
+ private:
+  std::vector<QuantizedLayer> layers_;
+};
+
+/// Weight-quantization strategy (paper Sec. VI future work: "a broader
+/// range of quantization strategies").  The default reproduces the
+/// paper's PyTorch 'x86' setup.
+struct QuantStrategy {
+  int weight_bits = 8;      ///< Symmetric weight bit width, [2, 16].
+  bool per_channel = true;  ///< Per-output-channel vs per-tensor scale.
+};
+
+/// Step 3: wrap fused FP32 stages into a QAT-trainable Sequential:
+/// FakeQuant -> [QatLinear -> (ReLU) -> FakeQuant]* -> QatLinear.
+/// The final layer's output is left unquantized (it feeds a threshold,
+/// not another integer layer).
+nn::Sequential build_qat_model(const std::vector<FusedLayer>& fused,
+                               core::Rng& rng,
+                               const QuantStrategy& strategy = {});
+
+/// Step 5: read the calibrated observers and quantized weights out of
+/// a QAT model produced by build_qat_model.
+QuantizedMlp export_quantized(nn::Sequential& qat_model);
+
+}  // namespace adapt::quant

@@ -1,0 +1,67 @@
+#include "recon/error_propagation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.hpp"
+#include "core/units.hpp"
+
+namespace adapt::recon {
+
+using core::kElectronMassMeV;
+
+double d_eta_energy_term(double e_total, double e_first,
+                         double sigma_e_total, double sigma_e_first) {
+  ADAPT_REQUIRE(e_total > 0.0 && e_first > 0.0 && e_first < e_total,
+                "invalid energies for d_eta propagation");
+  const double e_prime = e_total - e_first;
+
+  // eta = 1 + m (1/E - 1/E').  The measured quantities are E_total and
+  // E1 (first deposit); E' = E - E1 couples both:
+  //   d(eta)/dE_total = m (-1/E^2 + 1/E'^2)
+  //   d(eta)/dE1      = m (        1/E'^2)  * (-1)  [since E' falls]
+  // Note: sigma_e_total already aggregates all per-hit deposits, so E1
+  // and E_total are correlated; treating them as independent slightly
+  // overstates d_eta, which is conservative.
+  const double de_total =
+      kElectronMassMeV * (1.0 / (e_prime * e_prime) - 1.0 / (e_total * e_total));
+  const double de_first = kElectronMassMeV / (e_prime * e_prime);
+
+  const double v = de_total * de_total * sigma_e_total * sigma_e_total +
+                   de_first * de_first * sigma_e_first * sigma_e_first;
+  return std::sqrt(v);
+}
+
+double d_eta_position_term(const RingHit& hit1, const RingHit& hit2,
+                           double eta) {
+  const core::Vec3 lever = hit1.position - hit2.position;
+  const double length = lever.norm();
+  if (length <= 0.0) return 1.0;  // Degenerate: maximal uncertainty.
+
+  // Average transverse position uncertainty of the two endpoints.  The
+  // axis tilt is (sigma_1 (+) sigma_2) / L; it perturbs the cosine by
+  // sin(theta) * tilt with sin(theta) = sqrt(1 - eta^2).
+  const auto mean_sigma = [](const core::Vec3& s) {
+    return (s.x + s.y + s.z) / 3.0;
+  };
+  const double s1 = mean_sigma(hit1.sigma_position);
+  const double s2 = mean_sigma(hit2.sigma_position);
+  const double tilt = std::sqrt(s1 * s1 + s2 * s2) / length;
+
+  const double eta_clamped = std::clamp(eta, -1.0, 1.0);
+  const double sin_theta = std::sqrt(1.0 - eta_clamped * eta_clamped);
+  return sin_theta * tilt;
+}
+
+double propagate_d_eta(const RingHit& hit1, const RingHit& hit2,
+                       double e_total, double sigma_e_total, double eta,
+                       double min_d_eta) {
+  const double energy_term = d_eta_energy_term(
+      e_total, hit1.energy, sigma_e_total, hit1.sigma_energy);
+  const double position_term = d_eta_position_term(hit1, hit2, eta);
+  const double d = std::sqrt(energy_term * energy_term +
+                             position_term * position_term);
+  return std::max(d, min_d_eta);
+}
+
+}  // namespace adapt::recon

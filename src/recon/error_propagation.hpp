@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file error_propagation.hpp
+/// Analytic d_eta estimation by propagation of error (after Boggs &
+/// Jean [22] and the paper's prior pipeline [4]).
+///
+/// Two contributions are propagated to first order:
+///  * energy terms — eta depends on the total energy E and the
+///    post-scatter energy E' = E - E1:
+///      d(eta)/dE  = -m_e c^2 / E^2,   d(eta)/dE' = +m_e c^2 / E'^2;
+///  * the lever-arm term — uncertainty in the two hit positions tilts
+///    the axis c by ~ sigma_perp / L, which perturbs c.s by
+///    sin(theta) * delta_axis.
+///
+/// The paper's central observation (Sec. II) is that this estimate is
+/// *frequently wrong* — it cannot see mis-ordered hits, escaped
+/// energy, or unmodeled instrument effects — and that the resulting
+/// false certainty misleads the localization likelihood.  The dEta
+/// network exists to replace it.  We therefore implement it faithfully
+/// but make no attempt to patch its blind spots.
+
+#include "recon/ring.hpp"
+
+namespace adapt::recon {
+
+/// Energy-only contribution to d_eta.
+double d_eta_energy_term(double e_total, double e_first,
+                         double sigma_e_total, double sigma_e_first);
+
+/// Lever-arm (position) contribution to d_eta, for a ring with the
+/// given measured eta (sin(theta) factor) and hit geometry.
+double d_eta_position_term(const RingHit& hit1, const RingHit& hit2,
+                           double eta);
+
+/// Full propagated d_eta (quadrature sum of both terms), floored at
+/// `min_d_eta` so no ring ever claims impossible certainty.
+double propagate_d_eta(const RingHit& hit1, const RingHit& hit2,
+                       double e_total, double sigma_e_total, double eta,
+                       double min_d_eta = 1e-3);
+
+}  // namespace adapt::recon

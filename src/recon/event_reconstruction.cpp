@@ -1,0 +1,294 @@
+#include "recon/event_reconstruction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "core/require.hpp"
+#include "core/units.hpp"
+#include "physics/compton.hpp"
+#include "physics/cross_sections.hpp"
+#include "recon/error_propagation.hpp"
+
+namespace adapt::recon {
+
+using core::kElectronMassMeV;
+using core::Vec3;
+using detector::MeasuredHit;
+
+EventReconstructor::EventReconstructor(const detector::Material& material,
+                                       const ReconstructionConfig& config)
+    : material_(material), config_(config) {
+  ADAPT_REQUIRE(config.max_hits_for_ordering >= 2,
+                "ordering needs at least two hits");
+  ADAPT_REQUIRE(config.eta_slack >= 0.0, "eta slack must be >= 0");
+}
+
+namespace {
+
+/// Mean transverse position uncertainty of a hit [cm].
+double mean_sigma(const MeasuredHit& h) {
+  return (h.sigma_position.x + h.sigma_position.y + h.sigma_position.z) / 3.0;
+}
+
+/// Uncertainty of the geometric cosine at the vertex joining segments
+/// a->b and b->c, from the endpoint position uncertainties.
+double geometric_cos_sigma(const MeasuredHit& a, const MeasuredHit& b,
+                           const MeasuredHit& c) {
+  const double l1 = (b.position - a.position).norm();
+  const double l2 = (c.position - b.position).norm();
+  if (l1 <= 0.0 || l2 <= 0.0) return 1.0;
+  const double t1 = std::sqrt(mean_sigma(a) * mean_sigma(a) +
+                              mean_sigma(b) * mean_sigma(b)) / l1;
+  const double t2 = std::sqrt(mean_sigma(b) * mean_sigma(b) +
+                              mean_sigma(c) * mean_sigma(c)) / l2;
+  return std::sqrt(t1 * t1 + t2 * t2);
+}
+
+}  // namespace
+
+std::optional<double> EventReconstructor::ordering_score(
+    const std::vector<const MeasuredHit*>& order, double e_total) const {
+  const std::size_t n = order.size();
+  ADAPT_REQUIRE(n >= 2, "ordering needs at least two hits");
+
+  // Walk the trajectory, tracking the photon energy entering each hit.
+  // Validity: energy must remain positive, and each non-final hit must
+  // be a kinematically possible Compton scatter (within noise slack).
+  const double slack = config_.eta_slack + 0.25;  // Looser than the final
+                                                  // eta cut: noise on the
+                                                  // interior energies is
+                                                  // larger.
+  double e_in = e_total;
+  double chi2 = 0.0;
+  int n_vertices = 0;
+
+  for (std::size_t j = 0; j + 1 < n; ++j) {
+    const double deposit = order[j]->energy;
+    const double e_out = e_in - deposit;
+    if (e_out <= 0.0) return std::nullopt;
+
+    const double cos_kin = physics::compton_cos_theta(e_in, e_out);
+    if (cos_kin < -1.0 - slack || cos_kin > 1.0 + slack) return std::nullopt;
+
+    if (j >= 1) {
+      // Interior vertex: the geometric bend must match the kinematic
+      // angle.  Segments (j-1 -> j) and (j -> j+1).
+      const Vec3 seg_in =
+          (order[j]->position - order[j - 1]->position).normalized();
+      const Vec3 seg_out =
+          (order[j + 1]->position - order[j]->position).normalized();
+      const double cos_geo = seg_in.dot(seg_out);
+
+      const double s_energy_in = kElectronMassMeV / (e_in * e_in) *
+                                 std::max(order[j - 1]->sigma_energy, 1e-4);
+      const double s_energy_out = kElectronMassMeV / (e_out * e_out) *
+                                  std::max(order[j]->sigma_energy, 1e-4);
+      const double s_geo =
+          geometric_cos_sigma(*order[j - 1], *order[j], *order[j + 1]);
+      const double sigma2 = s_energy_in * s_energy_in +
+                            s_energy_out * s_energy_out + s_geo * s_geo;
+      const double d = cos_geo - std::clamp(cos_kin, -1.0, 1.0);
+      chi2 += d * d / std::max(sigma2, 1e-6);
+      ++n_vertices;
+    }
+    e_in = e_out;
+  }
+
+  if (n_vertices > 0) return chi2;
+
+  // Two-hit event: no interior vertex to test.  Rank the two possible
+  // orderings by physical plausibility: the Klein-Nishina weight of
+  // the implied first-scatter angle, times the attenuation probability
+  // density of the observed lever arm at the post-scatter energy.
+  const double e1 = order[0]->energy;
+  const double e_prime = e_total - e1;
+  const double cos_theta =
+      std::clamp(physics::ring_cosine(e_total, e1), -1.0, 1.0);
+
+  // Klein-Nishina angular weight (unnormalized, bounded in (0, 2]).
+  const double r = physics::compton_scattered_energy(e_total, cos_theta) /
+                   e_total;
+  const double kn = r * r * (r + 1.0 / r - (1.0 - cos_theta * cos_theta));
+
+  const double lever =
+      (order[1]->position - order[0]->position).norm();
+  const double mu = physics::attenuation(material_, e_prime).total();
+  const double travel = mu * std::exp(-mu * lever);
+
+  const double likelihood = std::max(kn * travel, 1e-300);
+  return -std::log(likelihood);
+}
+
+std::optional<ComptonRing> EventReconstructor::reconstruct(
+    const detector::MeasuredEvent& event, ReconstructionStats* stats) const {
+  const auto count = [&stats](std::uint64_t ReconstructionStats::*field) {
+    if (stats) ++(stats->*field);
+  };
+
+  if (event.hits.size() < 2) {
+    count(&ReconstructionStats::too_few_hits);
+    return std::nullopt;
+  }
+
+  double e_total = 0.0;
+  double var_e_total = 0.0;
+  for (const MeasuredHit& h : event.hits) {
+    e_total += h.energy;
+    var_e_total += h.sigma_energy * h.sigma_energy;
+  }
+  if (e_total < config_.min_total_energy ||
+      e_total > config_.max_total_energy) {
+    count(&ReconstructionStats::energy_cut);
+    return std::nullopt;
+  }
+
+  // Candidate hits for ordering: all of them, or the most energetic
+  // max_hits_for_ordering when the event is larger.
+  std::vector<const MeasuredHit*> candidates;
+  candidates.reserve(event.hits.size());
+  for (const MeasuredHit& h : event.hits) candidates.push_back(&h);
+  if (static_cast<int>(candidates.size()) > config_.max_hits_for_ordering) {
+    std::sort(candidates.begin(), candidates.end(),
+              [](const MeasuredHit* a, const MeasuredHit* b) {
+                return a->energy > b->energy;
+              });
+    candidates.resize(static_cast<std::size_t>(config_.max_hits_for_ordering));
+  }
+
+  // Enumerate permutations; keep the best-scoring valid ordering.
+  std::vector<std::size_t> index(candidates.size());
+  std::iota(index.begin(), index.end(), 0u);
+  std::sort(index.begin(), index.end());
+
+  std::optional<double> best_score;
+  std::optional<double> second_score;
+  std::vector<const MeasuredHit*> best_order;
+  std::vector<const MeasuredHit*> order(candidates.size());
+  do {
+    for (std::size_t i = 0; i < index.size(); ++i)
+      order[i] = candidates[index[i]];
+    const auto score = ordering_score(order, e_total);
+    if (!score) continue;
+    if (!best_score || *score < *best_score) {
+      second_score = best_score;
+      best_score = score;
+      best_order = order;
+    } else if (!second_score || *score < *second_score) {
+      second_score = score;
+    }
+  } while (std::next_permutation(index.begin(), index.end()));
+
+  if (!best_score) {
+    count(&ReconstructionStats::eta_invalid);
+    return std::nullopt;
+  }
+
+  // Two-hit events carry no interior-vertex cross-check, so demand the
+  // chosen ordering be decisively more likely than its reverse.
+  if (best_order.size() == 2 && second_score &&
+      *second_score - *best_score < config_.two_hit_margin) {
+    count(&ReconstructionStats::ambiguous_order);
+    return std::nullopt;
+  }
+
+  const MeasuredHit& first = *best_order[0];
+  const MeasuredHit& second = *best_order[1];
+
+  const double lever = (first.position - second.position).norm();
+  if (lever < config_.min_lever_arm) {
+    count(&ReconstructionStats::lever_arm_cut);
+    return std::nullopt;
+  }
+
+  const double e1 = first.energy;
+  if (e1 <= 0.0 || e1 >= e_total) {
+    count(&ReconstructionStats::eta_invalid);
+    return std::nullopt;
+  }
+  double eta = physics::ring_cosine(e_total, e1);
+  if (eta < -1.0 - config_.eta_slack || eta > 1.0 + config_.eta_slack) {
+    count(&ReconstructionStats::eta_invalid);
+    return std::nullopt;
+  }
+  eta = std::clamp(eta, -1.0, 1.0);
+
+  const bool multi_hit = best_order.size() >= 3;
+  if (multi_hit && *best_score > config_.max_order_chi2) {
+    count(&ReconstructionStats::chi2_cut);
+    return std::nullopt;
+  }
+
+  ComptonRing ring;
+  ring.axis = (first.position - second.position).normalized();
+  ring.eta = eta;
+  ring.e_total = e_total;
+  ring.sigma_e_total = std::sqrt(var_e_total);
+  ring.hit1 = RingHit{first.position, first.energy, first.sigma_position,
+                      first.sigma_energy};
+  ring.hit2 = RingHit{second.position, second.energy, second.sigma_position,
+                      second.sigma_energy};
+  ring.n_hits = static_cast<int>(event.hits.size());
+  ring.order_chi2 = multi_hit ? *best_score : 0.0;
+  ring.origin = event.origin;
+  ring.true_direction = event.true_direction;
+  ring.d_eta = propagate_d_eta(ring.hit1, ring.hit2, e_total,
+                               ring.sigma_e_total, eta, config_.min_d_eta);
+
+  count(&ReconstructionStats::accepted);
+  return ring;
+}
+
+std::vector<ComptonRing> EventReconstructor::reconstruct_all(
+    const std::vector<detector::MeasuredEvent>& events,
+    ReconstructionStats* stats) const {
+  const auto n = static_cast<std::ptrdiff_t>(events.size());
+  std::vector<std::optional<ComptonRing>> results(events.size());
+  std::vector<ReconstructionStats> local_stats;
+
+#pragma omp parallel
+  {
+#pragma omp single
+    {
+      int threads = 1;
+#ifdef _OPENMP
+      threads = omp_get_num_threads();
+#endif
+      local_stats.resize(static_cast<std::size_t>(threads));
+    }
+#pragma omp for schedule(dynamic, 16)
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      int tid = 0;
+#ifdef _OPENMP
+      tid = omp_get_thread_num();
+#endif
+      results[static_cast<std::size_t>(i)] =
+          reconstruct(events[static_cast<std::size_t>(i)],
+                      &local_stats[static_cast<std::size_t>(tid)]);
+    }
+  }
+
+  std::vector<ComptonRing> rings;
+  rings.reserve(events.size());
+  for (auto& r : results) {
+    if (r) rings.push_back(std::move(*r));
+  }
+  if (stats) {
+    for (const auto& s : local_stats) {
+      stats->accepted += s.accepted;
+      stats->too_few_hits += s.too_few_hits;
+      stats->energy_cut += s.energy_cut;
+      stats->lever_arm_cut += s.lever_arm_cut;
+      stats->eta_invalid += s.eta_invalid;
+      stats->chi2_cut += s.chi2_cut;
+      stats->ambiguous_order += s.ambiguous_order;
+    }
+  }
+  return rings;
+}
+
+}  // namespace adapt::recon

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file ring.hpp
+/// The Compton ring: the per-photon source constraint that enters
+/// localization (paper Fig. 2).
+///
+/// A reconstructed event constrains its source direction s to lie on a
+/// cone of half-angle arccos(eta) around the axis c through the first
+/// two hits; projected on the sky that cone is a ring.  The ring's
+/// "thickness" d_eta parameterizes a radially symmetric Gaussian
+/// probability density for the source direction (paper footnote 1):
+///
+///   P(s | ring) ~ exp( -(c.s - eta)^2 / (2 d_eta^2) ).
+
+#include "core/vec3.hpp"
+#include "detector/hit.hpp"
+
+namespace adapt::recon {
+
+/// Summary of one reconstructed hit as carried on the ring (position,
+/// energy, and quoted uncertainties — these are NN input features).
+struct RingHit {
+  core::Vec3 position;
+  double energy = 0.0;
+  core::Vec3 sigma_position;
+  double sigma_energy = 0.0;
+};
+
+struct ComptonRing {
+  core::Vec3 axis;       ///< Unit vector c from hit 2 toward hit 1.
+  double eta = 0.0;      ///< Cosine of the Compton scattering angle.
+  double d_eta = 0.0;    ///< Uncertainty of eta (propagation of error,
+                         ///< later replaced by the dEta network).
+
+  double e_total = 0.0;        ///< Total deposited energy [MeV].
+  double sigma_e_total = 0.0;  ///< Quoted uncertainty of e_total.
+
+  RingHit hit1;  ///< First interaction (as ordered by reconstruction).
+  RingHit hit2;  ///< Second interaction.
+
+  int n_hits = 0;       ///< Hits in the underlying event.
+  double order_chi2 = 0.0;  ///< Compton-consistency chi^2 of the chosen
+                            ///< ordering (0 for 2-hit events).
+
+  // --- simulation ground truth, for training and evaluation only ---
+  detector::Origin origin = detector::Origin::kGrb;
+  core::Vec3 true_direction;  ///< True photon travel direction.
+
+  /// The cosine the ring *should* have reported for a source direction
+  /// s: simply c.s.
+  double cosine_to(const core::Vec3& s) const { return axis.dot(s); }
+
+  /// Signed eta error for a known source direction.
+  double eta_error(const core::Vec3& s) const { return eta - cosine_to(s); }
+};
+
+}  // namespace adapt::recon

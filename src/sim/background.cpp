@@ -1,0 +1,58 @@
+#include "sim/background.hpp"
+
+#include <cmath>
+
+#include "core/mat3.hpp"
+#include "core/require.hpp"
+#include "core/units.hpp"
+
+namespace adapt::sim {
+
+using core::Mat3;
+using core::Vec3;
+
+BackgroundModel::BackgroundModel(const BackgroundConfig& config,
+                                 const detector::Geometry& geometry)
+    : config_(config) {
+  ADAPT_REQUIRE(config.photons_per_second >= 0.0, "rate must be >= 0");
+  ADAPT_REQUIRE(config.albedo_fraction >= 0.0 && config.albedo_fraction <= 1.0,
+                "albedo fraction must be in [0, 1]");
+  ADAPT_REQUIRE(config.exposure_seconds > 0.0, "exposure must be positive");
+  detector_center_ = geometry.center();
+  aperture_radius_ = geometry.bounding_radius();
+  spectrum_ = std::make_unique<PowerLawSpectrum>(config.spectral_index,
+                                                 config.e_min, config.e_max);
+}
+
+double BackgroundModel::expected_photons() const {
+  return config_.photons_per_second * config_.exposure_seconds;
+}
+
+std::uint64_t BackgroundModel::sample_photon_count(core::Rng& rng) const {
+  return rng.poisson(expected_photons());
+}
+
+SourcePhoton BackgroundModel::sample_photon(core::Rng& rng) const {
+  // Travel direction: upward-going for the albedo component (source
+  // below the horizon), downward-going for the diffuse sky component.
+  Vec3 travel;
+  if (rng.uniform() < config_.albedo_fraction) {
+    travel = rng.hemisphere_direction_up();  // +z: coming from below.
+  } else {
+    travel = -rng.hemisphere_direction_up();  // -z: from the sky.
+  }
+
+  const Vec3 disk_point = rng.uniform_disk(aperture_radius_);
+  const Vec3 offset = Mat3::frame_to(travel) * disk_point;
+
+  SourcePhoton p;
+  p.origin = detector_center_ - travel * (2.0 * aperture_radius_) + offset;
+  p.direction = travel;
+  // Spectrum: power-law continuum plus the 511 keV annihilation line.
+  p.energy = rng.uniform() < config_.annihilation_line_fraction
+                 ? 0.511
+                 : spectrum_->sample(rng);
+  return p;
+}
+
+}  // namespace adapt::sim

@@ -1,0 +1,144 @@
+#include "sim/exposure.hpp"
+
+#include <algorithm>
+
+namespace adapt::sim {
+
+ExposureSimulator::ExposureSimulator(
+    const detector::Geometry& geometry, const detector::Material& material,
+    const detector::ReadoutConfig& readout_config,
+    const physics::TransportConfig& transport_config)
+    : geometry_(&geometry),
+      material_(material),
+      transport_(geometry, material_, transport_config),
+      readout_(geometry, readout_config) {}
+
+template <typename PhotonFn>
+void ExposureSimulator::run_photons(
+    std::uint64_t count, PhotonFn&& next_photon, detector::Origin origin,
+    core::Rng& rng, std::vector<detector::MeasuredEvent>& out) const {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const SourcePhoton p = next_photon(rng);
+    detector::RawEvent raw =
+        transport_.propagate(p.origin, p.direction, p.energy, rng);
+    if (raw.hits.empty()) continue;  // Crossed without interacting.
+    raw.origin = origin;
+    if (auto measured = readout_.read_out(raw, rng)) {
+      out.push_back(std::move(*measured));
+    }
+  }
+}
+
+namespace {
+
+/// Merge coincident events: pairs whose (simulated) arrival times fall
+/// within the detection latency are read out as one corrupted event.
+void apply_pileup(Exposure& exposure, double window_s) {
+  if (window_s <= 0.0 || exposure.events.size() < 2) return;
+
+  struct Timed {
+    double t;
+    std::size_t index;
+  };
+  std::vector<Timed> order(exposure.events.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order[i] = Timed{exposure.events[i].time_s, i};
+  std::sort(order.begin(), order.end(),
+            [](const Timed& a, const Timed& b) { return a.t < b.t; });
+
+  std::vector<detector::MeasuredEvent> merged;
+  merged.reserve(exposure.events.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    detector::MeasuredEvent event =
+        std::move(exposure.events[order[i].index]);
+    std::size_t j = i + 1;
+    while (j < order.size() && order[j].t - order[i].t < window_s) {
+      const detector::MeasuredEvent& other = exposure.events[order[j].index];
+      // The DAQ sees one event: concatenated hits, summed energy.  The
+      // trajectory is no longer a single photon's — mark it partially
+      // absorbed and keep the earlier photon's truth (the tag the
+      // networks would ideally learn to reject).
+      event.hits.insert(event.hits.end(), other.hits.begin(),
+                        other.hits.end());
+      event.fully_absorbed = false;
+      if (other.origin == detector::Origin::kBackground)
+        event.origin = detector::Origin::kBackground;
+      ++exposure.piled_up_events;
+      ++j;
+    }
+    merged.push_back(std::move(event));
+    i = j;
+  }
+  exposure.events = std::move(merged);
+}
+
+}  // namespace
+
+Exposure ExposureSimulator::simulate(const GrbConfig& grb,
+                                     const BackgroundConfig& background,
+                                     core::Rng& rng,
+                                     const PileupConfig& pileup) const {
+  const GrbSource source(grb, *geometry_);
+  const BackgroundModel bkg(background, *geometry_);
+
+  Exposure exposure;
+  exposure.true_source_direction = source.source_direction();
+  exposure.grb_photons = source.sample_photon_count(rng);
+  exposure.background_photons = bkg.sample_photon_count(rng);
+  exposure.events.reserve(256);
+
+  run_photons(
+      exposure.grb_photons,
+      [&source](core::Rng& r) { return source.sample_photon(r); },
+      detector::Origin::kGrb, rng, exposure.events);
+  // Arrival times: the GRB pulse follows its light curve, the
+  // background is uniform over the window.
+  const double window = background.exposure_seconds;
+  const FredLightCurve light_curve(grb.light_curve, window);
+  std::size_t grb_detected = exposure.events.size();
+  for (std::size_t i = 0; i < grb_detected; ++i)
+    exposure.events[i].time_s = light_curve.sample(rng);
+
+  run_photons(
+      exposure.background_photons,
+      [&bkg](core::Rng& r) { return bkg.sample_photon(r); },
+      detector::Origin::kBackground, rng, exposure.events);
+  for (std::size_t i = grb_detected; i < exposure.events.size(); ++i)
+    exposure.events[i].time_s = rng.uniform(0.0, window);
+
+  apply_pileup(exposure, pileup.detection_latency_s);
+  return exposure;
+}
+
+Exposure ExposureSimulator::simulate_grb_only(const GrbConfig& grb,
+                                              core::Rng& rng) const {
+  const GrbSource source(grb, *geometry_);
+  Exposure exposure;
+  exposure.true_source_direction = source.source_direction();
+  exposure.grb_photons = source.sample_photon_count(rng);
+  run_photons(
+      exposure.grb_photons,
+      [&source](core::Rng& r) { return source.sample_photon(r); },
+      detector::Origin::kGrb, rng, exposure.events);
+  const FredLightCurve light_curve(grb.light_curve, 1.0);
+  for (auto& event : exposure.events)
+    event.time_s = light_curve.sample(rng);
+  return exposure;
+}
+
+Exposure ExposureSimulator::simulate_background_only(
+    const BackgroundConfig& background, core::Rng& rng) const {
+  const BackgroundModel bkg(background, *geometry_);
+  Exposure exposure;
+  exposure.background_photons = bkg.sample_photon_count(rng);
+  run_photons(
+      exposure.background_photons,
+      [&bkg](core::Rng& r) { return bkg.sample_photon(r); },
+      detector::Origin::kBackground, rng, exposure.events);
+  for (auto& event : exposure.events)
+    event.time_s = rng.uniform(0.0, background.exposure_seconds);
+  return exposure;
+}
+
+}  // namespace adapt::sim

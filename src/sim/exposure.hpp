@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file exposure.hpp
+/// End-to-end exposure simulation: one burst window's worth of GRB and
+/// background photons, transported through the detector and digitized
+/// by the readout model.  This is the data source for every experiment
+/// in the paper: localization trials, NN training sets, and timing
+/// runs all start from a simulated exposure.
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "detector/geometry.hpp"
+#include "detector/hit.hpp"
+#include "detector/material.hpp"
+#include "detector/readout.hpp"
+#include "physics/transport.hpp"
+#include "sim/background.hpp"
+#include "sim/grb_source.hpp"
+
+namespace adapt::sim {
+
+/// Event pileup model (the paper's first listed piece of future work:
+/// "multiple events that arrive simultaneously to within the detection
+/// latency of the instrument").  Two photons whose arrival times fall
+/// within the detection latency are read out as ONE event whose hit
+/// lists are merged — producing a corrupted trajectory that
+/// reconstruction cannot order correctly.
+struct PileupConfig {
+  /// Detection latency window [s]; 0 disables pileup.  With N events
+  /// uniformly distributed over the exposure, the expected number of
+  /// piled-up pairs is ~ N^2 * window / (2 * exposure).
+  double detection_latency_s = 0.0;
+};
+
+/// Everything produced by one simulated 1-second window.
+struct Exposure {
+  std::vector<detector::MeasuredEvent> events;  ///< Detected events
+                                                ///< (GRB + background,
+                                                ///< truth-tagged).
+  core::Vec3 true_source_direction;  ///< Ground-truth GRB direction.
+  std::uint64_t grb_photons = 0;     ///< Photons thrown at the aperture.
+  std::uint64_t background_photons = 0;
+  std::uint64_t piled_up_events = 0;  ///< Event pairs merged by pileup.
+};
+
+class ExposureSimulator {
+ public:
+  ExposureSimulator(const detector::Geometry& geometry,
+                    const detector::Material& material,
+                    const detector::ReadoutConfig& readout_config = {},
+                    const physics::TransportConfig& transport_config = {});
+
+  /// Simulate a full window: GRB photons plus background photons.
+  /// When `pileup` enables a detection-latency window, coincident
+  /// events are merged before readout ordering is lost.
+  Exposure simulate(const GrbConfig& grb, const BackgroundConfig& background,
+                    core::Rng& rng, const PileupConfig& pileup = {}) const;
+
+  /// GRB photons only (used for oracle/no-background experiments and
+  /// for building labeled training sets).
+  Exposure simulate_grb_only(const GrbConfig& grb, core::Rng& rng) const;
+
+  /// Background photons only.
+  Exposure simulate_background_only(const BackgroundConfig& background,
+                                    core::Rng& rng) const;
+
+  const detector::Geometry& geometry() const { return *geometry_; }
+  const detector::ReadoutModel& readout() const { return readout_; }
+  const physics::Transport& transport() const { return transport_; }
+
+ private:
+  /// Throw `count` photons from a generator, transport, digitize, and
+  /// append detected events tagged with `origin`.
+  template <typename PhotonFn>
+  void run_photons(std::uint64_t count, PhotonFn&& next_photon,
+                   detector::Origin origin, core::Rng& rng,
+                   std::vector<detector::MeasuredEvent>& out) const;
+
+  const detector::Geometry* geometry_;
+  detector::Material material_;
+  physics::Transport transport_;
+  detector::ReadoutModel readout_;
+};
+
+}  // namespace adapt::sim

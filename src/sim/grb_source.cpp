@@ -1,0 +1,51 @@
+#include "sim/grb_source.hpp"
+
+#include <cmath>
+
+#include "core/mat3.hpp"
+#include "core/require.hpp"
+#include "core/units.hpp"
+
+namespace adapt::sim {
+
+using core::Mat3;
+using core::Vec3;
+
+GrbSource::GrbSource(const GrbConfig& config,
+                     const detector::Geometry& geometry)
+    : config_(config) {
+  ADAPT_REQUIRE(config.fluence > 0.0, "fluence must be positive");
+  ADAPT_REQUIRE(config.polar_deg >= 0.0 && config.polar_deg <= 90.0,
+                "GRB polar angle must be in [0, 90] degrees "
+                "(Earth obscures the lower hemisphere)");
+  source_dir_ = core::from_spherical(core::deg_to_rad(config.polar_deg),
+                                     core::deg_to_rad(config.azimuth_deg));
+  travel_dir_ = -source_dir_;
+  detector_center_ = geometry.center();
+  aperture_radius_ = geometry.bounding_radius();
+  standoff_ = 2.0 * aperture_radius_;
+  spectrum_ = std::make_unique<BandSpectrum>(config.spectrum);
+}
+
+double GrbSource::expected_photons() const {
+  const double area = core::kPi * aperture_radius_ * aperture_radius_;
+  return config_.fluence * area / spectrum_->mean_energy();
+}
+
+std::uint64_t GrbSource::sample_photon_count(core::Rng& rng) const {
+  return rng.poisson(expected_photons());
+}
+
+SourcePhoton GrbSource::sample_photon(core::Rng& rng) const {
+  // A uniform point on the aperture disk, expressed in a frame whose
+  // +z is the travel direction, then placed upstream of the detector.
+  const Vec3 disk_point = rng.uniform_disk(aperture_radius_);
+  const Vec3 offset = Mat3::frame_to(travel_dir_) * disk_point;
+  SourcePhoton p;
+  p.origin = detector_center_ - travel_dir_ * standoff_ + offset;
+  p.direction = travel_dir_;
+  p.energy = spectrum_->sample(rng);
+  return p;
+}
+
+}  // namespace adapt::sim

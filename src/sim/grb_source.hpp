@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file grb_source.hpp
+/// GRB plane-wave source model.
+///
+/// A gamma-ray burst at cosmological distance illuminates the detector
+/// as a plane wave from direction `s` (the unit vector *toward* the
+/// source).  The paper parameterizes bursts by fluence — the
+/// time-integrated brightness in MeV/cm^2 over a 1-second window — and
+/// by the source polar angle (0 degrees = normally incident from
+/// above; Earth blocks everything below the horizon).
+
+#include <memory>
+
+#include "core/rng.hpp"
+#include "core/vec3.hpp"
+#include "detector/geometry.hpp"
+#include "sim/light_curve.hpp"
+#include "sim/spectrum.hpp"
+
+namespace adapt::sim {
+
+struct GrbConfig {
+  double fluence = 1.0;       ///< [MeV/cm^2] over the burst window.
+  double polar_deg = 0.0;     ///< Source polar angle [deg], 0..90.
+  double azimuth_deg = 0.0;   ///< Source azimuth [deg].
+  BandParams spectrum;        ///< Band spectral parameters.
+  LightCurveParams light_curve;  ///< Temporal pulse profile.
+};
+
+/// One photon ready for transport.
+struct SourcePhoton {
+  core::Vec3 origin;     ///< Starting point outside the detector [cm].
+  core::Vec3 direction;  ///< Unit travel direction.
+  double energy = 0.0;   ///< [MeV].
+};
+
+class GrbSource {
+ public:
+  GrbSource(const GrbConfig& config, const detector::Geometry& geometry);
+
+  /// Unit vector pointing from the detector toward the source.
+  core::Vec3 source_direction() const { return source_dir_; }
+
+  /// Expected number of photons crossing the sampling aperture for the
+  /// configured fluence (fluence * aperture_area / mean photon
+  /// energy).
+  double expected_photons() const;
+
+  /// Draw the photon count for one burst realization (Poisson).
+  std::uint64_t sample_photon_count(core::Rng& rng) const;
+
+  /// Generate one incident photon: a point on a disk aperture
+  /// perpendicular to the propagation direction, upstream of the
+  /// detector, with a Band-sampled energy.
+  SourcePhoton sample_photon(core::Rng& rng) const;
+
+  const GrbConfig& config() const { return config_; }
+
+  /// Radius [cm] of the circular sampling aperture (encloses the
+  /// detector's silhouette from every incidence angle).
+  double aperture_radius() const { return aperture_radius_; }
+
+ private:
+  GrbConfig config_;
+  core::Vec3 source_dir_;    ///< Toward the source.
+  core::Vec3 travel_dir_;    ///< Photon travel direction = -source_dir_.
+  core::Vec3 detector_center_;
+  double aperture_radius_ = 0.0;
+  double standoff_ = 0.0;    ///< Distance of the aperture plane upstream.
+  std::unique_ptr<BandSpectrum> spectrum_;
+};
+
+}  // namespace adapt::sim

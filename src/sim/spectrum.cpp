@@ -1,0 +1,100 @@
+#include "sim/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.hpp"
+
+namespace adapt::sim {
+
+void Spectrum::build_table(int n_points) {
+  ADAPT_REQUIRE(n_points >= 8, "inverse-CDF table too small");
+  ADAPT_REQUIRE(e_min() > 0.0 && e_max() > e_min(), "bad spectrum bounds");
+
+  log_e_.resize(static_cast<size_t>(n_points));
+  cdf_.resize(static_cast<size_t>(n_points));
+  const double lmin = std::log(e_min());
+  const double lmax = std::log(e_max());
+  for (int i = 0; i < n_points; ++i) {
+    log_e_[static_cast<size_t>(i)] =
+        lmin + (lmax - lmin) * static_cast<double>(i) /
+                   static_cast<double>(n_points - 1);
+  }
+
+  // Trapezoidal CDF in log-energy space: integrand = E * dN/dE since
+  // dE = E dlogE.  Accumulate the first moment alongside for the mean.
+  double cum = 0.0;
+  double moment = 0.0;
+  cdf_[0] = 0.0;
+  double prev_e = std::exp(log_e_[0]);
+  double prev_f = prev_e * density(prev_e);
+  for (size_t i = 1; i < log_e_.size(); ++i) {
+    const double e = std::exp(log_e_[i]);
+    const double f = e * density(e);
+    const double dl = log_e_[i] - log_e_[i - 1];
+    const double area = 0.5 * (prev_f + f) * dl;
+    cum += area;
+    moment += 0.5 * (prev_f * prev_e + f * e) * dl;
+    cdf_[i] = cum;
+    prev_e = e;
+    prev_f = f;
+  }
+  ADAPT_REQUIRE(cum > 0.0, "spectrum integrates to zero");
+  for (double& c : cdf_) c /= cum;
+  cdf_.back() = 1.0;
+  mean_energy_ = moment / cum;
+}
+
+double Spectrum::sample(core::Rng& rng) const {
+  ADAPT_REQUIRE(!cdf_.empty(), "spectrum table not built");
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const size_t hi = std::min(
+      static_cast<size_t>(std::distance(cdf_.begin(), it)), cdf_.size() - 1);
+  if (hi == 0) return std::exp(log_e_[0]);
+  const size_t lo = hi - 1;
+  const double span = cdf_[hi] - cdf_[lo];
+  const double frac = span > 0.0 ? (u - cdf_[lo]) / span : 0.0;
+  return std::exp(log_e_[lo] + frac * (log_e_[hi] - log_e_[lo]));
+}
+
+double Spectrum::mean_energy() const {
+  ADAPT_REQUIRE(!cdf_.empty(), "spectrum table not built");
+  return mean_energy_;
+}
+
+BandSpectrum::BandSpectrum(const BandParams& params) : params_(params) {
+  ADAPT_REQUIRE(params.alpha > -2.0, "Band alpha must exceed -2");
+  ADAPT_REQUIRE(params.beta < params.alpha,
+                "Band beta must be steeper than alpha");
+  ADAPT_REQUIRE(params.e_peak > 0.0, "Band E_peak must be positive");
+  e_break_ =
+      (params.alpha - params.beta) * params.e_peak / (2.0 + params.alpha);
+  // Continuity factor at the break: match the low- and high-energy
+  // branches at E = e_break_.
+  const double low_at_break =
+      std::pow(e_break_, params.alpha) *
+      std::exp(-e_break_ * (2.0 + params.alpha) / params.e_peak);
+  high_norm_ = low_at_break / std::pow(e_break_, params.beta);
+  build_table();
+}
+
+double BandSpectrum::density(double e) const {
+  if (e < e_break_) {
+    return std::pow(e, params_.alpha) *
+           std::exp(-e * (2.0 + params_.alpha) / params_.e_peak);
+  }
+  return high_norm_ * std::pow(e, params_.beta);
+}
+
+PowerLawSpectrum::PowerLawSpectrum(double index, double e_min, double e_max)
+    : index_(index), e_min_(e_min), e_max_(e_max) {
+  ADAPT_REQUIRE(e_min > 0.0 && e_max > e_min, "bad power-law bounds");
+  build_table();
+}
+
+double PowerLawSpectrum::density(double e) const {
+  return std::pow(e, -index_);
+}
+
+}  // namespace adapt::sim

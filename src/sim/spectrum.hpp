@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file spectrum.hpp
+/// Photon energy spectra for the GRB source and the atmospheric
+/// background.
+///
+/// The GRB uses the Band function with the paper's parameters
+/// (Sec. IV footnote 2: beta fixed at -2.35, minimum simulated energy
+/// 30 keV); the background uses a falling power law.  Both are sampled
+/// through a tabulated inverse CDF on a logarithmic energy grid, which
+/// is exact to interpolation error and costs one binary search per
+/// draw.
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace adapt::sim {
+
+/// Abstract photon-number spectrum dN/dE on [e_min, e_max].
+class Spectrum {
+ public:
+  virtual ~Spectrum() = default;
+
+  /// Unnormalized dN/dE at energy e [MeV].
+  virtual double density(double e) const = 0;
+
+  virtual double e_min() const = 0;
+  virtual double e_max() const = 0;
+
+  /// Draw a photon energy [MeV].
+  double sample(core::Rng& rng) const;
+
+  /// Mean photon energy [MeV] under the normalized spectrum; used to
+  /// convert a fluence [MeV/cm^2] into an expected photon count.
+  double mean_energy() const;
+
+ protected:
+  /// Build the inverse-CDF table; concrete spectra call this from
+  /// their constructors after their parameters are set.
+  void build_table(int n_points = 1024);
+
+ private:
+  std::vector<double> log_e_;   ///< Log-energy grid.
+  std::vector<double> cdf_;     ///< CDF at grid points (cdf_[last]=1).
+  double mean_energy_ = 0.0;
+};
+
+/// The Band GRB spectrum: a smoothly broken power law
+///   N(E) ~ E^alpha exp(-E (2+alpha)/E_peak)         for E <  E_break
+///   N(E) ~ E^beta * C                               for E >= E_break
+/// with E_break = (alpha - beta) E_peak / (2 + alpha) and C chosen for
+/// continuity.  Defaults follow the paper: beta = -2.35, 30 keV floor.
+struct BandParams {
+  double alpha = -1.0;
+  double beta = -2.35;
+  double e_peak = 0.300;  ///< nu-F-nu peak energy [MeV].
+  double e_min = 0.030;
+  double e_max = 10.0;
+};
+
+class BandSpectrum : public Spectrum {
+ public:
+  explicit BandSpectrum(const BandParams& params = {});
+
+  double density(double e) const override;
+  double e_min() const override { return params_.e_min; }
+  double e_max() const override { return params_.e_max; }
+  const BandParams& params() const { return params_; }
+
+ private:
+  BandParams params_;
+  double e_break_ = 0.0;
+  double high_norm_ = 0.0;
+};
+
+/// Falling power law N(E) ~ E^-index, the background continuum shape.
+class PowerLawSpectrum : public Spectrum {
+ public:
+  PowerLawSpectrum(double index, double e_min, double e_max);
+
+  double density(double e) const override;
+  double e_min() const override { return e_min_; }
+  double e_max() const override { return e_max_; }
+  double index() const { return index_; }
+
+ private:
+  double index_;
+  double e_min_;
+  double e_max_;
+};
+
+}  // namespace adapt::sim

@@ -1,0 +1,67 @@
+#include "trigger/rate_trigger.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.hpp"
+#include "core/stats.hpp"
+
+namespace adapt::trigger {
+
+RateTrigger::RateTrigger(const TriggerConfig& config) : config_(config) {
+  ADAPT_REQUIRE(!config.window_sizes_s.empty(), "no trigger timescales");
+  for (const double w : config.window_sizes_s)
+    ADAPT_REQUIRE(w > 0.0, "window sizes must be positive");
+  ADAPT_REQUIRE(config.stride_fraction > 0.0 && config.stride_fraction <= 1.0,
+                "stride fraction in (0, 1]");
+  ADAPT_REQUIRE(config.background_rate_hz >= 0.0, "negative rate");
+  ADAPT_REQUIRE(config.threshold_sigma > 0.0, "threshold must be positive");
+}
+
+TriggerResult RateTrigger::scan(std::vector<double> event_times,
+                                double exposure_s) const {
+  ADAPT_REQUIRE(exposure_s > 0.0, "exposure must be positive");
+  std::sort(event_times.begin(), event_times.end());
+
+  TriggerResult best;
+  for (const double window : config_.window_sizes_s) {
+    if (window > exposure_s) continue;
+    const double mu = config_.background_rate_hz * window;
+    const double stride = window * config_.stride_fraction;
+    for (double t0 = 0.0; t0 + window <= exposure_s + 1e-12; t0 += stride) {
+      const double t1 = t0 + window;
+      // Count events in [t0, t1) via binary search on the sorted times.
+      const auto lo = std::lower_bound(event_times.begin(),
+                                       event_times.end(), t0);
+      const auto hi = std::lower_bound(lo, event_times.end(), t1);
+      const auto counts = static_cast<std::size_t>(std::distance(lo, hi));
+      const double sigma = core::poisson_significance_sigma(counts, mu);
+      if (sigma > best.significance_sigma) {
+        best.significance_sigma = sigma;
+        best.t_start = t0;
+        best.t_end = t1;
+        best.counts = counts;
+        best.expected = mu;
+      }
+    }
+  }
+  best.triggered = best.significance_sigma >= config_.threshold_sigma;
+  return best;
+}
+
+TriggerResult RateTrigger::scan(
+    std::span<const detector::MeasuredEvent> events,
+    double exposure_s) const {
+  std::vector<double> times;
+  times.reserve(events.size());
+  for (const auto& event : events) times.push_back(event.time_s);
+  return scan(std::move(times), exposure_s);
+}
+
+double RateTrigger::estimate_background_rate(
+    std::span<const detector::MeasuredEvent> events, double exposure_s) {
+  ADAPT_REQUIRE(exposure_s > 0.0, "exposure must be positive");
+  return static_cast<double>(events.size()) / exposure_s;
+}
+
+}  // namespace adapt::trigger

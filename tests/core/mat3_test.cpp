@@ -1,0 +1,131 @@
+#include "core/mat3.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+
+namespace adapt::core {
+namespace {
+
+TEST(Mat3, IdentityActsTrivially) {
+  const Mat3 id = Mat3::identity();
+  const Vec3 v{1.0, -2.0, 3.0};
+  const Vec3 r = id * v;
+  EXPECT_DOUBLE_EQ(r.x, v.x);
+  EXPECT_DOUBLE_EQ(r.y, v.y);
+  EXPECT_DOUBLE_EQ(r.z, v.z);
+  EXPECT_DOUBLE_EQ(id.det(), 1.0);
+}
+
+TEST(Mat3, MatrixProductMatchesManual) {
+  Mat3 a;
+  a.m = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  Mat3 b;
+  b.m = {9, 8, 7, 6, 5, 4, 3, 2, 1};
+  const Mat3 c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 1 * 9 + 2 * 6 + 3 * 3);
+  EXPECT_DOUBLE_EQ(c(2, 2), 7 * 7 + 8 * 4 + 9 * 1);
+}
+
+TEST(Mat3, TransposeSwapsOffDiagonals) {
+  Mat3 a;
+  a.m = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const Mat3 t = a.transposed();
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(t(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+}
+
+TEST(Mat3, InverseRecoversIdentity) {
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    Mat3 a;
+    for (auto& v : a.m) v = rng.uniform(-2.0, 2.0);
+    Mat3 inv;
+    if (!a.inverse(inv, 1e-9)) continue;  // Skip near-singular draws.
+    const Mat3 prod = a * inv;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j)
+        EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-9);
+  }
+}
+
+TEST(Mat3, SingularInverseReturnsFalse) {
+  Mat3 a;
+  a.m = {1, 2, 3, 2, 4, 6, 1, 1, 1};  // Row 2 = 2 * row 1.
+  Mat3 inv;
+  EXPECT_FALSE(a.inverse(inv, 1e-12));
+}
+
+TEST(Mat3, OuterProductStructure) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, 5.0, 6.0};
+  const Mat3 o = Mat3::outer(a, b);
+  EXPECT_DOUBLE_EQ(o(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(o(1, 2), 12.0);
+  EXPECT_DOUBLE_EQ(o(2, 1), 15.0);
+  // Rank 1: determinant zero.
+  EXPECT_NEAR(o.det(), 0.0, 1e-12);
+}
+
+TEST(Mat3, RotationPreservesLengthAndAngle) {
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vec3 axis = rng.isotropic_direction();
+    const double angle = rng.uniform(-kPi, kPi);
+    const Mat3 r = Mat3::rotation(axis, angle);
+    const Vec3 v = rng.isotropic_direction() * rng.uniform(0.5, 2.0);
+    const Vec3 rv = r * v;
+    EXPECT_NEAR(rv.norm(), v.norm(), 1e-12);
+    // Component along the axis is unchanged.
+    EXPECT_NEAR(rv.dot(axis), v.dot(axis), 1e-12);
+  }
+}
+
+TEST(Mat3, RotationDeterminantIsOne) {
+  const Mat3 r = Mat3::rotation(Vec3{1, 1, 1}, 1.3);
+  EXPECT_NEAR(r.det(), 1.0, 1e-12);
+}
+
+TEST(Mat3, FrameToMapsZAxisToDirection) {
+  Rng rng(15);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec3 d = rng.isotropic_direction();
+    const Mat3 f = Mat3::frame_to(d);
+    const Vec3 mapped = f * Vec3{0, 0, 1};
+    EXPECT_NEAR((mapped - d).norm(), 0.0, 1e-12);
+    EXPECT_NEAR(f.det(), 1.0, 1e-12);
+  }
+}
+
+TEST(Mat3, FrameToHandlesPolarSingularities) {
+  const Mat3 up = Mat3::frame_to(Vec3{0, 0, 1});
+  EXPECT_NEAR((up * Vec3{0, 0, 1} - Vec3{0, 0, 1}).norm(), 0.0, 1e-12);
+  const Mat3 down = Mat3::frame_to(Vec3{0, 0, -1});
+  EXPECT_NEAR((down * Vec3{0, 0, 1} - Vec3{0, 0, -1}).norm(), 0.0, 1e-12);
+}
+
+TEST(Mat3, SolveDampedSolvesWellConditionedSystem) {
+  Mat3 a;
+  a.m = {4, 1, 0, 1, 3, 1, 0, 1, 5};
+  const Vec3 x_true{1.0, -2.0, 0.5};
+  const Vec3 b = a * x_true;
+  Vec3 x;
+  ASSERT_TRUE(solve_damped(a, b, 0.0, x));
+  EXPECT_NEAR(x.x, x_true.x, 1e-12);
+  EXPECT_NEAR(x.y, x_true.y, 1e-12);
+  EXPECT_NEAR(x.z, x_true.z, 1e-12);
+}
+
+TEST(Mat3, SolveDampedRegularizesSingularSystem) {
+  // Rank-1 system: without damping unsolvable, with damping solvable.
+  const Mat3 a = Mat3::outer(Vec3{1, 0, 0}, Vec3{1, 0, 0});
+  Vec3 x;
+  EXPECT_FALSE(solve_damped(a, Vec3{1, 0, 0}, 0.0, x));
+  EXPECT_TRUE(solve_damped(a, Vec3{1, 0, 0}, 1e-6, x));
+  EXPECT_NEAR(x.x, 1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace adapt::core

@@ -1,0 +1,174 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/stats.hpp"
+
+namespace adapt::core {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    stat.add(u);
+  }
+  EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stat.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeUnbiased) {
+  Rng rng(9);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i)
+    ++counts[static_cast<std::size_t>(rng.uniform_index(7))];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 7.0, 5.0 * std::sqrt(n / 7.0));
+  }
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(10);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(11);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) stat.add(rng.normal());
+  EXPECT_NEAR(stat.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stat.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(12);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) stat.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stat.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(13);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) stat.add(rng.exponential(3.0));
+  EXPECT_NEAR(stat.mean(), 3.0, 0.1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(14);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i)
+    stat.add(static_cast<double>(rng.poisson(4.5)));
+  EXPECT_NEAR(stat.mean(), 4.5, 0.05);
+  EXPECT_NEAR(stat.variance(), 4.5, 0.15);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApproximation) {
+  Rng rng(15);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i)
+    stat.add(static_cast<double>(rng.poisson(10000.0)));
+  EXPECT_NEAR(stat.mean(), 10000.0, 5.0);
+  EXPECT_NEAR(stat.stddev(), 100.0, 3.0);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(16);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, IsotropicDirectionIsUnitAndBalanced) {
+  Rng rng(17);
+  RunningStat z_stat;
+  for (int i = 0; i < 20000; ++i) {
+    const Vec3 d = rng.isotropic_direction();
+    ASSERT_NEAR(d.norm(), 1.0, 1e-12);
+    z_stat.add(d.z);
+  }
+  // z uniform in [-1, 1]: mean 0, variance 1/3.
+  EXPECT_NEAR(z_stat.mean(), 0.0, 0.02);
+  EXPECT_NEAR(z_stat.variance(), 1.0 / 3.0, 0.01);
+}
+
+TEST(Rng, HemisphereDirectionPointsUp) {
+  Rng rng(18);
+  for (int i = 0; i < 2000; ++i) {
+    const Vec3 d = rng.hemisphere_direction_up();
+    ASSERT_GE(d.z, 0.0);
+    ASSERT_NEAR(d.norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(Rng, UniformDiskIsUniform) {
+  Rng rng(19);
+  // Uniformity check: mean radius of a uniform disk of radius R is
+  // 2R/3, and all points lie within the disk in the z = 0 plane.
+  RunningStat r_stat;
+  for (int i = 0; i < 20000; ++i) {
+    const Vec3 p = rng.uniform_disk(2.0);
+    ASSERT_DOUBLE_EQ(p.z, 0.0);
+    const double r = std::sqrt(p.x * p.x + p.y * p.y);
+    ASSERT_LE(r, 2.0);
+    r_stat.add(r);
+  }
+  EXPECT_NEAR(r_stat.mean(), 4.0 / 3.0, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(20);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (child1.next_u64() == child2.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitmixAvalanche) {
+  // Successive splitmix outputs from adjacent states should differ in
+  // roughly half the bits.
+  std::uint64_t s1 = 1;
+  std::uint64_t s2 = 2;
+  const std::uint64_t a = splitmix64(s1);
+  const std::uint64_t b = splitmix64(s2);
+  const int popcount = __builtin_popcountll(a ^ b);
+  EXPECT_GT(popcount, 16);
+  EXPECT_LT(popcount, 48);
+}
+
+}  // namespace
+}  // namespace adapt::core

@@ -1,0 +1,101 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace adapt::core {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, NumericallyStableForLargeOffsets) {
+  RunningStat s;
+  const double offset = 1e9;
+  for (double v : {1.0, 2.0, 3.0}) s.add(offset + v);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+}
+
+TEST(Quantile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Quantile, RejectsOutOfRangeLevel) {
+  EXPECT_THROW(quantile({1.0}, 1.5), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, -0.1), std::invalid_argument);
+}
+
+TEST(Containment, MatchesPaperDefinition) {
+  // "the largest error observed in at most 68% of trials":
+  // with 10 sorted values, ceil(0.68*10) = 7 -> 7th smallest.
+  std::vector<double> errors;
+  for (int i = 1; i <= 10; ++i) errors.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(containment(errors, 0.68), 7.0);
+  EXPECT_DOUBLE_EQ(containment(errors, 0.95), 10.0);
+  EXPECT_DOUBLE_EQ(containment(errors, 1.0), 10.0);
+}
+
+TEST(Containment, SingleTrial) {
+  EXPECT_DOUBLE_EQ(containment({5.0}, 0.68), 5.0);
+}
+
+TEST(Containment, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(containment({9.0, 1.0, 5.0, 3.0, 7.0}, 0.6), 5.0);
+}
+
+TEST(Containment, Pair68And95) {
+  std::vector<double> errors;
+  for (int i = 1; i <= 100; ++i) errors.push_back(static_cast<double>(i));
+  const Containment c = containment_68_95(std::move(errors));
+  EXPECT_DOUBLE_EQ(c.c68, 68.0);
+  EXPECT_DOUBLE_EQ(c.c95, 95.0);
+  EXPECT_EQ(c.trials, 100u);
+}
+
+TEST(MeanStdTest, ComputesBoth) {
+  const MeanStd m = mean_std({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(m.mean, 2.0);
+  EXPECT_DOUBLE_EQ(m.stddev, 1.0);
+}
+
+TEST(MeanStdTest, EmptyIsZero) {
+  const MeanStd m = mean_std({});
+  EXPECT_DOUBLE_EQ(m.mean, 0.0);
+  EXPECT_DOUBLE_EQ(m.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace adapt::core

@@ -1,0 +1,139 @@
+#include "core/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+
+namespace adapt::core {
+namespace {
+
+TEST(Vec3, ArithmeticOperators) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-1.0, 0.5, 2.0};
+  const Vec3 sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.x, 0.0);
+  EXPECT_DOUBLE_EQ(sum.y, 2.5);
+  EXPECT_DOUBLE_EQ(sum.z, 5.0);
+
+  const Vec3 diff = a - b;
+  EXPECT_DOUBLE_EQ(diff.x, 2.0);
+  EXPECT_DOUBLE_EQ(diff.y, 1.5);
+  EXPECT_DOUBLE_EQ(diff.z, 1.0);
+
+  const Vec3 scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.z, 6.0);
+  const Vec3 scaled2 = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled2.z, 6.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).x, 0.5);
+  EXPECT_DOUBLE_EQ((-a).y, -2.0);
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1.0, 1.0, 1.0};
+  v += Vec3{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(v.y, 3.0);
+  v -= Vec3{1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(v.x, 1.0);
+  v *= 3.0;
+  EXPECT_DOUBLE_EQ(v.z, 9.0);
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  const Vec3 z = x.cross(y);
+  EXPECT_DOUBLE_EQ(z.x, 0.0);
+  EXPECT_DOUBLE_EQ(z.y, 0.0);
+  EXPECT_DOUBLE_EQ(z.z, 1.0);
+  // Anticommutative.
+  const Vec3 mz = y.cross(x);
+  EXPECT_DOUBLE_EQ(mz.z, -1.0);
+}
+
+TEST(Vec3, NormAndNormalized) {
+  const Vec3 v{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  const Vec3 u = v.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-15);
+  EXPECT_NEAR(u.x, 0.6, 1e-15);
+}
+
+TEST(Vec3, NormalizedDegenerateReturnsUnit) {
+  const Vec3 zero{0.0, 0.0, 0.0};
+  const Vec3 u = zero.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-15);
+}
+
+TEST(Vec3, AngleBetweenOrthogonalAndParallel) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_NEAR(angle_between(x, y), kPi / 2.0, 1e-14);
+  EXPECT_NEAR(angle_between(x, x), 0.0, 1e-14);
+  EXPECT_NEAR(angle_between(x, -x), kPi, 1e-14);
+}
+
+TEST(Vec3, AngleBetweenNearlyParallelIsAccurate) {
+  // atan2 formulation stays accurate where acos(dot) loses digits.
+  const double tiny = 1e-9;
+  const Vec3 a{1.0, 0.0, 0.0};
+  const Vec3 b{1.0, tiny, 0.0};
+  EXPECT_NEAR(angle_between(a, b), tiny, 1e-12);
+}
+
+TEST(Vec3, SphericalRoundTrip) {
+  for (double polar : {0.1, 0.7, 1.2, 2.0, 3.0}) {
+    for (double azimuth : {-2.0, 0.0, 0.9, 2.7}) {
+      const Vec3 d = from_spherical(polar, azimuth);
+      EXPECT_NEAR(d.norm(), 1.0, 1e-14);
+      EXPECT_NEAR(polar_of(d), polar, 1e-12);
+      if (polar > 0.15 && polar < 3.0) {
+        EXPECT_NEAR(azimuth_of(d), azimuth, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Vec3, PolarOfClampsOutOfRangeCosine) {
+  // A vector with z slightly above 1 after normalization error must
+  // not produce NaN.
+  const Vec3 almost_up{0.0, 0.0, 1.0 + 1e-16};
+  EXPECT_FALSE(std::isnan(polar_of(almost_up)));
+  EXPECT_NEAR(polar_of(almost_up), 0.0, 1e-7);
+}
+
+TEST(Vec3, AnyOrthogonalIsOrthogonalAndUnit) {
+  Rng rng(123);
+  for (int i = 0; i < 50; ++i) {
+    const Vec3 v = rng.isotropic_direction() * rng.uniform(0.1, 10.0);
+    const Vec3 o = any_orthogonal(v);
+    EXPECT_NEAR(o.norm(), 1.0, 1e-12);
+    EXPECT_NEAR(o.dot(v.normalized()), 0.0, 1e-12);
+  }
+}
+
+TEST(Vec3, RotateAboutAxisPreservesAngle) {
+  Rng rng(77);
+  for (int i = 0; i < 50; ++i) {
+    const Vec3 axis = rng.isotropic_direction();
+    const double theta = rng.uniform(0.0, kPi);
+    const double phi = rng.uniform(0.0, kTwoPi);
+    const Vec3 p = rotate_about_axis(axis, theta, phi);
+    EXPECT_NEAR(p.norm(), 1.0, 1e-12);
+    EXPECT_NEAR(angle_between(axis, p), theta, 1e-10);
+  }
+}
+
+TEST(Vec3, RotateAboutAxisSweepsDistinctPoints) {
+  const Vec3 axis{0.0, 0.0, 1.0};
+  const Vec3 a = rotate_about_axis(axis, 0.5, 0.0);
+  const Vec3 b = rotate_about_axis(axis, 0.5, kPi);
+  EXPECT_GT((a - b).norm(), 0.5);
+}
+
+}  // namespace
+}  // namespace adapt::core

@@ -1,0 +1,144 @@
+#include "detector/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+
+namespace adapt::detector {
+namespace {
+
+TEST(Geometry, DefaultLayersAreStackedDownward) {
+  const Geometry g;
+  ASSERT_EQ(g.n_layers(), 4);
+  EXPECT_DOUBLE_EQ(g.layer(0).z_top, 0.0);
+  EXPECT_DOUBLE_EQ(g.layer(0).z_bottom, -1.5);
+  EXPECT_DOUBLE_EQ(g.layer(1).z_top, -10.0);
+  EXPECT_DOUBLE_EQ(g.layer(3).z_top, -30.0);
+  EXPECT_DOUBLE_EQ(g.z_min(), -31.5);
+}
+
+TEST(Geometry, RejectsInvalidConfig) {
+  GeometryConfig c;
+  c.n_layers = 0;
+  EXPECT_THROW(Geometry{c}, std::invalid_argument);
+  c = GeometryConfig{};
+  c.layer_pitch = 0.5;  // Thinner than the tile: overlap.
+  EXPECT_THROW(Geometry{c}, std::invalid_argument);
+}
+
+TEST(Geometry, LayerAtFindsCorrectSlab) {
+  const Geometry g;
+  EXPECT_EQ(g.layer_at(-0.5), 0);
+  EXPECT_EQ(g.layer_at(-10.7), 1);
+  EXPECT_EQ(g.layer_at(-31.0), 3);
+  EXPECT_EQ(g.layer_at(-5.0), -1);   // Gap between layers.
+  EXPECT_EQ(g.layer_at(1.0), -1);    // Above the stack.
+  EXPECT_EQ(g.layer_at(-40.0), -1);  // Below the stack.
+}
+
+TEST(Geometry, ContainsChecksLateralBounds) {
+  const Geometry g;
+  EXPECT_TRUE(g.contains({0.0, 0.0, -0.5}));
+  EXPECT_TRUE(g.contains({19.9, -19.9, -0.5}));
+  EXPECT_FALSE(g.contains({20.1, 0.0, -0.5}));
+  EXPECT_FALSE(g.contains({0.0, -20.1, -0.5}));
+  EXPECT_FALSE(g.contains({0.0, 0.0, -5.0}));
+}
+
+TEST(Geometry, BoundingRadiusEnclosesEveryCorner) {
+  const Geometry g;
+  const double r = g.bounding_radius();
+  const core::Vec3 c = g.center();
+  const double w = g.config().tile_half_width;
+  for (double sx : {-1.0, 1.0})
+    for (double sy : {-1.0, 1.0})
+      for (double z : {0.0, g.z_min()}) {
+        const core::Vec3 corner{sx * w, sy * w, z};
+        EXPECT_LE((corner - c).norm(), r);
+      }
+}
+
+TEST(GeometryTrace, VerticalRayCrossesAllLayers) {
+  const Geometry g;
+  const auto segs = g.trace({0.0, 0.0, 10.0}, {0.0, 0.0, -1.0});
+  ASSERT_EQ(segs.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(segs[static_cast<std::size_t>(i)].layer, i);
+    EXPECT_NEAR(segs[static_cast<std::size_t>(i)].t_exit -
+                    segs[static_cast<std::size_t>(i)].t_enter,
+                1.5, 1e-9);
+  }
+  // Ordered by increasing t.
+  for (std::size_t i = 1; i < segs.size(); ++i)
+    EXPECT_GT(segs[i].t_enter, segs[i - 1].t_exit - 1e-12);
+}
+
+TEST(GeometryTrace, RayMissingLaterallyHasNoSegments) {
+  const Geometry g;
+  const auto segs = g.trace({25.0, 0.0, 10.0}, {0.0, 0.0, -1.0});
+  EXPECT_TRUE(segs.empty());
+}
+
+TEST(GeometryTrace, ObliqueRayHasLongerPath) {
+  const Geometry g;
+  const double c45 = std::sqrt(0.5);
+  const auto segs = g.trace({-10.0, 0.0, 5.0}, {c45, 0.0, -c45});
+  ASSERT_FALSE(segs.empty());
+  // 45-degree incidence: path length in a slab is thickness * sqrt(2).
+  EXPECT_NEAR(segs[0].t_exit - segs[0].t_enter, 1.5 * std::sqrt(2.0), 1e-9);
+}
+
+TEST(GeometryTrace, HorizontalRayThroughOneLayer) {
+  const Geometry g;
+  const auto segs = g.trace({-30.0, 0.0, -0.75}, {1.0, 0.0, 0.0});
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].layer, 0);
+  // Crosses the full 40 cm tile width.
+  EXPECT_NEAR(segs[0].t_exit - segs[0].t_enter, 40.0, 1e-9);
+}
+
+TEST(GeometryTrace, HorizontalRayInGapMissesEverything) {
+  const Geometry g;
+  const auto segs = g.trace({-30.0, 0.0, -5.0}, {1.0, 0.0, 0.0});
+  EXPECT_TRUE(segs.empty());
+}
+
+TEST(GeometryTrace, TMinSkipsEarlierSegments) {
+  const Geometry g;
+  // Starting parameter beyond layer 0's exit: only deeper layers.
+  const auto all = g.trace({0.0, 0.0, 10.0}, {0.0, 0.0, -1.0});
+  ASSERT_EQ(all.size(), 4u);
+  const auto later = g.trace({0.0, 0.0, 10.0}, {0.0, 0.0, -1.0},
+                             all[0].t_exit + 0.1);
+  ASSERT_EQ(later.size(), 3u);
+  EXPECT_EQ(later[0].layer, 1);
+}
+
+TEST(GeometryTrace, UpwardRayFromBelowSeesLayersInReverse) {
+  const Geometry g;
+  const auto segs = g.trace({0.0, 0.0, -50.0}, {0.0, 0.0, 1.0});
+  ASSERT_EQ(segs.size(), 4u);
+  EXPECT_EQ(segs[0].layer, 3);
+  EXPECT_EQ(segs[3].layer, 0);
+}
+
+TEST(GeometryTrace, RandomRaysSegmentsLieInsideMaterial) {
+  const Geometry g;
+  core::Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    const core::Vec3 origin{rng.uniform(-40, 40), rng.uniform(-40, 40),
+                            rng.uniform(-50, 20)};
+    const core::Vec3 dir = rng.isotropic_direction();
+    for (const auto& seg : g.trace(origin, dir)) {
+      const double t_mid = 0.5 * (seg.t_enter + seg.t_exit);
+      EXPECT_TRUE(g.contains(origin + dir * t_mid))
+          << "segment midpoint outside material";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adapt::detector

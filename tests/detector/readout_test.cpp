@@ -1,0 +1,263 @@
+#include "detector/readout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.hpp"
+
+namespace adapt::detector {
+namespace {
+
+RawEvent one_hit_event(const core::Vec3& pos, double energy) {
+  RawEvent e;
+  e.hits.push_back(TrueHit{pos, energy, -1});
+  e.true_direction = {0, 0, -1};
+  e.true_energy = energy;
+  e.fully_absorbed = true;
+  return e;
+}
+
+TEST(Readout, QuantizesXyToFiberPitch) {
+  const Geometry g;
+  ReadoutConfig rc;
+  rc.energy_res_stochastic = 1e-9;
+  rc.energy_res_floor = 1e-9;
+  const ReadoutModel readout(g, rc);
+  core::Rng rng(1);
+
+  const auto out =
+      readout.read_out(one_hit_event({3.26, -7.74, -0.5}, 1.0), rng);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->hits.size(), 1u);
+  // Nearest multiples of 0.5.
+  EXPECT_NEAR(out->hits[0].position.x, 3.5, 1e-12);
+  EXPECT_NEAR(out->hits[0].position.y, -7.5, 1e-12);
+}
+
+TEST(Readout, ZStaysWithinTile) {
+  const Geometry g;
+  const ReadoutModel readout(g, {});
+  core::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const auto out =
+        readout.read_out(one_hit_event({0.0, 0.0, -1.49}, 0.5), rng);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_LE(out->hits[0].position.z, 0.0);
+    EXPECT_GE(out->hits[0].position.z, -1.5);
+    EXPECT_EQ(out->hits[0].layer, 0);
+  }
+}
+
+TEST(Readout, EnergyResolutionScalesAsModel) {
+  const Geometry g;
+  const ReadoutModel readout(g, {});
+  // sigma/E = sqrt(a^2/E + b^2).
+  const double e = 0.662;
+  const double expected =
+      e * std::sqrt(0.025 * 0.025 / e + 0.02 * 0.02);
+  EXPECT_NEAR(readout.energy_sigma(e), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(readout.energy_sigma(0.0), 0.0);
+}
+
+TEST(Readout, MeasuredEnergyIsUnbiased) {
+  const Geometry g;
+  const ReadoutModel readout(g, {});
+  core::Rng rng(3);
+  core::RunningStat stat;
+  for (int i = 0; i < 5000; ++i) {
+    const auto out =
+        readout.read_out(one_hit_event({0.0, 0.0, -0.5}, 1.0), rng);
+    ASSERT_TRUE(out.has_value());
+    stat.add(out->hits[0].energy);
+  }
+  EXPECT_NEAR(stat.mean(), 1.0, 0.005);
+  EXPECT_NEAR(stat.stddev(), readout.energy_sigma(1.0), 0.005);
+}
+
+TEST(Readout, ThresholdDropsSmallDeposits) {
+  const Geometry g;
+  ReadoutConfig rc;
+  rc.energy_res_stochastic = 1e-9;
+  rc.energy_res_floor = 1e-9;
+  const ReadoutModel readout(g, rc);
+  core::Rng rng(4);
+  // 10 keV deposit: below the 30 keV threshold.
+  EXPECT_FALSE(readout.read_out(one_hit_event({0, 0, -0.5}, 0.010), rng)
+                   .has_value());
+  EXPECT_TRUE(readout.read_out(one_hit_event({0, 0, -0.5}, 0.100), rng)
+                  .has_value());
+}
+
+TEST(Readout, MergesSameCellDeposits) {
+  const Geometry g;
+  ReadoutConfig rc;
+  rc.energy_res_stochastic = 1e-9;
+  rc.energy_res_floor = 1e-9;
+  rc.z_resolution = 1e-9;
+  const ReadoutModel readout(g, rc);
+  core::Rng rng(5);
+
+  RawEvent e;
+  // Two deposits 1 mm apart in the same tile: same fiber cell.
+  e.hits.push_back(TrueHit{{1.01, 1.01, -0.5}, 0.3, 0});
+  e.hits.push_back(TrueHit{{1.09, 1.01, -0.5}, 0.2, 0});
+  const auto out = readout.read_out(e, rng);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->hits.size(), 1u);
+  EXPECT_NEAR(out->hits[0].energy, 0.5, 1e-6);
+}
+
+TEST(Readout, DistantHitsStaySeparateAndOrdered) {
+  const Geometry g;
+  ReadoutConfig rc;
+  rc.energy_res_stochastic = 1e-9;
+  rc.energy_res_floor = 1e-9;
+  const ReadoutModel readout(g, rc);
+  core::Rng rng(6);
+
+  RawEvent e;
+  e.hits.push_back(TrueHit{{0.0, 0.0, -0.5}, 0.2, 0});
+  e.hits.push_back(TrueHit{{5.0, 5.0, -10.5}, 0.4, 1});
+  const auto out = readout.read_out(e, rng);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->hits.size(), 2u);
+  // Chronological order preserved.
+  EXPECT_EQ(out->hits[0].layer, 0);
+  EXPECT_EQ(out->hits[1].layer, 1);
+  EXPECT_NEAR(out->hits[0].energy, 0.2, 1e-6);
+}
+
+TEST(Readout, MaxHitsKeepsLargestDeposits) {
+  const Geometry g;
+  ReadoutConfig rc;
+  rc.energy_res_stochastic = 1e-9;
+  rc.energy_res_floor = 1e-9;
+  rc.max_hits = 2;
+  const ReadoutModel readout(g, rc);
+  core::Rng rng(7);
+
+  RawEvent e;
+  e.hits.push_back(TrueHit{{0.0, 0.0, -0.5}, 0.10, 0});
+  e.hits.push_back(TrueHit{{5.0, 0.0, -10.5}, 0.50, 1});
+  e.hits.push_back(TrueHit{{-5.0, 0.0, -20.5}, 0.30, 2});
+  const auto out = readout.read_out(e, rng);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->hits.size(), 2u);
+  // The 0.10 MeV hit was dropped; chronological order retained.
+  EXPECT_EQ(out->hits[0].layer, 1);
+  EXPECT_EQ(out->hits[1].layer, 2);
+}
+
+TEST(Readout, QuotedUncertaintiesPopulated) {
+  const Geometry g;
+  const ReadoutModel readout(g, {});
+  core::Rng rng(8);
+  const auto out = readout.read_out(one_hit_event({0, 0, -0.5}, 1.0), rng);
+  ASSERT_TRUE(out.has_value());
+  const MeasuredHit& h = out->hits[0];
+  EXPECT_GT(h.sigma_energy, 0.0);
+  EXPECT_NEAR(h.sigma_position.x, 0.5 / std::sqrt(12.0), 1e-12);
+  EXPECT_NEAR(h.sigma_position.z, 0.3, 1e-12);
+}
+
+TEST(Readout, PerturbationIncreasesSpread) {
+  const Geometry g;
+  ReadoutConfig clean;
+  ReadoutConfig noisy = clean;
+  noisy.perturbation_percent = 10.0;
+  const ReadoutModel r_clean(g, clean);
+  const ReadoutModel r_noisy(g, noisy);
+
+  core::Rng rng1(9);
+  core::Rng rng2(9);
+  core::RunningStat clean_e;
+  core::RunningStat noisy_e;
+  for (int i = 0; i < 3000; ++i) {
+    const auto a = r_clean.read_out(one_hit_event({10, 10, -0.5}, 1.0), rng1);
+    const auto b = r_noisy.read_out(one_hit_event({10, 10, -0.5}, 1.0), rng2);
+    if (a) clean_e.add(a->hits[0].energy);
+    if (b) noisy_e.add(b->hits[0].energy);
+  }
+  // Fig. 10 knob: 10% multiplicative noise should dominate the ~3%
+  // intrinsic resolution.
+  EXPECT_GT(noisy_e.stddev(), 2.0 * clean_e.stddev());
+}
+
+TEST(Readout, TruthMetadataPassesThrough) {
+  const Geometry g;
+  const ReadoutModel readout(g, {});
+  core::Rng rng(10);
+  RawEvent e = one_hit_event({0, 0, -0.5}, 1.0);
+  e.origin = Origin::kBackground;
+  e.fully_absorbed = false;
+  const auto out = readout.read_out(e, rng);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->origin, Origin::kBackground);
+  EXPECT_FALSE(out->fully_absorbed);
+  EXPECT_DOUBLE_EQ(out->true_energy, 1.0);
+}
+
+TEST(Readout, NoiseHitsAppendedAtConfiguredRate) {
+  const Geometry g;
+  ReadoutConfig rc;
+  rc.energy_res_stochastic = 1e-9;
+  rc.energy_res_floor = 1e-9;
+  rc.noise_hits_per_event = 2.0;
+  rc.max_hits = 16;
+  const ReadoutModel readout(g, rc);
+  core::Rng rng(21);
+  core::RunningStat extra;
+  for (int i = 0; i < 1500; ++i) {
+    const auto out = readout.read_out(one_hit_event({0, 0, -0.5}, 1.0), rng);
+    ASSERT_TRUE(out.has_value());
+    extra.add(static_cast<double>(out->hits.size()) - 1.0);
+  }
+  // Poisson(2) spurious hits on top of the single real one.
+  EXPECT_NEAR(extra.mean(), 2.0, 0.15);
+}
+
+TEST(Readout, NoiseHitsLieInMaterialAboveThreshold) {
+  const Geometry g;
+  ReadoutConfig rc;
+  rc.noise_hits_per_event = 3.0;
+  rc.max_hits = 16;
+  const ReadoutModel readout(g, rc);
+  core::Rng rng(22);
+  for (int i = 0; i < 300; ++i) {
+    const auto out = readout.read_out(one_hit_event({0, 0, -0.5}, 1.0), rng);
+    ASSERT_TRUE(out.has_value());
+    for (const auto& h : out->hits) {
+      EXPECT_GE(h.energy, rc.hit_threshold);
+      EXPECT_GE(h.layer, 0);
+      EXPECT_LE(std::abs(h.position.x), g.config().tile_half_width);
+    }
+  }
+}
+
+TEST(Readout, NoiseDefaultsOff) {
+  const Geometry g;
+  ReadoutConfig rc;
+  rc.energy_res_stochastic = 1e-9;
+  rc.energy_res_floor = 1e-9;
+  const ReadoutModel readout(g, rc);
+  core::Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    const auto out = readout.read_out(one_hit_event({0, 0, -0.5}, 1.0), rng);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->hits.size(), 1u);
+  }
+}
+
+TEST(Readout, RejectsBadConfig) {
+  const Geometry g;
+  ReadoutConfig rc;
+  rc.fiber_pitch = 0.0;
+  EXPECT_THROW(ReadoutModel(g, rc), std::invalid_argument);
+  rc = ReadoutConfig{};
+  rc.max_hits = 0;
+  EXPECT_THROW(ReadoutModel(g, rc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adapt::detector

@@ -1,0 +1,123 @@
+#include "eval/dataset_gen.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "eval/model_provider.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pipeline/features.hpp"
+
+namespace adapt::eval {
+namespace {
+
+DatasetGenConfig tiny_config() {
+  DatasetGenConfig cfg;
+  cfg.polar_angles_deg = {0.0, 40.0, 80.0};
+  cfg.rings_per_angle = 150;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(DatasetGen, CollectsQuotaPerAngle) {
+  const TrialSetup setup;
+  const GeneratedRings data = generate_training_rings(setup, tiny_config());
+  EXPECT_EQ(data.size(), 3u * 150u);
+  EXPECT_EQ(data.polar_degs.size(), data.size());
+  EXPECT_EQ(data.true_sources.size(), data.size());
+  // Each configured angle appears.
+  std::set<double> angles(data.polar_degs.begin(), data.polar_degs.end());
+  EXPECT_EQ(angles.size(), 3u);
+}
+
+TEST(DatasetGen, ContainsBothClasses) {
+  const TrialSetup setup;
+  const GeneratedRings data = generate_training_rings(setup, tiny_config());
+  const std::size_t n_bkg = data.count_background();
+  EXPECT_GT(n_bkg, data.size() / 5);
+  EXPECT_LT(n_bkg, data.size());
+}
+
+TEST(DatasetGen, TrueSourceMatchesPolarAngle) {
+  const TrialSetup setup;
+  const GeneratedRings data = generate_training_rings(setup, tiny_config());
+  for (std::size_t i = 0; i < data.size(); i += 37) {
+    const double polar =
+        core::rad_to_deg(core::polar_of(data.true_sources[i]));
+    EXPECT_NEAR(polar, data.polar_degs[i], 1e-6);
+  }
+}
+
+TEST(DatasetGen, DeterministicGivenSeed) {
+  const TrialSetup setup;
+  const GeneratedRings a = generate_training_rings(setup, tiny_config());
+  const GeneratedRings b = generate_training_rings(setup, tiny_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 53) {
+    EXPECT_DOUBLE_EQ(a.rings[i].eta, b.rings[i].eta);
+    EXPECT_DOUBLE_EQ(a.rings[i].axis.x, b.rings[i].axis.x);
+  }
+}
+
+TEST(DatasetGen, BackgroundDatasetLayout) {
+  const TrialSetup setup;
+  const GeneratedRings data = generate_training_rings(setup, tiny_config());
+  const nn::Dataset with_polar = make_background_dataset(data, true);
+  EXPECT_EQ(with_polar.x.cols(), pipeline::kFeatureCount);
+  EXPECT_EQ(with_polar.size(), data.size());
+  // Labels match truth tags.
+  std::size_t n_bkg = 0;
+  for (float y : with_polar.y)
+    if (y > 0.5f) ++n_bkg;
+  EXPECT_EQ(n_bkg, data.count_background());
+  // Per-row polar column matches the generation record.
+  for (std::size_t i = 0; i < data.size(); i += 41) {
+    EXPECT_FLOAT_EQ(with_polar.x(i, 12),
+                    static_cast<float>(data.polar_degs[i]));
+  }
+
+  const nn::Dataset without = make_background_dataset(data, false);
+  EXPECT_EQ(without.x.cols(), pipeline::kBaseFeatureCount);
+}
+
+TEST(DatasetGen, DetaDatasetExcludesBackground) {
+  const TrialSetup setup;
+  const GeneratedRings data = generate_training_rings(setup, tiny_config());
+  const nn::Dataset deta = make_deta_dataset(data, true);
+  EXPECT_EQ(deta.size(), data.size() - data.count_background());
+  // Targets are bounded logs.
+  for (float y : deta.y) {
+    EXPECT_GE(y, std::log(1e-4f) - 1e-4f);
+    EXPECT_LE(y, std::log(2.0f) + 1e-4f);
+  }
+}
+
+TEST(DatasetGen, RejectsBadConfig) {
+  const TrialSetup setup;
+  DatasetGenConfig cfg = tiny_config();
+  cfg.polar_angles_deg = {};
+  EXPECT_THROW(generate_training_rings(setup, cfg), std::invalid_argument);
+  cfg = tiny_config();
+  cfg.rings_per_angle = 0;
+  EXPECT_THROW(generate_training_rings(setup, cfg), std::invalid_argument);
+}
+
+TEST(EnvHelpers, ParseAndFallBack) {
+  ASSERT_EQ(setenv("ADAPT_TEST_ENV_SIZE", "42", 1), 0);
+  EXPECT_EQ(env_size("ADAPT_TEST_ENV_SIZE", 7), 42u);
+  ASSERT_EQ(setenv("ADAPT_TEST_ENV_SIZE", "garbage", 1), 0);
+  EXPECT_EQ(env_size("ADAPT_TEST_ENV_SIZE", 7), 7u);
+  EXPECT_EQ(env_size("ADAPT_TEST_ENV_MISSING", 9), 9u);
+
+  ASSERT_EQ(setenv("ADAPT_TEST_ENV_DBL", "2.5", 1), 0);
+  EXPECT_DOUBLE_EQ(env_double("ADAPT_TEST_ENV_DBL", 1.0), 2.5);
+  EXPECT_DOUBLE_EQ(env_double("ADAPT_TEST_ENV_MISSING", 1.5), 1.5);
+  unsetenv("ADAPT_TEST_ENV_SIZE");
+  unsetenv("ADAPT_TEST_ENV_DBL");
+}
+
+}  // namespace
+}  // namespace adapt::eval

@@ -1,0 +1,108 @@
+#include "eval/ring_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+namespace adapt::eval {
+namespace {
+
+GeneratedRings small_set() {
+  const TrialSetup setup;
+  DatasetGenConfig cfg;
+  cfg.polar_angles_deg = {0.0, 50.0};
+  cfg.rings_per_angle = 80;
+  cfg.seed = 99;
+  return generate_training_rings(setup, cfg);
+}
+
+class RingIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  const std::string path_ = "/tmp/adaptml_ring_io_test.adrg";
+};
+
+TEST_F(RingIoTest, RoundTripPreservesEverything) {
+  const GeneratedRings original = small_set();
+  ASSERT_TRUE(save_rings(original, path_));
+  const auto loaded = load_rings(path_);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), original.size());
+  ASSERT_EQ(loaded->count_background(), original.count_background());
+
+  for (std::size_t i = 0; i < original.size(); i += 7) {
+    const auto& a = original.rings[i];
+    const auto& b = loaded->rings[i];
+    EXPECT_DOUBLE_EQ(a.eta, b.eta);
+    EXPECT_DOUBLE_EQ(a.d_eta, b.d_eta);
+    EXPECT_DOUBLE_EQ(a.e_total, b.e_total);
+    EXPECT_DOUBLE_EQ(a.sigma_e_total, b.sigma_e_total);
+    EXPECT_DOUBLE_EQ(a.axis.x, b.axis.x);
+    EXPECT_DOUBLE_EQ(a.axis.z, b.axis.z);
+    EXPECT_DOUBLE_EQ(a.hit1.position.y, b.hit1.position.y);
+    EXPECT_DOUBLE_EQ(a.hit1.energy, b.hit1.energy);
+    EXPECT_DOUBLE_EQ(a.hit1.sigma_energy, b.hit1.sigma_energy);
+    EXPECT_DOUBLE_EQ(a.hit2.position.z, b.hit2.position.z);
+    EXPECT_DOUBLE_EQ(a.hit2.sigma_position.x, b.hit2.sigma_position.x);
+    EXPECT_EQ(a.n_hits, b.n_hits);
+    EXPECT_EQ(a.origin, b.origin);
+    EXPECT_DOUBLE_EQ(a.order_chi2, b.order_chi2);
+    EXPECT_DOUBLE_EQ(a.true_direction.x, b.true_direction.x);
+    EXPECT_DOUBLE_EQ(original.polar_degs[i], loaded->polar_degs[i]);
+    EXPECT_DOUBLE_EQ(original.true_sources[i].z, loaded->true_sources[i].z);
+  }
+}
+
+TEST_F(RingIoTest, DatasetsBuiltFromLoadedRingsAreIdentical) {
+  const GeneratedRings original = small_set();
+  ASSERT_TRUE(save_rings(original, path_));
+  const auto loaded = load_rings(path_);
+  ASSERT_TRUE(loaded.has_value());
+  const nn::Dataset a = make_background_dataset(original, true);
+  const nn::Dataset b = make_background_dataset(*loaded, true);
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (std::size_t i = 0; i < a.x.size(); ++i)
+    EXPECT_FLOAT_EQ(a.x.vec()[i], b.x.vec()[i]);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST_F(RingIoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(load_rings("/tmp/definitely_missing.adrg").has_value());
+}
+
+TEST_F(RingIoTest, CorruptHeaderRejected) {
+  const GeneratedRings original = small_set();
+  ASSERT_TRUE(save_rings(original, path_));
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fputc('X', f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(load_rings(path_).has_value());
+}
+
+TEST_F(RingIoTest, TruncatedPayloadRejected) {
+  const GeneratedRings original = small_set();
+  ASSERT_TRUE(save_rings(original, path_));
+  // Chop off the tail.
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  out.close();
+  EXPECT_FALSE(load_rings(path_).has_value());
+}
+
+TEST_F(RingIoTest, InconsistentSetRefusedOnSave) {
+  GeneratedRings broken = small_set();
+  broken.polar_degs.pop_back();
+  EXPECT_FALSE(save_rings(broken, path_));
+}
+
+}  // namespace
+}  // namespace adapt::eval

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "eval/containment.hpp"
+#include "eval/trial.hpp"
+
+namespace adapt::eval {
+namespace {
+
+TrialSetup fast_setup() {
+  TrialSetup setup;
+  // Keep trials cheap: dimmer background, small bursts.
+  setup.background.photons_per_second = 4000.0;
+  return setup;
+}
+
+TEST(TrialRunner, RunProducesConsistentCounters) {
+  const TrialRunner runner(fast_setup());
+  PipelineVariant variant;
+  core::Rng rng(1);
+  const TrialOutcome o = runner.run(variant, rng);
+  EXPECT_EQ(o.rings_total, o.rings_grb + o.rings_background);
+  EXPECT_GT(o.rings_total, 0u);
+  if (o.valid) {
+    EXPECT_GE(o.error_deg, 0.0);
+    EXPECT_LE(o.error_deg, 180.0);
+  }
+  EXPECT_GT(o.timings.reconstruction_ms, 0.0);
+  EXPECT_GT(o.timings.total_ms, o.timings.reconstruction_ms);
+}
+
+TEST(TrialRunner, DeterministicGivenSeed) {
+  const TrialRunner runner(fast_setup());
+  PipelineVariant variant;
+  core::Rng rng1(7);
+  core::Rng rng2(7);
+  const TrialOutcome a = runner.run(variant, rng1);
+  const TrialOutcome b = runner.run(variant, rng2);
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.rings_total, b.rings_total);
+  if (a.valid) {
+    EXPECT_DOUBLE_EQ(a.error_deg, b.error_deg);
+  }
+}
+
+TEST(TrialRunner, OracleBackgroundRemovalDropsAllBackground) {
+  const TrialRunner runner(fast_setup());
+  PipelineVariant oracle;
+  oracle.oracle_remove_background = true;
+  core::Rng rng(2);
+  const TrialOutcome o = runner.run(oracle, rng);
+  // Every kept ring must be GRB (the oracle used truth).
+  EXPECT_LE(o.rings_kept, o.rings_grb);
+  ASSERT_TRUE(o.valid);
+  EXPECT_LT(o.error_deg, 10.0);
+}
+
+TEST(TrialRunner, OracleTrueDetaIsHighlyAccurate) {
+  const TrialRunner runner(fast_setup());
+  PipelineVariant oracle;
+  oracle.oracle_remove_background = true;
+  oracle.oracle_true_deta = true;
+  core::Rng rng(3);
+  const TrialOutcome o = runner.run(oracle, rng);
+  ASSERT_TRUE(o.valid);
+  // Fig. 4's best case: both corrections together localize to a small
+  // fraction of a degree on our instrument.
+  EXPECT_LT(o.error_deg, 2.0);
+}
+
+TEST(TrialRunner, GrbOnlyModeHasNoBackground) {
+  TrialSetup setup = fast_setup();
+  setup.include_background = false;
+  const TrialRunner runner(setup);
+  PipelineVariant variant;
+  core::Rng rng(4);
+  const TrialOutcome o = runner.run(variant, rng);
+  EXPECT_EQ(o.rings_background, 0u);
+  EXPECT_GT(o.rings_grb, 0u);
+}
+
+TEST(TrialRunner, PerturbationDegradesRingCount) {
+  // Fig. 10's knob at an extreme value must visibly damage the data.
+  TrialSetup clean = fast_setup();
+  TrialSetup noisy = fast_setup();
+  noisy.readout.perturbation_percent = 10.0;
+  const TrialRunner clean_runner(clean);
+  const TrialRunner noisy_runner(noisy);
+  PipelineVariant variant;
+  double clean_err = 0.0;
+  double noisy_err = 0.0;
+  int n = 0;
+  for (int t = 0; t < 6; ++t) {
+    core::Rng rng1(50 + t);
+    core::Rng rng2(50 + t);
+    const auto a = clean_runner.run(variant, rng1);
+    const auto b = noisy_runner.run(variant, rng2);
+    if (!a.valid || !b.valid) continue;
+    clean_err += a.error_deg;
+    noisy_err += b.error_deg;
+    ++n;
+  }
+  ASSERT_GT(n, 2);
+  EXPECT_GT(noisy_err, clean_err);
+}
+
+TEST(Containment, SummaryShapesAndDeterminism) {
+  const TrialRunner runner(fast_setup());
+  PipelineVariant variant;
+  ContainmentConfig cfg;
+  cfg.trials = 8;
+  cfg.meta_trials = 2;
+  cfg.seed = 99;
+  const ContainmentSummary a = measure_containment(runner, variant, cfg);
+  EXPECT_EQ(a.per_meta.size(), 2u);
+  EXPECT_EQ(a.per_meta[0].trials, 8u);
+  EXPECT_GE(a.c95.mean, a.c68.mean);
+  EXPECT_GT(a.mean_rings_total, 0.0);
+
+  const ContainmentSummary b = measure_containment(runner, variant, cfg);
+  EXPECT_DOUBLE_EQ(a.c68.mean, b.c68.mean);
+  EXPECT_DOUBLE_EQ(a.c95.mean, b.c95.mean);
+}
+
+TEST(Containment, OracleBeatsPlainPipeline) {
+  const TrialRunner runner(fast_setup());
+  ContainmentConfig cfg;
+  cfg.trials = 10;
+  cfg.meta_trials = 1;
+  PipelineVariant plain;
+  PipelineVariant oracle;
+  oracle.oracle_remove_background = true;
+  oracle.oracle_true_deta = true;
+  const auto a = measure_containment(runner, plain, cfg);
+  const auto b = measure_containment(runner, oracle, cfg);
+  EXPECT_LE(b.c68.mean, a.c68.mean + 1e-9);
+  EXPECT_LE(b.c95.mean, a.c95.mean + 1e-9);
+}
+
+TEST(Containment, RejectsEmptyConfig) {
+  const TrialRunner runner(fast_setup());
+  PipelineVariant variant;
+  ContainmentConfig cfg;
+  cfg.trials = 0;
+  EXPECT_THROW(measure_containment(runner, variant, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adapt::eval

@@ -1,0 +1,165 @@
+#include "fpga/hls_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adapt::fpga {
+namespace {
+
+/// The background network's fused layer stack (paper Sec. V kernel).
+std::vector<KernelLayerSpec> background_kernel() {
+  return {
+      KernelLayerSpec{13, 256, true},
+      KernelLayerSpec{256, 128, true},
+      KernelLayerSpec{128, 64, true},
+      KernelLayerSpec{64, 1, false},
+  };
+}
+
+TEST(HlsModel, Int8BeatsFp32OnEveryHeadlineMetric) {
+  const auto layers = background_kernel();
+  const KernelReport int8 = synthesize(layers, DataType::kInt8);
+  const KernelReport fp32 = synthesize(layers, DataType::kFp32);
+  // Table III shape.
+  EXPECT_LT(int8.latency_cycles, fp32.latency_cycles);
+  EXPECT_LT(int8.ii_cycles, fp32.ii_cycles);
+  EXPECT_LT(int8.bram, fp32.bram);
+  EXPECT_LT(int8.dsp, fp32.dsp);
+  EXPECT_LT(int8.ff, fp32.ff);
+  EXPECT_LT(int8.lut, fp32.lut);
+}
+
+TEST(HlsModel, ThroughputRatioNearPaper) {
+  // Paper: INT8 achieves ~1.75x the FP32 throughput.
+  const auto layers = background_kernel();
+  const KernelReport int8 = synthesize(layers, DataType::kInt8);
+  const KernelReport fp32 = synthesize(layers, DataType::kFp32);
+  const double ratio =
+      int8.throughput_per_second() / fp32.throughput_per_second();
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.1);
+}
+
+TEST(HlsModel, MagnitudesTrackTableIII) {
+  // Loose order-of-magnitude anchors to the paper's synthesis.
+  const auto layers = background_kernel();
+  const KernelReport int8 = synthesize(layers, DataType::kInt8);
+  EXPECT_GT(int8.ii_cycles, 400u);
+  EXPECT_LT(int8.ii_cycles, 1000u);
+  EXPECT_GT(int8.latency_cycles, 600u);
+  EXPECT_LT(int8.latency_cycles, 1300u);
+  EXPECT_GT(int8.dsp, 2000u);
+  EXPECT_LT(int8.dsp, 8000u);
+  EXPECT_LT(int8.bram, 40u);
+
+  const KernelReport fp32 = synthesize(layers, DataType::kFp32);
+  EXPECT_GT(fp32.ii_cycles, 900u);
+  EXPECT_LT(fp32.ii_cycles, 1700u);
+  EXPECT_GT(fp32.bram, 80u);
+  EXPECT_GT(fp32.dsp, int8.dsp);
+}
+
+TEST(HlsModel, PipelinedBatchLatencyLaw) {
+  // n inputs: n * II + (L - II) cycles (paper, citing [37]).
+  const auto layers = background_kernel();
+  const KernelReport r = synthesize(layers, DataType::kInt8);
+  EXPECT_EQ(r.batch_latency_cycles(1), r.latency_cycles);
+  EXPECT_EQ(r.batch_latency_cycles(10),
+            10 * r.ii_cycles + (r.latency_cycles - r.ii_cycles));
+  EXPECT_EQ(r.batch_latency_cycles(0), 0u);
+}
+
+TEST(HlsModel, BatchLatencyMsFor597Rings) {
+  // Paper Sec. V: 597 rings -> 4.13 ms INT8, 7.22 ms FP32 at 100 MHz.
+  const auto layers = background_kernel();
+  const double int8_ms =
+      synthesize(layers, DataType::kInt8).batch_latency_ms(597);
+  const double fp32_ms =
+      synthesize(layers, DataType::kFp32).batch_latency_ms(597);
+  EXPECT_GT(int8_ms, 2.5);
+  EXPECT_LT(int8_ms, 6.0);
+  EXPECT_GT(fp32_ms, 5.5);
+  EXPECT_LT(fp32_ms, 9.5);
+}
+
+TEST(HlsModel, IiDominatedByLargestLayer) {
+  const auto layers = background_kernel();
+  const KernelReport r = synthesize(layers, DataType::kInt8);
+  std::size_t max_stage_ii = 0;
+  for (const auto& stage : r.stages)
+    max_stage_ii = std::max(max_stage_ii, stage.ii_cycles);
+  // Stage 1 (256 x 128 MACs) dominates.
+  EXPECT_EQ(max_stage_ii, r.stages[1].ii_cycles);
+  EXPECT_GE(r.ii_cycles, max_stage_ii);
+}
+
+TEST(HlsModel, SmallWeightsLiveInLutram) {
+  const auto layers = background_kernel();
+  const KernelReport int8 = synthesize(layers, DataType::kInt8);
+  // 13x256 INT8 = 3.3 KB and 64x1 = 64 B fit in LUTRAM -> 0 BRAM.
+  EXPECT_EQ(int8.stages[0].bram, 0u);
+  EXPECT_EQ(int8.stages[3].bram, 0u);
+  EXPECT_GT(int8.stages[1].bram, 0u);
+}
+
+TEST(HlsModel, ClockScalesLatencyMsNotCycles) {
+  const auto layers = background_kernel();
+  HlsConfig fast;
+  fast.clock_ns = 5.0;  // 200 MHz.
+  HlsConfig slow;
+  slow.clock_ns = 10.0;
+  const KernelReport rf = synthesize(layers, DataType::kInt8, fast);
+  const KernelReport rs = synthesize(layers, DataType::kInt8, slow);
+  EXPECT_EQ(rf.ii_cycles, rs.ii_cycles);
+  EXPECT_NEAR(rs.batch_latency_ms(100) / rf.batch_latency_ms(100), 2.0,
+              1e-9);
+}
+
+TEST(HlsModel, WiderNetworkCostsMoreEverywhere) {
+  const auto small = background_kernel();
+  std::vector<KernelLayerSpec> big = small;
+  big[1].out_features *= 2;
+  big[2].in_features *= 2;
+  const KernelReport rs = synthesize(small, DataType::kInt8);
+  const KernelReport rb = synthesize(big, DataType::kInt8);
+  EXPECT_GT(rb.ii_cycles, rs.ii_cycles);
+  EXPECT_GT(rb.dsp, rs.dsp);
+  EXPECT_GE(rb.bram, rs.bram);
+}
+
+TEST(HlsModel, CustomDataTypeModelHonored) {
+  DataTypeModel custom = DataTypeModel::int8();
+  custom.sustained_macs_per_cycle *= 2.0;
+  const auto layers = background_kernel();
+  const KernelReport base = synthesize(layers, DataType::kInt8);
+  const KernelReport doubled =
+      synthesize(layers, DataType::kInt8, {}, &custom);
+  EXPECT_LT(doubled.ii_cycles, base.ii_cycles);
+}
+
+TEST(HlsModel, AdaptersFromQuantTypes) {
+  quant::FusedLayer f;
+  f.weight = nn::Tensor(4, 8);
+  f.bias.assign(4, 0.0f);
+  f.relu = true;
+  const auto spec = kernel_spec_from(std::vector<quant::FusedLayer>{f});
+  ASSERT_EQ(spec.size(), 1u);
+  EXPECT_EQ(spec[0].in_features, 8u);
+  EXPECT_EQ(spec[0].out_features, 4u);
+  EXPECT_TRUE(spec[0].relu);
+}
+
+TEST(HlsModel, RejectsDegenerateInputs) {
+  EXPECT_THROW(synthesize({}, DataType::kInt8), std::invalid_argument);
+  EXPECT_THROW(synthesize({KernelLayerSpec{0, 4, false}}, DataType::kInt8),
+               std::invalid_argument);
+}
+
+TEST(HlsModel, ToStringNames) {
+  EXPECT_STREQ(to_string(DataType::kInt8), "INT8");
+  EXPECT_STREQ(to_string(DataType::kFp32), "FP32");
+}
+
+}  // namespace
+}  // namespace adapt::fpga

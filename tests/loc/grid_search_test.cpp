@@ -1,0 +1,101 @@
+#include "loc/grid_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/units.hpp"
+
+namespace adapt::loc {
+namespace {
+
+std::vector<recon::ComptonRing> rings_for(const core::Vec3& s, int n,
+                                          double d_eta, core::Rng& rng,
+                                          int n_background = 0) {
+  std::vector<recon::ComptonRing> rings;
+  for (int i = 0; i < n; ++i) {
+    recon::ComptonRing r;
+    r.axis = rng.isotropic_direction();
+    r.eta = r.axis.dot(s) + rng.normal(0.0, d_eta);
+    if (r.eta < -1.0 || r.eta > 1.0) {
+      --i;
+      continue;
+    }
+    r.d_eta = d_eta;
+    rings.push_back(r);
+  }
+  for (int i = 0; i < n_background; ++i) {
+    recon::ComptonRing r;
+    r.axis = rng.isotropic_direction();
+    r.eta = rng.uniform(-1.0, 1.0);
+    r.d_eta = d_eta;
+    rings.push_back(r);
+  }
+  return rings;
+}
+
+TEST(GridSearch, ExhaustiveScanFindsCleanSource) {
+  core::Rng rng(1);
+  const core::Vec3 s = core::from_spherical(core::deg_to_rad(42.0), 1.3);
+  const auto rings = rings_for(s, 200, 0.05, rng);
+  const auto result = grid_search_localize(rings);
+  ASSERT_TRUE(result.valid);
+  EXPECT_LT(core::rad_to_deg(core::angle_between(result.direction, s)), 1.0);
+}
+
+TEST(GridSearch, SurvivesHeavyContamination) {
+  core::Rng rng(2);
+  const core::Vec3 s = core::from_spherical(core::deg_to_rad(15.0), -0.7);
+  const auto rings = rings_for(s, 100, 0.05, rng, 300);
+  const auto result = grid_search_localize(rings);
+  ASSERT_TRUE(result.valid);
+  EXPECT_LT(core::rad_to_deg(core::angle_between(result.direction, s)), 2.5);
+}
+
+TEST(GridSearch, FastLocalizerAgreesWithReference) {
+  // The production localizer must land on the reference's mode across
+  // a spread of sources and contamination levels.
+  Localizer fast;
+  for (int trial = 0; trial < 8; ++trial) {
+    core::Rng rng(100 + trial);
+    const core::Vec3 s = core::from_spherical(
+        core::deg_to_rad(10.0 + 9.0 * trial), 0.7 * trial);
+    const auto rings = rings_for(s, 150, 0.05, rng, 150);
+    core::Rng loc_rng(7);
+    const auto quick = fast.localize(rings, loc_rng);
+    const auto reference = grid_search_localize(rings);
+    ASSERT_TRUE(quick.valid);
+    ASSERT_TRUE(reference.valid);
+    EXPECT_LT(core::rad_to_deg(core::angle_between(quick.direction,
+                                                   reference.direction)),
+              2.0)
+        << "trial " << trial;
+  }
+}
+
+TEST(GridSearch, DegenerateInputsInvalid) {
+  EXPECT_FALSE(grid_search_localize({}).valid);
+  core::Rng rng(3);
+  const auto one = rings_for({0, 0, 1}, 1, 0.05, rng);
+  EXPECT_FALSE(grid_search_localize(one).valid);
+}
+
+TEST(GridSearch, ValidatesConfig) {
+  core::Rng rng(4);
+  const auto rings = rings_for({0, 0, 1}, 10, 0.05, rng);
+  GridSearchConfig cfg;
+  cfg.coarse_resolution_deg = 0.0;
+  EXPECT_THROW(grid_search_localize(rings, cfg), std::invalid_argument);
+}
+
+TEST(GridSearch, HorizonConstraintRespected) {
+  // A source just above the horizon must not be pushed below it.
+  core::Rng rng(5);
+  const core::Vec3 s = core::from_spherical(core::deg_to_rad(85.0), 0.0);
+  const auto rings = rings_for(s, 150, 0.05, rng);
+  const auto result = grid_search_localize(rings);
+  ASSERT_TRUE(result.valid);
+  EXPECT_GE(result.direction.z, -0.05);
+  EXPECT_LT(core::rad_to_deg(core::angle_between(result.direction, s)), 2.0);
+}
+
+}  // namespace
+}  // namespace adapt::loc

@@ -1,0 +1,101 @@
+#include "loc/likelihood.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace adapt::loc {
+namespace {
+
+recon::ComptonRing make_ring(const core::Vec3& axis, double eta,
+                             double d_eta) {
+  recon::ComptonRing r;
+  r.axis = axis.normalized();
+  r.eta = eta;
+  r.d_eta = d_eta;
+  return r;
+}
+
+TEST(Likelihood, ResidualIsStandardized) {
+  const auto ring = make_ring({0, 0, 1}, 0.5, 0.1);
+  // c.s for s = +z is 1.0; residual = (1.0 - 0.5) / 0.1 = 5.
+  EXPECT_NEAR(ring_residual(ring, {0, 0, 1}), 5.0, 1e-12);
+}
+
+TEST(Likelihood, ResidualZeroOnCone) {
+  const auto ring = make_ring({0, 0, 1}, 0.5, 0.1);
+  // Direction at 60 degrees from the axis has cosine 0.5.
+  const core::Vec3 s = core::from_spherical(std::acos(0.5), 1.0);
+  EXPECT_NEAR(ring_residual(ring, s), 0.0, 1e-12);
+}
+
+TEST(Likelihood, InvalidDEtaRejected) {
+  auto ring = make_ring({0, 0, 1}, 0.5, 0.0);
+  EXPECT_THROW(ring_residual(ring, {0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(ring_weight(ring), std::invalid_argument);
+}
+
+TEST(Likelihood, JointNllIsHalfSumOfSquares) {
+  std::vector<recon::ComptonRing> rings;
+  rings.push_back(make_ring({0, 0, 1}, 0.8, 0.1));
+  rings.push_back(make_ring({1, 0, 0}, 0.0, 0.2));
+  const core::Vec3 s{0, 0, 1};
+  const double r1 = (1.0 - 0.8) / 0.1;
+  const double r2 = (0.0 - 0.0) / 0.2;
+  EXPECT_NEAR(neg_log_likelihood(rings, s),
+              0.5 * (r1 * r1 + r2 * r2), 1e-12);
+}
+
+TEST(Likelihood, WeightIsInverseVariance) {
+  const auto ring = make_ring({0, 0, 1}, 0.5, 0.05);
+  EXPECT_NEAR(ring_weight(ring), 1.0 / (0.05 * 0.05), 1e-9);
+}
+
+TEST(Likelihood, TruncatedCapsOutlierContribution) {
+  std::vector<recon::ComptonRing> rings;
+  // Residual 50 sigma: quadratic loss would be 1250; capped at
+  // 0.5 * 3^2 = 4.5.
+  rings.push_back(make_ring({0, 0, 1}, -1.0, 0.04));
+  const core::Vec3 s{0, 0, 1};
+  EXPECT_GT(neg_log_likelihood(rings, s), 1000.0);
+  EXPECT_NEAR(truncated_neg_log_likelihood(rings, s, 3.0), 4.5, 1e-9);
+}
+
+TEST(Likelihood, TruncatedMatchesQuadraticForInliers) {
+  std::vector<recon::ComptonRing> rings;
+  rings.push_back(make_ring({0, 0, 1}, 0.9, 0.1));  // Residual 1.
+  const core::Vec3 s{0, 0, 1};
+  EXPECT_NEAR(truncated_neg_log_likelihood(rings, s, 3.0),
+              neg_log_likelihood(rings, s), 1e-12);
+}
+
+TEST(Likelihood, TruncatedPrefersTrueSourceUnderContamination) {
+  // 30 signal rings around a known source + 70 random rings: the
+  // truncated NLL at the source beats a random direction, while the
+  // plain quadratic NLL may not (that is its reason to exist).
+  core::Rng rng(5);
+  const core::Vec3 s = core::from_spherical(0.5, 1.0);
+  std::vector<recon::ComptonRing> rings;
+  for (int i = 0; i < 30; ++i) {
+    const core::Vec3 axis = rng.isotropic_direction();
+    rings.push_back(make_ring(axis, axis.dot(s) + rng.normal(0, 0.03), 0.03));
+  }
+  for (int i = 0; i < 70; ++i) {
+    rings.push_back(
+        make_ring(rng.isotropic_direction(), rng.uniform(-1, 1), 0.03));
+  }
+  double worse = 0;
+  for (int i = 0; i < 50; ++i) {
+    const core::Vec3 other = rng.isotropic_direction();
+    if (truncated_neg_log_likelihood(rings, other) >
+        truncated_neg_log_likelihood(rings, s))
+      ++worse;
+  }
+  EXPECT_GE(worse, 48);  // Nearly every random direction scores worse.
+}
+
+}  // namespace
+}  // namespace adapt::loc

@@ -1,0 +1,140 @@
+/// Parameterized property sweeps over the localizer: statistical
+/// behaviour that must hold across ring counts, widths, contamination
+/// levels, and source positions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/units.hpp"
+#include "loc/localizer.hpp"
+
+namespace adapt::loc {
+namespace {
+
+std::vector<recon::ComptonRing> mixed_rings(const core::Vec3& s,
+                                            int n_signal, int n_background,
+                                            double d_eta, core::Rng& rng) {
+  std::vector<recon::ComptonRing> rings;
+  for (int i = 0; i < n_signal; ++i) {
+    recon::ComptonRing r;
+    r.axis = rng.isotropic_direction();
+    r.eta = r.axis.dot(s) + rng.normal(0.0, d_eta);
+    if (r.eta < -1.0 || r.eta > 1.0) {
+      --i;
+      continue;
+    }
+    r.d_eta = d_eta;
+    rings.push_back(r);
+  }
+  for (int i = 0; i < n_background; ++i) {
+    recon::ComptonRing r;
+    r.axis = rng.isotropic_direction();
+    r.eta = rng.uniform(-1.0, 1.0);
+    r.d_eta = d_eta;
+    rings.push_back(r);
+  }
+  return rings;
+}
+
+// ---------------------------------------------------------------------
+// Accuracy scaling with the ring count (clean data).
+
+class RingCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingCountSweep, LocalizesWithinStatisticalExpectation) {
+  const int n = GetParam();
+  const double d_eta = 0.05;
+  core::Rng rng(static_cast<std::uint64_t>(n) * 7 + 1);
+  const core::Vec3 s = core::from_spherical(0.6, 1.1);
+  const auto rings = mixed_rings(s, n, 0, d_eta, rng);
+  Localizer loc;
+  const auto result = loc.localize(rings, rng);
+  ASSERT_TRUE(result.valid);
+  // Statistical floor ~ d_eta / sqrt(n) radians (cosine-space error
+  // maps near-linearly to angle away from the poles); allow 8x.
+  const double bound =
+      core::rad_to_deg(8.0 * d_eta / std::sqrt(static_cast<double>(n)));
+  EXPECT_LT(core::rad_to_deg(core::angle_between(result.direction, s)),
+            std::max(bound, 0.3))
+      << "n = " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, RingCountSweep,
+                         ::testing::Values(20, 50, 100, 200, 400, 800));
+
+// ---------------------------------------------------------------------
+// Robustness vs contamination fraction.
+
+class ContaminationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ContaminationSweep, SurvivesBackgroundFraction) {
+  const double bkg_ratio = GetParam();
+  const int n_signal = 150;
+  const int n_bkg = static_cast<int>(n_signal * bkg_ratio);
+  core::Rng rng(static_cast<std::uint64_t>(bkg_ratio * 100) + 3);
+  const core::Vec3 s = core::from_spherical(0.4, -0.8);
+  const auto rings = mixed_rings(s, n_signal, n_bkg, 0.05, rng);
+  Localizer loc;
+  const auto result = loc.localize(rings, rng);
+  ASSERT_TRUE(result.valid);
+  EXPECT_LT(core::rad_to_deg(core::angle_between(result.direction, s)), 3.0)
+      << "background ratio " << bkg_ratio;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, ContaminationSweep,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0, 3.0));
+
+// ---------------------------------------------------------------------
+// Source-position coverage of the field of view.
+
+struct SkyPoint {
+  double polar_deg;
+  double azimuth_deg;
+};
+
+class SkySweep : public ::testing::TestWithParam<SkyPoint> {};
+
+TEST_P(SkySweep, LocalizesAnywhereInFieldOfView) {
+  const SkyPoint p = GetParam();
+  core::Rng rng(static_cast<std::uint64_t>(p.polar_deg * 10 +
+                                           p.azimuth_deg) +
+                11);
+  const core::Vec3 s = core::from_spherical(core::deg_to_rad(p.polar_deg),
+                                            core::deg_to_rad(p.azimuth_deg));
+  const auto rings = mixed_rings(s, 200, 200, 0.05, rng);
+  Localizer loc;
+  const auto result = loc.localize(rings, rng);
+  ASSERT_TRUE(result.valid);
+  EXPECT_LT(core::rad_to_deg(core::angle_between(result.direction, s)), 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FieldOfView, SkySweep,
+    ::testing::Values(SkyPoint{0.0, 0.0}, SkyPoint{15.0, 45.0},
+                      SkyPoint{30.0, 170.0}, SkyPoint{45.0, -90.0},
+                      SkyPoint{60.0, 10.0}, SkyPoint{75.0, -135.0},
+                      SkyPoint{85.0, 80.0}));
+
+// ---------------------------------------------------------------------
+// Honest d_eta inflation must not break localization (only widen it).
+
+class WidthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WidthSweep, WiderRingsStillConverge) {
+  const double d_eta = GetParam();
+  core::Rng rng(static_cast<std::uint64_t>(d_eta * 1e4) + 17);
+  const core::Vec3 s = core::from_spherical(0.5, 0.0);
+  const auto rings = mixed_rings(s, 400, 0, d_eta, rng);
+  Localizer loc;
+  const auto result = loc.localize(rings, rng);
+  ASSERT_TRUE(result.valid);
+  EXPECT_LT(core::rad_to_deg(core::angle_between(result.direction, s)),
+            core::rad_to_deg(10.0 * d_eta));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthSweep,
+                         ::testing::Values(0.01, 0.03, 0.08, 0.15, 0.3));
+
+}  // namespace
+}  // namespace adapt::loc

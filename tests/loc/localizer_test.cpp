@@ -1,0 +1,228 @@
+#include "loc/localizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/units.hpp"
+#include "loc/least_squares.hpp"
+
+namespace adapt::loc {
+namespace {
+
+recon::ComptonRing ring_for_source(const core::Vec3& s, core::Rng& rng,
+                                   double d_eta, double eta_noise) {
+  recon::ComptonRing r;
+  r.axis = rng.isotropic_direction();
+  r.eta = r.axis.dot(s) + rng.normal(0.0, eta_noise);
+  r.d_eta = d_eta;
+  return r;
+}
+
+std::vector<recon::ComptonRing> signal_rings(const core::Vec3& s, int n,
+                                             core::Rng& rng,
+                                             double d_eta = 0.05) {
+  std::vector<recon::ComptonRing> rings;
+  rings.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto r = ring_for_source(s, rng, d_eta, d_eta);
+    if (r.eta < -1.0 || r.eta > 1.0) {
+      --i;
+      continue;
+    }
+    rings.push_back(r);
+  }
+  return rings;
+}
+
+std::vector<recon::ComptonRing> background_rings(int n, core::Rng& rng,
+                                                 double d_eta = 0.05) {
+  std::vector<recon::ComptonRing> rings;
+  rings.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    recon::ComptonRing r;
+    r.axis = rng.isotropic_direction();
+    r.eta = rng.uniform(-1.0, 1.0);
+    r.d_eta = d_eta;
+    rings.push_back(r);
+  }
+  return rings;
+}
+
+TEST(FitDirection, ExactOnCleanRings) {
+  core::Rng rng(1);
+  const core::Vec3 s = core::from_spherical(0.6, -0.4);
+  auto rings = signal_rings(s, 100, rng, 0.05);
+  // Remove the noise for an exactness check.
+  for (auto& r : rings) r.eta = r.axis.dot(s);
+  const auto fit = fit_direction(rings);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_LT(core::rad_to_deg(core::angle_between(*fit, s)), 1e-4);
+}
+
+TEST(FitDirection, AccurateUnderGaussianNoise) {
+  core::Rng rng(2);
+  const core::Vec3 s = core::from_spherical(0.9, 2.0);
+  const auto rings = signal_rings(s, 400, rng, 0.05);
+  const auto fit = fit_direction(rings);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_LT(core::rad_to_deg(core::angle_between(*fit, s)), 1.0);
+}
+
+TEST(FitDirection, WeightsDownThickRings) {
+  core::Rng rng(3);
+  const core::Vec3 s{0, 0, 1};
+  auto rings = signal_rings(s, 200, rng, 0.02);
+  // Add heavily mis-measured rings but with honest (large) d_eta:
+  // the fit should barely move.
+  for (int i = 0; i < 50; ++i) {
+    recon::ComptonRing r;
+    r.axis = rng.isotropic_direction();
+    r.eta = rng.uniform(-1.0, 1.0);
+    r.d_eta = 5.0;  // Weight 1/25 vs 1/0.0004.
+    rings.push_back(r);
+  }
+  const auto fit = fit_direction(rings);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_LT(core::rad_to_deg(core::angle_between(*fit, s)), 1.0);
+}
+
+TEST(FitDirection, MaskRestrictsRings) {
+  core::Rng rng(4);
+  const core::Vec3 s{0, 0, 1};
+  const core::Vec3 wrong = core::from_spherical(1.2, 0.0);
+  auto good = signal_rings(s, 100, rng, 0.05);
+  auto bad = signal_rings(wrong, 100, rng, 0.05);
+  std::vector<recon::ComptonRing> all = good;
+  all.insert(all.end(), bad.begin(), bad.end());
+  std::vector<std::uint8_t> mask(all.size(), 0);
+  for (std::size_t i = 0; i < good.size(); ++i) mask[i] = 1;
+  const auto fit = fit_direction(
+      all, std::span<const std::uint8_t>(mask.data(), mask.size()));
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_LT(core::rad_to_deg(core::angle_between(*fit, s)), 2.0);
+}
+
+TEST(FitDirection, TooFewRingsReturnsNullopt) {
+  core::Rng rng(5);
+  const auto rings = signal_rings({0, 0, 1}, 1, rng);
+  EXPECT_FALSE(fit_direction(rings).has_value());
+  EXPECT_FALSE(fit_direction({}).has_value());
+}
+
+TEST(FitDirection, MaskSizeMismatchThrows) {
+  core::Rng rng(6);
+  const auto rings = signal_rings({0, 0, 1}, 10, rng);
+  const std::vector<std::uint8_t> mask(3, 1);
+  EXPECT_THROW(
+      fit_direction(rings,
+                    std::span<const std::uint8_t>(mask.data(), mask.size())),
+      std::invalid_argument);
+}
+
+TEST(FitDirection, InitialGuessSpeedsConvergenceToSameAnswer) {
+  core::Rng rng(7);
+  const core::Vec3 s = core::from_spherical(0.4, 0.9);
+  const auto rings = signal_rings(s, 300, rng, 0.04);
+  const auto cold = fit_direction(rings);
+  const auto warm = fit_direction(rings, {}, {}, s);
+  ASSERT_TRUE(cold && warm);
+  EXPECT_LT(core::rad_to_deg(core::angle_between(*cold, *warm)), 0.05);
+}
+
+TEST(Localizer, ApproximationLandsNearTruth) {
+  core::Rng rng(8);
+  const core::Vec3 s = core::from_spherical(0.7, -2.0);
+  const auto rings = signal_rings(s, 150, rng, 0.05);
+  Localizer loc;
+  const auto seed = loc.approximate(rings, rng);
+  ASSERT_TRUE(seed.has_value());
+  EXPECT_LT(core::rad_to_deg(core::angle_between(*seed, s)), 12.0);
+}
+
+TEST(Localizer, CandidatesAreDistinct) {
+  core::Rng rng(9);
+  const auto rings = signal_rings({0, 0, 1}, 150, rng, 0.05);
+  Localizer loc;
+  const auto seeds = loc.approximate_candidates(rings, rng);
+  ASSERT_GE(seeds.size(), 2u);
+  for (std::size_t i = 0; i < seeds.size(); ++i)
+    for (std::size_t j = i + 1; j < seeds.size(); ++j)
+      EXPECT_LT(seeds[i].dot(seeds[j]), 0.9951);
+}
+
+TEST(Localizer, UpperSkyRestrictionRespected) {
+  core::Rng rng(10);
+  const auto rings = signal_rings({0, 0, 1}, 100, rng, 0.05);
+  LocalizerConfig cfg;
+  cfg.approximation.restrict_to_upper_sky = true;
+  Localizer loc(cfg);
+  const auto seeds = loc.approximate_candidates(rings, rng);
+  for (const auto& seed : seeds) EXPECT_GE(seed.z, 0.0);
+}
+
+TEST(Localizer, FullPipelineSubDegreeOnCleanData) {
+  core::Rng rng(11);
+  const core::Vec3 s = core::from_spherical(0.5, 0.5);
+  const auto rings = signal_rings(s, 250, rng, 0.05);
+  Localizer loc;
+  const auto result = loc.localize(rings, rng);
+  ASSERT_TRUE(result.valid);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(core::rad_to_deg(core::angle_between(result.direction, s)), 1.0);
+  EXPECT_GT(result.rings_used, 150u);
+  EXPECT_EQ(result.rings_total, rings.size());
+}
+
+TEST(Localizer, RobustToMajorityBackground) {
+  // The headline robustness property: 2.5x random background rings.
+  core::Rng rng(12);
+  const core::Vec3 s = core::from_spherical(0.3, 1.5);
+  auto rings = signal_rings(s, 120, rng, 0.05);
+  const auto bkg = background_rings(300, rng, 0.05);
+  rings.insert(rings.end(), bkg.begin(), bkg.end());
+  Localizer loc;
+  const auto result = loc.localize(rings, rng);
+  ASSERT_TRUE(result.valid);
+  EXPECT_LT(core::rad_to_deg(core::angle_between(result.direction, s)), 3.0);
+}
+
+TEST(Localizer, EmptyInputInvalid) {
+  core::Rng rng(13);
+  Localizer loc;
+  const auto result = loc.localize({}, rng);
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(Localizer, RefineImprovesOnRoughSeed) {
+  core::Rng rng(14);
+  const core::Vec3 s = core::from_spherical(0.8, -1.0);
+  const auto rings = signal_rings(s, 200, rng, 0.05);
+  // Seed 15 degrees off.
+  const core::Vec3 rough =
+      core::rotate_about_axis(s, core::deg_to_rad(15.0), 0.7);
+  Localizer loc;
+  const auto result = loc.refine(rings, rough);
+  ASSERT_TRUE(result.valid);
+  EXPECT_LT(core::rad_to_deg(core::angle_between(result.direction, s)), 1.5);
+}
+
+TEST(Localizer, ThinnerRingsGiveTighterLocalization) {
+  core::Rng rng(15);
+  const core::Vec3 s = core::from_spherical(0.6, 0.0);
+  Localizer loc;
+  double errors[2];
+  int idx = 0;
+  for (double d_eta : {0.15, 0.01}) {
+    core::Rng local_rng(99);
+    const auto rings = signal_rings(s, 300, local_rng, d_eta);
+    core::Rng loc_rng(7);
+    const auto result = loc.localize(rings, loc_rng);
+    ASSERT_TRUE(result.valid);
+    errors[idx++] = core::angle_between(result.direction, s);
+  }
+  EXPECT_LT(errors[1], errors[0]);
+}
+
+}  // namespace
+}  // namespace adapt::loc

@@ -1,0 +1,170 @@
+#include "nn/data.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace adapt::nn {
+namespace {
+
+Dataset toy_dataset(std::size_t n, std::size_t d = 2) {
+  Dataset ds;
+  ds.x = Tensor(n, d);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c)
+      ds.x(r, c) = static_cast<float>(r * 10 + c);
+    ds.y.push_back(static_cast<float>(r));
+  }
+  return ds;
+}
+
+TEST(DatasetTest, SubsetSelectsRows) {
+  const Dataset ds = toy_dataset(5);
+  const Dataset sub = ds.subset({4, 0});
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_FLOAT_EQ(sub.x(0, 0), 40.0f);
+  EXPECT_FLOAT_EQ(sub.y[1], 0.0f);
+  EXPECT_THROW(ds.subset({7}), std::invalid_argument);
+}
+
+TEST(SplitTest, FractionAndDisjointness) {
+  const Dataset ds = toy_dataset(100);
+  core::Rng rng(1);
+  const SplitResult s = split(ds, 0.8, rng);
+  EXPECT_EQ(s.first.size(), 80u);
+  EXPECT_EQ(s.second.size(), 20u);
+  std::set<float> first_labels(s.first.y.begin(), s.first.y.end());
+  for (float label : s.second.y) {
+    EXPECT_EQ(first_labels.count(label), 0u);
+  }
+}
+
+TEST(SplitTest, ShufflesRows) {
+  const Dataset ds = toy_dataset(100);
+  core::Rng rng(2);
+  const SplitResult s = split(ds, 0.5, rng);
+  // The first half should not be exactly rows 0..49.
+  bool any_high = false;
+  for (float label : s.first.y)
+    if (label >= 50.0f) any_high = true;
+  EXPECT_TRUE(any_high);
+}
+
+TEST(SplitTest, RejectsDegenerateFractions) {
+  const Dataset ds = toy_dataset(10);
+  core::Rng rng(3);
+  EXPECT_THROW(split(ds, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(split(ds, 1.0, rng), std::invalid_argument);
+}
+
+TEST(StandardizerTest, ZeroMeanUnitVariance) {
+  core::Rng rng(4);
+  Tensor x(500, 3);
+  for (std::size_t r = 0; r < 500; ++r) {
+    x(r, 0) = static_cast<float>(rng.normal(10.0, 3.0));
+    x(r, 1) = static_cast<float>(rng.normal(-5.0, 0.5));
+    x(r, 2) = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  Standardizer s;
+  s.fit(x);
+  const Tensor t = s.transform(x);
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (std::size_t r = 0; r < 500; ++r) mean += t(r, c);
+    mean /= 500.0;
+    for (std::size_t r = 0; r < 500; ++r) {
+      const double d = t(r, c) - mean;
+      var += d * d;
+    }
+    var /= 500.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(StandardizerTest, ConstantFeaturePassesThrough) {
+  Tensor x(10, 1, 7.0f);
+  Standardizer s;
+  s.fit(x);
+  const Tensor t = s.transform(x);
+  // Centered but not exploded by a zero variance.
+  for (std::size_t r = 0; r < 10; ++r) EXPECT_FLOAT_EQ(t(r, 0), 0.0f);
+}
+
+TEST(StandardizerTest, UnfittedThrows) {
+  Standardizer s;
+  Tensor x(2, 2);
+  EXPECT_THROW(s.transform(x), std::invalid_argument);
+}
+
+TEST(StandardizerTest, SetRestoresState) {
+  Standardizer s;
+  s.set({1.0f, 2.0f}, {0.5f, 0.25f});
+  ASSERT_TRUE(s.fitted());
+  Tensor x(1, 2);
+  x(0, 0) = 3.0f;
+  x(0, 1) = 6.0f;
+  const Tensor t = s.transform(x);
+  EXPECT_FLOAT_EQ(t(0, 0), (3.0f - 1.0f) * 0.5f);
+  EXPECT_FLOAT_EQ(t(0, 1), (6.0f - 2.0f) * 0.25f);
+}
+
+TEST(DataLoaderTest, CoversEveryRowExactlyOnce) {
+  const Dataset ds = toy_dataset(17);
+  core::Rng rng(5);
+  DataLoader loader(ds, 5, rng);
+  EXPECT_EQ(loader.n_batches(), 4u);  // ceil(17/5).
+  std::multiset<float> seen;
+  Tensor xb;
+  std::vector<float> yb;
+  std::size_t batches = 0;
+  while (loader.next(xb, yb)) {
+    ++batches;
+    EXPECT_LE(xb.rows(), 5u);
+    for (float y : yb) seen.insert(y);
+  }
+  EXPECT_EQ(batches, 4u);
+  EXPECT_EQ(seen.size(), 17u);
+  for (std::size_t r = 0; r < 17; ++r)
+    EXPECT_EQ(seen.count(static_cast<float>(r)), 1u);
+}
+
+TEST(DataLoaderTest, ResetReshuffles) {
+  const Dataset ds = toy_dataset(64);
+  core::Rng rng(6);
+  DataLoader loader(ds, 64, rng);
+  Tensor xb;
+  std::vector<float> y1;
+  std::vector<float> y2;
+  loader.next(xb, y1);
+  loader.reset();
+  loader.next(xb, y2);
+  EXPECT_NE(y1, y2);  // Different permutations with high probability.
+}
+
+TEST(DataLoaderTest, FeatureRowsStayAlignedWithLabels) {
+  const Dataset ds = toy_dataset(30);
+  core::Rng rng(7);
+  DataLoader loader(ds, 7, rng);
+  Tensor xb;
+  std::vector<float> yb;
+  while (loader.next(xb, yb)) {
+    for (std::size_t i = 0; i < yb.size(); ++i) {
+      // Row r of the toy set has x(r, 0) = 10 r and y = r.
+      EXPECT_FLOAT_EQ(xb(i, 0), yb[i] * 10.0f);
+    }
+  }
+}
+
+TEST(DataLoaderTest, RejectsEmptyAndZeroBatch) {
+  Dataset empty;
+  core::Rng rng(8);
+  EXPECT_THROW(DataLoader(empty, 4, rng), std::invalid_argument);
+  const Dataset ds = toy_dataset(4);
+  EXPECT_THROW(DataLoader(ds, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adapt::nn

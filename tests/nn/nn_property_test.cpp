@@ -1,0 +1,131 @@
+/// Parameterized learning properties: the training stack must fit
+/// known functions across architectures, batch sizes, and losses, and
+/// be exactly reproducible given a seed.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/linear.hpp"
+#include "nn/mlp.hpp"
+#include "nn/trainer.hpp"
+
+namespace adapt::nn {
+namespace {
+
+Dataset xor_like(std::size_t n, std::uint64_t seed) {
+  // Nonlinearly separable: label = sign(x0 * x1).
+  core::Rng rng(seed);
+  Dataset ds;
+  ds.x = Tensor(n, 2);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    ds.x(r, 0) = static_cast<float>(a);
+    ds.x(r, 1) = static_cast<float>(b);
+    ds.y.push_back(a * b > 0.0 ? 1.0f : 0.0f);
+  }
+  return ds;
+}
+
+class BatchSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchSizeSweep, LearnsNonlinearBoundary) {
+  const std::size_t batch = GetParam();
+  core::Rng rng(batch * 31 + 7);
+  Sequential model;
+  model.add(std::make_unique<Linear>(2, 16, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Linear>(16, 1, rng));
+  TrainConfig cfg;
+  cfg.batch_size = batch;
+  cfg.max_epochs = 120;
+  cfg.patience = 120;
+  cfg.sgd.learning_rate = 0.15;
+  cfg.sgd.momentum = 0.9;
+  Trainer trainer(model, bce_with_logits, cfg);
+  trainer.fit(xor_like(800, 1), xor_like(200, 2), rng);
+
+  const Dataset test = xor_like(400, 3);
+  const Tensor out = model.forward(test.x, false);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    if ((out(i, 0) > 0.0f) == (test.y[i] > 0.5f)) ++correct;
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test.size()),
+            0.9)
+      << "batch size " << batch;
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSizeSweep,
+                         ::testing::Values(16, 64, 256));
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, TrainingIsBitReproducible) {
+  const std::uint64_t seed = GetParam();
+  const auto train_once = [&] {
+    core::Rng rng(seed);
+    Sequential model = build_mlp(deta_net_spec(4), rng);
+    TrainConfig cfg;
+    cfg.batch_size = 32;
+    cfg.max_epochs = 5;
+    cfg.patience = 5;
+    Trainer trainer(model, mse, cfg);
+    core::Rng drng(seed + 1);
+    Dataset data;
+    data.x = Tensor(200, 4);
+    for (std::size_t r = 0; r < 200; ++r) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < 4; ++c) {
+        const double v = drng.uniform(-1.0, 1.0);
+        data.x(r, c) = static_cast<float>(v);
+        sum += v;
+      }
+      data.y.push_back(static_cast<float>(sum));
+    }
+    core::Rng srng(seed + 2);
+    const SplitResult split_data = split(data, 0.8, srng);
+    core::Rng frng(seed + 3);
+    trainer.fit(split_data.first, split_data.second, frng);
+    Tensor probe(1, 4, 0.25f);
+    return model.forward(probe, false)(0, 0);
+  };
+  EXPECT_FLOAT_EQ(train_once(), train_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1u, 42u, 777u));
+
+class DepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DepthSweep, DeepStacksBackpropagateFiniteGradients) {
+  const int depth = GetParam();
+  core::Rng rng(static_cast<std::uint64_t>(depth));
+  Sequential model;
+  std::size_t dim = 6;
+  for (int i = 0; i < depth; ++i) {
+    model.add(std::make_unique<BatchNorm1d>(dim));
+    model.add(std::make_unique<Linear>(dim, 6, rng));
+    model.add(std::make_unique<ReLU>());
+    dim = 6;
+  }
+  model.add(std::make_unique<Linear>(dim, 1, rng));
+
+  Tensor x(8, 6);
+  core::Rng xr(5);
+  for (auto& v : x.vec()) v = static_cast<float>(xr.uniform(-1.0, 1.0));
+  model.zero_grad();
+  (void)model.forward(x, true);
+  Tensor g(8, 1, 1.0f);
+  const Tensor dx = model.backward(g);
+  for (float v : dx.vec()) ASSERT_TRUE(std::isfinite(v));
+  for (Param* p : model.params())
+    for (float v : p->grad.vec()) ASSERT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DepthSweep, ::testing::Values(1, 4, 10));
+
+}  // namespace
+}  // namespace adapt::nn

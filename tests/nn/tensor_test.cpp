@@ -1,0 +1,166 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/stats.hpp"
+
+namespace adapt::nn {
+namespace {
+
+TEST(Tensor, ConstructionAndAccess) {
+  Tensor t(2, 3, 1.5f);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_FLOAT_EQ(t(1, 2), 1.5f);
+  t(0, 1) = -2.0f;
+  EXPECT_FLOAT_EQ(t(0, 1), -2.0f);
+  EXPECT_FLOAT_EQ(t.data()[1], -2.0f);  // Row-major layout.
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t(3, 3, 7.0f);
+  t.zero();
+  for (float v : t.vec()) EXPECT_FLOAT_EQ(v, 0.0f);
+  t.fill(2.0f);
+  for (float v : t.vec()) EXPECT_FLOAT_EQ(v, 2.0f);
+}
+
+TEST(Tensor, HeInitHasExpectedScale) {
+  core::Rng rng(1);
+  Tensor t(64, 128);
+  t.he_init(128, rng);
+  core::RunningStat s;
+  for (float v : t.vec()) s.add(v);
+  EXPECT_NEAR(s.mean(), 0.0, 0.005);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.0 / 128.0), 0.005);
+}
+
+TEST(Tensor, XavierInitWithinBounds) {
+  core::Rng rng(2);
+  Tensor t(32, 32);
+  t.xavier_init(32, 32, rng);
+  const double limit = std::sqrt(6.0 / 64.0);
+  for (float v : t.vec()) {
+    ASSERT_GE(v, -limit);
+    ASSERT_LE(v, limit);
+  }
+}
+
+TEST(Tensor, SliceRows) {
+  Tensor t(4, 2);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 2; ++c)
+      t(r, c) = static_cast<float>(10 * r + c);
+  const Tensor s = t.slice_rows(1, 3);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_FLOAT_EQ(s(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(s(1, 1), 21.0f);
+  EXPECT_THROW(t.slice_rows(3, 5), std::invalid_argument);
+}
+
+TEST(Tensor, SquaredNorm) {
+  Tensor t(1, 3);
+  t(0, 0) = 1.0f;
+  t(0, 1) = 2.0f;
+  t(0, 2) = 2.0f;
+  EXPECT_DOUBLE_EQ(t.squared_norm(), 9.0);
+}
+
+TEST(Matmul, AbtMatchesManual) {
+  // A (2x3) * B^T where B is (2x3) -> C (2x2).
+  Tensor a(2, 3);
+  Tensor b(2, 3);
+  float va = 1.0f;
+  for (auto& v : a.vec()) v = va++;
+  float vb = 0.5f;
+  for (auto& v : b.vec()) v = vb, vb += 0.5f;
+  Tensor c;
+  matmul_abt(a, b, c);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  // Row 0 of A = [1,2,3]; row 0 of B = [0.5,1,1.5].
+  EXPECT_FLOAT_EQ(c(0, 0), 1 * 0.5f + 2 * 1.0f + 3 * 1.5f);
+  // Row 1 of A = [4,5,6]; row 1 of B = [2,2.5,3].
+  EXPECT_FLOAT_EQ(c(1, 1), 4 * 2.0f + 5 * 2.5f + 6 * 3.0f);
+}
+
+TEST(Matmul, AbMatchesAbtWithTransposedOperand) {
+  core::Rng rng(3);
+  Tensor a(5, 4);
+  Tensor b(4, 6);
+  a.he_init(4, rng);
+  b.he_init(6, rng);
+  Tensor c_ab;
+  matmul_ab(a, b, c_ab);
+  // Build B^T and use matmul_abt.
+  Tensor bt(6, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 6; ++j) bt(j, i) = b(i, j);
+  Tensor c_abt;
+  matmul_abt(a, bt, c_abt);
+  ASSERT_EQ(c_ab.size(), c_abt.size());
+  for (std::size_t i = 0; i < c_ab.size(); ++i)
+    EXPECT_NEAR(c_ab.vec()[i], c_abt.vec()[i], 1e-5);
+}
+
+TEST(Matmul, AtbMatchesManualTranspose) {
+  core::Rng rng(4);
+  Tensor a(7, 3);
+  Tensor b(7, 2);
+  a.he_init(3, rng);
+  b.he_init(2, rng);
+  Tensor c;
+  matmul_atb(a, b, c);
+  ASSERT_EQ(c.rows(), 3u);
+  ASSERT_EQ(c.cols(), 2u);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j) {
+      float expected = 0.0f;
+      for (std::size_t k = 0; k < 7; ++k) expected += a(k, i) * b(k, j);
+      EXPECT_NEAR(c(i, j), expected, 1e-5);
+    }
+}
+
+TEST(Matmul, DimensionMismatchThrows) {
+  Tensor a(2, 3);
+  Tensor b(2, 4);
+  Tensor c;
+  EXPECT_THROW(matmul_abt(a, b, c), std::invalid_argument);
+  EXPECT_THROW(matmul_ab(a, b, c), std::invalid_argument);
+  Tensor b2(3, 4);
+  EXPECT_THROW(matmul_atb(a, b2, c), std::invalid_argument);
+}
+
+TEST(Matmul, LargeParallelPathMatchesSmallPath) {
+  // Exercise the OpenMP branch (> 16384 flops) against a direct sum.
+  core::Rng rng(5);
+  Tensor a(64, 48);
+  Tensor b(32, 48);
+  a.he_init(48, rng);
+  b.he_init(48, rng);
+  Tensor c;
+  matmul_abt(a, b, c);
+  for (std::size_t trial = 0; trial < 10; ++trial) {
+    const std::size_t i = trial * 6 % 64;
+    const std::size_t j = trial * 3 % 32;
+    float expected = 0.0f;
+    for (std::size_t k = 0; k < 48; ++k) expected += a(i, k) * b(j, k);
+    EXPECT_NEAR(c(i, j), expected, 1e-4);
+  }
+}
+
+TEST(AddRowBroadcast, AddsBiasPerRow) {
+  Tensor y(2, 3, 1.0f);
+  add_row_broadcast(y, {0.5f, -1.0f, 2.0f});
+  EXPECT_FLOAT_EQ(y(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(y(1, 1), 0.0f);
+  EXPECT_FLOAT_EQ(y(0, 2), 3.0f);
+  EXPECT_THROW(add_row_broadcast(y, {1.0f}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adapt::nn

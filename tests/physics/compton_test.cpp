@@ -1,0 +1,100 @@
+#include "physics/compton.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/units.hpp"
+
+namespace adapt::physics {
+namespace {
+
+using core::kElectronMassMeV;
+
+TEST(ComptonKinematics, ForwardScatterLosesNoEnergy) {
+  EXPECT_DOUBLE_EQ(compton_scattered_energy(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(compton_energy_deposit(1.0, 1.0), 0.0);
+}
+
+TEST(ComptonKinematics, BackscatterEnergyFormula) {
+  // At cos = -1: E' = E / (1 + 2E/m).
+  const double e = 1.0;
+  const double expected = e / (1.0 + 2.0 * e / kElectronMassMeV);
+  EXPECT_NEAR(compton_scattered_energy(e, -1.0), expected, 1e-12);
+}
+
+TEST(ComptonKinematics, HighEnergyBackscatterApproachesHalfElectronMass) {
+  // Classic limit: backscattered photon energy -> m_e c^2 / 2.
+  EXPECT_NEAR(compton_scattered_energy(1000.0, -1.0),
+              kElectronMassMeV / 2.0, 1e-3);
+}
+
+TEST(ComptonKinematics, ScatteredEnergyMonotonicInCosTheta) {
+  double prev = 0.0;
+  for (double c = -1.0; c <= 1.0; c += 0.05) {
+    const double e = compton_scattered_energy(2.0, c);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(ComptonKinematics, CosThetaInvertsScatteredEnergy) {
+  for (double e_in : {0.2, 0.5, 1.0, 5.0}) {
+    for (double c : {-0.9, -0.3, 0.0, 0.4, 0.99}) {
+      const double e_out = compton_scattered_energy(e_in, c);
+      EXPECT_NEAR(compton_cos_theta(e_in, e_out), c, 1e-10);
+    }
+  }
+}
+
+TEST(ComptonKinematics, CosThetaUnclampedSignalsImpossiblePairs) {
+  // Deposit exceeding the backscatter limit gives cos < -1.
+  EXPECT_LT(compton_cos_theta(0.3, 0.05), -1.0);
+  // Energy gain is impossible: cos > 1.
+  EXPECT_GT(compton_cos_theta(0.3, 0.4), 1.0);
+}
+
+TEST(ComptonKinematics, RingCosineMatchesTwoHitDecomposition) {
+  // ring_cosine(E, E1) must equal compton_cos_theta(E, E - E1).
+  for (double e : {0.3, 0.8, 2.0}) {
+    for (double frac : {0.1, 0.3, 0.6}) {
+      const double e1 = frac * e;
+      EXPECT_NEAR(ring_cosine(e, e1), compton_cos_theta(e, e - e1), 1e-12);
+    }
+  }
+}
+
+TEST(ComptonKinematics, RingCosineValidatesInput) {
+  EXPECT_THROW(ring_cosine(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ring_cosine(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ring_cosine(0.0, 0.5), std::invalid_argument);
+}
+
+TEST(ComptonKinematics, MinEnergyForFirstDepositIsConsistent) {
+  for (double dep : {0.05, 0.2, 0.5, 1.5}) {
+    const double e_min = min_energy_for_first_deposit(dep);
+    // A photon at exactly the minimum deposits `dep` at backscatter.
+    EXPECT_NEAR(compton_energy_deposit(e_min, -1.0), dep, 1e-9);
+    // A slightly smaller photon cannot reach the deposit.
+    EXPECT_LT(compton_energy_deposit(e_min * 0.99, -1.0), dep);
+  }
+}
+
+TEST(ComptonKinematics, DepositPlusScatteredConservesEnergy) {
+  for (double e : {0.1, 1.0, 10.0}) {
+    for (double c : {-1.0, 0.0, 0.7}) {
+      EXPECT_NEAR(compton_energy_deposit(e, c) +
+                      compton_scattered_energy(e, c),
+                  e, 1e-12);
+    }
+  }
+}
+
+TEST(ComptonKinematics, RejectsNonPositiveEnergy) {
+  EXPECT_THROW(compton_scattered_energy(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(compton_cos_theta(-1.0, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adapt::physics

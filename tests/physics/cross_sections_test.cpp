@@ -1,0 +1,141 @@
+#include "physics/cross_sections.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.hpp"
+#include "core/units.hpp"
+#include "physics/compton.hpp"
+
+namespace adapt::physics {
+namespace {
+
+TEST(KleinNishina, ApproachesThomsonAtLowEnergy) {
+  // sigma -> sigma_Thomson as E -> 0.
+  const double sigma = klein_nishina_total(1e-4);
+  EXPECT_NEAR(sigma / core::kThomsonCrossSectionCm2, 1.0, 0.01);
+}
+
+TEST(KleinNishina, KnownValueAtOneMeV) {
+  // Published value: ~0.2112 barn per electron at 1 MeV.
+  EXPECT_NEAR(klein_nishina_total(1.0), 0.2112e-24, 0.003e-24);
+}
+
+TEST(KleinNishina, MonotonicallyDecreasing) {
+  double prev = klein_nishina_total(0.01);
+  for (double e = 0.02; e < 20.0; e *= 1.5) {
+    const double sigma = klein_nishina_total(e);
+    EXPECT_LT(sigma, prev);
+    prev = sigma;
+  }
+}
+
+TEST(KleinNishinaSampling, CosThetaWithinBounds) {
+  core::Rng rng(1);
+  for (double e : {0.05, 0.5, 5.0}) {
+    for (int i = 0; i < 2000; ++i) {
+      const double c = sample_klein_nishina_cos_theta(e, rng);
+      ASSERT_GE(c, -1.0);
+      ASSERT_LE(c, 1.0);
+    }
+  }
+}
+
+TEST(KleinNishinaSampling, ForwardPeakingGrowsWithEnergy) {
+  core::Rng rng(2);
+  const auto mean_cos = [&rng](double e) {
+    core::RunningStat s;
+    for (int i = 0; i < 30000; ++i)
+      s.add(sample_klein_nishina_cos_theta(e, rng));
+    return s.mean();
+  };
+  const double low = mean_cos(0.05);
+  const double mid = mean_cos(0.5);
+  const double high = mean_cos(5.0);
+  EXPECT_LT(low, mid);
+  EXPECT_LT(mid, high);
+  EXPECT_GT(high, 0.45);  // Markedly forward at 5 MeV (mean cos ~0.51).
+}
+
+TEST(KleinNishinaSampling, LowEnergyNearlySymmetric) {
+  // Thomson limit: distribution ~ (1 + cos^2), mean cos ~ 0.
+  core::Rng rng(3);
+  core::RunningStat s;
+  for (int i = 0; i < 30000; ++i)
+    s.add(sample_klein_nishina_cos_theta(1e-4, rng));
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+}
+
+TEST(Attenuation, ComptonDominatesInMevBandForCsI) {
+  const auto mat = detector::Material::csi();
+  for (double e : {0.7, 1.0, 2.0, 4.0}) {
+    const Attenuation mu = attenuation(mat, e);
+    EXPECT_GT(mu.compton, mu.photoelectric) << "at E = " << e;
+  }
+}
+
+TEST(Attenuation, PhotoelectricDominatesAtLowEnergyForCsI) {
+  const auto mat = detector::Material::csi();
+  const Attenuation mu = attenuation(mat, 0.05);
+  EXPECT_GT(mu.photoelectric, mu.compton);
+}
+
+TEST(Attenuation, PairProductionOnlyAboveThreshold) {
+  const auto mat = detector::Material::csi();
+  EXPECT_DOUBLE_EQ(attenuation(mat, 1.0).pair, 0.0);
+  EXPECT_GT(attenuation(mat, 2.0).pair, 0.0);
+  EXPECT_GT(attenuation(mat, 10.0).pair, attenuation(mat, 2.0).pair);
+}
+
+TEST(Attenuation, TotalIsSumOfParts) {
+  const auto mat = detector::Material::csi();
+  const Attenuation mu = attenuation(mat, 3.0);
+  EXPECT_DOUBLE_EQ(mu.total(), mu.compton + mu.photoelectric + mu.pair);
+}
+
+TEST(Attenuation, CsIOneMeVMagnitudeIsPhysical) {
+  // NIST XCOM: CsI total attenuation at 1 MeV ~ 0.26-0.28 1/cm.
+  const auto mat = detector::Material::csi();
+  const double mu = attenuation(mat, 1.0).total();
+  EXPECT_GT(mu, 0.20);
+  EXPECT_LT(mu, 0.35);
+}
+
+TEST(Attenuation, PlasticIsLessAttenuatingThanCsI) {
+  const auto csi = detector::Material::csi();
+  const auto plastic = detector::Material::plastic();
+  for (double e : {0.1, 1.0, 5.0}) {
+    EXPECT_LT(attenuation(plastic, e).total(), attenuation(csi, e).total());
+  }
+}
+
+TEST(Attenuation, PhotoelectricContinuousAtKnee) {
+  const auto mat = detector::Material::csi();
+  const double below = attenuation(mat, mat.photo_knee * 0.999).photoelectric;
+  const double above = attenuation(mat, mat.photo_knee * 1.001).photoelectric;
+  EXPECT_NEAR(below / above, 1.0, 0.02);
+}
+
+TEST(SampleProcess, FrequenciesMatchPartialCoefficients) {
+  core::Rng rng(4);
+  Attenuation mu;
+  mu.compton = 0.5;
+  mu.photoelectric = 0.3;
+  mu.pair = 0.2;
+  int counts[3] = {0, 0, 0};
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    switch (sample_process(mu, rng)) {
+      case Process::kCompton: ++counts[0]; break;
+      case Process::kPhotoelectric: ++counts[1]; break;
+      case Process::kPair: ++counts[2]; break;
+    }
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.2, 0.01);
+}
+
+}  // namespace
+}  // namespace adapt::physics

@@ -1,0 +1,153 @@
+/// Parameterized property sweeps over the physics layer: invariants
+/// that must hold across the instrument's whole energy band and for
+/// any material/geometry configuration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.hpp"
+#include "core/units.hpp"
+#include "physics/compton.hpp"
+#include "physics/cross_sections.hpp"
+#include "physics/transport.hpp"
+
+namespace adapt::physics {
+namespace {
+
+// ---------------------------------------------------------------------
+// Compton kinematics invariants across the energy band.
+
+class ComptonEnergySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ComptonEnergySweep, ScatteredEnergyBounded) {
+  const double e = GetParam();
+  for (double c = -1.0; c <= 1.0; c += 0.01) {
+    const double e_out = compton_scattered_energy(e, c);
+    ASSERT_GT(e_out, 0.0);
+    ASSERT_LE(e_out, e + 1e-12);
+  }
+}
+
+TEST_P(ComptonEnergySweep, KinematicsRoundTrip) {
+  const double e = GetParam();
+  for (double c = -0.99; c <= 0.99; c += 0.02) {
+    const double e_out = compton_scattered_energy(e, c);
+    ASSERT_NEAR(compton_cos_theta(e, e_out), c, 1e-9);
+  }
+}
+
+TEST_P(ComptonEnergySweep, SampledAnglesMatchKnDistributionMean) {
+  // Monte-Carlo mean of cos(theta) vs numerically integrated mean of
+  // the Klein-Nishina angular distribution.
+  const double e = GetParam();
+  core::Rng rng(static_cast<std::uint64_t>(e * 1e6) + 1);
+  core::RunningStat mc;
+  for (int i = 0; i < 20000; ++i)
+    mc.add(sample_klein_nishina_cos_theta(e, rng));
+
+  double num = 0.0;
+  double den = 0.0;
+  for (double c = -0.9995; c < 1.0; c += 0.001) {
+    const double r = compton_scattered_energy(e, c) / e;
+    const double f = r * r * (r + 1.0 / r - (1.0 - c * c));
+    num += c * f;
+    den += f;
+  }
+  ASSERT_NEAR(mc.mean(), num / den, 0.02);
+}
+
+TEST_P(ComptonEnergySweep, TotalCrossSectionMatchesAngularIntegral) {
+  // Integrating the differential distribution must reproduce the
+  // closed-form Klein-Nishina total cross section.
+  const double e = GetParam();
+  const double k = e / core::kElectronMassMeV;
+  const double re2 =
+      core::kClassicalElectronRadiusCm * core::kClassicalElectronRadiusCm;
+  double integral = 0.0;
+  const double dc = 1e-4;
+  for (double c = -1.0 + dc / 2; c < 1.0; c += dc) {
+    const double r = 1.0 / (1.0 + k * (1.0 - c));
+    const double dsigma = core::kPi * re2 * r * r *
+                          (r + 1.0 / r - (1.0 - c * c));
+    integral += dsigma * dc;
+  }
+  ASSERT_NEAR(integral / klein_nishina_total(e), 1.0, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(EnergyBand, ComptonEnergySweep,
+                         ::testing::Values(0.05, 0.1, 0.3, 0.511, 1.0, 2.0,
+                                           5.0, 10.0));
+
+// ---------------------------------------------------------------------
+// Attenuation model invariants across materials and energies.
+
+class AttenuationSweep
+    : public ::testing::TestWithParam<std::tuple<double, bool>> {};
+
+TEST_P(AttenuationSweep, CoefficientsPositiveAndFinite) {
+  const auto [e, use_plastic] = GetParam();
+  const auto mat = use_plastic ? detector::Material::plastic()
+                               : detector::Material::csi();
+  const Attenuation mu = attenuation(mat, e);
+  ASSERT_GT(mu.compton, 0.0);
+  ASSERT_GE(mu.photoelectric, 0.0);
+  ASSERT_GE(mu.pair, 0.0);
+  ASSERT_TRUE(std::isfinite(mu.total()));
+}
+
+TEST_P(AttenuationSweep, ComptonScalesWithElectronDensity) {
+  const auto [e, use_plastic] = GetParam();
+  (void)use_plastic;
+  const auto csi = detector::Material::csi();
+  const auto plastic = detector::Material::plastic();
+  const double ratio = attenuation(csi, e).compton /
+                       attenuation(plastic, e).compton;
+  ASSERT_NEAR(ratio, csi.electron_density / plastic.electron_density, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MaterialGrid, AttenuationSweep,
+    ::testing::Combine(::testing::Values(0.05, 0.2, 0.511, 1.0, 3.0, 8.0),
+                       ::testing::Bool()));
+
+// ---------------------------------------------------------------------
+// Transport invariants across incidence angle and energy.
+
+struct TransportCase {
+  double energy;
+  double polar_deg;
+};
+
+class TransportSweep : public ::testing::TestWithParam<TransportCase> {};
+
+TEST_P(TransportSweep, EnergyNeverCreated) {
+  const TransportCase tc = GetParam();
+  const detector::Geometry geometry;
+  const auto material = detector::Material::csi();
+  const Transport transport(geometry, material);
+  core::Rng rng(static_cast<std::uint64_t>(tc.energy * 1000 +
+                                           tc.polar_deg));
+  const core::Vec3 dir =
+      -core::from_spherical(core::deg_to_rad(tc.polar_deg), 0.4);
+  const core::Vec3 origin = geometry.center() - dir * 100.0;
+  for (int i = 0; i < 400; ++i) {
+    const auto event = transport.propagate(origin, dir, tc.energy, rng);
+    double total = 0.0;
+    for (const auto& hit : event.hits) total += hit.energy;
+    ASSERT_LE(total, tc.energy + 1e-9);
+    if (event.fully_absorbed && !event.hits.empty()) {
+      ASSERT_NEAR(total, tc.energy, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnergyAngleGrid, TransportSweep,
+    ::testing::Values(TransportCase{0.1, 0.0}, TransportCase{0.1, 60.0},
+                      TransportCase{0.511, 30.0}, TransportCase{1.0, 0.0},
+                      TransportCase{1.0, 80.0}, TransportCase{3.0, 45.0},
+                      TransportCase{8.0, 20.0}));
+
+}  // namespace
+}  // namespace adapt::physics

@@ -1,0 +1,203 @@
+#include "physics/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.hpp"
+#include "core/units.hpp"
+#include "physics/compton.hpp"
+#include "physics/cross_sections.hpp"
+
+namespace adapt::physics {
+namespace {
+
+class TransportTest : public ::testing::Test {
+ protected:
+  detector::Geometry geometry_{detector::GeometryConfig{}};
+  detector::Material material_ = detector::Material::csi();
+  Transport transport_{geometry_, material_, {}};
+};
+
+TEST_F(TransportTest, PhotonAimedAwayNeverInteracts) {
+  core::Rng rng(1);
+  const auto event =
+      transport_.propagate({0, 0, 10}, {0, 0, 1}, 1.0, rng);
+  EXPECT_TRUE(event.hits.empty());
+  EXPECT_FALSE(event.fully_absorbed);
+}
+
+TEST_F(TransportTest, TruthMetadataRecorded) {
+  core::Rng rng(2);
+  const auto event =
+      transport_.propagate({0, 0, 10}, {0, 0, -1}, 2.5, rng);
+  EXPECT_DOUBLE_EQ(event.true_energy, 2.5);
+  EXPECT_DOUBLE_EQ(event.true_direction.z, -1.0);
+}
+
+TEST_F(TransportTest, HitsLieInsideScintillator) {
+  core::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const auto event =
+        transport_.propagate({0, 0, 10}, {0, 0, -1}, 1.0, rng);
+    for (const auto& hit : event.hits) {
+      EXPECT_TRUE(geometry_.contains(hit.position))
+          << "hit outside material at " << hit.position;
+      EXPECT_EQ(geometry_.layer_at(hit.position.z), hit.layer);
+      EXPECT_GT(hit.energy, 0.0);
+    }
+  }
+}
+
+TEST_F(TransportTest, FullyAbsorbedEventsConserveEnergy) {
+  core::Rng rng(4);
+  int checked = 0;
+  for (int i = 0; i < 3000 && checked < 300; ++i) {
+    const double e0 = 0.8;
+    const auto event = transport_.propagate({0, 0, 10}, {0, 0, -1}, e0, rng);
+    if (!event.fully_absorbed || event.hits.empty()) continue;
+    double total = 0.0;
+    for (const auto& hit : event.hits) total += hit.energy;
+    EXPECT_NEAR(total, e0, 1e-9);
+    ++checked;
+  }
+  EXPECT_GE(checked, 100);
+}
+
+TEST_F(TransportTest, PartialEventsDepositLessThanIncident) {
+  core::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const double e0 = 1.5;
+    const auto event = transport_.propagate({0, 0, 10}, {0, 0, -1}, e0, rng);
+    if (event.fully_absorbed || event.hits.empty()) continue;
+    double total = 0.0;
+    for (const auto& hit : event.hits) total += hit.energy;
+    EXPECT_LT(total, e0 + 1e-9);
+  }
+}
+
+TEST_F(TransportTest, InteractionProbabilityMatchesAttenuation) {
+  // A 1 MeV photon crossing four 1.5 cm CsI tiles sees optical depth
+  // tau = mu * 6 cm; interaction fraction = 1 - exp(-tau).
+  core::Rng rng(6);
+  const double mu = attenuation(material_, 1.0).total();
+  const double expected = 1.0 - std::exp(-mu * 6.0);
+  int interacted = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto event = transport_.propagate({0, 0, 10}, {0, 0, -1}, 1.0, rng);
+    if (!event.hits.empty()) ++interacted;
+  }
+  EXPECT_NEAR(interacted / static_cast<double>(n), expected, 0.015);
+}
+
+TEST_F(TransportTest, LowEnergyPhotonsPhotoabsorbInOneHit) {
+  // 40 keV: photoelectric dominates so single-hit events prevail.
+  core::Rng rng(7);
+  int single = 0;
+  int total = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const auto event =
+        transport_.propagate({0, 0, 10}, {0, 0, -1}, 0.04, rng);
+    if (event.hits.empty()) continue;
+    ++total;
+    if (event.hits.size() == 1) ++single;
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_GT(single / static_cast<double>(total), 0.9);
+}
+
+TEST_F(TransportTest, MevPhotonsOftenMultiScatter) {
+  core::Rng rng(8);
+  int multi = 0;
+  int total = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const auto event = transport_.propagate({0, 0, 10}, {0, 0, -1}, 1.0, rng);
+    if (event.hits.empty()) continue;
+    ++total;
+    if (event.hits.size() >= 2) ++multi;
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_GT(multi / static_cast<double>(total), 0.3);
+}
+
+TEST_F(TransportTest, FirstTwoHitsSatisfyComptonRingRelation) {
+  // The invariant reconstruction relies on: for a fully absorbed
+  // photon, eta from energies equals the geometric cosine between the
+  // (true) first-two-hit axis and the source direction.
+  core::Rng rng(9);
+  const core::Vec3 source_dir{0, 0, 1};  // Photon travels -z.
+  int checked = 0;
+  for (int i = 0; i < 20000 && checked < 200; ++i) {
+    const auto event = transport_.propagate({0, 0, 10}, {0, 0, -1}, 0.6, rng);
+    if (!event.fully_absorbed || event.hits.size() < 2) continue;
+    double e_total = 0.0;
+    for (const auto& hit : event.hits) e_total += hit.energy;
+    const double e1 = event.hits[0].energy;
+    if (e1 <= 0.0 || e1 >= e_total) continue;
+    // Skip events contaminated by annihilation secondaries (pair
+    // production): they do not follow single-track kinematics.
+    if (event.true_energy > 1.022) continue;
+    const double eta = ring_cosine(e_total, e1);
+    const core::Vec3 axis =
+        (event.hits[0].position - event.hits[1].position).normalized();
+    EXPECT_NEAR(eta, axis.dot(source_dir), 1e-6);
+    ++checked;
+  }
+  EXPECT_GE(checked, 100);
+}
+
+TEST_F(TransportTest, PairProductionProducesSecondaries) {
+  // Far above threshold, pair events deposit kinetic energy plus two
+  // trackable 511 keV annihilation photons.
+  core::Rng rng(10);
+  int pair_like = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const auto event = transport_.propagate({0, 0, 10}, {0, 0, -1}, 8.0, rng);
+    // Identify pair events by a hit of exactly E - 2 m_e c^2.
+    for (const auto& hit : event.hits) {
+      if (std::abs(hit.energy - (8.0 - 2.0 * core::kElectronMassMeV)) < 1e-9) {
+        ++pair_like;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(pair_like, 10);
+}
+
+TEST_F(TransportTest, ObliqueIncidenceStillDetects) {
+  core::Rng rng(11);
+  const double polar = core::deg_to_rad(60.0);
+  const core::Vec3 dir = -core::from_spherical(polar, 0.3);
+  int detected = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto event =
+        transport_.propagate(core::Vec3{0, 0, -15} - dir * 100.0, dir, 1.0,
+                             rng);
+    if (!event.hits.empty()) ++detected;
+  }
+  EXPECT_GT(detected, 200);
+}
+
+TEST_F(TransportTest, RejectsInvalidInputs) {
+  core::Rng rng(12);
+  EXPECT_THROW(transport_.propagate({0, 0, 10}, {0, 0, -1}, 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(transport_.propagate({0, 0, 10}, {0, 0, -2}, 1.0, rng),
+               std::invalid_argument);
+}
+
+TEST_F(TransportTest, DeterministicGivenSeed) {
+  core::Rng rng1(13);
+  core::Rng rng2(13);
+  const auto a = transport_.propagate({0, 0, 10}, {0, 0, -1}, 1.0, rng1);
+  const auto b = transport_.propagate({0, 0, 10}, {0, 0, -1}, 1.0, rng2);
+  ASSERT_EQ(a.hits.size(), b.hits.size());
+  for (std::size_t i = 0; i < a.hits.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.hits[i].energy, b.hits[i].energy);
+    EXPECT_DOUBLE_EQ(a.hits[i].position.x, b.hits[i].position.x);
+  }
+}
+
+}  // namespace
+}  // namespace adapt::physics

@@ -1,0 +1,99 @@
+#include "pipeline/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adapt::pipeline {
+namespace {
+
+recon::ComptonRing sample_ring() {
+  recon::ComptonRing r;
+  r.axis = {0.0, 0.0, 1.0};
+  r.eta = 0.4;
+  r.d_eta = 0.05;
+  r.e_total = 1.25;
+  r.sigma_e_total = 0.03;
+  r.hit1 = recon::RingHit{{1.0, 2.0, -0.5}, 0.5, {0.1, 0.1, 0.3}, 0.012};
+  r.hit2 = recon::RingHit{{3.0, -1.0, -10.5}, 0.75, {0.1, 0.1, 0.3}, 0.015};
+  r.n_hits = 2;
+  r.origin = detector::Origin::kGrb;
+  r.true_direction = {0.0, 0.0, -1.0};
+  return r;
+}
+
+TEST(Features, LayoutMatchesPaperDescription) {
+  // Twelve base features: total energy; x, y, z, E of the first two
+  // hits; and the three energy uncertainties.
+  const auto ring = sample_ring();
+  float row[kBaseFeatureCount];
+  write_base_features(ring, row);
+  EXPECT_FLOAT_EQ(row[0], 1.25f);   // Total energy.
+  EXPECT_FLOAT_EQ(row[1], 1.0f);    // Hit 1 x.
+  EXPECT_FLOAT_EQ(row[2], 2.0f);    // Hit 1 y.
+  EXPECT_FLOAT_EQ(row[3], -0.5f);   // Hit 1 z.
+  EXPECT_FLOAT_EQ(row[4], 0.5f);    // Hit 1 energy.
+  EXPECT_FLOAT_EQ(row[5], 3.0f);    // Hit 2 x.
+  EXPECT_FLOAT_EQ(row[6], -1.0f);   // Hit 2 y.
+  EXPECT_FLOAT_EQ(row[7], -10.5f);  // Hit 2 z.
+  EXPECT_FLOAT_EQ(row[8], 0.75f);   // Hit 2 energy.
+  EXPECT_FLOAT_EQ(row[9], 0.03f);   // Sigma total.
+  EXPECT_FLOAT_EQ(row[10], 0.012f); // Sigma hit 1.
+  EXPECT_FLOAT_EQ(row[11], 0.015f); // Sigma hit 2.
+}
+
+TEST(Features, MatrixWithPolarHasThirteenColumns) {
+  const std::vector<recon::ComptonRing> rings{sample_ring(), sample_ring()};
+  const nn::Tensor x = feature_matrix(rings, true, 35.0);
+  EXPECT_EQ(x.rows(), 2u);
+  EXPECT_EQ(x.cols(), kFeatureCount);
+  EXPECT_FLOAT_EQ(x(0, 12), 35.0f);
+  EXPECT_FLOAT_EQ(x(1, 12), 35.0f);
+}
+
+TEST(Features, MatrixWithoutPolarHasTwelveColumns) {
+  const std::vector<recon::ComptonRing> rings{sample_ring()};
+  const nn::Tensor x = feature_matrix(rings, false, 0.0);
+  EXPECT_EQ(x.cols(), kBaseFeatureCount);
+}
+
+TEST(Features, PerRingPolarColumn) {
+  const std::vector<recon::ComptonRing> rings{sample_ring(), sample_ring()};
+  const std::vector<double> polars{10.0, 70.0};
+  const nn::Tensor x =
+      feature_matrix(rings, std::span<const double>(polars));
+  EXPECT_FLOAT_EQ(x(0, 12), 10.0f);
+  EXPECT_FLOAT_EQ(x(1, 12), 70.0f);
+  const std::vector<double> wrong{10.0};
+  EXPECT_THROW(feature_matrix(rings, std::span<const double>(wrong)),
+               std::invalid_argument);
+}
+
+TEST(Features, BackgroundLabelConvention) {
+  auto ring = sample_ring();
+  EXPECT_FLOAT_EQ(background_label(ring), 0.0f);
+  ring.origin = detector::Origin::kBackground;
+  EXPECT_FLOAT_EQ(background_label(ring), 1.0f);
+}
+
+TEST(Features, DetaTargetIsLogOfTrueError) {
+  auto ring = sample_ring();
+  // axis.s = 1 for s = +z; eta = 0.4 -> |error| = 0.6.
+  const core::Vec3 s{0.0, 0.0, 1.0};
+  EXPECT_NEAR(deta_target(ring, s), std::log(0.6), 1e-6);
+}
+
+TEST(Features, DetaTargetClamped) {
+  auto ring = sample_ring();
+  // Perfect ring: error 0 -> floored.
+  ring.eta = ring.axis.dot(core::Vec3{0, 0, 1});
+  EXPECT_NEAR(deta_target(ring, {0, 0, 1}, 1e-4, 2.0), std::log(1e-4), 1e-6);
+  // Catastrophic ring: capped.
+  ring.eta = -1.0;
+  EXPECT_NEAR(deta_target(ring, {0, 0, 1}, 1e-4, 2.0), std::log(2.0), 1e-6);
+  EXPECT_THROW(deta_target(ring, {0, 0, 1}, 0.0, 2.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adapt::pipeline

@@ -1,0 +1,202 @@
+#include "pipeline/ml_localizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/units.hpp"
+#include "nn/linear.hpp"
+
+namespace adapt::pipeline {
+namespace {
+
+nn::Sequential constant_logit_model(std::size_t input_dim, float bias) {
+  core::Rng rng(1);
+  nn::Sequential model;
+  auto lin = std::make_unique<nn::Linear>(input_dim, 1, rng);
+  lin->weight().value.zero();
+  lin->bias().value(0, 0) = bias;
+  model.add(std::move(lin));
+  return model;
+}
+
+/// Signal rings around a source plus uniform background rings, with
+/// the truth tags the oracle classifier below keys on.
+std::vector<recon::ComptonRing> make_rings(const core::Vec3& s,
+                                           int n_signal, int n_background,
+                                           std::uint64_t seed,
+                                           double d_eta = 0.05) {
+  core::Rng rng(seed);
+  std::vector<recon::ComptonRing> rings;
+  for (int i = 0; i < n_signal; ++i) {
+    recon::ComptonRing r;
+    r.axis = rng.isotropic_direction();
+    r.eta = r.axis.dot(s) + rng.normal(0.0, d_eta);
+    if (r.eta < -1.0 || r.eta > 1.0) {
+      --i;
+      continue;
+    }
+    r.d_eta = d_eta;
+    r.e_total = 1.0;
+    r.hit1 = recon::RingHit{{0, 0, -0.5}, 0.4, {0.1, 0.1, 0.3}, 0.01};
+    r.hit2 = recon::RingHit{{3, 0, -10.5}, 0.6, {0.1, 0.1, 0.3}, 0.01};
+    r.origin = detector::Origin::kGrb;
+    rings.push_back(r);
+  }
+  for (int i = 0; i < n_background; ++i) {
+    recon::ComptonRing r;
+    r.axis = rng.isotropic_direction();
+    r.eta = rng.uniform(-1.0, 1.0);
+    r.d_eta = d_eta;
+    r.e_total = 0.511;  // The tag the oracle net uses (see below).
+    r.hit1 = recon::RingHit{{0, 0, -0.5}, 0.2, {0.1, 0.1, 0.3}, 0.01};
+    r.hit2 = recon::RingHit{{3, 0, -10.5}, 0.3, {0.1, 0.1, 0.3}, 0.01};
+    r.origin = detector::Origin::kBackground;
+    rings.push_back(r);
+  }
+  return rings;
+}
+
+/// An "oracle" classifier exploiting the synthetic rings' energy tag:
+/// logit = 20 * (feature0 < 0.75 ? +1 : -1), i.e. the 0.511 MeV rings
+/// are flagged.  Implemented as Linear on feature 0 with bias.
+BackgroundNet oracle_net() {
+  core::Rng rng(2);
+  nn::Sequential model;
+  auto lin = std::make_unique<nn::Linear>(13, 1, rng);
+  lin->weight().value.zero();
+  lin->weight().value(0, 0) = -40.0f;  // Low energy -> high logit.
+  lin->bias().value(0, 0) = 30.0f;     // 0.511 -> +9.6; 1.0 -> -10.
+  model.add(std::move(lin));
+  return BackgroundNet(std::move(model), {}, {}, true);
+}
+
+TEST(MlLocalizer, NullNetsReproduceBaseline) {
+  const core::Vec3 s = core::from_spherical(0.4, 0.7);
+  const auto rings = make_rings(s, 150, 0, 3);
+  MlLocalizer ml;
+  core::Rng rng(4);
+  const auto result = ml.run(rings, nullptr, nullptr, rng);
+  ASSERT_TRUE(result.valid);
+  EXPECT_EQ(result.background_iterations, 0);
+  EXPECT_EQ(result.rings_kept, rings.size());
+  EXPECT_LT(core::rad_to_deg(core::angle_between(result.direction, s)), 1.5);
+}
+
+TEST(MlLocalizer, OracleRejectionImprovesContaminatedLocalization) {
+  const core::Vec3 s = core::from_spherical(0.6, -1.2);
+  // Heavy contamination: 40 signal vs 400 background.
+  const auto rings = make_rings(s, 40, 400, 5);
+  MlLocalizer ml;
+  BackgroundNet oracle = oracle_net();
+
+  int better = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    core::Rng rng_a(100 + trial);
+    core::Rng rng_b(100 + trial);
+    const auto with_ml = ml.run(rings, &oracle, nullptr, rng_a);
+    const auto without = ml.run(rings, nullptr, nullptr, rng_b);
+    ASSERT_TRUE(with_ml.valid);
+    const double err_ml =
+        core::rad_to_deg(core::angle_between(with_ml.direction, s));
+    const double err_plain =
+        without.valid
+            ? core::rad_to_deg(core::angle_between(without.direction, s))
+            : 180.0;
+    if (err_ml <= err_plain + 0.5) ++better;
+    EXPECT_LT(err_ml, 5.0) << "trial " << trial;
+  }
+  EXPECT_GE(better, 4);
+}
+
+TEST(MlLocalizer, OracleRejectionRemovesBackgroundRings) {
+  const core::Vec3 s = core::from_spherical(0.3, 0.0);
+  const auto rings = make_rings(s, 100, 250, 6);
+  MlLocalizer ml;
+  BackgroundNet oracle = oracle_net();
+  core::Rng rng(7);
+  const auto result = ml.run(rings, &oracle, nullptr, rng);
+  ASSERT_TRUE(result.valid);
+  EXPECT_GT(result.background_iterations, 0);
+  EXPECT_NEAR(static_cast<double>(result.rings_kept), 100.0, 5.0);
+}
+
+TEST(MlLocalizer, AllFlaggedFallsBackToFullSet) {
+  // A net that flags everything must not leave localization with an
+  // empty ring set.
+  const core::Vec3 s{0, 0, 1};
+  const auto rings = make_rings(s, 80, 0, 8);
+  BackgroundNet always_bkg(constant_logit_model(13, 50.0f), {}, {}, true);
+  MlLocalizer ml;
+  core::Rng rng(9);
+  const auto result = ml.run(rings, &always_bkg, nullptr, rng);
+  ASSERT_TRUE(result.valid);
+  EXPECT_EQ(result.rings_kept, rings.size());
+}
+
+TEST(MlLocalizer, DetaNetOverridesRingWidths) {
+  // A dEta net that predicts a constant 0.2: the final refinement sees
+  // uniformly reweighted rings; the pipeline still localizes.
+  const core::Vec3 s = core::from_spherical(0.5, 0.5);
+  const auto rings = make_rings(s, 150, 0, 10);
+  DEtaNet deta(constant_logit_model(13, std::log(0.2f)), {}, true);
+  MlLocalizer ml;
+  core::Rng rng(11);
+  const auto result = ml.run(rings, nullptr, &deta, rng);
+  ASSERT_TRUE(result.valid);
+  EXPECT_LT(core::rad_to_deg(core::angle_between(result.direction, s)), 2.0);
+}
+
+TEST(MlLocalizer, TimingsPopulated) {
+  const core::Vec3 s{0, 0, 1};
+  const auto rings = make_rings(s, 120, 120, 12);
+  BackgroundNet oracle = oracle_net();
+  DEtaNet deta(constant_logit_model(13, std::log(0.05f)), {}, true);
+  MlLocalizer ml;
+  core::Rng rng(13);
+  StageTimings timings;
+  const auto result = ml.run(rings, &oracle, &deta, rng, &timings);
+  ASSERT_TRUE(result.valid);
+  EXPECT_GT(timings.total_ms, 0.0);
+  EXPECT_GT(timings.approx_refine_ms, 0.0);
+  EXPECT_GT(timings.background_inference_ms, 0.0);
+  EXPECT_GT(timings.deta_inference_ms, 0.0);
+  EXPECT_GE(timings.setup_ms, 0.0);
+  // Stage sum cannot exceed the measured total.
+  EXPECT_LE(timings.setup_ms + timings.approx_refine_ms +
+                timings.background_inference_ms + timings.deta_inference_ms,
+            timings.total_ms * 1.05 + 0.5);
+}
+
+TEST(MlLocalizer, IterationCapRespected) {
+  const core::Vec3 s{0, 0, 1};
+  const auto rings = make_rings(s, 60, 200, 14);
+  MlLocalizerConfig cfg;
+  cfg.max_background_iterations = 2;
+  MlLocalizer ml(cfg);
+  BackgroundNet oracle = oracle_net();
+  core::Rng rng(15);
+  const auto result = ml.run(rings, &oracle, nullptr, rng);
+  EXPECT_LE(result.background_iterations, 2);
+}
+
+TEST(MlLocalizer, EmptyInputHandled) {
+  MlLocalizer ml;
+  core::Rng rng(16);
+  const auto result = ml.run({}, nullptr, nullptr, rng);
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.rings_in, 0u);
+}
+
+TEST(MlLocalizer, RejectsBadConfig) {
+  MlLocalizerConfig cfg;
+  cfg.max_background_iterations = -1;
+  EXPECT_THROW(MlLocalizer{cfg}, std::invalid_argument);
+  cfg = MlLocalizerConfig{};
+  cfg.convergence_angle_rad = 0.0;
+  EXPECT_THROW(MlLocalizer{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adapt::pipeline

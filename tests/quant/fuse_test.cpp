@@ -1,0 +1,112 @@
+#include "quant/fuse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/linear.hpp"
+#include "nn/mlp.hpp"
+
+namespace adapt::quant {
+namespace {
+
+/// Train-mode forward passes to give batchnorm non-trivial running
+/// statistics, then return a fresh random batch.
+nn::Tensor calibrate(nn::Sequential& model, std::size_t dim,
+                     std::uint64_t seed) {
+  core::Rng rng(seed);
+  for (int pass = 0; pass < 5; ++pass) {
+    nn::Tensor x(64, dim);
+    for (auto& v : x.vec()) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+    (void)model.forward(x, true);
+  }
+  nn::Tensor x(16, dim);
+  for (auto& v : x.vec()) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return x;
+}
+
+TEST(FuseBn, FusedModelMatchesOriginalInference) {
+  core::Rng rng(1);
+  nn::Sequential model =
+      nn::build_mlp(nn::background_net_spec(13, /*swap_bn_fc=*/true), rng);
+  const nn::Tensor x = calibrate(model, 13, 2);
+
+  const nn::Tensor y_ref = model.forward(x, false);
+  const auto fused = fuse_bn(model);
+  const nn::Tensor y_fused = fused_forward(fused, x);
+
+  ASSERT_EQ(y_ref.size(), y_fused.size());
+  for (std::size_t i = 0; i < y_ref.size(); ++i)
+    EXPECT_NEAR(y_ref.vec()[i], y_fused.vec()[i], 2e-4)
+        << "output " << i;
+}
+
+TEST(FuseBn, StageStructureMatchesArchitecture) {
+  core::Rng rng(3);
+  nn::Sequential model =
+      nn::build_mlp(nn::background_net_spec(13, true), rng);
+  (void)calibrate(model, 13, 4);
+  const auto fused = fuse_bn(model);
+  // Three hidden blocks + final linear.
+  ASSERT_EQ(fused.size(), 4u);
+  EXPECT_EQ(fused[0].in_features(), 13u);
+  EXPECT_EQ(fused[0].out_features(), 256u);
+  EXPECT_TRUE(fused[0].relu);
+  EXPECT_TRUE(fused[1].relu);
+  EXPECT_TRUE(fused[2].relu);
+  EXPECT_EQ(fused[3].out_features(), 1u);
+  EXPECT_FALSE(fused[3].relu);
+}
+
+TEST(FuseBn, PlainLinearStackPassesThrough) {
+  core::Rng rng(5);
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Linear>(4, 3, rng));
+  model.add(std::make_unique<nn::ReLU>());
+  model.add(std::make_unique<nn::Linear>(3, 1, rng));
+  const auto fused = fuse_bn(model);
+  ASSERT_EQ(fused.size(), 2u);
+  nn::Tensor x(5, 4, 0.3f);
+  const nn::Tensor y_ref = model.forward(x, false);
+  const nn::Tensor y_fused = fused_forward(fused, x);
+  for (std::size_t i = 0; i < y_ref.size(); ++i)
+    EXPECT_NEAR(y_ref.vec()[i], y_fused.vec()[i], 1e-5);
+}
+
+TEST(FuseBn, RejectsBnFirstArchitecture) {
+  // The paper's original block order (BN before FC) cannot fuse —
+  // exactly why the layer-swapped architecture exists.
+  core::Rng rng(6);
+  nn::Sequential model =
+      nn::build_mlp(nn::background_net_spec(13, /*swap_bn_fc=*/false), rng);
+  EXPECT_THROW(fuse_bn(model), std::invalid_argument);
+}
+
+TEST(FuseBn, FoldedWeightsReflectBnScale) {
+  core::Rng rng(7);
+  nn::Sequential model;
+  auto lin = std::make_unique<nn::Linear>(2, 2, rng);
+  lin->weight().value.vec() = {1.0f, 0.0f, 0.0f, 1.0f};
+  lin->bias().value.vec() = {0.0f, 0.0f};
+  auto bn = std::make_unique<nn::BatchNorm1d>(2);
+  bn->gamma().value.vec() = {2.0f, 0.5f};
+  bn->beta().value.vec() = {1.0f, -1.0f};
+  bn->running_mean() = {0.0f, 0.0f};
+  bn->running_var() = {1.0f, 1.0f};
+  model.add(std::move(lin));
+  model.add(std::move(bn));
+
+  const auto fused = fuse_bn(model);
+  ASSERT_EQ(fused.size(), 1u);
+  // With unit variance and zero mean: W' = gamma * W, b' = beta
+  // (up to the 1/sqrt(1+eps) factor ~ 1).
+  EXPECT_NEAR(fused[0].weight(0, 0), 2.0f, 1e-4);
+  EXPECT_NEAR(fused[0].weight(1, 1), 0.5f, 1e-4);
+  EXPECT_NEAR(fused[0].bias[0], 1.0f, 1e-4);
+  EXPECT_NEAR(fused[0].bias[1], -1.0f, 1e-4);
+}
+
+}  // namespace
+}  // namespace adapt::quant

@@ -1,0 +1,88 @@
+#include "quant/qparams.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace adapt::quant {
+namespace {
+
+TEST(QParams, RangeIncludesZero) {
+  // A strictly positive range must be widened to make 0 exactly
+  // representable (PyTorch convention).
+  const QParams p = QParams::from_range(2.0f, 6.0f);
+  EXPECT_EQ(p.quantize(0.0f), p.zero_point);
+  EXPECT_NEAR(p.dequantize(p.zero_point), 0.0f, 1e-7);
+}
+
+TEST(QParams, QuantizeDequantizeBoundedError) {
+  const QParams p = QParams::from_range(-3.0f, 5.0f);
+  for (float x = -3.0f; x <= 5.0f; x += 0.37f) {
+    const float back = p.fake(x);
+    EXPECT_NEAR(back, x, p.scale / 2.0f + 1e-6f);
+  }
+}
+
+TEST(QParams, ClampsOutOfRange) {
+  const QParams p = QParams::from_range(0.0f, 1.0f);
+  EXPECT_EQ(p.quantize(100.0f), QParams::kQMax);
+  EXPECT_EQ(p.quantize(-100.0f), QParams::kQMin);
+}
+
+TEST(QParams, DegenerateRangeIsSafe) {
+  const QParams p = QParams::from_range(0.0f, 0.0f);
+  EXPECT_EQ(p.quantize(0.0f), 0);
+  EXPECT_FLOAT_EQ(p.fake(0.0f), 0.0f);
+}
+
+TEST(QParams, ScaleCoversRange) {
+  const QParams p = QParams::from_range(-1.0f, 3.0f);
+  EXPECT_NEAR(p.max_value() - p.min_value(), 4.0f, 2.0f * p.scale);
+  EXPECT_LE(p.min_value(), -1.0f + p.scale);
+  EXPECT_GE(p.max_value(), 3.0f - p.scale);
+}
+
+TEST(ChannelQParams, SymmetricAroundZero) {
+  const ChannelQParams p = ChannelQParams::from_max_abs(2.54f);
+  EXPECT_EQ(p.quantize(2.54f), 127);
+  EXPECT_EQ(p.quantize(-2.54f), -127);
+  EXPECT_EQ(p.quantize(0.0f), 0);
+}
+
+TEST(ChannelQParams, RoundTripBoundedError) {
+  const ChannelQParams p = ChannelQParams::from_max_abs(1.0f);
+  for (float x = -1.0f; x <= 1.0f; x += 0.013f) {
+    EXPECT_NEAR(p.fake(x), x, p.scale / 2.0f + 1e-7f);
+  }
+}
+
+TEST(ChannelQParams, ZeroWeightRowIsSafe) {
+  const ChannelQParams p = ChannelQParams::from_max_abs(0.0f);
+  EXPECT_EQ(p.quantize(0.0f), 0);
+}
+
+TEST(WeightQParams, PerChannelScalesMatchRowMaxima) {
+  nn::Tensor w(2, 3);
+  w.vec() = {0.1f, -0.4f, 0.2f, 1.0f, -2.0f, 0.5f};
+  const auto qp = weight_qparams(w);
+  ASSERT_EQ(qp.size(), 2u);
+  EXPECT_NEAR(qp[0].scale, 0.4f / 127.0f, 1e-7);
+  EXPECT_NEAR(qp[1].scale, 2.0f / 127.0f, 1e-7);
+}
+
+TEST(WeightQParams, QuantizationErrorWithinHalfScale) {
+  core::Rng rng(1);
+  nn::Tensor w(8, 16);
+  w.he_init(16, rng);
+  const auto qp = weight_qparams(w);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 16; ++c) {
+      EXPECT_NEAR(qp[r].fake(w(r, c)), w(r, c), qp[r].scale / 2 + 1e-7);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adapt::quant

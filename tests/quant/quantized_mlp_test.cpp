@@ -1,0 +1,190 @@
+#include "quant/quantized_mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.hpp"
+#include "nn/mlp.hpp"
+#include "quant/fake_quant.hpp"
+#include "quant/fuse.hpp"
+#include "quant/qat_io.hpp"
+#include "quant/qat_linear.hpp"
+
+namespace adapt::quant {
+namespace {
+
+nn::Tensor random_batch(std::size_t n, std::size_t d, std::uint64_t seed,
+                        double lo = -2.0, double hi = 2.0) {
+  core::Rng rng(seed);
+  nn::Tensor x(n, d);
+  for (auto& v : x.vec()) v = static_cast<float>(rng.uniform(lo, hi));
+  return x;
+}
+
+/// End-to-end QAT assembly for a trained swapped-architecture model.
+struct QatFixture {
+  nn::Sequential qat;
+  std::vector<FusedLayer> fused;
+
+  explicit QatFixture(std::uint64_t seed, std::size_t dim = 13) {
+    core::Rng rng(seed);
+    nn::Sequential swapped =
+        nn::build_mlp(nn::background_net_spec(dim, true), rng);
+    // Calibrate batchnorm running stats.
+    for (int pass = 0; pass < 6; ++pass)
+      (void)swapped.forward(random_batch(64, dim, seed + 1 + pass), true);
+    fused = fuse_bn(swapped);
+    core::Rng qrng(seed + 99);
+    qat = build_qat_model(fused, qrng);
+    // Calibrate activation observers.
+    for (int pass = 0; pass < 6; ++pass)
+      (void)qat.forward(random_batch(64, dim, seed + 50 + pass), true);
+  }
+};
+
+TEST(FakeQuantLayer, TracksRangeAndQuantizes) {
+  FakeQuant fq(1.0);  // Momentum 1: range = last batch.
+  nn::Tensor x(2, 2);
+  x.vec() = {-1.0f, 0.5f, 2.0f, 0.0f};
+  const nn::Tensor y = fq.forward(x, true);
+  EXPECT_TRUE(fq.observed());
+  const QParams p = fq.qparams();
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(y.vec()[i], x.vec()[i], p.scale / 2 + 1e-6);
+}
+
+TEST(FakeQuantLayer, InferenceBeforeObservationIsIdentity) {
+  FakeQuant fq;
+  nn::Tensor x(1, 3);
+  x.vec() = {1.0f, -2.0f, 3.0f};
+  const nn::Tensor y = fq.forward(x, false);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_FLOAT_EQ(y.vec()[i], x.vec()[i]);
+}
+
+TEST(FakeQuantLayer, StraightThroughGradientMasksClipped) {
+  FakeQuant fq;
+  fq.set_range(-1.0f, 1.0f);
+  nn::Tensor x(1, 3);
+  x.vec() = {0.5f, 5.0f, -5.0f};  // Middle entry clipped high, last low.
+  (void)fq.forward(x, true);
+  nn::Tensor g(1, 3, 1.0f);
+  const nn::Tensor dx = fq.backward(g);
+  EXPECT_FLOAT_EQ(dx(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(dx(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(dx(0, 2), 0.0f);
+}
+
+TEST(QatLinearLayer, ForwardUsesQuantizedWeights) {
+  core::Rng rng(1);
+  QatLinear lin(2, 1, rng);
+  nn::Tensor w(1, 2);
+  w.vec() = {1.0f, 0.701f};
+  lin.load_weights(w, {0.0f});
+  nn::Tensor x(1, 2);
+  x.vec() = {1.0f, 1.0f};
+  const nn::Tensor y = lin.forward(x, false);
+  // Result equals the per-channel fake-quantized weights' dot product.
+  const auto qp = lin.channel_qparams();
+  const float expected = qp[0].fake(1.0f) + qp[0].fake(0.701f);
+  EXPECT_NEAR(y(0, 0), expected, 1e-6);
+  // And differs (slightly) from the latent FP32 result.
+  EXPECT_NE(y(0, 0), 1.701f);
+}
+
+TEST(QuantizedEngine, MatchesQatModelClosely) {
+  QatFixture fixture(7);
+  QuantizedMlp engine = export_quantized(fixture.qat);
+  const nn::Tensor x = random_batch(64, 13, 1234);
+  const nn::Tensor y_qat = fixture.qat.forward(x, false);
+  const nn::Tensor y_int8 = engine.forward(x);
+  ASSERT_EQ(y_qat.size(), y_int8.size());
+  // The integer path re-quantizes activations; allow a small
+  // tolerance relative to the logit spread.
+  core::RunningStat spread;
+  for (float v : y_qat.vec()) spread.add(v);
+  const double tol = std::max(0.1, 0.15 * spread.stddev());
+  for (std::size_t i = 0; i < y_qat.size(); ++i)
+    EXPECT_NEAR(y_int8.vec()[i], y_qat.vec()[i], tol) << "row " << i;
+}
+
+TEST(QuantizedEngine, ApproximatesFp32Model) {
+  QatFixture fixture(8);
+  QuantizedMlp engine = export_quantized(fixture.qat);
+  const nn::Tensor x = random_batch(128, 13, 4321);
+  const nn::Tensor y_fp32 = fused_forward(fixture.fused, x);
+  const nn::Tensor y_int8 = engine.forward(x);
+  // Classification agreement at threshold 0 should be high.
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < y_fp32.rows(); ++i) {
+    if ((y_fp32(i, 0) >= 0.0f) == (y_int8(i, 0) >= 0.0f)) ++agree;
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(y_fp32.rows()),
+            0.9);
+}
+
+TEST(QuantizedEngine, ModelSizeIsQuarterOfFp32Weights) {
+  QatFixture fixture(9);
+  QuantizedMlp engine = export_quantized(fixture.qat);
+  std::size_t fp32_weight_bytes = 0;
+  for (const auto& f : fixture.fused)
+    fp32_weight_bytes += 4 * f.weight.size();
+  // INT8 weights are 1/4 the FP32 weights; bias/scales add a little.
+  EXPECT_LT(engine.model_size_bytes(), fp32_weight_bytes / 2);
+  EXPECT_GT(engine.model_size_bytes(), fp32_weight_bytes / 8);
+}
+
+TEST(QuantizedEngine, LayerMetadataPreserved) {
+  QatFixture fixture(10);
+  QuantizedMlp engine = export_quantized(fixture.qat);
+  ASSERT_EQ(engine.layers().size(), 4u);
+  EXPECT_EQ(engine.layers()[0].in_features, 13u);
+  EXPECT_EQ(engine.layers()[0].out_features, 256u);
+  EXPECT_TRUE(engine.layers()[0].relu);
+  EXPECT_FALSE(engine.layers()[3].relu);
+}
+
+TEST(QuantizedEngine, ExportRequiresCalibration) {
+  core::Rng rng(11);
+  nn::Sequential swapped =
+      nn::build_mlp(nn::background_net_spec(13, true), rng);
+  for (int pass = 0; pass < 3; ++pass)
+    (void)swapped.forward(random_batch(32, 13, 500 + pass), true);
+  const auto fused = fuse_bn(swapped);
+  core::Rng qrng(12);
+  nn::Sequential qat = build_qat_model(fused, qrng);
+  // No calibration pass: observers never saw data.
+  EXPECT_THROW(export_quantized(qat), std::invalid_argument);
+}
+
+TEST(QatIo, RoundTripPreservesQuantizedBehaviour) {
+  QatFixture fixture(13);
+  nn::Standardizer std_;
+  nn::Tensor fitdata = random_batch(64, 13, 77);
+  std_.fit(fitdata);
+  const std::string path = "/tmp/adaptml_qat_io_test.adqt";
+  ASSERT_TRUE(save_qat_model(fixture.qat, std_,
+                             {{"polar_thr_0", -0.4}, {"config_sig", 12.0}},
+                             path));
+  auto loaded = load_qat_model(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->metadata.at("polar_thr_0"), -0.4);
+  ASSERT_TRUE(loaded->standardizer.fitted());
+
+  QuantizedMlp original = export_quantized(fixture.qat);
+  QuantizedMlp restored = export_quantized(loaded->model);
+  const nn::Tensor x = random_batch(32, 13, 88);
+  const nn::Tensor y0 = original.forward(x);
+  const nn::Tensor y1 = restored.forward(x);
+  for (std::size_t i = 0; i < y0.size(); ++i)
+    EXPECT_NEAR(y0.vec()[i], y1.vec()[i], 1e-5);
+  std::remove(path.c_str());
+}
+
+TEST(QatIo, MissingOrCorruptFileRejected) {
+  EXPECT_FALSE(load_qat_model("/tmp/nonexistent.adqt").has_value());
+}
+
+}  // namespace
+}  // namespace adapt::quant

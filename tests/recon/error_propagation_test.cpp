@@ -1,0 +1,127 @@
+#include "recon/error_propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/units.hpp"
+
+namespace adapt::recon {
+namespace {
+
+RingHit make_hit(const core::Vec3& pos, double e, double sigma_e,
+                 double sigma_pos = 0.2) {
+  RingHit h;
+  h.position = pos;
+  h.energy = e;
+  h.sigma_energy = sigma_e;
+  h.sigma_position = {sigma_pos, sigma_pos, sigma_pos};
+  return h;
+}
+
+TEST(ErrorPropagation, EnergyTermMatchesAnalyticDerivatives) {
+  // Small-sigma regime: compare against a finite-difference estimate.
+  const double e_total = 1.0;
+  const double e1 = 0.4;
+  const double s_total = 0.01;
+  const double s1 = 0.008;
+
+  const double base =
+      d_eta_energy_term(e_total, e1, s_total, s1);
+
+  // Finite difference of eta wrt e_total and e1.
+  const auto eta = [](double et, double ef) {
+    return 1.0 + core::kElectronMassMeV * (1.0 / et - 1.0 / (et - ef));
+  };
+  const double h = 1e-6;
+  const double de_total = (eta(e_total + h, e1) - eta(e_total - h, e1)) /
+                          (2.0 * h);
+  const double de1 = (eta(e_total, e1 + h) - eta(e_total, e1 - h)) / (2.0 * h);
+  const double expected = std::sqrt(de_total * de_total * s_total * s_total +
+                                    de1 * de1 * s1 * s1);
+  EXPECT_NEAR(base, expected, 1e-6);
+}
+
+TEST(ErrorPropagation, EnergyTermGrowsWithSigma) {
+  const double a = d_eta_energy_term(1.0, 0.4, 0.01, 0.01);
+  const double b = d_eta_energy_term(1.0, 0.4, 0.03, 0.03);
+  EXPECT_NEAR(b / a, 3.0, 1e-9);
+}
+
+TEST(ErrorPropagation, LowEnergyRingsAreThicker) {
+  // eta derivatives scale like m/E^2: dim events carry much larger
+  // d_eta at fixed relative resolution.
+  const double dim = d_eta_energy_term(0.2, 0.08, 0.2 * 0.03, 0.08 * 0.05);
+  const double bright = d_eta_energy_term(2.0, 0.8, 2.0 * 0.03, 0.8 * 0.05);
+  EXPECT_GT(dim, 5.0 * bright);
+}
+
+TEST(ErrorPropagation, EnergyTermValidatesInput) {
+  EXPECT_THROW(d_eta_energy_term(1.0, 1.0, 0.01, 0.01),
+               std::invalid_argument);
+  EXPECT_THROW(d_eta_energy_term(1.0, 0.0, 0.01, 0.01),
+               std::invalid_argument);
+}
+
+TEST(ErrorPropagation, PositionTermShrinksWithLeverArm) {
+  const RingHit near1 = make_hit({0, 0, 0}, 0.3, 0.01);
+  const RingHit near2 = make_hit({0, 0, -3}, 0.3, 0.01);
+  const RingHit far2 = make_hit({0, 0, -30}, 0.3, 0.01);
+  const double short_lever = d_eta_position_term(near1, near2, 0.5);
+  const double long_lever = d_eta_position_term(near1, far2, 0.5);
+  EXPECT_NEAR(short_lever / long_lever, 10.0, 1e-6);
+}
+
+TEST(ErrorPropagation, PositionTermVanishesAtConeApexAngles) {
+  // sin(theta) factor: a ring with eta = +-1 has zero sensitivity of
+  // the cosine to axis tilt at first order.
+  const RingHit h1 = make_hit({0, 0, 0}, 0.3, 0.01);
+  const RingHit h2 = make_hit({0, 0, -10}, 0.3, 0.01);
+  EXPECT_DOUBLE_EQ(d_eta_position_term(h1, h2, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d_eta_position_term(h1, h2, -1.0), 0.0);
+  EXPECT_GT(d_eta_position_term(h1, h2, 0.0), 0.0);
+}
+
+TEST(ErrorPropagation, DegenerateLeverArmIsMaximalUncertainty) {
+  const RingHit h1 = make_hit({1, 2, -3}, 0.3, 0.01);
+  const RingHit h2 = make_hit({1, 2, -3}, 0.3, 0.01);
+  EXPECT_DOUBLE_EQ(d_eta_position_term(h1, h2, 0.5), 1.0);
+}
+
+TEST(ErrorPropagation, FullPropagationIsQuadratureSum) {
+  const RingHit h1 = make_hit({0, 0, 0}, 0.4, 0.012);
+  const RingHit h2 = make_hit({0, 0, -10}, 0.3, 0.010);
+  const double eta = 0.3;
+  const double e_total = 1.0;
+  const double s_total = 0.02;
+  const double energy = d_eta_energy_term(e_total, h1.energy, s_total,
+                                          h1.sigma_energy);
+  const double position = d_eta_position_term(h1, h2, eta);
+  const double full =
+      propagate_d_eta(h1, h2, e_total, s_total, eta, 1e-6);
+  EXPECT_NEAR(full, std::sqrt(energy * energy + position * position), 1e-12);
+}
+
+TEST(ErrorPropagation, FloorApplied) {
+  // Absurdly precise measurements still get the configured floor.
+  const RingHit h1 = make_hit({0, 0, 0}, 0.4, 1e-9, 1e-9);
+  const RingHit h2 = make_hit({0, 0, -10}, 0.3, 1e-9, 1e-9);
+  EXPECT_DOUBLE_EQ(propagate_d_eta(h1, h2, 1.0, 1e-9, 0.3, 0.005), 0.005);
+}
+
+TEST(ErrorPropagation, KnownBlindSpotMisorderedHitsNotReflected) {
+  // Document the paper's motivating flaw: propagation of error cannot
+  // know the hits were mis-ordered.  Swapping the hits changes the
+  // estimate only through the energies/sigma, not through any
+  // "wrongness" signal — both orderings yield small, confident d_eta.
+  const RingHit h1 = make_hit({0, 0, 0}, 0.40, 0.012);
+  const RingHit h2 = make_hit({0, 0, -10}, 0.35, 0.011);
+  const double fwd = propagate_d_eta(h1, h2, 0.75, 0.016, 0.2);
+  const double rev = propagate_d_eta(h2, h1, 0.75, 0.016, 0.2);
+  EXPECT_LT(fwd, 0.2);
+  EXPECT_LT(rev, 0.2);
+}
+
+}  // namespace
+}  // namespace adapt::recon

@@ -1,0 +1,246 @@
+#include "recon/event_reconstruction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/units.hpp"
+#include "detector/readout.hpp"
+#include "physics/compton.hpp"
+#include "core/mat3.hpp"
+#include "physics/transport.hpp"
+#include "sim/grb_source.hpp"
+
+namespace adapt::recon {
+namespace {
+
+using detector::MeasuredEvent;
+using detector::MeasuredHit;
+
+/// Build a measured event from a synthetic fully-absorbed two-scatter
+/// trajectory of a photon with energy `e0` traveling along -z,
+/// scattering at `cos_theta` at the origin of layer 0.
+MeasuredEvent synthetic_two_hit(double e0, double cos_theta,
+                                double sigma_e_rel = 1e-4) {
+  const double e_out = physics::compton_scattered_energy(e0, cos_theta);
+  const double dep1 = e0 - e_out;
+
+  MeasuredEvent ev;
+  MeasuredHit h1;
+  h1.position = {0.0, 0.0, -0.5};
+  h1.energy = dep1;
+  h1.sigma_energy = dep1 * sigma_e_rel;
+  h1.sigma_position = {0.05, 0.05, 0.05};
+  h1.layer = 0;
+
+  // Second hit along the scattered direction (choose azimuth 0).
+  const double sin_theta = std::sqrt(1.0 - cos_theta * cos_theta);
+  const core::Vec3 dir{sin_theta, 0.0, -cos_theta};  // From travel -z.
+  // Note: scattered direction for incoming (0,0,-1) at angle theta:
+  // rotate; for azimuth 0 this is (sin, 0, -cos).
+  MeasuredHit h2;
+  h2.position = h1.position + dir * 9.0;
+  h2.energy = e_out;
+  h2.sigma_energy = e_out * sigma_e_rel;
+  h2.sigma_position = {0.05, 0.05, 0.05};
+  h2.layer = 1;
+
+  ev.hits = {h1, h2};
+  ev.origin = detector::Origin::kGrb;
+  ev.true_direction = {0.0, 0.0, -1.0};
+  ev.true_energy = e0;
+  ev.fully_absorbed = true;
+  return ev;
+}
+
+class ReconstructionTest : public ::testing::Test {
+ protected:
+  detector::Material material_ = detector::Material::csi();
+  EventReconstructor reconstructor_{material_, {}};
+};
+
+TEST_F(ReconstructionTest, CleanTwoHitEventYieldsExactEta) {
+  // Forward-peaked scatter: the reverse ordering is kinematically
+  // impossible (its implied first deposit exceeds the backscatter
+  // limit), so the ordering is unambiguous and eta must be exact.
+  const double e0 = 1.0;
+  const double cos_theta = 0.9;
+  const auto ev = synthetic_two_hit(e0, cos_theta);
+  const auto ring = reconstructor_.reconstruct(ev);
+  ASSERT_TRUE(ring.has_value());
+  EXPECT_NEAR(ring->eta, cos_theta, 1e-9);
+  // Axis points from hit1 back toward hit2...source side: the source
+  // (at +z) must satisfy c.s = eta.
+  EXPECT_NEAR(ring->cosine_to({0, 0, 1}), cos_theta, 1e-9);
+  EXPECT_EQ(ring->n_hits, 2);
+  EXPECT_GT(ring->d_eta, 0.0);
+}
+
+TEST_F(ReconstructionTest, SingleHitEventRejected) {
+  MeasuredEvent ev;
+  MeasuredHit h;
+  h.position = {0, 0, -0.5};
+  h.energy = 0.5;
+  h.sigma_energy = 0.01;
+  ev.hits = {h};
+  ReconstructionStats stats;
+  EXPECT_FALSE(reconstructor_.reconstruct(ev, &stats).has_value());
+  EXPECT_EQ(stats.too_few_hits, 1u);
+}
+
+TEST_F(ReconstructionTest, EnergyCutsApplied) {
+  ReconstructionStats stats;
+  // Too dim.
+  auto ev = synthetic_two_hit(0.06, 0.4);
+  EXPECT_FALSE(reconstructor_.reconstruct(ev, &stats).has_value());
+  EXPECT_EQ(stats.energy_cut, 1u);
+}
+
+TEST_F(ReconstructionTest, ShortLeverArmRejected) {
+  auto ev = synthetic_two_hit(1.0, 0.4);
+  // Collapse the lever arm to 1 cm (below the 2.5 cm floor).
+  const core::Vec3 d =
+      (ev.hits[1].position - ev.hits[0].position).normalized();
+  ev.hits[1].position = ev.hits[0].position + d * 1.0;
+  ReconstructionStats stats;
+  EXPECT_FALSE(reconstructor_.reconstruct(ev, &stats).has_value());
+  EXPECT_GE(stats.lever_arm_cut + stats.ambiguous_order, 1u);
+}
+
+TEST_F(ReconstructionTest, KinematicallyImpossibleEventRejected) {
+  // Symmetric 100 keV + 100 keV deposits: for a 200 keV photon either
+  // ordering implies cos(theta) = 1 - m_e c^2 / E ~ -1.6, beyond the
+  // backscatter limit in both directions — no valid Compton sequence.
+  MeasuredEvent ev = synthetic_two_hit(1.0, 0.4);
+  ev.hits[0].energy = 0.1;
+  ev.hits[1].energy = 0.1;
+  ReconstructionStats stats;
+  EXPECT_FALSE(reconstructor_.reconstruct(ev, &stats).has_value());
+  EXPECT_GE(stats.eta_invalid + stats.ambiguous_order + stats.energy_cut, 1u);
+}
+
+TEST_F(ReconstructionTest, ReconstructAllMatchesIndividual) {
+  std::vector<MeasuredEvent> events;
+  for (double c : {0.2, 0.5, 0.8}) events.push_back(synthetic_two_hit(1.0, c));
+  ReconstructionStats stats;
+  const auto rings = reconstructor_.reconstruct_all(events, &stats);
+  EXPECT_EQ(stats.total(), events.size());
+  std::size_t individually_accepted = 0;
+  for (const auto& ev : events)
+    if (reconstructor_.reconstruct(ev)) ++individually_accepted;
+  EXPECT_EQ(rings.size(), individually_accepted);
+}
+
+TEST_F(ReconstructionTest, TruthTagsCarriedOntoRing) {
+  auto ev = synthetic_two_hit(1.0, 0.4);
+  ev.origin = detector::Origin::kBackground;
+  const auto ring = reconstructor_.reconstruct(ev);
+  ASSERT_TRUE(ring.has_value());
+  EXPECT_EQ(ring->origin, detector::Origin::kBackground);
+  EXPECT_NEAR(ring->true_direction.z, -1.0, 1e-12);
+}
+
+TEST_F(ReconstructionTest, ThreeHitOrderingRecoveredFromGeometry) {
+  // Build a clean 3-hit trajectory: two scatters then photoabsorption,
+  // presented in scrambled order; the chi^2 ordering must recover it.
+  const double e0 = 1.2;
+  const double c1 = 0.55;
+  const double e1_out = physics::compton_scattered_energy(e0, c1);
+  const double dep1 = e0 - e1_out;
+  const double c2 = 0.30;
+  const double e2_out = physics::compton_scattered_energy(e1_out, c2);
+  const double dep2 = e1_out - e2_out;
+
+  const core::Vec3 p0{0.0, 0.0, -0.5};
+  const double s1 = std::sqrt(1.0 - c1 * c1);
+  const core::Vec3 d1{s1, 0.0, -c1};
+  const core::Vec3 p1 = p0 + d1 * 9.0;
+  // Second scatter: rotate by theta2 about d1 (pick the in-plane one).
+  const core::Mat3 frame = core::Mat3::frame_to(d1);
+  const double s2 = std::sqrt(1.0 - c2 * c2);
+  const core::Vec3 d2 = frame * core::Vec3{s2, 0.0, c2};
+  const core::Vec3 p2 = p1 + d2 * 8.0;
+
+  const auto make_hit = [](const core::Vec3& p, double e, int layer) {
+    MeasuredHit h;
+    h.position = p;
+    h.energy = e;
+    h.sigma_energy = e * 0.01;
+    h.sigma_position = {0.1, 0.1, 0.1};
+    h.layer = layer;
+    return h;
+  };
+
+  MeasuredEvent ev;
+  // Scrambled order: last interaction first.
+  ev.hits = {make_hit(p2, e2_out, 2), make_hit(p0, dep1, 0),
+             make_hit(p1, dep2, 1)};
+  ev.true_direction = {0, 0, -1};
+  ev.true_energy = e0;
+  ev.fully_absorbed = true;
+
+  const auto ring = reconstructor_.reconstruct(ev);
+  ASSERT_TRUE(ring.has_value());
+  EXPECT_EQ(ring->n_hits, 3);
+  // Correct ordering implies hit1 is the p0 interaction...
+  EXPECT_NEAR((ring->hit1.position - p0).norm(), 0.0, 1e-9);
+  // ...and eta reproduces the first scattering cosine.
+  EXPECT_NEAR(ring->eta, c1, 0.05);
+}
+
+TEST_F(ReconstructionTest, SimulatedRingsMostlyContainTrueSource) {
+  // Property over the full chain: simulate GRB photons, digitize,
+  // reconstruct; a majority of accepted rings must constrain the true
+  // source within a few d_eta.
+  const detector::Geometry geometry;
+  const physics::Transport transport(geometry, material_);
+  const detector::ReadoutModel readout(geometry, {});
+  sim::GrbConfig grb;
+  grb.polar_deg = 20.0;
+  const sim::GrbSource source(grb, geometry);
+  core::Rng rng(42);
+  const core::Vec3 s = source.source_direction();
+
+  std::size_t accepted = 0;
+  std::size_t contained = 0;
+  for (int i = 0; i < 40000 && accepted < 250; ++i) {
+    const auto photon = source.sample_photon(rng);
+    auto raw = transport.propagate(photon.origin, photon.direction,
+                                   photon.energy, rng);
+    if (raw.hits.empty()) continue;
+    const auto measured = readout.read_out(raw, rng);
+    if (!measured) continue;
+    const auto ring = reconstructor_.reconstruct(*measured);
+    if (!ring) continue;
+    ++accepted;
+    if (std::abs(ring->eta_error(s)) < 4.0 * ring->d_eta) ++contained;
+  }
+  ASSERT_GE(accepted, 100u);
+  EXPECT_GT(static_cast<double>(contained) / static_cast<double>(accepted),
+            0.5);
+}
+
+TEST_F(ReconstructionTest, StatsBucketsSumToTotal) {
+  const detector::Geometry geometry;
+  const physics::Transport transport(geometry, material_);
+  const detector::ReadoutModel readout(geometry, {});
+  sim::GrbConfig grb;
+  const sim::GrbSource source(grb, geometry);
+  core::Rng rng(43);
+
+  std::vector<MeasuredEvent> events;
+  for (int i = 0; i < 5000; ++i) {
+    const auto photon = source.sample_photon(rng);
+    auto raw = transport.propagate(photon.origin, photon.direction,
+                                   photon.energy, rng);
+    if (raw.hits.empty()) continue;
+    if (auto m = readout.read_out(raw, rng)) events.push_back(*m);
+  }
+  ReconstructionStats stats;
+  const auto rings = reconstructor_.reconstruct_all(events, &stats);
+  EXPECT_EQ(stats.total(), events.size());
+  EXPECT_EQ(stats.accepted, rings.size());
+}
+
+}  // namespace
+}  // namespace adapt::recon

@@ -1,0 +1,124 @@
+#include "sim/light_curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/stats.hpp"
+#include "sim/exposure.hpp"
+
+namespace adapt::sim {
+namespace {
+
+TEST(LightCurve, PeakTimeMatchesAnalyticForm) {
+  LightCurveParams p;
+  p.t_start = 0.2;
+  p.rise = 0.01;
+  p.decay = 0.16;
+  const FredLightCurve lc(p, 1.0);
+  EXPECT_NEAR(lc.peak_time(), 0.2 + std::sqrt(0.01 * 0.16), 1e-12);
+  // The density is maximal at the peak.
+  const double peak = lc.density(lc.peak_time());
+  EXPECT_GT(peak, lc.density(lc.peak_time() - 0.02));
+  EXPECT_GT(peak, lc.density(lc.peak_time() + 0.05));
+}
+
+TEST(LightCurve, ZeroBeforeOnsetAndAfterWindow) {
+  const FredLightCurve lc({0.3, 0.01, 0.1}, 1.0);
+  EXPECT_DOUBLE_EQ(lc.density(0.1), 0.0);
+  EXPECT_DOUBLE_EQ(lc.density(0.3), 0.0);
+  EXPECT_GT(lc.density(0.35), 0.0);
+  EXPECT_DOUBLE_EQ(lc.density(1.0), 0.0);
+}
+
+TEST(LightCurve, SamplesRespectSupport) {
+  const FredLightCurve lc({0.25, 0.02, 0.12}, 1.0);
+  core::Rng rng(1);
+  for (int i = 0; i < 3000; ++i) {
+    const double t = lc.sample(rng);
+    ASSERT_GE(t, 0.25);
+    ASSERT_LT(t, 1.0);
+  }
+}
+
+TEST(LightCurve, SampleDistributionConcentratedAroundPulse) {
+  const LightCurveParams p{0.2, 0.01, 0.15};
+  const FredLightCurve lc(p, 1.0);
+  core::Rng rng(2);
+  std::vector<double> times;
+  for (int i = 0; i < 20000; ++i) times.push_back(lc.sample(rng));
+  std::sort(times.begin(), times.end());
+  // Most of a FRED pulse's mass sits within a few decay times.
+  const double q90 = times[static_cast<std::size_t>(0.9 * times.size())];
+  EXPECT_LT(q90, p.t_start + 4.0 * p.decay);
+  const double q10 = times[static_cast<std::size_t>(0.1 * times.size())];
+  EXPECT_GT(q10, p.t_start);
+}
+
+TEST(LightCurve, SampleHistogramMatchesDensity) {
+  const FredLightCurve lc({0.1, 0.02, 0.2}, 1.0);
+  core::Rng rng(3);
+  constexpr int kBins = 9;
+  std::vector<double> counts(kBins, 0.0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double t = lc.sample(rng);
+    auto bin = static_cast<int>(t * kBins);
+    if (bin >= kBins) bin = kBins - 1;
+    counts[static_cast<std::size_t>(bin)] += 1.0;
+  }
+  // Expected per bin from the density, trapezoid-integrated.
+  std::vector<double> expected(kBins, 0.0);
+  double total = 0.0;
+  for (int b = 0; b < kBins; ++b) {
+    double mass = 0.0;
+    for (int s = 0; s < 200; ++s) {
+      const double t = (b + (s + 0.5) / 200.0) / kBins;
+      mass += lc.density(t);
+    }
+    expected[static_cast<std::size_t>(b)] = mass;
+    total += mass;
+  }
+  for (int b = 0; b < kBins; ++b) {
+    EXPECT_NEAR(counts[static_cast<std::size_t>(b)] / n,
+                expected[static_cast<std::size_t>(b)] / total,
+                0.01)
+        << "bin " << b;
+  }
+}
+
+TEST(LightCurve, ValidatesParameters) {
+  EXPECT_THROW(FredLightCurve({0.2, 0.0, 0.1}, 1.0), std::invalid_argument);
+  EXPECT_THROW(FredLightCurve({1.5, 0.01, 0.1}, 1.0), std::invalid_argument);
+  EXPECT_THROW(FredLightCurve({0.2, 0.01, 0.1}, 0.0), std::invalid_argument);
+}
+
+TEST(LightCurve, ExposureAssignsBurstTimesFromPulse) {
+  // Integration: GRB events in a mixed window carry pulse-shaped
+  // times, background events are uniform.
+  const detector::Geometry geometry;
+  const auto material = detector::Material::csi();
+  const ExposureSimulator simulator(geometry, material);
+  core::Rng rng(4);
+  const Exposure e = simulator.simulate(GrbConfig{}, BackgroundConfig{}, rng);
+  core::RunningStat grb_times;
+  core::RunningStat bkg_times;
+  for (const auto& ev : e.events) {
+    ASSERT_GE(ev.time_s, 0.0);
+    ASSERT_LE(ev.time_s, 1.0);
+    if (ev.origin == detector::Origin::kGrb)
+      grb_times.add(ev.time_s);
+    else
+      bkg_times.add(ev.time_s);
+  }
+  // Background uniform: mean ~0.5; GRB pulse: concentrated after
+  // onset with mean well below the window middle + decay tail.
+  EXPECT_NEAR(bkg_times.mean(), 0.5, 0.05);
+  EXPECT_GT(grb_times.mean(), 0.2);
+  EXPECT_LT(grb_times.mean(), 0.45);
+  EXPECT_LT(grb_times.stddev(), bkg_times.stddev());
+}
+
+}  // namespace
+}  // namespace adapt::sim

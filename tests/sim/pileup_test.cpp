@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "recon/event_reconstruction.hpp"
+#include "sim/exposure.hpp"
+
+namespace adapt::sim {
+namespace {
+
+class PileupTest : public ::testing::Test {
+ protected:
+  detector::Geometry geometry_{detector::GeometryConfig{}};
+  detector::Material material_ = detector::Material::csi();
+  ExposureSimulator simulator_{geometry_, material_};
+};
+
+TEST_F(PileupTest, DisabledByDefault) {
+  core::Rng rng(1);
+  const Exposure e = simulator_.simulate(GrbConfig{}, BackgroundConfig{}, rng);
+  EXPECT_EQ(e.piled_up_events, 0u);
+}
+
+TEST_F(PileupTest, ZeroWindowMergesNothing) {
+  core::Rng rng(2);
+  PileupConfig pileup;
+  pileup.detection_latency_s = 0.0;
+  const Exposure e =
+      simulator_.simulate(GrbConfig{}, BackgroundConfig{}, rng, pileup);
+  EXPECT_EQ(e.piled_up_events, 0u);
+}
+
+TEST_F(PileupTest, MergeRateScalesWithWindow) {
+  // Expected merges ~ N^2 * tau / (2 T): a 10x window gives ~10x the
+  // piled-up pairs while the pileup fraction stays small.  (The
+  // detected-event rate is ~1.4e4 per second, so windows must sit
+  // well below ~7e-5 s to stay out of saturation.)
+  core::Rng rng1(3);
+  core::Rng rng2(3);
+  PileupConfig narrow;
+  narrow.detection_latency_s = 2e-7;
+  PileupConfig wide;
+  wide.detection_latency_s = 2e-6;
+  const Exposure a =
+      simulator_.simulate(GrbConfig{}, BackgroundConfig{}, rng1, narrow);
+  const Exposure b =
+      simulator_.simulate(GrbConfig{}, BackgroundConfig{}, rng2, wide);
+  ASSERT_GT(b.piled_up_events, 0u);
+  EXPECT_GT(b.piled_up_events, 3 * a.piled_up_events);
+}
+
+TEST_F(PileupTest, EventCountDropsByMergedPairs) {
+  core::Rng rng_clean(4);
+  core::Rng rng_piled(4);
+  PileupConfig pileup;
+  pileup.detection_latency_s = 1e-4;
+  const Exposure clean =
+      simulator_.simulate(GrbConfig{}, BackgroundConfig{}, rng_clean);
+  const Exposure piled =
+      simulator_.simulate(GrbConfig{}, BackgroundConfig{}, rng_piled, pileup);
+  // Same photon histories (same seed) until the pileup stage.
+  EXPECT_EQ(piled.events.size() + piled.piled_up_events,
+            clean.events.size());
+}
+
+TEST_F(PileupTest, MergedEventsCarryCombinedHits) {
+  core::Rng rng(5);
+  PileupConfig pileup;
+  pileup.detection_latency_s = 5e-3;  // Aggressive: many merges.
+  const Exposure e =
+      simulator_.simulate(GrbConfig{}, BackgroundConfig{}, rng, pileup);
+  ASSERT_GT(e.piled_up_events, 10u);
+  // Merged events are flagged not-fully-absorbed, so the set must
+  // contain such events with larger-than-typical hit counts.
+  std::size_t big_partial = 0;
+  for (const auto& ev : e.events) {
+    if (!ev.fully_absorbed && ev.hits.size() >= 3) ++big_partial;
+  }
+  EXPECT_GT(big_partial, 0u);
+}
+
+TEST_F(PileupTest, PileupDegradesRingQuality) {
+  // Corrupted multi-photon events either fail reconstruction or give
+  // wrong rings: the accepted-ring yield per event must drop.
+  const recon::EventReconstructor reconstructor(material_, {});
+  core::Rng rng_clean(6);
+  core::Rng rng_piled(6);
+  PileupConfig pileup;
+  pileup.detection_latency_s = 2e-3;
+  const Exposure clean =
+      simulator_.simulate(GrbConfig{}, BackgroundConfig{}, rng_clean);
+  const Exposure piled =
+      simulator_.simulate(GrbConfig{}, BackgroundConfig{}, rng_piled, pileup);
+  const auto rings_clean = reconstructor.reconstruct_all(clean.events);
+  const auto rings_piled = reconstructor.reconstruct_all(piled.events);
+  EXPECT_LT(rings_piled.size(), rings_clean.size());
+}
+
+}  // namespace
+}  // namespace adapt::sim

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.hpp"
+#include "core/units.hpp"
+#include "detector/geometry.hpp"
+#include "sim/background.hpp"
+#include "sim/grb_source.hpp"
+
+namespace adapt::sim {
+namespace {
+
+TEST(GrbSource, SourceDirectionMatchesConfig) {
+  const detector::Geometry g;
+  GrbConfig c;
+  c.polar_deg = 40.0;
+  c.azimuth_deg = 100.0;
+  const GrbSource src(c, g);
+  const core::Vec3 s = src.source_direction();
+  EXPECT_NEAR(core::rad_to_deg(core::polar_of(s)), 40.0, 1e-9);
+  EXPECT_NEAR(core::rad_to_deg(core::azimuth_of(s)), 100.0, 1e-9);
+}
+
+TEST(GrbSource, PhotonsTravelOppositeToSource) {
+  const detector::Geometry g;
+  GrbConfig c;
+  c.polar_deg = 25.0;
+  const GrbSource src(c, g);
+  core::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const SourcePhoton p = src.sample_photon(rng);
+    EXPECT_NEAR((p.direction + src.source_direction()).norm(), 0.0, 1e-12);
+  }
+}
+
+TEST(GrbSource, ExpectedPhotonsScaleWithFluence) {
+  const detector::Geometry g;
+  GrbConfig c1;
+  c1.fluence = 1.0;
+  GrbConfig c2;
+  c2.fluence = 2.0;
+  const GrbSource s1(c1, g);
+  const GrbSource s2(c2, g);
+  EXPECT_NEAR(s2.expected_photons() / s1.expected_photons(), 2.0, 1e-9);
+}
+
+TEST(GrbSource, ExpectedPhotonsMatchesFluenceDefinition) {
+  const detector::Geometry g;
+  GrbConfig c;
+  c.fluence = 1.0;
+  const GrbSource src(c, g);
+  const BandSpectrum spec(c.spectrum);
+  const double area = core::kPi * src.aperture_radius() *
+                      src.aperture_radius();
+  EXPECT_NEAR(src.expected_photons(), area / spec.mean_energy(),
+              0.01 * src.expected_photons());
+}
+
+TEST(GrbSource, PhotonOriginsUpstreamOfDetector) {
+  const detector::Geometry g;
+  GrbConfig c;
+  c.polar_deg = 0.0;  // Photons travel straight down.
+  const GrbSource src(c, g);
+  core::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const SourcePhoton p = src.sample_photon(rng);
+    EXPECT_GT(p.origin.z, 0.0);  // Above the top tile surface.
+    EXPECT_GT(p.energy, 0.0);
+  }
+}
+
+TEST(GrbSource, PlaneWaveCoversDetectorSilhouette) {
+  // At normal incidence the beam must illuminate the whole top tile.
+  const detector::Geometry g;
+  GrbConfig c;
+  c.polar_deg = 0.0;
+  const GrbSource src(c, g);
+  core::Rng rng(3);
+  double max_x = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    max_x = std::max(max_x, std::abs(src.sample_photon(rng).origin.x));
+  }
+  EXPECT_GT(max_x, g.config().tile_half_width);
+}
+
+TEST(GrbSource, RejectsBelowHorizonSources) {
+  const detector::Geometry g;
+  GrbConfig c;
+  c.polar_deg = 95.0;
+  EXPECT_THROW(GrbSource(c, g), std::invalid_argument);
+  c.polar_deg = -5.0;
+  EXPECT_THROW(GrbSource(c, g), std::invalid_argument);
+}
+
+TEST(GrbSource, PoissonCountFluctuates) {
+  const detector::Geometry g;
+  const GrbSource src(GrbConfig{}, g);
+  core::Rng rng(4);
+  core::RunningStat s;
+  for (int i = 0; i < 300; ++i)
+    s.add(static_cast<double>(src.sample_photon_count(rng)));
+  EXPECT_NEAR(s.mean(), src.expected_photons(),
+              4.0 * std::sqrt(src.expected_photons() / 300.0) *
+                  std::sqrt(300.0));
+  EXPECT_GT(s.stddev(), 0.0);
+}
+
+TEST(Background, ExpectedCountScalesWithExposure) {
+  const detector::Geometry g;
+  BackgroundConfig c;
+  c.exposure_seconds = 2.0;
+  const BackgroundModel m(c, g);
+  EXPECT_DOUBLE_EQ(m.expected_photons(), 2.0 * c.photons_per_second);
+}
+
+TEST(Background, AlbedoFractionControlsUpwardFlux) {
+  const detector::Geometry g;
+  BackgroundConfig c;
+  c.albedo_fraction = 1.0;
+  const BackgroundModel all_albedo(c, g);
+  core::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GT(all_albedo.sample_photon(rng).direction.z, 0.0);
+  }
+  c.albedo_fraction = 0.0;
+  const BackgroundModel all_sky(c, g);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(all_sky.sample_photon(rng).direction.z, 0.0);
+  }
+}
+
+TEST(Background, MixtureFractionApproximatelyRespected) {
+  const detector::Geometry g;
+  BackgroundConfig c;
+  c.albedo_fraction = 0.75;
+  const BackgroundModel m(c, g);
+  core::Rng rng(6);
+  int upward = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (m.sample_photon(rng).direction.z > 0.0) ++upward;
+  EXPECT_NEAR(upward / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST(Background, AnnihilationLinePresent) {
+  const detector::Geometry g;
+  BackgroundConfig c;
+  const BackgroundModel m(c, g);
+  core::Rng rng(7);
+  int line = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (std::abs(m.sample_photon(rng).energy - 0.511) < 1e-12) ++line;
+  EXPECT_NEAR(line / static_cast<double>(n), c.annihilation_line_fraction,
+              0.01);
+}
+
+TEST(Background, EnergiesWithinConfiguredBand) {
+  const detector::Geometry g;
+  const BackgroundModel m(BackgroundConfig{}, g);
+  core::Rng rng(8);
+  for (int i = 0; i < 3000; ++i) {
+    const double e = m.sample_photon(rng).energy;
+    ASSERT_GE(e, 0.03);
+    ASSERT_LE(e, 10.0);
+  }
+}
+
+TEST(Background, RejectsInvalidConfig) {
+  const detector::Geometry g;
+  BackgroundConfig c;
+  c.albedo_fraction = 1.5;
+  EXPECT_THROW(BackgroundModel(c, g), std::invalid_argument);
+  c = BackgroundConfig{};
+  c.exposure_seconds = 0.0;
+  EXPECT_THROW(BackgroundModel(c, g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adapt::sim

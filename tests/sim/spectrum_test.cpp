@@ -1,0 +1,133 @@
+#include "sim/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/stats.hpp"
+
+namespace adapt::sim {
+namespace {
+
+TEST(BandSpectrum, SamplesWithinBounds) {
+  const BandSpectrum spec;
+  core::Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const double e = spec.sample(rng);
+    ASSERT_GE(e, spec.e_min());
+    ASSERT_LE(e, spec.e_max());
+  }
+}
+
+TEST(BandSpectrum, DensityContinuousAtBreak) {
+  const BandParams p;
+  const BandSpectrum spec(p);
+  const double e_break = (p.alpha - p.beta) * p.e_peak / (2.0 + p.alpha);
+  const double below = spec.density(e_break * 0.999);
+  const double above = spec.density(e_break * 1.001);
+  EXPECT_NEAR(below / above, 1.0, 0.02);
+}
+
+TEST(BandSpectrum, MeanEnergyMatchesMonteCarlo) {
+  const BandSpectrum spec;
+  core::Rng rng(2);
+  core::RunningStat s;
+  for (int i = 0; i < 100000; ++i) s.add(spec.sample(rng));
+  EXPECT_NEAR(s.mean(), spec.mean_energy(), 0.01 * spec.mean_energy());
+}
+
+TEST(BandSpectrum, SoftSpectrumDominatedByLowEnergies) {
+  const BandSpectrum spec;
+  core::Rng rng(3);
+  int below_peak = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (spec.sample(rng) < spec.params().e_peak) ++below_peak;
+  EXPECT_GT(below_peak / static_cast<double>(n), 0.6);
+}
+
+TEST(BandSpectrum, SampleDistributionMatchesDensity) {
+  // Chi-square-style check on a coarse log grid.
+  const BandSpectrum spec;
+  core::Rng rng(4);
+  constexpr int kBins = 8;
+  const double lmin = std::log(spec.e_min());
+  const double lmax = std::log(spec.e_max());
+  std::vector<double> counts(kBins, 0.0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double e = spec.sample(rng);
+    auto bin = static_cast<int>((std::log(e) - lmin) / (lmax - lmin) * kBins);
+    if (bin >= kBins) bin = kBins - 1;
+    counts[static_cast<std::size_t>(bin)] += 1.0;
+  }
+  // Expected mass per bin by trapezoid integration of E * density in
+  // log space (same measure the sampler uses).
+  std::vector<double> expected(kBins, 0.0);
+  double total = 0.0;
+  constexpr int kSub = 200;
+  for (int b = 0; b < kBins; ++b) {
+    const double l0 = lmin + (lmax - lmin) * b / kBins;
+    const double l1 = lmin + (lmax - lmin) * (b + 1) / kBins;
+    double mass = 0.0;
+    for (int s = 0; s < kSub; ++s) {
+      const double la = l0 + (l1 - l0) * s / kSub;
+      const double lb = l0 + (l1 - l0) * (s + 1) / kSub;
+      const double ea = std::exp(la);
+      const double eb = std::exp(lb);
+      mass += 0.5 * (ea * spec.density(ea) + eb * spec.density(eb)) *
+              (lb - la);
+    }
+    expected[static_cast<std::size_t>(b)] = mass;
+    total += mass;
+  }
+  for (int b = 0; b < kBins; ++b) {
+    const double want = expected[static_cast<std::size_t>(b)] / total;
+    const double got = counts[static_cast<std::size_t>(b)] / n;
+    EXPECT_NEAR(got, want, 0.01 + 0.05 * want) << "bin " << b;
+  }
+}
+
+TEST(BandSpectrum, RejectsInvalidParams) {
+  BandParams p;
+  p.alpha = -2.5;
+  EXPECT_THROW(BandSpectrum{p}, std::invalid_argument);
+  p = BandParams{};
+  p.beta = -0.5;  // Must be steeper than alpha.
+  EXPECT_THROW(BandSpectrum{p}, std::invalid_argument);
+}
+
+TEST(PowerLawSpectrum, IndexControlsHardness) {
+  core::Rng rng(5);
+  const PowerLawSpectrum soft(2.5, 0.03, 10.0);
+  const PowerLawSpectrum hard(1.2, 0.03, 10.0);
+  EXPECT_GT(hard.mean_energy(), soft.mean_energy());
+}
+
+TEST(PowerLawSpectrum, AnalyticMeanMatches) {
+  // For dN/dE ~ E^-2 on [a, b]: mean = ln(b/a) / (1/a - 1/b).
+  const double a = 0.03;
+  const double b = 10.0;
+  const PowerLawSpectrum spec(2.0, a, b);
+  const double expected = std::log(b / a) / (1.0 / a - 1.0 / b);
+  EXPECT_NEAR(spec.mean_energy(), expected, 0.01 * expected);
+}
+
+TEST(PowerLawSpectrum, SamplesWithinBounds) {
+  const PowerLawSpectrum spec(1.4, 0.05, 5.0);
+  core::Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    const double e = spec.sample(rng);
+    ASSERT_GE(e, 0.05);
+    ASSERT_LE(e, 5.0);
+  }
+}
+
+TEST(PowerLawSpectrum, RejectsBadBounds) {
+  EXPECT_THROW(PowerLawSpectrum(2.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(PowerLawSpectrum(2.0, 1.0, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adapt::sim

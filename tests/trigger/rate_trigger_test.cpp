@@ -1,0 +1,176 @@
+#include "trigger/rate_trigger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "sim/exposure.hpp"
+
+namespace adapt::trigger {
+namespace {
+
+// ---------------------------------------------------------------------
+// The Poisson-significance statistic underneath the trigger.
+
+TEST(PoissonSignificance, TailProbabilityKnownValues) {
+  // P(X >= 1 | mu) = 1 - e^-mu.
+  for (double mu : {0.1, 1.0, 3.0}) {
+    EXPECT_NEAR(std::exp(core::poisson_tail_log_p(1, mu)),
+                1.0 - std::exp(-mu), 1e-10);
+  }
+  // P(X >= k | 0) = 0 for k > 0; P(X >= 0 | mu) = 1.
+  EXPECT_EQ(core::poisson_tail_log_p(0, 5.0), 0.0);
+  EXPECT_TRUE(std::isinf(core::poisson_tail_log_p(3, 0.0)));
+}
+
+TEST(PoissonSignificance, MatchesNormalApproximationForLargeMu) {
+  // At mu = 10000, k = 10300 (3 sigma) the exact tail must agree with
+  // the Gaussian to a few percent in sigma.
+  const double sigma = core::poisson_significance_sigma(10300, 10000.0);
+  EXPECT_NEAR(sigma, 3.0, 0.1);
+}
+
+TEST(PoissonSignificance, MonotonicInCounts) {
+  double prev = 0.0;
+  for (std::uint64_t k = 100; k <= 200; k += 10) {
+    const double s = core::poisson_significance_sigma(k, 100.0);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+  EXPECT_GT(prev, 5.0);
+}
+
+TEST(PoissonSignificance, UnderFluctuationIsZero) {
+  EXPECT_DOUBLE_EQ(core::poisson_significance_sigma(50, 100.0), 0.0);
+}
+
+TEST(NormalQuantile, RoundTripsKnownPoints) {
+  EXPECT_NEAR(core::normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(core::normal_quantile(0.8413447), 1.0, 1e-4);
+  EXPECT_NEAR(core::normal_quantile(0.9772499), 2.0, 1e-4);
+  EXPECT_NEAR(core::normal_quantile(1.0 - 2.866516e-7), 5.0, 1e-3);
+  EXPECT_THROW(core::normal_quantile(0.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Trigger behaviour on synthetic time streams.
+
+std::vector<double> uniform_times(double rate_hz, double exposure_s,
+                                  core::Rng& rng) {
+  const auto n = rng.poisson(rate_hz * exposure_s);
+  std::vector<double> times;
+  times.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    times.push_back(rng.uniform(0.0, exposure_s));
+  return times;
+}
+
+TEST(RateTrigger, QuietBackgroundDoesNotTrigger) {
+  TriggerConfig cfg;
+  cfg.background_rate_hz = 3000.0;
+  const RateTrigger trigger(cfg);
+  core::Rng rng(1);
+  int false_alarms = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto result =
+        trigger.scan(uniform_times(3000.0, 1.0, rng), 1.0);
+    if (result.triggered) ++false_alarms;
+  }
+  // 5-sigma threshold with ~500 correlated windows per trial: false
+  // alarms should be absent at this sample size.
+  EXPECT_EQ(false_alarms, 0);
+}
+
+TEST(RateTrigger, BurstOnTopOfBackgroundTriggers) {
+  TriggerConfig cfg;
+  cfg.background_rate_hz = 3000.0;
+  const RateTrigger trigger(cfg);
+  core::Rng rng(2);
+  auto times = uniform_times(3000.0, 1.0, rng);
+  // A burst: 400 extra events concentrated in [0.30, 0.40].
+  for (int i = 0; i < 400; ++i) times.push_back(rng.uniform(0.30, 0.40));
+  const auto result = trigger.scan(std::move(times), 1.0);
+  ASSERT_TRUE(result.triggered);
+  EXPECT_GT(result.significance_sigma, 5.0);
+  // The best window must overlap the burst interval.
+  EXPECT_LT(result.t_start, 0.40);
+  EXPECT_GT(result.t_end, 0.30);
+}
+
+TEST(RateTrigger, SignificanceGrowsWithBurstStrength) {
+  TriggerConfig cfg;
+  cfg.background_rate_hz = 3000.0;
+  const RateTrigger trigger(cfg);
+  double prev = 0.0;
+  for (const int extra : {100, 300, 900}) {
+    core::Rng rng(3);
+    auto times = uniform_times(3000.0, 1.0, rng);
+    for (int i = 0; i < extra; ++i)
+      times.push_back(rng.uniform(0.5, 0.6));
+    const double sigma =
+        trigger.scan(std::move(times), 1.0).significance_sigma;
+    EXPECT_GT(sigma, prev);
+    prev = sigma;
+  }
+}
+
+TEST(RateTrigger, ShortSpikeFoundOnShortTimescale) {
+  TriggerConfig cfg;
+  cfg.background_rate_hz = 3000.0;
+  const RateTrigger trigger(cfg);
+  core::Rng rng(4);
+  auto times = uniform_times(3000.0, 1.0, rng);
+  // A 10 ms spike: only the short windows resolve it cleanly.
+  for (int i = 0; i < 120; ++i) times.push_back(rng.uniform(0.700, 0.710));
+  const auto result = trigger.scan(std::move(times), 1.0);
+  ASSERT_TRUE(result.triggered);
+  EXPECT_LE(result.t_end - result.t_start, 0.065);
+}
+
+TEST(RateTrigger, ConfigValidation) {
+  TriggerConfig cfg;
+  cfg.window_sizes_s = {};
+  EXPECT_THROW(RateTrigger{cfg}, std::invalid_argument);
+  cfg = TriggerConfig{};
+  cfg.stride_fraction = 0.0;
+  EXPECT_THROW(RateTrigger{cfg}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: trigger on a simulated exposure.
+
+TEST(RateTrigger, DetectsSimulatedBurst) {
+  const detector::Geometry geometry;
+  const auto material = detector::Material::csi();
+  const sim::ExposureSimulator simulator(geometry, material);
+  core::Rng rng(5);
+
+  // Calibrate the background rate from a burst-free window.
+  const auto quiet =
+      simulator.simulate_background_only(sim::BackgroundConfig{}, rng);
+  TriggerConfig cfg;
+  cfg.background_rate_hz =
+      RateTrigger::estimate_background_rate(quiet.events, 1.0);
+  const RateTrigger trigger(cfg);
+
+  // Background-only must stay quiet...
+  const auto quiet2 =
+      simulator.simulate_background_only(sim::BackgroundConfig{}, rng);
+  EXPECT_FALSE(trigger.scan(quiet2.events, 1.0).triggered);
+
+  // ...and a 1 MeV/cm^2 burst must fire decisively.
+  const auto burst =
+      simulator.simulate(sim::GrbConfig{}, sim::BackgroundConfig{}, rng);
+  const auto result = trigger.scan(burst.events, 1.0);
+  ASSERT_TRUE(result.triggered);
+  EXPECT_GT(result.significance_sigma, 10.0);
+  // The trigger window should overlap the light-curve pulse.
+  const sim::LightCurveParams lc;  // Defaults used by GrbConfig.
+  EXPECT_GT(result.t_end, lc.t_start);
+  EXPECT_LT(result.t_start, lc.t_start + 5.0 * lc.decay);
+}
+
+}  // namespace
+}  // namespace adapt::trigger
