@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_deta.dir/bench_ablation_deta.cpp.o"
+  "CMakeFiles/bench_ablation_deta.dir/bench_ablation_deta.cpp.o.d"
+  "bench_ablation_deta"
+  "bench_ablation_deta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_deta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

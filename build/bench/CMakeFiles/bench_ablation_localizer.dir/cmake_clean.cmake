@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_localizer.dir/bench_ablation_localizer.cpp.o"
+  "CMakeFiles/bench_ablation_localizer.dir/bench_ablation_localizer.cpp.o.d"
+  "bench_ablation_localizer"
+  "bench_ablation_localizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_localizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_pileup.dir/bench_ext_pileup.cpp.o"
+  "CMakeFiles/bench_ext_pileup.dir/bench_ext_pileup.cpp.o.d"
+  "bench_ext_pileup"
+  "bench_ext_pileup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pileup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

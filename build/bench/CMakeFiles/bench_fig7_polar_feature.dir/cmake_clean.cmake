@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_polar_feature.dir/bench_fig7_polar_feature.cpp.o"
+  "CMakeFiles/bench_fig7_polar_feature.dir/bench_fig7_polar_feature.cpp.o.d"
+  "bench_fig7_polar_feature"
+  "bench_fig7_polar_feature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_polar_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nn_kernels.dir/bench_nn_kernels.cpp.o"
+  "CMakeFiles/bench_nn_kernels.dir/bench_nn_kernels.cpp.o.d"
+  "bench_nn_kernels"
+  "bench_nn_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nn_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

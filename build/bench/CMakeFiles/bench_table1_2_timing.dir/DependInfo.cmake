@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_2_timing.cpp" "bench/CMakeFiles/bench_table1_2_timing.dir/bench_table1_2_timing.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_2_timing.dir/bench_table1_2_timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/adapt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/adapt_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/loc/CMakeFiles/adapt_loc.dir/DependInfo.cmake"
+  "/root/repo/build/src/recon/CMakeFiles/adapt_recon.dir/DependInfo.cmake"
+  "/root/repo/build/src/trigger/CMakeFiles/adapt_trigger.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adapt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/adapt_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/detector/CMakeFiles/adapt_detector.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/adapt_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/adapt_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adapt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adapt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

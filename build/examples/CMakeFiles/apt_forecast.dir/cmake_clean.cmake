@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_forecast.dir/apt_forecast.cpp.o"
+  "CMakeFiles/apt_forecast.dir/apt_forecast.cpp.o.d"
+  "apt_forecast"
+  "apt_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

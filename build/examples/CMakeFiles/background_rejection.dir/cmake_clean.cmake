@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_rejection.dir/background_rejection.cpp.o"
+  "CMakeFiles/background_rejection.dir/background_rejection.cpp.o.d"
+  "background_rejection"
+  "background_rejection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_rejection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

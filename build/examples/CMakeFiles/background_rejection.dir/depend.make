@@ -1,0 +1,2 @@
+# Empty dependencies file for background_rejection.
+# This may be replaced when dependencies are built.

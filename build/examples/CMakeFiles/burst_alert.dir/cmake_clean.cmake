@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_alert.dir/burst_alert.cpp.o"
+  "CMakeFiles/burst_alert.dir/burst_alert.cpp.o.d"
+  "burst_alert"
+  "burst_alert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_alert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

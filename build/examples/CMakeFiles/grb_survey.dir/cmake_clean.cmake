@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grb_survey.dir/grb_survey.cpp.o"
+  "CMakeFiles/grb_survey.dir/grb_survey.cpp.o.d"
+  "grb_survey"
+  "grb_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grb_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

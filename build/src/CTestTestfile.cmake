@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("detector")
+subdirs("physics")
+subdirs("sim")
+subdirs("recon")
+subdirs("trigger")
+subdirs("loc")
+subdirs("nn")
+subdirs("quant")
+subdirs("fpga")
+subdirs("pipeline")
+subdirs("eval")

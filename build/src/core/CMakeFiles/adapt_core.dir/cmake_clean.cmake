@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_core.dir/rng.cpp.o"
+  "CMakeFiles/adapt_core.dir/rng.cpp.o.d"
+  "CMakeFiles/adapt_core.dir/stats.cpp.o"
+  "CMakeFiles/adapt_core.dir/stats.cpp.o.d"
+  "CMakeFiles/adapt_core.dir/table.cpp.o"
+  "CMakeFiles/adapt_core.dir/table.cpp.o.d"
+  "libadapt_core.a"
+  "libadapt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

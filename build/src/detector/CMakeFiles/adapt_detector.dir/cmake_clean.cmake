@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_detector.dir/geometry.cpp.o"
+  "CMakeFiles/adapt_detector.dir/geometry.cpp.o.d"
+  "CMakeFiles/adapt_detector.dir/readout.cpp.o"
+  "CMakeFiles/adapt_detector.dir/readout.cpp.o.d"
+  "libadapt_detector.a"
+  "libadapt_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_eval.dir/containment.cpp.o"
+  "CMakeFiles/adapt_eval.dir/containment.cpp.o.d"
+  "CMakeFiles/adapt_eval.dir/dataset_gen.cpp.o"
+  "CMakeFiles/adapt_eval.dir/dataset_gen.cpp.o.d"
+  "CMakeFiles/adapt_eval.dir/model_provider.cpp.o"
+  "CMakeFiles/adapt_eval.dir/model_provider.cpp.o.d"
+  "CMakeFiles/adapt_eval.dir/ring_io.cpp.o"
+  "CMakeFiles/adapt_eval.dir/ring_io.cpp.o.d"
+  "CMakeFiles/adapt_eval.dir/trial.cpp.o"
+  "CMakeFiles/adapt_eval.dir/trial.cpp.o.d"
+  "libadapt_eval.a"
+  "libadapt_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_fpga.dir/hls_model.cpp.o"
+  "CMakeFiles/adapt_fpga.dir/hls_model.cpp.o.d"
+  "libadapt_fpga.a"
+  "libadapt_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

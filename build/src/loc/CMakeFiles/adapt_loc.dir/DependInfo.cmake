@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loc/grid_search.cpp" "src/loc/CMakeFiles/adapt_loc.dir/grid_search.cpp.o" "gcc" "src/loc/CMakeFiles/adapt_loc.dir/grid_search.cpp.o.d"
+  "/root/repo/src/loc/least_squares.cpp" "src/loc/CMakeFiles/adapt_loc.dir/least_squares.cpp.o" "gcc" "src/loc/CMakeFiles/adapt_loc.dir/least_squares.cpp.o.d"
+  "/root/repo/src/loc/likelihood.cpp" "src/loc/CMakeFiles/adapt_loc.dir/likelihood.cpp.o" "gcc" "src/loc/CMakeFiles/adapt_loc.dir/likelihood.cpp.o.d"
+  "/root/repo/src/loc/localizer.cpp" "src/loc/CMakeFiles/adapt_loc.dir/localizer.cpp.o" "gcc" "src/loc/CMakeFiles/adapt_loc.dir/localizer.cpp.o.d"
+  "/root/repo/src/loc/skymap.cpp" "src/loc/CMakeFiles/adapt_loc.dir/skymap.cpp.o" "gcc" "src/loc/CMakeFiles/adapt_loc.dir/skymap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/recon/CMakeFiles/adapt_recon.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/adapt_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/detector/CMakeFiles/adapt_detector.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adapt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_loc.dir/grid_search.cpp.o"
+  "CMakeFiles/adapt_loc.dir/grid_search.cpp.o.d"
+  "CMakeFiles/adapt_loc.dir/least_squares.cpp.o"
+  "CMakeFiles/adapt_loc.dir/least_squares.cpp.o.d"
+  "CMakeFiles/adapt_loc.dir/likelihood.cpp.o"
+  "CMakeFiles/adapt_loc.dir/likelihood.cpp.o.d"
+  "CMakeFiles/adapt_loc.dir/localizer.cpp.o"
+  "CMakeFiles/adapt_loc.dir/localizer.cpp.o.d"
+  "CMakeFiles/adapt_loc.dir/skymap.cpp.o"
+  "CMakeFiles/adapt_loc.dir/skymap.cpp.o.d"
+  "libadapt_loc.a"
+  "libadapt_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

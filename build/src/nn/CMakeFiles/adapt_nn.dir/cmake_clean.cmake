@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_nn.dir/activations.cpp.o"
+  "CMakeFiles/adapt_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/adapt_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/adapt_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/adapt_nn.dir/data.cpp.o"
+  "CMakeFiles/adapt_nn.dir/data.cpp.o.d"
+  "CMakeFiles/adapt_nn.dir/linear.cpp.o"
+  "CMakeFiles/adapt_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/adapt_nn.dir/loss.cpp.o"
+  "CMakeFiles/adapt_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/adapt_nn.dir/mlp.cpp.o"
+  "CMakeFiles/adapt_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/adapt_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/adapt_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/adapt_nn.dir/sequential.cpp.o"
+  "CMakeFiles/adapt_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/adapt_nn.dir/serialize.cpp.o"
+  "CMakeFiles/adapt_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/adapt_nn.dir/tensor.cpp.o"
+  "CMakeFiles/adapt_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/adapt_nn.dir/trainer.cpp.o"
+  "CMakeFiles/adapt_nn.dir/trainer.cpp.o.d"
+  "libadapt_nn.a"
+  "libadapt_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

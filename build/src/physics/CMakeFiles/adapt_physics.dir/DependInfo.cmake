@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/physics/compton.cpp" "src/physics/CMakeFiles/adapt_physics.dir/compton.cpp.o" "gcc" "src/physics/CMakeFiles/adapt_physics.dir/compton.cpp.o.d"
+  "/root/repo/src/physics/cross_sections.cpp" "src/physics/CMakeFiles/adapt_physics.dir/cross_sections.cpp.o" "gcc" "src/physics/CMakeFiles/adapt_physics.dir/cross_sections.cpp.o.d"
+  "/root/repo/src/physics/transport.cpp" "src/physics/CMakeFiles/adapt_physics.dir/transport.cpp.o" "gcc" "src/physics/CMakeFiles/adapt_physics.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detector/CMakeFiles/adapt_detector.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adapt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

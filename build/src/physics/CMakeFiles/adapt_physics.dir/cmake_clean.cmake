@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_physics.dir/compton.cpp.o"
+  "CMakeFiles/adapt_physics.dir/compton.cpp.o.d"
+  "CMakeFiles/adapt_physics.dir/cross_sections.cpp.o"
+  "CMakeFiles/adapt_physics.dir/cross_sections.cpp.o.d"
+  "CMakeFiles/adapt_physics.dir/transport.cpp.o"
+  "CMakeFiles/adapt_physics.dir/transport.cpp.o.d"
+  "libadapt_physics.a"
+  "libadapt_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

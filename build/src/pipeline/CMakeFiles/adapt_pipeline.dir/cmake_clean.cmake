@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_pipeline.dir/alert.cpp.o"
+  "CMakeFiles/adapt_pipeline.dir/alert.cpp.o.d"
+  "CMakeFiles/adapt_pipeline.dir/features.cpp.o"
+  "CMakeFiles/adapt_pipeline.dir/features.cpp.o.d"
+  "CMakeFiles/adapt_pipeline.dir/ml_localizer.cpp.o"
+  "CMakeFiles/adapt_pipeline.dir/ml_localizer.cpp.o.d"
+  "CMakeFiles/adapt_pipeline.dir/models.cpp.o"
+  "CMakeFiles/adapt_pipeline.dir/models.cpp.o.d"
+  "CMakeFiles/adapt_pipeline.dir/thresholds.cpp.o"
+  "CMakeFiles/adapt_pipeline.dir/thresholds.cpp.o.d"
+  "libadapt_pipeline.a"
+  "libadapt_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/fake_quant.cpp" "src/quant/CMakeFiles/adapt_quant.dir/fake_quant.cpp.o" "gcc" "src/quant/CMakeFiles/adapt_quant.dir/fake_quant.cpp.o.d"
+  "/root/repo/src/quant/fuse.cpp" "src/quant/CMakeFiles/adapt_quant.dir/fuse.cpp.o" "gcc" "src/quant/CMakeFiles/adapt_quant.dir/fuse.cpp.o.d"
+  "/root/repo/src/quant/qat_io.cpp" "src/quant/CMakeFiles/adapt_quant.dir/qat_io.cpp.o" "gcc" "src/quant/CMakeFiles/adapt_quant.dir/qat_io.cpp.o.d"
+  "/root/repo/src/quant/qat_linear.cpp" "src/quant/CMakeFiles/adapt_quant.dir/qat_linear.cpp.o" "gcc" "src/quant/CMakeFiles/adapt_quant.dir/qat_linear.cpp.o.d"
+  "/root/repo/src/quant/qparams.cpp" "src/quant/CMakeFiles/adapt_quant.dir/qparams.cpp.o" "gcc" "src/quant/CMakeFiles/adapt_quant.dir/qparams.cpp.o.d"
+  "/root/repo/src/quant/quantized_mlp.cpp" "src/quant/CMakeFiles/adapt_quant.dir/quantized_mlp.cpp.o" "gcc" "src/quant/CMakeFiles/adapt_quant.dir/quantized_mlp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/adapt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adapt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_quant.dir/fake_quant.cpp.o"
+  "CMakeFiles/adapt_quant.dir/fake_quant.cpp.o.d"
+  "CMakeFiles/adapt_quant.dir/fuse.cpp.o"
+  "CMakeFiles/adapt_quant.dir/fuse.cpp.o.d"
+  "CMakeFiles/adapt_quant.dir/qat_io.cpp.o"
+  "CMakeFiles/adapt_quant.dir/qat_io.cpp.o.d"
+  "CMakeFiles/adapt_quant.dir/qat_linear.cpp.o"
+  "CMakeFiles/adapt_quant.dir/qat_linear.cpp.o.d"
+  "CMakeFiles/adapt_quant.dir/qparams.cpp.o"
+  "CMakeFiles/adapt_quant.dir/qparams.cpp.o.d"
+  "CMakeFiles/adapt_quant.dir/quantized_mlp.cpp.o"
+  "CMakeFiles/adapt_quant.dir/quantized_mlp.cpp.o.d"
+  "libadapt_quant.a"
+  "libadapt_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recon/error_propagation.cpp" "src/recon/CMakeFiles/adapt_recon.dir/error_propagation.cpp.o" "gcc" "src/recon/CMakeFiles/adapt_recon.dir/error_propagation.cpp.o.d"
+  "/root/repo/src/recon/event_reconstruction.cpp" "src/recon/CMakeFiles/adapt_recon.dir/event_reconstruction.cpp.o" "gcc" "src/recon/CMakeFiles/adapt_recon.dir/event_reconstruction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/physics/CMakeFiles/adapt_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/detector/CMakeFiles/adapt_detector.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adapt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

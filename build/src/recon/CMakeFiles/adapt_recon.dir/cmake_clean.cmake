@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_recon.dir/error_propagation.cpp.o"
+  "CMakeFiles/adapt_recon.dir/error_propagation.cpp.o.d"
+  "CMakeFiles/adapt_recon.dir/event_reconstruction.cpp.o"
+  "CMakeFiles/adapt_recon.dir/event_reconstruction.cpp.o.d"
+  "libadapt_recon.a"
+  "libadapt_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

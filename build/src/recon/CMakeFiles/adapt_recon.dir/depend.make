@@ -1,0 +1,2 @@
+# Empty dependencies file for adapt_recon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/background.cpp" "src/sim/CMakeFiles/adapt_sim.dir/background.cpp.o" "gcc" "src/sim/CMakeFiles/adapt_sim.dir/background.cpp.o.d"
+  "/root/repo/src/sim/exposure.cpp" "src/sim/CMakeFiles/adapt_sim.dir/exposure.cpp.o" "gcc" "src/sim/CMakeFiles/adapt_sim.dir/exposure.cpp.o.d"
+  "/root/repo/src/sim/grb_source.cpp" "src/sim/CMakeFiles/adapt_sim.dir/grb_source.cpp.o" "gcc" "src/sim/CMakeFiles/adapt_sim.dir/grb_source.cpp.o.d"
+  "/root/repo/src/sim/light_curve.cpp" "src/sim/CMakeFiles/adapt_sim.dir/light_curve.cpp.o" "gcc" "src/sim/CMakeFiles/adapt_sim.dir/light_curve.cpp.o.d"
+  "/root/repo/src/sim/spectrum.cpp" "src/sim/CMakeFiles/adapt_sim.dir/spectrum.cpp.o" "gcc" "src/sim/CMakeFiles/adapt_sim.dir/spectrum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/physics/CMakeFiles/adapt_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/detector/CMakeFiles/adapt_detector.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adapt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

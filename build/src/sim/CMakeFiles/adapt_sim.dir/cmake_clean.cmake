@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_sim.dir/background.cpp.o"
+  "CMakeFiles/adapt_sim.dir/background.cpp.o.d"
+  "CMakeFiles/adapt_sim.dir/exposure.cpp.o"
+  "CMakeFiles/adapt_sim.dir/exposure.cpp.o.d"
+  "CMakeFiles/adapt_sim.dir/grb_source.cpp.o"
+  "CMakeFiles/adapt_sim.dir/grb_source.cpp.o.d"
+  "CMakeFiles/adapt_sim.dir/light_curve.cpp.o"
+  "CMakeFiles/adapt_sim.dir/light_curve.cpp.o.d"
+  "CMakeFiles/adapt_sim.dir/spectrum.cpp.o"
+  "CMakeFiles/adapt_sim.dir/spectrum.cpp.o.d"
+  "libadapt_sim.a"
+  "libadapt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

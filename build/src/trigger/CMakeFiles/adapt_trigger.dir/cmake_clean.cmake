@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_trigger.dir/rate_trigger.cpp.o"
+  "CMakeFiles/adapt_trigger.dir/rate_trigger.cpp.o.d"
+  "libadapt_trigger.a"
+  "libadapt_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_core_tests.dir/core/mat3_test.cpp.o"
+  "CMakeFiles/adapt_core_tests.dir/core/mat3_test.cpp.o.d"
+  "CMakeFiles/adapt_core_tests.dir/core/rng_test.cpp.o"
+  "CMakeFiles/adapt_core_tests.dir/core/rng_test.cpp.o.d"
+  "CMakeFiles/adapt_core_tests.dir/core/stats_test.cpp.o"
+  "CMakeFiles/adapt_core_tests.dir/core/stats_test.cpp.o.d"
+  "CMakeFiles/adapt_core_tests.dir/core/table_test.cpp.o"
+  "CMakeFiles/adapt_core_tests.dir/core/table_test.cpp.o.d"
+  "CMakeFiles/adapt_core_tests.dir/core/vec3_test.cpp.o"
+  "CMakeFiles/adapt_core_tests.dir/core/vec3_test.cpp.o.d"
+  "adapt_core_tests"
+  "adapt_core_tests.pdb"
+  "adapt_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

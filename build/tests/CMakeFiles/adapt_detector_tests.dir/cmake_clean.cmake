@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_detector_tests.dir/detector/geometry_test.cpp.o"
+  "CMakeFiles/adapt_detector_tests.dir/detector/geometry_test.cpp.o.d"
+  "CMakeFiles/adapt_detector_tests.dir/detector/readout_test.cpp.o"
+  "CMakeFiles/adapt_detector_tests.dir/detector/readout_test.cpp.o.d"
+  "adapt_detector_tests"
+  "adapt_detector_tests.pdb"
+  "adapt_detector_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_detector_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_eval_tests.dir/eval/dataset_gen_test.cpp.o"
+  "CMakeFiles/adapt_eval_tests.dir/eval/dataset_gen_test.cpp.o.d"
+  "CMakeFiles/adapt_eval_tests.dir/eval/ring_io_test.cpp.o"
+  "CMakeFiles/adapt_eval_tests.dir/eval/ring_io_test.cpp.o.d"
+  "CMakeFiles/adapt_eval_tests.dir/eval/trial_containment_test.cpp.o"
+  "CMakeFiles/adapt_eval_tests.dir/eval/trial_containment_test.cpp.o.d"
+  "adapt_eval_tests"
+  "adapt_eval_tests.pdb"
+  "adapt_eval_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_eval_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

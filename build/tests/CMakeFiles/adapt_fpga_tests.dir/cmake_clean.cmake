@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_fpga_tests.dir/fpga/hls_model_test.cpp.o"
+  "CMakeFiles/adapt_fpga_tests.dir/fpga/hls_model_test.cpp.o.d"
+  "adapt_fpga_tests"
+  "adapt_fpga_tests.pdb"
+  "adapt_fpga_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_fpga_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_integration_tests.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/adapt_integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "adapt_integration_tests"
+  "adapt_integration_tests.pdb"
+  "adapt_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

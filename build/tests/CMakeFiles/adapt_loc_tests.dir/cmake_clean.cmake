@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_loc_tests.dir/loc/grid_search_test.cpp.o"
+  "CMakeFiles/adapt_loc_tests.dir/loc/grid_search_test.cpp.o.d"
+  "CMakeFiles/adapt_loc_tests.dir/loc/likelihood_test.cpp.o"
+  "CMakeFiles/adapt_loc_tests.dir/loc/likelihood_test.cpp.o.d"
+  "CMakeFiles/adapt_loc_tests.dir/loc/localizer_property_test.cpp.o"
+  "CMakeFiles/adapt_loc_tests.dir/loc/localizer_property_test.cpp.o.d"
+  "CMakeFiles/adapt_loc_tests.dir/loc/localizer_test.cpp.o"
+  "CMakeFiles/adapt_loc_tests.dir/loc/localizer_test.cpp.o.d"
+  "CMakeFiles/adapt_loc_tests.dir/loc/placeholder_test.cpp.o"
+  "CMakeFiles/adapt_loc_tests.dir/loc/placeholder_test.cpp.o.d"
+  "CMakeFiles/adapt_loc_tests.dir/loc/skymap_test.cpp.o"
+  "CMakeFiles/adapt_loc_tests.dir/loc/skymap_test.cpp.o.d"
+  "adapt_loc_tests"
+  "adapt_loc_tests.pdb"
+  "adapt_loc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_loc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+tests/CMakeFiles/adapt_loc_tests.dir/loc/placeholder_test.cpp.o: \
+ /root/repo/tests/loc/placeholder_test.cpp /usr/include/stdc-predef.h

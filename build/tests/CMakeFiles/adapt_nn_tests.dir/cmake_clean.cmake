@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_nn_tests.dir/nn/data_test.cpp.o"
+  "CMakeFiles/adapt_nn_tests.dir/nn/data_test.cpp.o.d"
+  "CMakeFiles/adapt_nn_tests.dir/nn/layers_test.cpp.o"
+  "CMakeFiles/adapt_nn_tests.dir/nn/layers_test.cpp.o.d"
+  "CMakeFiles/adapt_nn_tests.dir/nn/loss_optimizer_test.cpp.o"
+  "CMakeFiles/adapt_nn_tests.dir/nn/loss_optimizer_test.cpp.o.d"
+  "CMakeFiles/adapt_nn_tests.dir/nn/nn_property_test.cpp.o"
+  "CMakeFiles/adapt_nn_tests.dir/nn/nn_property_test.cpp.o.d"
+  "CMakeFiles/adapt_nn_tests.dir/nn/serialize_mlp_test.cpp.o"
+  "CMakeFiles/adapt_nn_tests.dir/nn/serialize_mlp_test.cpp.o.d"
+  "CMakeFiles/adapt_nn_tests.dir/nn/tensor_test.cpp.o"
+  "CMakeFiles/adapt_nn_tests.dir/nn/tensor_test.cpp.o.d"
+  "CMakeFiles/adapt_nn_tests.dir/nn/trainer_test.cpp.o"
+  "CMakeFiles/adapt_nn_tests.dir/nn/trainer_test.cpp.o.d"
+  "adapt_nn_tests"
+  "adapt_nn_tests.pdb"
+  "adapt_nn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_physics_tests.dir/physics/compton_test.cpp.o"
+  "CMakeFiles/adapt_physics_tests.dir/physics/compton_test.cpp.o.d"
+  "CMakeFiles/adapt_physics_tests.dir/physics/cross_sections_test.cpp.o"
+  "CMakeFiles/adapt_physics_tests.dir/physics/cross_sections_test.cpp.o.d"
+  "CMakeFiles/adapt_physics_tests.dir/physics/physics_property_test.cpp.o"
+  "CMakeFiles/adapt_physics_tests.dir/physics/physics_property_test.cpp.o.d"
+  "CMakeFiles/adapt_physics_tests.dir/physics/transport_test.cpp.o"
+  "CMakeFiles/adapt_physics_tests.dir/physics/transport_test.cpp.o.d"
+  "adapt_physics_tests"
+  "adapt_physics_tests.pdb"
+  "adapt_physics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_physics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_pipeline_tests.dir/pipeline/alert_test.cpp.o"
+  "CMakeFiles/adapt_pipeline_tests.dir/pipeline/alert_test.cpp.o.d"
+  "CMakeFiles/adapt_pipeline_tests.dir/pipeline/features_test.cpp.o"
+  "CMakeFiles/adapt_pipeline_tests.dir/pipeline/features_test.cpp.o.d"
+  "CMakeFiles/adapt_pipeline_tests.dir/pipeline/ml_localizer_test.cpp.o"
+  "CMakeFiles/adapt_pipeline_tests.dir/pipeline/ml_localizer_test.cpp.o.d"
+  "CMakeFiles/adapt_pipeline_tests.dir/pipeline/models_test.cpp.o"
+  "CMakeFiles/adapt_pipeline_tests.dir/pipeline/models_test.cpp.o.d"
+  "CMakeFiles/adapt_pipeline_tests.dir/pipeline/pipeline_property_test.cpp.o"
+  "CMakeFiles/adapt_pipeline_tests.dir/pipeline/pipeline_property_test.cpp.o.d"
+  "CMakeFiles/adapt_pipeline_tests.dir/pipeline/thresholds_test.cpp.o"
+  "CMakeFiles/adapt_pipeline_tests.dir/pipeline/thresholds_test.cpp.o.d"
+  "adapt_pipeline_tests"
+  "adapt_pipeline_tests.pdb"
+  "adapt_pipeline_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_pipeline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

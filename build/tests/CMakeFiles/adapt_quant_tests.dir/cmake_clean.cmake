@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_quant_tests.dir/quant/fuse_test.cpp.o"
+  "CMakeFiles/adapt_quant_tests.dir/quant/fuse_test.cpp.o.d"
+  "CMakeFiles/adapt_quant_tests.dir/quant/qparams_test.cpp.o"
+  "CMakeFiles/adapt_quant_tests.dir/quant/qparams_test.cpp.o.d"
+  "CMakeFiles/adapt_quant_tests.dir/quant/quant_property_test.cpp.o"
+  "CMakeFiles/adapt_quant_tests.dir/quant/quant_property_test.cpp.o.d"
+  "CMakeFiles/adapt_quant_tests.dir/quant/quantized_mlp_test.cpp.o"
+  "CMakeFiles/adapt_quant_tests.dir/quant/quantized_mlp_test.cpp.o.d"
+  "adapt_quant_tests"
+  "adapt_quant_tests.pdb"
+  "adapt_quant_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_quant_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_recon_tests.dir/recon/error_propagation_test.cpp.o"
+  "CMakeFiles/adapt_recon_tests.dir/recon/error_propagation_test.cpp.o.d"
+  "CMakeFiles/adapt_recon_tests.dir/recon/placeholder_test.cpp.o"
+  "CMakeFiles/adapt_recon_tests.dir/recon/placeholder_test.cpp.o.d"
+  "CMakeFiles/adapt_recon_tests.dir/recon/reconstruction_test.cpp.o"
+  "CMakeFiles/adapt_recon_tests.dir/recon/reconstruction_test.cpp.o.d"
+  "adapt_recon_tests"
+  "adapt_recon_tests.pdb"
+  "adapt_recon_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_recon_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

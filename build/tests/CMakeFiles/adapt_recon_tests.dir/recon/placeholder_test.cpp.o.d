@@ -1,0 +1,2 @@
+tests/CMakeFiles/adapt_recon_tests.dir/recon/placeholder_test.cpp.o: \
+ /root/repo/tests/recon/placeholder_test.cpp /usr/include/stdc-predef.h

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_sim_tests.dir/sim/exposure_test.cpp.o"
+  "CMakeFiles/adapt_sim_tests.dir/sim/exposure_test.cpp.o.d"
+  "CMakeFiles/adapt_sim_tests.dir/sim/light_curve_test.cpp.o"
+  "CMakeFiles/adapt_sim_tests.dir/sim/light_curve_test.cpp.o.d"
+  "CMakeFiles/adapt_sim_tests.dir/sim/pileup_test.cpp.o"
+  "CMakeFiles/adapt_sim_tests.dir/sim/pileup_test.cpp.o.d"
+  "CMakeFiles/adapt_sim_tests.dir/sim/source_test.cpp.o"
+  "CMakeFiles/adapt_sim_tests.dir/sim/source_test.cpp.o.d"
+  "CMakeFiles/adapt_sim_tests.dir/sim/spectrum_test.cpp.o"
+  "CMakeFiles/adapt_sim_tests.dir/sim/spectrum_test.cpp.o.d"
+  "adapt_sim_tests"
+  "adapt_sim_tests.pdb"
+  "adapt_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

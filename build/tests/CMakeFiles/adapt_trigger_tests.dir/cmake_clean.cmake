@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_trigger_tests.dir/trigger/rate_trigger_test.cpp.o"
+  "CMakeFiles/adapt_trigger_tests.dir/trigger/rate_trigger_test.cpp.o.d"
+  "adapt_trigger_tests"
+  "adapt_trigger_tests.pdb"
+  "adapt_trigger_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_trigger_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/adapt_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/adapt_detector_tests[1]_include.cmake")
+include("/root/repo/build/tests/adapt_physics_tests[1]_include.cmake")
+include("/root/repo/build/tests/adapt_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/adapt_recon_tests[1]_include.cmake")
+include("/root/repo/build/tests/adapt_loc_tests[1]_include.cmake")
+include("/root/repo/build/tests/adapt_nn_tests[1]_include.cmake")
+include("/root/repo/build/tests/adapt_quant_tests[1]_include.cmake")
+include("/root/repo/build/tests/adapt_fpga_tests[1]_include.cmake")
+include("/root/repo/build/tests/adapt_pipeline_tests[1]_include.cmake")
+include("/root/repo/build/tests/adapt_eval_tests[1]_include.cmake")
+include("/root/repo/build/tests/adapt_integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/adapt_trigger_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptctl.dir/adaptctl.cpp.o"
+  "CMakeFiles/adaptctl.dir/adaptctl.cpp.o.d"
+  "adaptctl"
+  "adaptctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
