@@ -19,9 +19,12 @@
 /// values so shape comparisons are immediate; EXPERIMENTS.md records
 /// the outcome.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "core/stats.hpp"
 #include "core/table.hpp"
 #include "eval/containment.hpp"
 #include "eval/model_provider.hpp"
@@ -57,6 +60,46 @@ inline eval::ModelProviderConfig provider_config() {
 inline std::string pm(const core::MeanStd& m) {
   return core::TextTable::num(m.mean, 2) + " +- " +
          core::TextTable::num(m.stddev, 2);
+}
+
+/// Per-stage timing statistics for the Table I/II-style benches.  The
+/// per-stage rows report the cost of ONE pass through the stage (as in
+/// the paper, whose per-stage rows sum to well below the 5-iteration
+/// total); the background network and approx+refine run once per
+/// Fig. 6 iteration, so their accumulated time is divided by the
+/// executed pass count.
+struct TimingStats {
+  core::RunningStat recon;
+  core::RunningStat loc_setup;
+  core::RunningStat deta_nn;
+  core::RunningStat bkg_nn;
+  core::RunningStat approx_refine;
+  core::RunningStat total;
+};
+
+/// Runs `reps` independent timing trials through the deterministic
+/// harness (rep r draws from Rng(base_seed + r)) and folds the
+/// outcomes into the stats in index order, so the aggregate never
+/// depends on how the trials were scheduled across threads.
+inline TimingStats collect_timing_stats(const eval::TrialRunner& runner,
+                                        const eval::PipelineVariant& variant,
+                                        std::uint64_t base_seed,
+                                        std::size_t reps) {
+  TimingStats s;
+  const std::vector<eval::TrialOutcome> outcomes =
+      eval::run_trials(runner, variant, base_seed, reps);
+  for (const eval::TrialOutcome& o : outcomes) {
+    const double nn_passes = std::max(1, o.background_iterations);
+    // Localization passes: initial + one per loop iteration + final.
+    const double loc_passes = 2.0 + o.background_iterations;
+    s.recon.add(o.timings.reconstruction_ms);
+    s.loc_setup.add(o.timings.setup_ms);
+    s.deta_nn.add(o.timings.deta_inference_ms);
+    s.bkg_nn.add(o.timings.background_inference_ms / nn_passes);
+    s.approx_refine.add(o.timings.approx_refine_ms / loc_passes);
+    s.total.add(o.timings.total_ms);
+  }
+  return s;
 }
 
 /// Standard bench banner with the effective statistics.

@@ -27,6 +27,135 @@ nn::Tensor random_features(std::size_t n, std::size_t d, std::uint64_t seed) {
 /// network iteration.
 constexpr std::size_t kPaperBatch = 597;
 
+// ---------------------------------------------------------------------------
+// Before/after kernel pairs.  The *Naive benchmarks reimplement the
+// pre-optimization triple loops (the seed's matmul_abt and per-element
+// integer inference), so `--benchmark_filter='Gemm|Int8Dot'` reports
+// the blocked/fused speedup directly on this host.
+
+/// The seed's matmul_abt: jam loops, column-strided B, one scalar
+/// accumulator.
+void naive_matmul_abt(const nn::Tensor& a, const nn::Tensor& b,
+                      nn::Tensor& c) {
+  const std::size_t n = a.rows(), k = a.cols(), m = b.rows();
+  if (c.rows() != n || c.cols() != m) c = nn::Tensor(n, m);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j) {
+      float acc = 0.0f;
+      for (std::size_t t = 0; t < k; ++t) acc += a(i, t) * b(j, t);
+      c(i, j) = acc;
+    }
+}
+
+void BM_GemmAbtNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto m = static_cast<std::size_t>(state.range(2));
+  const nn::Tensor a = random_features(n, k, 21);
+  const nn::Tensor b = random_features(m, k, 22);
+  nn::Tensor c;
+  for (auto _ : state) {
+    naive_matmul_abt(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n * k * m));
+}
+
+void BM_GemmAbtBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto m = static_cast<std::size_t>(state.range(2));
+  const nn::Tensor a = random_features(n, k, 21);
+  const nn::Tensor b = random_features(m, k, 22);
+  nn::Tensor c;
+  for (auto _ : state) {
+    nn::matmul_abt(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n * k * m));
+}
+
+// The background net's two heaviest layers (597x13 * 256x13^T and
+// 597x256 * 128x256^T) plus a square stress shape.
+#define GEMM_SHAPES \
+  Args({kPaperBatch, 13, 256})->Args({kPaperBatch, 256, 128})->Args({256, 256, 256})
+BENCHMARK(BM_GemmAbtNaive)->GEMM_SHAPES;
+BENCHMARK(BM_GemmAbtBlocked)->GEMM_SHAPES;
+#undef GEMM_SHAPES
+
+/// Builds the calibrated INT8 background engine used by both INT8
+/// benchmarks.
+quant::QuantizedMlp build_int8_background_engine() {
+  core::Rng rng(7);
+  nn::Sequential swapped =
+      nn::build_mlp(nn::background_net_spec(13, true), rng);
+  for (int pass = 0; pass < 4; ++pass)
+    (void)swapped.forward(random_features(64, 13, 8 + pass), true);
+  const auto fused = quant::fuse_bn(swapped);
+  core::Rng qrng(9);
+  nn::Sequential qat = quant::build_qat_model(fused, qrng);
+  for (int pass = 0; pass < 4; ++pass)
+    (void)qat.forward(random_features(64, 13, 20 + pass), true);
+  return quant::export_quantized(qat);
+}
+
+/// The seed's per-element integer inference: (q_x - zp) * q_w inside
+/// the inner loop, per-layer activation buffers, per-element requant.
+nn::Tensor naive_int8_forward(const quant::QuantizedMlp& mlp,
+                              const nn::Tensor& x) {
+  const auto& layers = mlp.layers();
+  const std::size_t n = x.rows();
+  std::vector<std::uint8_t> act(n * layers.front().in_features);
+  for (std::size_t i = 0; i < act.size(); ++i)
+    act[i] = static_cast<std::uint8_t>(
+        layers.front().input_q.quantize(x.vec()[i]));
+  nn::Tensor out;
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    const auto& layer = layers[li];
+    const bool last = li + 1 == layers.size();
+    std::vector<std::uint8_t> next(n * layer.out_features);
+    if (last) out = nn::Tensor(n, layer.out_features);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t oc = 0; oc < layer.out_features; ++oc) {
+        std::int32_t acc = layer.bias[oc];
+        for (std::size_t ic = 0; ic < layer.in_features; ++ic)
+          acc += (static_cast<std::int32_t>(act[r * layer.in_features + ic]) -
+                  layer.input_q.zero_point) *
+                 layer.weight[oc * layer.in_features + ic];
+        if (layer.relu && acc < 0) acc = 0;
+        const float real = static_cast<float>(acc) * layer.input_q.scale *
+                           layer.weight_scales[oc];
+        if (last)
+          out(r, oc) = real;
+        else
+          next[r * layer.out_features + oc] = static_cast<std::uint8_t>(
+              layers[li + 1].input_q.quantize(real));
+      }
+    act = std::move(next);
+  }
+  return out;
+}
+
+void BM_Int8DotNaive(benchmark::State& state) {
+  const quant::QuantizedMlp engine = build_int8_background_engine();
+  const nn::Tensor x = random_features(kPaperBatch, 13, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive_int8_forward(engine, x));
+  }
+  state.SetItemsProcessed(state.iterations() * kPaperBatch);
+}
+BENCHMARK(BM_Int8DotNaive);
+
+void BM_Int8DotFused(benchmark::State& state) {
+  const quant::QuantizedMlp engine = build_int8_background_engine();
+  const nn::Tensor x = random_features(kPaperBatch, 13, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * kPaperBatch);
+}
+BENCHMARK(BM_Int8DotFused);
+
 void BM_BackgroundNetFp32(benchmark::State& state) {
   core::Rng rng(1);
   nn::Sequential model = nn::build_mlp(nn::background_net_spec(13), rng);
@@ -67,17 +196,7 @@ void BM_BackgroundNetFused(benchmark::State& state) {
 BENCHMARK(BM_BackgroundNetFused);
 
 void BM_BackgroundNetInt8(benchmark::State& state) {
-  core::Rng rng(7);
-  nn::Sequential swapped =
-      nn::build_mlp(nn::background_net_spec(13, true), rng);
-  for (int pass = 0; pass < 4; ++pass)
-    (void)swapped.forward(random_features(64, 13, 8 + pass), true);
-  const auto fused = quant::fuse_bn(swapped);
-  core::Rng qrng(9);
-  nn::Sequential qat = quant::build_qat_model(fused, qrng);
-  for (int pass = 0; pass < 4; ++pass)
-    (void)qat.forward(random_features(64, 13, 20 + pass), true);
-  const quant::QuantizedMlp engine = quant::export_quantized(qat);
+  const quant::QuantizedMlp engine = build_int8_background_engine();
   const nn::Tensor x = random_features(kPaperBatch, 13, 11);
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine.forward(x));

@@ -36,30 +36,17 @@ int main() {
   ml.background_net = &provider.background_net();
   ml.deta_net = &provider.deta_net();
 
-  // The per-stage rows report the cost of ONE pass through the stage
-  // (as in the paper, whose per-stage rows sum to well below the
-  // 5-iteration total); the background network and approx+refine run
-  // once per Fig. 6 iteration, so their accumulated time is divided by
-  // the executed pass count.
-  core::RunningStat recon;
-  core::RunningStat loc_setup;
-  core::RunningStat deta_nn;
-  core::RunningStat bkg_nn;
-  core::RunningStat approx_refine;
-  core::RunningStat total;
-  for (std::size_t rep = 0; rep < reps; ++rep) {
-    core::Rng rng(0x71e + rep);
-    const eval::TrialOutcome o = runner.run(ml, rng);
-    const double nn_passes = std::max(1, o.background_iterations);
-    // Localization passes: initial + one per loop iteration + final.
-    const double loc_passes = 2.0 + o.background_iterations;
-    recon.add(o.timings.reconstruction_ms);
-    loc_setup.add(o.timings.setup_ms);
-    deta_nn.add(o.timings.deta_inference_ms);
-    bkg_nn.add(o.timings.background_inference_ms / nn_passes);
-    approx_refine.add(o.timings.approx_refine_ms / loc_passes);
-    total.add(o.timings.total_ms);
-  }
+  // Rep r draws from Rng(0x71e + r) via the deterministic trial
+  // harness; aggregation happens in rep order regardless of how the
+  // trials were scheduled.
+  const bench::TimingStats stats =
+      bench::collect_timing_stats(runner, ml, 0x71e, reps);
+  const core::RunningStat& recon = stats.recon;
+  const core::RunningStat& loc_setup = stats.loc_setup;
+  const core::RunningStat& deta_nn = stats.deta_nn;
+  const core::RunningStat& bkg_nn = stats.bkg_nn;
+  const core::RunningStat& approx_refine = stats.approx_refine;
+  const core::RunningStat& total = stats.total;
 
   const auto row = [](const char* stage, const core::RunningStat& s,
                       const char* rpi, const char* atom) {

@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file parallel.hpp
+/// The hot-path compute layer's threading primitives.
+///
+/// Everything performance-critical in adaptml (GEMM kernels, INT8
+/// inference, grid-search localization, the evaluation trial harness)
+/// funnels its parallelism through these helpers instead of raw
+/// OpenMP pragmas, so that
+///   - builds without OpenMP degrade to clean serial loops,
+///   - results are deterministic and independent of the schedule
+///     (work is indexed, reductions merge in index order), and
+///   - thread-count and tile-size knobs live in one place
+///     (`OMP_NUM_THREADS`, `ADAPT_GEMM_TILE_COLS`).
+
+#include <cstddef>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace adapt::core {
+
+/// Number of worker threads a parallel region may use (OpenMP's
+/// max-threads setting, i.e. `OMP_NUM_THREADS`; 1 without OpenMP).
+inline int max_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// True when called from inside a parallel region (used to avoid
+/// nesting, which OpenMP would serialize anyway).
+inline bool in_parallel_region() {
+#ifdef _OPENMP
+  return omp_in_parallel();
+#else
+  return false;
+#endif
+}
+
+/// Positive-integer environment knob with a fallback, for tile sizes
+/// and similar tuning parameters.  Malformed or non-positive values
+/// fall back (tuning knobs should never abort a flight run).
+inline std::size_t env_tuning_knob(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end != v && *end == '\0' && parsed > 0)
+             ? static_cast<std::size_t>(parsed)
+             : fallback;
+}
+
+/// Run `fn(i)` for i in [0, n).  `grain` is the scheduling granularity
+/// (dynamic chunks of `grain` iterations — trials and GEMM row blocks
+/// have uneven cost).  Serial when OpenMP is absent, when already
+/// inside a parallel region, or when `n` is too small to amortize the
+/// fork.  `fn` must not depend on execution order.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn, std::size_t grain = 1) {
+#ifdef _OPENMP
+  if (!in_parallel_region() && max_threads() > 1 && n > grain) {
+    const auto ni = static_cast<std::ptrdiff_t>(n);
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::ptrdiff_t chunk = 0;
+         chunk < (ni + static_cast<std::ptrdiff_t>(grain) - 1) /
+                     static_cast<std::ptrdiff_t>(grain);
+         ++chunk) {
+      const std::size_t begin =
+          static_cast<std::size_t>(chunk) * grain;
+      const std::size_t end = begin + grain < n ? begin + grain : n;
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+
+/// Minimize `score(i)` over i in [0, n) in parallel and return
+/// {best_index, best_score}.  Ties break toward the smallest index, so
+/// the winner is independent of the thread count and schedule.
+/// Returns {n, +inf-ish score} only when n == 0 (callers guard).
+template <typename ScoreFn>
+std::pair<std::size_t, double> parallel_argmin(std::size_t n,
+                                               ScoreFn&& score) {
+  std::size_t best_i = n;
+  double best_s = 0.0;
+  bool have = false;
+#ifdef _OPENMP
+  if (!in_parallel_region() && max_threads() > 1 && n > 64) {
+    const auto ni = static_cast<std::ptrdiff_t>(n);
+#pragma omp parallel
+    {
+      std::size_t local_i = n;
+      double local_s = 0.0;
+      bool local_have = false;
+#pragma omp for schedule(static) nowait
+      for (std::ptrdiff_t i = 0; i < ni; ++i) {
+        const double s = score(static_cast<std::size_t>(i));
+        if (!local_have || s < local_s) {
+          local_have = true;
+          local_s = s;
+          local_i = static_cast<std::size_t>(i);
+        }
+      }
+#pragma omp critical(adapt_parallel_argmin)
+      {
+        // Deterministic merge: better score wins; equal scores go to
+        // the earlier index regardless of which thread merges first.
+        if (local_have &&
+            (!have || local_s < best_s ||
+             (local_s == best_s && local_i < best_i))) {
+          have = true;
+          best_s = local_s;
+          best_i = local_i;
+        }
+      }
+    }
+    return {best_i, best_s};
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    const double s = score(i);
+    if (!have || s < best_s) {
+      have = true;
+      best_s = s;
+      best_i = i;
+    }
+  }
+  return {best_i, best_s};
+}
+
+}  // namespace adapt::core

@@ -23,14 +23,8 @@ ContainmentSummary measure_containment(const TrialRunner& runner,
     std::vector<double> errors(config.trials);
     // Each trial gets its own deterministic stream so results do not
     // depend on scheduling.
-    const auto n = static_cast<std::ptrdiff_t>(config.trials);
-    std::vector<TrialOutcome> outcomes(config.trials);
-#pragma omp parallel for schedule(dynamic, 1)
-    for (std::ptrdiff_t t = 0; t < n; ++t) {
-      core::Rng rng(config.seed + 1000003ULL * meta +
-                    static_cast<std::uint64_t>(t));
-      outcomes[static_cast<std::size_t>(t)] = runner.run(variant, rng);
-    }
+    const std::vector<TrialOutcome> outcomes = run_trials(
+        runner, variant, config.seed + 1000003ULL * meta, config.trials);
     for (std::size_t t = 0; t < config.trials; ++t) {
       const TrialOutcome& o = outcomes[t];
       errors[t] = o.valid ? o.error_deg : 180.0;

@@ -3,8 +3,11 @@
 #include "eval/ring_io.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
+#include <string>
 
 #include "core/require.hpp"
 #include "core/stats.hpp"
@@ -20,21 +23,47 @@ namespace adapt::eval {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+/// True when `s` is empty or all whitespace (treated like unset: a
+/// scale knob deliberately cleared with `VAR=` should fall back, not
+/// abort the bench).
+bool blank(const char* s) {
+  for (; *s != '\0'; ++s)
+    if (!std::isspace(static_cast<unsigned char>(*s))) return false;
+  return true;
+}
+
+}  // namespace
+
 std::size_t env_size(const char* name, std::size_t fallback) {
   const char* v = std::getenv(name);
-  if (v == nullptr) return fallback;
+  if (v == nullptr || blank(v)) return fallback;
   char* end = nullptr;
+  errno = 0;
   const long long parsed = std::strtoll(v, &end, 10);
-  return (end != v && parsed > 0) ? static_cast<std::size_t>(parsed)
-                                  : fallback;
+  ADAPT_REQUIRE(end != v && blank(end) && errno != ERANGE,
+                std::string(name) + "='" + v +
+                    "' is not an integer — unset it or pass a positive "
+                    "count");
+  ADAPT_REQUIRE(parsed > 0, std::string(name) + "='" + v +
+                                "' must be a positive count");
+  return static_cast<std::size_t>(parsed);
 }
 
 double env_double(const char* name, double fallback) {
   const char* v = std::getenv(name);
-  if (v == nullptr) return fallback;
+  if (v == nullptr || blank(v)) return fallback;
   char* end = nullptr;
+  errno = 0;
   const double parsed = std::strtod(v, &end);
-  return (end != v && parsed > 0.0) ? parsed : fallback;
+  ADAPT_REQUIRE(end != v && blank(end) && errno != ERANGE,
+                std::string(name) + "='" + v +
+                    "' is not a number — unset it or pass a positive "
+                    "value");
+  ADAPT_REQUIRE(parsed > 0.0, std::string(name) + "='" + v +
+                                  "' must be positive");
+  return parsed;
 }
 
 namespace {

@@ -94,7 +94,11 @@ class ModelProvider {
 };
 
 /// Environment-variable override helpers shared by the benches:
-/// returns `fallback` unless the variable holds a positive number.
+/// returns `fallback` when the variable is unset or blank, the parsed
+/// value when it holds a positive number, and throws
+/// std::invalid_argument on anything else (malformed text, trailing
+/// garbage, zero/negative, out of range) — a mistyped scale knob must
+/// not silently run a differently sized experiment.
 std::size_t env_size(const char* name, std::size_t fallback);
 double env_double(const char* name, double fallback);
 

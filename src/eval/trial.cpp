@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "core/parallel.hpp"
 #include "core/require.hpp"
 #include "core/units.hpp"
 
@@ -83,6 +84,23 @@ TrialOutcome TrialRunner::run(const PipelineVariant& variant,
       core::angle_between(result.direction, true_source));
   outcome.timings.total_ms += outcome.timings.reconstruction_ms;
   return outcome;
+}
+
+std::vector<TrialOutcome> run_trials(const TrialRunner& runner,
+                                     const PipelineVariant& variant,
+                                     std::uint64_t base_seed,
+                                     std::size_t count, bool parallel) {
+  std::vector<TrialOutcome> outcomes(count);
+  const auto one = [&](std::size_t t) {
+    core::Rng rng(base_seed + static_cast<std::uint64_t>(t));
+    outcomes[t] = runner.run(variant, rng);
+  };
+  if (parallel) {
+    core::parallel_for(count, one);
+  } else {
+    for (std::size_t t = 0; t < count; ++t) one(t);
+  }
+  return outcomes;
 }
 
 }  // namespace adapt::eval

@@ -86,4 +86,17 @@ class TrialRunner {
   pipeline::MlLocalizer ml_localizer_;
 };
 
+/// Deterministic trial batch: trial t draws from its own
+/// core::Rng(base_seed + t) stream and writes outcome slot t, so the
+/// result vector is bit-identical whether the batch runs serially or
+/// across cores (`parallel = false` forces the serial path — the
+/// reference the parallel path is tested against).  Every bench sweep
+/// and the containment protocol run their independent trials through
+/// this harness.
+std::vector<TrialOutcome> run_trials(const TrialRunner& runner,
+                                     const PipelineVariant& variant,
+                                     std::uint64_t base_seed,
+                                     std::size_t count,
+                                     bool parallel = true);
+
 }  // namespace adapt::eval

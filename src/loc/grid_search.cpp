@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/parallel.hpp"
 #include "core/require.hpp"
 #include "core/units.hpp"
 #include "loc/likelihood.hpp"
@@ -13,14 +14,33 @@ namespace {
 
 using core::Vec3;
 
-/// Scan a spherical cap (or the whole upper sky) at a given pitch and
-/// return the best-scoring direction.
-Vec3 scan(std::span<const recon::ComptonRing> rings, const Vec3& center,
-          double radius_rad, double pitch_rad, bool upper_only,
-          double truncation) {
-  double best_nll = std::numeric_limits<double>::infinity();
-  Vec3 best = center;
-  const int n_radial = std::max(1, static_cast<int>(radius_rad / pitch_rad));
+/// Precomputed scan grid for one (radius, pitch) configuration.  The
+/// candidate directions depend only on the cap geometry — never on the
+/// rings — so the coarse grid (identical for every localization) and
+/// the fine grid (identical across the coarse/fine passes of repeated
+/// localizations) are built once and reused.  Offsets are stored as
+/// frame coefficients (dir = a*u + b*e1 + c*e2 for an orthonormal
+/// frame {u, e1, e2} around the cap center), so re-centering the grid
+/// costs three multiply-adds per candidate and no trigonometry.
+struct ScanGrid {
+  double radius_rad = -1.0;
+  double pitch_rad = -1.0;
+  struct Offset {
+    double a, b, c;
+  };
+  std::vector<Offset> offsets;
+};
+
+const ScanGrid& cached_grid(double radius_rad, double pitch_rad) {
+  thread_local std::vector<ScanGrid> cache;
+  for (const auto& g : cache)
+    if (g.radius_rad == radius_rad && g.pitch_rad == pitch_rad) return g;
+
+  ScanGrid g;
+  g.radius_rad = radius_rad;
+  g.pitch_rad = pitch_rad;
+  const int n_radial =
+      std::max(1, static_cast<int>(radius_rad / pitch_rad));
   for (int ir = 0; ir <= n_radial; ++ir) {
     const double theta = radius_rad * static_cast<double>(ir) /
                          static_cast<double>(n_radial);
@@ -31,20 +51,50 @@ Vec3 scan(std::span<const recon::ComptonRing> rings, const Vec3& center,
     for (int ia = 0; ia < n_az; ++ia) {
       const double phi = core::kTwoPi * static_cast<double>(ia) /
                          static_cast<double>(n_az);
-      const Vec3 dir = ir == 0
-                           ? center
-                           : core::rotate_about_axis(center, theta, phi);
-      if (upper_only && dir.z < 0.0) continue;
-      const double nll =
-          truncated_neg_log_likelihood(rings, dir, truncation);
-      if (nll < best_nll) {
-        best_nll = nll;
-        best = dir;
+      if (ir == 0) {
+        g.offsets.push_back({1.0, 0.0, 0.0});  // The cap center itself.
+      } else {
+        g.offsets.push_back({std::cos(theta), std::sin(theta) * std::cos(phi),
+                             std::sin(theta) * std::sin(phi)});
       }
     }
-    if (ir == 0 && n_radial == 0) break;
   }
-  return best;
+  // The cache stays tiny (a handful of configurations per thread), but
+  // bound it anyway so pathological sweeps cannot grow it unchecked.
+  if (cache.size() >= 8) cache.erase(cache.begin());
+  cache.push_back(std::move(g));
+  return cache.back();
+}
+
+/// Scan a spherical cap (or the whole upper sky) at a given pitch and
+/// return the best-scoring direction.  Candidates are scored in
+/// parallel with a per-thread best reduction; ties break toward the
+/// lowest candidate index, so the winner matches the serial scan
+/// exactly for any thread count.
+Vec3 scan(std::span<const recon::ComptonRing> rings, const Vec3& center,
+          double radius_rad, double pitch_rad, bool upper_only,
+          double truncation) {
+  const ScanGrid& grid = cached_grid(radius_rad, pitch_rad);
+  const Vec3 u = center.normalized();
+  const Vec3 e1 = core::any_orthogonal(u);
+  const Vec3 e2 = u.cross(e1);
+  const auto dir_of = [&](std::size_t i) {
+    const ScanGrid::Offset& o = grid.offsets[i];
+    return u * o.a + e1 * o.b + e2 * o.c;
+  };
+
+  const auto [best_i, best_nll] = core::parallel_argmin(
+      grid.offsets.size(), [&](std::size_t i) {
+        const Vec3 dir = dir_of(i);
+        if (upper_only && dir.z < 0.0)
+          return std::numeric_limits<double>::infinity();
+        return truncated_neg_log_likelihood(rings, dir, truncation);
+      });
+  if (best_i >= grid.offsets.size() ||
+      !std::isfinite(best_nll)) {
+    return center;  // Every candidate below the horizon.
+  }
+  return dir_of(best_i);
 }
 
 }  // namespace

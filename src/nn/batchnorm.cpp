@@ -27,14 +27,23 @@ Tensor BatchNorm1d::forward(const Tensor& x, bool training) {
   Tensor y(n, features_);
 
   if (!training) {
-    for (std::size_t c = 0; c < features_; ++c) {
-      const float inv_std =
+    // Row-major streaming with the per-feature factors hoisted: the
+    // inference batches are wide (up to 256 features), so the natural
+    // per-feature loop strides the whole tensor column-wise.
+    inv_std_cache_.resize(features_);
+    for (std::size_t c = 0; c < features_; ++c)
+      inv_std_cache_[c] =
           1.0f / std::sqrt(running_var_[c] + static_cast<float>(eps_));
-      const float g = gamma_.value(0, c);
-      const float b = beta_.value(0, c);
-      const float mu = running_mean_[c];
-      for (std::size_t r = 0; r < n; ++r)
-        y(r, c) = (x(r, c) - mu) * inv_std * g + b;
+    const float* __restrict inv_std = inv_std_cache_.data();
+    const float* __restrict mu = running_mean_.data();
+    const float* __restrict g = gamma_.value.data();
+    const float* __restrict b = beta_.value.data();
+    for (std::size_t r = 0; r < n; ++r) {
+      const float* __restrict xr = x.data() + r * features_;
+      float* __restrict yr = y.data() + r * features_;
+#pragma omp simd
+      for (std::size_t c = 0; c < features_; ++c)
+        yr[c] = (xr[c] - mu[c]) * inv_std[c] * g[c] + b[c];
     }
     return y;
   }

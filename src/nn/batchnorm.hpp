@@ -51,6 +51,7 @@ class BatchNorm1d : public Layer {
   // Training-time caches for backward.
   Tensor x_hat_;              ///< Normalized input.
   std::vector<float> batch_inv_std_;
+  std::vector<float> inv_std_cache_;  ///< Inference scratch (per feature).
 };
 
 }  // namespace adapt::nn

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.hpp"
 #include "core/require.hpp"
 
 namespace adapt::nn {
@@ -41,25 +42,177 @@ double Tensor::squared_norm() const {
   return s;
 }
 
+// ---------------------------------------------------------------------------
+// Blocked GEMM kernels.
+//
+// All three matmul orientations funnel into one register-blocked,
+// cache-tiled kernel over row-major operands, C[n x m] = A[n x k] *
+// B[k x m].  The transposed orientations pack their transposed operand
+// into a contiguous row-major panel first (O(k*m) work against the
+// kernel's O(n*k*m)), which turns the column-strided accesses of
+// matmul_abt / matmul_atb into unit-stride streams.
+//
+// The micro-tile is kRowBlock rows x kColChunk columns of C held in
+// accumulators across the whole k loop; the j dimension is additionally
+// tiled so the B stripe a micro-tile walks stays L1-resident
+// (heuristic below, override with ADAPT_GEMM_TILE_COLS).  Each output
+// element is still the plain ascending-t sum, so results are
+// deterministic and independent of tiling and thread count.
+
+namespace {
+
+constexpr std::size_t kRowBlock = 4;  ///< C rows per micro-tile.
+constexpr std::size_t kColChunk = 8;  ///< C columns per micro-tile.
+
+/// Column-tile width: keep the B stripe (k x tile floats) within half
+/// of a typical 32 KiB L1D, clamped to [kColChunk, 512] and rounded to
+/// whole chunks.
+std::size_t tile_cols(std::size_t k, std::size_t m) {
+  static const std::size_t env_override =
+      core::env_tuning_knob("ADAPT_GEMM_TILE_COLS", 0);
+  std::size_t tile = env_override;
+  if (tile == 0) {
+    const std::size_t budget = 16 * 1024 / sizeof(float);  // half of L1D
+    tile = std::clamp<std::size_t>(budget / std::max<std::size_t>(k, 1),
+                                   kColChunk, 512);
+  }
+  tile = (tile / kColChunk) * kColChunk;
+  tile = std::max(tile, kColChunk);
+  return std::min(tile, std::max<std::size_t>(m, 1));
+}
+
+/// R x kColChunk micro-tile with accumulators in registers: the B row
+/// chunk is loaded once per t and shared across the R output rows.
+template <int R>
+inline void micro_tile_full(const float* __restrict a, std::size_t lda,
+                            const float* __restrict b, std::size_t ldb,
+                            float* __restrict c, std::size_t ldc,
+                            std::size_t k) {
+  float acc[R][kColChunk] = {};
+  for (std::size_t t = 0; t < k; ++t) {
+    const float* __restrict bt = b + t * ldb;
+    for (int r = 0; r < R; ++r) {
+      const float ar = a[static_cast<std::size_t>(r) * lda + t];
+#pragma omp simd
+      for (std::size_t j = 0; j < kColChunk; ++j) acc[r][j] += ar * bt[j];
+    }
+  }
+  for (int r = 0; r < R; ++r)
+    for (std::size_t j = 0; j < kColChunk; ++j)
+      c[static_cast<std::size_t>(r) * ldc + j] = acc[r][j];
+}
+
+/// Remainder micro-tile (jw < kColChunk columns).
+template <int R>
+inline void micro_tile_partial(const float* __restrict a, std::size_t lda,
+                               const float* __restrict b, std::size_t ldb,
+                               float* __restrict c, std::size_t ldc,
+                               std::size_t k, std::size_t jw) {
+  float acc[R][kColChunk] = {};
+  for (std::size_t t = 0; t < k; ++t) {
+    const float* __restrict bt = b + t * ldb;
+    for (int r = 0; r < R; ++r) {
+      const float ar = a[static_cast<std::size_t>(r) * lda + t];
+      for (std::size_t j = 0; j < jw; ++j) acc[r][j] += ar * bt[j];
+    }
+  }
+  for (int r = 0; r < R; ++r)
+    for (std::size_t j = 0; j < jw; ++j)
+      c[static_cast<std::size_t>(r) * ldc + j] = acc[r][j];
+}
+
+/// One block of up to kRowBlock C rows against one column tile.
+void row_block(const float* a, std::size_t lda, const float* b,
+               std::size_t ldb, float* c, std::size_t ldc, std::size_t rows,
+               std::size_t k, std::size_t j0, std::size_t j1) {
+  std::size_t j = j0;
+  for (; j + kColChunk <= j1; j += kColChunk) {
+    switch (rows) {
+      case 4: micro_tile_full<4>(a, lda, b + j, ldb, c + j, ldc, k); break;
+      case 3: micro_tile_full<3>(a, lda, b + j, ldb, c + j, ldc, k); break;
+      case 2: micro_tile_full<2>(a, lda, b + j, ldb, c + j, ldc, k); break;
+      default: micro_tile_full<1>(a, lda, b + j, ldb, c + j, ldc, k); break;
+    }
+  }
+  if (j < j1) {
+    const std::size_t jw = j1 - j;
+    switch (rows) {
+      case 4:
+        micro_tile_partial<4>(a, lda, b + j, ldb, c + j, ldc, k, jw);
+        break;
+      case 3:
+        micro_tile_partial<3>(a, lda, b + j, ldb, c + j, ldc, k, jw);
+        break;
+      case 2:
+        micro_tile_partial<2>(a, lda, b + j, ldb, c + j, ldc, k, jw);
+        break;
+      default:
+        micro_tile_partial<1>(a, lda, b + j, ldb, c + j, ldc, k, jw);
+        break;
+    }
+  }
+}
+
+/// C = A * B over row-major buffers (overwrites C).  A is (n x k) with
+/// row stride lda, B (k x m) row stride m, C (n x m) row stride m.
+void gemm_rowmajor(const float* a, std::size_t lda, const float* b,
+                   float* c, std::size_t n, std::size_t k, std::size_t m) {
+  if (n == 0 || m == 0) return;
+  if (k == 0) {
+    std::fill(c, c + n * m, 0.0f);
+    return;
+  }
+  const std::size_t jt = tile_cols(k, m);
+  const std::size_t n_blocks = (n + kRowBlock - 1) / kRowBlock;
+  core::parallel_for(
+      n_blocks,
+      [&](std::size_t blk) {
+        const std::size_t i0 = blk * kRowBlock;
+        const std::size_t rows = std::min(kRowBlock, n - i0);
+        for (std::size_t j0 = 0; j0 < m; j0 += jt) {
+          const std::size_t j1 = std::min(j0 + jt, m);
+          row_block(a + i0 * lda, lda, b, m, c + i0 * m, m, rows, k, j0,
+                    j1);
+        }
+      },
+      // Amortize scheduling: hand out row blocks in bundles sized so a
+      // bundle is ~64k MACs.
+      std::max<std::size_t>(1, 65536 / std::max<std::size_t>(k * m, 1)));
+}
+
+/// Thread-local packing scratch (transposed panels), reused across
+/// calls so the hot inference loop performs no steady-state
+/// allocation.
+std::vector<float>& pack_scratch() {
+  thread_local std::vector<float> scratch;
+  return scratch;
+}
+
+/// Pack src (r x c, row-major) transposed into dst (c x r, row-major).
+void pack_transposed(const float* __restrict src, std::size_t r,
+                     std::size_t c, float* __restrict dst) {
+  for (std::size_t i = 0; i < r; ++i) {
+    const float* __restrict si = src + i * c;
+    for (std::size_t j = 0; j < c; ++j) dst[j * r + i] = si[j];
+  }
+}
+
+}  // namespace
+
 void matmul_abt(const Tensor& a, const Tensor& b, Tensor& c) {
   ADAPT_REQUIRE(a.cols() == b.cols(), "matmul_abt: inner dims mismatch");
   const std::size_t n = a.rows();
   const std::size_t m = b.rows();
   const std::size_t k = a.cols();
   if (c.rows() != n || c.cols() != m) c = Tensor(n, m);
+  if (n == 0 || m == 0) return;
 
-  const auto ni = static_cast<std::ptrdiff_t>(n);
-#pragma omp parallel for schedule(static) if (n * m * k > 16384)
-  for (std::ptrdiff_t i = 0; i < ni; ++i) {
-    const float* ai = a.data() + static_cast<std::size_t>(i) * k;
-    float* ci = c.data() + static_cast<std::size_t>(i) * m;
-    for (std::size_t j = 0; j < m; ++j) {
-      const float* bj = b.data() + j * k;
-      float s = 0.0f;
-      for (std::size_t t = 0; t < k; ++t) s += ai[t] * bj[t];
-      ci[j] = s;
-    }
-  }
+  // Pack B (m x k) into a contiguous (k x m) panel: B^T rows become
+  // unit-stride, and the shared kernel's column streaming applies.
+  std::vector<float>& bt = pack_scratch();
+  bt.resize(k * m);
+  pack_transposed(b.data(), m, k, bt.data());
+  gemm_rowmajor(a.data(), k, bt.data(), c.data(), n, k, m);
 }
 
 void matmul_ab(const Tensor& a, const Tensor& b, Tensor& c) {
@@ -68,19 +221,8 @@ void matmul_ab(const Tensor& a, const Tensor& b, Tensor& c) {
   const std::size_t k = a.cols();
   const std::size_t m = b.cols();
   if (c.rows() != n || c.cols() != m) c = Tensor(n, m);
-  c.zero();
-
-  const auto ni = static_cast<std::ptrdiff_t>(n);
-#pragma omp parallel for schedule(static) if (n * m * k > 16384)
-  for (std::ptrdiff_t i = 0; i < ni; ++i) {
-    const float* ai = a.data() + static_cast<std::size_t>(i) * k;
-    float* ci = c.data() + static_cast<std::size_t>(i) * m;
-    for (std::size_t t = 0; t < k; ++t) {
-      const float av = ai[t];
-      const float* bt = b.data() + t * m;
-      for (std::size_t j = 0; j < m; ++j) ci[j] += av * bt[j];
-    }
-  }
+  if (n == 0 || m == 0) return;
+  gemm_rowmajor(a.data(), k, b.data(), c.data(), n, k, m);
 }
 
 void matmul_atb(const Tensor& a, const Tensor& b, Tensor& c) {
@@ -89,27 +231,24 @@ void matmul_atb(const Tensor& a, const Tensor& b, Tensor& c) {
   const std::size_t n = a.cols();
   const std::size_t m = b.cols();
   if (c.rows() != n || c.cols() != m) c = Tensor(n, m);
-  c.zero();
+  if (n == 0 || m == 0) return;
 
-  // Accumulate outer products; parallel over output rows to avoid
-  // write conflicts.
-  const auto nn_ = static_cast<std::ptrdiff_t>(n);
-#pragma omp parallel for schedule(static) if (n * m * k > 16384)
-  for (std::ptrdiff_t i = 0; i < nn_; ++i) {
-    float* ci = c.data() + static_cast<std::size_t>(i) * m;
-    for (std::size_t t = 0; t < k; ++t) {
-      const float av = a(t, static_cast<std::size_t>(i));
-      const float* bt = b.data() + t * m;
-      for (std::size_t j = 0; j < m; ++j) ci[j] += av * bt[j];
-    }
-  }
+  // Pack A (k x n) transposed into (n x k) so every output row reads a
+  // contiguous A panel instead of striding column-wise.
+  std::vector<float>& at = pack_scratch();
+  at.resize(n * k);
+  pack_transposed(a.data(), k, n, at.data());
+  gemm_rowmajor(at.data(), k, b.data(), c.data(), n, k, m);
 }
 
 void add_row_broadcast(Tensor& y, const std::vector<float>& row) {
   ADAPT_REQUIRE(y.cols() == row.size(), "bias width mismatch");
+  const float* __restrict r = row.data();
+  const std::size_t cols = y.cols();
   for (std::size_t i = 0; i < y.rows(); ++i) {
-    float* yi = y.data() + i * y.cols();
-    for (std::size_t j = 0; j < y.cols(); ++j) yi[j] += row[j];
+    float* __restrict yi = y.data() + i * cols;
+#pragma omp simd
+    for (std::size_t j = 0; j < cols; ++j) yi[j] += r[j];
   }
 }
 

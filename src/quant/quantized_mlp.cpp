@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "core/parallel.hpp"
 #include "core/require.hpp"
 #include "nn/activations.hpp"
 #include "quant/fake_quant.hpp"
@@ -14,25 +15,91 @@ namespace adapt::quant {
 QuantizedMlp::QuantizedMlp(std::vector<QuantizedLayer> layers)
     : layers_(std::move(layers)) {
   ADAPT_REQUIRE(!layers_.empty(), "quantized model needs layers");
+  max_width_ = layers_.front().in_features;
   for (const auto& l : layers_) {
     ADAPT_REQUIRE(l.weight.size() == l.in_features * l.out_features,
                   "quantized weight size mismatch");
     ADAPT_REQUIRE(l.bias.size() == l.out_features, "bias size mismatch");
     ADAPT_REQUIRE(l.weight_scales.size() == l.out_features,
                   "scale count mismatch");
+    max_width_ = std::max(max_width_, l.out_features);
+  }
+  // Fold the activation zero point out of the inner loop:
+  // sum (q_x - zp) * q_w == sum q_x * q_w - zp * sum q_w, and the
+  // weight row sums are input-independent.
+  weight_row_sums_.reserve(layers_.size());
+  for (const auto& l : layers_) {
+    std::vector<std::int32_t> sums(l.out_features, 0);
+    for (std::size_t oc = 0; oc < l.out_features; ++oc) {
+      const std::int8_t* w = l.weight.data() + oc * l.in_features;
+      std::int32_t s = 0;
+      for (std::size_t ic = 0; ic < l.in_features; ++ic)
+        s += static_cast<std::int32_t>(w[ic]);
+      sums[oc] = s;
+    }
+    weight_row_sums_.push_back(std::move(sums));
   }
 }
+
+namespace {
+
+/// Integer accumulation panel: out_block output channels of one row,
+/// as pure uint8 x int8 dot products over the packed weight rows (the
+/// zero-point term is folded in afterwards from the precomputed row
+/// sums).  Blocking four channels shares every activation load four
+/// ways and gives the vectorizer four independent accumulator chains.
+inline void int8_dot_panel(const std::uint8_t* __restrict xi,
+                           const std::int8_t* __restrict w,
+                           std::size_t in_features, std::size_t out_features,
+                           std::int32_t* __restrict acc) {
+  std::size_t oc = 0;
+  for (; oc + 4 <= out_features; oc += 4) {
+    const std::int8_t* __restrict w0 = w + (oc + 0) * in_features;
+    const std::int8_t* __restrict w1 = w + (oc + 1) * in_features;
+    const std::int8_t* __restrict w2 = w + (oc + 2) * in_features;
+    const std::int8_t* __restrict w3 = w + (oc + 3) * in_features;
+    std::int32_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+#pragma omp simd reduction(+ : a0, a1, a2, a3)
+    for (std::size_t ic = 0; ic < in_features; ++ic) {
+      const std::int32_t xv = xi[ic];
+      a0 += xv * w0[ic];
+      a1 += xv * w1[ic];
+      a2 += xv * w2[ic];
+      a3 += xv * w3[ic];
+    }
+    acc[oc + 0] = a0;
+    acc[oc + 1] = a1;
+    acc[oc + 2] = a2;
+    acc[oc + 3] = a3;
+  }
+  for (; oc < out_features; ++oc) {
+    const std::int8_t* __restrict wr = w + oc * in_features;
+    std::int32_t a = 0;
+#pragma omp simd reduction(+ : a)
+    for (std::size_t ic = 0; ic < in_features; ++ic)
+      a += static_cast<std::int32_t>(xi[ic]) * wr[ic];
+    acc[oc] = a;
+  }
+}
+
+}  // namespace
 
 nn::Tensor QuantizedMlp::forward(const nn::Tensor& x) const {
   ADAPT_REQUIRE(x.cols() == layers_.front().in_features,
                 "input width mismatch");
   const std::size_t n = x.rows();
 
-  // Activations travel between layers as uint8 plus their qparams.
-  std::vector<std::uint8_t> act(n * x.cols());
+  // Activations travel between layers as uint8 plus their qparams, in
+  // two ping-pong buffers allocated once per forward (sized for the
+  // widest layer) rather than per layer.
+  std::vector<std::uint8_t> ping(n * max_width_);
+  std::vector<std::uint8_t> pong(n * max_width_);
+  std::uint8_t* act = ping.data();
+  std::uint8_t* next_act = pong.data();
   {
     const QParams& q = layers_.front().input_q;
-    for (std::size_t i = 0; i < act.size(); ++i)
+    const std::size_t in0 = n * x.cols();
+    for (std::size_t i = 0; i < in0; ++i)
       act[i] = static_cast<std::uint8_t>(q.quantize(x.vec()[i]));
   }
 
@@ -42,39 +109,46 @@ nn::Tensor QuantizedMlp::forward(const nn::Tensor& x) const {
     const bool last = li + 1 == layers_.size();
     const std::int32_t zp_in = layer.input_q.zero_point;
     const float s_in = layer.input_q.scale;
-
+    const std::int32_t* row_sums = weight_row_sums_[li].data();
     const QParams* next_q = last ? nullptr : &layers_[li + 1].input_q;
-    std::vector<std::uint8_t> next_act;
-    if (!last) next_act.resize(n * layer.out_features);
     if (last) out = nn::Tensor(n, layer.out_features);
 
-    const auto rows = static_cast<std::ptrdiff_t>(n);
-#pragma omp parallel for schedule(static) if (n > 64)
-    for (std::ptrdiff_t r = 0; r < rows; ++r) {
-      const std::uint8_t* xi =
-          act.data() + static_cast<std::size_t>(r) * layer.in_features;
-      for (std::size_t oc = 0; oc < layer.out_features; ++oc) {
-        const std::int8_t* w =
-            layer.weight.data() + oc * layer.in_features;
-        // Integer accumulation: sum (q_x - zp_in) * q_w in int32.
-        std::int32_t acc = 0;
-        for (std::size_t ic = 0; ic < layer.in_features; ++ic)
-          acc += (static_cast<std::int32_t>(xi[ic]) - zp_in) *
-                 static_cast<std::int32_t>(w[ic]);
-        acc += layer.bias[oc];
-        if (layer.relu && acc < 0) acc = 0;
+    core::parallel_for(
+        n,
+        [&](std::size_t r) {
+          // Per-thread int32 accumulator row, reused across rows.
+          thread_local std::vector<std::int32_t> acc_buf;
+          acc_buf.resize(layer.out_features);
+          std::int32_t* __restrict acc = acc_buf.data();
+          const std::uint8_t* xi = act + r * layer.in_features;
 
-        const float real = static_cast<float>(acc) * s_in *
-                           layer.weight_scales[oc];
-        if (last) {
-          out(static_cast<std::size_t>(r), oc) = real;
-        } else {
-          next_act[static_cast<std::size_t>(r) * layer.out_features + oc] =
-              static_cast<std::uint8_t>(next_q->quantize(real));
-        }
-      }
-    }
-    if (!last) act = std::move(next_act);
+          int8_dot_panel(xi, layer.weight.data(), layer.in_features,
+                         layer.out_features, acc);
+
+          // Zero-point correction, bias, ReLU — batched over the row.
+          const std::int32_t* __restrict bias = layer.bias.data();
+          for (std::size_t oc = 0; oc < layer.out_features; ++oc) {
+            std::int32_t a = acc[oc] - zp_in * row_sums[oc] + bias[oc];
+            if (layer.relu && a < 0) a = 0;
+            acc[oc] = a;
+          }
+
+          // Requantization, batched per row instead of per element.
+          const float* __restrict ws = layer.weight_scales.data();
+          if (last) {
+            float* __restrict or_ = out.data() + r * layer.out_features;
+            for (std::size_t oc = 0; oc < layer.out_features; ++oc)
+              or_[oc] = static_cast<float>(acc[oc]) * s_in * ws[oc];
+          } else {
+            std::uint8_t* __restrict nr = next_act + r * layer.out_features;
+            for (std::size_t oc = 0; oc < layer.out_features; ++oc) {
+              const float real = static_cast<float>(acc[oc]) * s_in * ws[oc];
+              nr[oc] = static_cast<std::uint8_t>(next_q->quantize(real));
+            }
+          }
+        },
+        64);
+    if (!last) std::swap(act, next_act);
   }
   return out;
 }

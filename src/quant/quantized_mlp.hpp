@@ -55,6 +55,12 @@ class QuantizedMlp {
 
  private:
   std::vector<QuantizedLayer> layers_;
+  /// Per-layer, per-output-channel weight row sums, precomputed at
+  /// construction so the inner inference loop is a pure q_x * q_w dot
+  /// product: sum (q_x - zp) * q_w == sum q_x * q_w - zp * row_sum.
+  std::vector<std::vector<std::int32_t>> weight_row_sums_;
+  std::size_t max_width_ = 0;  ///< Widest activation, for the ping-pong
+                               ///< buffers forward() allocates once.
 };
 
 /// Weight-quantization strategy (paper Sec. VI future work: "a broader

@@ -108,8 +108,10 @@ TEST(DatasetGen, RejectsBadConfig) {
 TEST(EnvHelpers, ParseAndFallBack) {
   ASSERT_EQ(setenv("ADAPT_TEST_ENV_SIZE", "42", 1), 0);
   EXPECT_EQ(env_size("ADAPT_TEST_ENV_SIZE", 7), 42u);
+  // Malformed values abort rather than silently running a differently
+  // sized experiment (full coverage in env_size_test.cpp).
   ASSERT_EQ(setenv("ADAPT_TEST_ENV_SIZE", "garbage", 1), 0);
-  EXPECT_EQ(env_size("ADAPT_TEST_ENV_SIZE", 7), 7u);
+  EXPECT_THROW(env_size("ADAPT_TEST_ENV_SIZE", 7), std::invalid_argument);
   EXPECT_EQ(env_size("ADAPT_TEST_ENV_MISSING", 9), 9u);
 
   ASSERT_EQ(setenv("ADAPT_TEST_ENV_DBL", "2.5", 1), 0);

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "eval/model_provider.hpp"
+
+namespace adapt::eval {
+namespace {
+
+/// Sets an environment variable for one test and restores the prior
+/// state on destruction, so tests cannot leak knobs into each other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr)
+      ::setenv(name, value, 1);
+    else
+      ::unsetenv(name);
+  }
+  ~ScopedEnv() {
+    if (had_old_)
+      ::setenv(name_, old_.c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+constexpr const char* kVar = "ADAPT_ENV_SIZE_TEST_VAR";
+
+TEST(EnvSize, UnsetFallsBack) {
+  ScopedEnv env(kVar, nullptr);
+  EXPECT_EQ(env_size(kVar, 7), 7u);
+  EXPECT_DOUBLE_EQ(env_double(kVar, 1.5), 1.5);
+}
+
+TEST(EnvSize, EmptyOrBlankFallsBack) {
+  {
+    ScopedEnv env(kVar, "");
+    EXPECT_EQ(env_size(kVar, 7), 7u);
+  }
+  {
+    ScopedEnv env(kVar, "   ");
+    EXPECT_EQ(env_size(kVar, 7), 7u);
+    EXPECT_DOUBLE_EQ(env_double(kVar, 2.5), 2.5);
+  }
+}
+
+TEST(EnvSize, ParsesPositiveValues) {
+  {
+    ScopedEnv env(kVar, "300");
+    EXPECT_EQ(env_size(kVar, 7), 300u);
+  }
+  {
+    ScopedEnv env(kVar, " 42 ");  // Leading/trailing whitespace is fine.
+    EXPECT_EQ(env_size(kVar, 7), 42u);
+  }
+  {
+    ScopedEnv env(kVar, "0.25");
+    EXPECT_DOUBLE_EQ(env_double(kVar, 1.0), 0.25);
+  }
+}
+
+TEST(EnvSize, MalformedValueThrows) {
+  {
+    ScopedEnv env(kVar, "banana");
+    EXPECT_THROW(env_size(kVar, 7), std::invalid_argument);
+    EXPECT_THROW(env_double(kVar, 1.0), std::invalid_argument);
+  }
+  {
+    ScopedEnv env(kVar, "12monkeys");  // Trailing garbage.
+    EXPECT_THROW(env_size(kVar, 7), std::invalid_argument);
+  }
+}
+
+TEST(EnvSize, NegativeOrZeroThrows) {
+  {
+    ScopedEnv env(kVar, "-5");
+    EXPECT_THROW(env_size(kVar, 7), std::invalid_argument);
+    EXPECT_THROW(env_double(kVar, 1.0), std::invalid_argument);
+  }
+  {
+    ScopedEnv env(kVar, "0");
+    EXPECT_THROW(env_size(kVar, 7), std::invalid_argument);
+  }
+}
+
+TEST(EnvSize, OutOfRangeThrows) {
+  ScopedEnv env(kVar, "99999999999999999999999999");  // > long long.
+  EXPECT_THROW(env_size(kVar, 7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adapt::eval

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/trial.hpp"
+
+namespace adapt::eval {
+namespace {
+
+TrialSetup fast_setup() {
+  TrialSetup setup;
+  setup.background.photons_per_second = 4000.0;
+  return setup;
+}
+
+/// Everything except the timings (which are wall-clock measurements
+/// and legitimately vary run to run) must be bit-identical.
+void expect_same_outcome(const TrialOutcome& a, const TrialOutcome& b,
+                         std::size_t t) {
+  EXPECT_EQ(a.valid, b.valid) << "trial " << t;
+  EXPECT_EQ(a.error_deg, b.error_deg) << "trial " << t;
+  EXPECT_EQ(a.rings_total, b.rings_total) << "trial " << t;
+  EXPECT_EQ(a.rings_grb, b.rings_grb) << "trial " << t;
+  EXPECT_EQ(a.rings_background, b.rings_background) << "trial " << t;
+  EXPECT_EQ(a.rings_kept, b.rings_kept) << "trial " << t;
+  EXPECT_EQ(a.background_iterations, b.background_iterations)
+      << "trial " << t;
+}
+
+TEST(RunTrials, ParallelMatchesSerialExactly) {
+  const TrialRunner runner(fast_setup());
+  PipelineVariant variant;
+  const std::uint64_t seed = 0x71e;
+  const std::size_t count = 6;
+
+  const auto serial = run_trials(runner, variant, seed, count,
+                                 /*parallel=*/false);
+  const auto parallel = run_trials(runner, variant, seed, count,
+                                   /*parallel=*/true);
+  ASSERT_EQ(serial.size(), count);
+  ASSERT_EQ(parallel.size(), count);
+  for (std::size_t t = 0; t < count; ++t)
+    expect_same_outcome(serial[t], parallel[t], t);
+}
+
+TEST(RunTrials, TrialsAreIndependentOfBatching) {
+  // Trial t depends only on base_seed + t: the second half of a batch
+  // equals a separate batch started at the offset seed.
+  const TrialRunner runner(fast_setup());
+  PipelineVariant variant;
+  const auto whole = run_trials(runner, variant, 42, 4);
+  const auto tail = run_trials(runner, variant, 44, 2);
+  ASSERT_EQ(whole.size(), 4u);
+  ASSERT_EQ(tail.size(), 2u);
+  for (std::size_t t = 0; t < 2; ++t)
+    expect_same_outcome(whole[2 + t], tail[t], t);
+}
+
+TEST(RunTrials, ZeroTrialsIsEmpty) {
+  const TrialRunner runner(fast_setup());
+  PipelineVariant variant;
+  EXPECT_TRUE(run_trials(runner, variant, 1, 0).empty());
+}
+
+}  // namespace
+}  // namespace adapt::eval

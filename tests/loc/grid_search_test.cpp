@@ -78,6 +78,21 @@ TEST(GridSearch, DegenerateInputsInvalid) {
   EXPECT_FALSE(grid_search_localize(one).valid);
 }
 
+TEST(GridSearch, DegenerateFineRadiusStillLocalizes) {
+  // A fine pitch coarser than the fine radius collapses the cap scan
+  // to a single radial step; the scan must still return the best of
+  // those candidates instead of looping forever or bailing out.
+  core::Rng rng(6);
+  const core::Vec3 s = core::from_spherical(core::deg_to_rad(30.0), 0.4);
+  const auto rings = rings_for(s, 200, 0.05, rng);
+  GridSearchConfig cfg;
+  cfg.fine_radius_deg = 0.5;
+  cfg.fine_resolution_deg = 2.0;  // Pitch > radius.
+  const auto result = grid_search_localize(rings, cfg);
+  ASSERT_TRUE(result.valid);
+  EXPECT_LT(core::rad_to_deg(core::angle_between(result.direction, s)), 3.0);
+}
+
 TEST(GridSearch, ValidatesConfig) {
   core::Rng rng(4);
   const auto rings = rings_for({0, 0, 1}, 10, 0.05, rng);

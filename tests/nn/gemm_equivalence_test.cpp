@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace adapt::nn {
+namespace {
+
+/// Shapes chosen to hit every kernel path: single element, batch-1
+/// rows, row-block remainders (n % 4), column-chunk remainders
+/// (m % 8), column tiles (m past the L1 heuristic), and deep k.
+struct Shape {
+  std::size_t n, k, m;
+};
+
+const std::vector<Shape>& shapes() {
+  static const std::vector<Shape> s = {
+      {1, 1, 1},   {1, 13, 64},  {3, 5, 7},    {17, 9, 33},
+      {4, 8, 8},   {5, 3, 9},    {2, 600, 11}, {64, 13, 600},
+      {7, 1, 257}, {597, 13, 256},
+  };
+  return s;
+}
+
+Tensor random_tensor(std::size_t r, std::size_t c, core::Rng& rng) {
+  Tensor t(r, c);
+  for (float& v : t.vec()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+/// Element-wise comparison against a double-precision reference; the
+/// tolerance covers float rounding (including FMA contraction) without
+/// letting an indexing or packing bug through.
+void expect_matches(const Tensor& c, const std::vector<double>& ref,
+                    std::size_t n, std::size_t m, const char* what) {
+  ASSERT_EQ(c.rows(), n) << what;
+  ASSERT_EQ(c.cols(), m) << what;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double r = ref[i * m + j];
+      const double tol = 1e-5 * std::max(1.0, std::abs(r));
+      EXPECT_NEAR(c(i, j), r, tol)
+          << what << " mismatch at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(GemmEquivalence, AbtMatchesNaive) {
+  core::Rng rng(11);
+  for (const Shape& s : shapes()) {
+    const Tensor a = random_tensor(s.n, s.k, rng);
+    const Tensor b = random_tensor(s.m, s.k, rng);
+    Tensor c;
+    matmul_abt(a, b, c);
+    std::vector<double> ref(s.n * s.m, 0.0);
+    for (std::size_t i = 0; i < s.n; ++i)
+      for (std::size_t j = 0; j < s.m; ++j) {
+        double acc = 0.0;
+        for (std::size_t t = 0; t < s.k; ++t)
+          acc += static_cast<double>(a(i, t)) * b(j, t);
+        ref[i * s.m + j] = acc;
+      }
+    expect_matches(c, ref, s.n, s.m, "matmul_abt");
+  }
+}
+
+TEST(GemmEquivalence, AbMatchesNaive) {
+  core::Rng rng(12);
+  for (const Shape& s : shapes()) {
+    const Tensor a = random_tensor(s.n, s.k, rng);
+    const Tensor b = random_tensor(s.k, s.m, rng);
+    Tensor c;
+    matmul_ab(a, b, c);
+    std::vector<double> ref(s.n * s.m, 0.0);
+    for (std::size_t i = 0; i < s.n; ++i)
+      for (std::size_t j = 0; j < s.m; ++j) {
+        double acc = 0.0;
+        for (std::size_t t = 0; t < s.k; ++t)
+          acc += static_cast<double>(a(i, t)) * b(t, j);
+        ref[i * s.m + j] = acc;
+      }
+    expect_matches(c, ref, s.n, s.m, "matmul_ab");
+  }
+}
+
+TEST(GemmEquivalence, AtbMatchesNaive) {
+  core::Rng rng(13);
+  for (const Shape& s : shapes()) {
+    const Tensor a = random_tensor(s.k, s.n, rng);
+    const Tensor b = random_tensor(s.k, s.m, rng);
+    Tensor c;
+    matmul_atb(a, b, c);
+    std::vector<double> ref(s.n * s.m, 0.0);
+    for (std::size_t i = 0; i < s.n; ++i)
+      for (std::size_t j = 0; j < s.m; ++j) {
+        double acc = 0.0;
+        for (std::size_t t = 0; t < s.k; ++t)
+          acc += static_cast<double>(a(t, i)) * b(t, j);
+        ref[i * s.m + j] = acc;
+      }
+    expect_matches(c, ref, s.n, s.m, "matmul_atb");
+  }
+}
+
+TEST(GemmEquivalence, ReusedOutputTensorIsOverwritten) {
+  // The kernels overwrite (not accumulate into) C, including when the
+  // caller hands back a correctly shaped tensor full of stale values.
+  core::Rng rng(14);
+  const Tensor a = random_tensor(6, 10, rng);
+  const Tensor b = random_tensor(9, 10, rng);
+  Tensor fresh;
+  matmul_abt(a, b, fresh);
+  Tensor stale(6, 9, 123.0f);
+  matmul_abt(a, b, stale);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 9; ++j)
+      EXPECT_EQ(fresh(i, j), stale(i, j)) << "at (" << i << ", " << j << ")";
+}
+
+TEST(GemmEquivalence, EmptyAndDegenerateShapes) {
+  Tensor a(0, 5), b(3, 5), c;
+  matmul_abt(a, b, c);
+  EXPECT_EQ(c.rows(), 0u);
+  EXPECT_EQ(c.cols(), 3u);
+
+  // k = 0: the product is all zeros, not garbage.
+  Tensor a0(2, 0), b0(4, 0), c0;
+  matmul_abt(a0, b0, c0);
+  ASSERT_EQ(c0.rows(), 2u);
+  ASSERT_EQ(c0.cols(), 4u);
+  for (float v : c0.vec()) EXPECT_EQ(v, 0.0f);
+}
+
+}  // namespace
+}  // namespace adapt::nn

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "quant/quantized_mlp.hpp"
+
+namespace adapt::quant {
+namespace {
+
+/// Straightforward per-element integer inference — the definition the
+/// fused kernel must reproduce bit-for-bit: int32 accumulation of
+/// (q_x - zp) * q_w, bias, integer ReLU, then the single float
+/// requantization multiply.
+nn::Tensor reference_forward(const std::vector<QuantizedLayer>& layers,
+                             const nn::Tensor& x) {
+  const std::size_t n = x.rows();
+  std::vector<std::uint8_t> act(n * layers.front().in_features);
+  for (std::size_t i = 0; i < act.size(); ++i)
+    act[i] = static_cast<std::uint8_t>(
+        layers.front().input_q.quantize(x.vec()[i]));
+
+  nn::Tensor out;
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    const QuantizedLayer& layer = layers[li];
+    const bool last = li + 1 == layers.size();
+    std::vector<std::uint8_t> next(n * layer.out_features);
+    if (last) out = nn::Tensor(n, layer.out_features);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t oc = 0; oc < layer.out_features; ++oc) {
+        std::int32_t acc = layer.bias[oc];
+        for (std::size_t ic = 0; ic < layer.in_features; ++ic) {
+          const std::int32_t q_x = act[r * layer.in_features + ic];
+          const std::int32_t q_w = layer.weight[oc * layer.in_features + ic];
+          acc += (q_x - layer.input_q.zero_point) * q_w;
+        }
+        if (layer.relu && acc < 0) acc = 0;
+        const float real = static_cast<float>(acc) * layer.input_q.scale *
+                           layer.weight_scales[oc];
+        if (last)
+          out(r, oc) = real;
+        else
+          next[r * layer.out_features + oc] = static_cast<std::uint8_t>(
+              layers[li + 1].input_q.quantize(real));
+      }
+    }
+    act = std::move(next);
+  }
+  return out;
+}
+
+std::vector<QuantizedLayer> random_layers(
+    const std::vector<std::size_t>& widths, core::Rng& rng) {
+  std::vector<QuantizedLayer> layers;
+  for (std::size_t li = 0; li + 1 < widths.size(); ++li) {
+    QuantizedLayer l;
+    l.in_features = widths[li];
+    l.out_features = widths[li + 1];
+    l.relu = li + 2 < widths.size();
+    l.input_q = li == 0 ? QParams::from_range(-1.0f, 1.0f)
+                        : QParams::from_range(0.0f, 8.0f);
+    l.weight.resize(l.in_features * l.out_features);
+    for (auto& w : l.weight)
+      w = static_cast<std::int8_t>(rng.uniform(-127.0, 128.0));
+    l.bias.resize(l.out_features);
+    for (auto& b : l.bias)
+      b = static_cast<std::int32_t>(rng.uniform(-500.0, 500.0));
+    l.weight_scales.resize(l.out_features);
+    for (auto& s : l.weight_scales)
+      s = static_cast<float>(rng.uniform(0.001, 0.02));
+    layers.push_back(std::move(l));
+  }
+  return layers;
+}
+
+nn::Tensor random_input(std::size_t n, std::size_t width, core::Rng& rng) {
+  nn::Tensor x(n, width);
+  for (float& v : x.vec()) v = static_cast<float>(rng.uniform(-1.2, 1.2));
+  return x;
+}
+
+void expect_identical(const std::vector<std::size_t>& widths, std::size_t n) {
+  core::Rng rng(0x5eed + n + widths.size());
+  const auto layers = random_layers(widths, rng);
+  const QuantizedMlp mlp{std::vector<QuantizedLayer>(layers)};
+  const nn::Tensor x = random_input(n, widths.front(), rng);
+
+  const nn::Tensor fused = mlp.forward(x);
+  const nn::Tensor ref = reference_forward(layers, x);
+  ASSERT_EQ(fused.rows(), ref.rows());
+  ASSERT_EQ(fused.cols(), ref.cols());
+  for (std::size_t i = 0; i < fused.rows(); ++i)
+    for (std::size_t j = 0; j < fused.cols(); ++j)
+      EXPECT_EQ(fused(i, j), ref(i, j))
+          << "row " << i << " col " << j << " (batch " << n << ")";
+}
+
+TEST(QuantizedMlpFused, MatchesReferenceOnPaperShapes) {
+  // The background net (13-256-128-64-1) and the dEta net (8-16-8-1),
+  // at the paper's ~597-ring batch and at batch 1.
+  expect_identical({13, 256, 128, 64, 1}, 597);
+  expect_identical({13, 256, 128, 64, 1}, 1);
+  expect_identical({8, 16, 8, 1}, 64);
+}
+
+TEST(QuantizedMlpFused, MatchesReferenceOnOddShapes) {
+  // Widths off the 4-channel blocking grid exercise the remainder
+  // loop; widening layers exercise the ping-pong buffer sizing.
+  expect_identical({3, 7, 5}, 17);
+  expect_identical({1, 1}, 1);
+  expect_identical({5, 33, 2}, 3);
+  expect_identical({4, 64}, 9);  // Single layer, no ReLU, no requant.
+}
+
+TEST(QuantizedMlpFused, RepeatedForwardIsStable) {
+  // The once-per-forward buffers must not leak state between calls.
+  core::Rng rng(99);
+  const auto layers = random_layers({13, 32, 8, 1}, rng);
+  const QuantizedMlp mlp{std::vector<QuantizedLayer>(layers)};
+  const nn::Tensor x = random_input(21, 13, rng);
+  const nn::Tensor first = mlp.forward(x);
+  const nn::Tensor again = mlp.forward(x);
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_EQ(first.vec()[i], again.vec()[i]);
+}
+
+}  // namespace
+}  // namespace adapt::quant

@@ -1,0 +1,81 @@
+#!/usr/bin/env sh
+# Timing regression gate for the hot-path kernels.
+#
+# Runs the Table I/II timing bench from an existing build tree and
+# compares each stage's mean against the stored baseline
+# (tools/bench_table1_2_timing.baseline.csv, refreshed whenever the
+# kernels intentionally change speed).  A stage whose mean exceeds
+# baseline * TOLERANCE fails the check; faster-than-baseline is always
+# fine.  Wall-clock noise is real, so the default tolerance is loose —
+# this gate catches "the blocked GEMM fell off a cliff", not 5% jitter.
+#
+# Usage: tools/check_timing_regression.sh [build_dir] [tolerance]
+#   build_dir  cmake build tree containing bench/ (default: build)
+#   tolerance  allowed slowdown factor (default: 1.5)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+tolerance=${2:-1.5}
+baseline="$repo_root/tools/bench_table1_2_timing.baseline.csv"
+bench="$build_dir/bench/bench_table1_2_timing"
+
+[ -x "$bench" ] || {
+  echo "error: $bench not built (cmake --build $build_dir --target bench_table1_2_timing)" >&2
+  exit 2
+}
+# The bench runs from a scratch dir, so a relative build_dir must be
+# resolved first.
+bench=$(CDPATH= cd -- "$(dirname -- "$bench")" && pwd)/$(basename -- "$bench")
+[ -f "$baseline" ] || {
+  echo "error: baseline $baseline missing" >&2
+  exit 2
+}
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+# The bench writes its CSV into the working directory.
+(cd "$scratch" && "$bench" >bench.log 2>&1) || {
+  cat "$scratch/bench.log" >&2
+  echo "error: timing bench failed" >&2
+  exit 2
+}
+current="$scratch/bench_table1_2_timing.csv"
+[ -f "$current" ] || {
+  echo "error: bench produced no bench_table1_2_timing.csv" >&2
+  exit 2
+}
+
+status=0
+awk -F, -v tol="$tolerance" '
+  NR == FNR { if (FNR > 1) base[$1] = $2; next }
+  FNR > 1 {
+    stage = $1; mean = $2 + 0
+    if (!(stage in base)) {
+      printf "SKIP  %-22s no baseline row\n", stage
+      next
+    }
+    limit = base[stage] * tol
+    # Sub-millisecond stages are dominated by timer noise; give them
+    # an absolute floor instead of a ratio.
+    if (limit < 0.5) limit = 0.5
+    if (mean > limit) {
+      printf "FAIL  %-22s mean %6.1f ms > limit %6.1f ms (baseline %s ms)\n",
+             stage, mean, limit, base[stage]
+      failed = 1
+    } else {
+      printf "ok    %-22s mean %6.1f ms (baseline %s ms, limit %6.1f ms)\n",
+             stage, mean, base[stage], limit
+    }
+  }
+  END { exit failed ? 1 : 0 }
+' "$baseline" "$current" || status=$?
+
+if [ "$status" -eq 0 ]; then
+  echo "timing check passed (tolerance ${tolerance}x)"
+else
+  echo "timing check FAILED (tolerance ${tolerance}x) — if the slowdown is intentional," >&2
+  echo "refresh tools/bench_table1_2_timing.baseline.csv from a quiet machine" >&2
+fi
+exit "$status"
