@@ -26,6 +26,7 @@
 
 #include "core/stats.hpp"
 #include "core/table.hpp"
+#include "core/telemetry.hpp"
 #include "eval/containment.hpp"
 #include "eval/model_provider.hpp"
 #include "eval/trial.hpp"
@@ -62,44 +63,46 @@ inline std::string pm(const core::MeanStd& m) {
          core::TextTable::num(m.stddev, 2);
 }
 
-/// Per-stage timing statistics for the Table I/II-style benches.  The
-/// per-stage rows report the cost of ONE pass through the stage (as in
-/// the paper, whose per-stage rows sum to well below the 5-iteration
-/// total); the background network and approx+refine run once per
-/// Fig. 6 iteration, so their accumulated time is divided by the
-/// executed pass count.
-struct TimingStats {
-  core::RunningStat recon;
-  core::RunningStat loc_setup;
-  core::RunningStat deta_nn;
-  core::RunningStat bkg_nn;
-  core::RunningStat approx_refine;
-  core::RunningStat total;
+/// Per-stage timing breakdown for the Table I/II-style benches, taken
+/// straight from the pipeline's own telemetry timers rather than
+/// bench-local stopwatches.  Each instrumented scope is ONE pass
+/// through the stage (as in the paper, whose per-stage rows sum to
+/// well below the 5-iteration total): the background network and
+/// approx+refine record once per Fig. 6 iteration, the other stages
+/// once per trial.
+struct StageBreakdown {
+  core::telemetry::HistogramData recon;
+  core::telemetry::HistogramData loc_setup;
+  core::telemetry::HistogramData deta_nn;
+  core::telemetry::HistogramData bkg_nn;
+  core::telemetry::HistogramData approx_refine;
+  core::telemetry::HistogramData total;  ///< Full trial incl. recon.
 };
 
 /// Runs `reps` independent timing trials through the deterministic
-/// harness (rep r draws from Rng(base_seed + r)) and folds the
-/// outcomes into the stats in index order, so the aggregate never
-/// depends on how the trials were scheduled across threads.
-inline TimingStats collect_timing_stats(const eval::TrialRunner& runner,
-                                        const eval::PipelineVariant& variant,
-                                        std::uint64_t base_seed,
-                                        std::size_t reps) {
-  TimingStats s;
-  const std::vector<eval::TrialOutcome> outcomes =
-      eval::run_trials(runner, variant, base_seed, reps);
-  for (const eval::TrialOutcome& o : outcomes) {
-    const double nn_passes = std::max(1, o.background_iterations);
-    // Localization passes: initial + one per loop iteration + final.
-    const double loc_passes = 2.0 + o.background_iterations;
-    s.recon.add(o.timings.reconstruction_ms);
-    s.loc_setup.add(o.timings.setup_ms);
-    s.deta_nn.add(o.timings.deta_inference_ms);
-    s.bkg_nn.add(o.timings.background_inference_ms / nn_passes);
-    s.approx_refine.add(o.timings.approx_refine_ms / loc_passes);
-    s.total.add(o.timings.total_ms);
-  }
-  return s;
+/// harness (rep r draws from Rng(base_seed + r)) with telemetry
+/// enabled, and returns the per-stage histograms accumulated by the
+/// batch.  The event counts in the breakdown are schedule-independent;
+/// the timing values are wall-clock.
+inline StageBreakdown collect_stage_breakdown(
+    const eval::TrialRunner& runner, const eval::PipelineVariant& variant,
+    std::uint64_t base_seed, std::size_t reps) {
+  namespace tm = core::telemetry;
+  const bool was_enabled = tm::enabled();
+  tm::set_enabled(true);
+  tm::Snapshot delta;
+  eval::run_trials(runner, variant, base_seed, reps, /*parallel=*/true,
+                   &delta);
+  tm::set_enabled(was_enabled);
+
+  StageBreakdown b;
+  b.recon = delta.histograms["recon.window_ms"];
+  b.loc_setup = delta.histograms["pipeline.setup_ms"];
+  b.deta_nn = delta.histograms["pipeline.deta_nn_ms"];
+  b.bkg_nn = delta.histograms["pipeline.bkg_nn_ms"];
+  b.approx_refine = delta.histograms["pipeline.approx_refine_ms"];
+  b.total = delta.histograms["eval.trial_total_ms"];
+  return b;
 }
 
 /// Standard bench banner with the effective statistics.

@@ -37,23 +37,26 @@ int main() {
   ml.deta_net = &provider.deta_net();
 
   // Rep r draws from Rng(0x71e + r) via the deterministic trial
-  // harness; aggregation happens in rep order regardless of how the
-  // trials were scheduled.
-  const bench::TimingStats stats =
-      bench::collect_timing_stats(runner, ml, 0x71e, reps);
-  const core::RunningStat& recon = stats.recon;
-  const core::RunningStat& loc_setup = stats.loc_setup;
-  const core::RunningStat& deta_nn = stats.deta_nn;
-  const core::RunningStat& bkg_nn = stats.bkg_nn;
-  const core::RunningStat& approx_refine = stats.approx_refine;
-  const core::RunningStat& total = stats.total;
+  // harness.  The stage rows come from the pipeline's own telemetry
+  // timers (the same instrumentation `adaptctl --metrics` reports),
+  // not from bench-local stopwatches: each histogram sample is one
+  // pass through the stage.
+  const bench::StageBreakdown stats =
+      bench::collect_stage_breakdown(runner, ml, 0x71e, reps);
+  const core::telemetry::HistogramData& recon = stats.recon;
+  const core::telemetry::HistogramData& loc_setup = stats.loc_setup;
+  const core::telemetry::HistogramData& deta_nn = stats.deta_nn;
+  const core::telemetry::HistogramData& bkg_nn = stats.bkg_nn;
+  const core::telemetry::HistogramData& approx_refine = stats.approx_refine;
+  const core::telemetry::HistogramData& total = stats.total;
 
-  const auto row = [](const char* stage, const core::RunningStat& s,
+  const auto row = [](const char* stage,
+                      const core::telemetry::HistogramData& s,
                       const char* rpi, const char* atom) {
     return std::vector<std::string>{
         stage, core::TextTable::num(s.mean(), 1),
-        core::TextTable::num(s.min(), 0) + "-" +
-            core::TextTable::num(s.max(), 0),
+        core::TextTable::num(s.min, 0) + "-" +
+            core::TextTable::num(s.max, 0),
         rpi, atom};
   };
 

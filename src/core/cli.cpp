@@ -1,0 +1,91 @@
+#include "core/cli.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace adapt::core {
+
+namespace {
+
+bool is_flag_token(const std::string& t) {
+  // "--key" introduces a key.  A bare "--" or "---..." is nonsense the
+  // constructor rejects, but it is still not a value.
+  return t.size() >= 2 && t[0] == '-' && t[1] == '-';
+}
+
+}  // namespace
+
+CliArgs::CliArgs(int argc, const char* const* argv, int first) {
+  for (int i = first; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (!is_flag_token(token)) {
+      throw CliError("unexpected argument '" + token +
+                     "' (flags are --key [value])");
+    }
+    const std::string key = token.substr(2);
+    if (key.empty()) {
+      throw CliError("bare '--' is not a flag");
+    }
+    // Next token is this key's value unless it opens the next flag.
+    // A single leading '-' (negative number) is a value.
+    if (i + 1 < argc && !is_flag_token(argv[i + 1])) {
+      values_[key] = argv[++i];
+    } else {
+      values_[key] = "";  // Boolean flag.
+    }
+  }
+}
+
+std::string CliArgs::text(const std::string& key,
+                          const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it != values_.end() && !it->second.empty() ? it->second : fallback;
+}
+
+double parse_double(const std::string& token, const std::string& what) {
+  if (token.empty()) {
+    throw CliError(what + " needs a value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(parsed)) {
+    throw CliError(what + "='" + token + "' is not a finite number");
+  }
+  return parsed;
+}
+
+double CliArgs::number(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return parse_double(it->second, "--" + key);
+}
+
+double CliArgs::positive_number(const std::string& key,
+                                double fallback) const {
+  const double v = number(key, fallback);
+  if (!(v > 0.0)) {
+    throw CliError("--" + key + "='" + text(key, "") + "' must be positive");
+  }
+  return v;
+}
+
+std::uint64_t CliArgs::count(const std::string& key,
+                             std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  const std::string& token = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0' || errno == ERANGE ||
+      parsed <= 0) {
+    throw CliError("--" + key + "='" + token +
+                   "' is not a positive integer");
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace adapt::core

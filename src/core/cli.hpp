@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file cli.hpp
+/// Hardened `--key value` command-line parsing shared by the adaptml
+/// tools (adaptctl today; any future driver binaries).
+///
+/// The parser exists because the original tool-local version had two
+/// silent failure modes this library cannot afford in calibration
+/// scripts:
+///   - numeric flags went through atof(), so `--fluence banana`
+///     became 0.0 without a word, and
+///   - value/flag disambiguation keyed off a "--" prefix test that
+///     made negative values fragile.
+///
+/// Rules:
+///   - `--key value` binds `value` to `key`; `--key` followed by
+///     another `--flag` (or nothing) is a boolean flag.
+///   - A token after a key is a VALUE unless it starts with "--"; a
+///     leading single '-' (negative numbers such as `--polar -30`)
+///     is always a value.
+///   - number()/positive_number()/count() parse strictly: the whole
+///     token must consume as a finite number, otherwise CliError is
+///     thrown with the offending flag and token named.  Callers catch
+///     CliError and exit with usage (adaptctl uses exit code 2).
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace adapt::core {
+
+/// Malformed invocation: unknown shape, unparsable or out-of-range
+/// value.  what() names the flag and the offending token.
+class CliError : public std::runtime_error {
+ public:
+  explicit CliError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+class CliArgs {
+ public:
+  /// Parse argv[first..argc).  Throws CliError on a token that is
+  /// neither a `--key` nor a value following one.
+  CliArgs(int argc, const char* const* argv, int first);
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// String value with fallback (empty/boolean occurrences fall back).
+  std::string text(const std::string& key, const std::string& fallback) const;
+
+  /// Strictly parsed finite double; `fallback` when the key is absent
+  /// or given as a bare flag.  Throws CliError on malformed input —
+  /// never silently 0.0.
+  double number(const std::string& key, double fallback) const;
+
+  /// number(), additionally requiring a value > 0.
+  double positive_number(const std::string& key, double fallback) const;
+
+  /// Strictly parsed positive integer (trial counts, epochs, bits...).
+  std::uint64_t count(const std::string& key, std::uint64_t fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Strict full-token double parse used by CliArgs and available to
+/// tools for free-standing tokens.  Throws CliError naming `what` on
+/// malformed/non-finite input.
+double parse_double(const std::string& token, const std::string& what);
+
+}  // namespace adapt::core

@@ -1,0 +1,276 @@
+#include "core/telemetry.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace adapt::core::telemetry {
+
+namespace {
+
+/// Initial enable state: ADAPT_TELEMETRY=1/on/true turns collection on
+/// from process start (useful for one-off diagnosis without touching
+/// the caller).  Anything else — including unset — starts disabled.
+bool env_enabled() {
+  const char* v = std::getenv("ADAPT_TELEMETRY");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 ||
+         std::strcmp(v, "true") == 0;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_enabled()};
+  return flag;
+}
+
+/// Name -> metric maps.  Nodes are never erased, so references handed
+/// out by counter()/histogram() stay valid forever; the mutex guards
+/// only registration and snapshotting, never the record paths.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // Leaked: metrics outlive statics
+                                      // in instrumented destructors.
+  return *r;
+}
+
+/// fetch_add / fetch_min / fetch_max for atomic<double> via CAS (the
+/// C++20 member fetch_add exists for floats, but min/max do not).
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+int Histogram::bin_of(double value) {
+  if (!(value > kBinFloor)) return 0;  // NaN and sub-floor -> bin 0.
+  const int bin = static_cast<int>(std::log2(value / kBinFloor));
+  return bin < 0 ? 0 : (bin >= kBins ? kBins - 1 : bin);
+}
+
+double Histogram::bin_lower_edge(int i) {
+  return kBinFloor * std::exp2(static_cast<double>(i));
+}
+
+void Histogram::record(double value) {
+  if (!enabled()) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+  bins_[static_cast<std::size_t>(bin_of(value))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  return count() ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max() const {
+  return count() ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  for (auto& b : bins_) b.store(0, std::memory_order_relaxed);
+}
+
+Counter& counter(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.counters.find(name);
+  if (it == r.counters.end()) {
+    it = r.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& histogram(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.histograms.find(name);
+  if (it == r.histograms.end()) {
+    it = r.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  Snapshot s;
+  for (const auto& [name, c] : r.counters) s.counters[name] = c->value();
+  for (const auto& [name, h] : r.histograms) {
+    HistogramData d;
+    d.count = h->count();
+    d.sum = h->sum();
+    d.min = h->min();
+    d.max = h->max();
+    for (int i = 0; i < Histogram::kBins; ++i)
+      d.bins[static_cast<std::size_t>(i)] = h->bin_count(i);
+    s.histograms[name] = d;
+  }
+  return s;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, h] : r.histograms) h->reset();
+}
+
+Snapshot Snapshot::since(const Snapshot& earlier) const {
+  Snapshot out = *this;
+  for (auto& [name, value] : out.counters) {
+    const auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end() && it->second <= value)
+      value -= it->second;
+  }
+  for (auto& [name, h] : out.histograms) {
+    const auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end()) continue;
+    if (it->second.count <= h.count) h.count -= it->second.count;
+    h.sum -= it->second.sum;
+    for (std::size_t i = 0; i < h.bins.size(); ++i)
+      if (it->second.bins[i] <= h.bins[i]) h.bins[i] -= it->second.bins[i];
+    // min/max stay the later snapshot's global extremes.
+  }
+  return out;
+}
+
+Snapshot& Snapshot::merge(const Snapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, h] : other.histograms) {
+    HistogramData& mine = histograms[name];
+    if (mine.count == 0) {
+      mine = h;
+      continue;
+    }
+    if (h.count == 0) continue;
+    mine.count += h.count;
+    mine.sum += h.sum;
+    if (h.min < mine.min) mine.min = h.min;
+    if (h.max > mine.max) mine.max = h.max;
+    for (std::size_t i = 0; i < mine.bins.size(); ++i) mine.bins[i] += h.bins[i];
+  }
+  return *this;
+}
+
+namespace {
+
+/// Minimal JSON number formatting: finite doubles as %.17g (round-trip
+/// exact), non-finite as null (JSON has no NaN/inf literal).
+void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+/// Metric names are dotted identifiers (no quotes/backslashes/control
+/// characters), so escaping is a no-op kept for safety.
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Snapshot::write_json(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(os, name);
+    os << ": " << value;
+  }
+  os << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(os, name);
+    os << ": {\"count\": " << h.count << ", \"sum\": ";
+    json_number(os, h.sum);
+    os << ", \"mean\": ";
+    json_number(os, h.mean());
+    os << ", \"min\": ";
+    json_number(os, h.min);
+    os << ", \"max\": ";
+    json_number(os, h.max);
+    os << ", \"bins\": [";
+    // Trailing empty bins are elided; each entry is [lower_edge, count].
+    std::size_t last = h.bins.size();
+    while (last > 0 && h.bins[last - 1] == 0) --last;
+    for (std::size_t i = 0; i < last; ++i) {
+      if (i) os << ", ";
+      os << '[';
+      json_number(os, Histogram::bin_lower_edge(static_cast<int>(i)));
+      os << ", " << h.bins[i] << ']';
+    }
+    os << "]}";
+  }
+  os << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+void Snapshot::write_csv(std::ostream& os) const {
+  os << "kind,name,count,sum,mean,min,max\n";
+  char buf[128];
+  for (const auto& [name, value] : counters) {
+    os << "counter," << name << ',' << value << ",,,,\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(buf, sizeof(buf), "%.6g,%.6g,%.6g,%.6g", h.sum, h.mean(),
+                  h.min, h.max);
+    os << "histogram," << name << ',' << h.count << ',' << buf << '\n';
+  }
+}
+
+}  // namespace adapt::core::telemetry

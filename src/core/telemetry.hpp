@@ -1,0 +1,182 @@
+#pragma once
+
+/// \file telemetry.hpp
+/// Lightweight pipeline observability: named monotonic counters,
+/// log-binned value histograms, and RAII scoped timers behind a single
+/// process-wide enable flag.
+///
+/// Design constraints (in priority order):
+///   - Zero overhead when disabled.  Every record path starts with one
+///     relaxed atomic load and a predictable branch; no clock reads, no
+///     locking, no allocation.
+///   - Thread-safe when enabled.  All mutation is lock-free atomics, so
+///     instrumented code can run inside `core::parallel_for` regions
+///     (the eval trial harness, reconstruction) without serializing.
+///   - Deterministic aggregation.  Counter increments and histogram bin
+///     counts are commutative sums: a parallel batch of deterministic
+///     trials produces bit-identical counter/bin totals regardless of
+///     thread count or schedule.  (Timing *values* are wall-clock and
+///     legitimately vary; their event counts do not.)
+///
+/// Usage pattern in instrumented code — resolve the metric once, then
+/// hit the cached reference:
+///
+///   static core::telemetry::Counter& rejected =
+///       core::telemetry::counter("recon.rings_rejected.energy_cut");
+///   rejected.add();
+///
+/// Metric references stay valid for the life of the process; reset()
+/// zeroes values but never invalidates references.
+///
+/// The initial enable state comes from the ADAPT_TELEMETRY environment
+/// variable ("1"/"on" enables); `adaptctl --metrics` and the Table I/II
+/// bench call set_enabled(true) themselves.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace adapt::core::telemetry {
+
+/// Process-wide enable flag (one relaxed load on every record path).
+bool enabled();
+void set_enabled(bool on);
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Value histogram with fixed log-spaced bins plus streaming
+/// count/sum/min/max.  The bins cover [kBinFloor, kBinFloor * 2^kBins)
+/// at a factor of 2 per bin — wide enough for sub-microsecond timer
+/// ticks through multi-minute totals and for count-valued metrics
+/// (ring survivors, iterations) alike.  Values below the floor
+/// (including zero) land in bin 0; values beyond the top land in the
+/// last bin.
+class Histogram {
+ public:
+  static constexpr int kBins = 40;
+  static constexpr double kBinFloor = 1e-4;
+
+  void record(double value);
+
+  /// Lower edge of bin `i` (the first bin also absorbs [0, floor)).
+  static double bin_lower_edge(int i);
+  /// Bin index a value falls into (clamped to [0, kBins)).
+  static int bin_of(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  ///< 0 when empty.
+  double max() const;  ///< 0 when empty.
+  std::uint64_t bin_count(int i) const {
+    return bins_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  // min/max start at the opposing infinities so concurrent first
+  // samples need no seeding handshake; the accessors report 0 while
+  // the histogram is empty.
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::array<std::atomic<std::uint64_t>, kBins> bins_{};
+};
+
+/// Look up (registering on first use) a metric by name.  Returns a
+/// reference that stays valid for the life of the process.  Lookup
+/// takes a lock — cache the reference in hot paths (function-local
+/// static).  Names are dotted lowercase, with the rejection reason as
+/// the last segment (e.g. "loc.rings_rejected.bad_deta").
+Counter& counter(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+/// RAII timer recording elapsed milliseconds into a histogram.  The
+/// optional `accumulate_ms` slot is always added to when non-null
+/// (even with telemetry disabled) — it carries the per-trial
+/// StageTimings that existing callers aggregate themselves.  With
+/// telemetry disabled and no slot, the clock is never read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist, double* accumulate_ms = nullptr)
+      : hist_(&hist),
+        slot_(accumulate_ms),
+        active_(slot_ != nullptr || enabled()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (!active_) return;
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    if (slot_) *slot_ += ms;
+    hist_->record(ms);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  double* slot_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Point-in-time copy of every registered metric, ordered by name (so
+/// any serialization of it is deterministic given deterministic
+/// counts).
+struct HistogramData {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<std::uint64_t, Histogram::kBins> bins{};
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramData> histograms;
+
+  /// Metrics accumulated since `earlier` was taken: counters and bin
+  /// counts subtract exactly; histogram min/max cannot be un-merged, so
+  /// the later snapshot's extremes are kept as-is.
+  Snapshot since(const Snapshot& earlier) const;
+
+  /// Element-wise sum (counters and bins add, min/max widen).
+  Snapshot& merge(const Snapshot& other);
+
+  /// `{"counters": {name: value...}, "histograms": {name: {count, sum,
+  /// mean, min, max, bins: [...]}}}` — stable key order.
+  void write_json(std::ostream& os) const;
+
+  /// One row per metric: `kind,name,count,sum,mean,min,max` (counters
+  /// fill count only).  Histogram bins are omitted from the CSV form.
+  void write_csv(std::ostream& os) const;
+};
+
+/// Copy out every registered metric.
+Snapshot snapshot();
+
+/// Zero every registered metric (references stay valid).
+void reset();
+
+}  // namespace adapt::core::telemetry

@@ -1,10 +1,15 @@
 #include "eval/ring_io.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 
+#include "core/telemetry.hpp"
+
 namespace adapt::eval {
+
+namespace tm = core::telemetry;
 
 namespace {
 
@@ -42,6 +47,15 @@ void pack_vec(double out[3], const core::Vec3& v) {
 }
 
 core::Vec3 unpack_vec(const double in[3]) { return {in[0], in[1], in[2]}; }
+
+/// A record whose likelihood-critical fields are NaN/inf would poison
+/// any consumer (training features, localization residuals); such
+/// records are skipped on load and counted.
+bool record_usable(const RingRecord& rec) {
+  return std::isfinite(rec.eta) && std::isfinite(rec.d_eta) &&
+         std::isfinite(rec.axis[0]) && std::isfinite(rec.axis[1]) &&
+         std::isfinite(rec.axis[2]);
+}
 
 }  // namespace
 
@@ -85,18 +99,51 @@ bool save_rings(const GeneratedRings& rings, const std::string& path) {
 }
 
 std::optional<GeneratedRings> load_rings(const std::string& path) {
+  static tm::Counter& files_rejected =
+      tm::counter("eval.ring_files_rejected");
+  static tm::Counter& records_rejected =
+      tm::counter("eval.ring_records_rejected.non_finite");
+  static tm::Counter& rings_loaded = tm::counter("eval.rings_loaded");
+
   std::ifstream is(path, std::ios::binary);
   if (!is) return std::nullopt;
   char magic[4];
   is.read(magic, sizeof(magic));
-  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    files_rejected.add();
     return std::nullopt;
+  }
   std::uint32_t version = 0;
   is.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!is || version != kVersion) return std::nullopt;
+  if (!is || version != kVersion) {
+    files_rejected.add();
+    return std::nullopt;
+  }
   std::uint64_t count = 0;
   is.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!is || count > (1ULL << 32)) return std::nullopt;
+  if (!is) {
+    files_rejected.add();
+    return std::nullopt;
+  }
+
+  // The header count is untrusted: validate it against the actual file
+  // size BEFORE sizing any allocation.  A corrupt/truncated header can
+  // otherwise claim up to 2^64 records and reserve() terabytes ahead
+  // of the first failed read.
+  const std::istream::pos_type payload_start = is.tellg();
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type file_end = is.tellg();
+  if (payload_start < 0 || file_end < payload_start) {
+    files_rejected.add();
+    return std::nullopt;
+  }
+  const std::uint64_t payload_bytes =
+      static_cast<std::uint64_t>(file_end - payload_start);
+  if (count > payload_bytes / sizeof(RingRecord)) {
+    files_rejected.add();
+    return std::nullopt;
+  }
+  is.seekg(payload_start);
 
   GeneratedRings out;
   out.rings.reserve(count);
@@ -105,7 +152,14 @@ std::optional<GeneratedRings> load_rings(const std::string& path) {
   for (std::uint64_t i = 0; i < count; ++i) {
     RingRecord rec;
     is.read(reinterpret_cast<char*>(&rec), sizeof(rec));
-    if (!is) return std::nullopt;
+    if (!is) {
+      files_rejected.add();
+      return std::nullopt;
+    }
+    if (!record_usable(rec)) {
+      records_rejected.add();
+      continue;
+    }
     recon::ComptonRing r;
     r.axis = unpack_vec(rec.axis);
     r.eta = rec.eta;
@@ -127,6 +181,7 @@ std::optional<GeneratedRings> load_rings(const std::string& path) {
     out.polar_degs.push_back(rec.polar_deg);
     out.true_sources.push_back(unpack_vec(rec.true_source));
   }
+  rings_loaded.add(out.rings.size());
   return out;
 }
 

@@ -24,6 +24,11 @@ namespace adapt::eval {
 bool save_rings(const GeneratedRings& rings, const std::string& path);
 
 /// Read a ring set back.  Returns nullopt on missing/corrupt file.
+/// The header count is validated against the real file size before any
+/// allocation (a corrupt header cannot trigger a huge reserve), and
+/// records with non-finite eta/d_eta/axis are skipped; rejections are
+/// counted in the `eval.ring_files_rejected` /
+/// `eval.ring_records_rejected.non_finite` telemetry counters.
 std::optional<GeneratedRings> load_rings(const std::string& path);
 
 }  // namespace adapt::eval

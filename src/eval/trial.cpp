@@ -1,14 +1,16 @@
 #include "eval/trial.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
 #include "core/parallel.hpp"
 #include "core/require.hpp"
+#include "core/telemetry.hpp"
 #include "core/units.hpp"
 
 namespace adapt::eval {
+
+namespace tm = core::telemetry;
 
 TrialRunner::TrialRunner(const TrialSetup& setup)
     : setup_(setup),
@@ -30,8 +32,12 @@ std::vector<recon::ComptonRing> TrialRunner::reconstruct_window(
 
 TrialOutcome TrialRunner::run(const PipelineVariant& variant,
                               core::Rng& rng) const {
-  using Clock = std::chrono::steady_clock;
+  static tm::Counter& trials_run = tm::counter("eval.trials_run");
+  static tm::Counter& trials_valid = tm::counter("eval.trials_valid");
+  static tm::Histogram& recon_ms = tm::histogram("recon.window_ms");
+  static tm::Histogram& trial_total_ms = tm::histogram("eval.trial_total_ms");
   TrialOutcome outcome;
+  trials_run.add();
 
   // Simulation is the stand-in for the detector and is NOT part of the
   // flight pipeline's budget; only event reconstruction is timed (the
@@ -43,12 +49,11 @@ TrialOutcome TrialRunner::run(const PipelineVariant& variant,
           : simulator_.simulate_grb_only(setup_.grb, rng);
   const core::Vec3 true_source = exposure.true_source_direction;
 
-  const auto recon_start = Clock::now();
-  std::vector<recon::ComptonRing> rings =
-      reconstructor_.reconstruct_all(exposure.events);
-  outcome.timings.reconstruction_ms =
-      std::chrono::duration<double, std::milli>(Clock::now() - recon_start)
-          .count();
+  std::vector<recon::ComptonRing> rings;
+  {
+    const tm::ScopedTimer t(recon_ms, &outcome.timings.reconstruction_ms);
+    rings = reconstructor_.reconstruct_all(exposure.events);
+  }
 
   outcome.rings_total = rings.size();
   for (const auto& r : rings) {
@@ -80,16 +85,24 @@ TrialOutcome TrialRunner::run(const PipelineVariant& variant,
   if (!result.valid) return outcome;
 
   outcome.valid = true;
+  trials_valid.add();
   outcome.error_deg = core::rad_to_deg(
       core::angle_between(result.direction, true_source));
   outcome.timings.total_ms += outcome.timings.reconstruction_ms;
+  trial_total_ms.record(outcome.timings.total_ms);
   return outcome;
 }
 
 std::vector<TrialOutcome> run_trials(const TrialRunner& runner,
                                      const PipelineVariant& variant,
                                      std::uint64_t base_seed,
-                                     std::size_t count, bool parallel) {
+                                     std::size_t count, bool parallel,
+                                     tm::Snapshot* telemetry_delta) {
+  // Telemetry increments are commutative sums of per-trial work, and
+  // each trial's work is fixed by its seed — so the delta's counter
+  // and bin totals are identical for the serial and parallel paths.
+  const tm::Snapshot before =
+      telemetry_delta ? tm::snapshot() : tm::Snapshot{};
   std::vector<TrialOutcome> outcomes(count);
   const auto one = [&](std::size_t t) {
     core::Rng rng(base_seed + static_cast<std::uint64_t>(t));
@@ -100,6 +113,7 @@ std::vector<TrialOutcome> run_trials(const TrialRunner& runner,
   } else {
     for (std::size_t t = 0; t < count; ++t) one(t);
   }
+  if (telemetry_delta) *telemetry_delta = tm::snapshot().since(before);
   return outcomes;
 }
 

@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "core/rng.hpp"
+#include "core/telemetry.hpp"
 #include "detector/geometry.hpp"
 #include "detector/material.hpp"
 #include "detector/readout.hpp"
@@ -93,10 +94,16 @@ class TrialRunner {
 /// reference the parallel path is tested against).  Every bench sweep
 /// and the containment protocol run their independent trials through
 /// this harness.
-std::vector<TrialOutcome> run_trials(const TrialRunner& runner,
-                                     const PipelineVariant& variant,
-                                     std::uint64_t base_seed,
-                                     std::size_t count,
-                                     bool parallel = true);
+///
+/// When `telemetry_delta` is non-null (and telemetry is enabled) it
+/// receives the metrics accumulated by this batch — snapshotted around
+/// the run, so concurrent batches should not share the registry.
+/// Counter and histogram-bin totals in the delta are schedule-
+/// independent: parallel and serial runs of the same seeds agree
+/// exactly.
+std::vector<TrialOutcome> run_trials(
+    const TrialRunner& runner, const PipelineVariant& variant,
+    std::uint64_t base_seed, std::size_t count, bool parallel = true,
+    core::telemetry::Snapshot* telemetry_delta = nullptr);
 
 }  // namespace adapt::eval

@@ -5,12 +5,15 @@
 
 #include "core/parallel.hpp"
 #include "core/require.hpp"
+#include "core/telemetry.hpp"
 #include "core/units.hpp"
 #include "loc/likelihood.hpp"
 
 namespace adapt::loc {
 
 namespace {
+
+namespace tm = core::telemetry;
 
 using core::Vec3;
 
@@ -74,7 +77,11 @@ const ScanGrid& cached_grid(double radius_rad, double pitch_rad) {
 Vec3 scan(std::span<const recon::ComptonRing> rings, const Vec3& center,
           double radius_rad, double pitch_rad, bool upper_only,
           double truncation) {
+  static tm::Histogram& scan_ms = tm::histogram("grid.scan_ms");
+  static tm::Counter& scored = tm::counter("grid.candidates_scored");
+  const tm::ScopedTimer timer(scan_ms);
   const ScanGrid& grid = cached_grid(radius_rad, pitch_rad);
+  scored.add(grid.offsets.size());
   const Vec3 u = center.normalized();
   const Vec3 e1 = core::any_orthogonal(u);
   const Vec3 e2 = u.cross(e1);
@@ -100,13 +107,19 @@ Vec3 scan(std::span<const recon::ComptonRing> rings, const Vec3& center,
 }  // namespace
 
 LocalizationResult grid_search_localize(
-    std::span<const recon::ComptonRing> rings,
+    std::span<const recon::ComptonRing> input,
     const GridSearchConfig& config) {
   ADAPT_REQUIRE(config.coarse_resolution_deg > 0.0 &&
                     config.fine_resolution_deg > 0.0,
                 "grid resolutions must be positive");
   LocalizationResult result;
-  result.rings_total = rings.size();
+  result.rings_total = input.size();
+
+  // Same ring hygiene as the fast localizer: NaN/zero d_eta must not
+  // reach the likelihood scan.
+  std::vector<recon::ComptonRing> storage;
+  const std::span<const recon::ComptonRing> rings =
+      usable_rings(input, storage);
   if (rings.size() < 2) return result;
 
   // Coarse: the whole visible sky, scanned as a 90-degree cap around
@@ -133,6 +146,7 @@ LocalizationResult grid_search_localize(
     result.rings_used = rings.size();
     return result;
   }
+  refined.rings_total = input.size();
   return refined;
 }
 

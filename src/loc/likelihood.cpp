@@ -1,8 +1,43 @@
 #include "loc/likelihood.hpp"
 
+#include <cmath>
+
 #include "core/require.hpp"
+#include "core/telemetry.hpp"
 
 namespace adapt::loc {
+
+bool ring_usable(const recon::ComptonRing& ring) {
+  return std::isfinite(ring.d_eta) && ring.d_eta > 0.0 &&
+         std::isfinite(ring.eta) && std::isfinite(ring.axis.x) &&
+         std::isfinite(ring.axis.y) && std::isfinite(ring.axis.z);
+}
+
+std::span<const recon::ComptonRing> usable_rings(
+    std::span<const recon::ComptonRing> rings,
+    std::vector<recon::ComptonRing>& storage) {
+  std::size_t bad = 0;
+  for (const auto& r : rings)
+    if (!ring_usable(r)) ++bad;
+  if (bad == 0) return rings;
+
+  namespace tm = core::telemetry;
+  static tm::Counter& bad_deta = tm::counter("loc.rings_rejected.bad_deta");
+  static tm::Counter& non_finite =
+      tm::counter("loc.rings_rejected.non_finite");
+  storage.clear();
+  storage.reserve(rings.size() - bad);
+  for (const auto& r : rings) {
+    if (ring_usable(r)) {
+      storage.push_back(r);
+    } else if (!(std::isfinite(r.d_eta) && r.d_eta > 0.0)) {
+      bad_deta.add();
+    } else {
+      non_finite.add();
+    }
+  }
+  return storage;
+}
 
 double ring_residual(const recon::ComptonRing& ring, const core::Vec3& s) {
   ADAPT_REQUIRE(ring.d_eta > 0.0, "ring has non-positive d_eta");

@@ -13,11 +13,27 @@
 /// minimizes the weighted sum of squared cosine residuals.
 
 #include <span>
+#include <vector>
 
 #include "core/vec3.hpp"
 #include "recon/ring.hpp"
 
 namespace adapt::loc {
+
+/// True when the ring can be fed to the likelihood: finite axis and
+/// eta, finite positive d_eta.  A NaN d_eta (or d_eta == 0 from an
+/// upstream bug or a corrupt ring file) would otherwise turn every
+/// residual — and hence the whole NLL surface — into garbage.
+bool ring_usable(const recon::ComptonRing& ring);
+
+/// The usable subset of `rings`.  When every ring is usable the input
+/// span itself is returned and `storage` is untouched (the common case
+/// costs one validation pass, no copy).  Dropped rings are counted in
+/// the `loc.rings_rejected.bad_deta` / `loc.rings_rejected.non_finite`
+/// telemetry counters by reason.
+std::span<const recon::ComptonRing> usable_rings(
+    std::span<const recon::ComptonRing> rings,
+    std::vector<recon::ComptonRing>& storage);
 
 /// Standardized residual of one ring for a candidate direction:
 /// (c.s - eta) / d_eta.

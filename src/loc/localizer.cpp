@@ -5,10 +5,13 @@
 #include <limits>
 
 #include "core/require.hpp"
+#include "core/telemetry.hpp"
 #include "core/units.hpp"
 #include "loc/likelihood.hpp"
 
 namespace adapt::loc {
+
+namespace tm = core::telemetry;
 
 using core::Vec3;
 
@@ -22,7 +25,13 @@ Localizer::Localizer(const LocalizerConfig& config) : config_(config) {
 }
 
 std::vector<Vec3> Localizer::approximate_candidates(
-    std::span<const recon::ComptonRing> rings, core::Rng& rng) const {
+    std::span<const recon::ComptonRing> input, core::Rng& rng) const {
+  // Rings with a NaN/zero d_eta or non-finite geometry would poison
+  // every candidate's likelihood score; drop (and count) them up
+  // front.
+  std::vector<recon::ComptonRing> storage;
+  const std::span<const recon::ComptonRing> rings =
+      usable_rings(input, storage);
   if (rings.empty()) return {};
   const auto& cfg = config_.approximation;
 
@@ -72,6 +81,8 @@ std::vector<Vec3> Localizer::approximate_candidates(
           candidate});
     }
   }
+  static tm::Counter& candidates_scored = tm::counter("loc.candidates_scored");
+  candidates_scored.add(scored.size());
   std::sort(scored.begin(), scored.end(),
             [](const Scored& a, const Scored& b) { return a.nll < b.nll; });
 
@@ -100,12 +111,18 @@ std::optional<Vec3> Localizer::approximate(
   return seeds.front();
 }
 
-LocalizationResult Localizer::refine(std::span<const recon::ComptonRing> rings,
+LocalizationResult Localizer::refine(std::span<const recon::ComptonRing> input,
                                      const Vec3& initial) const {
   const auto& cfg = config_.refine;
   LocalizationResult result;
-  result.rings_total = rings.size();
+  result.rings_total = input.size();
   result.direction = initial.normalized();
+
+  // Same hygiene as the approximation stage: a single NaN d_eta in the
+  // residual would silently wreck the inclusion cut and the fit.
+  std::vector<recon::ComptonRing> storage;
+  const std::span<const recon::ComptonRing> rings =
+      usable_rings(input, storage);
   if (rings.size() < 2) return result;
 
   std::vector<std::uint8_t> mask(rings.size(), 1);
@@ -145,22 +162,31 @@ LocalizationResult Localizer::refine(std::span<const recon::ComptonRing> rings,
       break;
     }
   }
+  static tm::Counter& refine_iterations = tm::counter("loc.refine_iterations");
+  refine_iterations.add(static_cast<std::uint64_t>(result.iterations));
   return result;
 }
 
 LocalizationResult Localizer::localize(
-    std::span<const recon::ComptonRing> rings, core::Rng& rng) const {
+    std::span<const recon::ComptonRing> input, core::Rng& rng) const {
+  // Sanitize once here; the nested approximation/refinement calls then
+  // see only usable rings (their own validation pass is a cheap
+  // no-copy scan) and rejected rings are counted exactly once.
+  std::vector<recon::ComptonRing> storage;
+  const std::span<const recon::ComptonRing> rings =
+      usable_rings(input, storage);
+
   const auto seeds = approximate_candidates(rings, rng);
   if (seeds.empty()) {
     LocalizationResult r;
-    r.rings_total = rings.size();
+    r.rings_total = input.size();
     return r;
   }
 
   // Multi-start: refine each seed, keep the direction whose truncated
   // joint likelihood over *all* rings is best.
   LocalizationResult best;
-  best.rings_total = rings.size();
+  best.rings_total = input.size();
   double best_nll = std::numeric_limits<double>::infinity();
   for (const Vec3& seed : seeds) {
     const LocalizationResult candidate = refine(rings, seed);
@@ -172,6 +198,8 @@ LocalizationResult Localizer::localize(
       best = candidate;
     }
   }
+  best.rings_total = input.size();  // Report against the raw input,
+                                    // including any sanitized-away rings.
   return best;
 }
 

@@ -1,8 +1,7 @@
 #include "pipeline/ml_localizer.hpp"
 
-#include <chrono>
-
 #include "core/require.hpp"
+#include "core/telemetry.hpp"
 #include "core/units.hpp"
 #include "loc/likelihood.hpp"
 
@@ -10,27 +9,30 @@ namespace adapt::pipeline {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+namespace tm = core::telemetry;
 
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
-
-/// Accumulate into a timing slot only when the caller asked for it.
-class StageTimer {
- public:
-  explicit StageTimer(double* slot) : slot_(slot), start_(Clock::now()) {}
-  ~StageTimer() {
-    if (slot_) *slot_ += ms_since(start_);
-  }
-  StageTimer(const StageTimer&) = delete;
-  StageTimer& operator=(const StageTimer&) = delete;
-
- private:
-  double* slot_;
-  Clock::time_point start_;
+/// Stage timers shared by every MlLocalizer.  Each ScopedTimer scope
+/// is ONE pass through the stage, so the telemetry histograms hold
+/// per-pass samples (what Tables I/II report) while the StageTimings
+/// slots keep accumulating per-trial totals for existing callers.
+struct StageMetrics {
+  tm::Histogram& setup_ms = tm::histogram("pipeline.setup_ms");
+  tm::Histogram& bkg_nn_ms = tm::histogram("pipeline.bkg_nn_ms");
+  tm::Histogram& deta_nn_ms = tm::histogram("pipeline.deta_nn_ms");
+  tm::Histogram& approx_refine_ms = tm::histogram("pipeline.approx_refine_ms");
+  tm::Histogram& total_ms = tm::histogram("pipeline.total_ms");
+  tm::Histogram& bkg_survivors = tm::histogram("pipeline.bkg_survivors");
+  tm::Counter& bkg_iterations = tm::counter("pipeline.bkg_iterations");
+  tm::Counter& bkg_rings_rejected =
+      tm::counter("pipeline.rings_rejected.background_net");
+  tm::Counter& bkg_fallback = tm::counter("pipeline.bkg_fallback_all_rings");
+  tm::Counter& deta_reassigned = tm::counter("pipeline.deta_reassigned");
 };
+
+StageMetrics& metrics() {
+  static StageMetrics m;
+  return m;
+}
 
 }  // namespace
 
@@ -44,7 +46,12 @@ MlLocalizer::MlLocalizer(const MlLocalizerConfig& config) : config_(config) {
 MlLocalizationResult MlLocalizer::run(
     std::span<const recon::ComptonRing> rings, BackgroundNet* background_net,
     DEtaNet* deta_net, core::Rng& rng, StageTimings* timings) const {
-  const auto total_start = Clock::now();
+  StageMetrics& m = metrics();
+  // The timer's destructor fires on every exit path, before control
+  // returns to the caller, so timings->total_ms is complete when run()
+  // returns — same contract as the old explicit ms_since() calls.
+  const tm::ScopedTimer total_timer(m.total_ms,
+                                    timings ? &timings->total_ms : nullptr);
   MlLocalizationResult result;
   result.rings_in = rings.size();
   result.rings_kept = rings.size();
@@ -58,7 +65,7 @@ MlLocalizationResult MlLocalizer::run(
   std::vector<recon::ComptonRing> working;
   nn::Tensor prepared_features;
   {
-    StageTimer t(timings ? &timings->setup_ms : nullptr);
+    const tm::ScopedTimer t(m.setup_ms, timings ? &timings->setup_ms : nullptr);
     working.assign(rings.begin(), rings.end());
     if (background_net != nullptr) {
       prepared_features = background_net->prepare_features(working);
@@ -68,11 +75,11 @@ MlLocalizationResult MlLocalizer::run(
   // --- Initial (no-ML) localization: multi-start approximation plus
   // robust refinement.
   {
-    StageTimer t(timings ? &timings->approx_refine_ms : nullptr);
+    const tm::ScopedTimer t(m.approx_refine_ms,
+                            timings ? &timings->approx_refine_ms : nullptr);
     result.base = localizer.localize(working, rng);
   }
   if (!result.base.valid) {
-    if (timings) timings->total_ms = ms_since(total_start);
     return result;
   }
   core::Vec3 s_hat = result.base.direction;
@@ -89,19 +96,24 @@ MlLocalizationResult MlLocalizer::run(
   if (background_net != nullptr) {
     for (int iter = 0; iter < config_.max_background_iterations; ++iter) {
       result.background_iterations = iter + 1;
+      m.bkg_iterations.add();
       const double polar_deg = core::rad_to_deg(core::polar_of(s_hat));
 
       std::vector<std::uint8_t> is_background;
       {
-        StageTimer t(timings ? &timings->background_inference_ms : nullptr);
+        const tm::ScopedTimer t(
+            m.bkg_nn_ms,
+            timings ? &timings->background_inference_ms : nullptr);
         is_background =
             background_net->classify_prepared(prepared_features, polar_deg);
       }
       kept.clear();
       for (std::size_t i = 0; i < working.size(); ++i)
         if (!is_background[i]) kept.push_back(working[i]);
+      m.bkg_survivors.record(static_cast<double>(kept.size()));
       if (kept.size() < 2) {
         kept = working;  // Degenerate rejection: fall back to all rings.
+        m.bkg_fallback.add();
         break;
       }
 
@@ -112,7 +124,8 @@ MlLocalizationResult MlLocalizer::run(
       // the true mode.
       loc::LocalizationResult step;
       {
-        StageTimer t(timings ? &timings->approx_refine_ms : nullptr);
+        const tm::ScopedTimer t(m.approx_refine_ms,
+                                timings ? &timings->approx_refine_ms : nullptr);
         step = localizer.localize(kept, rng);
       }
       if (!step.valid) break;
@@ -127,6 +140,7 @@ MlLocalizationResult MlLocalizer::run(
     }
   }
   result.rings_kept = kept.size();
+  m.bkg_rings_rejected.add(result.rings_in - result.rings_kept);
 
   // --- Step 3: replace the survivors' propagated d_eta with the dEta
   // network's estimate at the final polar angle.
@@ -134,23 +148,25 @@ MlLocalizationResult MlLocalizer::run(
     const double polar_deg = core::rad_to_deg(core::polar_of(s_hat));
     std::vector<double> d_eta;
     {
-      StageTimer t(timings ? &timings->deta_inference_ms : nullptr);
+      const tm::ScopedTimer t(m.deta_nn_ms,
+                              timings ? &timings->deta_inference_ms : nullptr);
       d_eta = deta_net->predict(kept, polar_deg, config_.deta_floor,
                                 config_.deta_cap);
     }
     for (std::size_t i = 0; i < kept.size(); ++i) kept[i].d_eta = d_eta[i];
+    m.deta_reassigned.add(kept.size());
   }
 
   // --- Step 4: final localization from the last estimate.
   {
-    StageTimer t(timings ? &timings->approx_refine_ms : nullptr);
+    const tm::ScopedTimer t(m.approx_refine_ms,
+                            timings ? &timings->approx_refine_ms : nullptr);
     const loc::LocalizationResult final_fit = localizer.refine(kept, s_hat);
     if (final_fit.valid) {
       result.direction = final_fit.direction;
     }
   }
 
-  if (timings) timings->total_ms = ms_since(total_start);
   return result;
 }
 

@@ -9,6 +9,7 @@
 #endif
 
 #include "core/require.hpp"
+#include "core/telemetry.hpp"
 #include "core/units.hpp"
 #include "physics/compton.hpp"
 #include "physics/cross_sections.hpp"
@@ -277,16 +278,48 @@ std::vector<ComptonRing> EventReconstructor::reconstruct_all(
   for (auto& r : results) {
     if (r) rings.push_back(std::move(*r));
   }
+
+  ReconstructionStats merged;
+  for (const auto& s : local_stats) {
+    merged.accepted += s.accepted;
+    merged.too_few_hits += s.too_few_hits;
+    merged.energy_cut += s.energy_cut;
+    merged.lever_arm_cut += s.lever_arm_cut;
+    merged.eta_invalid += s.eta_invalid;
+    merged.chi2_cut += s.chi2_cut;
+    merged.ambiguous_order += s.ambiguous_order;
+  }
   if (stats) {
-    for (const auto& s : local_stats) {
-      stats->accepted += s.accepted;
-      stats->too_few_hits += s.too_few_hits;
-      stats->energy_cut += s.energy_cut;
-      stats->lever_arm_cut += s.lever_arm_cut;
-      stats->eta_invalid += s.eta_invalid;
-      stats->chi2_cut += s.chi2_cut;
-      stats->ambiguous_order += s.ambiguous_order;
-    }
+    stats->accepted += merged.accepted;
+    stats->too_few_hits += merged.too_few_hits;
+    stats->energy_cut += merged.energy_cut;
+    stats->lever_arm_cut += merged.lever_arm_cut;
+    stats->eta_invalid += merged.eta_invalid;
+    stats->chi2_cut += merged.chi2_cut;
+    stats->ambiguous_order += merged.ambiguous_order;
+  }
+
+  // One add per field per window keeps the telemetry cost off the
+  // per-event path; the counters mirror ReconstructionStats exactly.
+  {
+    namespace tm = core::telemetry;
+    static tm::Counter& events_in = tm::counter("recon.events_in");
+    static tm::Counter& rings_built = tm::counter("recon.rings_built");
+    static tm::Counter& too_few = tm::counter("recon.rejected.too_few_hits");
+    static tm::Counter& energy = tm::counter("recon.rejected.energy_cut");
+    static tm::Counter& lever = tm::counter("recon.rejected.lever_arm_cut");
+    static tm::Counter& eta = tm::counter("recon.rejected.eta_invalid");
+    static tm::Counter& chi2 = tm::counter("recon.rejected.chi2_cut");
+    static tm::Counter& ambiguous =
+        tm::counter("recon.rejected.ambiguous_order");
+    events_in.add(events.size());
+    rings_built.add(merged.accepted);
+    too_few.add(merged.too_few_hits);
+    energy.add(merged.energy_cut);
+    lever.add(merged.lever_arm_cut);
+    eta.add(merged.eta_invalid);
+    chi2.add(merged.chi2_cut);
+    ambiguous.add(merged.ambiguous_order);
   }
   return rings;
 }

@@ -2,7 +2,34 @@
 
 #include <algorithm>
 
+#include "core/telemetry.hpp"
+
 namespace adapt::sim {
+
+namespace {
+
+namespace tm = core::telemetry;
+
+/// Per-origin photon/event accounting shared by the three simulate
+/// entry points.
+void count_photons(detector::Origin origin, std::uint64_t generated,
+                   std::size_t detected) {
+  static tm::Counter& grb_generated = tm::counter("sim.photons_generated.grb");
+  static tm::Counter& bkg_generated =
+      tm::counter("sim.photons_generated.background");
+  static tm::Counter& grb_detected = tm::counter("sim.events_detected.grb");
+  static tm::Counter& bkg_detected =
+      tm::counter("sim.events_detected.background");
+  if (origin == detector::Origin::kGrb) {
+    grb_generated.add(generated);
+    grb_detected.add(detected);
+  } else {
+    bkg_generated.add(generated);
+    bkg_detected.add(detected);
+  }
+}
+
+}  // namespace
 
 ExposureSimulator::ExposureSimulator(
     const detector::Geometry& geometry, const detector::Material& material,
@@ -79,6 +106,9 @@ Exposure ExposureSimulator::simulate(const GrbConfig& grb,
                                      const BackgroundConfig& background,
                                      core::Rng& rng,
                                      const PileupConfig& pileup) const {
+  static tm::Histogram& window_ms = tm::histogram("sim.window_ms");
+  static tm::Counter& piled_up = tm::counter("sim.events_piled_up");
+  const tm::ScopedTimer timer(window_ms);
   const GrbSource source(grb, *geometry_);
   const BackgroundModel bkg(background, *geometry_);
 
@@ -107,7 +137,12 @@ Exposure ExposureSimulator::simulate(const GrbConfig& grb,
   for (std::size_t i = grb_detected; i < exposure.events.size(); ++i)
     exposure.events[i].time_s = rng.uniform(0.0, window);
 
+  count_photons(detector::Origin::kGrb, exposure.grb_photons, grb_detected);
+  count_photons(detector::Origin::kBackground, exposure.background_photons,
+                exposure.events.size() - grb_detected);
+
   apply_pileup(exposure, pileup.detection_latency_s);
+  piled_up.add(exposure.piled_up_events);
   return exposure;
 }
 
@@ -124,6 +159,8 @@ Exposure ExposureSimulator::simulate_grb_only(const GrbConfig& grb,
   const FredLightCurve light_curve(grb.light_curve, 1.0);
   for (auto& event : exposure.events)
     event.time_s = light_curve.sample(rng);
+  count_photons(detector::Origin::kGrb, exposure.grb_photons,
+                exposure.events.size());
   return exposure;
 }
 
@@ -138,6 +175,8 @@ Exposure ExposureSimulator::simulate_background_only(
       detector::Origin::kBackground, rng, exposure.events);
   for (auto& event : exposure.events)
     event.time_s = rng.uniform(0.0, background.exposure_seconds);
+  count_photons(detector::Origin::kBackground, exposure.background_photons,
+                exposure.events.size());
   return exposure;
 }
 

@@ -1,0 +1,117 @@
+#include "core/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace adapt::core {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"adaptctl", "cmd"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data(), 2);
+}
+
+TEST(CliArgsTest, ParsesKeyValuePairs) {
+  const CliArgs args = make({"--fluence", "2.5", "--seed", "17"});
+  EXPECT_TRUE(args.has("fluence"));
+  EXPECT_DOUBLE_EQ(args.number("fluence", 1.0), 2.5);
+  EXPECT_EQ(args.count("seed", 0), 17u);
+}
+
+TEST(CliArgsTest, AbsentKeyFallsBack) {
+  const CliArgs args = make({"--fluence", "2.5"});
+  EXPECT_FALSE(args.has("polar"));
+  EXPECT_DOUBLE_EQ(args.number("polar", 30.0), 30.0);
+  EXPECT_EQ(args.text("metrics", "none"), "none");
+}
+
+TEST(CliArgsTest, NegativeValuesParse) {
+  // The seed tool treated any '-'-prefixed token as a flag, so
+  // `--polar -30` was fragile; a single '-' must read as a value.
+  const CliArgs args = make({"--polar", "-30", "--azimuth", "-12.5"});
+  EXPECT_DOUBLE_EQ(args.number("polar", 0.0), -30.0);
+  EXPECT_DOUBLE_EQ(args.number("azimuth", 0.0), -12.5);
+}
+
+TEST(CliArgsTest, BooleanFlagBeforeAnotherFlag) {
+  const CliArgs args = make({"--no-grid", "--fluence", "3.0"});
+  EXPECT_TRUE(args.has("no-grid"));
+  EXPECT_DOUBLE_EQ(args.number("fluence", 1.0), 3.0);
+}
+
+TEST(CliArgsTest, TrailingBooleanFlag) {
+  const CliArgs args = make({"--fluence", "3.0", "--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+}
+
+TEST(CliArgsTest, MalformedNumberThrowsInsteadOfZero) {
+  // atof("banana") == 0.0 was the seed bug: a typo silently ran the
+  // whole simulation with zero fluence.
+  const CliArgs args = make({"--fluence", "banana"});
+  EXPECT_THROW(args.number("fluence", 1.0), CliError);
+  EXPECT_THROW(args.positive_number("fluence", 1.0), CliError);
+}
+
+TEST(CliArgsTest, PartiallyNumericTokenThrows) {
+  const CliArgs args = make({"--fluence", "1.5x"});
+  EXPECT_THROW(args.number("fluence", 1.0), CliError);
+}
+
+TEST(CliArgsTest, NonFiniteTokenThrows) {
+  EXPECT_THROW(make({"--fluence", "inf"}).number("fluence", 1.0), CliError);
+  EXPECT_THROW(make({"--fluence", "nan"}).number("fluence", 1.0), CliError);
+}
+
+TEST(CliArgsTest, PositiveNumberRejectsZeroAndNegative) {
+  EXPECT_THROW(make({"--fluence", "0"}).positive_number("fluence", 1.0),
+               CliError);
+  EXPECT_THROW(make({"--fluence", "-2"}).positive_number("fluence", 1.0),
+               CliError);
+  EXPECT_DOUBLE_EQ(
+      make({"--fluence", "0.25"}).positive_number("fluence", 1.0), 0.25);
+}
+
+TEST(CliArgsTest, CountRejectsNonIntegers) {
+  EXPECT_THROW(make({"--trials", "ten"}).count("trials", 5), CliError);
+  EXPECT_THROW(make({"--trials", "3.5"}).count("trials", 5), CliError);
+  EXPECT_THROW(make({"--trials", "0"}).count("trials", 5), CliError);
+  EXPECT_THROW(make({"--trials", "-4"}).count("trials", 5), CliError);
+  EXPECT_EQ(make({"--trials", "250"}).count("trials", 5), 250u);
+}
+
+TEST(CliArgsTest, UnexpectedPositionalTokenThrows) {
+  std::vector<const char*> argv{"adaptctl", "cmd", "stray", "--fluence", "1"};
+  EXPECT_THROW(
+      CliArgs(static_cast<int>(argv.size()), argv.data(), 2), CliError);
+}
+
+TEST(CliArgsTest, BareFlagNumberFallsBack) {
+  // `--fluence` with no value reads as a boolean flag; numeric lookup
+  // falls back rather than inventing a number.
+  const CliArgs args = make({"--fluence"});
+  EXPECT_TRUE(args.has("fluence"));
+  EXPECT_DOUBLE_EQ(args.number("fluence", 1.5), 1.5);
+}
+
+TEST(ParseDoubleTest, StrictFullTokenSemantics) {
+  EXPECT_DOUBLE_EQ(parse_double("-3.5e2", "x"), -350.0);
+  EXPECT_THROW(parse_double("", "x"), CliError);
+  EXPECT_THROW(parse_double("  ", "x"), CliError);
+  EXPECT_THROW(parse_double("12abc", "x"), CliError);
+}
+
+TEST(ParseDoubleTest, ErrorNamesFlagAndToken) {
+  try {
+    parse_double("banana", "fluence");
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fluence"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("banana"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace adapt::core

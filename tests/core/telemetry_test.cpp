@@ -1,0 +1,242 @@
+#include "core/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/parallel.hpp"
+
+namespace adapt::core::telemetry {
+namespace {
+
+/// Every test runs with a clean, enabled registry and restores the
+/// prior enable state afterwards (other suites in this binary must not
+/// see telemetry flipped on behind their backs).
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = enabled();
+    set_enabled(true);
+    reset();
+  }
+  void TearDown() override {
+    reset();
+    set_enabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(TelemetryTest, CounterAddsAndResets) {
+  Counter& c = counter("test.counter.basic");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(TelemetryTest, SameNameYieldsSameCounter) {
+  Counter& a = counter("test.counter.same");
+  Counter& b = counter("test.counter.same");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST_F(TelemetryTest, DisabledCounterRecordsNothing) {
+  Counter& c = counter("test.counter.disabled");
+  set_enabled(false);
+  c.add(100);
+  set_enabled(true);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(TelemetryTest, HistogramTracksMoments) {
+  Histogram& h = histogram("test.hist.moments");
+  h.record(1.0);
+  h.record(3.0);
+  h.record(2.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST_F(TelemetryTest, EmptyHistogramReportsZeros) {
+  Histogram& h = histogram("test.hist.empty");
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST_F(TelemetryTest, HistogramBinEdgesAreMonotonicLogSpaced) {
+  double prev = Histogram::bin_lower_edge(0);
+  EXPECT_DOUBLE_EQ(prev, Histogram::kBinFloor);
+  for (int i = 1; i < Histogram::kBins; ++i) {
+    const double edge = Histogram::bin_lower_edge(i);
+    EXPECT_DOUBLE_EQ(edge, prev * 2.0);
+    prev = edge;
+  }
+}
+
+TEST_F(TelemetryTest, HistogramBinsPartitionValues) {
+  // Sub-floor, zero, and NaN all land in bin 0; huge values in the
+  // last bin; interior values in the bin whose edge range covers them.
+  EXPECT_EQ(Histogram::bin_of(0.0), 0);
+  EXPECT_EQ(Histogram::bin_of(-5.0), 0);
+  EXPECT_EQ(Histogram::bin_of(std::nan("")), 0);
+  EXPECT_EQ(Histogram::bin_of(1e300), Histogram::kBins - 1);
+  for (int i = 0; i < Histogram::kBins; ++i) {
+    const double inside = Histogram::bin_lower_edge(i) * 1.5;
+    EXPECT_EQ(Histogram::bin_of(inside), i) << "bin " << i;
+  }
+}
+
+TEST_F(TelemetryTest, HistogramBinCountsMatchRecords) {
+  Histogram& h = histogram("test.hist.bins");
+  const double v = Histogram::bin_lower_edge(5) * 1.1;
+  h.record(v);
+  h.record(v);
+  h.record(Histogram::bin_lower_edge(9) * 1.1);
+  EXPECT_EQ(h.bin_count(5), 2u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.bin_count(7), 0u);
+}
+
+TEST_F(TelemetryTest, ScopedTimerRecordsWhenEnabled) {
+  Histogram& h = histogram("test.timer.enabled");
+  { const ScopedTimer t(h); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.max(), 0.0);
+}
+
+TEST_F(TelemetryTest, ScopedTimerFillsSlotEvenWhenDisabled) {
+  Histogram& h = histogram("test.timer.slot");
+  set_enabled(false);
+  double slot = 0.0;
+  {
+    const ScopedTimer t(h, &slot);
+    // Burn a little time so the slot is visibly non-negative.
+    volatile double x = 0.0;
+    for (int i = 0; i < 1000; ++i) x = x + static_cast<double>(i);
+  }
+  set_enabled(true);
+  EXPECT_EQ(h.count(), 0u);   // Histogram untouched while disabled...
+  EXPECT_GE(slot, 0.0);       // ...but the StageTimings slot still fed.
+}
+
+TEST_F(TelemetryTest, SnapshotCapturesAndDiffs) {
+  counter("test.snap.counter").add(7);
+  histogram("test.snap.hist").record(2.0);
+
+  const Snapshot first = snapshot();
+  EXPECT_EQ(first.counters.at("test.snap.counter"), 7u);
+  EXPECT_EQ(first.histograms.at("test.snap.hist").count, 1u);
+
+  counter("test.snap.counter").add(5);
+  histogram("test.snap.hist").record(4.0);
+  const Snapshot delta = snapshot().since(first);
+  EXPECT_EQ(delta.counters.at("test.snap.counter"), 5u);
+  EXPECT_EQ(delta.histograms.at("test.snap.hist").count, 1u);
+  EXPECT_DOUBLE_EQ(delta.histograms.at("test.snap.hist").sum, 4.0);
+}
+
+TEST_F(TelemetryTest, SnapshotMergeAdds) {
+  counter("test.merge.c").add(2);
+  histogram("test.merge.h").record(1.0);
+  Snapshot a = snapshot();
+  const Snapshot b = snapshot();
+  a.merge(b);
+  EXPECT_EQ(a.counters.at("test.merge.c"), 4u);
+  EXPECT_EQ(a.histograms.at("test.merge.h").count, 2u);
+  EXPECT_DOUBLE_EQ(a.histograms.at("test.merge.h").sum, 2.0);
+  EXPECT_DOUBLE_EQ(a.histograms.at("test.merge.h").min, 1.0);
+}
+
+TEST_F(TelemetryTest, ParallelIncrementsAggregateDeterministically) {
+  // The counter total and the histogram bin counts must be identical
+  // no matter how the loop was scheduled — run the same work serially
+  // and in parallel and compare snapshots.
+  const std::size_t n = 10000;
+  const auto work = [](std::size_t i) {
+    counter("test.par.counter").add(i % 3);
+    histogram("test.par.hist").record(static_cast<double>(i % 7) + 0.5);
+  };
+
+  for (std::size_t i = 0; i < n; ++i) work(i);
+  const Snapshot serial = snapshot();
+  reset();
+  parallel_for(n, work);
+  const Snapshot parallel = snapshot();
+
+  EXPECT_EQ(serial.counters.at("test.par.counter"),
+            parallel.counters.at("test.par.counter"));
+  const auto& hs = serial.histograms.at("test.par.hist");
+  const auto& hp = parallel.histograms.at("test.par.hist");
+  EXPECT_EQ(hs.count, hp.count);
+  EXPECT_DOUBLE_EQ(hs.min, hp.min);
+  EXPECT_DOUBLE_EQ(hs.max, hp.max);
+  EXPECT_NEAR(hs.sum, hp.sum, 1e-6 * hs.sum);
+  for (std::size_t i = 0; i < hs.bins.size(); ++i)
+    EXPECT_EQ(hs.bins[i], hp.bins[i]) << "bin " << i;
+}
+
+TEST_F(TelemetryTest, ThreadedCountersLoseNothing) {
+  Counter& c = counter("test.threads.counter");
+  const int kThreads = 4;
+  const int kPerThread = 25000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(TelemetryTest, JsonOutputNamesEveryMetric) {
+  counter("test.json.counter").add(3);
+  histogram("test.json.hist").record(1.5);
+  std::ostringstream os;
+  snapshot().write_json(os);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"test.json.counter\": 3"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"test.json.hist\""), std::string::npos);
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(j.find("\"bins\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, CsvOutputHasHeaderAndRows) {
+  counter("test.csv.counter").add(9);
+  histogram("test.csv.hist").record(2.0);
+  std::ostringstream os;
+  snapshot().write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("kind,name,count,sum,mean,min,max"), std::string::npos);
+  EXPECT_NE(csv.find("counter,test.csv.counter,9"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,test.csv.hist,1"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, ResetZeroesButKeepsReferencesValid) {
+  Counter& c = counter("test.reset.counter");
+  Histogram& h = histogram("test.reset.hist");
+  c.add(5);
+  h.record(1.0);
+  reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c.add(2);  // Reference still live after reset.
+  EXPECT_EQ(c.value(), 2u);
+}
+
+}  // namespace
+}  // namespace adapt::core::telemetry

@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdint>
 #include <fstream>
 #include <iterator>
+
+#include "core/telemetry.hpp"
 
 namespace adapt::eval {
 namespace {
@@ -102,6 +107,84 @@ TEST_F(RingIoTest, InconsistentSetRefusedOnSave) {
   GeneratedRings broken = small_set();
   broken.polar_degs.pop_back();
   EXPECT_FALSE(save_rings(broken, path_));
+}
+
+// Header layout: magic[4], version u32, count u64 — so the count field
+// lives at byte offset 8 and the first record starts at 16.
+constexpr std::streamoff kCountOffset = 8;
+constexpr std::streamoff kPayloadOffset = 16;
+// Within a record, eta follows the 3-double axis.
+constexpr std::streamoff kEtaOffset = 3 * sizeof(double);
+
+void patch_file(const std::string& path, std::streamoff offset,
+                const void* bytes, std::size_t n) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(offset);
+  f.write(static_cast<const char*>(bytes), static_cast<std::streamsize>(n));
+  ASSERT_TRUE(f.good());
+}
+
+TEST_F(RingIoTest, OversizedCountHeaderRejectedWithoutAllocation) {
+  // A corrupt header claiming ~10^18 records must be rejected against
+  // the real file size BEFORE any reserve().  The seed reserved first
+  // and OOM-killed the process; now the rejection is immediate — the
+  // generous wall-clock bound below only fails if a huge allocation
+  // (or swap thrash) actually happened.
+  const GeneratedRings original = small_set();
+  ASSERT_TRUE(save_rings(original, path_));
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  patch_file(path_, kCountOffset, &huge, sizeof(huge));
+
+  namespace tm = core::telemetry;
+  const bool was_enabled = tm::enabled();
+  tm::set_enabled(true);
+  const std::uint64_t rejected_before =
+      tm::counter("eval.ring_files_rejected").value();
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(load_rings(path_).has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(tm::counter("eval.ring_files_rejected").value(),
+            rejected_before + 1);
+  tm::set_enabled(was_enabled);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000);
+}
+
+TEST_F(RingIoTest, CountLargerThanPayloadRejected) {
+  // Even an off-by-one over the real record count is a corrupt file.
+  const GeneratedRings original = small_set();
+  ASSERT_TRUE(save_rings(original, path_));
+  const std::uint64_t count = original.size() + 1;
+  patch_file(path_, kCountOffset, &count, sizeof(count));
+  EXPECT_FALSE(load_rings(path_).has_value());
+}
+
+TEST_F(RingIoTest, NonFiniteRecordSkippedAndCounted) {
+  const GeneratedRings original = small_set();
+  ASSERT_TRUE(save_rings(original, path_));
+  const double nan = std::nan("");
+  patch_file(path_, kPayloadOffset + kEtaOffset, &nan, sizeof(nan));
+
+  namespace tm = core::telemetry;
+  const bool was_enabled = tm::enabled();
+  tm::set_enabled(true);
+  const std::uint64_t rejected_before =
+      tm::counter("eval.ring_records_rejected.non_finite").value();
+  const auto loaded = load_rings(path_);
+  EXPECT_EQ(tm::counter("eval.ring_records_rejected.non_finite").value(),
+            rejected_before + 1);
+  tm::set_enabled(was_enabled);
+
+  // The poisoned record is dropped; everything else loads intact.
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), original.size() - 1);
+  for (const auto& ring : loaded->rings) {
+    EXPECT_TRUE(std::isfinite(ring.eta));
+    EXPECT_TRUE(std::isfinite(ring.d_eta));
+  }
+  EXPECT_DOUBLE_EQ(loaded->rings.front().eta, original.rings[1].eta);
 }
 
 }  // namespace

@@ -62,5 +62,56 @@ TEST(RunTrials, ZeroTrialsIsEmpty) {
   EXPECT_TRUE(run_trials(runner, variant, 1, 0).empty());
 }
 
+TEST(RunTrials, TelemetryDeltaIsScheduleIndependent) {
+  // Every counter and histogram event count in the batch delta is a
+  // sum over seed-determined per-trial work, so a parallel batch must
+  // aggregate to exactly the serial totals (timing *values* are
+  // wall-clock and excluded; event counts are not).
+  namespace tm = core::telemetry;
+  const bool was_enabled = tm::enabled();
+  tm::set_enabled(true);
+
+  const TrialRunner runner(fast_setup());
+  PipelineVariant variant;
+  tm::Snapshot serial;
+  run_trials(runner, variant, 0x5eed, 6, /*parallel=*/false, &serial);
+  tm::Snapshot parallel;
+  run_trials(runner, variant, 0x5eed, 6, /*parallel=*/true, &parallel);
+  tm::set_enabled(was_enabled);
+
+  ASSERT_FALSE(serial.counters.empty());
+  EXPECT_EQ(serial.counters, parallel.counters);
+  EXPECT_EQ(serial.counters.at("eval.trials_run"), 6u);
+
+  ASSERT_FALSE(serial.histograms.empty());
+  for (const auto& [name, hist] : serial.histograms) {
+    ASSERT_TRUE(parallel.histograms.count(name)) << name;
+    EXPECT_EQ(hist.count, parallel.histograms.at(name).count) << name;
+  }
+  // The delta covers the per-trial stage timers the benches consume.
+  EXPECT_TRUE(serial.histograms.count("recon.window_ms"));
+  EXPECT_TRUE(serial.histograms.count("eval.trial_total_ms"));
+  EXPECT_EQ(serial.histograms.at("eval.trial_total_ms").count, 6u);
+}
+
+TEST(RunTrials, TelemetryDeltaExcludesPriorActivity) {
+  // The delta is since() the pre-batch snapshot: metric churn from
+  // earlier batches must not leak in.
+  namespace tm = core::telemetry;
+  const bool was_enabled = tm::enabled();
+  tm::set_enabled(true);
+
+  const TrialRunner runner(fast_setup());
+  PipelineVariant variant;
+  tm::Snapshot warmup;
+  run_trials(runner, variant, 1, 3, /*parallel=*/false, &warmup);
+  tm::Snapshot delta;
+  run_trials(runner, variant, 99, 2, /*parallel=*/false, &delta);
+  tm::set_enabled(was_enabled);
+
+  EXPECT_EQ(delta.counters.at("eval.trials_run"), 2u);
+  EXPECT_EQ(delta.histograms.at("eval.trial_total_ms").count, 2u);
+}
+
 }  // namespace
 }  // namespace adapt::eval

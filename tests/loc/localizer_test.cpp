@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
+#include "core/telemetry.hpp"
 #include "core/units.hpp"
 #include "loc/least_squares.hpp"
+#include "loc/likelihood.hpp"
 
 namespace adapt::loc {
 namespace {
@@ -205,6 +208,114 @@ TEST(Localizer, RefineImprovesOnRoughSeed) {
   const auto result = loc.refine(rings, rough);
   ASSERT_TRUE(result.valid);
   EXPECT_LT(core::rad_to_deg(core::angle_between(result.direction, s)), 1.5);
+}
+
+TEST(RingUsable, ClassifiesDegenerateRings) {
+  core::Rng rng(20);
+  recon::ComptonRing good = ring_for_source({0, 0, 1}, rng, 0.05, 0.0);
+  EXPECT_TRUE(ring_usable(good));
+
+  recon::ComptonRing r = good;
+  r.d_eta = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ring_usable(r));
+  r = good;
+  r.d_eta = 0.0;
+  EXPECT_FALSE(ring_usable(r));
+  r = good;
+  r.d_eta = -0.05;
+  EXPECT_FALSE(ring_usable(r));
+  r = good;
+  r.eta = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(ring_usable(r));
+  r = good;
+  r.axis.y = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ring_usable(r));
+}
+
+TEST(UsableRings, CleanInputReturnsSameSpanWithoutCopy) {
+  core::Rng rng(21);
+  const auto rings = signal_rings({0, 0, 1}, 30, rng, 0.05);
+  std::vector<recon::ComptonRing> storage;
+  const auto usable = usable_rings(rings, storage);
+  EXPECT_EQ(usable.data(), rings.data());
+  EXPECT_EQ(usable.size(), rings.size());
+  EXPECT_TRUE(storage.empty());
+}
+
+TEST(Localizer, SkipsBadDetaRingsAndCountsThem) {
+  // A NaN or zero d_eta ring must neither throw nor poison the NLL —
+  // the localizer drops it (counted under loc.rings_rejected.bad_deta)
+  // and localizes off the remaining good rings.
+  core::Rng rng(22);
+  const core::Vec3 s = core::from_spherical(0.5, 0.8);
+  auto rings = signal_rings(s, 200, rng, 0.05);
+  auto poison_nan = ring_for_source(s, rng, 0.05, 0.0);
+  poison_nan.d_eta = std::numeric_limits<double>::quiet_NaN();
+  auto poison_zero = ring_for_source(s, rng, 0.05, 0.0);
+  poison_zero.d_eta = 0.0;
+  auto poison_axis = ring_for_source(s, rng, 0.05, 0.0);
+  poison_axis.axis.x = std::numeric_limits<double>::quiet_NaN();
+  rings.insert(rings.begin() + 10, poison_nan);
+  rings.insert(rings.begin() + 50, poison_zero);
+  rings.push_back(poison_axis);
+
+  namespace tm = core::telemetry;
+  const bool was_enabled = tm::enabled();
+  tm::set_enabled(true);
+  const std::uint64_t bad_deta_before =
+      tm::counter("loc.rings_rejected.bad_deta").value();
+  const std::uint64_t non_finite_before =
+      tm::counter("loc.rings_rejected.non_finite").value();
+
+  Localizer loc;
+  const auto result = loc.localize(rings, rng);
+
+  EXPECT_EQ(tm::counter("loc.rings_rejected.bad_deta").value(),
+            bad_deta_before + 2);
+  EXPECT_EQ(tm::counter("loc.rings_rejected.non_finite").value(),
+            non_finite_before + 1);
+  tm::set_enabled(was_enabled);
+
+  ASSERT_TRUE(result.valid);
+  EXPECT_TRUE(std::isfinite(result.direction.x));
+  EXPECT_LT(core::rad_to_deg(core::angle_between(result.direction, s)), 1.5);
+  // rings_total still reports the raw input size, poisoned rings
+  // included.
+  EXPECT_EQ(result.rings_total, rings.size());
+}
+
+TEST(Localizer, AllRingsDegenerateIsInvalidNotACrash) {
+  core::Rng rng(23);
+  auto rings = signal_rings({0, 0, 1}, 20, rng, 0.05);
+  for (auto& r : rings) r.d_eta = std::numeric_limits<double>::quiet_NaN();
+  Localizer loc;
+  const auto result = loc.localize(rings, rng);
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(Localizer, BadDetaDoesNotChangeTheAnswer) {
+  // The surviving-ring fit must be bit-identical to a run that never
+  // saw the degenerate rings.
+  const core::Vec3 s = core::from_spherical(0.4, -0.6);
+  core::Rng gen_rng(24);
+  const auto clean = signal_rings(s, 150, gen_rng, 0.05);
+  auto dirty = clean;
+  recon::ComptonRing bad;
+  bad.axis = {0, 0, 1};
+  bad.eta = 0.5;
+  bad.d_eta = 0.0;
+  dirty.push_back(bad);
+
+  Localizer loc;
+  core::Rng rng_a(7);
+  core::Rng rng_b(7);
+  const auto a = loc.localize(clean, rng_a);
+  const auto b = loc.localize(dirty, rng_b);
+  ASSERT_TRUE(a.valid && b.valid);
+  EXPECT_EQ(a.direction.x, b.direction.x);
+  EXPECT_EQ(a.direction.y, b.direction.y);
+  EXPECT_EQ(a.direction.z, b.direction.z);
+  EXPECT_EQ(a.rings_used, b.rings_used);
 }
 
 TEST(Localizer, ThinnerRingsGiveTighterLocalization) {

@@ -12,16 +12,27 @@
 ///   adaptctl trigger    [--fluence F] [--polar P] [--seed S]
 ///   adaptctl skymap     [--fluence F] [--polar P] [--seed S] [--out map.csv]
 ///
+/// Every command additionally accepts `--metrics json|csv`: pipeline
+/// telemetry (per-stage counters and timing histograms) is collected
+/// during the run and written to stdout after the command's own
+/// output.  See README.md "Telemetry" for the metric names.
+///
+/// Flag values are parsed strictly (core::CliArgs): `--fluence banana`
+/// or `--fluence -1` is a usage error, never a silent 0.0.  Negative
+/// values (`--polar -30`) parse fine.
+///
 /// Exit code 0 on success; 2 on usage errors.
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
 
+#include "core/cli.hpp"
 #include "core/table.hpp"
+#include "core/telemetry.hpp"
+#include "loc/grid_search.hpp"
 #include "loc/skymap.hpp"
 #include "trigger/rate_trigger.hpp"
 #include "core/units.hpp"
@@ -34,56 +45,25 @@ using namespace adapt;
 
 namespace {
 
-/// Minimal --key value / --flag parser.
-class Args {
- public:
-  Args(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) {
-        std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
-        ok_ = false;
-        return;
-      }
-      key = key.substr(2);
-      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-        values_[key] = argv[++i];
-      } else {
-        values_[key] = "";  // Boolean flag.
-      }
-    }
-  }
+using core::CliArgs;
 
-  bool ok() const { return ok_; }
-  bool has(const std::string& key) const { return values_.count(key) > 0; }
-  double number(const std::string& key, double fallback) const {
-    const auto it = values_.find(key);
-    return it != values_.end() && !it->second.empty()
-               ? std::atof(it->second.c_str())
-               : fallback;
-  }
-  std::string text(const std::string& key, const std::string& fallback) const {
-    const auto it = values_.find(key);
-    return it != values_.end() && !it->second.empty() ? it->second : fallback;
-  }
+std::uint64_t seed_from(const CliArgs& args, std::uint64_t fallback) {
+  return static_cast<std::uint64_t>(
+      args.number("seed", static_cast<double>(fallback)));
+}
 
- private:
-  std::map<std::string, std::string> values_;
-  bool ok_ = true;
-};
-
-eval::TrialSetup setup_from(const Args& args) {
+eval::TrialSetup setup_from(const CliArgs& args) {
   eval::TrialSetup setup;
-  setup.grb.fluence = args.number("fluence", 1.0);
+  setup.grb.fluence = args.positive_number("fluence", 1.0);
   setup.grb.polar_deg = args.number("polar", 0.0);
   setup.grb.azimuth_deg = args.number("azimuth", 0.0);
   return setup;
 }
 
-int cmd_simulate(const Args& args) {
+int cmd_simulate(const CliArgs& args) {
   const eval::TrialSetup setup = setup_from(args);
   const eval::TrialRunner runner(setup);
-  core::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
+  core::Rng rng(seed_from(args, 1));
   core::Vec3 truth;
   const auto rings = runner.reconstruct_window(rng, &truth);
 
@@ -114,10 +94,11 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
-int cmd_localize(const Args& args) {
+int cmd_localize(const CliArgs& args) {
   const eval::TrialSetup setup = setup_from(args);
   const eval::TrialRunner runner(setup);
-  core::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
+  const std::uint64_t seed = seed_from(args, 1);
+  core::Rng rng(seed);
 
   eval::PipelineVariant variant;
   std::unique_ptr<eval::ModelProvider> provider;
@@ -138,17 +119,34 @@ int cmd_localize(const Args& args) {
               setup.grb.fluence, setup.grb.polar_deg, o.error_deg,
               o.rings_total, o.rings_grb, o.rings_background, o.rings_kept,
               o.timings.total_ms);
+
+  // Exhaustive grid-search cross-check on the same window (same seed
+  // reproduces the exact ring set): when the fast localizer and the
+  // brute-force reference disagree wildly, the burst geometry — not
+  // the optimizer — is the suspect.  --no-grid skips it.
+  if (!args.has("no-grid")) {
+    core::Rng check_rng(seed);
+    core::Vec3 truth;
+    const auto rings = runner.reconstruct_window(check_rng, &truth);
+    const loc::LocalizationResult grid = loc::grid_search_localize(rings);
+    if (grid.valid) {
+      std::printf("grid-search cross-check: error %.3f deg (%zu rings)\n",
+                  core::rad_to_deg(
+                      core::angle_between(grid.direction, truth)),
+                  grid.rings_used);
+    }
+  }
   return 0;
 }
 
-int cmd_containment(const Args& args) {
+int cmd_containment(const CliArgs& args) {
   const eval::TrialSetup setup = setup_from(args);
   const eval::TrialRunner runner(setup);
 
   eval::ContainmentConfig cc;
-  cc.trials = static_cast<std::size_t>(args.number("trials", 40));
-  cc.meta_trials = static_cast<std::size_t>(args.number("meta", 3));
-  cc.seed = static_cast<std::uint64_t>(args.number("seed", 0x5eed));
+  cc.trials = static_cast<std::size_t>(args.count("trials", 40));
+  cc.meta_trials = static_cast<std::size_t>(args.count("meta", 3));
+  cc.seed = seed_from(args, 0x5eed);
 
   eval::PipelineVariant variant;
   std::unique_ptr<eval::ModelProvider> provider;
@@ -169,13 +167,13 @@ int cmd_containment(const Args& args) {
   return 0;
 }
 
-int cmd_train(const Args& args) {
+int cmd_train(const CliArgs& args) {
   eval::ModelProviderConfig cfg;
   cfg.cache_dir = args.text("models", "adaptml_models");
   cfg.dataset.rings_per_angle = static_cast<std::size_t>(
-      args.number("rings", static_cast<double>(cfg.dataset.rings_per_angle)));
-  cfg.max_epochs = static_cast<std::size_t>(
-      args.number("epochs", static_cast<double>(cfg.max_epochs)));
+      args.count("rings", cfg.dataset.rings_per_angle));
+  cfg.max_epochs =
+      static_cast<std::size_t>(args.count("epochs", cfg.max_epochs));
   cfg.verbose = args.has("verbose");
   eval::ModelProvider provider(eval::TrialSetup{}, cfg);
   std::printf("models ready in %s (bkg accuracy %.3f, deta MSE %.3f — "
@@ -185,8 +183,8 @@ int cmd_train(const Args& args) {
   return 0;
 }
 
-int cmd_fpga(const Args& args) {
-  const int bits = static_cast<int>(args.number("bits", 8));
+int cmd_fpga(const CliArgs& args) {
+  const int bits = static_cast<int>(args.count("bits", 8));
   const std::vector<fpga::KernelLayerSpec> layers = {
       {13, 256, true}, {256, 128, true}, {128, 64, true}, {64, 1, false}};
   fpga::KernelReport report;
@@ -207,12 +205,12 @@ int cmd_fpga(const Args& args) {
   return 0;
 }
 
-int cmd_trigger(const Args& args) {
+int cmd_trigger(const CliArgs& args) {
   const eval::TrialSetup setup = setup_from(args);
   const detector::Geometry geometry(setup.geometry);
   const sim::ExposureSimulator simulator(geometry, setup.material,
                                          setup.readout);
-  core::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
+  core::Rng rng(seed_from(args, 1));
 
   const auto quiet =
       simulator.simulate_background_only(setup.background, rng);
@@ -237,10 +235,10 @@ int cmd_trigger(const Args& args) {
   return result.triggered ? 0 : 1;
 }
 
-int cmd_skymap(const Args& args) {
+int cmd_skymap(const CliArgs& args) {
   const eval::TrialSetup setup = setup_from(args);
   const eval::TrialRunner runner(setup);
-  core::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
+  core::Rng rng(seed_from(args, 1));
   core::Vec3 truth;
   const auto rings = runner.reconstruct_window(rng, &truth);
   const loc::SkyMap map = loc::SkyMap::compute(rings);
@@ -265,14 +263,17 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: adaptctl <simulate|localize|containment|train|fpga> "
-      "[--key value ...]\n"
+      "[--key value ...] [--metrics json|csv]\n"
       "  simulate    --fluence F --polar P --seed S [--out rings.csv]\n"
-      "  localize    --fluence F --polar P --seed S [--ml] [--models DIR]\n"
+      "  localize    --fluence F --polar P --seed S [--ml] [--models DIR]"
+      " [--no-grid]\n"
       "  containment --fluence F --polar P --trials N --meta M [--ml]\n"
       "  train       --rings N --epochs E [--models DIR] [--verbose]\n"
       "  fpga        --bits B   (2-8, or 32 for FP32)\n"
       "  trigger     --fluence F --polar P --seed S\n"
-      "  skymap      --fluence F --polar P --seed S [--out map.csv]\n");
+      "  skymap      --fluence F --polar P --seed S [--out map.csv]\n"
+      "  --metrics json|csv  dump pipeline telemetry to stdout after "
+      "the command\n");
 }
 
 }  // namespace
@@ -283,23 +284,51 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
-  const Args args(argc, argv, 2);
-  if (!args.ok()) {
+  try {
+    const CliArgs args(argc, argv, 2);
+
+    // Telemetry: validate the requested format BEFORE doing any work,
+    // enable collection for the run, dump after the command.
+    std::string metrics_format;
+    if (args.has("metrics")) {
+      metrics_format = args.text("metrics", "json");
+      if (metrics_format != "json" && metrics_format != "csv") {
+        throw core::CliError("--metrics must be 'json' or 'csv', got '" +
+                             metrics_format + "'");
+      }
+      core::telemetry::set_enabled(true);
+    }
+
+    int rc = 2;
+    bool known = true;
+    if (cmd == "simulate") rc = cmd_simulate(args);
+    else if (cmd == "localize") rc = cmd_localize(args);
+    else if (cmd == "containment") rc = cmd_containment(args);
+    else if (cmd == "train") rc = cmd_train(args);
+    else if (cmd == "fpga") rc = cmd_fpga(args);
+    else if (cmd == "trigger") rc = cmd_trigger(args);
+    else if (cmd == "skymap") rc = cmd_skymap(args);
+    else known = false;
+
+    if (!known) {
+      usage();
+      return 2;
+    }
+    if (!metrics_format.empty()) {
+      const core::telemetry::Snapshot snap = core::telemetry::snapshot();
+      if (metrics_format == "json") {
+        snap.write_json(std::cout);
+      } else {
+        snap.write_csv(std::cout);
+      }
+    }
+    return rc;
+  } catch (const core::CliError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     usage();
     return 2;
-  }
-  try {
-    if (cmd == "simulate") return cmd_simulate(args);
-    if (cmd == "localize") return cmd_localize(args);
-    if (cmd == "containment") return cmd_containment(args);
-    if (cmd == "train") return cmd_train(args);
-    if (cmd == "fpga") return cmd_fpga(args);
-    if (cmd == "trigger") return cmd_trigger(args);
-    if (cmd == "skymap") return cmd_skymap(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  usage();
-  return 2;
 }

@@ -9,9 +9,17 @@
 # fine.  Wall-clock noise is real, so the default tolerance is loose —
 # this gate catches "the blocked GEMM fell off a cliff", not 5% jitter.
 #
+# After the timing gate it also runs the tier-1 ctest suite under the
+# ADAPT_SANITIZE (ASan+UBSan) build so the untrusted-input paths (CLI
+# parsing, ring-file loading, NaN-ring handling) are sanitizer-covered
+# on every run.  The sanitizer tree is configured/built on first use.
+#
 # Usage: tools/check_timing_regression.sh [build_dir] [tolerance]
 #   build_dir  cmake build tree containing bench/ (default: build)
 #   tolerance  allowed slowdown factor (default: 1.5)
+# Environment:
+#   ADAPT_ASAN_DIR    sanitizer build tree (default: <repo>/build-asan)
+#   ADAPT_SKIP_ASAN   set to 1 to skip the sanitizer ctest step
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -77,5 +85,32 @@ if [ "$status" -eq 0 ]; then
 else
   echo "timing check FAILED (tolerance ${tolerance}x) — if the slowdown is intentional," >&2
   echo "refresh tools/bench_table1_2_timing.baseline.csv from a quiet machine" >&2
+  exit "$status"
 fi
-exit "$status"
+
+# ---- sanitizer-covered tier-1 tests -------------------------------
+if [ "${ADAPT_SKIP_ASAN:-0}" = "1" ]; then
+  echo "sanitizer ctest skipped (ADAPT_SKIP_ASAN=1)"
+  exit 0
+fi
+
+asan_dir=${ADAPT_ASAN_DIR:-"$repo_root/build-asan"}
+if [ ! -f "$asan_dir/CMakeCache.txt" ]; then
+  echo "configuring sanitizer tree at $asan_dir (ADAPT_SANITIZE=ON)"
+  cmake -B "$asan_dir" -S "$repo_root" -DADAPT_SANITIZE=ON >/dev/null || {
+    echo "error: sanitizer configure failed" >&2
+    exit 2
+  }
+fi
+echo "building sanitizer tree..."
+cmake --build "$asan_dir" -j "$(nproc 2>/dev/null || echo 1)" >/dev/null || {
+  echo "error: sanitizer build failed" >&2
+  exit 2
+}
+echo "running tier-1 tests under ASan+UBSan..."
+(cd "$asan_dir" && ctest --output-on-failure) || {
+  echo "sanitizer ctest FAILED" >&2
+  exit 1
+}
+echo "sanitizer ctest passed"
+exit 0
