@@ -9,7 +9,8 @@
 /// Usage: background_rejection [polar_deg] [fluence]
 
 #include <cstdio>
-#include <cstdlib>
+
+#include "core/cli.hpp"
 
 #include "core/units.hpp"
 #include "eval/model_provider.hpp"
@@ -17,8 +18,10 @@
 using namespace adapt;
 
 int main(int argc, char** argv) {
-  const double polar_deg = argc > 1 ? std::atof(argv[1]) : 30.0;
-  const double fluence = argc > 2 ? std::atof(argv[2]) : 1.0;
+  const double polar_deg =
+      argc > 1 ? core::parse_double(argv[1], "polar_deg") : 30.0;
+  const double fluence =
+      argc > 2 ? core::parse_double(argv[2], "fluence") : 1.0;
 
   eval::TrialSetup setup;
   setup.grb.polar_deg = polar_deg;

@@ -19,7 +19,8 @@
 /// Usage: burst_alert [fluence] [polar_deg]
 
 #include <cstdio>
-#include <cstdlib>
+
+#include "core/cli.hpp"
 
 #include "core/units.hpp"
 #include "eval/model_provider.hpp"
@@ -29,8 +30,9 @@ using namespace adapt;
 
 int main(int argc, char** argv) {
   eval::TrialSetup setup;
-  setup.grb.fluence = argc > 1 ? std::atof(argv[1]) : 1.0;
-  setup.grb.polar_deg = argc > 2 ? std::atof(argv[2]) : 35.0;
+  setup.grb.fluence = argc > 1 ? core::parse_double(argv[1], "fluence") : 1.0;
+  setup.grb.polar_deg =
+      argc > 2 ? core::parse_double(argv[2], "polar_deg") : 35.0;
 
   std::printf("loading (or training) models from ./adaptml_models ...\n");
   eval::ModelProvider provider(eval::TrialSetup{}, {});

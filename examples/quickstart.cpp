@@ -13,6 +13,8 @@
 
 #include <cstdio>
 
+#include "core/cli.hpp"
+
 #include "core/rng.hpp"
 #include "core/units.hpp"
 #include "detector/geometry.hpp"
@@ -25,7 +27,8 @@ int main(int argc, char** argv) {
   // Workload: one short GRB, normally incident unless overridden.
   eval::TrialSetup setup;
   setup.grb.fluence = 1.0;  // MeV/cm^2
-  setup.grb.polar_deg = argc > 1 ? std::atof(argv[1]) : 30.0;
+  setup.grb.polar_deg =
+      argc > 1 ? core::parse_double(argv[1], "polar_deg") : 30.0;
 
   const eval::TrialRunner runner(setup);
   core::Rng rng(42);

@@ -1,0 +1,81 @@
+#include "core/contract.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace adapt::core {
+
+void contract_failed(const char* kind, const char* detail, const char* file,
+                     int line, const std::string& msg) {
+  std::string full(kind);
+  full += " failed: ";
+  full += detail;
+  full += " at ";
+  full += file;
+  full += ':';
+  full += std::to_string(line);
+  if (!msg.empty()) {
+    full += " — ";
+    full += msg;
+  }
+  throw ContractViolation(full);
+}
+
+bool is_finite_value(double x) { return std::isfinite(x); }
+
+bool is_prob(double p) { return std::isfinite(p) && p >= 0.0 && p <= 1.0; }
+
+bool is_cosine(double c) { return std::isfinite(c) && c >= -1.0 && c <= 1.0; }
+
+bool is_quant_scale(double s) { return std::isfinite(s) && s > 0.0; }
+
+bool is_unit_vector(const Vec3& v, double tol) {
+  const double n = v.norm();
+  return std::isfinite(n) && std::abs(n - 1.0) <= tol;
+}
+
+namespace {
+
+/// Shared failure path for the domain checks: format the offending
+/// value into the report so the exception is actionable on its own.
+[[noreturn]] void value_check_failed(const char* what, double value,
+                                     const char* expected, const char* file,
+                                     int line) {
+  char detail[160];
+  std::snprintf(detail, sizeof(detail), "%s = %.17g (expected %s)", what,
+                value, expected);
+  contract_failed("invariant", detail, file, line, "");
+}
+
+}  // namespace
+
+void check_finite(double x, const char* what, const char* file, int line) {
+  if (!is_finite_value(x)) value_check_failed(what, x, "finite", file, line);
+}
+
+void check_prob(double p, const char* what, const char* file, int line) {
+  if (!is_prob(p)) value_check_failed(what, p, "in [0, 1]", file, line);
+}
+
+void check_cosine(double c, const char* what, const char* file, int line) {
+  if (!is_cosine(c)) value_check_failed(what, c, "in [-1, 1]", file, line);
+}
+
+void check_quant_scale(double s, const char* what, const char* file,
+                       int line) {
+  if (!is_quant_scale(s))
+    value_check_failed(what, s, "> 0 and finite", file, line);
+}
+
+void check_unit_vector(const Vec3& v, const char* what, const char* file,
+                       int line) {
+  if (!is_unit_vector(v)) {
+    char detail[160];
+    std::snprintf(detail, sizeof(detail),
+                  "%s = (%.9g, %.9g, %.9g), |v| = %.17g (expected unit)",
+                  what, v.x, v.y, v.z, v.norm());
+    contract_failed("invariant", detail, file, line, "");
+  }
+}
+
+}  // namespace adapt::core

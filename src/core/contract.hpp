@@ -1,0 +1,160 @@
+#pragma once
+
+/// \file contract.hpp
+/// Repo-wide contracts: preconditions, postconditions, and invariants
+/// with an explicit cost model.
+///
+/// Three macro tiers, chosen by who is at fault when the condition
+/// fails and how hot the call site is:
+///
+///   - ADAPT_REQUIRE(expr, msg) — precondition at a trust boundary
+///     (caller handed us bad data: file contents, CLI values, public
+///     API arguments).  ALWAYS checked, every build type: the library
+///     runs long statistical campaigns where silently propagating a
+///     NaN costs far more than a predictable branch.  Throws
+///     core::ContractViolation (a std::invalid_argument).
+///
+///   - ADAPT_ENSURE(expr, msg) — postcondition: what this function
+///     promises its caller (a sampled cosine is in [-1,1], a computed
+///     scale is positive).  Compiled out of release builds; enabled by
+///     the ADAPT_CHECKED CMake option.
+///
+///   - ADAPT_INVARIANT(expr, msg) — internal consistency mid-function
+///     or on hot paths (per-ring, per-tensor-element conditions).
+///     Same gating as ADAPT_ENSURE.
+///
+/// "Compiled out" is literal: the disabled form evaluates the
+/// condition inside sizeof(), so it still type-checks (a contract
+/// cannot rot into referencing renamed variables) but generates no
+/// code and never evaluates side effects.
+///
+/// Domain helper macros wrap the recurring physics/NN invariants and
+/// report the offending value in the exception message:
+///
+///   ADAPT_CHECK_UNIT_VECTOR(v, what)   |v| == 1 within 1e-6
+///   ADAPT_CHECK_FINITE(x, what)        no NaN/inf
+///   ADAPT_CHECK_PROB(p, what)          finite, in [0, 1]
+///   ADAPT_CHECK_COSINE(c, what)        finite, in [-1, 1]
+///   ADAPT_CHECK_QUANT_SCALE(s, what)   finite, strictly positive
+///
+/// They follow the ADAPT_ENSURE gating (zero-cost in release).  The
+/// underlying predicates (core::is_finite_value, core::is_prob, ...)
+/// are plain always-available functions — use them directly with
+/// ADAPT_REQUIRE when validating untrusted input.
+///
+/// Failures throw (never abort): flight software wraps stages in
+/// recovery scopes, and tests assert on the message, which always
+/// carries file:line of the call site.
+
+#include <string>
+
+#include "core/vec3.hpp"
+
+namespace adapt::core {
+
+/// Thrown on any contract failure.  Derives std::invalid_argument so
+/// pre-contract call sites catching that (or std::logic_error) keep
+/// working.  what() carries kind, expression/value, and file:line.
+class ContractViolation : public std::invalid_argument {
+ public:
+  explicit ContractViolation(const std::string& msg)
+      : std::invalid_argument(msg) {}
+};
+
+/// [noreturn] failure sink shared by every macro tier.  `kind` is
+/// "requirement" / "postcondition" / "invariant"; `detail` the failed
+/// expression or a formatted value report.
+[[noreturn]] void contract_failed(const char* kind, const char* detail,
+                                  const char* file, int line,
+                                  const std::string& msg);
+
+/// Back-compat alias for the pre-contract require.hpp entry point.
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  contract_failed("requirement", expr, file, line, msg);
+}
+
+// --- always-available predicates (for ADAPT_REQUIRE at boundaries) ---
+
+bool is_finite_value(double x);
+/// Finite and in [0, 1] (probabilities, containment fractions).
+bool is_prob(double p);
+/// Finite and in [-1, 1] (cos eta, ring cosines, correlations).
+bool is_cosine(double c);
+/// Finite and strictly positive (quantization scales, energies).
+bool is_quant_scale(double s);
+/// |v| == 1 within `tol` (ring axes, photon directions).
+bool is_unit_vector(const Vec3& v, double tol = 1e-6);
+
+// --- throwing domain checks (called via the ADAPT_CHECK_* macros) ---
+
+void check_finite(double x, const char* what, const char* file, int line);
+void check_prob(double p, const char* what, const char* file, int line);
+void check_cosine(double c, const char* what, const char* file, int line);
+void check_quant_scale(double s, const char* what, const char* file,
+                       int line);
+void check_unit_vector(const Vec3& v, const char* what, const char* file,
+                       int line);
+
+}  // namespace adapt::core
+
+/// Preconditions: always on (see file comment).
+#define ADAPT_REQUIRE(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::adapt::core::contract_failed("requirement", #expr, __FILE__,    \
+                                     __LINE__, msg);                    \
+    }                                                                   \
+  } while (false)
+
+/// Type-check the contract expression without generating code or
+/// evaluating side effects (sizeof operand is an unevaluated context).
+#define ADAPT_CONTRACT_IGNORE(expr) \
+  static_cast<void>(sizeof((expr) ? 1 : 0))
+
+#ifndef ADAPT_CONTRACTS_CHECKED
+#define ADAPT_CONTRACTS_CHECKED 0
+#endif
+
+#if ADAPT_CONTRACTS_CHECKED
+
+#define ADAPT_ENSURE(expr, msg)                                         \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::adapt::core::contract_failed("postcondition", #expr, __FILE__,  \
+                                     __LINE__, msg);                    \
+    }                                                                   \
+  } while (false)
+
+#define ADAPT_INVARIANT(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::adapt::core::contract_failed("invariant", #expr, __FILE__,      \
+                                     __LINE__, msg);                    \
+    }                                                                   \
+  } while (false)
+
+#define ADAPT_CHECK_FINITE(x, what) \
+  ::adapt::core::check_finite((x), (what), __FILE__, __LINE__)
+#define ADAPT_CHECK_PROB(p, what) \
+  ::adapt::core::check_prob((p), (what), __FILE__, __LINE__)
+#define ADAPT_CHECK_COSINE(c, what) \
+  ::adapt::core::check_cosine((c), (what), __FILE__, __LINE__)
+#define ADAPT_CHECK_QUANT_SCALE(s, what) \
+  ::adapt::core::check_quant_scale((s), (what), __FILE__, __LINE__)
+#define ADAPT_CHECK_UNIT_VECTOR(v, what) \
+  ::adapt::core::check_unit_vector((v), (what), __FILE__, __LINE__)
+
+#else  // !ADAPT_CONTRACTS_CHECKED
+
+#define ADAPT_ENSURE(expr, msg) ADAPT_CONTRACT_IGNORE(expr)
+#define ADAPT_INVARIANT(expr, msg) ADAPT_CONTRACT_IGNORE(expr)
+
+#define ADAPT_CHECK_FINITE(x, what) ADAPT_CONTRACT_IGNORE((x) == 0.0)
+#define ADAPT_CHECK_PROB(p, what) ADAPT_CONTRACT_IGNORE((p) == 0.0)
+#define ADAPT_CHECK_COSINE(c, what) ADAPT_CONTRACT_IGNORE((c) == 0.0)
+#define ADAPT_CHECK_QUANT_SCALE(s, what) ADAPT_CONTRACT_IGNORE((s) == 0.0)
+#define ADAPT_CHECK_UNIT_VECTOR(v, what) \
+  ADAPT_CONTRACT_IGNORE(::adapt::core::is_unit_vector(v))
+
+#endif  // ADAPT_CONTRACTS_CHECKED

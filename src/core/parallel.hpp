@@ -4,43 +4,135 @@
 /// The hot-path compute layer's threading primitives.
 ///
 /// Everything performance-critical in adaptml (GEMM kernels, INT8
-/// inference, grid-search localization, the evaluation trial harness)
-/// funnels its parallelism through these helpers instead of raw
-/// OpenMP pragmas, so that
-///   - builds without OpenMP degrade to clean serial loops,
+/// inference, grid-search localization, event reconstruction, the
+/// evaluation trial harness) funnels its parallelism through these
+/// helpers instead of raw OpenMP pragmas, so that
 ///   - results are deterministic and independent of the schedule
-///     (work is indexed, reductions merge in index order), and
+///     (work is indexed, reductions merge in index/score order),
 ///   - thread-count and tile-size knobs live in one place
-///     (`OMP_NUM_THREADS`, `ADAPT_GEMM_TILE_COLS`).
+///     (`OMP_NUM_THREADS` / `ADAPT_NUM_THREADS`,
+///     `ADAPT_GEMM_TILE_COLS`), and
+///   - the backend is swappable: OpenMP when compiled in, a portable
+///     std::thread fork/join otherwise (or when ADAPT_PARALLEL_FORCE_STD
+///     is defined — the TSan build does this, because libgomp's
+///     futex-based barriers and criticals are invisible to
+///     ThreadSanitizer and would drown real findings in false
+///     positives; std::thread/std::mutex/std::atomic are fully
+///     instrumented).
+///
+/// Memory-ordering contract
+/// ------------------------
+/// Callers hand parallel_for / parallel_argmin a set of *disjoint*
+/// index-addressed work items; no iteration may touch another
+/// iteration's state.  Under that contract the only synchronization
+/// these helpers owe callers is fork/join ordering:
+///
+///   - Everything the caller wrote before the call happens-before
+///     every `fn(i)` (thread creation / OpenMP region entry), and
+///   - every `fn(i)` happens-before the return (thread join / OpenMP
+///     barrier).
+///
+/// Both backends get this for free from their primitives, so worker
+/// bookkeeping can be intentionally weak:
+///   - the std backend's chunk cursor is fetch_add(relaxed) — it only
+///     partitions indices, never publishes data; the join provides the
+///     release/acquire edge for the results themselves;
+///   - parallel_argmin merges thread-local minima under a mutex
+///     (OpenMP: `omp critical`), and the merge is made *deterministic*
+///     by value, not by timing: better score wins, equal scores go to
+///     the smaller index, so the winner is independent of merge order.
+///
+/// Exceptions: a throw from `fn` (e.g. an ADAPT_CHECKED contract
+/// firing inside a worker) is captured, the region drains, and the
+/// first-thrown exception is rethrown on the calling thread — OpenMP
+/// would otherwise std::terminate, and std::thread would call
+/// std::terminate at destructor time.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
-#ifdef _OPENMP
+#if defined(_OPENMP) && !defined(ADAPT_PARALLEL_FORCE_STD)
+#define ADAPT_PARALLEL_BACKEND_OMP 1
 #include <omp.h>
+#else
+#define ADAPT_PARALLEL_BACKEND_OMP 0
 #endif
 
 namespace adapt::core {
 
+namespace detail {
+
+/// Set while a std-backend worker (or the caller participating as one)
+/// is inside a parallel region; mirrors omp_in_parallel().
+inline bool& std_backend_in_parallel() {
+  thread_local bool flag = false;
+  return flag;
+}
+
+/// Thread budget for the std backend: ADAPT_NUM_THREADS, then
+/// OMP_NUM_THREADS (so existing run scripts keep working), then
+/// hardware_concurrency.  Parsed once; malformed values fall back.
+inline int std_backend_max_threads() {
+  static const int cached = [] {
+    for (const char* name : {"ADAPT_NUM_THREADS", "OMP_NUM_THREADS"}) {
+      const char* v = std::getenv(name);
+      if (v == nullptr || *v == '\0') continue;
+      char* end = nullptr;
+      const long parsed = std::strtol(v, &end, 10);
+      if (end != v && *end == '\0' && parsed > 0 && parsed < 1024)
+        return static_cast<int>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }();
+  return cached;
+}
+
+/// First-exception capture shared by both backends: workers that catch
+/// store the first exception_ptr and raise the (relaxed) stop flag so
+/// remaining chunks are skipped; the caller rethrows after the join.
+/// The mutex orders the exception_ptr write against the post-join read.
+struct ErrorSlot {
+  std::mutex mutex;
+  std::exception_ptr first;
+  std::atomic<bool> stop{false};
+
+  void capture() noexcept {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!first) first = std::current_exception();
+    stop.store(true, std::memory_order_relaxed);
+  }
+  void rethrow_if_set() {
+    if (first) std::rethrow_exception(first);
+  }
+};
+
+}  // namespace detail
+
 /// Number of worker threads a parallel region may use (OpenMP's
-/// max-threads setting, i.e. `OMP_NUM_THREADS`; 1 without OpenMP).
+/// max-threads setting under the OpenMP backend, else the env-derived
+/// std::thread budget; always >= 1).
 inline int max_threads() {
-#ifdef _OPENMP
+#if ADAPT_PARALLEL_BACKEND_OMP
   return omp_get_max_threads();
 #else
-  return 1;
+  return detail::std_backend_max_threads();
 #endif
 }
 
 /// True when called from inside a parallel region (used to avoid
-/// nesting, which OpenMP would serialize anyway).
+/// nesting, which would oversubscribe or deadlock either backend).
 inline bool in_parallel_region() {
-#ifdef _OPENMP
+#if ADAPT_PARALLEL_BACKEND_OMP
   return omp_in_parallel();
 #else
-  return false;
+  return detail::std_backend_in_parallel();
 #endif
 }
 
@@ -59,24 +151,69 @@ inline std::size_t env_tuning_knob(const char* name, std::size_t fallback) {
 
 /// Run `fn(i)` for i in [0, n).  `grain` is the scheduling granularity
 /// (dynamic chunks of `grain` iterations — trials and GEMM row blocks
-/// have uneven cost).  Serial when OpenMP is absent, when already
-/// inside a parallel region, or when `n` is too small to amortize the
-/// fork.  `fn` must not depend on execution order.
+/// have uneven cost).  Serial when threading is unavailable, when
+/// already inside a parallel region, or when `n` is too small to
+/// amortize the fork.  `fn` must not depend on execution order and
+/// must not touch another iteration's state.
 template <typename Fn>
 void parallel_for(std::size_t n, Fn&& fn, std::size_t grain = 1) {
-#ifdef _OPENMP
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (n + grain - 1) / grain;
+
+#if ADAPT_PARALLEL_BACKEND_OMP
   if (!in_parallel_region() && max_threads() > 1 && n > grain) {
-    const auto ni = static_cast<std::ptrdiff_t>(n);
+    detail::ErrorSlot err;
+    const auto nc = static_cast<std::ptrdiff_t>(chunks);
 #pragma omp parallel for schedule(dynamic, 1)
-    for (std::ptrdiff_t chunk = 0;
-         chunk < (ni + static_cast<std::ptrdiff_t>(grain) - 1) /
-                     static_cast<std::ptrdiff_t>(grain);
-         ++chunk) {
-      const std::size_t begin =
-          static_cast<std::size_t>(chunk) * grain;
+    for (std::ptrdiff_t chunk = 0; chunk < nc; ++chunk) {
+      if (err.stop.load(std::memory_order_relaxed)) continue;
+      const std::size_t begin = static_cast<std::size_t>(chunk) * grain;
       const std::size_t end = begin + grain < n ? begin + grain : n;
-      for (std::size_t i = begin; i < end; ++i) fn(i);
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        err.capture();
+      }
     }
+    err.rethrow_if_set();
+    return;
+  }
+#else
+  const int budget = max_threads();
+  if (!in_parallel_region() && budget > 1 && n > grain) {
+    // Fork/join with dynamic chunk self-scheduling: workers (the
+    // caller included) pull chunk indices off a relaxed atomic cursor.
+    // The cursor only partitions work; the joins below publish the
+    // workers' writes to the caller.
+    const std::size_t n_workers =
+        std::min(static_cast<std::size_t>(budget), chunks);
+    std::atomic<std::size_t> next{0};
+    detail::ErrorSlot err;
+    auto worker = [&]() noexcept {
+      bool& in_par = detail::std_backend_in_parallel();
+      const bool saved = in_par;
+      in_par = true;
+      for (;;) {
+        if (err.stop.load(std::memory_order_relaxed)) break;
+        const std::size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= chunks) break;
+        const std::size_t begin = chunk * grain;
+        const std::size_t end = begin + grain < n ? begin + grain : n;
+        try {
+          for (std::size_t i = begin; i < end; ++i) fn(i);
+        } catch (...) {
+          err.capture();
+        }
+      }
+      in_par = saved;
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(n_workers - 1);
+    for (std::size_t t = 0; t + 1 < n_workers; ++t)
+      threads.emplace_back(worker);
+    worker();  // The calling thread participates.
+    for (std::thread& t : threads) t.join();
+    err.rethrow_if_set();
     return;
   }
 #endif
@@ -93,9 +230,11 @@ std::pair<std::size_t, double> parallel_argmin(std::size_t n,
   std::size_t best_i = n;
   double best_s = 0.0;
   bool have = false;
-#ifdef _OPENMP
+
+#if ADAPT_PARALLEL_BACKEND_OMP
   if (!in_parallel_region() && max_threads() > 1 && n > 64) {
     const auto ni = static_cast<std::ptrdiff_t>(n);
+    detail::ErrorSlot err;
 #pragma omp parallel
     {
       std::size_t local_i = n;
@@ -103,11 +242,16 @@ std::pair<std::size_t, double> parallel_argmin(std::size_t n,
       bool local_have = false;
 #pragma omp for schedule(static) nowait
       for (std::ptrdiff_t i = 0; i < ni; ++i) {
-        const double s = score(static_cast<std::size_t>(i));
-        if (!local_have || s < local_s) {
-          local_have = true;
-          local_s = s;
-          local_i = static_cast<std::size_t>(i);
+        if (err.stop.load(std::memory_order_relaxed)) continue;
+        try {
+          const double s = score(static_cast<std::size_t>(i));
+          if (!local_have || s < local_s) {
+            local_have = true;
+            local_s = s;
+            local_i = static_cast<std::size_t>(i);
+          }
+        } catch (...) {
+          err.capture();
         }
       }
 #pragma omp critical(adapt_parallel_argmin)
@@ -123,6 +267,60 @@ std::pair<std::size_t, double> parallel_argmin(std::size_t n,
         }
       }
     }
+    err.rethrow_if_set();
+    return {best_i, best_s};
+  }
+#else
+  const int budget = max_threads();
+  if (!in_parallel_region() && budget > 1 && n > 64) {
+    // Static contiguous split; each worker scans its range serially
+    // and merges its local minimum under the mutex.  The merge rule
+    // (score, then index) makes the result independent of merge order;
+    // the joins publish everything else.
+    const std::size_t n_workers =
+        std::min<std::size_t>(static_cast<std::size_t>(budget), n);
+    std::mutex merge_mutex;
+    detail::ErrorSlot err;
+    auto worker = [&](std::size_t w) noexcept {
+      bool& in_par = detail::std_backend_in_parallel();
+      const bool saved = in_par;
+      in_par = true;
+      const std::size_t begin = w * n / n_workers;
+      const std::size_t end = (w + 1) * n / n_workers;
+      std::size_t local_i = n;
+      double local_s = 0.0;
+      bool local_have = false;
+      try {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (err.stop.load(std::memory_order_relaxed)) break;
+          const double s = score(i);
+          if (!local_have || s < local_s) {
+            local_have = true;
+            local_s = s;
+            local_i = i;
+          }
+        }
+      } catch (...) {
+        err.capture();
+      }
+      if (local_have) {
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        if (!have || local_s < best_s ||
+            (local_s == best_s && local_i < best_i)) {
+          have = true;
+          best_s = local_s;
+          best_i = local_i;
+        }
+      }
+      in_par = saved;
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(n_workers - 1);
+    for (std::size_t w = 1; w < n_workers; ++w)
+      threads.emplace_back(worker, w);
+    worker(0);
+    for (std::thread& t : threads) t.join();
+    err.rethrow_if_set();
     return {best_i, best_s};
   }
 #endif

@@ -1,27 +1,8 @@
 #pragma once
 
 /// \file require.hpp
-/// Lightweight precondition checking.  ADAPT_REQUIRE is always active
-/// (release builds included): the library is used in long statistical
-/// runs where silently propagating a NaN costs far more than a branch.
+/// Back-compat shim: ADAPT_REQUIRE and require_failed() moved into the
+/// full contracts layer (preconditions + postconditions + invariants +
+/// domain helpers).  Include "core/contract.hpp" directly in new code.
 
-#include <stdexcept>
-#include <string>
-
-namespace adapt::core {
-
-[[noreturn]] inline void require_failed(const char* expr, const char* file,
-                                        int line, const std::string& msg) {
-  throw std::invalid_argument(std::string("requirement failed: ") + expr +
-                              " at " + file + ":" + std::to_string(line) +
-                              (msg.empty() ? "" : (" — " + msg)));
-}
-
-}  // namespace adapt::core
-
-#define ADAPT_REQUIRE(expr, msg)                                   \
-  do {                                                             \
-    if (!(expr)) {                                                 \
-      ::adapt::core::require_failed(#expr, __FILE__, __LINE__, msg); \
-    }                                                              \
-  } while (false)
+#include "core/contract.hpp"

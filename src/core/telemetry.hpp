@@ -31,6 +31,24 @@
 /// The initial enable state comes from the ADAPT_TELEMETRY environment
 /// variable ("1"/"on" enables); `adaptctl --metrics` and the Table I/II
 /// bench call set_enabled(true) themselves.
+///
+/// Memory ordering
+/// ---------------
+/// Every atomic here is intentionally `memory_order_relaxed`, and that
+/// is sufficient — no metric value ever *publishes* other data:
+///   - Counters and histogram bins are commutative sums read only by
+///     snapshot()/accessors; readers need each value's total, not an
+///     ordering between metrics.  Snapshots taken while workers run are
+///     allowed to be mid-flight approximations; exact totals are read
+///     after the parallel region's join, which already provides the
+///     happens-before edge (see core/parallel.hpp).
+///   - min_/max_/sum_ use relaxed CAS loops: each iteration only needs
+///     atomicity of its own read-modify-write, not ordering.
+///   - The enable flag is a control knob, not a synchronizer: a racing
+///     reader may record or skip one sample around set_enabled(), and
+///     either outcome is acceptable by design.
+/// If a metric is ever used to hand data between threads (it must not
+/// be), that transfer needs its own acquire/release pair.
 
 #include <array>
 #include <atomic>

@@ -9,7 +9,8 @@
 #include <filesystem>
 #include <string>
 
-#include "core/require.hpp"
+#include "core/cli.hpp"
+#include "core/contract.hpp"
 #include "core/stats.hpp"
 #include "nn/activations.hpp"
 #include "nn/mlp.hpp"
@@ -54,13 +55,16 @@ std::size_t env_size(const char* name, std::size_t fallback) {
 double env_double(const char* name, double fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || blank(v)) return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const double parsed = std::strtod(v, &end);
-  ADAPT_REQUIRE(end != v && blank(end) && errno != ERANGE,
-                std::string(name) + "='" + v +
-                    "' is not a number — unset it or pass a positive "
-                    "value");
+  // Strict full-token parse (rejects trailing junk, inf, nan) shared
+  // with the CLI layer; surfaced as the contract type env callers
+  // already catch (std::invalid_argument).
+  double parsed = 0.0;
+  try {
+    parsed = core::parse_double(v, name);
+  } catch (const core::CliError& e) {
+    throw core::ContractViolation(
+        std::string(e.what()) + " — unset it or pass a positive value");
+  }
   ADAPT_REQUIRE(parsed > 0.0, std::string(name) + "='" + v +
                                   "' must be positive");
   return parsed;

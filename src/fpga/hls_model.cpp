@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/require.hpp"
+#include "core/contract.hpp"
 
 namespace adapt::fpga {
 
@@ -80,7 +80,8 @@ namespace {
 /// Pipeline fill depth of one stage: the reduction-tree depth over the
 /// input fan-in plus the per-datatype operator latency.
 std::size_t stage_depth(const KernelLayerSpec& layer, DataType t) {
-  const double fan_in = std::max<std::size_t>(layer.in_features, 2);
+  const auto fan_in =
+      static_cast<double>(std::max<std::size_t>(layer.in_features, 2));
   const auto tree = static_cast<std::size_t>(std::ceil(std::log2(fan_in)));
   // FP32 adders are ~4-cycle pipelined cores; int adds are 1 cycle.
   return t == DataType::kInt8 ? tree + 6 : tree * 4 + 10;
@@ -131,6 +132,11 @@ KernelReport synthesize(const std::vector<KernelLayerSpec>& layers,
                      ? 0
                      : (bytes + config.bram_bytes - 1) / config.bram_bytes;
 
+    // A pipelined stage initiates at least once and fills over at
+    // least one cycle — a zero here would make the report claim
+    // infinite throughput.
+    ADAPT_ENSURE(stage.ii_cycles >= 1, "stage II must be at least one cycle");
+    ADAPT_ENSURE(stage.depth_cycles >= 1, "stage depth must be positive");
     max_stage_ii = std::max(max_stage_ii, stage.ii_cycles);
     total_depth += stage.depth_cycles;
     report.dsp += stage.dsp;
@@ -149,6 +155,9 @@ KernelReport synthesize(const std::vector<KernelLayerSpec>& layers,
       report.ii_cycles + total_depth +
       static_cast<std::size_t>(std::ceil(
           static_cast<double>(config.io_beats) * model.bytes_per_value));
+  // First-result latency can never beat the initiation interval.
+  ADAPT_ENSURE(report.latency_cycles >= report.ii_cycles,
+               "latency must cover at least one initiation interval");
   return report;
 }
 

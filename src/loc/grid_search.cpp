@@ -3,8 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/contract.hpp"
 #include "core/parallel.hpp"
-#include "core/require.hpp"
 #include "core/telemetry.hpp"
 #include "core/units.hpp"
 #include "loc/likelihood.hpp"
@@ -101,7 +101,12 @@ Vec3 scan(std::span<const recon::ComptonRing> rings, const Vec3& center,
       !std::isfinite(best_nll)) {
     return center;  // Every candidate below the horizon.
   }
-  return dir_of(best_i);
+  const Vec3 best = dir_of(best_i);
+  // Offsets are unit combinations of an orthonormal frame, so the
+  // winning candidate must still be a direction (a drifting frame or a
+  // corrupted grid cache would surface here, not as a skewed skymap).
+  ADAPT_CHECK_UNIT_VECTOR(best, "grid-scan winning direction");
+  return best;
 }
 
 }  // namespace

@@ -5,7 +5,8 @@
 #include <fstream>
 #include <numeric>
 
-#include "core/require.hpp"
+#include "core/contract.hpp"
+#include "core/parallel.hpp"
 #include "core/units.hpp"
 #include "loc/likelihood.hpp"
 
@@ -46,13 +47,14 @@ SkyMap SkyMap::compute(std::span<const recon::ComptonRing> rings,
   // Log-posterior per pixel, then a stable softmax with solid-angle
   // weights.
   std::vector<double> log_post(total);
-  const auto n = static_cast<std::ptrdiff_t>(total);
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t i = 0; i < n; ++i) {
-    const Vec3 dir = map.pixel_center(static_cast<std::size_t>(i));
-    log_post[static_cast<std::size_t>(i)] =
-        -truncated_neg_log_likelihood(rings, dir, config.truncation_sigma);
-  }
+  core::parallel_for(
+      total,
+      [&](std::size_t i) {
+        const Vec3 dir = map.pixel_center(i);
+        log_post[i] =
+            -truncated_neg_log_likelihood(rings, dir, config.truncation_sigma);
+      },
+      /*grain=*/64);
   const double max_log =
       *std::max_element(log_post.begin(), log_post.end());
   double norm = 0.0;

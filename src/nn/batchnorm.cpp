@@ -54,12 +54,13 @@ Tensor BatchNorm1d::forward(const Tensor& x, bool training) {
 
   for (std::size_t c = 0; c < features_; ++c) {
     double mean = 0.0;
-    for (std::size_t r = 0; r < n; ++r) mean += x(r, c);
+    for (std::size_t r = 0; r < n; ++r)
+      mean += static_cast<double>(x(r, c));
     mean /= static_cast<double>(n);
 
     double var = 0.0;
     for (std::size_t r = 0; r < n; ++r) {
-      const double d = x(r, c) - mean;
+      const double d = static_cast<double>(x(r, c)) - mean;
       var += d * d;
     }
     var /= static_cast<double>(n);  // Biased, as PyTorch normalizes.
@@ -78,9 +79,11 @@ Tensor BatchNorm1d::forward(const Tensor& x, bool training) {
     const double unbiased =
         var * static_cast<double>(n) / static_cast<double>(n - 1);
     running_mean_[c] = static_cast<float>(
-        (1.0 - momentum_) * running_mean_[c] + momentum_ * mean);
+        (1.0 - momentum_) * static_cast<double>(running_mean_[c]) +
+        momentum_ * mean);
     running_var_[c] = static_cast<float>(
-        (1.0 - momentum_) * running_var_[c] + momentum_ * unbiased);
+        (1.0 - momentum_) * static_cast<double>(running_var_[c]) +
+        momentum_ * unbiased);
   }
   return y;
 }
@@ -100,8 +103,8 @@ Tensor BatchNorm1d::backward(const Tensor& grad_out) {
     double sum_dy_xhat = 0.0;
     for (std::size_t r = 0; r < n; ++r) {
       const float dy = grad_out(r, c);
-      sum_dy += dy;
-      sum_dy_xhat += static_cast<double>(dy) * x_hat_(r, c);
+      sum_dy += static_cast<double>(dy);
+      sum_dy_xhat += static_cast<double>(dy) * static_cast<double>(x_hat_(r, c));
     }
 
     gamma_.grad(0, c) += static_cast<float>(sum_dy_xhat);
@@ -109,7 +112,7 @@ Tensor BatchNorm1d::backward(const Tensor& grad_out) {
 
     // Standard batchnorm input gradient:
     // dx = (g * inv_std / n) * (n*dy - sum(dy) - x_hat * sum(dy*x_hat))
-    const double scale = static_cast<double>(g) * inv_std /
+    const double scale = static_cast<double>(g) * static_cast<double>(inv_std) /
                          static_cast<double>(n);
     for (std::size_t r = 0; r < n; ++r) {
       const double dy = grad_out(r, c);

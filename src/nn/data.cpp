@@ -47,11 +47,12 @@ void Standardizer::fit(const Tensor& x) {
   inv_std_.assign(d, 1.0f);
   for (std::size_t c = 0; c < d; ++c) {
     double mean = 0.0;
-    for (std::size_t r = 0; r < x.rows(); ++r) mean += x(r, c);
+    for (std::size_t r = 0; r < x.rows(); ++r)
+      mean += static_cast<double>(x(r, c));
     mean /= static_cast<double>(x.rows());
     double var = 0.0;
     for (std::size_t r = 0; r < x.rows(); ++r) {
-      const double dlt = x(r, c) - mean;
+      const double dlt = static_cast<double>(x(r, c)) - mean;
       var += dlt * dlt;
     }
     var /= static_cast<double>(x.rows());

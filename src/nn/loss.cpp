@@ -40,7 +40,8 @@ LossResult mse(const Tensor& pred, const std::vector<float>& targets) {
   out.grad = Tensor(n, 1);
   double total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    const double d = static_cast<double>(pred(i, 0)) - targets[i];
+    const double d =
+        static_cast<double>(pred(i, 0)) - static_cast<double>(targets[i]);
     total += d * d;
     out.grad(i, 0) = static_cast<float>(2.0 * d / static_cast<double>(n));
   }

@@ -50,11 +50,12 @@ void Adam::step() {
     for (std::size_t j = 0; j < m.size(); ++j) {
       double g = p->grad.vec()[j];
       if (config_.weight_decay > 0.0)
-        g += config_.weight_decay * p->value.vec()[j];
-      m[j] = static_cast<float>(b1 * m[j] + (1.0 - b1) * g);
-      v[j] = static_cast<float>(b2 * v[j] + (1.0 - b2) * g * g);
-      const double m_hat = m[j] / bias1;
-      const double v_hat = v[j] / bias2;
+        g += config_.weight_decay * static_cast<double>(p->value.vec()[j]);
+      m[j] = static_cast<float>(b1 * static_cast<double>(m[j]) + (1.0 - b1) * g);
+      v[j] =
+          static_cast<float>(b2 * static_cast<double>(v[j]) + (1.0 - b2) * g * g);
+      const double m_hat = static_cast<double>(m[j]) / bias1;
+      const double v_hat = static_cast<double>(v[j]) / bias2;
       p->value.vec()[j] -= static_cast<float>(
           lr * m_hat / (std::sqrt(v_hat) + config_.epsilon));
     }

@@ -4,7 +4,8 @@
 #include <fstream>
 #include <memory>
 
-#include "core/require.hpp"
+#include "core/contract.hpp"
+#include "core/telemetry.hpp"
 #include "nn/activations.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/linear.hpp"
@@ -47,10 +48,27 @@ bool read_f64(std::istream& is, double& v) {
   is.read(reinterpret_cast<char*>(&v), sizeof(v));
   return static_cast<bool>(is);
 }
-bool read_floats(std::istream& is, std::vector<float>& v,
-                 std::uint32_t max_len = 1u << 26) {
+
+/// Bytes between the stream's current position and its end.  Header
+/// counts and dimensions are untrusted (same hardening as
+/// eval::load_rings): every claimed element count is validated against
+/// this budget BEFORE any allocation is sized from it, so a corrupt
+/// header cannot request gigabytes ahead of the first failed read.
+std::uint64_t bytes_left(std::istream& is) {
+  const std::istream::pos_type pos = is.tellg();
+  if (pos < 0) return 0;
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(pos);
+  if (end < pos) return 0;
+  return static_cast<std::uint64_t>(end - pos);
+}
+
+bool read_floats(std::istream& is, std::vector<float>& v) {
   std::uint32_t n = 0;
-  if (!read_u32(is, n) || n > max_len) return false;
+  if (!read_u32(is, n)) return false;
+  if (static_cast<std::uint64_t>(n) * sizeof(float) > bytes_left(is))
+    return false;
   v.resize(n);
   is.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(n * sizeof(float)));
@@ -59,7 +77,7 @@ bool read_floats(std::istream& is, std::vector<float>& v,
 bool read_string(std::istream& is, std::string& s,
                  std::uint32_t max_len = 4096) {
   std::uint32_t n = 0;
-  if (!read_u32(is, n) || n > max_len) return false;
+  if (!read_u32(is, n) || n > max_len || n > bytes_left(is)) return false;
   s.resize(n);
   is.read(s.data(), static_cast<std::streamsize>(n));
   return static_cast<bool>(is);
@@ -121,47 +139,63 @@ bool save_model(Sequential& model, const Standardizer& standardizer,
 }
 
 std::optional<SavedModel> load_model(const std::string& path) {
+  // Rejected files are counted, not thrown: callers fall back to
+  // retraining, and the counter names the load path that went bad.
+  static core::telemetry::Counter& files_rejected =
+      core::telemetry::counter("nn.model_files_rejected");
+
   std::ifstream is(path, std::ios::binary);
   if (!is) return std::nullopt;
+  const auto reject = [&]() -> std::optional<SavedModel> {
+    files_rejected.add();
+    return std::nullopt;
+  };
   char magic[4];
   is.read(magic, sizeof(magic));
   if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    return std::nullopt;
+    return reject();
   std::uint32_t version = 0;
-  if (!read_u32(is, version) || version != kVersion) return std::nullopt;
+  if (!read_u32(is, version) || version != kVersion) return reject();
 
   SavedModel out;
   std::uint32_t std_dim = 0;
-  if (!read_u32(is, std_dim)) return std::nullopt;
+  if (!read_u32(is, std_dim)) return reject();
   if (std_dim > 0) {
+    if (static_cast<std::uint64_t>(std_dim) * 2 * sizeof(float) >
+        bytes_left(is))
+      return reject();
     std::vector<float> mean(std_dim);
     std::vector<float> inv_std(std_dim);
     is.read(reinterpret_cast<char*>(mean.data()),
             static_cast<std::streamsize>(std_dim * sizeof(float)));
     is.read(reinterpret_cast<char*>(inv_std.data()),
             static_cast<std::streamsize>(std_dim * sizeof(float)));
-    if (!is) return std::nullopt;
+    if (!is) return reject();
     out.standardizer.set(std::move(mean), std::move(inv_std));
   }
 
   std::uint32_t n_layers = 0;
-  if (!read_u32(is, n_layers) || n_layers > 1024) return std::nullopt;
+  if (!read_u32(is, n_layers) || n_layers > 1024) return reject();
   core::Rng dummy_rng(0);  // Weights are overwritten after construction.
   for (std::uint32_t i = 0; i < n_layers; ++i) {
     std::uint32_t tag = 0;
-    if (!read_u32(is, tag)) return std::nullopt;
+    if (!read_u32(is, tag)) return reject();
     switch (static_cast<LayerTag>(tag)) {
       case LayerTag::kLinear: {
         std::uint32_t in = 0;
         std::uint32_t out_f = 0;
-        if (!read_u32(is, in) || !read_u32(is, out_f)) return std::nullopt;
-        auto lin = std::make_unique<Linear>(in, out_f, dummy_rng);
+        if (!read_u32(is, in) || !read_u32(is, out_f)) return reject();
+        // Validate the claimed shape (non-zero, product consistent with
+        // the size-checked payloads) BEFORE constructing the layer —
+        // Linear allocates in*out floats from these dims.
+        if (in == 0 || out_f == 0) return reject();
         std::vector<float> w;
         std::vector<float> b;
-        if (!read_floats(is, w) || !read_floats(is, b)) return std::nullopt;
+        if (!read_floats(is, w) || !read_floats(is, b)) return reject();
         if (w.size() != static_cast<std::size_t>(in) * out_f ||
             b.size() != out_f)
-          return std::nullopt;
+          return reject();
+        auto lin = std::make_unique<Linear>(in, out_f, dummy_rng);
         lin->weight().value.vec() = std::move(w);
         lin->bias().value.vec() = std::move(b);
         out.model.add(std::move(lin));
@@ -169,18 +203,20 @@ std::optional<SavedModel> load_model(const std::string& path) {
       }
       case LayerTag::kBatchNorm1d: {
         std::uint32_t features = 0;
-        if (!read_u32(is, features)) return std::nullopt;
-        auto bn = std::make_unique<BatchNorm1d>(features);
+        if (!read_u32(is, features) || features == 0) return reject();
         std::vector<float> gamma;
         std::vector<float> beta;
         std::vector<float> mean;
         std::vector<float> var;
         if (!read_floats(is, gamma) || !read_floats(is, beta) ||
             !read_floats(is, mean) || !read_floats(is, var))
-          return std::nullopt;
+          return reject();
         if (gamma.size() != features || beta.size() != features ||
             mean.size() != features || var.size() != features)
-          return std::nullopt;
+          return reject();
+        // Constructed only after the shape survived the size checks
+        // (BatchNorm1d allocates 4 x features floats from this dim).
+        auto bn = std::make_unique<BatchNorm1d>(features);
         bn->gamma().value.vec() = std::move(gamma);
         bn->beta().value.vec() = std::move(beta);
         bn->running_mean() = std::move(mean);
@@ -195,16 +231,16 @@ std::optional<SavedModel> load_model(const std::string& path) {
         out.model.add(std::make_unique<Sigmoid>());
         break;
       default:
-        return std::nullopt;
+        return reject();
     }
   }
 
   std::uint32_t n_meta = 0;
-  if (!read_u32(is, n_meta) || n_meta > 4096) return std::nullopt;
+  if (!read_u32(is, n_meta) || n_meta > 4096) return reject();
   for (std::uint32_t i = 0; i < n_meta; ++i) {
     std::string key;
     double value = 0.0;
-    if (!read_string(is, key) || !read_f64(is, value)) return std::nullopt;
+    if (!read_string(is, key) || !read_f64(is, value)) return reject();
     out.metadata.emplace(std::move(key), value);
   }
   return out;

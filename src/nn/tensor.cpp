@@ -38,7 +38,10 @@ Tensor Tensor::slice_rows(std::size_t begin, std::size_t end) const {
 
 double Tensor::squared_norm() const {
   double s = 0.0;
-  for (float v : data_) s += static_cast<double>(v) * v;
+  for (const float v : data_) {
+    const auto dv = static_cast<double>(v);
+    s += dv * dv;
+  }
   return s;
 }
 

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/contract.hpp"
 #include "core/rng.hpp"
 
 namespace adapt::nn {
@@ -26,9 +27,11 @@ class Tensor {
   bool empty() const { return data_.empty(); }
 
   float& operator()(std::size_t r, std::size_t c) {
+    ADAPT_INVARIANT(r < rows_ && c < cols_, "tensor index out of range");
     return data_[r * cols_ + c];
   }
   float operator()(std::size_t r, std::size_t c) const {
+    ADAPT_INVARIANT(r < rows_ && c < cols_, "tensor index out of range");
     return data_[r * cols_ + c];
   }
 

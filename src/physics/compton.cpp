@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "core/require.hpp"
+#include "core/contract.hpp"
 #include "core/units.hpp"
 
 namespace adapt::physics {
@@ -12,7 +12,12 @@ using core::kElectronMassMeV;
 double compton_scattered_energy(double e_in, double cos_theta) {
   ADAPT_REQUIRE(e_in > 0.0, "photon energy must be positive");
   const double denom = 1.0 + (e_in / kElectronMassMeV) * (1.0 - cos_theta);
-  return e_in / denom;
+  const double e_out = e_in / denom;
+  // Kinematics: the scattered photon keeps some energy and never
+  // gains any (equality only at cos_theta = 1, the forward limit).
+  ADAPT_ENSURE(e_out > 0.0 && e_out <= e_in,
+               "scattered energy must lie in (0, e_in]");
+  return e_out;
 }
 
 double compton_cos_theta(double e_in, double e_out) {

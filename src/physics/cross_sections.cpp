@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "core/require.hpp"
+#include "core/contract.hpp"
 #include "core/units.hpp"
 #include "physics/compton.hpp"
 
@@ -35,7 +35,10 @@ double sample_klein_nishina_cos_theta(double e, core::Rng& rng) {
     const double r = compton_scattered_energy(e, c) / e;
     const double sin2 = 1.0 - c * c;
     const double f = r * r * (r + 1.0 / r - sin2);
-    if (rng.uniform() * 2.0 < f) return c;
+    if (rng.uniform() * 2.0 < f) {
+      ADAPT_CHECK_COSINE(c, "sampled Klein-Nishina cos(theta)");
+      return c;
+    }
   }
 }
 

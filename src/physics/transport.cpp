@@ -2,8 +2,8 @@
 
 #include <cmath>
 
+#include "core/contract.hpp"
 #include "core/mat3.hpp"
-#include "core/require.hpp"
 #include "core/units.hpp"
 #include "physics/compton.hpp"
 #include "physics/cross_sections.hpp"
@@ -79,6 +79,12 @@ bool Transport::track(Vec3 position, Vec3 direction, double energy, int depth,
         direction = (Mat3::frame_to(direction) * local).normalized();
         position = *point;
         energy = e_out;
+        // Loop invariant: the photon always carries positive energy
+        // along a unit direction (the scatter math above preserves
+        // both; a violation would walk the track off the kinematics).
+        ADAPT_INVARIANT(energy > 0.0 && std::isfinite(energy),
+                        "tracked photon energy must stay positive");
+        ADAPT_CHECK_UNIT_VECTOR(direction, "scattered photon direction");
         break;
       }
       case Process::kPair: {
@@ -108,7 +114,7 @@ detector::RawEvent Transport::propagate(const Vec3& origin,
                                         const Vec3& direction, double energy,
                                         core::Rng& rng) const {
   ADAPT_REQUIRE(energy > 0.0, "photon energy must be positive");
-  ADAPT_REQUIRE(std::abs(direction.norm() - 1.0) < 1e-6,
+  ADAPT_REQUIRE(core::is_unit_vector(direction),
                 "direction must be unit length");
   detector::RawEvent event;
   event.true_direction = direction;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/require.hpp"
+#include "core/contract.hpp"
 
 namespace adapt::pipeline {
 
@@ -22,6 +22,10 @@ void write_base_features(const recon::ComptonRing& ring, float* row) {
   row[i++] = static_cast<float>(ring.hit1.sigma_energy);
   row[i++] = static_cast<float>(ring.hit2.sigma_energy);
   ADAPT_REQUIRE(i == kBaseFeatureCount, "feature layout drifted");
+  // A NaN feature would propagate through every classifier score
+  // downstream; checked builds pin the blame on the offending ring.
+  for (std::size_t k = 0; k < kBaseFeatureCount; ++k)
+    ADAPT_CHECK_FINITE(static_cast<double>(row[k]), "base feature value");
 }
 
 nn::Tensor feature_matrix(std::span<const recon::ComptonRing> rings,

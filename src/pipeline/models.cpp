@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/require.hpp"
+#include "core/contract.hpp"
 #include "nn/activations.hpp"
 #include "nn/serialize.hpp"
 
@@ -78,7 +78,12 @@ std::vector<std::uint8_t> BackgroundNet::classify_prepared(
 std::vector<float> BackgroundNet::probabilities(
     std::span<const recon::ComptonRing> rings, double polar_deg_guess) {
   auto out = logits(rings, polar_deg_guess);
-  for (float& v : out) v = nn::sigmoid(v);
+  for (float& v : out) {
+    v = nn::sigmoid(v);
+    // sigmoid maps every finite logit into [0, 1]; anything else means
+    // a NaN escaped the model (bad weights or features).
+    ADAPT_CHECK_PROB(static_cast<double>(v), "background probability");
+  }
   return out;
 }
 

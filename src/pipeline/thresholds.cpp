@@ -60,7 +60,7 @@ void PolarThresholds::fit(const std::vector<float>& logits,
     std::size_t best_errors = samples.size() - total_bkg;  // Threshold at
                                                            // -inf: every
                                                            // GRB flagged.
-    double best_threshold = samples.front().logit - 1.0;
+    double best_threshold = static_cast<double>(samples.front().logit) - 1.0;
     for (std::size_t k = 0; k < samples.size(); ++k) {
       if (samples[k].label > 0.5f)
         ++bkg_below;
@@ -71,8 +71,9 @@ void PolarThresholds::fit(const std::vector<float>& logits,
       if (errors < best_errors) {
         best_errors = errors;
         best_threshold = k + 1 < samples.size()
-                             ? 0.5 * (samples[k].logit + samples[k + 1].logit)
-                             : samples[k].logit + 1.0;
+                             ? 0.5 * (static_cast<double>(samples[k].logit) +
+                                      static_cast<double>(samples[k + 1].logit))
+                             : static_cast<double>(samples[k].logit) + 1.0;
       }
     }
     thresholds_[static_cast<std::size_t>(b)] = best_threshold;

@@ -5,7 +5,8 @@
 #include <fstream>
 #include <memory>
 
-#include "core/require.hpp"
+#include "core/contract.hpp"
+#include "core/telemetry.hpp"
 #include "nn/activations.hpp"
 #include "quant/fake_quant.hpp"
 #include "quant/qat_linear.hpp"
@@ -49,9 +50,26 @@ bool read_f64(std::istream& is, double& v) {
   is.read(reinterpret_cast<char*>(&v), sizeof(v));
   return static_cast<bool>(is);
 }
+/// Bytes between the stream's current position and its end.  Header
+/// counts and dimensions are untrusted (same hardening as
+/// eval::load_rings and nn::load_model): every claimed element count
+/// is validated against this budget BEFORE any allocation is sized
+/// from it.
+std::uint64_t bytes_left(std::istream& is) {
+  const std::istream::pos_type pos = is.tellg();
+  if (pos < 0) return 0;
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(pos);
+  if (end < pos) return 0;
+  return static_cast<std::uint64_t>(end - pos);
+}
+
 bool read_floats(std::istream& is, std::vector<float>& v) {
   std::uint32_t n = 0;
-  if (!read_u32(is, n) || n > (1u << 26)) return false;
+  if (!read_u32(is, n)) return false;
+  if (static_cast<std::uint64_t>(n) * sizeof(float) > bytes_left(is))
+    return false;
   v.resize(n);
   is.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(n * sizeof(float)));
@@ -113,46 +131,62 @@ bool save_qat_model(nn::Sequential& model,
 }
 
 std::optional<SavedQatModel> load_qat_model(const std::string& path) {
+  // Rejected files are counted, not thrown: callers fall back to
+  // retraining, and the counter names the load path that went bad.
+  static core::telemetry::Counter& files_rejected =
+      core::telemetry::counter("quant.qat_files_rejected");
+
   std::ifstream is(path, std::ios::binary);
   if (!is) return std::nullopt;
+  const auto reject = [&]() -> std::optional<SavedQatModel> {
+    files_rejected.add();
+    return std::nullopt;
+  };
   char magic[4];
   is.read(magic, sizeof(magic));
   if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    return std::nullopt;
+    return reject();
   std::uint32_t version = 0;
-  if (!read_u32(is, version) || version != kVersion) return std::nullopt;
+  if (!read_u32(is, version) || version != kVersion) return reject();
 
   SavedQatModel out;
   std::uint32_t std_dim = 0;
-  if (!read_u32(is, std_dim)) return std::nullopt;
+  if (!read_u32(is, std_dim)) return reject();
   if (std_dim > 0) {
+    if (static_cast<std::uint64_t>(std_dim) * 2 * sizeof(float) >
+        bytes_left(is))
+      return reject();
     std::vector<float> mean(std_dim);
     std::vector<float> inv_std(std_dim);
     is.read(reinterpret_cast<char*>(mean.data()),
             static_cast<std::streamsize>(std_dim * sizeof(float)));
     is.read(reinterpret_cast<char*>(inv_std.data()),
             static_cast<std::streamsize>(std_dim * sizeof(float)));
-    if (!is) return std::nullopt;
+    if (!is) return reject();
     out.standardizer.set(std::move(mean), std::move(inv_std));
   }
 
   std::uint32_t n_layers = 0;
-  if (!read_u32(is, n_layers) || n_layers > 1024) return std::nullopt;
+  if (!read_u32(is, n_layers) || n_layers > 1024) return reject();
   core::Rng dummy_rng(0);
   for (std::uint32_t i = 0; i < n_layers; ++i) {
     std::uint32_t tag = 0;
-    if (!read_u32(is, tag)) return std::nullopt;
+    if (!read_u32(is, tag)) return reject();
     switch (static_cast<Tag>(tag)) {
       case Tag::kQatLinear: {
         std::uint32_t in = 0;
         std::uint32_t out_f = 0;
-        if (!read_u32(is, in) || !read_u32(is, out_f)) return std::nullopt;
+        if (!read_u32(is, in) || !read_u32(is, out_f)) return reject();
+        // Validate the claimed shape (non-zero, product consistent
+        // with the size-checked payloads) BEFORE constructing the
+        // layer — QatLinear allocates in*out floats from these dims.
+        if (in == 0 || out_f == 0) return reject();
         std::vector<float> w;
         std::vector<float> b;
-        if (!read_floats(is, w) || !read_floats(is, b)) return std::nullopt;
+        if (!read_floats(is, w) || !read_floats(is, b)) return reject();
         if (w.size() != static_cast<std::size_t>(in) * out_f ||
             b.size() != out_f)
-          return std::nullopt;
+          return reject();
         auto lin = std::make_unique<QatLinear>(in, out_f, dummy_rng);
         nn::Tensor weight(out_f, in);
         weight.vec() = std::move(w);
@@ -163,7 +197,7 @@ std::optional<SavedQatModel> load_qat_model(const std::string& path) {
       case Tag::kFakeQuant: {
         float lo = 0.0f;
         float hi = 0.0f;
-        if (!read_f32(is, lo) || !read_f32(is, hi)) return std::nullopt;
+        if (!read_f32(is, lo) || !read_f32(is, hi)) return reject();
         auto fq = std::make_unique<FakeQuant>();
         fq->set_range(lo, hi);
         out.model.add(std::move(fq));
@@ -173,19 +207,20 @@ std::optional<SavedQatModel> load_qat_model(const std::string& path) {
         out.model.add(std::make_unique<nn::ReLU>());
         break;
       default:
-        return std::nullopt;
+        return reject();
     }
   }
 
   std::uint32_t n_meta = 0;
-  if (!read_u32(is, n_meta) || n_meta > 4096) return std::nullopt;
+  if (!read_u32(is, n_meta) || n_meta > 4096) return reject();
   for (std::uint32_t i = 0; i < n_meta; ++i) {
     std::uint32_t len = 0;
-    if (!read_u32(is, len) || len > 4096) return std::nullopt;
+    if (!read_u32(is, len) || len > 4096 || len > bytes_left(is))
+      return reject();
     std::string key(len, '\0');
     is.read(key.data(), static_cast<std::streamsize>(len));
     double value = 0.0;
-    if (!is || !read_f64(is, value)) return std::nullopt;
+    if (!is || !read_f64(is, value)) return reject();
     out.metadata.emplace(std::move(key), value);
   }
   return out;

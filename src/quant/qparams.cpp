@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/require.hpp"
+#include "core/contract.hpp"
 
 namespace adapt::quant {
 
@@ -22,6 +22,9 @@ QParams QParams::from_range(float lo, float hi) {
   const float zp = static_cast<float>(kQMin) - lo / p.scale;
   p.zero_point = static_cast<std::int32_t>(std::lround(
       std::clamp(zp, static_cast<float>(kQMin), static_cast<float>(kQMax))));
+  ADAPT_CHECK_QUANT_SCALE(p.scale, "QParams.scale");
+  ADAPT_ENSURE(p.zero_point >= kQMin && p.zero_point <= kQMax,
+               "zero point must be a representable quantized value");
   return p;
 }
 
@@ -36,6 +39,7 @@ ChannelQParams ChannelQParams::from_max_abs(float max_abs, int bits) {
   ChannelQParams p;
   p.q_max = (1 << (bits - 1)) - 1;
   p.scale = max_abs > 1e-12f ? max_abs / static_cast<float>(p.q_max) : 1.0f;
+  ADAPT_CHECK_QUANT_SCALE(p.scale, "ChannelQParams.scale");
   return p;
 }
 

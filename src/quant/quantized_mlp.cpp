@@ -4,8 +4,8 @@
 #include <cmath>
 #include <memory>
 
+#include "core/contract.hpp"
 #include "core/parallel.hpp"
-#include "core/require.hpp"
 #include "nn/activations.hpp"
 #include "quant/fake_quant.hpp"
 #include "quant/qat_linear.hpp"
@@ -22,6 +22,12 @@ QuantizedMlp::QuantizedMlp(std::vector<QuantizedLayer> layers)
     ADAPT_REQUIRE(l.bias.size() == l.out_features, "bias size mismatch");
     ADAPT_REQUIRE(l.weight_scales.size() == l.out_features,
                   "scale count mismatch");
+    // A zero, negative, or non-finite scale silently zeroes (or NaNs)
+    // every requantized activation downstream — checked builds refuse
+    // the model here instead of producing garbage scores in flight.
+    ADAPT_CHECK_QUANT_SCALE(l.input_q.scale, "QuantizedLayer.input_q.scale");
+    for (const float s : l.weight_scales)
+      ADAPT_CHECK_QUANT_SCALE(s, "QuantizedLayer.weight_scales[oc]");
     max_width_ = std::max(max_width_, l.out_features);
   }
   // Fold the activation zero point out of the inner loop:

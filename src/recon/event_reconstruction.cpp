@@ -4,11 +4,8 @@
 #include <cmath>
 #include <numeric>
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
-#include "core/require.hpp"
+#include "core/contract.hpp"
+#include "core/parallel.hpp"
 #include "core/telemetry.hpp"
 #include "core/units.hpp"
 #include "physics/compton.hpp"
@@ -240,6 +237,14 @@ std::optional<ComptonRing> EventReconstructor::reconstruct(
   ring.d_eta = propagate_d_eta(ring.hit1, ring.hit2, e_total,
                                ring.sigma_e_total, eta, config_.min_d_eta);
 
+  // What every consumer (localizer, NN features, training data) is
+  // entitled to assume about an accepted ring.
+  ADAPT_CHECK_UNIT_VECTOR(ring.axis, "ring.axis");
+  ADAPT_CHECK_COSINE(ring.eta, "ring.eta");
+  ADAPT_CHECK_FINITE(ring.e_total, "ring.e_total");
+  ADAPT_ENSURE(ring.d_eta > 0.0 && std::isfinite(ring.d_eta),
+               "accepted ring must carry a positive finite d_eta");
+
   count(&ReconstructionStats::accepted);
   return ring;
 }
@@ -247,31 +252,22 @@ std::optional<ComptonRing> EventReconstructor::reconstruct(
 std::vector<ComptonRing> EventReconstructor::reconstruct_all(
     const std::vector<detector::MeasuredEvent>& events,
     ReconstructionStats* stats) const {
-  const auto n = static_cast<std::ptrdiff_t>(events.size());
-  std::vector<std::optional<ComptonRing>> results(events.size());
-  std::vector<ReconstructionStats> local_stats;
+  // Chunked through core::parallel_for: each chunk owns results[i] for
+  // its indices plus its own stats slot, so iterations share nothing
+  // and the totals are bit-identical for any thread count (stats merge
+  // in chunk-index order, not thread order).
+  constexpr std::size_t kChunk = 16;
+  const std::size_t n = events.size();
+  const std::size_t n_chunks = (n + kChunk - 1) / kChunk;
+  std::vector<std::optional<ComptonRing>> results(n);
+  std::vector<ReconstructionStats> local_stats(n_chunks);
 
-#pragma omp parallel
-  {
-#pragma omp single
-    {
-      int threads = 1;
-#ifdef _OPENMP
-      threads = omp_get_num_threads();
-#endif
-      local_stats.resize(static_cast<std::size_t>(threads));
-    }
-#pragma omp for schedule(dynamic, 16)
-    for (std::ptrdiff_t i = 0; i < n; ++i) {
-      int tid = 0;
-#ifdef _OPENMP
-      tid = omp_get_thread_num();
-#endif
-      results[static_cast<std::size_t>(i)] =
-          reconstruct(events[static_cast<std::size_t>(i)],
-                      &local_stats[static_cast<std::size_t>(tid)]);
-    }
-  }
+  core::parallel_for(n_chunks, [&](std::size_t chunk) {
+    const std::size_t begin = chunk * kChunk;
+    const std::size_t end = std::min(begin + kChunk, n);
+    for (std::size_t i = begin; i < end; ++i)
+      results[i] = reconstruct(events[i], &local_stats[chunk]);
+  });
 
   std::vector<ComptonRing> rings;
   rings.reserve(events.size());

@@ -1,0 +1,212 @@
+#include "core/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "physics/compton.hpp"
+#include "quant/quantized_mlp.hpp"
+
+namespace adapt::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+const double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// --- ADAPT_REQUIRE: always on, every build type -----------------------
+
+TEST(Contract, RequireThrowsContractViolationWithFileAndLine) {
+  try {
+    ADAPT_REQUIRE(1 + 1 == 3, "math is broken");
+    FAIL() << "ADAPT_REQUIRE(false) must throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("requirement"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("contract_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("math is broken"), std::string::npos) << what;
+  }
+}
+
+TEST(Contract, ViolationIsCatchableAsInvalidArgument) {
+  // Pre-contract call sites catch std::invalid_argument; the new
+  // exception type must keep satisfying them.
+  EXPECT_THROW(ADAPT_REQUIRE(false, "boundary"), std::invalid_argument);
+  EXPECT_THROW(ADAPT_REQUIRE(false, "boundary"), std::logic_error);
+}
+
+TEST(Contract, RequirePassesSilently) {
+  EXPECT_NO_THROW(ADAPT_REQUIRE(true, "never fires"));
+}
+
+// --- ENSURE / INVARIANT: gated on ADAPT_CHECKED -----------------------
+
+TEST(Contract, EnsureEvaluatesOnlyInCheckedBuilds) {
+  // The disabled form type-checks inside sizeof() and must never
+  // evaluate — a contract with a (deliberate, test-only) side effect
+  // makes the cost model observable.
+  int evaluations = 0;
+  ADAPT_ENSURE((++evaluations, true), "counting evaluations");
+  ADAPT_INVARIANT((++evaluations, true), "counting evaluations");
+#if ADAPT_CONTRACTS_CHECKED
+  EXPECT_EQ(evaluations, 2);
+#else
+  EXPECT_EQ(evaluations, 0) << "release build must compile contracts out";
+#endif
+}
+
+#if ADAPT_CONTRACTS_CHECKED
+TEST(Contract, EnsureThrowsWithPostconditionKind) {
+  try {
+    ADAPT_ENSURE(false, "promised and failed");
+    FAIL() << "checked ADAPT_ENSURE(false) must throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("postcondition"), std::string::npos) << what;
+    EXPECT_NE(what.find("contract_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Contract, InvariantThrowsWithInvariantKind) {
+  try {
+    ADAPT_INVARIANT(false, "state corrupted");
+    FAIL() << "checked ADAPT_INVARIANT(false) must throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+#else
+TEST(Contract, EnsureIsSilentInRelease) {
+  EXPECT_NO_THROW(ADAPT_ENSURE(false, "compiled out"));
+  EXPECT_NO_THROW(ADAPT_INVARIANT(false, "compiled out"));
+}
+#endif
+
+// --- predicates: boundary values --------------------------------------
+
+TEST(Contract, CosinePredicateAcceptsExactBoundaries) {
+  // cos(eta) = +/-1 are physical (forward/backscatter) and must pass.
+  EXPECT_TRUE(is_cosine(1.0));
+  EXPECT_TRUE(is_cosine(-1.0));
+  EXPECT_TRUE(is_cosine(0.0));
+  EXPECT_FALSE(is_cosine(std::nextafter(1.0, 2.0)));
+  EXPECT_FALSE(is_cosine(std::nextafter(-1.0, -2.0)));
+  EXPECT_FALSE(is_cosine(kNaN));
+  EXPECT_FALSE(is_cosine(kInf));
+}
+
+TEST(Contract, ProbPredicateAcceptsClosedUnitInterval) {
+  EXPECT_TRUE(is_prob(0.0));
+  EXPECT_TRUE(is_prob(1.0));
+  EXPECT_FALSE(is_prob(std::nextafter(1.0, 2.0)));
+  EXPECT_FALSE(is_prob(-0.001));
+  EXPECT_FALSE(is_prob(kNaN));
+}
+
+TEST(Contract, QuantScalePredicateRejectsZeroNegativeNonFinite) {
+  EXPECT_TRUE(is_quant_scale(1e-30));
+  EXPECT_TRUE(is_quant_scale(1.0));
+  EXPECT_FALSE(is_quant_scale(0.0));
+  EXPECT_FALSE(is_quant_scale(-1.0));
+  EXPECT_FALSE(is_quant_scale(kInf));
+  EXPECT_FALSE(is_quant_scale(kNaN));
+}
+
+TEST(Contract, UnitVectorPredicateUsesTolerance) {
+  EXPECT_TRUE(is_unit_vector(Vec3{0.0, 0.0, 1.0}));
+  EXPECT_TRUE(is_unit_vector(Vec3{0.0, 0.0, 1.0 + 1e-9}));
+  EXPECT_FALSE(is_unit_vector(Vec3{0.0, 0.0, 1.01}));
+  EXPECT_FALSE(is_unit_vector(Vec3{0.0, 0.0, 0.0}));
+  EXPECT_FALSE(is_unit_vector(Vec3{kNaN, 0.0, 1.0}));
+  EXPECT_TRUE(is_unit_vector(Vec3{0.0, 0.0, 1.005}, /*tol=*/0.01));
+}
+
+TEST(Contract, FinitePredicate) {
+  EXPECT_TRUE(is_finite_value(0.0));
+  EXPECT_TRUE(is_finite_value(-1e300));
+  EXPECT_FALSE(is_finite_value(kInf));
+  EXPECT_FALSE(is_finite_value(-kInf));
+  EXPECT_FALSE(is_finite_value(kNaN));
+}
+
+// --- throwing domain checks: value reporting ---------------------------
+
+TEST(Contract, CheckCosineReportsOffendingValue) {
+  try {
+    check_cosine(1.5, "test cosine", __FILE__, __LINE__);
+    FAIL() << "check_cosine(1.5) must throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test cosine"), std::string::npos) << what;
+    EXPECT_NE(what.find("1.5"), std::string::npos) << what;
+  }
+  EXPECT_NO_THROW(check_cosine(-1.0, "boundary", __FILE__, __LINE__));
+  EXPECT_NO_THROW(check_cosine(1.0, "boundary", __FILE__, __LINE__));
+}
+
+TEST(Contract, CheckUnitVectorReportsComponentsAndNorm) {
+  try {
+    check_unit_vector(Vec3{3.0, 0.0, 4.0}, "test axis", __FILE__, __LINE__);
+    FAIL() << "check_unit_vector on a |v|=5 vector must throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test axis"), std::string::npos) << what;
+    EXPECT_NE(what.find("5"), std::string::npos) << what;  // The norm.
+  }
+  EXPECT_NO_THROW(
+      check_unit_vector(Vec3{0.0, 1.0, 0.0}, "unit", __FILE__, __LINE__));
+}
+
+// --- physics boundary values through the contracted functions ----------
+
+TEST(Contract, ComptonKinematicsHoldAtAngularBoundaries) {
+  // Forward scatter keeps all the energy; backscatter is the deepest
+  // allowed loss.  Both boundaries must satisfy the postcondition.
+  const double e = 1.0;
+  EXPECT_DOUBLE_EQ(physics::compton_scattered_energy(e, 1.0), e);
+  const double back = physics::compton_scattered_energy(e, -1.0);
+  EXPECT_GT(back, 0.0);
+  EXPECT_LT(back, e);
+}
+
+TEST(Contract, ZeroEnergyPhotonRejectedAtBoundary) {
+  EXPECT_THROW(physics::compton_scattered_energy(0.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(physics::compton_scattered_energy(-1.0, 0.5),
+               std::invalid_argument);
+}
+
+// --- regression: a real invariant violation release mode let through ---
+
+quant::QuantizedLayer tiny_layer_with_scale(float scale) {
+  quant::QuantizedLayer l;
+  l.in_features = 2;
+  l.out_features = 1;
+  l.weight = {1, -1};
+  l.bias = {0};
+  l.weight_scales = {scale};
+  l.input_q.scale = 0.05F;
+  l.input_q.zero_point = 0;
+  return l;
+}
+
+TEST(Contract, QuantizedMlpRejectsNonPositiveScaleWhenChecked) {
+  // A zero weight scale zeroes every requantized activation — the
+  // model silently outputs garbage.  Release builds accepted this
+  // (shape checks all pass); checked builds refuse at construction.
+  std::vector<quant::QuantizedLayer> bad;
+  bad.push_back(tiny_layer_with_scale(0.0F));
+#if ADAPT_CONTRACTS_CHECKED
+  EXPECT_THROW(quant::QuantizedMlp{std::move(bad)}, ContractViolation);
+#else
+  EXPECT_NO_THROW(quant::QuantizedMlp{std::move(bad)});
+#endif
+  std::vector<quant::QuantizedLayer> good;
+  good.push_back(tiny_layer_with_scale(0.05F));
+  EXPECT_NO_THROW(quant::QuantizedMlp{std::move(good)});
+}
+
+}  // namespace
+}  // namespace adapt::core

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# One-command correctness gate for adaptml.  Runs, in order:
+#
+#   1. repo lint        (tools/adapt_lint.py — parsing/rand/literal/
+#                        test-coverage rules)
+#   2. clang-tidy       (profile in .clang-tidy; documented-skip when
+#                        clang-tidy is not installed, as on the minimal
+#                        gcc-only CI image)
+#   3. WERROR build     (-Wall -Wextra -Wconversion -Wshadow
+#                        -Wdouble-promotion -Werror over src/)
+#   4. ASan+UBSan ctest (full suite under AddressSanitizer)
+#   5. TSan ctest       (full suite under ThreadSanitizer, std::thread
+#                        backend — see core/parallel.hpp for why the
+#                        TSan build swaps out libgomp)
+#
+# Exits non-zero on the first failing stage.  Budget: ~10 minutes on
+# a multicore dev box; the dominant costs are the sanitizer builds and
+# the TSan ctest pass, all of which parallelize (bench/examples are
+# excluded from the gate builds to keep them lean).
+#
+# NOTE: gate build trees (checked/sanitized/werror) are for
+# correctness only — never take timing baselines from them; see
+# tools/check_timing_regression.sh.
+#
+# Usage: tools/check_static_analysis.sh [build-root]
+#   build-root defaults to .gate-builds/ under the repo root (kept out
+#   of the way of the normal build/ tree).
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_root="${1:-${repo}/.gate-builds}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+# TSan only audits code that actually runs multi-threaded; on 1-2 core
+# CI boxes force a real thread pool through the std backend.
+tsan_threads=4
+
+stage() { printf '\n=== %s ===\n' "$*"; }
+
+fail() { printf 'FAIL: %s\n' "$*" >&2; exit 1; }
+
+# --- 1. repo lint -----------------------------------------------------
+stage "lint (tools/adapt_lint.py)"
+python3 "${repo}/tools/adapt_lint.py" --repo "${repo}" \
+  || fail "lint findings above"
+
+# --- 2. clang-tidy ----------------------------------------------------
+stage "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake -B "${build_root}/tidy" -S "${repo}" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DADAPT_BUILD_BENCH=OFF -DADAPT_BUILD_EXAMPLES=OFF >/dev/null
+  # shellcheck disable=SC2046
+  clang-tidy -p "${build_root}/tidy" --quiet \
+    $(find "${repo}/src" -name '*.cpp') \
+    || fail "clang-tidy findings above"
+else
+  echo "SKIPPED: clang-tidy not installed on this image (profile is" \
+       "checked in at .clang-tidy; run on a clang-equipped host)."
+fi
+
+# --- 3. warning-hardened build ---------------------------------------
+stage "WERROR build (-Wall -Wextra -Wconversion -Wshadow -Wdouble-promotion)"
+cmake -B "${build_root}/werror" -S "${repo}" \
+  -DADAPT_WERROR=ON -DADAPT_CHECKED=ON \
+  -DADAPT_BUILD_BENCH=OFF -DADAPT_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "${build_root}/werror" -j"${jobs}" 2>&1 | tail -3 \
+  || fail "WERROR build failed"
+
+# --- 4. ASan+UBSan tests ---------------------------------------------
+stage "AddressSanitizer ctest"
+cmake -B "${build_root}/asan" -S "${repo}" \
+  -DADAPT_SANITIZE=address -DADAPT_CHECKED=ON \
+  -DADAPT_BUILD_BENCH=OFF -DADAPT_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "${build_root}/asan" -j"${jobs}" >/dev/null \
+  || fail "ASan build failed"
+(cd "${build_root}/asan" && ctest --output-on-failure -j"${jobs}") \
+  || fail "tests failed under ASan+UBSan"
+
+# --- 5. TSan tests ----------------------------------------------------
+stage "ThreadSanitizer ctest (std::thread backend, ${tsan_threads} threads)"
+cmake -B "${build_root}/tsan" -S "${repo}" \
+  -DADAPT_SANITIZE=thread -DADAPT_CHECKED=ON \
+  -DADAPT_BUILD_BENCH=OFF -DADAPT_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "${build_root}/tsan" -j"${jobs}" >/dev/null \
+  || fail "TSan build failed"
+(cd "${build_root}/tsan" && \
+  ADAPT_NUM_THREADS="${tsan_threads}" ctest --output-on-failure -j1) \
+  || fail "tests failed under TSan"
+
+stage "all gates passed"

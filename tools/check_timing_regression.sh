@@ -17,6 +17,14 @@
 # Usage: tools/check_timing_regression.sh [build_dir] [tolerance]
 #   build_dir  cmake build tree containing bench/ (default: build)
 #   tolerance  allowed slowdown factor (default: 1.5)
+#
+# NOTE: never point build_dir at a tree configured with ADAPT_WERROR,
+# ADAPT_CHECKED, or ADAPT_SANITIZE, and never refresh the baseline CSV
+# from one: checked contracts and sanitizer instrumentation slow the
+# kernels by integer factors, so such a tree either fails the gate
+# spuriously or (worse) poisons the baseline into masking real
+# regressions.  Timing baselines come from the plain release build
+# only; the correctness trees belong to tools/check_static_analysis.sh.
 # Environment:
 #   ADAPT_ASAN_DIR    sanitizer build tree (default: <repo>/build-asan)
 #   ADAPT_SKIP_ASAN   set to 1 to skip the sanitizer ctest step
