@@ -1,0 +1,119 @@
+/// \file bench_serve_throughput.cpp
+/// Throughput and latency of the streaming serving layer
+/// (`adapt::serve`) versus the per-ring baseline it replaces.
+///
+/// Setup: a fixed synthetic event stream (seeded, paper-dimension
+/// networks) is pushed through
+///   * the per-ring baseline — one single-ring forward pair per event,
+///     no queue, no batching;
+///   * the serve path at a sweep of micro-batch sizes — bounded queue,
+///     deadline-or-size flush, one batched forward per flush.
+/// Reported per row: events/s, p50/p99 end-to-end latency, batches,
+/// shed count (must be 0 below saturation — the queue is sized to hold
+/// the whole stream), then one deliberately saturated row (tiny queue)
+/// to show the shed-oldest + degrade overload behavior.
+///
+/// The last CSV block is what tools/check_timing_regression.sh gates
+/// on.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "serve/synthetic_models.hpp"
+#include "serve/throughput.hpp"
+
+using namespace adapt;
+
+namespace {
+
+struct Row {
+  const char* label;
+  serve::ThroughputReport report;
+};
+
+void print_row(core::TextTable& table, const Row& row) {
+  table.add_row({row.label,
+                 core::TextTable::num(row.report.events_per_s / 1e3, 1),
+                 core::TextTable::num(row.report.p50_latency_ms, 3),
+                 core::TextTable::num(row.report.p99_latency_ms, 3),
+                 std::to_string(row.report.batches),
+                 std::to_string(row.report.shed),
+                 std::to_string(row.report.degraded)});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Serving-layer throughput: batched vs per-ring ===\n"
+            << "synthetic paper-dimension networks, INT8 background +"
+               " FP32 dEta, seeded stream\n\n";
+
+  auto background = serve::synthetic_background_net_int8(0x5EB7E);
+  auto deta = serve::synthetic_deta_net(0x5EB7D);
+  const pipeline::Models models{&background, &deta};
+
+  serve::ThroughputConfig base;
+  base.events = 20000;
+  base.producers = 2;
+  base.queue_capacity = 32768;  // Holds the whole stream: shed == 0.
+  base.seed = 42;
+
+  std::vector<Row> rows;
+  rows.push_back({"per-ring loop (no batching)",
+                  serve::measure_per_ring_baseline(models, base)});
+
+  const std::size_t batch_sizes[] = {1, 2, 4, 8, 16, 32, 64};
+  std::vector<std::string> labels;
+  for (const std::size_t b : batch_sizes)
+    labels.push_back("serve, batch " + std::to_string(b));
+  for (std::size_t i = 0; i < std::size(batch_sizes); ++i) {
+    serve::ThroughputConfig cfg = base;
+    cfg.max_batch = batch_sizes[i];
+    rows.push_back(
+        {labels[i].c_str(), serve::measure_serve_throughput(models, cfg)});
+  }
+
+  // Saturation row: a queue far smaller than the stream, all producers
+  // hammering.  Shedding and degradation must both engage.
+  serve::ThroughputConfig saturated = base;
+  saturated.events = 5000;
+  saturated.producers = 4;
+  saturated.queue_capacity = 64;
+  saturated.max_batch = 8;  // Post-pop depth stays above the degrade
+                            // watermark while the backlog drains.
+  rows.push_back({"serve, saturated (queue 64)",
+                  serve::measure_serve_throughput(models, saturated)});
+
+  core::TextTable table({"configuration", "kevents/s", "p50 [ms]",
+                         "p99 [ms]", "batches", "shed", "degraded"});
+  for (const Row& row : rows) print_row(table, row);
+  table.print(std::cout);
+
+  // Acceptance signals, spelled out.
+  const double baseline_eps = rows[0].report.events_per_s;
+  double batch8_eps = 0.0;
+  for (std::size_t i = 0; i < std::size(batch_sizes); ++i)
+    if (batch_sizes[i] == 8) batch8_eps = rows[1 + i].report.events_per_s;
+  std::cout << "\nbatched (8) vs per-ring speedup: "
+            << core::TextTable::num(batch8_eps / baseline_eps, 2) << "x\n";
+
+  // Machine-readable block for the timing-regression gate.
+  std::printf("\nCSV,config,events_per_s,p50_ms,p99_ms,shed\n");
+  std::printf("CSV,per_ring,%.0f,%.4f,%.4f,%llu\n", rows[0].report.events_per_s,
+              rows[0].report.p50_latency_ms, rows[0].report.p99_latency_ms,
+              static_cast<unsigned long long>(rows[0].report.shed));
+  for (std::size_t i = 0; i < std::size(batch_sizes); ++i) {
+    const auto& r = rows[1 + i].report;
+    std::printf("CSV,batch_%zu,%.0f,%.4f,%.4f,%llu\n", batch_sizes[i],
+                r.events_per_s, r.p50_latency_ms, r.p99_latency_ms,
+                static_cast<unsigned long long>(r.shed));
+  }
+  const auto& sat = rows.back().report;
+  std::printf("CSV,saturated,%.0f,%.4f,%.4f,%llu\n", sat.events_per_s,
+              sat.p50_latency_ms, sat.p99_latency_ms,
+              static_cast<unsigned long long>(sat.shed));
+  return 0;
+}

@@ -176,9 +176,17 @@ LocalizationResult Localizer::localize(
   const std::span<const recon::ComptonRing> rings =
       usable_rings(input, storage);
 
+  // No seeds means no estimate is possible — every candidate was
+  // filtered (e.g. restrict_to_upper_sky against a below-horizon cone
+  // population) or no ring was usable.  The result must say so
+  // explicitly: a default-constructed LocalizationResult carries
+  // valid=false and a zero direction, never a stale estimate.
   const auto seeds = approximate_candidates(rings, rng);
   if (seeds.empty()) {
+    static tm::Counter& no_seeds = tm::counter("loc.localize_invalid.no_seeds");
+    no_seeds.add();
     LocalizationResult r;
+    r.valid = false;
     r.rings_total = input.size();
     return r;
   }
@@ -197,6 +205,14 @@ LocalizationResult Localizer::localize(
       best_nll = nll;
       best = candidate;
     }
+  }
+  if (!best.valid) {
+    // Every seed's refinement failed (fewer than two usable rings, or
+    // no stable fit): surface the failure instead of a default
+    // direction that looks like an estimate.
+    static tm::Counter& refine_failed =
+        tm::counter("loc.localize_invalid.refine_failed");
+    refine_failed.add();
   }
   best.rings_total = input.size();  // Report against the raw input,
                                     // including any sanitized-away rings.

@@ -29,12 +29,17 @@ Tensor BatchNorm1d::forward(const Tensor& x, bool training) {
   if (!training) {
     // Row-major streaming with the per-feature factors hoisted: the
     // inference batches are wide (up to 256 features), so the natural
-    // per-feature loop strides the whole tensor column-wise.
-    inv_std_cache_.resize(features_);
+    // per-feature loop strides the whole tensor column-wise.  The
+    // hoisted factors live in thread_local scratch, NOT a member —
+    // inference on a shared layer must tolerate concurrent callers
+    // (running_mean()/running_var() are mutably accessible, so the
+    // factors cannot be precomputed once at load either).
+    thread_local std::vector<float> inv_std_scratch;
+    inv_std_scratch.resize(features_);
     for (std::size_t c = 0; c < features_; ++c)
-      inv_std_cache_[c] =
+      inv_std_scratch[c] =
           1.0f / std::sqrt(running_var_[c] + static_cast<float>(eps_));
-    const float* __restrict inv_std = inv_std_cache_.data();
+    const float* __restrict inv_std = inv_std_scratch.data();
     const float* __restrict mu = running_mean_.data();
     const float* __restrict g = gamma_.value.data();
     const float* __restrict b = beta_.value.data();

@@ -48,10 +48,12 @@ class BatchNorm1d : public Layer {
   std::vector<float> running_mean_;
   std::vector<float> running_var_;
 
-  // Training-time caches for backward.
+  // Training-time caches for backward.  Inference deliberately keeps
+  // NO member scratch: forward(training=false) must stay safe for
+  // concurrent callers sharing one layer (the serving worker and any
+  // in-process evaluation both run the same deployed net).
   Tensor x_hat_;              ///< Normalized input.
   std::vector<float> batch_inv_std_;
-  std::vector<float> inv_std_cache_;  ///< Inference scratch (per feature).
 };
 
 }  // namespace adapt::nn

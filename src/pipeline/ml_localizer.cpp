@@ -43,9 +43,17 @@ MlLocalizer::MlLocalizer(const MlLocalizerConfig& config) : config_(config) {
                 "convergence angle must be positive");
 }
 
-MlLocalizationResult MlLocalizer::run(
-    std::span<const recon::ComptonRing> rings, BackgroundNet* background_net,
-    DEtaNet* deta_net, core::Rng& rng, StageTimings* timings) const {
+MlLocalizationResult MlLocalizer::run(std::span<const recon::ComptonRing> rings,
+                                      BackgroundNet* background_net,
+                                      DEtaNet* deta_net, core::Rng& rng,
+                                      StageTimings* timings) const {
+  return run(rings, Models{background_net, deta_net}, rng, timings);
+}
+
+MlLocalizationResult MlLocalizer::run(std::span<const recon::ComptonRing> rings,
+                                      const Models& models, core::Rng& rng,
+                                      StageTimings* timings) const {
+  BackgroundNet* background_net = models.background;
   StageMetrics& m = metrics();
   // The timer's destructor fires on every exit path, before control
   // returns to the caller, so timings->total_ms is complete when run()
@@ -143,15 +151,18 @@ MlLocalizationResult MlLocalizer::run(
   m.bkg_rings_rejected.add(result.rings_in - result.rings_kept);
 
   // --- Step 3: replace the survivors' propagated d_eta with the dEta
-  // network's estimate at the final polar angle.
-  if (deta_net != nullptr && !kept.empty()) {
+  // network's estimate at the final polar angle, through the same
+  // batched entry point the serving layer calls (one feature Tensor,
+  // one forward — bit-identical to per-ring predict() at this guess).
+  if (models.deta != nullptr && !kept.empty()) {
     const double polar_deg = core::rad_to_deg(core::polar_of(s_hat));
     std::vector<double> d_eta;
     {
       const tm::ScopedTimer t(m.deta_nn_ms,
                               timings ? &timings->deta_inference_ms : nullptr);
-      d_eta = deta_net->predict(kept, polar_deg, config_.deta_floor,
-                                config_.deta_cap);
+      const std::vector<double> polar_per_ring(kept.size(), polar_deg);
+      d_eta = models.predict_deta_batch(kept, polar_per_ring,
+                                        config_.deta_floor, config_.deta_cap);
     }
     for (std::size_t i = 0; i < kept.size(); ++i) kept[i].d_eta = d_eta[i];
     m.deta_reassigned.add(kept.size());

@@ -97,6 +97,31 @@ std::vector<std::uint8_t> BackgroundNet::classify(
   return out;
 }
 
+std::vector<float> BackgroundNet::logits_batch(
+    std::span<const recon::ComptonRing> rings,
+    std::span<const double> polar_deg_per_ring) {
+  ADAPT_REQUIRE(polar_deg_per_ring.size() == rings.size(),
+                "per-ring polar guess count mismatch");
+  if (rings.empty()) return {};
+  // Without the polar feature the per-ring guesses are irrelevant and
+  // the matrix is the 12-column form the model expects.
+  nn::Tensor x = uses_polar_ ? feature_matrix(rings, polar_deg_per_ring)
+                             : feature_matrix(rings, false, 0.0);
+  return logits_for_features(x);
+}
+
+std::vector<std::uint8_t> BackgroundNet::classify_batch(
+    std::span<const recon::ComptonRing> rings,
+    std::span<const double> polar_deg_per_ring) {
+  const auto l = logits_batch(rings, polar_deg_per_ring);
+  std::vector<std::uint8_t> out(l.size());
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    const double thr = thresholds_.logit_threshold(polar_deg_per_ring[i]);
+    out[i] = static_cast<double>(l[i]) >= thr ? 1 : 0;
+  }
+  return out;
+}
+
 bool BackgroundNet::save(const std::string& path) {
   ADAPT_REQUIRE(fp32_.has_value(),
                 "only the FP32 background net serializes directly");
@@ -125,12 +150,8 @@ DEtaNet::DEtaNet(nn::Sequential model, nn::Standardizer standardizer,
   ADAPT_REQUIRE(calibration > 0.0, "calibration must be positive");
 }
 
-std::vector<double> DEtaNet::predict(std::span<const recon::ComptonRing> rings,
-                                     double polar_deg_guess, double floor,
-                                     double cap) {
-  ADAPT_REQUIRE(floor > 0.0 && cap > floor, "invalid d_eta bounds");
-  if (rings.empty()) return {};
-  nn::Tensor x = feature_matrix(rings, uses_polar_, polar_deg_guess);
+std::vector<double> DEtaNet::predict_from_features(nn::Tensor x, double floor,
+                                                   double cap) {
   if (standardizer_.fitted()) standardizer_.transform_in_place(x);
   const nn::Tensor out = model_.forward(x, /*training=*/false);
   ADAPT_REQUIRE(out.cols() == 1, "dEta net must output one value");
@@ -139,6 +160,27 @@ std::vector<double> DEtaNet::predict(std::span<const recon::ComptonRing> rings,
     d[i] = std::clamp(
         calibration_ * std::exp(static_cast<double>(out(i, 0))), floor, cap);
   return d;
+}
+
+std::vector<double> DEtaNet::predict(std::span<const recon::ComptonRing> rings,
+                                     double polar_deg_guess, double floor,
+                                     double cap) {
+  ADAPT_REQUIRE(floor > 0.0 && cap > floor, "invalid d_eta bounds");
+  if (rings.empty()) return {};
+  return predict_from_features(
+      feature_matrix(rings, uses_polar_, polar_deg_guess), floor, cap);
+}
+
+std::vector<double> DEtaNet::predict_batch(
+    std::span<const recon::ComptonRing> rings,
+    std::span<const double> polar_deg_per_ring, double floor, double cap) {
+  ADAPT_REQUIRE(floor > 0.0 && cap > floor, "invalid d_eta bounds");
+  ADAPT_REQUIRE(polar_deg_per_ring.size() == rings.size(),
+                "per-ring polar guess count mismatch");
+  if (rings.empty()) return {};
+  nn::Tensor x = uses_polar_ ? feature_matrix(rings, polar_deg_per_ring)
+                             : feature_matrix(rings, false, 0.0);
+  return predict_from_features(std::move(x), floor, cap);
 }
 
 bool DEtaNet::save(const std::string& path) {
@@ -159,6 +201,34 @@ std::optional<DEtaNet> DEtaNet::load(const std::string& path) {
                                  : 1.0;
   return DEtaNet(std::move(saved->model), std::move(saved->standardizer),
                  uses_polar, calibration);
+}
+
+std::vector<std::uint8_t> Models::classify_background_batch(
+    std::span<const recon::ComptonRing> rings,
+    std::span<const double> polar_deg_per_ring) const {
+  ADAPT_REQUIRE(polar_deg_per_ring.size() == rings.size(),
+                "per-ring polar guess count mismatch");
+  if (background == nullptr)
+    return std::vector<std::uint8_t>(rings.size(), 0);
+  return background->classify_batch(rings, polar_deg_per_ring);
+}
+
+std::vector<double> Models::predict_deta_batch(
+    std::span<const recon::ComptonRing> rings,
+    std::span<const double> polar_deg_per_ring, double floor,
+    double cap) const {
+  ADAPT_REQUIRE(floor > 0.0 && cap > floor, "invalid d_eta bounds");
+  ADAPT_REQUIRE(polar_deg_per_ring.size() == rings.size(),
+                "per-ring polar guess count mismatch");
+  if (deta == nullptr) {
+    // Analytic passthrough: the propagated ring width, bounded the same
+    // way the network prediction would be.
+    std::vector<double> d(rings.size());
+    for (std::size_t i = 0; i < rings.size(); ++i)
+      d[i] = std::clamp(rings[i].d_eta, floor, cap);
+    return d;
+  }
+  return deta->predict_batch(rings, polar_deg_per_ring, floor, cap);
 }
 
 }  // namespace adapt::pipeline

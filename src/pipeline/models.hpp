@@ -66,6 +66,23 @@ class BackgroundNet {
   std::vector<std::uint8_t> classify(std::span<const recon::ComptonRing> rings,
                                      double polar_deg_guess);
 
+  /// Batched forward with an independent polar guess per ring: one
+  /// feature Tensor, one forward() through the FP32 stack or the INT8
+  /// engine — the serving layer's entry point (each queued request
+  /// carries the localization estimate current when it was enqueued).
+  /// Bit-identical to calling logits()/classify() once per ring: the
+  /// GEMM kernels accumulate each output row in plain ascending-k
+  /// order regardless of batch size, and the INT8 path is integer
+  /// arithmetic throughout (see tests/serve/batch_equivalence_test).
+  std::vector<float> logits_batch(std::span<const recon::ComptonRing> rings,
+                                  std::span<const double> polar_deg_per_ring);
+
+  /// Batched classification; the dynamic threshold is selected per
+  /// ring from that ring's own polar guess.
+  std::vector<std::uint8_t> classify_batch(
+      std::span<const recon::ComptonRing> rings,
+      std::span<const double> polar_deg_per_ring);
+
   /// Logits for an externally assembled (unstandardized) feature
   /// matrix — used by threshold fitting and tests.
   std::vector<float> logits_for_features(const nn::Tensor& raw_features);
@@ -108,6 +125,13 @@ class DEtaNet {
                               double polar_deg_guess, double floor = 1e-4,
                               double cap = 2.0);
 
+  /// Batched prediction with an independent polar guess per ring (one
+  /// feature Tensor, one forward — the serving layer's entry point).
+  /// Bit-identical to per-ring predict() calls at the same guesses.
+  std::vector<double> predict_batch(std::span<const recon::ComptonRing> rings,
+                                    std::span<const double> polar_deg_per_ring,
+                                    double floor = 1e-4, double cap = 2.0);
+
   bool save(const std::string& path);
   static std::optional<DEtaNet> load(const std::string& path);
 
@@ -115,10 +139,42 @@ class DEtaNet {
   const nn::Standardizer& standardizer() const { return standardizer_; }
 
  private:
+  std::vector<double> predict_from_features(nn::Tensor x, double floor,
+                                            double cap);
+
   nn::Sequential model_;
   nn::Standardizer standardizer_;
   bool uses_polar_ = true;
   double calibration_ = 1.0;
+};
+
+/// Non-owning bundle of the deployed networks: the handle the
+/// localization loop and the serving layer (`adapt::serve`) share.
+/// Either pointer may be null — a null background net classifies
+/// nothing as background, a null dEta net passes the analytic
+/// (propagated) d_eta through — which is also exactly the degraded
+/// behavior the server falls back to under overload.
+///
+/// Thread-safety: both batch calls are safe from concurrent threads on
+/// the same underlying nets — inference forward passes write no model
+/// state (enforced by tests/serve/concurrent tests under the TSan
+/// gate).
+struct Models {
+  BackgroundNet* background = nullptr;
+  DEtaNet* deta = nullptr;
+
+  /// One fused forward over the batch: 1 = background, per-ring
+  /// dynamic threshold.  All-zero when no background net is loaded.
+  std::vector<std::uint8_t> classify_background_batch(
+      std::span<const recon::ComptonRing> rings,
+      std::span<const double> polar_deg_per_ring) const;
+
+  /// One fused forward over the batch; falls back to each ring's
+  /// propagated d_eta (clamped to [floor, cap]) without a dEta net.
+  std::vector<double> predict_deta_batch(
+      std::span<const recon::ComptonRing> rings,
+      std::span<const double> polar_deg_per_ring, double floor = 1e-4,
+      double cap = 2.0) const;
 };
 
 }  // namespace adapt::pipeline

@@ -44,10 +44,21 @@ nn::Tensor QatLinear::quantized_weight() const {
 
 nn::Tensor QatLinear::forward(const nn::Tensor& x, bool training) {
   ADAPT_REQUIRE(x.cols() == in_, "qat linear input width mismatch");
-  qweight_cache_ = quantized_weight();
-  if (training) input_cache_ = x;
+  if (training) {
+    // Backward needs the fake-quantized weight and the input; caching
+    // them is only legal on the (single-threaded) training path.
+    qweight_cache_ = quantized_weight();
+    input_cache_ = x;
+    nn::Tensor y;
+    nn::matmul_abt(x, qweight_cache_, y);
+    nn::add_row_broadcast(y, bias_.value.vec());
+    return y;
+  }
+  // Inference writes no member state so concurrent callers can share
+  // the layer (same rule as Linear / BatchNorm1d).
+  const nn::Tensor qw = quantized_weight();
   nn::Tensor y;
-  nn::matmul_abt(x, qweight_cache_, y);
+  nn::matmul_abt(x, qw, y);
   nn::add_row_broadcast(y, bias_.value.vec());
   return y;
 }

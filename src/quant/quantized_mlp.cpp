@@ -96,10 +96,14 @@ nn::Tensor QuantizedMlp::forward(const nn::Tensor& x) const {
   const std::size_t n = x.rows();
 
   // Activations travel between layers as uint8 plus their qparams, in
-  // two ping-pong buffers allocated once per forward (sized for the
-  // widest layer) rather than per layer.
-  std::vector<std::uint8_t> ping(n * max_width_);
-  std::vector<std::uint8_t> pong(n * max_width_);
+  // two thread_local ping-pong buffers (sized for the widest layer):
+  // no per-call heap traffic on the serving hot path, and each
+  // concurrent caller gets its own scratch — forward() is const and
+  // must stay safe on a shared engine.
+  thread_local std::vector<std::uint8_t> ping;
+  thread_local std::vector<std::uint8_t> pong;
+  ping.resize(n * max_width_);
+  pong.resize(n * max_width_);
   std::uint8_t* act = ping.data();
   std::uint8_t* next_act = pong.data();
   {

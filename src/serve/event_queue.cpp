@@ -1,0 +1,91 @@
+#include "serve/event_queue.hpp"
+
+#include "core/require.hpp"
+#include "core/telemetry.hpp"
+
+namespace adapt::serve {
+
+namespace tm = core::telemetry;
+
+EventQueue::EventQueue(std::size_t capacity)
+    : capacity_(capacity), ring_(capacity) {
+  ADAPT_REQUIRE(capacity >= 1, "event queue needs capacity >= 1");
+}
+
+bool EventQueue::push(ServeRequest request) {
+  static tm::Counter& shed_metric = tm::counter("serve.queue_shed");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      ++rejected_;
+      return false;
+    }
+    if (size_ == capacity_) {
+      // Shed-oldest: advance past the stalest request.  The slot it
+      // occupied becomes the tail slot the new request lands in.
+      head_ = (head_ + 1) % capacity_;
+      --size_;
+      ++shed_;
+      shed_metric.add();
+    }
+    ring_[(head_ + size_) % capacity_] = std::move(request);
+    ++size_;
+  }
+  nonempty_.notify_one();
+  return true;
+}
+
+std::size_t EventQueue::pop_batch(std::vector<ServeRequest>& out,
+                                  std::size_t max_items,
+                                  std::chrono::microseconds flush_deadline) {
+  ADAPT_REQUIRE(max_items >= 1, "pop_batch needs max_items >= 1");
+  std::unique_lock<std::mutex> lock(mutex_);
+  nonempty_.wait(lock, [&] { return size_ > 0 || closed_; });
+  if (size_ == 0) return 0;  // Closed and drained.
+
+  // The flush deadline starts at the first visible request, so a
+  // trickle of events never waits longer than one deadline.
+  if (size_ < max_items && !closed_) {
+    const auto deadline = std::chrono::steady_clock::now() + flush_deadline;
+    nonempty_.wait_until(lock, deadline,
+                         [&] { return size_ >= max_items || closed_; });
+  }
+
+  const std::size_t n = size_ < max_items ? size_ : max_items;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(ring_[head_]));
+    head_ = (head_ + 1) % capacity_;
+  }
+  size_ -= n;
+  return n;
+}
+
+void EventQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  nonempty_.notify_all();
+}
+
+std::size_t EventQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return size_;
+}
+
+bool EventQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::uint64_t EventQueue::shed_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
+}
+
+std::uint64_t EventQueue::rejected_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+}  // namespace adapt::serve

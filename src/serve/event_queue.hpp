@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// Bounded MPSC ring-buffer queue feeding the inference server.
+///
+/// Multiple producers (readout / simulator / trigger threads) push
+/// ServeRequests; one consumer (the InferenceServer worker) pops them
+/// in micro-batches.  The buffer is a fixed-capacity circular array —
+/// no allocation after construction — guarded by one mutex and one
+/// condition variable, which keeps both backends of the repo's
+/// concurrency story honest: std::mutex/std::condition_variable are
+/// fully visible to ThreadSanitizer (see core/parallel.hpp for why
+/// that matters to this codebase).
+///
+/// Overload policy: `push` on a full queue sheds the OLDEST queued
+/// request and admits the new one.  For a real-time telescope stream
+/// the newest event is always the most valuable — an old ring that the
+/// server cannot keep up with belongs to a burst estimate that has
+/// already moved on — and shedding at the tail would instead starve
+/// the stream under sustained overload.  Every shed is counted (local
+/// counter + `serve.queue_shed` telemetry) so saturation is visible,
+/// never silent.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace adapt::serve {
+
+class EventQueue {
+ public:
+  explicit EventQueue(std::size_t capacity);
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Producer side.  Returns false iff the queue is closed (the
+  /// request is dropped and counted as rejected).  On a full queue the
+  /// oldest element is shed to make room — push itself never blocks.
+  bool push(ServeRequest request);
+
+  /// Consumer side: micro-batched pop.  Blocks until at least one
+  /// request is queued (or the queue is closed and drained, returning
+  /// 0).  Once the first request is visible, keeps waiting up to
+  /// `flush_deadline` for the batch to fill to `max_items`, then
+  /// appends the oldest min(depth, max_items) requests to `out`.
+  /// Returns the number of requests popped.
+  std::size_t pop_batch(std::vector<ServeRequest>& out, std::size_t max_items,
+                        std::chrono::microseconds flush_deadline);
+
+  /// Close the queue: producers are refused from now on; the consumer
+  /// drains what is left and then gets 0 from pop_batch.
+  void close();
+
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const;
+  std::uint64_t shed_count() const;
+  std::uint64_t rejected_count() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable nonempty_;
+  std::vector<ServeRequest> ring_;  ///< Fixed-size circular storage.
+  std::size_t head_ = 0;            ///< Index of the oldest element.
+  std::size_t size_ = 0;
+  bool closed_ = false;
+  std::uint64_t shed_ = 0;      ///< Requests dropped by shed-oldest.
+  std::uint64_t rejected_ = 0;  ///< Pushes refused after close().
+};
+
+}  // namespace adapt::serve

@@ -1,0 +1,152 @@
+#include "serve/inference_server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/require.hpp"
+#include "core/telemetry.hpp"
+
+namespace adapt::serve {
+
+namespace tm = core::telemetry;
+
+InferenceServer::InferenceServer(pipeline::Models models, ServeConfig config,
+                                 ResultSink sink)
+    : models_(models),
+      config_(config),
+      sink_(std::move(sink)),
+      queue_(config.queue_capacity),
+      batcher_(queue_, BatchPolicy{config.max_batch, config.flush_deadline}) {
+  ADAPT_REQUIRE(static_cast<bool>(sink_), "inference server needs a sink");
+  ADAPT_REQUIRE(config.max_batch <= config.queue_capacity,
+                "max_batch cannot exceed queue capacity");
+  ADAPT_REQUIRE(
+      config.degrade_watermark > 0.0 && config.degrade_watermark <= 1.0,
+      "degrade watermark must be in (0, 1]");
+  ADAPT_REQUIRE(config.d_eta_floor > 0.0 && config.d_eta_cap > config.d_eta_floor,
+                "invalid d_eta bounds");
+}
+
+InferenceServer::~InferenceServer() { stop(); }
+
+void InferenceServer::start() {
+  ADAPT_REQUIRE(!started_.exchange(true), "server already started");
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+std::uint64_t InferenceServer::submit(const recon::ComptonRing& ring,
+                                      double polar_deg_guess) {
+  ServeRequest request;
+  request.ring = ring;
+  request.polar_deg_guess = polar_deg_guess;
+  request.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  request.enqueued_at = std::chrono::steady_clock::now();
+  const std::uint64_t seq = request.sequence;
+  return queue_.push(std::move(request)) ? seq : 0;
+}
+
+void InferenceServer::stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  queue_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+InferenceServer::Stats InferenceServer::stats() const {
+  Stats s;
+  s.submitted = next_sequence_.load(std::memory_order_relaxed) - 1;
+  s.processed = processed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.shed = queue_.shed_count();
+  s.rejected = queue_.rejected_count();
+  s.background = background_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void InferenceServer::worker_loop() {
+  static tm::Counter& events_metric = tm::counter("serve.events");
+  static tm::Counter& batches_metric = tm::counter("serve.batches");
+
+  // The degrade decision keys on queue depth *after* the pop: the
+  // backlog the next flush already faces.  At or above the watermark
+  // the server is behind; spending the dEta forward on a batch it
+  // cannot afford only deepens the hole.
+  const auto watermark = static_cast<std::size_t>(
+      config_.degrade_watermark *
+      static_cast<double>(config_.queue_capacity));
+
+  std::vector<ServeRequest> batch;
+  std::vector<ServeResult> results;
+  for (;;) {
+    batch.clear();
+    const std::size_t n = batcher_.next_batch(batch);
+    if (n == 0) break;  // Closed and drained.
+
+    const bool degraded = config_.degrade_when_saturated &&
+                          queue_.depth() >= std::max<std::size_t>(watermark, 1);
+    results.clear();
+    process_batch(batch, degraded, results);
+
+    processed_.fetch_add(n, std::memory_order_relaxed);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    events_metric.add(n);
+    batches_metric.add();
+    sink_(results);
+  }
+}
+
+void InferenceServer::process_batch(std::span<const ServeRequest> batch,
+                                    bool degraded,
+                                    std::vector<ServeResult>& results) {
+  static tm::Histogram& infer_ms = tm::histogram("serve.infer_ms");
+  static tm::Histogram& latency_ms = tm::histogram("serve.latency_ms");
+  static tm::Counter& degraded_metric = tm::counter("serve.degraded_events");
+
+  // One contiguous ring array + per-ring polar guesses = one feature
+  // Tensor per network per flush.
+  thread_local std::vector<recon::ComptonRing> rings;
+  thread_local std::vector<double> polar;
+  rings.clear();
+  polar.clear();
+  for (const ServeRequest& r : batch) {
+    rings.push_back(r.ring);
+    polar.push_back(r.polar_deg_guess);
+  }
+
+  std::vector<std::uint8_t> is_background;
+  std::vector<double> d_eta;
+  {
+    tm::ScopedTimer timer(infer_ms);
+    is_background = models_.classify_background_batch(rings, polar);
+    // Degraded mode = the null-deta analytic passthrough, by
+    // construction the same clamp the Models fallback applies.
+    pipeline::Models deta_source = models_;
+    if (degraded) deta_source.deta = nullptr;
+    d_eta = deta_source.predict_deta_batch(rings, polar, config_.d_eta_floor,
+                                           config_.d_eta_cap);
+  }
+
+  const bool actually_degraded = degraded && models_.deta != nullptr;
+  if (actually_degraded) {
+    degraded_.fetch_add(batch.size(), std::memory_order_relaxed);
+    degraded_metric.add(batch.size());
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  results.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ServeResult res;
+    res.sequence = batch[i].sequence;
+    res.is_background = is_background[i];
+    res.d_eta = d_eta[i];
+    res.degraded = actually_degraded;
+    res.latency_ms = std::chrono::duration<double, std::milli>(
+                         now - batch[i].enqueued_at)
+                         .count();
+    latency_ms.record(res.latency_ms);
+    if (res.is_background) background_.fetch_add(1, std::memory_order_relaxed);
+    results.push_back(res);
+  }
+}
+
+}  // namespace adapt::serve

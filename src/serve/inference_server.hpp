@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file inference_server.hpp
+/// Streaming NN inference: queue -> micro-batcher -> batched forward.
+///
+/// The server owns one worker thread that drains the bounded
+/// EventQueue through a MicroBatcher and runs the two networks as
+/// *batched* forwards — one feature Tensor and one forward() per
+/// flush, not one per ring (pipeline::Models::classify_background_batch
+/// / predict_deta_batch).  Results are delivered to a caller-supplied
+/// sink on the worker thread, in submit order within a batch.
+///
+/// Overload policy (two independent layers):
+///   1. The queue itself sheds oldest-first when full (never blocks a
+///      producer; see event_queue.hpp for why oldest).
+///   2. When the queue depth at flush time is at or above
+///      `degrade_watermark * queue_capacity`, the worker skips the
+///      dEta network for that batch and reports the analytic
+///      (propagated) d_eta instead — `ServeResult::degraded` is set and
+///      `serve.degraded_events` counts them.  Background
+///      classification is never skipped: dropping the veto would let
+///      background leak into the science stream, while an analytic
+///      d_eta merely widens a weight.
+///
+/// Telemetry: `serve.latency_ms` (enqueue -> result, per event) and
+/// `serve.infer_ms` (forward time, per batch) histograms on top of the
+/// queue/batcher metrics; `serve.events` / `serve.batches` /
+/// `serve.degraded_events` counters.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "pipeline/models.hpp"
+#include "serve/event_queue.hpp"
+#include "serve/micro_batcher.hpp"
+
+namespace adapt::serve {
+
+struct ServeConfig {
+  std::size_t queue_capacity = 4096;
+  std::size_t max_batch = 64;
+  std::chrono::microseconds flush_deadline{200};
+  /// Depth fraction at which the worker degrades to analytic dEta.
+  double degrade_watermark = 0.75;
+  /// Master switch for the degrade layer (shedding is always on).
+  bool degrade_when_saturated = true;
+  /// Bound for analytic / NN d_eta alike.
+  double d_eta_floor = 1e-4;
+  double d_eta_cap = 2.0;
+};
+
+/// Consumes each finished micro-batch on the worker thread.  Keep it
+/// cheap — inference stalls while the sink runs.
+using ResultSink = std::function<void(std::span<const ServeResult>)>;
+
+class InferenceServer {
+ public:
+  /// `models` pointers must outlive the server; either may be null
+  /// (see pipeline::Models for the null semantics).
+  InferenceServer(pipeline::Models models, ServeConfig config,
+                  ResultSink sink);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Launch the worker.  Call once.
+  void start();
+
+  /// Enqueue one ring (thread-safe, non-blocking; any producer
+  /// thread).  Returns the assigned sequence number, or 0 if the
+  /// server is stopped (sequence numbers start at 1).
+  std::uint64_t submit(const recon::ComptonRing& ring,
+                       double polar_deg_guess);
+
+  /// Close the queue, drain it, and join the worker.  Every request
+  /// admitted before stop() is either delivered to the sink or counted
+  /// as shed.  Idempotent.
+  void stop();
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t processed = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t degraded = 0;   ///< Events served analytic dEta.
+    std::uint64_t shed = 0;       ///< Oldest-shed by the full queue.
+    std::uint64_t rejected = 0;   ///< Submitted after stop().
+    std::uint64_t background = 0; ///< Events classified as background.
+  };
+  Stats stats() const;
+
+  std::size_t queue_depth() const { return queue_.depth(); }
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  void worker_loop();
+  void process_batch(std::span<const ServeRequest> batch, bool degraded,
+                     std::vector<ServeResult>& results);
+
+  pipeline::Models models_;
+  ServeConfig config_;
+  ResultSink sink_;
+  EventQueue queue_;
+  MicroBatcher batcher_;
+  std::thread worker_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> next_sequence_{1};
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> background_{0};
+};
+
+}  // namespace adapt::serve

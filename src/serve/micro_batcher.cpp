@@ -1,0 +1,42 @@
+#include "serve/micro_batcher.hpp"
+
+#include "core/require.hpp"
+#include "core/telemetry.hpp"
+
+namespace adapt::serve {
+
+namespace tm = core::telemetry;
+
+MicroBatcher::MicroBatcher(EventQueue& queue, const BatchPolicy& policy)
+    : queue_(queue), policy_(policy) {
+  ADAPT_REQUIRE(policy.max_batch >= 1, "batch size must be >= 1");
+  ADAPT_REQUIRE(policy.flush_deadline.count() >= 0,
+                "flush deadline must be non-negative");
+}
+
+std::size_t MicroBatcher::next_batch(std::vector<ServeRequest>& out) {
+  static tm::Histogram& batch_size = tm::histogram("serve.batch_size");
+  static tm::Histogram& queue_depth = tm::histogram("serve.queue_depth");
+  static tm::Counter& flush_size = tm::counter("serve.flush.size");
+  static tm::Counter& flush_deadline = tm::counter("serve.flush.deadline");
+  static tm::Counter& flush_drain = tm::counter("serve.flush.drain");
+
+  const std::size_t n =
+      queue_.pop_batch(out, policy_.max_batch, policy_.flush_deadline);
+  if (n == 0) return 0;
+
+  batch_size.record(static_cast<double>(n));
+  // Depth AFTER the pop: what the next batch already has waiting — the
+  // backlog signal the overload policy keys on.
+  queue_depth.record(static_cast<double>(queue_.depth()));
+  if (n == policy_.max_batch) {
+    flush_size.add();
+  } else if (queue_.closed()) {
+    flush_drain.add();
+  } else {
+    flush_deadline.add();
+  }
+  return n;
+}
+
+}  // namespace adapt::serve

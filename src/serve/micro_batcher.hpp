@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file micro_batcher.hpp
+/// Batch-assembly policy on top of the EventQueue.
+///
+/// Production inference servers amortize per-call cost by batching:
+/// one N-row forward through the GEMM kernels is far cheaper than N
+/// single-row forwards (see bench_serve_throughput).  The batcher
+/// flushes on whichever comes first:
+///
+///   * size   — `max_batch` requests are waiting, or
+///   * deadline — `flush_deadline` elapsed since the first request of
+///     the forming batch (bounds tail latency when traffic is light),
+///   * drain  — the queue was closed; whatever is left ships at once.
+///
+/// The batcher also owns the serving layer's batch observability: the
+/// `serve.batch_size` / `serve.queue_depth` histograms and the
+/// per-reason `serve.flush.{size,deadline,drain}` counters.
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "serve/event_queue.hpp"
+
+namespace adapt::serve {
+
+struct BatchPolicy {
+  std::size_t max_batch = 64;
+  std::chrono::microseconds flush_deadline{200};
+};
+
+class MicroBatcher {
+ public:
+  MicroBatcher(EventQueue& queue, const BatchPolicy& policy);
+
+  /// Blocks for the next micro-batch; appends it to `out` and returns
+  /// its size.  Returns 0 exactly once the queue is closed and fully
+  /// drained.
+  std::size_t next_batch(std::vector<ServeRequest>& out);
+
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  EventQueue& queue_;
+  BatchPolicy policy_;
+};
+
+}  // namespace adapt::serve

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file request.hpp
+/// Wire types of the streaming serving layer (`adapt::serve`).
+///
+/// A ServeRequest is one reconstructed Compton ring awaiting NN
+/// evaluation — background classification plus a dEta prediction —
+/// tagged with the polar-angle guess current when it was enqueued, a
+/// monotone sequence number for result matching, and its enqueue
+/// timestamp so end-to-end latency (queue wait + batching delay +
+/// inference) can be quoted per event, not per batch.
+
+#include <chrono>
+#include <cstdint>
+
+#include "recon/ring.hpp"
+
+namespace adapt::serve {
+
+struct ServeRequest {
+  recon::ComptonRing ring;
+  double polar_deg_guess = 0.0;  ///< Localization estimate at submit time.
+  std::uint64_t sequence = 0;    ///< Assigned by InferenceServer::submit.
+  std::chrono::steady_clock::time_point enqueued_at{};
+};
+
+struct ServeResult {
+  std::uint64_t sequence = 0;
+  std::uint8_t is_background = 0;  ///< Background net decision (1 = drop).
+  double d_eta = 0.0;              ///< NN prediction, or the analytic
+                                   ///< propagated value when degraded.
+  bool degraded = false;           ///< True when overload policy skipped
+                                   ///< the dEta network for this event.
+  double latency_ms = 0.0;         ///< Enqueue -> result, wall clock.
+};
+
+}  // namespace adapt::serve

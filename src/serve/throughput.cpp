@@ -1,0 +1,135 @@
+#include "serve/throughput.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "core/require.hpp"
+#include "core/rng.hpp"
+#include "serve/inference_server.hpp"
+#include "serve/synthetic_models.hpp"
+
+namespace adapt::serve {
+
+namespace {
+
+struct Event {
+  recon::ComptonRing ring;
+  double polar_deg = 0.0;
+};
+
+std::vector<Event> make_stream(std::size_t n, std::uint64_t seed) {
+  core::Rng rng(seed);
+  std::vector<Event> events(n);
+  for (Event& e : events) {
+    e.ring = synthetic_ring(rng);
+    e.polar_deg = rng.uniform(0.0, 90.0);
+  }
+  return events;
+}
+
+double percentile(std::vector<double>& sorted_in_place, double p) {
+  if (sorted_in_place.empty()) return 0.0;
+  std::sort(sorted_in_place.begin(), sorted_in_place.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_in_place.size() - 1));
+  return sorted_in_place[idx];
+}
+
+}  // namespace
+
+ThroughputReport measure_serve_throughput(pipeline::Models models,
+                                          const ThroughputConfig& config) {
+  ADAPT_REQUIRE(config.events >= 1, "need at least one event");
+  ADAPT_REQUIRE(config.producers >= 1, "need at least one producer");
+  const std::vector<Event> events = make_stream(config.events, config.seed);
+
+  ServeConfig sc;
+  sc.queue_capacity = config.queue_capacity;
+  sc.max_batch = config.max_batch;
+  sc.flush_deadline = config.flush_deadline;
+  sc.degrade_watermark = config.degrade_watermark;
+  sc.degrade_when_saturated = config.degrade_when_saturated;
+
+  // The sink runs on the single worker thread, so plain vectors are
+  // safe; they are read only after stop() joins the worker.
+  std::vector<double> latencies;
+  latencies.reserve(config.events);
+  InferenceServer server(models, sc,
+                         [&](std::span<const ServeResult> results) {
+                           for (const ServeResult& r : results)
+                             latencies.push_back(r.latency_ms);
+                         });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server.start();
+  {
+    std::vector<std::thread> producers;
+    const std::size_t per =
+        (events.size() + config.producers - 1) / config.producers;
+    for (std::size_t p = 0; p < config.producers; ++p) {
+      const std::size_t lo = p * per;
+      const std::size_t hi = std::min(events.size(), lo + per);
+      if (lo >= hi) break;
+      producers.emplace_back([&, lo, hi] {
+        for (std::size_t i = lo; i < hi; ++i)
+          server.submit(events[i].ring, events[i].polar_deg);
+      });
+    }
+    for (std::thread& t : producers) t.join();
+  }
+  server.stop();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const auto stats = server.stats();
+  ThroughputReport report;
+  report.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  report.processed = stats.processed;
+  report.batches = stats.batches;
+  report.shed = stats.shed;
+  report.degraded = stats.degraded;
+  report.events_per_s = report.wall_ms > 0.0
+                            ? static_cast<double>(stats.processed) * 1e3 /
+                                  report.wall_ms
+                            : 0.0;
+  report.p50_latency_ms = percentile(latencies, 0.50);
+  report.p99_latency_ms = percentile(latencies, 0.99);
+  return report;
+}
+
+ThroughputReport measure_per_ring_baseline(pipeline::Models models,
+                                           const ThroughputConfig& config) {
+  ADAPT_REQUIRE(config.events >= 1, "need at least one event");
+  const std::vector<Event> events = make_stream(config.events, config.seed);
+
+  std::vector<double> latencies;
+  latencies.reserve(events.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Event& e : events) {
+    const auto e0 = std::chrono::steady_clock::now();
+    const std::span<const recon::ComptonRing> ring(&e.ring, 1);
+    const std::span<const double> polar(&e.polar_deg, 1);
+    (void)models.classify_background_batch(ring, polar);
+    (void)models.predict_deta_batch(ring, polar);
+    latencies.push_back(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - e0)
+                            .count());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ThroughputReport report;
+  report.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  report.processed = events.size();
+  report.batches = events.size();
+  report.events_per_s =
+      report.wall_ms > 0.0
+          ? static_cast<double>(events.size()) * 1e3 / report.wall_ms
+          : 0.0;
+  report.p50_latency_ms = percentile(latencies, 0.50);
+  report.p99_latency_ms = percentile(latencies, 0.99);
+  return report;
+}
+
+}  // namespace adapt::serve

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file throughput.hpp
+/// Measurement harness for the serving layer, shared by
+/// bench_serve_throughput and `adaptctl serve-bench`.
+///
+/// Two measurement modes on the same pre-generated event stream:
+///   * serve mode — producers submit into a running InferenceServer;
+///     events/s and per-event latency quantiles come out of the sink.
+///   * per-ring baseline — the same forwards issued one ring at a time
+///     with no queue or batching: the cost the serving layer exists to
+///     amortize.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "pipeline/models.hpp"
+
+namespace adapt::serve {
+
+struct ThroughputConfig {
+  std::size_t events = 20000;
+  std::size_t producers = 1;
+  std::size_t queue_capacity = 32768;
+  std::size_t max_batch = 64;
+  std::chrono::microseconds flush_deadline{200};
+  double degrade_watermark = 0.75;
+  bool degrade_when_saturated = true;
+  std::uint64_t seed = 42;
+};
+
+struct ThroughputReport {
+  double events_per_s = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double wall_ms = 0.0;
+  std::uint64_t processed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t degraded = 0;
+};
+
+/// Run the full queue -> batcher -> batched-forward path.
+ThroughputReport measure_serve_throughput(pipeline::Models models,
+                                          const ThroughputConfig& config);
+
+/// Same events, one single-ring forward pair per event, no serving
+/// machinery.  `events` and `seed` are read from `config`.
+ThroughputReport measure_per_ring_baseline(pipeline::Models models,
+                                           const ThroughputConfig& config);
+
+}  // namespace adapt::serve

@@ -5,6 +5,7 @@
 
 #include "core/require.hpp"
 #include "core/stats.hpp"
+#include "core/telemetry.hpp"
 
 namespace adapt::trigger {
 
@@ -21,6 +22,19 @@ RateTrigger::RateTrigger(const TriggerConfig& config) : config_(config) {
 TriggerResult RateTrigger::scan(std::vector<double> event_times,
                                 double exposure_s) const {
   ADAPT_REQUIRE(exposure_s > 0.0, "exposure must be positive");
+  // Readout streams arrive out of order (buffering, multiple front-end
+  // links), so the scan sorts rather than requiring monotone input.
+  // Non-finite timestamps must go first: a NaN breaks std::sort's
+  // strict-weak-ordering contract (undefined behavior) and poisons the
+  // lower_bound window counts below even when sort survives.
+  static core::telemetry::Counter& rejected_times =
+      core::telemetry::counter("trigger.times_rejected.non_finite");
+  const auto finite_end =
+      std::remove_if(event_times.begin(), event_times.end(),
+                     [](double t) { return !std::isfinite(t); });
+  rejected_times.add(static_cast<std::uint64_t>(
+      std::distance(finite_end, event_times.end())));
+  event_times.erase(finite_end, event_times.end());
   std::sort(event_times.begin(), event_times.end());
 
   TriggerResult best;

@@ -318,6 +318,72 @@ TEST(Localizer, BadDetaDoesNotChangeTheAnswer) {
   EXPECT_EQ(a.rings_used, b.rings_used);
 }
 
+TEST(Localizer, AllCandidatesFilteredByUpperSkyIsInvalid) {
+  // Every ring's cone lies entirely below the horizon: axis straight
+  // down, small opening angle.  With restrict_to_upper_sky (the
+  // default) every candidate direction is filtered, so localization
+  // has no seeds — the result must say invalid, not return a stale or
+  // default direction that looks like an estimate.
+  core::Rng rng(31);
+  std::vector<recon::ComptonRing> rings;
+  for (int i = 0; i < 25; ++i) {
+    recon::ComptonRing r;
+    r.axis = {0.0, 0.0, -1.0};
+    r.eta = 0.95;  // ~18 degree half-angle around -z: all z < 0.
+    r.d_eta = 0.05;
+    rings.push_back(r);
+  }
+  Localizer loc;
+  ASSERT_TRUE(loc.config().approximation.restrict_to_upper_sky);
+  const auto result = loc.localize(rings, rng);
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.rings_used, 0u);
+  EXPECT_EQ(result.rings_total, rings.size());
+  // The direction slot holds the zero default, not a fabricated unit
+  // vector.
+  EXPECT_EQ(result.direction.x, 0.0);
+  EXPECT_EQ(result.direction.y, 0.0);
+  EXPECT_EQ(result.direction.z, 0.0);
+  // The same population is localizable with the restriction off —
+  // proving the invalidity above came from the filter, nothing else.
+  LocalizerConfig open_cfg;
+  open_cfg.approximation.restrict_to_upper_sky = false;
+  core::Rng rng2(31);
+  const auto open_result = Localizer(open_cfg).localize(rings, rng2);
+  EXPECT_TRUE(open_result.valid);
+}
+
+TEST(Localizer, NoSeedExitsAreCounted) {
+  core::telemetry::set_enabled(true);
+  const auto before = core::telemetry::snapshot();
+  core::Rng rng(32);
+  std::vector<recon::ComptonRing> rings;
+  for (int i = 0; i < 5; ++i) {
+    recon::ComptonRing r;
+    r.axis = {0.0, 0.0, -1.0};
+    r.eta = 0.95;
+    r.d_eta = 0.05;
+    rings.push_back(r);
+  }
+  EXPECT_FALSE(Localizer().localize(rings, rng).valid);
+  const auto delta = core::telemetry::snapshot().since(before);
+  EXPECT_EQ(delta.counters.at("loc.localize_invalid.no_seeds"), 1u);
+  core::telemetry::set_enabled(false);
+}
+
+TEST(Localizer, RefineWithTooFewUsableRingsStaysInvalid) {
+  core::Rng rng(33);
+  const auto one_ring = signal_rings({0, 0, 1}, 1, rng, 0.05);
+  Localizer loc;
+  const auto result = loc.refine(one_ring, {0.0, 0.0, 1.0});
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.rings_used, 0u);
+  // refine() documents returning the (normalized) initial direction on
+  // failure — still flagged invalid so no caller can mistake it for a
+  // fit.
+  EXPECT_EQ(result.direction.z, 1.0);
+}
+
 TEST(Localizer, ThinnerRingsGiveTighterLocalization) {
   core::Rng rng(15);
   const core::Vec3 s = core::from_spherical(0.6, 0.0);

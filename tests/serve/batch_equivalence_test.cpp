@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/contract.hpp"
+#include "pipeline/models.hpp"
+#include "serve/synthetic_models.hpp"
+
+// The serving layer's core claim: one N-row batched forward is
+// BIT-IDENTICAL to N single-ring forwards.  This holds because the
+// GEMM kernels accumulate each output row in plain ascending-k order
+// regardless of batch size, the INT8 engine is integer arithmetic
+// throughout, and the feature/standardizer transforms are row-wise.
+// Any "approximately equal" here would mean batching changes science
+// results — these tests use exact equality on purpose.
+
+namespace adapt::serve {
+namespace {
+
+struct Stream {
+  std::vector<recon::ComptonRing> rings;
+  std::vector<double> polar;
+};
+
+Stream make_stream(std::size_t n, std::uint64_t seed) {
+  core::Rng rng(seed);
+  Stream s;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.rings.push_back(synthetic_ring(rng));
+    s.polar.push_back(rng.uniform(0.0, 90.0));
+  }
+  return s;
+}
+
+void expect_background_batch_matches_loop(pipeline::BackgroundNet& net,
+                                          const Stream& s) {
+  const auto batch_logits = net.logits_batch(s.rings, s.polar);
+  const auto batch_cls = net.classify_batch(s.rings, s.polar);
+  ASSERT_EQ(batch_logits.size(), s.rings.size());
+  ASSERT_EQ(batch_cls.size(), s.rings.size());
+  for (std::size_t i = 0; i < s.rings.size(); ++i) {
+    const std::span<const recon::ComptonRing> one(&s.rings[i], 1);
+    const auto loop_logit = net.logits(one, s.polar[i]);
+    const auto loop_cls = net.classify(one, s.polar[i]);
+    ASSERT_EQ(loop_logit.size(), 1u);
+    // Bitwise float equality, deliberately.
+    EXPECT_EQ(batch_logits[i], loop_logit[0]) << "ring " << i;
+    EXPECT_EQ(batch_cls[i], loop_cls[0]) << "ring " << i;
+  }
+}
+
+void expect_deta_batch_matches_loop(pipeline::DEtaNet& net, const Stream& s) {
+  const auto batch = net.predict_batch(s.rings, s.polar);
+  ASSERT_EQ(batch.size(), s.rings.size());
+  for (std::size_t i = 0; i < s.rings.size(); ++i) {
+    const std::span<const recon::ComptonRing> one(&s.rings[i], 1);
+    const auto loop = net.predict(one, s.polar[i]);
+    ASSERT_EQ(loop.size(), 1u);
+    EXPECT_EQ(batch[i], loop[0]) << "ring " << i;
+  }
+}
+
+TEST(BatchEquivalence, FloatBackgroundNetBitIdentical) {
+  auto net = synthetic_background_net(101);
+  expect_background_batch_matches_loop(net, make_stream(33, 1));
+}
+
+TEST(BatchEquivalence, Int8BackgroundNetBitIdentical) {
+  auto net = synthetic_background_net_int8(102);
+  expect_background_batch_matches_loop(net, make_stream(33, 2));
+}
+
+TEST(BatchEquivalence, DEtaNetBitIdentical) {
+  auto net = synthetic_deta_net(103);
+  expect_deta_batch_matches_loop(net, make_stream(33, 3));
+}
+
+TEST(BatchEquivalence, SingleRingBatch) {
+  auto background = synthetic_background_net(104);
+  auto deta = synthetic_deta_net(105);
+  const Stream s = make_stream(1, 4);
+  expect_background_batch_matches_loop(background, s);
+  expect_deta_batch_matches_loop(deta, s);
+}
+
+TEST(BatchEquivalence, EmptyBatch) {
+  auto background = synthetic_background_net(106);
+  auto deta = synthetic_deta_net(107);
+  EXPECT_TRUE(background.logits_batch({}, {}).empty());
+  EXPECT_TRUE(background.classify_batch({}, {}).empty());
+  EXPECT_TRUE(deta.predict_batch({}, {}).empty());
+}
+
+TEST(BatchEquivalence, ModelsBundleMatchesDirectCalls) {
+  auto background = synthetic_background_net(108);
+  auto deta = synthetic_deta_net(109);
+  const pipeline::Models models{&background, &deta};
+  const Stream s = make_stream(17, 5);
+
+  EXPECT_EQ(models.classify_background_batch(s.rings, s.polar),
+            background.classify_batch(s.rings, s.polar));
+  EXPECT_EQ(models.predict_deta_batch(s.rings, s.polar),
+            deta.predict_batch(s.rings, s.polar));
+}
+
+TEST(BatchEquivalence, NullModelsFallBackToAnalytic) {
+  const pipeline::Models models{};
+  const Stream s = make_stream(9, 6);
+  const auto cls = models.classify_background_batch(s.rings, s.polar);
+  for (const auto c : cls) EXPECT_EQ(c, 0);
+  const auto d = models.predict_deta_batch(s.rings, s.polar, 0.01, 0.3);
+  ASSERT_EQ(d.size(), s.rings.size());
+  for (std::size_t i = 0; i < d.size(); ++i)
+    EXPECT_EQ(d[i], std::clamp(s.rings[i].d_eta, 0.01, 0.3));
+}
+
+TEST(BatchEquivalence, MismatchedPolarSpanRejected) {
+  auto net = synthetic_background_net(110);
+  const Stream s = make_stream(4, 7);
+  const std::vector<double> short_polar(3, 10.0);
+  EXPECT_THROW(net.logits_batch(s.rings, short_polar),
+               core::ContractViolation);
+}
+
+}  // namespace
+}  // namespace adapt::serve

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "quant/qat_linear.hpp"
+#include "serve/synthetic_models.hpp"
+
+// Inference on a SHARED model from concurrent threads must be safe and
+// deterministic: forward(training=false) may not write any member
+// state.  These tests are the TSan targets for the fixes in
+// BatchNorm1d (member inference scratch), QatLinear (unconditional
+// weight-cache write), and QuantizedMlp (now thread_local ping-pong
+// buffers).  Run under the static-analysis gate's TSan stage; without
+// -fsanitize=thread they still verify results match the
+// single-threaded reference.
+
+namespace adapt::serve {
+namespace {
+
+constexpr std::size_t kThreads = 4;
+constexpr int kRepeats = 8;
+
+struct Stream {
+  std::vector<recon::ComptonRing> rings;
+  std::vector<double> polar;
+};
+
+Stream make_stream(std::size_t n, std::uint64_t seed) {
+  core::Rng rng(seed);
+  Stream s;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.rings.push_back(synthetic_ring(rng));
+    s.polar.push_back(rng.uniform(0.0, 90.0));
+  }
+  return s;
+}
+
+template <typename Fn>
+void run_concurrently(Fn&& fn) {
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&fn, t] { fn(t); });
+  for (std::thread& t : threads) t.join();
+}
+
+TEST(ConcurrentInference, SharedFp32BackgroundNetWithBatchNorm) {
+  // build_mlp's default blocks start with BatchNorm1d — the layer
+  // whose inference scratch used to be a member.
+  auto net = synthetic_background_net(61);
+  const Stream s = make_stream(24, 1);
+  const auto reference = net.logits_batch(s.rings, s.polar);
+
+  run_concurrently([&](std::size_t) {
+    for (int i = 0; i < kRepeats; ++i)
+      EXPECT_EQ(net.logits_batch(s.rings, s.polar), reference);
+  });
+}
+
+TEST(ConcurrentInference, SharedInt8Engine) {
+  auto net = synthetic_background_net_int8(62);
+  const Stream s = make_stream(24, 2);
+  const auto reference = net.logits_batch(s.rings, s.polar);
+
+  run_concurrently([&](std::size_t) {
+    for (int i = 0; i < kRepeats; ++i)
+      EXPECT_EQ(net.logits_batch(s.rings, s.polar), reference);
+  });
+}
+
+TEST(ConcurrentInference, SharedDEtaNet) {
+  auto net = synthetic_deta_net(63);
+  const Stream s = make_stream(24, 3);
+  const auto reference = net.predict_batch(s.rings, s.polar);
+
+  run_concurrently([&](std::size_t) {
+    for (int i = 0; i < kRepeats; ++i)
+      EXPECT_EQ(net.predict_batch(s.rings, s.polar), reference);
+  });
+}
+
+TEST(ConcurrentInference, SharedQatLinearInferenceForward) {
+  core::Rng rng(64);
+  quant::QatLinear layer(8, 4, rng);
+  nn::Tensor x(16, 8);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x.vec()[i] = static_cast<float>(rng.normal());
+  const nn::Tensor reference = layer.forward(x, /*training=*/false);
+
+  run_concurrently([&](std::size_t) {
+    for (int i = 0; i < kRepeats; ++i) {
+      const nn::Tensor y = layer.forward(x, /*training=*/false);
+      ASSERT_EQ(y.size(), reference.size());
+      for (std::size_t k = 0; k < y.size(); ++k)
+        EXPECT_EQ(y.vec()[k], reference.vec()[k]);
+    }
+  });
+}
+
+// Distinct polar guesses per thread: concurrent callers with
+// DIFFERENT inputs must not bleed into each other (the failure mode a
+// shared scratch buffer produces).
+TEST(ConcurrentInference, DistinctInputsDoNotBleed) {
+  auto net = synthetic_background_net(65);
+  const Stream s = make_stream(16, 4);
+
+  std::vector<std::vector<float>> references(kThreads);
+  std::vector<std::vector<double>> polar_sets(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    polar_sets[t].assign(s.rings.size(),
+                         5.0 + 20.0 * static_cast<double>(t));
+    references[t] = net.logits_batch(s.rings, polar_sets[t]);
+  }
+
+  run_concurrently([&](std::size_t t) {
+    for (int i = 0; i < kRepeats; ++i)
+      EXPECT_EQ(net.logits_batch(s.rings, polar_sets[t]), references[t]);
+  });
+}
+
+}  // namespace
+}  // namespace adapt::serve

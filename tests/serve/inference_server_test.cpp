@@ -1,0 +1,228 @@
+#include "serve/inference_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/synthetic_models.hpp"
+
+namespace adapt::serve {
+namespace {
+
+struct Collected {
+  std::mutex mutex;
+  std::vector<ServeResult> results;
+
+  ResultSink sink() {
+    return [this](std::span<const ServeResult> batch) {
+      std::lock_guard<std::mutex> lock(mutex);
+      results.insert(results.end(), batch.begin(), batch.end());
+    };
+  }
+};
+
+TEST(InferenceServer, ProcessesEverySubmittedEvent) {
+  auto background = synthetic_background_net(11);
+  auto deta = synthetic_deta_net(12);
+  const pipeline::Models models{&background, &deta};
+
+  ServeConfig config;
+  config.queue_capacity = 1024;
+  config.max_batch = 16;
+  config.flush_deadline = std::chrono::microseconds(200);
+
+  Collected collected;
+  InferenceServer server(models, config, collected.sink());
+  server.start();
+
+  core::Rng rng(3);
+  constexpr std::size_t kEvents = 300;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    const auto seq = server.submit(synthetic_ring(rng), rng.uniform(0.0, 90.0));
+    EXPECT_EQ(seq, i + 1);
+  }
+  server.stop();
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, kEvents);
+  EXPECT_EQ(stats.processed, kEvents);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.degraded, 0u);
+  EXPECT_GE(stats.batches, kEvents / config.max_batch);
+
+  ASSERT_EQ(collected.results.size(), kEvents);
+  std::vector<std::uint64_t> seqs;
+  for (const ServeResult& r : collected.results) {
+    seqs.push_back(r.sequence);
+    EXPECT_FALSE(r.degraded);
+    EXPECT_GE(r.d_eta, 1e-4);
+    EXPECT_LE(r.d_eta, 2.0);
+    EXPECT_GE(r.latency_ms, 0.0);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  for (std::size_t i = 0; i < seqs.size(); ++i) EXPECT_EQ(seqs[i], i + 1);
+}
+
+TEST(InferenceServer, SubmitAfterStopIsRejected) {
+  Collected collected;
+  InferenceServer server(pipeline::Models{}, ServeConfig{}, collected.sink());
+  server.start();
+  server.stop();
+  core::Rng rng(5);
+  EXPECT_EQ(server.submit(synthetic_ring(rng), 10.0), 0u);
+  EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+TEST(InferenceServer, NullModelsServeAnalyticPassthrough) {
+  ServeConfig config;
+  config.d_eta_floor = 0.01;
+  config.d_eta_cap = 0.5;
+  Collected collected;
+  InferenceServer server(pipeline::Models{}, config, collected.sink());
+  server.start();
+
+  core::Rng rng(7);
+  std::vector<recon::ComptonRing> rings;
+  for (int i = 0; i < 20; ++i) rings.push_back(synthetic_ring(rng));
+  for (const auto& ring : rings) server.submit(ring, 45.0);
+  server.stop();
+
+  ASSERT_EQ(collected.results.size(), rings.size());
+  std::sort(collected.results.begin(), collected.results.end(),
+            [](const ServeResult& a, const ServeResult& b) {
+              return a.sequence < b.sequence;
+            });
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    EXPECT_EQ(collected.results[i].is_background, 0);
+    EXPECT_EQ(collected.results[i].d_eta,
+              std::clamp(rings[i].d_eta, config.d_eta_floor, config.d_eta_cap));
+  }
+}
+
+TEST(InferenceServer, DegradesToAnalyticDEtaUnderBacklog) {
+  auto background = synthetic_background_net(21);
+  auto deta = synthetic_deta_net(22);
+  const pipeline::Models models{&background, &deta};
+
+  // Watermark so low that any leftover backlog after a pop degrades
+  // the next batch; the backlog is guaranteed by submitting everything
+  // before start().
+  ServeConfig config;
+  config.queue_capacity = 256;
+  config.max_batch = 8;
+  config.flush_deadline = std::chrono::microseconds(0);
+  config.degrade_watermark = 0.01;
+
+  Collected collected;
+  InferenceServer server(models, config, collected.sink());
+  core::Rng rng(9);
+  std::vector<recon::ComptonRing> rings;
+  for (std::size_t i = 0; i < 64; ++i) {
+    rings.push_back(synthetic_ring(rng));
+    server.submit(rings.back(), 30.0);
+  }
+  server.start();
+  server.stop();
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.processed, 64u);
+  EXPECT_GT(stats.degraded, 0u);
+
+  // Degraded results carry the analytic clamp, not a network output.
+  std::sort(collected.results.begin(), collected.results.end(),
+            [](const ServeResult& a, const ServeResult& b) {
+              return a.sequence < b.sequence;
+            });
+  std::size_t degraded_seen = 0;
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    if (!collected.results[i].degraded) continue;
+    ++degraded_seen;
+    EXPECT_EQ(collected.results[i].d_eta,
+              std::clamp(rings[i].d_eta, config.d_eta_floor, config.d_eta_cap));
+  }
+  EXPECT_EQ(degraded_seen, stats.degraded);
+}
+
+TEST(InferenceServer, DegradeCanBeDisabled) {
+  auto background = synthetic_background_net(21);
+  auto deta = synthetic_deta_net(22);
+  ServeConfig config;
+  config.queue_capacity = 256;
+  config.max_batch = 8;
+  config.flush_deadline = std::chrono::microseconds(0);
+  config.degrade_watermark = 0.01;
+  config.degrade_when_saturated = false;
+
+  Collected collected;
+  InferenceServer server(pipeline::Models{&background, &deta}, config,
+                         collected.sink());
+  core::Rng rng(9);
+  for (std::size_t i = 0; i < 64; ++i)
+    server.submit(synthetic_ring(rng), 30.0);
+  server.start();
+  server.stop();
+  EXPECT_EQ(server.stats().degraded, 0u);
+}
+
+TEST(InferenceServer, ShedsOldestWhenSaturated) {
+  // Tiny queue, everything enqueued before the worker starts: all but
+  // the newest `queue_capacity` requests must be shed, none lost
+  // silently.
+  ServeConfig config;
+  config.queue_capacity = 8;
+  config.max_batch = 8;
+  config.degrade_watermark = 1.0;
+
+  Collected collected;
+  InferenceServer server(pipeline::Models{}, config, collected.sink());
+  core::Rng rng(13);
+  constexpr std::uint64_t kEvents = 40;
+  for (std::uint64_t i = 0; i < kEvents; ++i)
+    server.submit(synthetic_ring(rng), 10.0);
+  server.start();
+  server.stop();
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.shed, kEvents - config.queue_capacity);
+  EXPECT_EQ(stats.processed, config.queue_capacity);
+  // The survivors are the NEWEST sequences.
+  ASSERT_EQ(collected.results.size(), config.queue_capacity);
+  for (const ServeResult& r : collected.results)
+    EXPECT_GT(r.sequence, kEvents - config.queue_capacity);
+}
+
+TEST(InferenceServer, ConcurrentProducersAllAccounted) {
+  auto background = synthetic_background_net_int8(31);
+  ServeConfig config;
+  config.queue_capacity = 4096;
+  config.max_batch = 32;
+
+  Collected collected;
+  InferenceServer server(pipeline::Models{&background, nullptr}, config,
+                         collected.sink());
+  server.start();
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 200;
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&server, p] {
+      core::Rng rng(100 + p);
+      for (std::size_t i = 0; i < kPerProducer; ++i)
+        server.submit(synthetic_ring(rng), rng.uniform(0.0, 90.0));
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  server.stop();
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, kProducers * kPerProducer);
+  EXPECT_EQ(stats.processed + stats.shed, stats.submitted);
+  EXPECT_EQ(collected.results.size(), stats.processed);
+}
+
+}  // namespace
+}  // namespace adapt::serve

@@ -1,0 +1,68 @@
+#include "serve/micro_batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/contract.hpp"
+
+namespace adapt::serve {
+namespace {
+
+ServeRequest request(std::uint64_t sequence) {
+  ServeRequest r;
+  r.sequence = sequence;
+  r.enqueued_at = std::chrono::steady_clock::now();
+  return r;
+}
+
+TEST(MicroBatcher, SizeFlushSplitsIntoFullBatches) {
+  EventQueue q(32);
+  MicroBatcher batcher(q, BatchPolicy{4, std::chrono::microseconds(0)});
+  for (std::uint64_t s = 1; s <= 8; ++s) q.push(request(s));
+
+  std::vector<ServeRequest> batch;
+  EXPECT_EQ(batcher.next_batch(batch), 4u);
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch.front().sequence, 1u);
+  batch.clear();
+  EXPECT_EQ(batcher.next_batch(batch), 4u);
+  EXPECT_EQ(batch.front().sequence, 5u);
+}
+
+TEST(MicroBatcher, DeadlineFlushShipsPartialBatch) {
+  EventQueue q(32);
+  MicroBatcher batcher(q, BatchPolicy{16, std::chrono::microseconds(500)});
+  q.push(request(1));
+  q.push(request(2));
+
+  // Only two of sixteen are waiting; the deadline must release them.
+  std::vector<ServeRequest> batch;
+  EXPECT_EQ(batcher.next_batch(batch), 2u);
+}
+
+TEST(MicroBatcher, DrainFlushThenZeroAfterClose) {
+  EventQueue q(32);
+  MicroBatcher batcher(q, BatchPolicy{16, std::chrono::microseconds(500)});
+  q.push(request(1));
+  q.close();
+
+  std::vector<ServeRequest> batch;
+  EXPECT_EQ(batcher.next_batch(batch), 1u);
+  EXPECT_EQ(batcher.next_batch(batch), 0u);
+  // And stays 0: the drained state is terminal.
+  EXPECT_EQ(batcher.next_batch(batch), 0u);
+}
+
+TEST(MicroBatcher, RejectsInvalidPolicy) {
+  EventQueue q(8);
+  EXPECT_THROW(
+      MicroBatcher(q, BatchPolicy{0, std::chrono::microseconds(100)}),
+      core::ContractViolation);
+  EXPECT_THROW(
+      MicroBatcher(q, BatchPolicy{4, std::chrono::microseconds(-1)}),
+      core::ContractViolation);
+}
+
+}  // namespace
+}  // namespace adapt::serve

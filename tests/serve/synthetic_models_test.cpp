@@ -1,0 +1,83 @@
+#include "serve/synthetic_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace adapt::serve {
+namespace {
+
+TEST(SyntheticModels, RingsAreFiniteAndPlausible) {
+  core::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const recon::ComptonRing ring = synthetic_ring(rng);
+    EXPECT_TRUE(std::isfinite(ring.eta));
+    EXPECT_GE(ring.eta, -1.0);
+    EXPECT_LE(ring.eta, 1.0);
+    EXPECT_GT(ring.d_eta, 0.0);
+    EXPECT_GT(ring.e_total, 0.0);
+    EXPECT_NEAR(ring.axis.norm(), 1.0, 1e-9);
+    EXPECT_GE(ring.n_hits, 2);
+  }
+}
+
+TEST(SyntheticModels, SameSeedSameOutputs) {
+  core::Rng ring_rng(5);
+  std::vector<recon::ComptonRing> rings;
+  std::vector<double> polar;
+  for (int i = 0; i < 8; ++i) {
+    rings.push_back(synthetic_ring(ring_rng));
+    polar.push_back(ring_rng.uniform(0.0, 90.0));
+  }
+
+  auto a = synthetic_background_net(42);
+  auto b = synthetic_background_net(42);
+  EXPECT_EQ(a.logits_batch(rings, polar), b.logits_batch(rings, polar));
+
+  auto qa = synthetic_background_net_int8(42);
+  auto qb = synthetic_background_net_int8(42);
+  EXPECT_EQ(qa.logits_batch(rings, polar), qb.logits_batch(rings, polar));
+  EXPECT_TRUE(qa.quantized());
+
+  auto da = synthetic_deta_net(42);
+  auto db = synthetic_deta_net(42);
+  EXPECT_EQ(da.predict_batch(rings, polar), db.predict_batch(rings, polar));
+}
+
+TEST(SyntheticModels, DifferentSeedsDiffer) {
+  core::Rng ring_rng(6);
+  std::vector<recon::ComptonRing> rings;
+  std::vector<double> polar;
+  for (int i = 0; i < 8; ++i) {
+    rings.push_back(synthetic_ring(ring_rng));
+    polar.push_back(ring_rng.uniform(0.0, 90.0));
+  }
+  auto a = synthetic_background_net(1);
+  auto b = synthetic_background_net(2);
+  EXPECT_NE(a.logits_batch(rings, polar), b.logits_batch(rings, polar));
+}
+
+TEST(SyntheticModels, OutputsAreFinite) {
+  core::Rng ring_rng(7);
+  std::vector<recon::ComptonRing> rings;
+  std::vector<double> polar;
+  for (int i = 0; i < 32; ++i) {
+    rings.push_back(synthetic_ring(ring_rng));
+    polar.push_back(ring_rng.uniform(0.0, 90.0));
+  }
+  auto fp32 = synthetic_background_net(9);
+  for (const float l : fp32.logits_batch(rings, polar))
+    EXPECT_TRUE(std::isfinite(l));
+  auto int8 = synthetic_background_net_int8(9);
+  for (const float l : int8.logits_batch(rings, polar))
+    EXPECT_TRUE(std::isfinite(l));
+  auto deta = synthetic_deta_net(9);
+  for (const double d : deta.predict_batch(rings, polar)) {
+    EXPECT_GE(d, 1e-4);
+    EXPECT_LE(d, 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace adapt::serve

@@ -1,0 +1,56 @@
+#include "serve/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include "serve/synthetic_models.hpp"
+
+namespace adapt::serve {
+namespace {
+
+TEST(ServeThroughput, ServeModeProcessesEverything) {
+  auto background = synthetic_background_net(51);
+  auto deta = synthetic_deta_net(52);
+  ThroughputConfig config;
+  config.events = 256;
+  config.max_batch = 16;
+  config.queue_capacity = 1024;
+
+  const ThroughputReport report =
+      measure_serve_throughput({&background, &deta}, config);
+  EXPECT_EQ(report.processed, config.events);
+  EXPECT_EQ(report.shed, 0u);
+  EXPECT_GT(report.events_per_s, 0.0);
+  EXPECT_GE(report.p99_latency_ms, report.p50_latency_ms);
+  EXPECT_GT(report.batches, 0u);
+  EXPECT_LE(report.batches, report.processed);
+}
+
+TEST(ServeThroughput, BaselineProcessesEverything) {
+  auto background = synthetic_background_net(51);
+  ThroughputConfig config;
+  config.events = 64;
+
+  const ThroughputReport report =
+      measure_per_ring_baseline({&background, nullptr}, config);
+  EXPECT_EQ(report.processed, config.events);
+  EXPECT_EQ(report.batches, config.events);
+  EXPECT_GT(report.events_per_s, 0.0);
+}
+
+TEST(ServeThroughput, SaturationShedsButNeverLoses) {
+  auto background = synthetic_background_net_int8(53);
+  ThroughputConfig config;
+  config.events = 512;
+  config.producers = 4;
+  config.queue_capacity = 16;  // Far too small on purpose.
+  config.max_batch = 16;
+
+  const ThroughputReport report =
+      measure_serve_throughput({&background, nullptr}, config);
+  // Every event is accounted for: served or visibly shed.
+  EXPECT_EQ(report.processed + report.shed, config.events);
+  EXPECT_GT(report.processed, 0u);
+}
+
+}  // namespace
+}  // namespace adapt::serve

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/rng.hpp"
 #include "core/stats.hpp"
+#include "core/telemetry.hpp"
 #include "sim/exposure.hpp"
 
 namespace adapt::trigger {
@@ -127,6 +130,69 @@ TEST(RateTrigger, ShortSpikeFoundOnShortTimescale) {
   const auto result = trigger.scan(std::move(times), 1.0);
   ASSERT_TRUE(result.triggered);
   EXPECT_LE(result.t_end - result.t_start, 0.065);
+}
+
+TEST(RateTrigger, ShuffledArrivalMatchesSortedBitIdentical) {
+  // Readout links deliver events out of order; the scan's rate
+  // estimate must not depend on arrival order at all.
+  core::Rng rng(41);
+  TriggerConfig cfg;
+  cfg.background_rate_hz = 900.0;
+  const RateTrigger trigger(cfg);
+
+  std::vector<double> sorted_times = uniform_times(900.0, 1.0, rng);
+  for (int i = 0; i < 150; ++i)
+    sorted_times.push_back(rng.uniform(0.300, 0.330));
+  std::sort(sorted_times.begin(), sorted_times.end());
+
+  std::vector<double> shuffled = sorted_times;
+  for (std::size_t i = shuffled.size(); i > 1; --i)
+    std::swap(shuffled[i - 1],
+              shuffled[static_cast<std::size_t>(rng.uniform_index(i))]);
+  ASSERT_NE(shuffled, sorted_times);  // The shuffle actually shuffled.
+
+  const auto a = trigger.scan(std::move(sorted_times), 1.0);
+  const auto b = trigger.scan(std::move(shuffled), 1.0);
+  EXPECT_EQ(a.triggered, b.triggered);
+  EXPECT_EQ(a.significance_sigma, b.significance_sigma);
+  EXPECT_EQ(a.t_start, b.t_start);
+  EXPECT_EQ(a.t_end, b.t_end);
+  EXPECT_EQ(a.counts, b.counts);
+}
+
+TEST(RateTrigger, NonFiniteTimesAreIgnoredAndCounted) {
+  // A NaN in the time stream would break std::sort's strict weak
+  // ordering (undefined behavior) and poison the binary-search window
+  // counts; the scan must drop such entries, count them, and return
+  // the same answer as a clean stream.
+  core::Rng rng(42);
+  TriggerConfig cfg;
+  cfg.background_rate_hz = 900.0;
+  const RateTrigger trigger(cfg);
+
+  std::vector<double> clean = uniform_times(900.0, 1.0, rng);
+  for (int i = 0; i < 80; ++i) clean.push_back(rng.uniform(0.500, 0.540));
+  std::vector<double> dirty = clean;
+  dirty.insert(dirty.begin() + 3,
+               std::numeric_limits<double>::quiet_NaN());
+  dirty.push_back(std::numeric_limits<double>::infinity());
+  dirty.push_back(-std::numeric_limits<double>::infinity());
+
+  core::telemetry::set_enabled(true);
+  const auto before = core::telemetry::snapshot();
+  const auto a = trigger.scan(std::move(clean), 1.0);
+  const auto mid = core::telemetry::snapshot();
+  const auto b = trigger.scan(std::move(dirty), 1.0);
+  const auto after = core::telemetry::snapshot();
+  core::telemetry::set_enabled(false);
+
+  EXPECT_EQ(a.significance_sigma, b.significance_sigma);
+  EXPECT_EQ(a.t_start, b.t_start);
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(
+      mid.since(before).counters.at("trigger.times_rejected.non_finite"), 0u);
+  EXPECT_EQ(
+      after.since(mid).counters.at("trigger.times_rejected.non_finite"), 3u);
 }
 
 TEST(RateTrigger, ConfigValidation) {

@@ -23,6 +23,7 @@
 ///
 /// Exit code 0 on success; 2 on usage errors.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -40,6 +41,8 @@
 #include "eval/model_provider.hpp"
 #include "fpga/hls_model.hpp"
 #include "pipeline/features.hpp"
+#include "serve/synthetic_models.hpp"
+#include "serve/throughput.hpp"
 
 using namespace adapt;
 
@@ -259,6 +262,47 @@ int cmd_skymap(const CliArgs& args) {
   return 0;
 }
 
+int cmd_serve_bench(const CliArgs& args) {
+  serve::ThroughputConfig cfg;
+  cfg.events = args.count("events", 20000);
+  cfg.max_batch = args.count("batch", 64);
+  cfg.producers = args.count("producers", 2);
+  cfg.queue_capacity = args.count("queue", 32768);
+  cfg.flush_deadline = std::chrono::microseconds(
+      static_cast<long>(args.count("deadline-us", 200)));
+  cfg.seed = args.count("seed", 42);
+
+  // Synthetic paper-dimension networks (INT8 background + FP32 dEta):
+  // identical compute shape to the deployed models, no training wait.
+  auto background = serve::synthetic_background_net_int8(cfg.seed ^ 0xB6);
+  auto deta = serve::synthetic_deta_net(cfg.seed ^ 0xDE);
+  const pipeline::Models models{&background, &deta};
+
+  const auto baseline = serve::measure_per_ring_baseline(models, cfg);
+  const auto batched = serve::measure_serve_throughput(models, cfg);
+
+  core::TextTable table({"mode", "kevents/s", "p50 [ms]", "p99 [ms]",
+                         "batches", "shed", "degraded"});
+  table.add_row({"per-ring loop", core::TextTable::num(
+                                      baseline.events_per_s / 1e3, 1),
+                 core::TextTable::num(baseline.p50_latency_ms, 3),
+                 core::TextTable::num(baseline.p99_latency_ms, 3),
+                 std::to_string(baseline.batches), "0", "0"});
+  table.add_row({"serve, batch " + std::to_string(cfg.max_batch),
+                 core::TextTable::num(batched.events_per_s / 1e3, 1),
+                 core::TextTable::num(batched.p50_latency_ms, 3),
+                 core::TextTable::num(batched.p99_latency_ms, 3),
+                 std::to_string(batched.batches),
+                 std::to_string(batched.shed),
+                 std::to_string(batched.degraded)});
+  table.print(std::cout);
+  std::printf("speedup: %.2fx over the per-ring loop (%zu events, %zu "
+              "producer(s), queue %zu)\n",
+              batched.events_per_s / baseline.events_per_s, cfg.events,
+              cfg.producers, cfg.queue_capacity);
+  return 0;
+}
+
 void usage() {
   std::fprintf(
       stderr,
@@ -272,6 +316,8 @@ void usage() {
       "  fpga        --bits B   (2-8, or 32 for FP32)\n"
       "  trigger     --fluence F --polar P --seed S\n"
       "  skymap      --fluence F --polar P --seed S [--out map.csv]\n"
+      "  serve-bench --events N --batch B --producers P --queue Q"
+      " --deadline-us D\n"
       "  --metrics json|csv  dump pipeline telemetry to stdout after "
       "the command\n");
 }
@@ -308,6 +354,7 @@ int main(int argc, char** argv) {
     else if (cmd == "fpga") rc = cmd_fpga(args);
     else if (cmd == "trigger") rc = cmd_trigger(args);
     else if (cmd == "skymap") rc = cmd_skymap(args);
+    else if (cmd == "serve-bench") rc = cmd_serve_bench(args);
     else known = false;
 
     if (!known) {

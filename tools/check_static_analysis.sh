@@ -89,4 +89,16 @@ cmake --build "${build_root}/tsan" -j"${jobs}" >/dev/null \
   ADAPT_NUM_THREADS="${tsan_threads}" ctest --output-on-failure -j1) \
   || fail "tests failed under TSan"
 
+# --- 5b. serving-layer TSan focus ------------------------------------
+# The serve subsystem is the one place where producer threads, the
+# consumer worker, and shared (read-only) model state all race by
+# design.  The full ctest pass above runs each serve test once; here
+# the queue/server/shared-model tests are repeated to give TSan more
+# interleavings to object to.
+stage "TSan serve focus (queue + server + shared-model inference, repeated)"
+"${build_root}/tsan/tests/adapt_serve_tests" \
+  --gtest_filter='EventQueue.*:InferenceServer.*:ConcurrentInference.*' \
+  --gtest_repeat=3 --gtest_brief=1 \
+  || fail "serve tests failed under TSan"
+
 stage "all gates passed"

@@ -96,6 +96,82 @@ else
   exit "$status"
 fi
 
+# ---- serving-layer throughput gate --------------------------------
+# bench_serve_throughput prints a machine-readable `CSV,` block; this
+# gate checks three things against
+# tools/bench_serve_throughput.baseline.csv:
+#   * throughput per config has not fallen below baseline / tolerance
+#     (events/s — higher is better, so the tolerance divides);
+#   * shed count is exactly 0 for every non-saturated config (the
+#     queue is sized to hold the whole stream, so any shed is a bug);
+#   * the best batched config (batch >= 8) still beats the per-ring
+#     loop — the reason the serving layer exists.
+serve_bench="$build_dir/bench/bench_serve_throughput"
+serve_baseline="$repo_root/tools/bench_serve_throughput.baseline.csv"
+if [ ! -x "$serve_bench" ]; then
+  echo "error: $serve_bench not built (cmake --build $build_dir --target bench_serve_throughput)" >&2
+  exit 2
+fi
+[ -f "$serve_baseline" ] || {
+  echo "error: baseline $serve_baseline missing" >&2
+  exit 2
+}
+"$serve_bench" >"$scratch/serve.log" 2>&1 || {
+  cat "$scratch/serve.log" >&2
+  echo "error: serve throughput bench failed" >&2
+  exit 2
+}
+grep '^CSV,' "$scratch/serve.log" >"$scratch/serve.csv" || {
+  echo "error: serve bench produced no CSV block" >&2
+  exit 2
+}
+
+serve_status=0
+awk -F, -v tol="$tolerance" '
+  NR == FNR { if (FNR > 1) base[$1] = $2; next }
+  $2 == "config" { next }  # header line: CSV,config,events_per_s,...
+  {
+    cfg = $2; eps = $3 + 0; shed = $6 + 0
+    current[cfg] = eps
+    if (cfg != "saturated" && shed != 0) {
+      printf "FAIL  %-12s shed %d events (must be 0 below saturation)\n",
+             cfg, shed
+      failed = 1
+    }
+    if (cfg in base) {
+      floor = base[cfg] / tol
+      if (eps < floor) {
+        printf "FAIL  %-12s %8.0f events/s < floor %8.0f (baseline %s)\n",
+               cfg, eps, floor, base[cfg]
+        failed = 1
+      } else {
+        printf "ok    %-12s %8.0f events/s (baseline %s, floor %8.0f)\n",
+               cfg, eps, base[cfg], floor
+      }
+    }
+  }
+  END {
+    best = 0
+    for (cfg in current)
+      if (cfg ~ /^batch_(8|16|32|64)$/ && current[cfg] > best)
+        best = current[cfg]
+    if (best <= current["per_ring"]) {
+      printf "FAIL  batched path (best %8.0f events/s) no faster than per-ring (%8.0f)\n",
+             best, current["per_ring"]
+      failed = 1
+    }
+    exit failed ? 1 : 0
+  }
+' "$serve_baseline" "$scratch/serve.csv" || serve_status=$?
+
+if [ "$serve_status" -eq 0 ]; then
+  echo "serve throughput check passed (tolerance ${tolerance}x)"
+else
+  echo "serve throughput check FAILED — if the slowdown is intentional," >&2
+  echo "refresh tools/bench_serve_throughput.baseline.csv from a quiet machine" >&2
+  exit "$serve_status"
+fi
+
 # ---- sanitizer-covered tier-1 tests -------------------------------
 if [ "${ADAPT_SKIP_ASAN:-0}" = "1" ]; then
   echo "sanitizer ctest skipped (ADAPT_SKIP_ASAN=1)"
