@@ -1,0 +1,31 @@
+#include "eval/reject_gate.hpp"
+
+#include <string_view>
+
+#include "core/contract.hpp"
+
+namespace adapt::eval {
+
+RejectGateResult evaluate_reject_gate(
+    const core::telemetry::Snapshot& snapshot, double max_reject_frac) {
+  ADAPT_REQUIRE(max_reject_frac >= 0.0 && max_reject_frac <= 1.0,
+                "max reject fraction must be in [0, 1]");
+  RejectGateResult result;
+  constexpr std::string_view kRejectedPrefix = "eval.ring_records_rejected.";
+  for (const auto& [name, value] : snapshot.counters) {
+    if (std::string_view(name).substr(0, kRejectedPrefix.size()) ==
+        kRejectedPrefix) {
+      result.rejected += value;
+    } else if (name == "eval.rings_loaded") {
+      result.loaded += value;
+    }
+  }
+  const std::uint64_t total = result.rejected + result.loaded;
+  if (total == 0) return result;
+  result.fraction =
+      static_cast<double>(result.rejected) / static_cast<double>(total);
+  result.breached = result.fraction > max_reject_frac;
+  return result;
+}
+
+}  // namespace adapt::eval

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file reject_gate.hpp
+/// Exit-code gate on record-rejection telemetry.
+///
+/// The untrusted-input loaders (eval::ring_io, the model loaders) are
+/// deliberately lenient: a corrupt record is skipped and counted, the
+/// run continues.  That is right for a flight pipeline and wrong for a
+/// scripted workflow — a dataset where *every* record was rejected
+/// still exited 0, so CI jobs and calibration scripts silently ran on
+/// empty inputs.  `adaptctl --max-reject-frac F` closes the gap: after
+/// the command, the rejected fraction of ring records is compared
+/// against F and a breach exits nonzero (exit code 3).
+
+#include <cstdint>
+
+#include "core/telemetry.hpp"
+
+namespace adapt::eval {
+
+struct RejectGateResult {
+  std::uint64_t rejected = 0;  ///< Sum of eval.ring_records_rejected.*.
+  std::uint64_t loaded = 0;    ///< eval.rings_loaded.
+  double fraction = 0.0;       ///< rejected / (rejected + loaded); 0 when
+                               ///< nothing was loaded at all.
+  bool breached = false;       ///< fraction > max_reject_frac.
+};
+
+/// Evaluate the gate against a telemetry snapshot.  `max_reject_frac`
+/// must be in [0, 1]: 0 tolerates no rejected record, 1 never breaches
+/// (the legacy behavior).  A run that loaded nothing and rejected
+/// nothing does not breach — the gate measures rejection, not absence
+/// of input.
+RejectGateResult evaluate_reject_gate(
+    const core::telemetry::Snapshot& snapshot, double max_reject_frac);
+
+}  // namespace adapt::eval

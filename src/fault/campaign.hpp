@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file campaign.hpp
+/// The chaos campaign: one seeded, end-to-end fault-injection run
+/// against a live supervised serve pipeline.
+///
+/// A campaign builds synthetic paper-architecture models (INT8
+/// background net + FP32 dEta net), wraps them in a serve::Supervisor,
+/// and drives a deterministic fault schedule through every class the
+/// Injector supports, in sequenced phases so the resulting Ledger is
+/// bit-identical for identical (seed, spec):
+///
+///   Phase A  stream `events` synthetic rings with per-event ring
+///            corruption and queue drop/duplicate faults
+///   Phase B  armed forward faults: transients (absorbed by retry),
+///            persistents (analytic failover), stalls (watchdog
+///            restart)
+///   Phase C  SEU rounds: weight-bit flips alternating between the
+///            INT8 and FP32 nets, detected by checksum health ticks,
+///            recovered via restore — with flagged-fallback service in
+///            between
+///   Phase D  serialized-model faults: garbled ADNN / ADQT files that
+///            the checksummed loaders must reject
+///
+/// After each phase the campaign drains the pipeline and credits the
+/// supervisor's counter deltas back into the ledger as detected /
+/// tolerated; `CampaignResult::ok` requires the ledger to balance,
+/// every phase to drain without hanging, and the end state to be
+/// healthy.  `adaptctl chaos` and tests/fault both run exactly this
+/// entry point.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "fault/injector.hpp"
+#include "serve/supervisor.hpp"
+
+namespace adapt::fault {
+
+struct CampaignSpec {
+  std::uint64_t seed = 1;
+  /// Master switch: a disabled campaign streams the same events with
+  /// no injection (the zero-fault baseline the acceptance criteria
+  /// compare against).
+  bool enabled = true;
+
+  // Phase A.
+  std::size_t events = 3000;
+  double ring_fault_rate = 0.08;
+  double queue_drop_rate = 0.06;
+  double queue_duplicate_rate = 0.06;
+
+  // Phase B.
+  std::size_t transient_rounds = 8;
+  std::size_t persistent_rounds = 3;
+  std::size_t stall_rounds = 1;
+  std::chrono::milliseconds stall_duration{600};
+
+  // Phase C.
+  std::size_t weight_bit_rounds = 6;
+  /// Events served (flagged) while a model is quarantined, and events
+  /// served (clean) after each restore, per round.
+  std::size_t events_per_degraded_window = 4;
+
+  // Phase D.
+  std::size_t model_bytes_rounds = 8;
+  /// Directory for the serialized-model fault files; empty = the
+  /// system temp directory.  Files are removed afterwards.
+  std::string scratch_dir;
+
+  /// Recovery knobs of the supervised pipeline under test.
+  serve::SupervisorConfig supervisor;
+
+  /// Per-phase drain budget before the campaign declares a hang.
+  std::chrono::milliseconds drain_timeout{10000};
+};
+
+struct CampaignResult {
+  Ledger ledger;
+  serve::SupervisorStats supervisor;
+  /// Results delivered with no degradation flag of any kind.
+  std::uint64_t delivered_clean = 0;
+  /// Ledger balanced, no drain timed out, final state healthy.
+  bool ok = false;
+  /// Human-readable failure notes ("" when ok).
+  std::string errors;
+  /// Deterministic ledger + counter report (see Ledger::format).
+  std::string report;
+};
+
+/// Run one campaign.  Deterministic: two calls with equal specs
+/// produce equal `ledger`, `supervisor` counters, and `report` text.
+CampaignResult run_campaign(const CampaignSpec& spec);
+
+}  // namespace adapt::fault

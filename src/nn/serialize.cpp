@@ -3,7 +3,9 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 
+#include "core/checksum.hpp"
 #include "core/contract.hpp"
 #include "core/telemetry.hpp"
 #include "nn/activations.hpp"
@@ -15,7 +17,10 @@ namespace adapt::nn {
 namespace {
 
 constexpr char kMagic[4] = {'A', 'D', 'N', 'N'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2 appends a u64 FNV-1a checksum footer; version-1 files
+// (checked-in model caches predate the footer) still load.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMinVersion = 1;
 
 enum class LayerTag : std::uint32_t {
   kLinear = 1,
@@ -88,8 +93,9 @@ bool read_string(std::istream& is, std::string& s,
 bool save_model(Sequential& model, const Standardizer& standardizer,
                 const std::map<std::string, double>& metadata,
                 const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return false;
+  // Serialize into memory first: the checksum footer covers every
+  // body byte, so the body must be complete before the digest.
+  std::ostringstream os(std::ios::binary);
   os.write(kMagic, sizeof(kMagic));
   write_u32(os, kVersion);
 
@@ -135,7 +141,15 @@ bool save_model(Sequential& model, const Standardizer& standardizer,
     write_string(os, key);
     write_f64(os, value);
   }
-  return static_cast<bool>(os);
+  if (!os) return false;
+
+  const std::string body = os.str();
+  const std::uint64_t digest = core::fnv1a64(body.data(), body.size());
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  file.write(body.data(), static_cast<std::streamsize>(body.size()));
+  file.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
+  return static_cast<bool>(file);
 }
 
 std::optional<SavedModel> load_model(const std::string& path) {
@@ -143,19 +157,41 @@ std::optional<SavedModel> load_model(const std::string& path) {
   // retraining, and the counter names the load path that went bad.
   static core::telemetry::Counter& files_rejected =
       core::telemetry::counter("nn.model_files_rejected");
+  static core::telemetry::Counter& checksum_failures =
+      core::telemetry::counter("nn.model_checksum_failures");
 
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return std::nullopt;
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  std::ostringstream raw;
+  raw << file.rdbuf();
+  std::string bytes = raw.str();
+
   const auto reject = [&]() -> std::optional<SavedModel> {
     files_rejected.add();
     return std::nullopt;
   };
-  char magic[4];
-  is.read(magic, sizeof(magic));
-  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+  constexpr std::size_t kHeaderBytes = sizeof(kMagic) + sizeof(std::uint32_t);
+  if (bytes.size() < kHeaderBytes ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
     return reject();
   std::uint32_t version = 0;
-  if (!read_u32(is, version) || version != kVersion) return reject();
+  std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(version));
+  if (version < kMinVersion || version > kVersion) return reject();
+  if (version >= 2) {
+    // Verify the whole-file digest before parsing a single field: a
+    // garbled upload must not reach the structural parser at all.
+    if (bytes.size() < kHeaderBytes + sizeof(std::uint64_t)) return reject();
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, bytes.data() + bytes.size() - sizeof(stored),
+                sizeof(stored));
+    if (stored != core::fnv1a64(bytes.data(), bytes.size() - sizeof(stored))) {
+      checksum_failures.add();
+      return reject();
+    }
+    bytes.resize(bytes.size() - sizeof(std::uint64_t));
+  }
+  std::istringstream is(bytes, std::ios::binary);
+  is.seekg(static_cast<std::streamoff>(kHeaderBytes));
 
   SavedModel out;
   std::uint32_t std_dim = 0;
@@ -244,6 +280,36 @@ std::optional<SavedModel> load_model(const std::string& path) {
     out.metadata.emplace(std::move(key), value);
   }
   return out;
+}
+
+std::uint64_t weight_checksum(Sequential& model) {
+  core::Fnv1a64 h;
+  const auto fold = [&h](const std::vector<float>& v) {
+    h.update(v.data(), v.size() * sizeof(float));
+  };
+  for (std::size_t i = 0; i < model.n_layers(); ++i) {
+    Layer& layer = model.layer(i);
+    // Fold a type marker per layer so a reordered but byte-identical
+    // stack still changes the digest.
+    if (auto* lin = dynamic_cast<Linear*>(&layer)) {
+      const std::uint32_t tag = static_cast<std::uint32_t>(LayerTag::kLinear);
+      h.update(&tag, sizeof(tag));
+      fold(lin->weight().value.vec());
+      fold(lin->bias().value.vec());
+    } else if (auto* bn = dynamic_cast<BatchNorm1d*>(&layer)) {
+      const std::uint32_t tag =
+          static_cast<std::uint32_t>(LayerTag::kBatchNorm1d);
+      h.update(&tag, sizeof(tag));
+      fold(bn->gamma().value.vec());
+      fold(bn->beta().value.vec());
+      fold(bn->running_mean());
+      fold(bn->running_var());
+    } else {
+      const std::uint32_t tag = 0;
+      h.update(&tag, sizeof(tag));
+    }
+  }
+  return h.digest();
 }
 
 }  // namespace adapt::nn

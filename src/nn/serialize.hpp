@@ -14,6 +14,14 @@
 ///   u32 n_layers, then per layer:
 ///     u32 tag (see LayerTag), payload per type
 ///   u32 n_metadata, then per entry: string key, f64 value
+///   u64 FNV-1a checksum of every preceding byte (since version 2)
+///
+/// The checksum footer exists for the flight link: a model garbled in
+/// transit (truncated upload, flipped bits) must be rejected at load,
+/// never silently deployed.  Version-1 files (no footer) still load —
+/// structural validation alone — so pre-existing model caches stay
+/// usable; rejected checksums are counted under
+/// `nn.model_checksum_failures` on top of `nn.model_files_rejected`.
 
 #include <cstdint>
 #include <map>
@@ -36,7 +44,15 @@ bool save_model(Sequential& model, const Standardizer& standardizer,
                 const std::map<std::string, double>& metadata,
                 const std::string& path);
 
-/// Deserialize from `path`.  Returns nullopt on missing/corrupt file.
+/// Deserialize from `path`.  Returns nullopt on missing/corrupt file
+/// (structural damage or a version-2 checksum mismatch).
 std::optional<SavedModel> load_model(const std::string& path);
+
+/// Digest of every parameter byte of the stack (Linear weights/biases,
+/// BatchNorm affine parameters and running statistics), in layer
+/// order.  The supervisor records this at model-attach time and
+/// recomputes it on health ticks: any in-memory bit flip (radiation
+/// SEU) changes the digest.  Deterministic for identical weights.
+std::uint64_t weight_checksum(Sequential& model);
 
 }  // namespace adapt::nn

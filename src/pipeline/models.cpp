@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/checksum.hpp"
 #include "core/contract.hpp"
 #include "nn/activations.hpp"
 #include "nn/serialize.hpp"
@@ -139,6 +140,36 @@ std::optional<BackgroundNet> BackgroundNet::load(const std::string& path) {
   return BackgroundNet(std::move(saved->model), std::move(saved->standardizer),
                        PolarThresholds::from_metadata(saved->metadata),
                        uses_polar);
+}
+
+namespace {
+
+/// Standardizer bytes folded into the model digest: a corrupted mean
+/// or inverse-std poisons every feature before the first layer, so it
+/// is part of the deployed state the checksum guards.
+void fold_standardizer(core::Fnv1a64& h, const nn::Standardizer& s) {
+  if (!s.fitted()) return;
+  h.update(s.mean().data(), s.mean().size() * sizeof(float));
+  h.update(s.inv_std().data(), s.inv_std().size() * sizeof(float));
+}
+
+}  // namespace
+
+std::uint64_t BackgroundNet::weight_checksum() {
+  core::Fnv1a64 h;
+  const std::uint64_t model_digest =
+      int8_ ? int8_->weight_checksum() : nn::weight_checksum(*fp32_);
+  h.update(&model_digest, sizeof(model_digest));
+  fold_standardizer(h, standardizer_);
+  return h.digest();
+}
+
+std::uint64_t DEtaNet::weight_checksum() {
+  core::Fnv1a64 h;
+  const std::uint64_t model_digest = nn::weight_checksum(model_);
+  h.update(&model_digest, sizeof(model_digest));
+  fold_standardizer(h, standardizer_);
+  return h.digest();
 }
 
 DEtaNet::DEtaNet(nn::Sequential model, nn::Standardizer standardizer,

@@ -93,7 +93,14 @@ class BackgroundNet {
   static std::optional<BackgroundNet> load(const std::string& path);
 
   nn::Sequential* fp32_model() { return fp32_ ? &*fp32_ : nullptr; }
+  quant::QuantizedMlp* int8_model() { return int8_ ? &*int8_ : nullptr; }
   const nn::Standardizer& standardizer() const { return standardizer_; }
+
+  /// Digest over every deployed weight byte (FP32 stack or INT8
+  /// engine) plus the standardizer — the reference the supervisor
+  /// records at attach and revalidates on health ticks (SEU
+  /// detection).  Deterministic for identical weights.
+  std::uint64_t weight_checksum();
 
  private:
   std::optional<nn::Sequential> fp32_;
@@ -137,6 +144,10 @@ class DEtaNet {
 
   nn::Sequential* model() { return &model_; }
   const nn::Standardizer& standardizer() const { return standardizer_; }
+
+  /// Digest over the regression stack's weights plus the standardizer
+  /// (see BackgroundNet::weight_checksum).
+  std::uint64_t weight_checksum();
 
  private:
   std::vector<double> predict_from_features(nn::Tensor x, double floor,

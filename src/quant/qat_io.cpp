@@ -4,7 +4,9 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 
+#include "core/checksum.hpp"
 #include "core/contract.hpp"
 #include "core/telemetry.hpp"
 #include "nn/activations.hpp"
@@ -16,7 +18,10 @@ namespace adapt::quant {
 namespace {
 
 constexpr char kMagic[4] = {'A', 'D', 'Q', 'T'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2 appends a u64 FNV-1a checksum footer (same rationale and
+// layout as nn::serialize); version-1 files still load.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMinVersion = 1;
 
 enum class Tag : std::uint32_t {
   kQatLinear = 1,
@@ -82,8 +87,9 @@ bool save_qat_model(nn::Sequential& model,
                     const nn::Standardizer& standardizer,
                     const std::map<std::string, double>& metadata,
                     const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return false;
+  // Serialize into memory first: the checksum footer covers every
+  // body byte, so the body must be complete before the digest.
+  std::ostringstream os(std::ios::binary);
   os.write(kMagic, sizeof(kMagic));
   write_u32(os, kVersion);
 
@@ -127,7 +133,15 @@ bool save_qat_model(nn::Sequential& model,
     os.write(key.data(), static_cast<std::streamsize>(key.size()));
     write_f64(os, value);
   }
-  return static_cast<bool>(os);
+  if (!os) return false;
+
+  const std::string body = os.str();
+  const std::uint64_t digest = core::fnv1a64(body.data(), body.size());
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  file.write(body.data(), static_cast<std::streamsize>(body.size()));
+  file.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
+  return static_cast<bool>(file);
 }
 
 std::optional<SavedQatModel> load_qat_model(const std::string& path) {
@@ -135,19 +149,40 @@ std::optional<SavedQatModel> load_qat_model(const std::string& path) {
   // retraining, and the counter names the load path that went bad.
   static core::telemetry::Counter& files_rejected =
       core::telemetry::counter("quant.qat_files_rejected");
+  static core::telemetry::Counter& checksum_failures =
+      core::telemetry::counter("quant.qat_checksum_failures");
 
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return std::nullopt;
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  std::ostringstream raw;
+  raw << file.rdbuf();
+  std::string bytes = raw.str();
+
   const auto reject = [&]() -> std::optional<SavedQatModel> {
     files_rejected.add();
     return std::nullopt;
   };
-  char magic[4];
-  is.read(magic, sizeof(magic));
-  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+  constexpr std::size_t kHeaderBytes = sizeof(kMagic) + sizeof(std::uint32_t);
+  if (bytes.size() < kHeaderBytes ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
     return reject();
   std::uint32_t version = 0;
-  if (!read_u32(is, version) || version != kVersion) return reject();
+  std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(version));
+  if (version < kMinVersion || version > kVersion) return reject();
+  if (version >= 2) {
+    // Verify the whole-file digest before parsing a single field.
+    if (bytes.size() < kHeaderBytes + sizeof(std::uint64_t)) return reject();
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, bytes.data() + bytes.size() - sizeof(stored),
+                sizeof(stored));
+    if (stored != core::fnv1a64(bytes.data(), bytes.size() - sizeof(stored))) {
+      checksum_failures.add();
+      return reject();
+    }
+    bytes.resize(bytes.size() - sizeof(std::uint64_t));
+  }
+  std::istringstream is(bytes, std::ios::binary);
+  is.seekg(static_cast<std::streamoff>(kHeaderBytes));
 
   SavedQatModel out;
   std::uint32_t std_dim = 0;

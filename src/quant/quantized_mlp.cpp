@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "core/checksum.hpp"
 #include "core/contract.hpp"
 #include "core/parallel.hpp"
 #include "nn/activations.hpp"
@@ -171,6 +172,26 @@ std::size_t QuantizedMlp::model_size_bytes() const {
     bytes += l.weight_scales.size() * sizeof(float);
   }
   return bytes;
+}
+
+std::uint64_t QuantizedMlp::weight_checksum() const {
+  core::Fnv1a64 h;
+  for (const auto& l : layers_) {
+    h.update(l.weight.data(), l.weight.size() * sizeof(std::int8_t));
+    h.update(l.bias.data(), l.bias.size() * sizeof(std::int32_t));
+    h.update(l.weight_scales.data(), l.weight_scales.size() * sizeof(float));
+  }
+  return h.digest();
+}
+
+void QuantizedMlp::flip_weight_bit(std::size_t layer, std::size_t byte_index,
+                                   unsigned bit) {
+  ADAPT_REQUIRE(layer < layers_.size(), "flip_weight_bit: layer out of range");
+  auto& weights = layers_[layer].weight;
+  ADAPT_REQUIRE(!weights.empty(), "flip_weight_bit: layer has no weights");
+  auto& w = weights[byte_index % weights.size()];
+  w = static_cast<std::int8_t>(static_cast<std::uint8_t>(w) ^
+                               static_cast<std::uint8_t>(1u << (bit % 8u)));
 }
 
 nn::Sequential build_qat_model(const std::vector<FusedLayer>& fused,

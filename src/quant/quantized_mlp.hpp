@@ -53,6 +53,20 @@ class QuantizedMlp {
 
   const std::vector<QuantizedLayer>& layers() const { return layers_; }
 
+  /// FNV-1a digest of every weight/bias/scale byte, in layer order.
+  /// Recorded at deploy time and recomputed on supervisor health
+  /// ticks: any in-memory bit flip changes the digest.
+  std::uint64_t weight_checksum() const;
+
+  /// SEU-emulation hook for fault injection (src/fault): flips one bit
+  /// of one stored int8 weight, exactly as an upset in weight memory
+  /// would.  Deliberately does NOT refresh the precomputed zero-point
+  /// row sums — a real upset would not either; the folded constants
+  /// going stale is part of the corruption the checksum must catch.
+  /// `byte_index` wraps modulo the layer's weight count.
+  void flip_weight_bit(std::size_t layer, std::size_t byte_index,
+                       unsigned bit);
+
  private:
   std::vector<QuantizedLayer> layers_;
   /// Per-layer, per-output-channel weight row sums, precomputed at

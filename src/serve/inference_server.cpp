@@ -1,6 +1,7 @@
 #include "serve/inference_server.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "core/require.hpp"
@@ -34,6 +35,11 @@ void InferenceServer::start() {
   worker_ = std::thread([this] { worker_loop(); });
 }
 
+void InferenceServer::set_engine(InferenceEngine engine) {
+  ADAPT_REQUIRE(!started_.load(), "set_engine must precede start()");
+  engine_ = std::move(engine);
+}
+
 std::uint64_t InferenceServer::submit(const recon::ComptonRing& ring,
                                       double polar_deg_guess) {
   ServeRequest request;
@@ -60,6 +66,8 @@ InferenceServer::Stats InferenceServer::stats() const {
   s.shed = queue_.shed_count();
   s.rejected = queue_.rejected_count();
   s.background = background_.load(std::memory_order_relaxed);
+  s.fallback = fallback_.load(std::memory_order_relaxed);
+  s.batch_errors = batch_errors_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -75,23 +83,39 @@ void InferenceServer::worker_loop() {
       config_.degrade_watermark *
       static_cast<double>(config_.queue_capacity));
 
+  static tm::Counter& errors_metric = tm::counter("serve.batch_exceptions");
+
   std::vector<ServeRequest> batch;
   std::vector<ServeResult> results;
   for (;;) {
     batch.clear();
     const std::size_t n = batcher_.next_batch(batch);
     if (n == 0) break;  // Closed and drained.
+    in_flight_.store(true, std::memory_order_relaxed);
 
     const bool degraded = config_.degrade_when_saturated &&
                           queue_.depth() >= std::max<std::size_t>(watermark, 1);
     results.clear();
-    process_batch(batch, degraded, results);
+    // A forward that throws (corrupt weights tripping a contract, an
+    // injected transient, an engine bug) must not take the worker
+    // thread down with it: the batch fails over to the analytic
+    // emergency path and the stream keeps flowing.
+    try {
+      process_batch(batch, degraded, results);
+    } catch (const std::exception&) {
+      batch_errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_metric.add();
+      results.clear();
+      emergency_results(batch, results);
+    }
 
     processed_.fetch_add(n, std::memory_order_relaxed);
     batches_.fetch_add(1, std::memory_order_relaxed);
     events_metric.add(n);
     batches_metric.add();
     sink_(results);
+    heartbeat_.fetch_add(1, std::memory_order_relaxed);
+    in_flight_.store(false, std::memory_order_relaxed);
   }
 }
 
@@ -113,38 +137,70 @@ void InferenceServer::process_batch(std::span<const ServeRequest> batch,
     polar.push_back(r.polar_deg_guess);
   }
 
-  std::vector<std::uint8_t> is_background;
-  std::vector<double> d_eta;
+  BatchOutputs out;
   {
     tm::ScopedTimer timer(infer_ms);
-    is_background = models_.classify_background_batch(rings, polar);
-    // Degraded mode = the null-deta analytic passthrough, by
-    // construction the same clamp the Models fallback applies.
-    pipeline::Models deta_source = models_;
-    if (degraded) deta_source.deta = nullptr;
-    d_eta = deta_source.predict_deta_batch(rings, polar, config_.d_eta_floor,
-                                           config_.d_eta_cap);
+    if (engine_) {
+      out = engine_(rings, polar, degraded);
+    } else {
+      out.is_background = models_.classify_background_batch(rings, polar);
+      // Degraded mode = the null-deta analytic passthrough, by
+      // construction the same clamp the Models fallback applies.
+      pipeline::Models deta_source = models_;
+      if (degraded) deta_source.deta = nullptr;
+      out.d_eta = deta_source.predict_deta_batch(
+          rings, polar, config_.d_eta_floor, config_.d_eta_cap);
+      out.degraded = degraded && models_.deta != nullptr;
+    }
   }
+  ADAPT_REQUIRE(out.is_background.size() == batch.size() &&
+                    out.d_eta.size() == batch.size(),
+                "inference engine output count mismatch");
 
-  const bool actually_degraded = degraded && models_.deta != nullptr;
-  if (actually_degraded) {
+  if (out.degraded) {
     degraded_.fetch_add(batch.size(), std::memory_order_relaxed);
     degraded_metric.add(batch.size());
   }
+  if (out.fallback)
+    fallback_.fetch_add(batch.size(), std::memory_order_relaxed);
 
   const auto now = std::chrono::steady_clock::now();
   results.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     ServeResult res;
     res.sequence = batch[i].sequence;
-    res.is_background = is_background[i];
-    res.d_eta = d_eta[i];
-    res.degraded = actually_degraded;
+    res.is_background = out.is_background[i];
+    res.d_eta = out.d_eta[i];
+    res.degraded = out.degraded;
+    res.fallback = out.fallback;
     res.latency_ms = std::chrono::duration<double, std::milli>(
                          now - batch[i].enqueued_at)
                          .count();
     latency_ms.record(res.latency_ms);
     if (res.is_background) background_.fetch_add(1, std::memory_order_relaxed);
+    results.push_back(res);
+  }
+}
+
+void InferenceServer::emergency_results(std::span<const ServeRequest> batch,
+                                        std::vector<ServeResult>& results) {
+  static tm::Counter& fallback_metric = tm::counter("serve.fallback_events");
+
+  fallback_.fetch_add(batch.size(), std::memory_order_relaxed);
+  fallback_metric.add(batch.size());
+  const auto now = std::chrono::steady_clock::now();
+  results.reserve(batch.size());
+  for (const ServeRequest& r : batch) {
+    ServeResult res;
+    res.sequence = r.sequence;
+    res.is_background = 0;  // No veto: background leaks are flagged, not
+                            // silently dropped science.
+    const double analytic =
+        std::isfinite(r.ring.d_eta) ? r.ring.d_eta : config_.d_eta_floor;
+    res.d_eta = std::clamp(analytic, config_.d_eta_floor, config_.d_eta_cap);
+    res.fallback = true;
+    res.latency_ms =
+        std::chrono::duration<double, std::milli>(now - r.enqueued_at).count();
     results.push_back(res);
   }
 }

@@ -58,6 +58,27 @@ struct ServeConfig {
 /// cheap — inference stalls while the sink runs.
 using ResultSink = std::function<void(std::span<const ServeResult>)>;
 
+/// What one batch forward produced.  `degraded`/`fallback` apply to
+/// the whole batch (the worker stamps them onto each result).
+struct BatchOutputs {
+  std::vector<std::uint8_t> is_background;  ///< One entry per ring.
+  std::vector<double> d_eta;                ///< One entry per ring.
+  bool degraded = false;  ///< Overload policy skipped the dEta net.
+  bool fallback = false;  ///< Supervised recovery path served this batch.
+};
+
+/// Computes the model outputs for one batch on the worker thread.
+/// When installed (set_engine), it replaces the built-in direct
+/// Models calls — the supervisor's fault-tolerant engine (checksum
+/// gating, retry-with-backoff, analytic fallback) plugs in here.
+/// `degrade_requested` is the server's own overload signal for this
+/// batch.  Must return one is_background and one d_eta per input
+/// ring; an engine that throws fails the batch over to the server's
+/// analytic emergency path (results flagged `fallback`).
+using InferenceEngine = std::function<BatchOutputs(
+    std::span<const recon::ComptonRing>, std::span<const double>,
+    bool degrade_requested)>;
+
 class InferenceServer {
  public:
   /// `models` pointers must outlive the server; either may be null
@@ -71,6 +92,10 @@ class InferenceServer {
 
   /// Launch the worker.  Call once.
   void start();
+
+  /// Install a replacement inference engine (see InferenceEngine).
+  /// Must be called before start().
+  void set_engine(InferenceEngine engine);
 
   /// Enqueue one ring (thread-safe, non-blocking; any producer
   /// thread).  Returns the assigned sequence number, or 0 if the
@@ -91,20 +116,37 @@ class InferenceServer {
     std::uint64_t shed = 0;       ///< Oldest-shed by the full queue.
     std::uint64_t rejected = 0;   ///< Submitted after stop().
     std::uint64_t background = 0; ///< Events classified as background.
+    std::uint64_t fallback = 0;   ///< Events served by a recovery path.
+    std::uint64_t batch_errors = 0;  ///< Batches whose forward threw.
   };
   Stats stats() const;
 
   std::size_t queue_depth() const { return queue_.depth(); }
   const ServeConfig& config() const { return config_; }
 
+  /// Liveness signals for an external watchdog (serve::Supervisor):
+  /// `heartbeat` advances once per completed batch; `in_flight` is
+  /// true between a batch being popped and its results delivered.  A
+  /// worker that is in_flight with an unchanging heartbeat for longer
+  /// than the stall budget is wedged in a forward and needs a restart.
+  std::uint64_t heartbeat() const {
+    return heartbeat_.load(std::memory_order_relaxed);
+  }
+  bool in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
+
  private:
   void worker_loop();
   void process_batch(std::span<const ServeRequest> batch, bool degraded,
                      std::vector<ServeResult>& results);
+  /// Emergency path when a batch forward threw: analytic d_eta
+  /// passthrough, no veto, every result flagged `fallback`.
+  void emergency_results(std::span<const ServeRequest> batch,
+                         std::vector<ServeResult>& results);
 
   pipeline::Models models_;
   ServeConfig config_;
   ResultSink sink_;
+  InferenceEngine engine_;
   EventQueue queue_;
   MicroBatcher batcher_;
   std::thread worker_;
@@ -115,6 +157,10 @@ class InferenceServer {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::uint64_t> background_{0};
+  std::atomic<std::uint64_t> fallback_{0};
+  std::atomic<std::uint64_t> batch_errors_{0};
+  std::atomic<std::uint64_t> heartbeat_{0};
+  std::atomic<bool> in_flight_{false};
 };
 
 }  // namespace adapt::serve

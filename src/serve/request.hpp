@@ -31,6 +31,12 @@ struct ServeResult {
                                    ///< propagated value when degraded.
   bool degraded = false;           ///< True when overload policy skipped
                                    ///< the dEta network for this event.
+  bool fallback = false;           ///< True when the supervised recovery
+                                   ///< path produced this result (analytic
+                                   ///< d_eta, no NN veto) because a model
+                                   ///< was corrupt or inference failed.
+                                   ///< Fallback results are ALWAYS flagged,
+                                   ///< never silently substituted.
   double latency_ms = 0.0;         ///< Enqueue -> result, wall clock.
 };
 

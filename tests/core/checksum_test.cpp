@@ -1,0 +1,73 @@
+#include "core/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace adapt::core {
+namespace {
+
+std::uint64_t hash_str(const std::string& s) {
+  return fnv1a64(s.data(), s.size());
+}
+
+TEST(Checksum, KnownFnv1a64Vectors) {
+  // Reference vectors from the FNV specification (Noll's test suite).
+  EXPECT_EQ(hash_str(""), Fnv1a64::kOffsetBasis);
+  EXPECT_EQ(hash_str("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(hash_str("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Checksum, StreamingMatchesOneShot) {
+  std::vector<unsigned char> buf(1024);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<unsigned char>((i * 131 + 7) & 0xff);
+  const std::uint64_t one_shot = fnv1a64(buf.data(), buf.size());
+
+  for (const std::size_t split : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{13}, std::size_t{512},
+                                  buf.size()}) {
+    Fnv1a64 h;
+    h.update(buf.data(), split);
+    h.update(buf.data() + split, buf.size() - split);
+    EXPECT_EQ(h.digest(), one_shot) << "split at " << split;
+  }
+
+  // Byte-at-a-time streaming folds to the same digest.
+  Fnv1a64 h;
+  for (const unsigned char b : buf) h.update(&b, 1);
+  EXPECT_EQ(h.digest(), one_shot);
+}
+
+TEST(Checksum, AnySingleBitFlipChangesDigest) {
+  // The property the SEU detection relies on: one flipped bit anywhere
+  // in the buffer moves the digest.
+  std::vector<unsigned char> buf(256);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<unsigned char>(i);
+  const std::uint64_t reference = fnv1a64(buf.data(), buf.size());
+
+  for (std::size_t byte = 0; byte < buf.size(); byte += 17) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      buf[byte] ^= static_cast<unsigned char>(1u << bit);
+      EXPECT_NE(fnv1a64(buf.data(), buf.size()), reference)
+          << "byte " << byte << " bit " << bit;
+      buf[byte] ^= static_cast<unsigned char>(1u << bit);
+    }
+  }
+  EXPECT_EQ(fnv1a64(buf.data(), buf.size()), reference);
+}
+
+TEST(Checksum, DigestDependsOnLength) {
+  // Truncation (the model-upload failure mode) changes the digest even
+  // when the surviving prefix is untouched.
+  const std::string bytes = "ADNN model payload bytes";
+  EXPECT_NE(fnv1a64(bytes.data(), bytes.size()),
+            fnv1a64(bytes.data(), bytes.size() - 1));
+}
+
+}  // namespace
+}  // namespace adapt::core

@@ -1,0 +1,175 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "nn/serialize.hpp"
+#include "serve/supervisor.hpp"
+#include "serve/synthetic_models.hpp"
+
+namespace adapt::fault {
+namespace {
+
+recon::ComptonRing make_ring(core::Rng& rng) {
+  return serve::synthetic_ring(rng);
+}
+
+TEST(Injector, SameSeedSameDecisionStreamAndLedger) {
+  Injector a(42), b(42);
+  core::Rng ring_a(7), ring_b(7);
+  std::vector<int> decisions_a, decisions_b;
+  for (int i = 0; i < 500; ++i) {
+    recon::ComptonRing ra = make_ring(ring_a);
+    recon::ComptonRing rb = make_ring(ring_b);
+    decisions_a.push_back(a.maybe_corrupt_ring(ra, 0.3) ? 1 : 0);
+    decisions_b.push_back(b.maybe_corrupt_ring(rb, 0.3) ? 1 : 0);
+    decisions_a.push_back(static_cast<int>(a.next_queue_fault(0.1, 0.1)));
+    decisions_b.push_back(static_cast<int>(b.next_queue_fault(0.1, 0.1)));
+  }
+  EXPECT_EQ(decisions_a, decisions_b);
+  EXPECT_EQ(a.ledger(), b.ledger());
+  EXPECT_GT(a.ledger().total_injected(), 0u);
+}
+
+TEST(Injector, DisabledInjectorCommitsNothing) {
+  Injector inj(42, /*enabled=*/false);
+  core::Rng rng(7);
+  const recon::ComptonRing original = make_ring(rng);
+  recon::ComptonRing ring = original;
+
+  EXPECT_FALSE(inj.maybe_corrupt_ring(ring, 1.0));
+  EXPECT_DOUBLE_EQ(ring.eta, original.eta);
+  EXPECT_DOUBLE_EQ(ring.e_total, original.e_total);
+  EXPECT_DOUBLE_EQ(ring.hit1.energy, original.hit1.energy);
+  EXPECT_DOUBLE_EQ(ring.axis.x, original.axis.x);
+
+  EXPECT_EQ(inj.next_queue_fault(1.0, 0.0), serve::QueueFault::kNone);
+  EXPECT_EQ(inj.next_queue_fault(0.0, 1.0), serve::QueueFault::kNone);
+
+  const std::string bytes = "serialized model bytes";
+  EXPECT_EQ(inj.garble_bytes(bytes), bytes);
+
+  inj.arm_transient(3);
+  inj.arm_stall(std::chrono::milliseconds(1000));
+  EXPECT_NO_THROW(inj.on_forward_attempt(8));
+
+  EXPECT_EQ(inj.ledger().total_injected(), 0u);
+  EXPECT_TRUE(inj.ledger().balanced());
+}
+
+TEST(Injector, CorruptedRingIsNeverAdmissible) {
+  // Every corruption kind must violate ingress validation, otherwise a
+  // ring-field injection could slip through undetected and unbalance
+  // the ledger.
+  Injector inj(9);
+  core::Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    recon::ComptonRing ring = make_ring(rng);
+    ASSERT_TRUE(serve::Supervisor::ring_admissible(ring, 30.0));
+    ASSERT_TRUE(inj.maybe_corrupt_ring(ring, 1.0));
+    EXPECT_FALSE(serve::Supervisor::ring_admissible(ring, 30.0)) << "i=" << i;
+  }
+  EXPECT_EQ(inj.ledger().injected[static_cast<std::size_t>(
+                FaultClass::kRingField)],
+            200u);
+}
+
+TEST(Injector, GarbledModelBytesAlwaysRejectedByLoader) {
+  const std::string path = "/tmp/adaptml_injector_garble_test.adnn";
+  pipeline::DEtaNet net = serve::synthetic_deta_net(5);
+  ASSERT_TRUE(net.save(path));
+  std::string pristine;
+  {
+    std::ifstream in(path, std::ios::binary);
+    pristine.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  ASSERT_TRUE(nn::load_model(path).has_value());
+
+  Injector inj(17);
+  for (int i = 0; i < 8; ++i) {
+    const std::string garbled = inj.garble_bytes(pristine);
+    ASSERT_NE(garbled, pristine) << "i=" << i;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(garbled.data(), static_cast<std::streamsize>(garbled.size()));
+    out.close();
+    EXPECT_FALSE(nn::load_model(path).has_value()) << "i=" << i;
+  }
+  EXPECT_EQ(inj.ledger().injected[static_cast<std::size_t>(
+                FaultClass::kModelBytes)],
+            8u);
+  std::remove(path.c_str());
+}
+
+TEST(Injector, Int8BitFlipChangesChecksumAndFlipBackRestoresIt) {
+  pipeline::BackgroundNet net = serve::synthetic_background_net_int8(21);
+  ASSERT_NE(net.int8_model(), nullptr);
+  const std::uint64_t pristine = net.weight_checksum();
+
+  Injector inj(3);
+  const Injector::BitFlip flip = inj.flip_int8_weight_bit(*net.int8_model());
+  EXPECT_NE(net.weight_checksum(), pristine);
+
+  Injector::flip_back(*net.int8_model(), flip);
+  EXPECT_EQ(net.weight_checksum(), pristine);
+  EXPECT_EQ(inj.ledger().injected[static_cast<std::size_t>(
+                FaultClass::kWeightBit)],
+            1u);
+}
+
+TEST(Injector, Fp32CorruptionChangesChecksumAndSnapshotRestoresIt) {
+  pipeline::DEtaNet net = serve::synthetic_deta_net(22);
+  const std::uint64_t pristine = net.weight_checksum();
+  const auto snapshot = net.model()->snapshot_weights();
+
+  Injector inj(4);
+  inj.corrupt_fp32_weight(*net.model());
+  EXPECT_NE(net.weight_checksum(), pristine);
+
+  net.model()->restore_weights(snapshot);
+  EXPECT_EQ(net.weight_checksum(), pristine);
+}
+
+TEST(Injector, ArmedFailuresThrowExactlyAsArmed) {
+  Injector inj(8);
+  inj.arm_transient(2);
+  EXPECT_THROW(inj.on_forward_attempt(4), InjectedFault);
+  EXPECT_THROW(inj.on_forward_attempt(4), InjectedFault);
+  EXPECT_NO_THROW(inj.on_forward_attempt(4));
+
+  const auto transient =
+      static_cast<std::size_t>(FaultClass::kForwardTransient);
+  EXPECT_EQ(inj.ledger().injected[transient], 1u);
+  EXPECT_EQ(inj.ledger().unaccounted(), 1u);
+  EXPECT_FALSE(inj.ledger().balanced());
+  inj.count_tolerated(FaultClass::kForwardTransient);
+  EXPECT_EQ(inj.ledger().unaccounted(), 0u);
+  EXPECT_TRUE(inj.ledger().balanced());
+}
+
+TEST(Injector, LedgerFormatIsDeterministicAndNamesEveryClass) {
+  Injector a(33), b(33);
+  core::Rng ra(1), rb(1);
+  for (int i = 0; i < 50; ++i) {
+    recon::ComptonRing r1 = make_ring(ra), r2 = make_ring(rb);
+    a.maybe_corrupt_ring(r1, 0.5);
+    b.maybe_corrupt_ring(r2, 0.5);
+  }
+  EXPECT_EQ(a.ledger().format(), b.ledger().format());
+  const std::string table = a.ledger().format();
+  for (std::size_t c = 0; c < kFaultClassCount; ++c) {
+    EXPECT_NE(table.find(to_string(static_cast<FaultClass>(c))),
+              std::string::npos)
+        << "missing class " << c;
+  }
+}
+
+}  // namespace
+}  // namespace adapt::fault

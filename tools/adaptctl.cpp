@@ -11,17 +11,30 @@
 ///   adaptctl fpga       [--bits B]
 ///   adaptctl trigger    [--fluence F] [--polar P] [--seed S]
 ///   adaptctl skymap     [--fluence F] [--polar P] [--seed S] [--out map.csv]
+///   adaptctl chaos      [--seed S] [--events N] [--disable] ...
 ///
 /// Every command additionally accepts `--metrics json|csv`: pipeline
 /// telemetry (per-stage counters and timing histograms) is collected
 /// during the run and written to stdout after the command's own
 /// output.  See README.md "Telemetry" for the metric names.
 ///
+/// `--max-reject-frac F` (any command) arms the record-rejection gate:
+/// when more than fraction F of ring records were rejected by the
+/// untrusted-input loaders during the run, adaptctl exits 3 instead of
+/// 0 — a dataset that was 100% garbage is a failure, not a quiet
+/// no-op (see eval/reject_gate.hpp).
+///
+/// `chaos` runs the seeded fault-injection campaign (src/fault)
+/// against a live supervised serve pipeline and prints the fault
+/// ledger; it exits nonzero unless every injected fault was detected
+/// or tolerated and the pipeline ended healthy.
+///
 /// Flag values are parsed strictly (core::CliArgs): `--fluence banana`
 /// or `--fluence -1` is a usage error, never a silent 0.0.  Negative
 /// values (`--polar -30`) parse fine.
 ///
-/// Exit code 0 on success; 2 on usage errors.
+/// Exit code 0 on success; 1 on command failure; 2 on usage errors;
+/// 3 when the --max-reject-frac gate breaches.
 
 #include <chrono>
 #include <cstdio>
@@ -33,6 +46,8 @@
 #include "core/cli.hpp"
 #include "core/table.hpp"
 #include "core/telemetry.hpp"
+#include "eval/reject_gate.hpp"
+#include "fault/campaign.hpp"
 #include "loc/grid_search.hpp"
 #include "loc/skymap.hpp"
 #include "trigger/rate_trigger.hpp"
@@ -303,6 +318,39 @@ int cmd_serve_bench(const CliArgs& args) {
   return 0;
 }
 
+int cmd_chaos(const CliArgs& args) {
+  fault::CampaignSpec spec;
+  spec.seed = seed_from(args, 2026);
+  spec.enabled = !args.has("disable");
+  spec.events =
+      static_cast<std::size_t>(args.count("events", spec.events));
+  spec.transient_rounds = static_cast<std::size_t>(
+      args.count("transients", spec.transient_rounds));
+  spec.persistent_rounds = static_cast<std::size_t>(
+      args.count("persistents", spec.persistent_rounds));
+  spec.stall_rounds =
+      static_cast<std::size_t>(args.count("stalls", spec.stall_rounds));
+  spec.weight_bit_rounds = static_cast<std::size_t>(
+      args.count("weight-flips", spec.weight_bit_rounds));
+  spec.model_bytes_rounds = static_cast<std::size_t>(
+      args.count("model-garbles", spec.model_bytes_rounds));
+  spec.scratch_dir = args.text("scratch", "");
+
+  const fault::CampaignResult result = fault::run_campaign(spec);
+  std::fputs(result.report.c_str(), stdout);
+  if (!result.ok) {
+    std::fprintf(stderr, "chaos campaign FAILED: %s\n",
+                 result.errors.empty() ? "ledger imbalance"
+                                       : result.errors.c_str());
+    return 1;
+  }
+  std::printf("chaos campaign passed: %llu faults injected, all "
+              "accounted for, pipeline healthy\n",
+              static_cast<unsigned long long>(
+                  result.ledger.total_injected()));
+  return 0;
+}
+
 void usage() {
   std::fprintf(
       stderr,
@@ -318,8 +366,14 @@ void usage() {
       "  skymap      --fluence F --polar P --seed S [--out map.csv]\n"
       "  serve-bench --events N --batch B --producers P --queue Q"
       " --deadline-us D\n"
+      "  chaos       --seed S --events N [--disable] [--transients N]"
+      " [--persistents N]\n"
+      "              [--stalls N] [--weight-flips N] [--model-garbles N]"
+      " [--scratch DIR]\n"
       "  --metrics json|csv  dump pipeline telemetry to stdout after "
-      "the command\n");
+      "the command\n"
+      "  --max-reject-frac F exit 3 when more than fraction F of ring "
+      "records were rejected\n");
 }
 
 }  // namespace
@@ -345,6 +399,18 @@ int main(int argc, char** argv) {
       core::telemetry::set_enabled(true);
     }
 
+    // The rejection gate needs the loaders' telemetry counters even
+    // when no --metrics dump was requested.
+    double max_reject_frac = 1.0;
+    const bool reject_gate_armed = args.has("max-reject-frac");
+    if (reject_gate_armed) {
+      max_reject_frac = args.number("max-reject-frac", 1.0);
+      if (max_reject_frac < 0.0 || max_reject_frac > 1.0) {
+        throw core::CliError("--max-reject-frac must be in [0, 1]");
+      }
+      core::telemetry::set_enabled(true);
+    }
+
     int rc = 2;
     bool known = true;
     if (cmd == "simulate") rc = cmd_simulate(args);
@@ -355,6 +421,7 @@ int main(int argc, char** argv) {
     else if (cmd == "trigger") rc = cmd_trigger(args);
     else if (cmd == "skymap") rc = cmd_skymap(args);
     else if (cmd == "serve-bench") rc = cmd_serve_bench(args);
+    else if (cmd == "chaos") rc = cmd_chaos(args);
     else known = false;
 
     if (!known) {
@@ -367,6 +434,20 @@ int main(int argc, char** argv) {
         snap.write_json(std::cout);
       } else {
         snap.write_csv(std::cout);
+      }
+    }
+    if (reject_gate_armed && rc == 0) {
+      const auto gate = eval::evaluate_reject_gate(
+          core::telemetry::snapshot(), max_reject_frac);
+      if (gate.breached) {
+        std::fprintf(stderr,
+                     "error: %llu of %llu ring records rejected "
+                     "(%.1f%% > --max-reject-frac %.1f%%)\n",
+                     static_cast<unsigned long long>(gate.rejected),
+                     static_cast<unsigned long long>(gate.rejected +
+                                                     gate.loaded),
+                     100.0 * gate.fraction, 100.0 * max_reject_frac);
+        return 3;
       }
     }
     return rc;

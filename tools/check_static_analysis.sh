@@ -12,6 +12,8 @@
 #   5. TSan ctest       (full suite under ThreadSanitizer, std::thread
 #                        backend — see core/parallel.hpp for why the
 #                        TSan build swaps out libgomp)
+#   6. TSan serve+fault focus (queue/server/supervisor/chaos tests
+#                        repeated for more interleavings)
 #
 # Exits non-zero on the first failing stage.  Budget: ~10 minutes on
 # a multicore dev box; the dominant costs are the sanitizer builds and
@@ -22,14 +24,41 @@
 # correctness only — never take timing baselines from them; see
 # tools/check_timing_regression.sh.
 #
-# Usage: tools/check_static_analysis.sh [build-root]
+# Usage: tools/check_static_analysis.sh [--stage NAME]... [build-root]
+#   --stage NAME  run only the named stage(s); repeatable.  Names:
+#                 lint tidy werror asan tsan tsan-serve.  This is how
+#                 the CI workflow fans the gate out across jobs without
+#                 duplicating any stage logic.
 #   build-root defaults to .gate-builds/ under the repo root (kept out
 #   of the way of the normal build/ tree).
 
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_root="${1:-${repo}/.gate-builds}"
+stages=""
+build_root=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --stage)
+      [ $# -ge 2 ] || { echo "error: --stage needs a name" >&2; exit 2; }
+      stages="${stages} $2"
+      shift 2
+      ;;
+    --stage=*)
+      stages="${stages} ${1#--stage=}"
+      shift
+      ;;
+    -h|--help)
+      sed -n '2,40p' "${BASH_SOURCE[0]}"; exit 0 ;;
+    *)
+      [ -z "${build_root}" ] || { echo "error: unexpected arg $1" >&2; exit 2; }
+      build_root="$1"
+      shift
+      ;;
+  esac
+done
+[ -n "${stages}" ] || stages="lint tidy werror asan tsan tsan-serve"
+[ -n "${build_root}" ] || build_root="${repo}/.gate-builds"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 # TSan only audits code that actually runs multi-threaded; on 1-2 core
@@ -40,65 +69,95 @@ stage() { printf '\n=== %s ===\n' "$*"; }
 
 fail() { printf 'FAIL: %s\n' "$*" >&2; exit 1; }
 
+want() {
+  case " ${stages} " in *" $1 "*) return 0 ;; esac
+  return 1
+}
+
+# The TSan tree is shared by the full-suite stage and the serve+fault
+# focus stage, so either can run standalone (a lone `--stage
+# tsan-serve` still gets a built tree; re-running is an incremental
+# no-op).
+build_tsan_tree() {
+  cmake -B "${build_root}/tsan" -S "${repo}" \
+    -DADAPT_SANITIZE=thread -DADAPT_CHECKED=ON \
+    -DADAPT_BUILD_BENCH=OFF -DADAPT_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "${build_root}/tsan" -j"${jobs}" >/dev/null \
+    || fail "TSan build failed"
+}
+
 # --- 1. repo lint -----------------------------------------------------
-stage "lint (tools/adapt_lint.py)"
-python3 "${repo}/tools/adapt_lint.py" --repo "${repo}" \
-  || fail "lint findings above"
+if want lint; then
+  stage "lint (tools/adapt_lint.py)"
+  python3 "${repo}/tools/adapt_lint.py" --repo "${repo}" \
+    || fail "lint findings above"
+fi
 
 # --- 2. clang-tidy ----------------------------------------------------
-stage "clang-tidy"
-if command -v clang-tidy >/dev/null 2>&1; then
-  cmake -B "${build_root}/tidy" -S "${repo}" \
-    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-    -DADAPT_BUILD_BENCH=OFF -DADAPT_BUILD_EXAMPLES=OFF >/dev/null
-  # shellcheck disable=SC2046
-  clang-tidy -p "${build_root}/tidy" --quiet \
-    $(find "${repo}/src" -name '*.cpp') \
-    || fail "clang-tidy findings above"
-else
-  echo "SKIPPED: clang-tidy not installed on this image (profile is" \
-       "checked in at .clang-tidy; run on a clang-equipped host)."
+if want tidy; then
+  stage "clang-tidy"
+  if command -v clang-tidy >/dev/null 2>&1; then
+    cmake -B "${build_root}/tidy" -S "${repo}" \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DADAPT_BUILD_BENCH=OFF -DADAPT_BUILD_EXAMPLES=OFF >/dev/null
+    # shellcheck disable=SC2046
+    clang-tidy -p "${build_root}/tidy" --quiet \
+      $(find "${repo}/src" -name '*.cpp') \
+      || fail "clang-tidy findings above"
+  else
+    echo "SKIPPED: clang-tidy not installed on this image (profile is" \
+         "checked in at .clang-tidy; run on a clang-equipped host)."
+  fi
 fi
 
 # --- 3. warning-hardened build ---------------------------------------
-stage "WERROR build (-Wall -Wextra -Wconversion -Wshadow -Wdouble-promotion)"
-cmake -B "${build_root}/werror" -S "${repo}" \
-  -DADAPT_WERROR=ON -DADAPT_CHECKED=ON \
-  -DADAPT_BUILD_BENCH=OFF -DADAPT_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build "${build_root}/werror" -j"${jobs}" 2>&1 | tail -3 \
-  || fail "WERROR build failed"
+if want werror; then
+  stage "WERROR build (-Wall -Wextra -Wconversion -Wshadow -Wdouble-promotion)"
+  cmake -B "${build_root}/werror" -S "${repo}" \
+    -DADAPT_WERROR=ON -DADAPT_CHECKED=ON \
+    -DADAPT_BUILD_BENCH=OFF -DADAPT_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "${build_root}/werror" -j"${jobs}" 2>&1 | tail -3 \
+    || fail "WERROR build failed"
+fi
 
 # --- 4. ASan+UBSan tests ---------------------------------------------
-stage "AddressSanitizer ctest"
-cmake -B "${build_root}/asan" -S "${repo}" \
-  -DADAPT_SANITIZE=address -DADAPT_CHECKED=ON \
-  -DADAPT_BUILD_BENCH=OFF -DADAPT_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build "${build_root}/asan" -j"${jobs}" >/dev/null \
-  || fail "ASan build failed"
-(cd "${build_root}/asan" && ctest --output-on-failure -j"${jobs}") \
-  || fail "tests failed under ASan+UBSan"
+if want asan; then
+  stage "AddressSanitizer ctest"
+  cmake -B "${build_root}/asan" -S "${repo}" \
+    -DADAPT_SANITIZE=address -DADAPT_CHECKED=ON \
+    -DADAPT_BUILD_BENCH=OFF -DADAPT_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "${build_root}/asan" -j"${jobs}" >/dev/null \
+    || fail "ASan build failed"
+  (cd "${build_root}/asan" && ctest --output-on-failure -j"${jobs}") \
+    || fail "tests failed under ASan+UBSan"
+fi
 
 # --- 5. TSan tests ----------------------------------------------------
-stage "ThreadSanitizer ctest (std::thread backend, ${tsan_threads} threads)"
-cmake -B "${build_root}/tsan" -S "${repo}" \
-  -DADAPT_SANITIZE=thread -DADAPT_CHECKED=ON \
-  -DADAPT_BUILD_BENCH=OFF -DADAPT_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build "${build_root}/tsan" -j"${jobs}" >/dev/null \
-  || fail "TSan build failed"
-(cd "${build_root}/tsan" && \
-  ADAPT_NUM_THREADS="${tsan_threads}" ctest --output-on-failure -j1) \
-  || fail "tests failed under TSan"
+if want tsan; then
+  stage "ThreadSanitizer ctest (std::thread backend, ${tsan_threads} threads)"
+  build_tsan_tree
+  (cd "${build_root}/tsan" && \
+    ADAPT_NUM_THREADS="${tsan_threads}" ctest --output-on-failure -j1) \
+    || fail "tests failed under TSan"
+fi
 
-# --- 5b. serving-layer TSan focus ------------------------------------
+# --- 6. serving-layer + fault-injection TSan focus --------------------
 # The serve subsystem is the one place where producer threads, the
-# consumer worker, and shared (read-only) model state all race by
-# design.  The full ctest pass above runs each serve test once; here
-# the queue/server/shared-model tests are repeated to give TSan more
-# interleavings to object to.
-stage "TSan serve focus (queue + server + shared-model inference, repeated)"
-"${build_root}/tsan/tests/adapt_serve_tests" \
-  --gtest_filter='EventQueue.*:InferenceServer.*:ConcurrentInference.*' \
-  --gtest_repeat=3 --gtest_brief=1 \
-  || fail "serve tests failed under TSan"
+# consumer worker, the supervisor watchdog, and shared model state all
+# race by design, and the fault campaign deliberately provokes every
+# recovery path (retries, checksum quarantine, watchdog restarts).
+# The full ctest pass above runs each of these tests once; here they
+# are repeated to give TSan more interleavings to object to.
+if want tsan-serve; then
+  stage "TSan serve+fault focus (queue + server + supervisor + chaos, repeated)"
+  build_tsan_tree
+  "${build_root}/tsan/tests/adapt_serve_tests" \
+    --gtest_filter='EventQueue.*:InferenceServer.*:ConcurrentInference.*:SupervisorTest.*' \
+    --gtest_repeat=3 --gtest_brief=1 \
+    || fail "serve tests failed under TSan"
+  "${build_root}/tsan/tests/adapt_fault_tests" \
+    --gtest_repeat=2 --gtest_brief=1 \
+    || fail "fault-injection tests failed under TSan"
+fi
 
 stage "all gates passed"

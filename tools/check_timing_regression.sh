@@ -5,7 +5,7 @@
 # compares each stage's mean against the stored baseline
 # (tools/bench_table1_2_timing.baseline.csv, refreshed whenever the
 # kernels intentionally change speed).  A stage whose mean exceeds
-# baseline * TOLERANCE fails the check; faster-than-baseline is always
+# baseline * tolerance fails the check; faster-than-baseline is always
 # fine.  Wall-clock noise is real, so the default tolerance is loose —
 # this gate catches "the blocked GEMM fell off a cliff", not 5% jitter.
 #
@@ -14,7 +14,14 @@
 # parsing, ring-file loading, NaN-ring handling) are sanitizer-covered
 # on every run.  The sanitizer tree is configured/built on first use.
 #
-# Usage: tools/check_timing_regression.sh [build_dir] [tolerance]
+# Usage: tools/check_timing_regression.sh [--check-only] [build_dir] [tolerance]
+#   --check-only  CI-safe mode for noisy shared runners: verify the
+#                 baselines parse, run both benches, and print the
+#                 comparison — but never fail on absolute timing
+#                 numbers.  Structural problems (bench crashes, missing
+#                 CSV output, unparseable baseline) still exit nonzero.
+#                 Implies ADAPT_SKIP_ASAN=1 (CI runs the sanitizer
+#                 suite in its own job).
 #   build_dir  cmake build tree containing bench/ (default: build)
 #   tolerance  allowed slowdown factor (default: 1.5)
 #
@@ -26,15 +33,66 @@
 # regressions.  Timing baselines come from the plain release build
 # only; the correctness trees belong to tools/check_static_analysis.sh.
 # Environment:
-#   ADAPT_ASAN_DIR    sanitizer build tree (default: <repo>/build-asan)
-#   ADAPT_SKIP_ASAN   set to 1 to skip the sanitizer ctest step
+#   ADAPT_TIMING_SLACK  extra tolerance multiplier (default 1).  A
+#                       shared CI runner with noisy neighbors can set
+#                       e.g. 2 or 3 without touching the baselines the
+#                       quiet dev boxes gate against.
+#   ADAPT_BENCH_CSV_DIR if set, the bench CSVs are copied there (CI
+#                       uploads them as artifacts for offline triage).
+#   ADAPT_ASAN_DIR      sanitizer build tree (default: <repo>/build-asan)
+#   ADAPT_SKIP_ASAN     set to 1 to skip the sanitizer ctest step
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir=${1:-"$repo_root/build"}
-tolerance=${2:-1.5}
+
+check_only=0
+build_dir=""
+tolerance=""
+for arg in "$@"; do
+  case "$arg" in
+    --check-only) check_only=1 ;;
+    -h|--help) sed -n '2,45p' "$0"; exit 0 ;;
+    *)
+      if [ -z "$build_dir" ]; then build_dir=$arg
+      elif [ -z "$tolerance" ]; then tolerance=$arg
+      else echo "error: unexpected argument $arg" >&2; exit 2
+      fi
+      ;;
+  esac
+done
+[ -n "$build_dir" ] || build_dir="$repo_root/build"
+[ -n "$tolerance" ] || tolerance=1.5
+
+slack=${ADAPT_TIMING_SLACK:-1}
+tolerance=$(awk -v t="$tolerance" -v s="$slack" '
+  BEGIN {
+    if (t + 0 <= 0 || s + 0 <= 0) exit 1
+    printf "%g", t * s
+  }') || {
+  echo "error: tolerance '$tolerance' / ADAPT_TIMING_SLACK '$slack' not positive numbers" >&2
+  exit 2
+}
+[ "$slack" = "1" ] || echo "note: ADAPT_TIMING_SLACK=$slack -> effective tolerance ${tolerance}x"
+
 baseline="$repo_root/tools/bench_table1_2_timing.baseline.csv"
 bench="$build_dir/bench/bench_table1_2_timing"
+
+# A baseline that exists but no longer parses (merge damage, truncated
+# checkout) must be a loud failure even in --check-only mode, or the
+# gate silently stops gating.
+validate_baseline() {
+  [ -f "$1" ] || { echo "error: baseline $1 missing" >&2; exit 2; }
+  awk -F, '
+    FNR > 1 {
+      rows++
+      if ($1 == "" || $2 + 0 != $2) { bad = 1; exit }
+    }
+    END { exit (bad || rows == 0) ? 1 : 0 }
+  ' "$1" || {
+    echo "error: baseline $1 does not parse (need header + name,mean rows)" >&2
+    exit 2
+  }
+}
 
 [ -x "$bench" ] || {
   echo "error: $bench not built (cmake --build $build_dir --target bench_table1_2_timing)" >&2
@@ -43,10 +101,7 @@ bench="$build_dir/bench/bench_table1_2_timing"
 # The bench runs from a scratch dir, so a relative build_dir must be
 # resolved first.
 bench=$(CDPATH= cd -- "$(dirname -- "$bench")" && pwd)/$(basename -- "$bench")
-[ -f "$baseline" ] || {
-  echo "error: baseline $baseline missing" >&2
-  exit 2
-}
+validate_baseline "$baseline"
 
 scratch=$(mktemp -d)
 trap 'rm -rf "$scratch"' EXIT
@@ -62,6 +117,10 @@ current="$scratch/bench_table1_2_timing.csv"
   echo "error: bench produced no bench_table1_2_timing.csv" >&2
   exit 2
 }
+if [ -n "${ADAPT_BENCH_CSV_DIR:-}" ]; then
+  mkdir -p "$ADAPT_BENCH_CSV_DIR"
+  cp "$current" "$ADAPT_BENCH_CSV_DIR/"
+fi
 
 status=0
 awk -F, -v tol="$tolerance" '
@@ -90,6 +149,9 @@ awk -F, -v tol="$tolerance" '
 
 if [ "$status" -eq 0 ]; then
   echo "timing check passed (tolerance ${tolerance}x)"
+elif [ "$check_only" -eq 1 ]; then
+  echo "timing over limit but --check-only set: reported, not gated"
+  status=0
 else
   echo "timing check FAILED (tolerance ${tolerance}x) — if the slowdown is intentional," >&2
   echo "refresh tools/bench_table1_2_timing.baseline.csv from a quiet machine" >&2
@@ -112,10 +174,7 @@ if [ ! -x "$serve_bench" ]; then
   echo "error: $serve_bench not built (cmake --build $build_dir --target bench_serve_throughput)" >&2
   exit 2
 fi
-[ -f "$serve_baseline" ] || {
-  echo "error: baseline $serve_baseline missing" >&2
-  exit 2
-}
+validate_baseline "$serve_baseline"
 "$serve_bench" >"$scratch/serve.log" 2>&1 || {
   cat "$scratch/serve.log" >&2
   echo "error: serve throughput bench failed" >&2
@@ -125,6 +184,9 @@ grep '^CSV,' "$scratch/serve.log" >"$scratch/serve.csv" || {
   echo "error: serve bench produced no CSV block" >&2
   exit 2
 }
+if [ -n "${ADAPT_BENCH_CSV_DIR:-}" ]; then
+  cp "$scratch/serve.csv" "$ADAPT_BENCH_CSV_DIR/bench_serve_throughput.csv"
+fi
 
 serve_status=0
 awk -F, -v tol="$tolerance" '
@@ -166,6 +228,8 @@ awk -F, -v tol="$tolerance" '
 
 if [ "$serve_status" -eq 0 ]; then
   echo "serve throughput check passed (tolerance ${tolerance}x)"
+elif [ "$check_only" -eq 1 ]; then
+  echo "serve throughput below floor but --check-only set: reported, not gated"
 else
   echo "serve throughput check FAILED — if the slowdown is intentional," >&2
   echo "refresh tools/bench_serve_throughput.baseline.csv from a quiet machine" >&2
@@ -173,6 +237,10 @@ else
 fi
 
 # ---- sanitizer-covered tier-1 tests -------------------------------
+if [ "$check_only" -eq 1 ]; then
+  echo "sanitizer ctest skipped (--check-only; CI covers it in a dedicated job)"
+  exit 0
+fi
 if [ "${ADAPT_SKIP_ASAN:-0}" = "1" ]; then
   echo "sanitizer ctest skipped (ADAPT_SKIP_ASAN=1)"
   exit 0
