@@ -7,7 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "eval/trial.hpp"
+#include "nn/kernels/kernels.hpp"
 #include "nn/mlp.hpp"
 #include "quant/fuse.hpp"
 #include "quant/quantized_mlp.hpp"
@@ -256,6 +260,94 @@ void BM_MonteCarloTransport(benchmark::State& state) {
 }
 BENCHMARK(BM_MonteCarloTransport);
 
+// ---------------------------------------------------------------------------
+// Per-variant SIMD kernel benchmarks (src/nn/kernels).  Registered
+// dynamically so only variants this host can execute appear; all use
+// the production background-net panel shapes, so
+// `--benchmark_filter=Kernel` pits scalar vs AVX2 vs AVX-512 directly.
+
+void bench_u8i8_gemm(benchmark::State& state, nn::kernels::Isa isa) {
+  const nn::kernels::KernelSet& kset = nn::kernels::kernel_set(isa);
+  const std::size_t rows = kPaperBatch, in = 256, out = 128;
+  core::Rng rng(33);
+  std::vector<std::uint8_t> x(rows * in);
+  for (auto& v : x) v = static_cast<std::uint8_t>(rng.uniform_index(256));
+  std::vector<std::int8_t> w(out * in);
+  for (auto& v : w)
+    v = static_cast<std::int8_t>(
+        static_cast<int>(rng.uniform_index(255)) - 127);
+  std::vector<std::int32_t> acc(rows * out);
+  for (auto _ : state) {
+    kset.u8i8_gemm(x.data(), w.data(), acc.data(), rows, in, out);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(rows));
+}
+
+void bench_u8_requant(benchmark::State& state, nn::kernels::Isa isa) {
+  const nn::kernels::KernelSet& kset = nn::kernels::kernel_set(isa);
+  const std::size_t rows = kPaperBatch, out = 256;
+  core::Rng rng(34);
+  std::vector<std::int32_t> acc(rows * out);
+  for (auto& v : acc)
+    v = static_cast<std::int32_t>(rng.uniform_index(2000001)) - 1000000;
+  std::vector<std::int32_t> row_sums(out), bias(out);
+  std::vector<float> ws(out);
+  for (std::size_t i = 0; i < out; ++i) {
+    row_sums[i] = static_cast<std::int32_t>(rng.uniform_index(8001)) - 4000;
+    bias[i] = static_cast<std::int32_t>(rng.uniform_index(100001)) - 50000;
+    ws[i] = static_cast<float>(rng.uniform(5e-4, 5e-3));
+  }
+  std::vector<std::uint8_t> dst(rows * out);
+  for (auto _ : state) {
+    kset.u8_requant(acc.data(), rows, out, 131, row_sums.data(), bias.data(),
+                    /*relu=*/true, 0.0173f, ws.data(), 0.0211f, 97,
+                    dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  // Elements per second: the epilogue cost scales with outputs.
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(rows * out));
+}
+
+void bench_f32_row_block(benchmark::State& state, nn::kernels::Isa isa) {
+  const nn::kernels::KernelSet& kset = nn::kernels::kernel_set(isa);
+  const std::size_t rows = 4, k = 256, j = 256;
+  const nn::Tensor a = random_features(rows, k, 35);
+  const nn::Tensor b = random_features(k, j, 36);
+  std::vector<float> c(rows * j);
+  for (auto _ : state) {
+    kset.f32_row_block(a.data(), k, b.data(), j, c.data(), j, rows, k, 0, j);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(rows * k * j));
+}
+
+void register_kernel_variant_benchmarks() {
+  namespace nk = nn::kernels;
+  for (int i = 0; i < nk::kIsaCount; ++i) {
+    const auto isa = static_cast<nk::Isa>(i);
+    if (!nk::supported(isa)) continue;
+    const std::string name = nk::kernel_set(isa).name;
+    benchmark::RegisterBenchmark(
+        ("BM_U8I8GemmKernel/" + name).c_str(),
+        [isa](benchmark::State& s) { bench_u8i8_gemm(s, isa); });
+    benchmark::RegisterBenchmark(
+        ("BM_U8RequantKernel/" + name).c_str(),
+        [isa](benchmark::State& s) { bench_u8_requant(s, isa); });
+    benchmark::RegisterBenchmark(
+        ("BM_F32RowBlockKernel/" + name).c_str(),
+        [isa](benchmark::State& s) { bench_f32_row_block(s, isa); });
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_kernel_variant_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

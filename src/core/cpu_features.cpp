@@ -1,0 +1,92 @@
+#include "core/cpu_features.hpp"
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define ADAPT_CPU_FEATURES_X86 1
+#endif
+
+namespace adapt::core {
+
+namespace {
+
+#ifdef ADAPT_CPU_FEATURES_X86
+
+// Leaf 1 ECX bits.
+constexpr std::uint32_t kOsxsaveBit = 1u << 27;
+constexpr std::uint32_t kFmaBit = 1u << 12;
+// Leaf 7.0 EBX bits.
+constexpr std::uint32_t kAvx2Bit = 1u << 5;
+constexpr std::uint32_t kAvx512fBit = 1u << 16;
+constexpr std::uint32_t kAvx512bwBit = 1u << 30;
+constexpr std::uint32_t kAvx512vlBit = 1u << 31;
+// Leaf 7.0 ECX bits.
+constexpr std::uint32_t kAvx512vnniBit = 1u << 11;
+// XCR0 state-component bits the OS must save/restore.
+constexpr std::uint64_t kXcr0Ymm = 0x6;         // XMM + YMM
+constexpr std::uint64_t kXcr0Zmm = 0xe0 | 0x6;  // + opmask, ZMM hi/lo
+
+/// XCR0 via raw xgetbv: the <immintrin.h> _xgetbv wrapper needs
+/// -mxsave, which would defeat the point of a baseline-ISA probe TU.
+std::uint64_t read_xcr0() {
+  std::uint32_t lo = 0, hi = 0;
+  __asm__ volatile("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0u));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+CpuFeatures probe() {
+  CpuFeatures f;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return f;
+  if ((ecx & kOsxsaveBit) == 0) return f;  // no xgetbv, no AVX state
+  const std::uint64_t xcr0 = read_xcr0();
+  const bool os_ymm = (xcr0 & kXcr0Ymm) == kXcr0Ymm;
+  const bool os_zmm = (xcr0 & kXcr0Zmm) == kXcr0Zmm;
+  if (!os_ymm) return f;
+  f.fma = (ecx & kFmaBit) != 0;
+
+  unsigned eax7 = 0, ebx7 = 0, ecx7 = 0, edx7 = 0;
+  if (__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7) == 0) return f;
+  f.avx2 = (ebx7 & kAvx2Bit) != 0;
+  if (os_zmm) {
+    f.avx512f = (ebx7 & kAvx512fBit) != 0;
+    f.avx512bw = (ebx7 & kAvx512bwBit) != 0;
+    f.avx512vl = (ebx7 & kAvx512vlBit) != 0;
+    f.avx512vnni = (ecx7 & kAvx512vnniBit) != 0;
+  }
+  return f;
+}
+
+#else
+
+CpuFeatures probe() { return CpuFeatures{}; }
+
+#endif  // ADAPT_CPU_FEATURES_X86
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures cached = probe();
+  return cached;
+}
+
+std::string cpu_features_summary() {
+  const CpuFeatures& f = cpu_features();
+  std::string s;
+  const auto add = [&s](bool flag, const char* name) {
+    if (!flag) return;
+    if (!s.empty()) s += ' ';
+    s += name;
+  };
+  add(f.avx2, "avx2");
+  add(f.fma, "fma");
+  add(f.avx512f, "avx512f");
+  add(f.avx512bw, "avx512bw");
+  add(f.avx512vl, "avx512vl");
+  add(f.avx512vnni, "avx512vnni");
+  if (s.empty()) s = "none (scalar only)";
+  return s;
+}
+
+}  // namespace adapt::core

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file cpu_features.hpp
+/// Runtime CPU ISA probing for kernel dispatch.
+///
+/// The kernel registry (nn/kernels) must pick a SIMD variant on the
+/// machine it actually runs on — the flight build and the dev build
+/// are the same binary, so compile-time -march flags cannot make the
+/// decision.  This probe reads cpuid once (cached) and, critically,
+/// also checks OS state-save support via XCR0: a kernel that executes
+/// AVX instructions the OS does not context-switch corrupts register
+/// state, so "the bit is set in cpuid leaf 7" alone is not enough.
+///
+/// On non-x86 targets every flag is false and the registry falls back
+/// to the scalar kernels.
+
+#include <string>
+
+namespace adapt::core {
+
+/// One-time cpuid probe result.  All flags already account for OS
+/// XSAVE support (a feature is reported only when its register state
+/// is context-switched).
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512vl = false;
+  bool avx512vnni = false;
+
+  /// The AVX-512 subset the kernels require as a unit: foundation for
+  /// 512-bit float math, BW for byte/word integer ops, VL so masked
+  /// tails compile, VNNI for the exact (non-saturating) u8*s8 dot
+  /// instruction VPDPBUSD.
+  bool avx512_kernel_class() const {
+    return avx512f && avx512bw && avx512vl && avx512vnni;
+  }
+};
+
+/// Cached probe of the current CPU (thread-safe; probes once).
+const CpuFeatures& cpu_features();
+
+/// Human-readable one-liner, e.g. "avx2 fma avx512f avx512bw avx512vl
+/// avx512vnni" or "none (scalar only)" — for adaptctl and logs.
+std::string cpu_features_summary();
+
+}  // namespace adapt::core

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file kernels_impl.hpp
+/// Internal linkage header between the registry and the per-ISA
+/// translation units.  Each SIMD TU is compiled with its own -m flags,
+/// so nothing outside src/nn/kernels/ may include this — the public
+/// surface is kernels.hpp.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace adapt::nn::kernels::detail {
+
+void u8i8_gemm_scalar(const std::uint8_t* x, const std::int8_t* w,
+                      std::int32_t* acc, std::size_t rows,
+                      std::size_t in_features, std::size_t out_features);
+void u8_requant_scalar(const std::int32_t* acc, std::size_t rows,
+                       std::size_t out_features, std::int32_t zp_in,
+                       const std::int32_t* row_sums, const std::int32_t* bias,
+                       bool relu, float s_in, const float* weight_scales,
+                       float next_scale, std::int32_t next_zp,
+                       std::uint8_t* out);
+void f32_row_block_scalar(const float* a, std::size_t lda, const float* b,
+                          std::size_t ldb, float* c, std::size_t ldc,
+                          std::size_t rows, std::size_t k, std::size_t j0,
+                          std::size_t j1);
+
+#ifdef ADAPT_KERNELS_HAVE_AVX2
+void u8i8_gemm_avx2(const std::uint8_t* x, const std::int8_t* w,
+                    std::int32_t* acc, std::size_t rows,
+                    std::size_t in_features, std::size_t out_features);
+void u8_requant_avx2(const std::int32_t* acc, std::size_t rows,
+                     std::size_t out_features, std::int32_t zp_in,
+                     const std::int32_t* row_sums, const std::int32_t* bias,
+                     bool relu, float s_in, const float* weight_scales,
+                     float next_scale, std::int32_t next_zp,
+                     std::uint8_t* out);
+void f32_row_block_avx2(const float* a, std::size_t lda, const float* b,
+                        std::size_t ldb, float* c, std::size_t ldc,
+                        std::size_t rows, std::size_t k, std::size_t j0,
+                        std::size_t j1);
+#endif
+
+#ifdef ADAPT_KERNELS_HAVE_AVX512
+void u8i8_gemm_avx512(const std::uint8_t* x, const std::int8_t* w,
+                      std::int32_t* acc, std::size_t rows,
+                      std::size_t in_features, std::size_t out_features);
+void u8_requant_avx512(const std::int32_t* acc, std::size_t rows,
+                       std::size_t out_features, std::int32_t zp_in,
+                       const std::int32_t* row_sums, const std::int32_t* bias,
+                       bool relu, float s_in, const float* weight_scales,
+                       float next_scale, std::int32_t next_zp,
+                       std::uint8_t* out);
+void f32_row_block_avx512(const float* a, std::size_t lda, const float* b,
+                          std::size_t ldb, float* c, std::size_t ldc,
+                          std::size_t rows, std::size_t k, std::size_t j0,
+                          std::size_t j1);
+#endif
+
+}  // namespace adapt::nn::kernels::detail

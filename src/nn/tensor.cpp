@@ -5,6 +5,7 @@
 
 #include "core/parallel.hpp"
 #include "core/require.hpp"
+#include "nn/kernels/kernels.hpp"
 
 namespace adapt::nn {
 
@@ -46,26 +47,25 @@ double Tensor::squared_norm() const {
 }
 
 // ---------------------------------------------------------------------------
-// Blocked GEMM kernels.
+// Blocked GEMM.
 //
 // All three matmul orientations funnel into one register-blocked,
-// cache-tiled kernel over row-major operands, C[n x m] = A[n x k] *
+// cache-tiled driver over row-major operands, C[n x m] = A[n x k] *
 // B[k x m].  The transposed orientations pack their transposed operand
 // into a contiguous row-major panel first (O(k*m) work against the
 // kernel's O(n*k*m)), which turns the column-strided accesses of
 // matmul_abt / matmul_atb into unit-stride streams.
 //
-// The micro-tile is kRowBlock rows x kColChunk columns of C held in
-// accumulators across the whole k loop; the j dimension is additionally
-// tiled so the B stripe a micro-tile walks stays L1-resident
-// (heuristic below, override with ADAPT_GEMM_TILE_COLS).  Each output
-// element is still the plain ascending-t sum, so results are
-// deterministic and independent of tiling and thread count.
+// The inner row-block kernel is runtime-dispatched (nn/kernels):
+// scalar, AVX2, or AVX-512 depending on the host CPU and ADAPT_SIMD.
+// Every variant accumulates each output element in plain ascending-t
+// order with unfused mul+add, so results are deterministic and
+// independent of tiling, thread count, AND dispatched ISA.
 
 namespace {
 
-constexpr std::size_t kRowBlock = 4;  ///< C rows per micro-tile.
-constexpr std::size_t kColChunk = 8;  ///< C columns per micro-tile.
+constexpr std::size_t kRowBlock = 4;  ///< C rows per kernel row block.
+constexpr std::size_t kColChunk = 8;  ///< column-tile rounding unit.
 
 /// Column-tile width: keep the B stripe (k x tile floats) within half
 /// of a typical 32 KiB L1D, clamped to [kColChunk, 512] and rounded to
@@ -84,78 +84,6 @@ std::size_t tile_cols(std::size_t k, std::size_t m) {
   return std::min(tile, std::max<std::size_t>(m, 1));
 }
 
-/// R x kColChunk micro-tile with accumulators in registers: the B row
-/// chunk is loaded once per t and shared across the R output rows.
-template <int R>
-inline void micro_tile_full(const float* __restrict a, std::size_t lda,
-                            const float* __restrict b, std::size_t ldb,
-                            float* __restrict c, std::size_t ldc,
-                            std::size_t k) {
-  float acc[R][kColChunk] = {};
-  for (std::size_t t = 0; t < k; ++t) {
-    const float* __restrict bt = b + t * ldb;
-    for (int r = 0; r < R; ++r) {
-      const float ar = a[static_cast<std::size_t>(r) * lda + t];
-#pragma omp simd
-      for (std::size_t j = 0; j < kColChunk; ++j) acc[r][j] += ar * bt[j];
-    }
-  }
-  for (int r = 0; r < R; ++r)
-    for (std::size_t j = 0; j < kColChunk; ++j)
-      c[static_cast<std::size_t>(r) * ldc + j] = acc[r][j];
-}
-
-/// Remainder micro-tile (jw < kColChunk columns).
-template <int R>
-inline void micro_tile_partial(const float* __restrict a, std::size_t lda,
-                               const float* __restrict b, std::size_t ldb,
-                               float* __restrict c, std::size_t ldc,
-                               std::size_t k, std::size_t jw) {
-  float acc[R][kColChunk] = {};
-  for (std::size_t t = 0; t < k; ++t) {
-    const float* __restrict bt = b + t * ldb;
-    for (int r = 0; r < R; ++r) {
-      const float ar = a[static_cast<std::size_t>(r) * lda + t];
-      for (std::size_t j = 0; j < jw; ++j) acc[r][j] += ar * bt[j];
-    }
-  }
-  for (int r = 0; r < R; ++r)
-    for (std::size_t j = 0; j < jw; ++j)
-      c[static_cast<std::size_t>(r) * ldc + j] = acc[r][j];
-}
-
-/// One block of up to kRowBlock C rows against one column tile.
-void row_block(const float* a, std::size_t lda, const float* b,
-               std::size_t ldb, float* c, std::size_t ldc, std::size_t rows,
-               std::size_t k, std::size_t j0, std::size_t j1) {
-  std::size_t j = j0;
-  for (; j + kColChunk <= j1; j += kColChunk) {
-    switch (rows) {
-      case 4: micro_tile_full<4>(a, lda, b + j, ldb, c + j, ldc, k); break;
-      case 3: micro_tile_full<3>(a, lda, b + j, ldb, c + j, ldc, k); break;
-      case 2: micro_tile_full<2>(a, lda, b + j, ldb, c + j, ldc, k); break;
-      default: micro_tile_full<1>(a, lda, b + j, ldb, c + j, ldc, k); break;
-    }
-  }
-  if (j < j1) {
-    const std::size_t jw = j1 - j;
-    switch (rows) {
-      case 4:
-        micro_tile_partial<4>(a, lda, b + j, ldb, c + j, ldc, k, jw);
-        break;
-      case 3:
-        micro_tile_partial<3>(a, lda, b + j, ldb, c + j, ldc, k, jw);
-        break;
-      case 2:
-        micro_tile_partial<2>(a, lda, b + j, ldb, c + j, ldc, k, jw);
-        break;
-      default:
-        micro_tile_partial<1>(a, lda, b + j, ldb, c + j, ldc, k, jw);
-        break;
-    }
-  }
-}
-
 /// C = A * B over row-major buffers (overwrites C).  A is (n x k) with
 /// row stride lda, B (k x m) row stride m, C (n x m) row stride m.
 void gemm_rowmajor(const float* a, std::size_t lda, const float* b,
@@ -165,6 +93,8 @@ void gemm_rowmajor(const float* a, std::size_t lda, const float* b,
     std::fill(c, c + n * m, 0.0f);
     return;
   }
+  const kernels::KernelSet& kset = kernels::active();
+  kset.f32_calls->add();
   const std::size_t jt = tile_cols(k, m);
   const std::size_t n_blocks = (n + kRowBlock - 1) / kRowBlock;
   core::parallel_for(
@@ -174,8 +104,8 @@ void gemm_rowmajor(const float* a, std::size_t lda, const float* b,
         const std::size_t rows = std::min(kRowBlock, n - i0);
         for (std::size_t j0 = 0; j0 < m; j0 += jt) {
           const std::size_t j1 = std::min(j0 + jt, m);
-          row_block(a + i0 * lda, lda, b, m, c + i0 * m, m, rows, k, j0,
-                    j1);
+          kset.f32_row_block(a + i0 * lda, lda, b, m, c + i0 * m, m, rows, k,
+                             j0, j1);
         }
       },
       // Amortize scheduling: hand out row blocks in bundles sized so a

@@ -202,6 +202,13 @@ std::vector<double> DEtaNet::predict(std::span<const recon::ComptonRing> rings,
       feature_matrix(rings, uses_polar_, polar_deg_guess), floor, cap);
 }
 
+std::vector<double> DEtaNet::predict_for_features(nn::Tensor raw_features,
+                                                  double floor, double cap) {
+  ADAPT_REQUIRE(floor > 0.0 && cap > floor, "invalid d_eta bounds");
+  if (raw_features.rows() == 0) return {};
+  return predict_from_features(std::move(raw_features), floor, cap);
+}
+
 std::vector<double> DEtaNet::predict_batch(
     std::span<const recon::ComptonRing> rings,
     std::span<const double> polar_deg_per_ring, double floor, double cap) {
@@ -260,6 +267,61 @@ std::vector<double> Models::predict_deta_batch(
     return d;
   }
   return deta->predict_batch(rings, polar_deg_per_ring, floor, cap);
+}
+
+Models::BatchInference Models::infer_batch(
+    std::span<const recon::ComptonRing> rings,
+    std::span<const double> polar_deg_per_ring, double floor, double cap,
+    bool allow_deta) const {
+  ADAPT_REQUIRE(floor > 0.0 && cap > floor, "invalid d_eta bounds");
+  ADAPT_REQUIRE(polar_deg_per_ring.size() == rings.size(),
+                "per-ring polar guess count mismatch");
+  BatchInference out;
+  if (rings.empty()) return out;
+
+  // Assemble each feature layout at most once per flush, shared
+  // between the networks.  Two layouts can coexist (a polar-aware
+  // background net beside a polar-free dEta net); each is built
+  // lazily on first use with exactly the same feature_matrix calls
+  // the individual *_batch entry points make, which is what keeps
+  // this path bit-identical to them.
+  nn::Tensor with_polar;
+  nn::Tensor without_polar;
+  const auto features_for = [&](bool uses_polar) -> const nn::Tensor& {
+    if (uses_polar) {
+      if (with_polar.rows() == 0)
+        with_polar = feature_matrix(rings, polar_deg_per_ring);
+      return with_polar;
+    }
+    if (without_polar.rows() == 0)
+      without_polar = feature_matrix(rings, false, 0.0);
+    return without_polar;
+  };
+
+  if (background != nullptr) {
+    const std::vector<float> logits =
+        background->logits_for_features(features_for(background->uses_polar()));
+    out.is_background.resize(logits.size());
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+      const double thr =
+          background->thresholds().logit_threshold(polar_deg_per_ring[i]);
+      out.is_background[i] =
+          static_cast<double>(logits[i]) >= thr ? 1 : 0;
+    }
+  } else {
+    out.is_background.assign(rings.size(), 0);
+  }
+
+  if (deta != nullptr && allow_deta) {
+    out.d_eta = deta->predict_for_features(features_for(deta->uses_polar()),
+                                           floor, cap);
+    out.used_deta_net = true;
+  } else {
+    out.d_eta.resize(rings.size());
+    for (std::size_t i = 0; i < rings.size(); ++i)
+      out.d_eta[i] = std::clamp(rings[i].d_eta, floor, cap);
+  }
+  return out;
 }
 
 }  // namespace adapt::pipeline

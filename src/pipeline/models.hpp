@@ -139,6 +139,13 @@ class DEtaNet {
                                     std::span<const double> polar_deg_per_ring,
                                     double floor = 1e-4, double cap = 2.0);
 
+  /// Batched prediction from an externally assembled (unstandardized)
+  /// feature matrix — the fused serve path builds the matrix once per
+  /// flush and shares it between the networks.  The tensor is taken by
+  /// value because standardization happens in place on it.
+  std::vector<double> predict_for_features(nn::Tensor raw_features,
+                                           double floor, double cap);
+
   bool save(const std::string& path);
   static std::optional<DEtaNet> load(const std::string& path);
 
@@ -186,6 +193,27 @@ struct Models {
       std::span<const recon::ComptonRing> rings,
       std::span<const double> polar_deg_per_ring, double floor = 1e-4,
       double cap = 2.0) const;
+
+  /// Outputs of one fused batch inference (see infer_batch).
+  struct BatchInference {
+    std::vector<std::uint8_t> is_background;  ///< 1 = background veto.
+    std::vector<double> d_eta;                ///< clamped to [floor, cap].
+    bool used_deta_net = false;  ///< false = analytic passthrough.
+  };
+
+  /// Structure-of-arrays fused path for the serving layer: assembles
+  /// the ring-feature matrix ONCE per flush and runs both networks
+  /// from it, instead of each batch call re-walking the rings.  With
+  /// the INT8 background engine that means one quantization of the
+  /// panel and one quantized GEMM per layer for the whole batch.
+  /// `allow_deta = false` (the server's degraded mode) skips the dEta
+  /// forward and applies the same analytic clamp a null dEta net gets.
+  /// Bit-identical to classify_background_batch + predict_deta_batch
+  /// on the same inputs (asserted by tests/serve/batch_equivalence).
+  BatchInference infer_batch(std::span<const recon::ComptonRing> rings,
+                             std::span<const double> polar_deg_per_ring,
+                             double floor = 1e-4, double cap = 2.0,
+                             bool allow_deta = true) const;
 };
 
 }  // namespace adapt::pipeline

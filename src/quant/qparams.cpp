@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/contract.hpp"
+#include "nn/kernels/kernels.hpp"
 
 namespace adapt::quant {
 
@@ -29,8 +30,15 @@ QParams QParams::from_range(float lo, float hi) {
 }
 
 std::int32_t QParams::quantize(float x) const {
-  const auto q =
-      static_cast<std::int32_t>(std::lround(x / scale)) + zero_point;
+  // round_half_away_saturated is the exact branchy form of the
+  // original lround(x / scale) (the saturation at ±512 is absorbed by
+  // this clamp for any zero_point in [kQMin, kQMax], which from_range
+  // ENSUREs) — it just skips the libm call, which matters on the
+  // serve path where every input feature funnels through here.  It is
+  // also the same rounding the dispatched u8_requant kernel applies
+  // between layers, so the whole INT8 engine rounds one way.
+  const std::int32_t q =
+      nn::kernels::round_half_away_saturated(x / scale) + zero_point;
   return std::clamp(q, kQMin, kQMax);
 }
 

@@ -8,6 +8,7 @@
 #include "core/contract.hpp"
 #include "core/parallel.hpp"
 #include "nn/activations.hpp"
+#include "nn/kernels/kernels.hpp"
 #include "quant/fake_quant.hpp"
 #include "quant/qat_linear.hpp"
 
@@ -48,59 +49,22 @@ QuantizedMlp::QuantizedMlp(std::vector<QuantizedLayer> layers)
   }
 }
 
-namespace {
-
-/// Integer accumulation panel: out_block output channels of one row,
-/// as pure uint8 x int8 dot products over the packed weight rows (the
-/// zero-point term is folded in afterwards from the precomputed row
-/// sums).  Blocking four channels shares every activation load four
-/// ways and gives the vectorizer four independent accumulator chains.
-inline void int8_dot_panel(const std::uint8_t* __restrict xi,
-                           const std::int8_t* __restrict w,
-                           std::size_t in_features, std::size_t out_features,
-                           std::int32_t* __restrict acc) {
-  std::size_t oc = 0;
-  for (; oc + 4 <= out_features; oc += 4) {
-    const std::int8_t* __restrict w0 = w + (oc + 0) * in_features;
-    const std::int8_t* __restrict w1 = w + (oc + 1) * in_features;
-    const std::int8_t* __restrict w2 = w + (oc + 2) * in_features;
-    const std::int8_t* __restrict w3 = w + (oc + 3) * in_features;
-    std::int32_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
-#pragma omp simd reduction(+ : a0, a1, a2, a3)
-    for (std::size_t ic = 0; ic < in_features; ++ic) {
-      const std::int32_t xv = xi[ic];
-      a0 += xv * w0[ic];
-      a1 += xv * w1[ic];
-      a2 += xv * w2[ic];
-      a3 += xv * w3[ic];
-    }
-    acc[oc + 0] = a0;
-    acc[oc + 1] = a1;
-    acc[oc + 2] = a2;
-    acc[oc + 3] = a3;
-  }
-  for (; oc < out_features; ++oc) {
-    const std::int8_t* __restrict wr = w + oc * in_features;
-    std::int32_t a = 0;
-#pragma omp simd reduction(+ : a)
-    for (std::size_t ic = 0; ic < in_features; ++ic)
-      a += static_cast<std::int32_t>(xi[ic]) * wr[ic];
-    acc[oc] = a;
-  }
-}
-
-}  // namespace
-
 nn::Tensor QuantizedMlp::forward(const nn::Tensor& x) const {
   ADAPT_REQUIRE(x.cols() == layers_.front().in_features,
                 "input width mismatch");
   const std::size_t n = x.rows();
+  const nn::kernels::KernelSet& kset = nn::kernels::active();
 
   // Activations travel between layers as uint8 plus their qparams, in
-  // two thread_local ping-pong buffers (sized for the widest layer):
-  // no per-call heap traffic on the serving hot path, and each
-  // concurrent caller gets its own scratch — forward() is const and
-  // must stay safe on a shared engine.
+  // two thread_local ping-pong buffers: no per-call heap traffic on
+  // the serving hot path, and each concurrent caller gets its own
+  // scratch — forward() is const and must stay safe on a shared
+  // engine.  The panels are sized for THIS call's batch and THIS
+  // model's widest layer on every entry (resize, never a cached
+  // capacity assumption): one thread may serve engines of different
+  // widths back to back, and a stale smaller capacity would be an
+  // out-of-bounds write (see quantized_mlp_simd_test's cross-width
+  // regression case).
   thread_local std::vector<std::uint8_t> ping;
   thread_local std::vector<std::uint8_t> pong;
   ping.resize(n * max_width_);
@@ -124,41 +88,59 @@ nn::Tensor QuantizedMlp::forward(const nn::Tensor& x) const {
     const QParams* next_q = last ? nullptr : &layers_[li + 1].input_q;
     if (last) out = nn::Tensor(n, layer.out_features);
 
+    // One quantized GEMM per layer over the whole activation panel,
+    // handed out in multi-row blocks (~128k MACs each) so the kernel
+    // amortizes its setup and parallel_for its scheduling.  The
+    // integer accumulation is associative, so block shape cannot
+    // change results.
+    const std::size_t macs = layer.in_features * layer.out_features;
+    const std::size_t block_rows = std::max<std::size_t>(
+        1, (128 * 1024) / std::max<std::size_t>(macs, 1));
+    const std::size_t n_blocks = (n + block_rows - 1) / block_rows;
+    kset.u8i8_calls->add();
+    if (!last) kset.requant_calls->add();
     core::parallel_for(
-        n,
-        [&](std::size_t r) {
-          // Per-thread int32 accumulator row, reused across rows.
+        n_blocks,
+        [&](std::size_t blk) {
+          const std::size_t r0 = blk * block_rows;
+          const std::size_t r1 = std::min(n, r0 + block_rows);
+          const std::size_t rows = r1 - r0;
+          // Per-thread int32 accumulator panel, reused across blocks.
           thread_local std::vector<std::int32_t> acc_buf;
-          acc_buf.resize(layer.out_features);
+          acc_buf.resize(rows * layer.out_features);
           std::int32_t* __restrict acc = acc_buf.data();
-          const std::uint8_t* xi = act + r * layer.in_features;
 
-          int8_dot_panel(xi, layer.weight.data(), layer.in_features,
-                         layer.out_features, acc);
+          kset.u8i8_gemm(act + r0 * layer.in_features, layer.weight.data(),
+                         acc, rows, layer.in_features, layer.out_features);
 
-          // Zero-point correction, bias, ReLU — batched over the row.
+          // Epilogue: zero-point correction, bias, ReLU, then
+          // requantization.  Hidden layers go through the dispatched
+          // u8_requant kernel — bit-identical to the scalar reference
+          // by the kernels.hpp contract — because at ~450 outputs per
+          // event the rounding math dominates once the GEMM is
+          // vectorized.  The last layer stays scalar: it emits a
+          // handful of floats per row, not a panel.
           const std::int32_t* __restrict bias = layer.bias.data();
-          for (std::size_t oc = 0; oc < layer.out_features; ++oc) {
-            std::int32_t a = acc[oc] - zp_in * row_sums[oc] + bias[oc];
-            if (layer.relu && a < 0) a = 0;
-            acc[oc] = a;
-          }
-
-          // Requantization, batched per row instead of per element.
           const float* __restrict ws = layer.weight_scales.data();
           if (last) {
-            float* __restrict or_ = out.data() + r * layer.out_features;
-            for (std::size_t oc = 0; oc < layer.out_features; ++oc)
-              or_[oc] = static_cast<float>(acc[oc]) * s_in * ws[oc];
-          } else {
-            std::uint8_t* __restrict nr = next_act + r * layer.out_features;
-            for (std::size_t oc = 0; oc < layer.out_features; ++oc) {
-              const float real = static_cast<float>(acc[oc]) * s_in * ws[oc];
-              nr[oc] = static_cast<std::uint8_t>(next_q->quantize(real));
+            for (std::size_t r = r0; r < r1; ++r) {
+              const std::int32_t* __restrict ar =
+                  acc + (r - r0) * layer.out_features;
+              float* __restrict or_ = out.data() + r * layer.out_features;
+              for (std::size_t oc = 0; oc < layer.out_features; ++oc) {
+                std::int32_t a = ar[oc] - zp_in * row_sums[oc] + bias[oc];
+                if (layer.relu && a < 0) a = 0;
+                or_[oc] = static_cast<float>(a) * s_in * ws[oc];
+              }
             }
+          } else {
+            kset.u8_requant(acc, rows, layer.out_features, zp_in, row_sums,
+                            bias, layer.relu, s_in, ws, next_q->scale,
+                            next_q->zero_point,
+                            next_act + r0 * layer.out_features);
           }
         },
-        64);
+        1);
     if (!last) std::swap(act, next_act);
   }
   return out;

@@ -126,8 +126,11 @@ void InferenceServer::process_batch(std::span<const ServeRequest> batch,
   static tm::Histogram& latency_ms = tm::histogram("serve.latency_ms");
   static tm::Counter& degraded_metric = tm::counter("serve.degraded_events");
 
-  // One contiguous ring array + per-ring polar guesses = one feature
-  // Tensor per network per flush.
+  // Structure-of-arrays staging: the AoS request batch splits into a
+  // contiguous ring array + per-ring polar guesses, and the fused
+  // Models::infer_batch assembles ONE feature panel per flush from
+  // them (one quantization + one quantized GEMM per layer on the INT8
+  // path, instead of per-row panels).
   thread_local std::vector<recon::ComptonRing> rings;
   thread_local std::vector<double> polar;
   rings.clear();
@@ -143,13 +146,13 @@ void InferenceServer::process_batch(std::span<const ServeRequest> batch,
     if (engine_) {
       out = engine_(rings, polar, degraded);
     } else {
-      out.is_background = models_.classify_background_batch(rings, polar);
       // Degraded mode = the null-deta analytic passthrough, by
       // construction the same clamp the Models fallback applies.
-      pipeline::Models deta_source = models_;
-      if (degraded) deta_source.deta = nullptr;
-      out.d_eta = deta_source.predict_deta_batch(
-          rings, polar, config_.d_eta_floor, config_.d_eta_cap);
+      auto fused = models_.infer_batch(rings, polar, config_.d_eta_floor,
+                                       config_.d_eta_cap,
+                                       /*allow_deta=*/!degraded);
+      out.is_background = std::move(fused.is_background);
+      out.d_eta = std::move(fused.d_eta);
       out.degraded = degraded && models_.deta != nullptr;
     }
   }

@@ -1,0 +1,48 @@
+#include "core/cpu_features.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adapt::core {
+namespace {
+
+TEST(CpuFeatures, ProbeIsCachedAndStable) {
+  const CpuFeatures& a = cpu_features();
+  const CpuFeatures& b = cpu_features();
+  EXPECT_EQ(&a, &b);  // One probe, one cached instance.
+}
+
+TEST(CpuFeatures, Avx512KernelClassRequiresAllFourExtensions) {
+  CpuFeatures f;
+  EXPECT_FALSE(f.avx512_kernel_class());
+  f.avx512f = f.avx512bw = f.avx512vl = f.avx512vnni = true;
+  EXPECT_TRUE(f.avx512_kernel_class());
+  for (bool* flag : {&f.avx512f, &f.avx512bw, &f.avx512vl, &f.avx512vnni}) {
+    *flag = false;
+    EXPECT_FALSE(f.avx512_kernel_class());
+    *flag = true;
+  }
+}
+
+TEST(CpuFeatures, HostAvx512ImpliesAvx2) {
+  // No real x86 part (or VM) offers the AVX-512 kernel class without
+  // AVX2; if this fires the probe is misreading cpuid or XCR0.
+  const CpuFeatures& f = cpu_features();
+  if (f.avx512_kernel_class()) {
+    EXPECT_TRUE(f.avx2);
+  }
+}
+
+TEST(CpuFeatures, SummaryListsDetectedFlags) {
+  const CpuFeatures& f = cpu_features();
+  const std::string s = cpu_features_summary();
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.find("avx2") != std::string::npos, f.avx2);
+  EXPECT_EQ(s.find("avx512vnni") != std::string::npos, f.avx512vnni);
+  if (!f.avx2 && !f.fma && !f.avx512f && !f.avx512bw && !f.avx512vl &&
+      !f.avx512vnni) {
+    EXPECT_EQ(s, "none (scalar only)");
+  }
+}
+
+}  // namespace
+}  // namespace adapt::core

@@ -18,6 +18,12 @@ Run from anywhere; exits non-zero when any rule fires:
   4. test-coverage: every src/**/*.cpp must have a test file whose
      name mentions its stem, or an entry in COVERAGE_ALLOWLIST naming
      where its behavior is actually exercised.
+  5. no-intrinsics-outside-kernels: x86 SIMD intrinsics (_mm*) and
+     vector types (__m128/__m256/__m512) are confined to
+     src/nn/kernels/.  Every vector kernel carries a bit-identity
+     obligation against its scalar reference; scattering intrinsics
+     elsewhere would scatter that obligation too, and the rest of the
+     codebase must stay portable to non-x86 hosts.
 
 Usage: tools/adapt_lint.py [--repo DIR]
 """
@@ -57,6 +63,10 @@ COVERAGE_ALLOWLIST = {
     "src/recon/event_reconstruction.cpp": "tests/recon/reconstruction_test.cpp",
     "src/sim/background.cpp": "tests/sim/pileup_test.cpp",
     "src/sim/grb_source.cpp": "tests/sim/source_test.cpp",
+    "src/nn/kernels/registry.cpp": "tests/nn/kernels_test.cpp",
+    "src/nn/kernels/scalar.cpp": "tests/nn/kernels_test.cpp",
+    "src/nn/kernels/avx2.cpp": "tests/nn/kernels_test.cpp",
+    "src/nn/kernels/avx512.cpp": "tests/nn/kernels_test.cpp",
     "src/quant/fake_quant.cpp": "tests/quant/quant_property_test.cpp",
     "src/quant/qat_io.cpp": "tests/quant/quantized_mlp_fused_test.cpp",
     "src/quant/qat_linear.cpp": "tests/quant/quant_property_test.cpp",
@@ -67,6 +77,8 @@ NAKED_PARSE = re.compile(r"\b(?:std::)?(atof|strtod)\s*\(")
 STD_RAND = re.compile(r"\b(?:std::)?s?rand\s*\(")
 # A float literal: digits with an f/F suffix (1.0f, .5f, 1e3f, 2f).
 FLOAT_LITERAL = re.compile(r"[0-9.]([eE][-+]?[0-9]+)?[fF]\b")
+# An x86 intrinsic call or vector type (SSE/AVX/AVX-512 families).
+INTRINSIC = re.compile(r"\b(?:_mm(?:256|512)?_[a-z0-9_]+|__m(?:64|128|256|512)[di]?)\b")
 LINE_COMMENT = re.compile(r"//.*$")
 STRING = re.compile(r'"(?:[^"\\]|\\.)*"')
 
@@ -114,6 +126,12 @@ def main() -> int:
                 findings.append(
                     f"{rel}:{ln}: float literal in double-precision physics "
                     "code [no-float-literal-in-physics]")
+            if (not rel.startswith("src/nn/kernels/")
+                    and INTRINSIC.search(line)):
+                findings.append(
+                    f"{rel}:{ln}: SIMD intrinsics belong in src/nn/kernels/ "
+                    "(dispatched, bit-identical to scalar) "
+                    "[no-intrinsics-outside-kernels]")
 
     # Rule 4: test coverage by stem.
     test_names = " ".join(

@@ -44,8 +44,10 @@
 #include <string>
 
 #include "core/cli.hpp"
+#include "core/cpu_features.hpp"
 #include "core/table.hpp"
 #include "core/telemetry.hpp"
+#include "nn/kernels/kernels.hpp"
 #include "eval/reject_gate.hpp"
 #include "fault/campaign.hpp"
 #include "loc/grid_search.hpp"
@@ -318,6 +320,68 @@ int cmd_serve_bench(const CliArgs& args) {
   return 0;
 }
 
+int cmd_cpu_features(const CliArgs&) {
+  namespace nk = nn::kernels;
+  // Enable telemetry before the first kernel dispatch so the
+  // nn.kernel.dispatch.* marker lands in the counters below.
+  core::telemetry::set_enabled(true);
+
+  std::printf("detected: %s\n", core::cpu_features_summary().c_str());
+
+  core::TextTable variants({"variant", "compiled", "supported"});
+  for (int i = 0; i < nk::kIsaCount; ++i) {
+    const auto isa = static_cast<nk::Isa>(i);
+    const char* name = i == 0 ? "scalar" : (i == 1 ? "avx2" : "avx512");
+    variants.add_row({name, nk::compiled(isa) ? "yes" : "no",
+                      nk::supported(isa) ? "yes" : "no"});
+  }
+  variants.print(std::cout);
+
+  const nk::KernelSet& active = nk::active();
+  const char* override_env = std::getenv("ADAPT_SIMD");
+  if (override_env != nullptr && override_env[0] != '\0') {
+    std::printf("dispatch: %s (ADAPT_SIMD=%s)\n", active.name, override_env);
+  } else {
+    std::printf("dispatch: %s\n", active.name);
+  }
+
+  // Run one synthetic INT8 forward (paper network dimensions) plus a
+  // small float GEMM so the per-layer table and the nn.kernel.*
+  // counters reflect kernels that actually executed, not just the
+  // dispatch decision.
+  auto background = serve::synthetic_background_net_int8(1);
+  const quant::QuantizedMlp* engine = background.int8_model();
+  nn::Tensor x(4, engine->layers().front().in_features, 0.25f);
+  (void)engine->forward(x);
+  nn::Tensor a(3, 8, 0.5f), b(5, 8, 0.25f), c;
+  nn::matmul_abt(a, b, c);
+
+  core::TextTable layers_table({"layer", "in", "out", "kernels"});
+  const auto& layers = engine->layers();
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const bool last = i + 1 == layers.size();
+    layers_table.add_row(
+        {"int8 " + std::to_string(i), std::to_string(layers[i].in_features),
+         std::to_string(layers[i].out_features),
+         std::string("u8i8_gemm.") + active.name +
+             (last ? " + scalar f32 epilogue"
+                   : std::string(" + u8_requant.") + active.name)});
+  }
+  layers_table.add_row({"fp32 gemm", "-", "-",
+                        std::string("f32_gemm.") + active.name});
+  layers_table.print(std::cout, "Per-layer kernel dispatch");
+
+  std::printf("nn.kernel.* counters:\n");
+  const core::telemetry::Snapshot snap = core::telemetry::snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("nn.kernel.", 0) == 0) {
+      std::printf("  %s = %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+  return 0;
+}
+
 int cmd_chaos(const CliArgs& args) {
   fault::CampaignSpec spec;
   spec.seed = seed_from(args, 2026);
@@ -370,6 +434,9 @@ void usage() {
       " [--persistents N]\n"
       "              [--stalls N] [--weight-flips N] [--model-garbles N]"
       " [--scratch DIR]\n"
+      "  cpu-features  report detected ISA, compiled/supported kernel\n"
+      "              variants, and per-layer dispatch (ADAPT_SIMD="
+      "scalar|avx2|avx512 overrides)\n"
       "  --metrics json|csv  dump pipeline telemetry to stdout after "
       "the command\n"
       "  --max-reject-frac F exit 3 when more than fraction F of ring "
@@ -422,6 +489,8 @@ int main(int argc, char** argv) {
     else if (cmd == "skymap") rc = cmd_skymap(args);
     else if (cmd == "serve-bench") rc = cmd_serve_bench(args);
     else if (cmd == "chaos") rc = cmd_chaos(args);
+    else if (cmd == "cpu-features" || cmd == "--cpu-features")
+      rc = cmd_cpu_features(args);
     else known = false;
 
     if (!known) {

@@ -236,6 +236,73 @@ else
   exit "$serve_status"
 fi
 
+# ---- SIMD kernel throughput gate ----------------------------------
+# bench_nn_kernels registers one benchmark per dispatched kernel
+# variant (BM_U8I8GemmKernel/<isa>, BM_U8RequantKernel/<isa>,
+# BM_F32RowBlockKernel/<isa>) plus the dispatch-level int8 paths.
+# Each row in tools/bench_nn_kernels.baseline.csv is a deliberately
+# conservative items/s floor (well below a quiet-machine run, so
+# shared-runner noise does not trip it); throughput below
+# floor / tolerance fails.  Variant rows for ISAs the host lacks are
+# simply absent from the bench output and reported as skipped — the
+# gate works unchanged on AVX2-only or scalar-only hosts.
+kernel_bench="$build_dir/bench/bench_nn_kernels"
+kernel_baseline="$repo_root/tools/bench_nn_kernels.baseline.csv"
+if [ ! -x "$kernel_bench" ]; then
+  echo "error: $kernel_bench not built (cmake --build $build_dir --target bench_nn_kernels)" >&2
+  exit 2
+fi
+validate_baseline "$kernel_baseline"
+"$kernel_bench" --benchmark_filter='Kernel|Int8Dot|BackgroundNetInt8' \
+  --benchmark_format=csv >"$scratch/kernels.csv" 2>"$scratch/kernels.log" || {
+  cat "$scratch/kernels.log" >&2
+  echo "error: kernel bench failed" >&2
+  exit 2
+}
+grep -q '^"BM_' "$scratch/kernels.csv" || {
+  echo "error: kernel bench produced no benchmark rows" >&2
+  exit 2
+}
+if [ -n "${ADAPT_BENCH_CSV_DIR:-}" ]; then
+  cp "$scratch/kernels.csv" "$ADAPT_BENCH_CSV_DIR/bench_nn_kernels.csv"
+fi
+
+kernel_status=0
+awk -F, -v tol="$tolerance" '
+  NR == FNR { if (FNR > 1) base[$1] = $2; next }
+  /^"BM_/ {
+    name = $1; gsub(/"/, "", name)
+    ips = $7 + 0
+    seen[name] = 1
+    if (!(name in base)) next  # unbaselined benchmark: informational only
+    floor = base[name] / tol
+    if (ips < floor) {
+      printf "FAIL  %-28s %12.3e items/s < floor %12.3e (baseline %s)\n",
+             name, ips, floor, base[name]
+      failed = 1
+    } else {
+      printf "ok    %-28s %12.3e items/s (baseline %s, floor %12.3e)\n",
+             name, ips, base[name], floor
+    }
+  }
+  END {
+    for (name in base)
+      if (!(name in seen))
+        printf "SKIP  %-28s variant not supported on this host\n", name
+    exit failed ? 1 : 0
+  }
+' "$kernel_baseline" "$scratch/kernels.csv" || kernel_status=$?
+
+if [ "$kernel_status" -eq 0 ]; then
+  echo "kernel throughput check passed (tolerance ${tolerance}x)"
+elif [ "$check_only" -eq 1 ]; then
+  echo "kernel throughput below floor but --check-only set: reported, not gated"
+else
+  echo "kernel throughput check FAILED — if the slowdown is intentional," >&2
+  echo "refresh tools/bench_nn_kernels.baseline.csv from a quiet machine" >&2
+  exit "$kernel_status"
+fi
+
 # ---- sanitizer-covered tier-1 tests -------------------------------
 if [ "$check_only" -eq 1 ]; then
   echo "sanitizer ctest skipped (--check-only; CI covers it in a dedicated job)"
