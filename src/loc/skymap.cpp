@@ -19,127 +19,75 @@ SkyMap SkyMap::compute(std::span<const recon::ComptonRing> rings,
   ADAPT_REQUIRE(config.resolution_deg > 0.0, "resolution must be positive");
   ADAPT_REQUIRE(config.max_polar_deg > 0.0 && config.max_polar_deg <= 180.0,
                 "max polar out of range");
+  ADAPT_REQUIRE(std::isfinite(config.truncation_sigma) &&
+                    config.truncation_sigma > 0.0,
+                "truncation sigma must be finite and positive");
+
+  // Unusable rings (NaN axis, non-positive d_eta) would poison every
+  // pixel identically; drop them up front like the point-estimate
+  // localizer does so a single bad ring cannot degrade the whole map.
+  std::vector<recon::ComptonRing> filtered_storage;
+  const std::span<const recon::ComptonRing> usable =
+      usable_rings(rings, filtered_storage);
 
   SkyMap map;
   map.config_ = config;
-  map.n_polar_ = std::max(
-      1, static_cast<int>(std::ceil(config.max_polar_deg /
-                                    config.resolution_deg)));
-
-  // Equal-angle rows; azimuth bins per row scale with sin(polar) so
-  // pixels keep roughly equal solid angle (a poor man's equal-area
-  // map — adequate for credible-region integrals at 1-degree scale).
-  map.az_bins_per_row_.resize(static_cast<std::size_t>(map.n_polar_));
-  map.row_offset_.resize(static_cast<std::size_t>(map.n_polar_));
-  std::size_t total = 0;
-  for (int row = 0; row < map.n_polar_; ++row) {
-    const double polar_mid =
-        core::deg_to_rad((row + 0.5) * config.resolution_deg);
-    const int bins = std::max(
-        1, static_cast<int>(std::ceil(360.0 / config.resolution_deg *
-                                      std::sin(polar_mid))));
-    map.az_bins_per_row_[static_cast<std::size_t>(row)] = bins;
-    map.row_offset_[static_cast<std::size_t>(row)] = total;
-    total += static_cast<std::size_t>(bins);
-  }
-  map.probability_.assign(total, 0.0);
+  map.grid_ = SkyGrid(config.resolution_deg, config.max_polar_deg);
+  const std::size_t total = map.grid_.n_pixels();
 
   // Log-posterior per pixel, then a stable softmax with solid-angle
-  // weights.
+  // weights.  Each pixel is computed independently, so the result is
+  // bit-identical regardless of thread count or SIMD dispatch.
   std::vector<double> log_post(total);
   core::parallel_for(
       total,
       [&](std::size_t i) {
-        const Vec3 dir = map.pixel_center(i);
-        log_post[i] =
-            -truncated_neg_log_likelihood(rings, dir, config.truncation_sigma);
+        const Vec3 dir = map.grid_.pixel_center(i);
+        log_post[i] = -truncated_neg_log_likelihood(usable, dir,
+                                                    config.truncation_sigma);
       },
       /*grain=*/64);
-  const double max_log =
-      *std::max_element(log_post.begin(), log_post.end());
-  double norm = 0.0;
-  for (std::size_t i = 0; i < total; ++i) {
-    const double mass = std::exp(log_post[i] - max_log) *
-                        map.pixel_solid_angle_deg2(i);
-    map.probability_[i] = mass;
-    norm += mass;
-  }
-  ADAPT_REQUIRE(norm > 0.0, "degenerate posterior");
-  for (double& p : map.probability_) p /= norm;
+  map.degenerate_ =
+      !normalize_log_posterior(map.grid_, log_post, map.probability_);
   return map;
 }
 
-Vec3 SkyMap::pixel_center(std::size_t index) const {
-  // Find the row by binary search over row offsets.
-  const auto row_it = std::upper_bound(row_offset_.begin(),
-                                       row_offset_.end(), index);
-  const auto row =
-      static_cast<std::size_t>(std::distance(row_offset_.begin(), row_it)) -
-      1;
-  const std::size_t az = index - row_offset_[row];
-  const double polar = core::deg_to_rad(
-      (static_cast<double>(row) + 0.5) * config_.resolution_deg);
-  const double azimuth =
-      core::kTwoPi * (static_cast<double>(az) + 0.5) /
-      static_cast<double>(az_bins_per_row_[row]);
-  return core::from_spherical(polar, azimuth);
-}
-
-double SkyMap::pixel_solid_angle_deg2(std::size_t index) const {
-  const auto row_it = std::upper_bound(row_offset_.begin(),
-                                       row_offset_.end(), index);
-  const auto row =
-      static_cast<std::size_t>(std::distance(row_offset_.begin(), row_it)) -
-      1;
-  const double t0 = core::deg_to_rad(static_cast<double>(row) *
-                                     config_.resolution_deg);
-  const double t1 = core::deg_to_rad((static_cast<double>(row) + 1.0) *
-                                     config_.resolution_deg);
-  const double band_sr = core::kTwoPi * (std::cos(t0) - std::cos(t1));
-  const double sr =
-      band_sr / static_cast<double>(az_bins_per_row_[row]);
-  constexpr double deg2_per_sr = 180.0 / core::kPi * 180.0 / core::kPi;
-  return sr * deg2_per_sr;
-}
-
-std::optional<std::size_t> SkyMap::pixel_of(const Vec3& direction) const {
-  const double polar_deg = core::rad_to_deg(core::polar_of(direction));
-  if (polar_deg >= config_.max_polar_deg) return std::nullopt;
-  const auto row = std::min(
-      static_cast<std::size_t>(polar_deg / config_.resolution_deg),
-      static_cast<std::size_t>(n_polar_ - 1));
-  double az = core::azimuth_of(direction);
-  if (az < 0.0) az += core::kTwoPi;
-  const auto bins = static_cast<double>(az_bins_per_row_[row]);
-  auto az_bin = static_cast<std::size_t>(az / core::kTwoPi * bins);
-  if (az_bin >= static_cast<std::size_t>(az_bins_per_row_[row]))
-    az_bin = static_cast<std::size_t>(az_bins_per_row_[row]) - 1;
-  return row_offset_[row] + az_bin;
+SkyMap SkyMap::from_log_posterior(const SkyGrid& grid,
+                                  std::span<const double> log_post,
+                                  const SkyMapConfig& config) {
+  SkyMap map;
+  map.config_ = config;
+  map.grid_ = grid;
+  map.degenerate_ =
+      !normalize_log_posterior(map.grid_, log_post, map.probability_);
+  return map;
 }
 
 Vec3 SkyMap::peak() const {
+  ADAPT_REQUIRE(!probability_.empty(), "peak of an empty map");
   const auto it =
       std::max_element(probability_.begin(), probability_.end());
-  return pixel_center(
+  return grid_.pixel_center(
       static_cast<std::size_t>(std::distance(probability_.begin(), it)));
 }
 
 double SkyMap::credible_region_area_deg2(double content) const {
-  ADAPT_REQUIRE(content > 0.0 && content < 1.0,
+  ADAPT_REQUIRE(std::isfinite(content) && content > 0.0 && content < 1.0,
                 "credible content in (0, 1)");
+  ADAPT_REQUIRE(!probability_.empty(), "credible region of an empty map");
   // Greedy: add pixels in decreasing posterior density until the mass
   // target is met.
   std::vector<std::size_t> order(probability_.size());
   std::iota(order.begin(), order.end(), 0u);
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return probability_[a] / pixel_solid_angle_deg2(a) >
-           probability_[b] / pixel_solid_angle_deg2(b);
+    return probability_[a] / grid_.pixel_solid_angle_deg2(a) >
+           probability_[b] / grid_.pixel_solid_angle_deg2(b);
   });
   double mass = 0.0;
   double area = 0.0;
   for (const std::size_t i : order) {
     mass += probability_[i];
-    area += pixel_solid_angle_deg2(i);
+    area += grid_.pixel_solid_angle_deg2(i);
     if (mass >= content) break;
   }
   return area;
@@ -150,7 +98,7 @@ double SkyMap::credible_radius_deg(double content) const {
 }
 
 double SkyMap::probability_at(const Vec3& direction) const {
-  const auto pixel = pixel_of(direction);
+  const auto pixel = grid_.pixel_of(direction);
   return pixel ? probability_[*pixel] : 0.0;
 }
 
@@ -159,7 +107,7 @@ bool SkyMap::write_csv(const std::string& path) const {
   if (!f) return false;
   f << "polar_deg,azimuth_deg,probability\n";
   for (std::size_t i = 0; i < probability_.size(); ++i) {
-    const Vec3 dir = pixel_center(i);
+    const Vec3 dir = grid_.pixel_center(i);
     f << core::rad_to_deg(core::polar_of(dir)) << ','
       << core::rad_to_deg(core::azimuth_of(dir)) << ',' << probability_[i]
       << '\n';

@@ -11,6 +11,13 @@
 /// it: the maximum-a-posteriori direction and the area of the smallest
 /// credible region at a given probability content — the "error circle"
 /// radius quoted in alerts.
+///
+/// Degenerate posteriors (every pixel's likelihood underflowing to
+/// zero mass) no longer abort or divide into NaNs: the map comes back
+/// uniform with degenerate() == true and the `loc.skymap.degenerate`
+/// counter bumped — see normalize_log_posterior() in sky_grid.hpp.
+/// Unusable rings (non-finite axis/eta, d_eta <= 0) are filtered out
+/// before evaluation, matching the point-estimate localizer paths.
 
 #include <optional>
 #include <span>
@@ -18,6 +25,7 @@
 #include <vector>
 
 #include "core/vec3.hpp"
+#include "loc/sky_grid.hpp"
 #include "recon/ring.hpp"
 
 namespace adapt::loc {
@@ -34,11 +42,19 @@ class SkyMap {
   static SkyMap compute(std::span<const recon::ComptonRing> rings,
                         const SkyMapConfig& config = {});
 
+  /// Build a map from an externally accumulated per-pixel log
+  /// posterior on `grid` (the IncrementalLocalizer's snapshot path;
+  /// any additive constant cancels in normalization).
+  static SkyMap from_log_posterior(const SkyGrid& grid,
+                                   std::span<const double> log_post,
+                                   const SkyMapConfig& config);
+
   /// Maximum-a-posteriori direction.
   core::Vec3 peak() const;
 
   /// Area [deg^2] of the smallest set of pixels containing `content`
   /// of the posterior probability (e.g. 0.9 for the 90% region).
+  /// `content` must be finite and strictly inside (0, 1).
   double credible_region_area_deg2(double content) const;
 
   /// Equivalent radius [deg] of a circle with the credible-region
@@ -46,7 +62,8 @@ class SkyMap {
   double credible_radius_deg(double content) const;
 
   /// Posterior probability of the pixel containing `direction`
-  /// (0 outside the field of view).
+  /// (0 outside the field of view; the field-of-view edge itself is
+  /// inside — see the SkyGrid boundary contract).
   double probability_at(const core::Vec3& direction) const;
 
   /// Dump as CSV (polar_deg, azimuth_deg, probability).  Returns false
@@ -55,20 +72,20 @@ class SkyMap {
 
   std::size_t n_pixels() const { return probability_.size(); }
   const SkyMapConfig& config() const { return config_; }
+  const SkyGrid& grid() const { return grid_; }
+
+  /// True when the posterior was degenerate (no pixel with finite
+  /// mass) and the map is the uniform fallback.
+  bool degenerate() const { return degenerate_; }
 
  private:
   SkyMap() = default;
 
-  std::optional<std::size_t> pixel_of(const core::Vec3& direction) const;
-  core::Vec3 pixel_center(std::size_t index) const;
-  double pixel_solid_angle_deg2(std::size_t index) const;
-
   SkyMapConfig config_;
-  int n_polar_ = 0;
-  std::vector<int> az_bins_per_row_;     ///< Azimuth bins per polar row.
-  std::vector<std::size_t> row_offset_;  ///< Pixel index of each row.
-  std::vector<double> probability_;      ///< Normalized posterior mass
-                                         ///< per pixel.
+  SkyGrid grid_;
+  std::vector<double> probability_;  ///< Normalized posterior mass
+                                     ///< per pixel.
+  bool degenerate_ = false;
 };
 
 }  // namespace adapt::loc

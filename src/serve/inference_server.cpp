@@ -40,6 +40,11 @@ void InferenceServer::set_engine(InferenceEngine engine) {
   engine_ = std::move(engine);
 }
 
+void InferenceServer::set_batch_observer(BatchObserver observer) {
+  ADAPT_REQUIRE(!started_.load(), "set_batch_observer must precede start()");
+  batch_observer_ = std::move(observer);
+}
+
 std::uint64_t InferenceServer::submit(const recon::ComptonRing& ring,
                                       double polar_deg_guess) {
   ServeRequest request;
@@ -113,6 +118,12 @@ void InferenceServer::worker_loop() {
     batches_.fetch_add(1, std::memory_order_relaxed);
     events_metric.add(n);
     batches_metric.add();
+    // Observer before sink: the Supervisor's sink consumes its
+    // duplicate-suppression bookkeeping, and its observer wrapper must
+    // still see it intact (stream_localizer.hpp relies on this order
+    // so an injected duplicate never double-counts into the sky
+    // accumulator).
+    if (batch_observer_) batch_observer_(batch, results);
     sink_(results);
     heartbeat_.fetch_add(1, std::memory_order_relaxed);
     in_flight_.store(false, std::memory_order_relaxed);

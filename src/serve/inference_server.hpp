@@ -58,6 +58,15 @@ struct ServeConfig {
 /// cheap — inference stalls while the sink runs.
 using ResultSink = std::function<void(std::span<const ServeResult>)>;
 
+/// Observes each finished micro-batch on the worker thread *before*
+/// the sink runs, with the original requests alongside the results
+/// (results[i] answers requests[i]).  ServeResult carries no ring, so
+/// consumers that need the event itself — the streaming localizer
+/// feeding rings into its sky accumulator — hook in here.  Same
+/// cheapness rule as the sink.
+using BatchObserver = std::function<void(std::span<const ServeRequest>,
+                                         std::span<const ServeResult>)>;
+
 /// What one batch forward produced.  `degraded`/`fallback` apply to
 /// the whole batch (the worker stamps them onto each result).
 struct BatchOutputs {
@@ -96,6 +105,10 @@ class InferenceServer {
   /// Install a replacement inference engine (see InferenceEngine).
   /// Must be called before start().
   void set_engine(InferenceEngine engine);
+
+  /// Install a batch observer (see BatchObserver).  Must be called
+  /// before start().
+  void set_batch_observer(BatchObserver observer);
 
   /// Enqueue one ring (thread-safe, non-blocking; any producer
   /// thread).  Returns the assigned sequence number, or 0 if the
@@ -147,6 +160,7 @@ class InferenceServer {
   ServeConfig config_;
   ResultSink sink_;
   InferenceEngine engine_;
+  BatchObserver batch_observer_;
   EventQueue queue_;
   MicroBatcher batcher_;
   std::thread worker_;

@@ -48,7 +48,39 @@ std::unique_ptr<InferenceServer> Supervisor::make_server() {
                             bool degrade_requested) {
     return engine(rings, polar, degrade_requested);
   });
+  // Installed unconditionally (not only when batch_observer_ is set):
+  // make_server() also runs from the constructor, before
+  // set_batch_observer() can have been called.
+  server->set_batch_observer([this](std::span<const ServeRequest> requests,
+                                    std::span<const ServeResult> results) {
+    observe_batch(requests, results);
+  });
   return server;
+}
+
+void Supervisor::set_batch_observer(BatchObserver observer) {
+  ADAPT_REQUIRE(!started_.load(), "install observers before start()");
+  batch_observer_ = std::move(observer);
+}
+
+void Supervisor::observe_batch(std::span<const ServeRequest> requests,
+                               std::span<const ServeResult> results) {
+  if (!batch_observer_) return;
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  // Filter injected duplicates WITHOUT erasing them: the worker calls
+  // the observer before the sink, and deliver() still needs the
+  // entries to suppress (and count) the duplicate results themselves.
+  observed_requests_.clear();
+  observed_results_.clear();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!expected_duplicates_.empty() &&
+        expected_duplicates_.count(results[i].sequence) > 0)
+      continue;
+    observed_requests_.push_back(requests[i]);
+    observed_results_.push_back(results[i]);
+  }
+  if (!observed_results_.empty())
+    batch_observer_(observed_requests_, observed_results_);
 }
 
 void Supervisor::start() {

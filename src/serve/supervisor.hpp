@@ -171,6 +171,14 @@ class Supervisor {
   void set_queue_fault_hook(QueueFaultHook hook);
   void set_forward_hook(ForwardHook hook);
 
+  /// Install a batch observer (install before start()).  It sees the
+  /// same at-most-once stream the sink does: injected duplicates are
+  /// filtered out of the observed batch (without consuming the
+  /// suppression bookkeeping deliver() owns), and the observer is
+  /// re-installed onto the replacement server after a watchdog
+  /// restart.
+  void set_batch_observer(BatchObserver observer);
+
   /// Run `fn` with exclusive access to the attached models.  The
   /// engine holds the same mutex for the whole forward, so mutating
   /// weights inside `fn` (the campaign's SEU injection) is race-free
@@ -199,6 +207,8 @@ class Supervisor {
   BatchOutputs analytic_outputs(std::span<const recon::ComptonRing> rings)
       const;
   void deliver(std::span<const ServeResult> results);
+  void observe_batch(std::span<const ServeRequest> requests,
+                     std::span<const ServeResult> results);
   void watchdog_loop();
   void restart_server();
   /// health_tick() via try-lock: returns false (skipping the tick)
@@ -229,9 +239,12 @@ class Supervisor {
   std::mutex sink_mutex_;
   std::unordered_set<std::uint64_t> expected_duplicates_;
   std::vector<ServeResult> filtered_;
+  std::vector<ServeRequest> observed_requests_;
+  std::vector<ServeResult> observed_results_;
 
   QueueFaultHook queue_fault_hook_;
   ForwardHook forward_hook_;
+  BatchObserver batch_observer_;
 
   std::thread watchdog_;
   std::atomic<bool> watchdog_stop_{false};

@@ -1,12 +1,15 @@
 #include "serve/throughput.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/require.hpp"
 #include "core/rng.hpp"
+#include "core/units.hpp"
 #include "serve/inference_server.hpp"
+#include "serve/stream_localizer.hpp"
 #include "serve/synthetic_models.hpp"
 
 namespace adapt::serve {
@@ -28,6 +31,34 @@ std::vector<Event> make_stream(std::size_t n, std::uint64_t seed) {
   return events;
 }
 
+/// Synthetic burst for the alert mode: rings whose cones are
+/// consistent with one source direction (eta = axis . source + noise)
+/// mixed with a fraction of pure background cones.  Detector-side
+/// fields still come from synthetic_ring so the NN feature extractors
+/// see realistic inputs.
+std::vector<Event> make_burst_stream(std::size_t n,
+                                     const ThroughputConfig& config) {
+  core::Rng rng(config.seed);
+  const core::Vec3 source =
+      core::from_spherical(core::deg_to_rad(config.source_polar_deg),
+                           core::deg_to_rad(config.source_azimuth_deg));
+  std::vector<Event> events(n);
+  for (Event& e : events) {
+    e.ring = synthetic_ring(rng);
+    e.ring.axis = rng.isotropic_direction();
+    e.ring.d_eta = config.source_d_eta;
+    if (rng.uniform() < config.background_fraction) {
+      e.ring.eta = rng.uniform(-1.0, 1.0);
+    } else {
+      e.ring.eta = std::clamp(
+          e.ring.axis.dot(source) + rng.normal(0.0, config.source_d_eta),
+          -1.0, 1.0);
+    }
+    e.polar_deg = rng.uniform(0.0, 90.0);
+  }
+  return events;
+}
+
 double percentile(std::vector<double>& sorted_in_place, double p) {
   if (sorted_in_place.empty()) return 0.0;
   std::sort(sorted_in_place.begin(), sorted_in_place.end());
@@ -42,7 +73,10 @@ ThroughputReport measure_serve_throughput(pipeline::Models models,
                                           const ThroughputConfig& config) {
   ADAPT_REQUIRE(config.events >= 1, "need at least one event");
   ADAPT_REQUIRE(config.producers >= 1, "need at least one producer");
-  const std::vector<Event> events = make_stream(config.events, config.seed);
+  const bool alert_mode = config.alert_deg > 0.0;
+  const std::vector<Event> events =
+      alert_mode ? make_burst_stream(config.events, config)
+                 : make_stream(config.events, config.seed);
 
   ServeConfig sc;
   sc.queue_capacity = config.queue_capacity;
@@ -61,7 +95,28 @@ ThroughputReport measure_serve_throughput(pipeline::Models models,
                              latencies.push_back(r.latency_ms);
                          });
 
+  // The alert clock starts with the server: alert_wall_ms is the
+  // end-to-end "how long until we could have alerted" number.
   const auto t0 = std::chrono::steady_clock::now();
+  std::unique_ptr<StreamLocalizer> localizer;
+  double alert_wall_ms = 0.0;
+  if (alert_mode) {
+    StreamLocalizerConfig lc;
+    lc.localizer.resolution_deg = config.loc_resolution_deg;
+    lc.alert_radius_deg = config.alert_deg;
+    lc.alert_content = config.alert_content;
+    lc.check_every = config.alert_check_every;
+    // Synthetic-model benches localize with the stream's own analytic
+    // widths; the seeded-random NN d_eta would decalibrate the cones.
+    lc.use_served_d_eta = false;
+    localizer = std::make_unique<StreamLocalizer>(
+        lc, [&alert_wall_ms, t0](const AlertInfo&) {
+          alert_wall_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        });
+    server.set_batch_observer(localizer->observer());
+  }
   server.start();
   {
     std::vector<std::thread> producers;
@@ -95,6 +150,19 @@ ThroughputReport measure_serve_throughput(pipeline::Models models,
                             : 0.0;
   report.p50_latency_ms = percentile(latencies, 0.50);
   report.p99_latency_ms = percentile(latencies, 0.99);
+  if (localizer) {
+    const StreamLocalizer::Status status = localizer->status();
+    report.alert_fired = status.alert_fired;
+    report.alert_rings = status.alert_rings;
+    report.alert_radius_deg = status.alert_radius_deg;
+    report.alert_wall_ms = alert_wall_ms;
+    report.loc_rings = status.rings_accepted;
+    report.loc_skipped = status.rings_skipped_background;
+    report.final_radius_deg =
+        status.rings_accepted > 0
+            ? localizer->credible_radius_deg(config.alert_content)
+            : 0.0;
+  }
   return report;
 }
 

@@ -28,6 +28,21 @@ struct ThroughputConfig {
   double degrade_watermark = 0.75;
   bool degrade_when_saturated = true;
   std::uint64_t seed = 42;
+
+  /// --- streaming-localization alert mode (serve-bench --alert-deg) ---
+  /// When > 0, the event stream becomes a synthetic burst (rings
+  /// consistent with one source direction plus a background fraction),
+  /// a StreamLocalizer observes every flushed batch, and the report
+  /// carries the first crossing of the 68% credible radius below this
+  /// threshold [deg].
+  double alert_deg = 0.0;
+  double alert_content = 0.68;
+  std::size_t alert_check_every = 32;
+  double source_polar_deg = 35.0;
+  double source_azimuth_deg = 120.0;
+  double source_d_eta = 0.05;
+  double background_fraction = 0.25;
+  double loc_resolution_deg = 1.0;
 };
 
 struct ThroughputReport {
@@ -39,6 +54,15 @@ struct ThroughputReport {
   std::uint64_t batches = 0;
   std::uint64_t shed = 0;
   std::uint64_t degraded = 0;
+
+  /// Alert-mode outputs (meaningful when ThroughputConfig::alert_deg > 0).
+  bool alert_fired = false;
+  std::uint64_t alert_rings = 0;      ///< Accepted rings at the crossing.
+  double alert_radius_deg = 0.0;      ///< Radius at the crossing.
+  double alert_wall_ms = 0.0;         ///< Server start -> alert callback.
+  double final_radius_deg = 0.0;      ///< Last trajectory point.
+  std::uint64_t loc_rings = 0;        ///< Rings fed to the localizer.
+  std::uint64_t loc_skipped = 0;      ///< Background-vetoed, not fed.
 };
 
 /// Run the full queue -> batcher -> batched-forward path.

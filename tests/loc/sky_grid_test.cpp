@@ -1,0 +1,148 @@
+#include "loc/sky_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace adapt::loc {
+namespace {
+
+TEST(SkyGrid, PixelCenterRoundTrips) {
+  const SkyGrid grid(1.0, 90.0);
+  // Every pixel's center must map back to that pixel — the seam where
+  // the batch and incremental paths would otherwise drift apart.
+  for (std::size_t i = 0; i < grid.n_pixels(); i += 7) {
+    const auto back = grid.pixel_of(grid.pixel_center(i));
+    ASSERT_TRUE(back.has_value()) << "pixel " << i;
+    EXPECT_EQ(*back, i);
+  }
+}
+
+TEST(SkyGrid, FieldOfViewEdgeIsInside) {
+  const SkyGrid grid(1.0, 90.0);
+  // A horizon vector sits exactly at polar = max_polar_deg; the edge
+  // belongs to the last row (regression: the old SkyMap::probability_at
+  // dropped it).
+  const auto edge = grid.pixel_of({1.0, 0.0, 0.0});
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(grid.row_of(*edge),
+            static_cast<std::size_t>(grid.n_rows()) - 1);
+  // Clearly beyond the edge: outside.
+  EXPECT_FALSE(grid.pixel_of({0.0, 0.0, -1.0}).has_value());
+  const core::Vec3 below =
+      core::from_spherical(core::deg_to_rad(90.1), 0.3);
+  EXPECT_FALSE(grid.pixel_of(below).has_value());
+}
+
+TEST(SkyGrid, EdgeBehaviorConsistentAcrossResolutions) {
+  for (const double res : {4.0, 1.0, 0.5}) {
+    const SkyGrid grid(res, 90.0);
+    for (const double az : {0.0, 1.0, 3.0, 6.2}) {
+      const core::Vec3 dir{std::cos(az), std::sin(az), 0.0};
+      const auto pixel = grid.pixel_of(dir);
+      ASSERT_TRUE(pixel.has_value()) << "res " << res << " az " << az;
+      EXPECT_EQ(grid.row_of(*pixel),
+                static_cast<std::size_t>(grid.n_rows()) - 1);
+    }
+  }
+}
+
+TEST(SkyGrid, AzimuthWrapStaysInRow) {
+  const SkyGrid grid(1.0, 90.0);
+  // Azimuths that atan2 rounds to just below 0 (i.e. wrap to just
+  // below 2*pi) must clamp into the row's last bin, not index out.
+  const double polar = core::deg_to_rad(45.0);
+  const core::Vec3 just_negative =
+      core::from_spherical(polar, -1e-15);
+  const core::Vec3 zero = core::from_spherical(polar, 0.0);
+  const auto a = grid.pixel_of(just_negative);
+  const auto b = grid.pixel_of(zero);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(grid.row_of(*a), grid.row_of(*b));
+  // Either bin 0 (rounded through zero) or the row's last bin
+  // (wrapped); both are valid pixels of the same row.
+  const std::size_t row = grid.row_of(*a);
+  const std::size_t az_bin = *a - grid.row_offset(row);
+  EXPECT_LT(az_bin, static_cast<std::size_t>(grid.az_bins(row)));
+}
+
+TEST(SkyGrid, NonFiniteDirectionRejected) {
+  const SkyGrid grid(1.0, 90.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(grid.pixel_of({nan, 0.0, 0.5}).has_value());
+  EXPECT_FALSE(grid.pixel_of({0.0, nan, 0.5}).has_value());
+  EXPECT_FALSE(grid.pixel_of({0.0, 0.0, nan}).has_value());
+}
+
+TEST(SkyGrid, SolidAnglesSumToCap) {
+  const SkyGrid grid(1.0, 90.0);
+  double total = 0.0;
+  for (int row = 0; row < grid.n_rows(); ++row)
+    total += grid.row_pixel_solid_angle_deg2(row) * grid.az_bins(row);
+  // Hemisphere: 2*pi sr in deg^2.
+  const double hemisphere =
+      core::kTwoPi * std::pow(180.0 / core::kPi, 2.0);
+  EXPECT_NEAR(total, hemisphere, 1e-6 * hemisphere);
+}
+
+TEST(SkyGridNormalize, FiniteValuesSumToOne) {
+  const SkyGrid grid(2.0, 90.0);
+  std::vector<double> log_post(grid.n_pixels(), 0.0);
+  log_post[3] = 5.0;
+  std::vector<double> prob;
+  EXPECT_TRUE(normalize_log_posterior(grid, log_post, prob));
+  double sum = 0.0;
+  for (const double p : prob) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(prob[3], prob[4]);
+}
+
+TEST(SkyGridNormalize, AllNonFiniteFallsBackToUniform) {
+  const SkyGrid grid(2.0, 90.0);
+  // Regression for the zero-norm degenerate skymap: all mass
+  // underflowed to -inf used to divide by zero into a NaN map.
+  std::vector<double> log_post(
+      grid.n_pixels(), -std::numeric_limits<double>::infinity());
+  std::vector<double> prob;
+  EXPECT_FALSE(normalize_log_posterior(grid, log_post, prob));
+  double sum = 0.0;
+  for (std::size_t i = 0; i < prob.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(prob[i])) << "pixel " << i;
+    EXPECT_GT(prob[i], 0.0);
+    sum += prob[i];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Uniform in *density*: probability proportional to solid angle.
+  const double density0 = prob[0] / grid.pixel_solid_angle_deg2(0);
+  const std::size_t last = prob.size() - 1;
+  const double density1 = prob[last] / grid.pixel_solid_angle_deg2(last);
+  EXPECT_NEAR(density0, density1, 1e-12);
+}
+
+TEST(SkyGridNormalize, IsolatedNonFiniteContributesZero) {
+  const SkyGrid grid(2.0, 90.0);
+  std::vector<double> log_post(grid.n_pixels(), 0.0);
+  log_post[0] = std::numeric_limits<double>::quiet_NaN();
+  log_post[1] = -std::numeric_limits<double>::infinity();
+  std::vector<double> prob;
+  EXPECT_TRUE(normalize_log_posterior(grid, log_post, prob));
+  EXPECT_EQ(prob[0], 0.0);
+  EXPECT_EQ(prob[1], 0.0);
+  double sum = 0.0;
+  for (const double p : prob) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(SkyGrid, InvalidConfigRejected) {
+  EXPECT_THROW(SkyGrid(0.0, 90.0), std::invalid_argument);
+  EXPECT_THROW(SkyGrid(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(SkyGrid(1.0, 200.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adapt::loc

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "core/rng.hpp"
 #include "core/units.hpp"
@@ -125,6 +126,75 @@ TEST(SkyMap, ProbabilityAtFieldOfViewEdge) {
   EXPECT_DOUBLE_EQ(map.probability_at({0.0, 0.0, -1.0}), 0.0);
   // At the true source: positive.
   EXPECT_GT(map.probability_at(s), 0.0);
+}
+
+TEST(SkyMap, DegenerateLogPosteriorYieldsUniformNotNaN) {
+  // Regression (zero-norm degenerate skymap): a posterior whose every
+  // pixel underflowed to -inf used to normalize into a NaN map.  It
+  // must instead come back flagged degenerate with the uniform
+  // solid-angle posterior.
+  const SkyGrid grid(2.0, 90.0);
+  const std::vector<double> log_post(
+      grid.n_pixels(), -std::numeric_limits<double>::infinity());
+  const SkyMap map = SkyMap::from_log_posterior(
+      grid, log_post, SkyMapConfig{2.0, 3.0, 90.0});
+  EXPECT_TRUE(map.degenerate());
+  const double p = map.probability_at(core::from_spherical(0.5, 1.0));
+  EXPECT_TRUE(std::isfinite(p));
+  EXPECT_GT(p, 0.0);
+  // Credible queries stay well-defined on the uniform fallback.
+  EXPECT_TRUE(std::isfinite(map.credible_radius_deg(0.68)));
+  EXPECT_GT(map.credible_region_area_deg2(0.68), 1e4);
+}
+
+TEST(SkyMap, HealthyMapIsNotDegenerate) {
+  core::Rng rng(8);
+  const auto rings = rings_for(core::from_spherical(0.5, 0.5), 60, 0.05,
+                               rng);
+  const SkyMap map = SkyMap::compute(rings);
+  EXPECT_FALSE(map.degenerate());
+}
+
+TEST(SkyMap, CredibleContentDomainEnforced) {
+  core::Rng rng(9);
+  const SkyMap map =
+      SkyMap::compute(rings_for({0.0, 0.0, 1.0}, 40, 0.05, rng));
+  EXPECT_THROW(map.credible_region_area_deg2(1.0), std::invalid_argument);
+  EXPECT_THROW(map.credible_region_area_deg2(-0.1), std::invalid_argument);
+  EXPECT_THROW(
+      map.credible_region_area_deg2(std::numeric_limits<double>::quiet_NaN()),
+      std::invalid_argument);
+  EXPECT_THROW(map.credible_radius_deg(0.0), std::invalid_argument);
+}
+
+TEST(SkyMap, UnusableRingsFilteredNotFatal) {
+  // A zero- or NaN-width ring in the stream must be skipped, exactly
+  // as the point-estimate localizers skip it — not abort the map.
+  core::Rng rng(10);
+  const core::Vec3 s = core::from_spherical(0.5, 1.0);
+  auto rings = rings_for(s, 60, 0.05, rng);
+  const SkyMap clean = SkyMap::compute(rings);
+  recon::ComptonRing bad;
+  bad.axis = {0.0, 0.0, 1.0};
+  bad.eta = 0.2;
+  bad.d_eta = 0.0;
+  rings.push_back(bad);
+  bad.d_eta = std::numeric_limits<double>::quiet_NaN();
+  rings.push_back(bad);
+  const SkyMap mixed = SkyMap::compute(rings);
+  EXPECT_DOUBLE_EQ(mixed.probability_at(s), clean.probability_at(s));
+  EXPECT_DOUBLE_EQ(mixed.credible_radius_deg(0.68),
+                   clean.credible_radius_deg(0.68));
+}
+
+TEST(SkyMap, ProbabilityAtExactFieldOfViewEdge) {
+  // The horizon vector sits exactly at polar == max_polar_deg; it
+  // belongs to the last row (regression: it used to fall out of the
+  // map and read back 0).
+  core::Rng rng(11);
+  const SkyMap map =
+      SkyMap::compute(rings_for({1.0, 0.0, 0.0}, 80, 0.05, rng));
+  EXPECT_GT(map.probability_at({1.0, 0.0, 0.0}), 0.0);
 }
 
 TEST(SkyMap, ResolutionControlsPixelCount) {

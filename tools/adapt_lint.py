@@ -24,6 +24,11 @@ Run from anywhere; exits non-zero when any rule fires:
      obligation against its scalar reference; scattering intrinsics
      elsewhere would scatter that obligation too, and the rest of the
      codebase must stay portable to non-x86 hosts.
+  6. no-batch-skymap-in-serve: SkyMap::compute is banned in
+     src/serve/.  A full-grid recompute on the serving hot path
+     reintroduces the O(pixels * rings) stall the streaming
+     accumulator exists to avoid; the serve layer localizes through
+     loc::IncrementalLocalizer (serve/stream_localizer.hpp) only.
 
 Usage: tools/adapt_lint.py [--repo DIR]
 """
@@ -79,6 +84,7 @@ STD_RAND = re.compile(r"\b(?:std::)?s?rand\s*\(")
 FLOAT_LITERAL = re.compile(r"[0-9.]([eE][-+]?[0-9]+)?[fF]\b")
 # An x86 intrinsic call or vector type (SSE/AVX/AVX-512 families).
 INTRINSIC = re.compile(r"\b(?:_mm(?:256|512)?_[a-z0-9_]+|__m(?:64|128|256|512)[di]?)\b")
+BATCH_SKYMAP = re.compile(r"\bSkyMap::compute\s*\(")
 LINE_COMMENT = re.compile(r"//.*$")
 STRING = re.compile(r'"(?:[^"\\]|\\.)*"')
 
@@ -132,6 +138,12 @@ def main() -> int:
                     f"{rel}:{ln}: SIMD intrinsics belong in src/nn/kernels/ "
                     "(dispatched, bit-identical to scalar) "
                     "[no-intrinsics-outside-kernels]")
+            if rel.startswith("src/serve/") and BATCH_SKYMAP.search(line):
+                findings.append(
+                    f"{rel}:{ln}: full-grid SkyMap::compute on the serving "
+                    "hot path — stream rings through "
+                    "loc::IncrementalLocalizer instead "
+                    "[no-batch-skymap-in-serve]")
 
     # Rule 4: test coverage by stem.
     test_names = " ".join(

@@ -288,6 +288,9 @@ int cmd_serve_bench(const CliArgs& args) {
   cfg.flush_deadline = std::chrono::microseconds(
       static_cast<long>(args.count("deadline-us", 200)));
   cfg.seed = args.count("seed", 42);
+  cfg.alert_deg = args.number("alert-deg", 0.0);
+  cfg.alert_content = args.number("alert-content", 0.68);
+  cfg.background_fraction = args.number("background-fraction", 0.25);
 
   // Synthetic paper-dimension networks (INT8 background + FP32 dEta):
   // identical compute shape to the deployed models, no training wait.
@@ -317,6 +320,24 @@ int cmd_serve_bench(const CliArgs& args) {
               "producer(s), queue %zu)\n",
               batched.events_per_s / baseline.events_per_s, cfg.events,
               cfg.producers, cfg.queue_capacity);
+  if (cfg.alert_deg > 0.0) {
+    std::printf("streaming localization: %llu rings fed, %llu "
+                "background-vetoed, final %.0f%% radius %.2f deg\n",
+                static_cast<unsigned long long>(batched.loc_rings),
+                static_cast<unsigned long long>(batched.loc_skipped),
+                cfg.alert_content * 100.0, batched.final_radius_deg);
+    if (batched.alert_fired) {
+      std::printf("early alert: radius %.2f deg <= %.2f deg after %llu "
+                  "rings, %.1f ms after start\n",
+                  batched.alert_radius_deg, cfg.alert_deg,
+                  static_cast<unsigned long long>(batched.alert_rings),
+                  batched.alert_wall_ms);
+    } else {
+      std::printf("early alert: NOT fired (threshold %.2f deg; final "
+                  "radius %.2f deg)\n",
+                  cfg.alert_deg, batched.final_radius_deg);
+    }
+  }
   return 0;
 }
 
@@ -430,6 +451,12 @@ void usage() {
       "  skymap      --fluence F --polar P --seed S [--out map.csv]\n"
       "  serve-bench --events N --batch B --producers P --queue Q"
       " --deadline-us D\n"
+      "              [--alert-deg X [--alert-content C]"
+      " [--background-fraction F]]\n"
+      "              (--alert-deg: stream a synthetic burst, localize "
+      "incrementally per\n"
+      "              batch, report when the credible radius first "
+      "shrinks below X deg)\n"
       "  chaos       --seed S --events N [--disable] [--transients N]"
       " [--persistents N]\n"
       "              [--stalls N] [--weight-flips N] [--model-garbles N]"

@@ -303,6 +303,89 @@ else
   exit "$kernel_status"
 fi
 
+# ---- incremental localizer gate -----------------------------------
+# bench_loc_incremental writes name,mean_ms rows (plus informational
+# columns) comparing a full batch SkyMap recompute against the
+# streaming accumulator's per-ring update and query cost at several
+# grid resolutions.  Two checks:
+#   * each row's mean stays under baseline * tolerance
+#     (tools/bench_loc_incremental.baseline.csv), same ceiling rule as
+#     the stage-timing gate;
+#   * structurally, inc_update_res<r> must undercut batch_res<r> at
+#     every resolution — the machine-independent reason the
+#     incremental localizer exists.  A violation means the band
+#     enumeration degenerated into a full-grid walk.
+loc_bench="$build_dir/bench/bench_loc_incremental"
+loc_baseline="$repo_root/tools/bench_loc_incremental.baseline.csv"
+if [ ! -x "$loc_bench" ]; then
+  echo "error: $loc_bench not built (cmake --build $build_dir --target bench_loc_incremental)" >&2
+  exit 2
+fi
+validate_baseline "$loc_baseline"
+loc_bench=$(CDPATH= cd -- "$(dirname -- "$loc_bench")" && pwd)/$(basename -- "$loc_bench")
+(cd "$scratch" && "$loc_bench" >loc.log 2>&1) || {
+  cat "$scratch/loc.log" >&2
+  echo "error: incremental localizer bench failed" >&2
+  exit 2
+}
+loc_csv="$scratch/bench_loc_incremental.csv"
+[ -f "$loc_csv" ] || {
+  echo "error: bench produced no bench_loc_incremental.csv" >&2
+  exit 2
+}
+if [ -n "${ADAPT_BENCH_CSV_DIR:-}" ]; then
+  cp "$loc_csv" "$ADAPT_BENCH_CSV_DIR/"
+fi
+
+loc_status=0
+awk -F, -v tol="$tolerance" '
+  NR == FNR { if (FNR > 1) base[$1] = $2; next }
+  FNR > 1 {
+    name = $1; mean = $2 + 0
+    cur[name] = mean
+    if (!(name in base)) {
+      printf "SKIP  %-22s no baseline row\n", name
+      next
+    }
+    limit = base[name] * tol
+    # Sub-millisecond rows (the per-ring updates) are timer-noise
+    # dominated; use an absolute floor instead of a ratio.
+    if (limit < 0.5) limit = 0.5
+    if (mean > limit) {
+      printf "FAIL  %-22s mean %8.3f ms > limit %8.3f ms (baseline %s ms)\n",
+             name, mean, limit, base[name]
+      failed = 1
+    } else {
+      printf "ok    %-22s mean %8.3f ms (baseline %s ms, limit %8.3f ms)\n",
+             name, mean, base[name], limit
+    }
+  }
+  END {
+    for (name in cur) {
+      if (name !~ /^batch_res/) continue
+      res = substr(name, 10)
+      inc = "inc_update_res" res
+      if (!(inc in cur)) continue
+      if (cur[inc] >= cur[name]) {
+        printf "FAIL  %-22s %8.3f ms not below batch recompute %8.3f ms\n",
+               inc, cur[inc], cur[name]
+        failed = 1
+      }
+    }
+    exit failed ? 1 : 0
+  }
+' "$loc_baseline" "$loc_csv" || loc_status=$?
+
+if [ "$loc_status" -eq 0 ]; then
+  echo "incremental localizer check passed (tolerance ${tolerance}x)"
+elif [ "$check_only" -eq 1 ]; then
+  echo "incremental localizer over limit but --check-only set: reported, not gated"
+else
+  echo "incremental localizer check FAILED — if the slowdown is intentional," >&2
+  echo "refresh tools/bench_loc_incremental.baseline.csv from a quiet machine" >&2
+  exit "$loc_status"
+fi
+
 # ---- sanitizer-covered tier-1 tests -------------------------------
 if [ "$check_only" -eq 1 ]; then
   echo "sanitizer ctest skipped (--check-only; CI covers it in a dedicated job)"
