@@ -52,10 +52,11 @@
 #include <cstddef>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "core/sync.hpp"
 
 #if defined(_OPENMP) && !defined(ADAPT_PARALLEL_FORCE_STD)
 #define ADAPT_PARALLEL_BACKEND_OMP 1
@@ -97,19 +98,27 @@ inline int std_backend_max_threads() {
 /// First-exception capture shared by both backends: workers that catch
 /// store the first exception_ptr and raise the (relaxed) stop flag so
 /// remaining chunks are skipped; the caller rethrows after the join.
-/// The mutex orders the exception_ptr write against the post-join read.
+/// The mutex orders the exception_ptr write against the post-join read
+/// (the join already provides the happens-before edge, but taking the
+/// lock in rethrow_if_set keeps the guarded_by contract checkable —
+/// it runs once per region, after the join, so the cost is nil).
 struct ErrorSlot {
-  std::mutex mutex;
-  std::exception_ptr first;
+  Mutex mutex;
+  std::exception_ptr first ADAPT_GUARDED_BY(mutex);
   std::atomic<bool> stop{false};
 
   void capture() noexcept {
-    std::lock_guard<std::mutex> lock(mutex);
+    LockGuard lock(mutex);
     if (!first) first = std::current_exception();
     stop.store(true, std::memory_order_relaxed);
   }
   void rethrow_if_set() {
-    if (first) std::rethrow_exception(first);
+    std::exception_ptr eptr;
+    {
+      LockGuard lock(mutex);
+      eptr = first;
+    }
+    if (eptr) std::rethrow_exception(eptr);
   }
 };
 
@@ -279,7 +288,7 @@ std::pair<std::size_t, double> parallel_argmin(std::size_t n,
     // the joins publish everything else.
     const std::size_t n_workers =
         std::min<std::size_t>(static_cast<std::size_t>(budget), n);
-    std::mutex merge_mutex;
+    Mutex merge_mutex;
     detail::ErrorSlot err;
     auto worker = [&](std::size_t w) noexcept {
       bool& in_par = detail::std_backend_in_parallel();
@@ -304,7 +313,7 @@ std::pair<std::size_t, double> parallel_argmin(std::size_t n,
         err.capture();
       }
       if (local_have) {
-        std::lock_guard<std::mutex> lock(merge_mutex);
+        LockGuard lock(merge_mutex);
         if (!have || local_s < best_s ||
             (local_s == best_s && local_i < best_i)) {
           have = true;

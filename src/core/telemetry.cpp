@@ -5,8 +5,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <ostream>
+
+#include "core/sync.hpp"
 
 namespace adapt::core::telemetry {
 
@@ -29,11 +30,19 @@ std::atomic<bool>& enabled_flag() {
 
 /// Name -> metric maps.  Nodes are never erased, so references handed
 /// out by counter()/histogram() stay valid forever; the mutex guards
-/// only registration and snapshotting, never the record paths.
+/// only registration and snapshotting, never the record paths.  A
+/// reader/writer capability: lookups of already-registered metrics
+/// (the steady state — call sites cache the returned reference in a
+/// static) share the lock; only first-registration writes take it
+/// exclusively.  This is a leaf lock (DESIGN.md lock ordering): no
+/// other lock is acquired while holding it and it is never held
+/// across a callback.
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  SharedMutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+      ADAPT_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+      ADAPT_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -112,7 +121,13 @@ void Histogram::reset() {
 
 Counter& counter(std::string_view name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  {
+    ReaderLock lock(r.mutex);
+    const auto it = r.counters.find(name);
+    if (it != r.counters.end()) return *it->second;
+  }
+  WriterLock lock(r.mutex);
+  // Re-check: another registrar may have won between the two locks.
   auto it = r.counters.find(name);
   if (it == r.counters.end()) {
     it = r.counters.emplace(std::string(name), std::make_unique<Counter>())
@@ -123,7 +138,12 @@ Counter& counter(std::string_view name) {
 
 Histogram& histogram(std::string_view name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  {
+    ReaderLock lock(r.mutex);
+    const auto it = r.histograms.find(name);
+    if (it != r.histograms.end()) return *it->second;
+  }
+  WriterLock lock(r.mutex);
   auto it = r.histograms.find(name);
   if (it == r.histograms.end()) {
     it = r.histograms
@@ -135,7 +155,9 @@ Histogram& histogram(std::string_view name) {
 
 Snapshot snapshot() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  // Shared: snapshotting never mutates the maps (metric values are
+  // atomics read through const pointers).
+  ReaderLock lock(r.mutex);
   Snapshot s;
   for (const auto& [name, c] : r.counters) s.counters[name] = c->value();
   for (const auto& [name, h] : r.histograms) {
@@ -153,7 +175,8 @@ Snapshot snapshot() {
 
 void reset() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  // Shared: resets mutate the metrics (atomics), not the maps.
+  ReaderLock lock(r.mutex);
   for (auto& [name, c] : r.counters) c->reset();
   for (auto& [name, h] : r.histograms) h->reset();
 }

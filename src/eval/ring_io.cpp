@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "core/telemetry.hpp"
 
@@ -57,6 +58,10 @@ bool record_usable(const RingRecord& rec) {
          std::isfinite(rec.axis[2]);
 }
 
+/// Shared parser behind the path and bytes entry points (defined after
+/// them; the stream abstracts over ifstream and istringstream).
+std::optional<GeneratedRings> load_rings_from_stream(std::istream& is);
+
 }  // namespace
 
 bool save_rings(const GeneratedRings& rings, const std::string& path) {
@@ -99,14 +104,25 @@ bool save_rings(const GeneratedRings& rings, const std::string& path) {
 }
 
 std::optional<GeneratedRings> load_rings(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  return load_rings_from_stream(is);
+}
+
+std::optional<GeneratedRings> load_rings_from_bytes(std::string_view bytes) {
+  std::istringstream is(std::string(bytes), std::ios::binary);
+  return load_rings_from_stream(is);
+}
+
+namespace {
+
+std::optional<GeneratedRings> load_rings_from_stream(std::istream& is) {
   static tm::Counter& files_rejected =
       tm::counter("eval.ring_files_rejected");
   static tm::Counter& records_rejected =
       tm::counter("eval.ring_records_rejected.non_finite");
   static tm::Counter& rings_loaded = tm::counter("eval.rings_loaded");
 
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return std::nullopt;
   char magic[4];
   is.read(magic, sizeof(magic));
   if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -184,5 +200,7 @@ std::optional<GeneratedRings> load_rings(const std::string& path) {
   rings_loaded.add(out.rings.size());
   return out;
 }
+
+}  // namespace
 
 }  // namespace adapt::eval

@@ -15,6 +15,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "eval/dataset_gen.hpp"
 
@@ -30,5 +31,11 @@ bool save_rings(const GeneratedRings& rings, const std::string& path);
 /// counted in the `eval.ring_files_rejected` /
 /// `eval.ring_records_rejected.non_finite` telemetry counters.
 std::optional<GeneratedRings> load_rings(const std::string& path);
+
+/// Parse a serialized ring set from an in-memory buffer — the actual
+/// parser behind load_rings, exposed so untrusted inputs can be
+/// exercised without touching the filesystem (tests/fuzz).  Same
+/// validation and telemetry as load_rings; never throws.
+std::optional<GeneratedRings> load_rings_from_bytes(std::string_view bytes);
 
 }  // namespace adapt::eval

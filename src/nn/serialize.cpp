@@ -153,6 +153,15 @@ bool save_model(Sequential& model, const Standardizer& standardizer,
 }
 
 std::optional<SavedModel> load_model(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  std::ostringstream raw;
+  raw << file.rdbuf();
+  const std::string data = raw.str();
+  return load_model_from_bytes(data);
+}
+
+std::optional<SavedModel> load_model_from_bytes(std::string_view in_bytes) {
   // Rejected files are counted, not thrown: callers fall back to
   // retraining, and the counter names the load path that went bad.
   static core::telemetry::Counter& files_rejected =
@@ -160,11 +169,7 @@ std::optional<SavedModel> load_model(const std::string& path) {
   static core::telemetry::Counter& checksum_failures =
       core::telemetry::counter("nn.model_checksum_failures");
 
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return std::nullopt;
-  std::ostringstream raw;
-  raw << file.rdbuf();
-  std::string bytes = raw.str();
+  std::string bytes(in_bytes);
 
   const auto reject = [&]() -> std::optional<SavedModel> {
     files_rejected.add();

@@ -27,6 +27,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "nn/data.hpp"
 #include "nn/sequential.hpp"
@@ -47,6 +48,13 @@ bool save_model(Sequential& model, const Standardizer& standardizer,
 /// Deserialize from `path`.  Returns nullopt on missing/corrupt file
 /// (structural damage or a version-2 checksum mismatch).
 std::optional<SavedModel> load_model(const std::string& path);
+
+/// Parse a serialized model from an in-memory buffer — the actual
+/// parser behind load_model, exposed so untrusted inputs can be
+/// exercised without touching the filesystem (tests/fuzz).  Every
+/// claimed count is validated against the remaining bytes before any
+/// allocation; malformed input returns nullopt, never throws.
+std::optional<SavedModel> load_model_from_bytes(std::string_view bytes);
 
 /// Digest of every parameter byte of the stack (Linear weights/biases,
 /// BatchNorm affine parameters and running statistics), in layer

@@ -1,5 +1,6 @@
 #include "quant/qat_io.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -145,6 +146,16 @@ bool save_qat_model(nn::Sequential& model,
 }
 
 std::optional<SavedQatModel> load_qat_model(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  std::ostringstream raw;
+  raw << file.rdbuf();
+  const std::string data = raw.str();
+  return load_qat_model_from_bytes(data);
+}
+
+std::optional<SavedQatModel> load_qat_model_from_bytes(
+    std::string_view in_bytes) {
   // Rejected files are counted, not thrown: callers fall back to
   // retraining, and the counter names the load path that went bad.
   static core::telemetry::Counter& files_rejected =
@@ -152,11 +163,7 @@ std::optional<SavedQatModel> load_qat_model(const std::string& path) {
   static core::telemetry::Counter& checksum_failures =
       core::telemetry::counter("quant.qat_checksum_failures");
 
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return std::nullopt;
-  std::ostringstream raw;
-  raw << file.rdbuf();
-  std::string bytes = raw.str();
+  std::string bytes(in_bytes);
 
   const auto reject = [&]() -> std::optional<SavedQatModel> {
     files_rejected.add();
@@ -233,6 +240,12 @@ std::optional<SavedQatModel> load_qat_model(const std::string& path) {
         float lo = 0.0f;
         float hi = 0.0f;
         if (!read_f32(is, lo) || !read_f32(is, hi)) return reject();
+        // The range is untrusted input: set_range enforces lo <= hi
+        // with an always-on throwing contract, so a corrupt (or
+        // fuzzed) file with an inverted or non-finite range must be
+        // rejected HERE, not allowed to escape as ContractViolation.
+        if (!std::isfinite(lo) || !std::isfinite(hi) || lo > hi)
+          return reject();
         auto fq = std::make_unique<FakeQuant>();
         fq->set_range(lo, hi);
         out.model.add(std::move(fq));

@@ -19,6 +19,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "nn/data.hpp"
 #include "nn/sequential.hpp"
@@ -37,5 +38,13 @@ bool save_qat_model(nn::Sequential& model,
                     const std::string& path);
 
 std::optional<SavedQatModel> load_qat_model(const std::string& path);
+
+/// Parse a serialized QAT model from an in-memory buffer — the actual
+/// parser behind load_qat_model, exposed so untrusted inputs can be
+/// exercised without touching the filesystem (tests/fuzz).  Every
+/// claimed count is validated against the remaining bytes before any
+/// allocation; malformed input returns nullopt, never throws.
+std::optional<SavedQatModel> load_qat_model_from_bytes(
+    std::string_view bytes);
 
 }  // namespace adapt::quant

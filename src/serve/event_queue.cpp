@@ -15,7 +15,7 @@ EventQueue::EventQueue(std::size_t capacity)
 bool EventQueue::push(ServeRequest request) {
   static tm::Counter& shed_metric = tm::counter("serve.queue_shed");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::LockGuard lock(mutex_);
     if (closed_) {
       ++rejected_;
       return false;
@@ -39,16 +39,18 @@ std::size_t EventQueue::pop_batch(std::vector<ServeRequest>& out,
                                   std::size_t max_items,
                                   std::chrono::microseconds flush_deadline) {
   ADAPT_REQUIRE(max_items >= 1, "pop_batch needs max_items >= 1");
-  std::unique_lock<std::mutex> lock(mutex_);
-  nonempty_.wait(lock, [&] { return size_ > 0 || closed_; });
+  core::UniqueLock lock(mutex_);
+  while (size_ == 0 && !closed_) nonempty_.wait(lock);
   if (size_ == 0) return 0;  // Closed and drained.
 
   // The flush deadline starts at the first visible request, so a
   // trickle of events never waits longer than one deadline.
   if (size_ < max_items && !closed_) {
     const auto deadline = std::chrono::steady_clock::now() + flush_deadline;
-    nonempty_.wait_until(lock, deadline,
-                         [&] { return size_ >= max_items || closed_; });
+    while (size_ < max_items && !closed_) {
+      if (nonempty_.wait_until(lock, deadline) == std::cv_status::timeout)
+        break;
+    }
   }
 
   const std::size_t n = size_ < max_items ? size_ : max_items;
@@ -62,29 +64,29 @@ std::size_t EventQueue::pop_batch(std::vector<ServeRequest>& out,
 
 void EventQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::LockGuard lock(mutex_);
     closed_ = true;
   }
   nonempty_.notify_all();
 }
 
 std::size_t EventQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  core::LockGuard lock(mutex_);
   return size_;
 }
 
 bool EventQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  core::LockGuard lock(mutex_);
   return closed_;
 }
 
 std::uint64_t EventQueue::shed_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  core::LockGuard lock(mutex_);
   return shed_;
 }
 
 std::uint64_t EventQueue::rejected_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  core::LockGuard lock(mutex_);
   return rejected_;
 }
 

@@ -20,13 +20,18 @@
 /// the stream under sustained overload.  Every shed is counted (local
 /// counter + `serve.queue_shed` telemetry) so saturation is visible,
 /// never silent.
+///
+/// Lock discipline: every mutable field is ADAPT_GUARDED_BY(mutex_)
+/// and checked by the Clang thread-safety gate.  The queue mutex is
+/// the innermost lock of the serve layer (DESIGN.md "Lock ordering"):
+/// nothing is acquired while holding it, and no callback ever runs
+/// under it.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "serve/request.hpp"
 
 namespace adapt::serve {
@@ -64,14 +69,18 @@ class EventQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable nonempty_;
-  std::vector<ServeRequest> ring_;  ///< Fixed-size circular storage.
-  std::size_t head_ = 0;            ///< Index of the oldest element.
-  std::size_t size_ = 0;
-  bool closed_ = false;
-  std::uint64_t shed_ = 0;      ///< Requests dropped by shed-oldest.
-  std::uint64_t rejected_ = 0;  ///< Pushes refused after close().
+  mutable core::Mutex mutex_;
+  core::CondVar nonempty_;
+  /// Fixed-size circular storage.
+  std::vector<ServeRequest> ring_ ADAPT_GUARDED_BY(mutex_);
+  /// Index of the oldest element.
+  std::size_t head_ ADAPT_GUARDED_BY(mutex_) = 0;
+  std::size_t size_ ADAPT_GUARDED_BY(mutex_) = 0;
+  bool closed_ ADAPT_GUARDED_BY(mutex_) = false;
+  /// Requests dropped by shed-oldest.
+  std::uint64_t shed_ ADAPT_GUARDED_BY(mutex_) = 0;
+  /// Pushes refused after close().
+  std::uint64_t rejected_ ADAPT_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace adapt::serve

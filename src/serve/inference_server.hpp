@@ -26,6 +26,12 @@
 /// `serve.infer_ms` (forward time, per batch) histograms on top of the
 /// queue/batcher metrics; `serve.events` / `serve.batches` /
 /// `serve.degraded_events` counters.
+///
+/// Thread-safety: the server itself holds NO lock — every cross-thread
+/// field below is an atomic, and all blocking synchronization lives in
+/// the EventQueue's core::sync capability (the serve layer's innermost
+/// lock).  The thread-safety gate therefore has nothing to check here
+/// by construction: there is no guarded state to mis-access.
 
 #include <atomic>
 #include <chrono>

@@ -16,6 +16,11 @@
 /// The batcher also owns the serving layer's batch observability: the
 /// `serve.batch_size` / `serve.queue_depth` histograms and the
 /// per-reason `serve.flush.{size,deadline,drain}` counters.
+///
+/// Thread-safety: stateless beyond the policy — it holds no lock of
+/// its own and delegates all blocking to EventQueue::pop_batch, so in
+/// the repo's lock-ordering story (DESIGN.md) the "batcher" slot is
+/// occupied entirely by the queue capability it borrows.
 
 #include <chrono>
 #include <cstddef>

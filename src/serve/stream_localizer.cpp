@@ -25,71 +25,78 @@ void StreamLocalizer::observe(std::span<const ServeRequest> requests,
                               std::span<const ServeResult> results) {
   ADAPT_REQUIRE(requests.size() == results.size(),
                 "observer spans must pair up");
-  static tm::Histogram& radius_hist =
-      tm::histogram("loc.incremental.radius_deg");
-  static tm::Counter& alerts_ctr = tm::counter("loc.incremental.alerts");
-
   bool fire = false;
   AlertInfo info;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      if (results[i].is_background && !config_.feed_background) {
-        ++status_.rings_skipped_background;
-        continue;
-      }
-      // By default the sky accumulator sees what was actually served:
-      // the ring with its NN-refined (or analytic-fallback) cone width.
-      recon::ComptonRing ring = requests[i].ring;
-      if (config_.use_served_d_eta) ring.d_eta = results[i].d_eta;
-      const std::size_t before = localizer_.n_rings();
-      localizer_.add_ring(ring);
-      if (localizer_.n_rings() == before) {
-        ++status_.rings_rejected;
-        continue;
-      }
-      ++status_.rings_accepted;
-      ++since_check_;
-    }
-
-    if (since_check_ >= config_.check_every &&
-        status_.rings_accepted >= config_.min_rings) {
-      since_check_ = 0;
-      const double radius =
-          localizer_.credible_radius_deg(config_.alert_content);
-      ++status_.radius_checks;
-      status_.last_radius_deg = radius;
-      radius_hist.record(radius);
-      if (config_.alert_radius_deg > 0.0 && !status_.alert_fired &&
-          radius <= config_.alert_radius_deg) {
-        status_.alert_fired = true;
-        status_.alert_rings = status_.rings_accepted;
-        status_.alert_radius_deg = radius;
-        alerts_ctr.add();
-        info.n_rings = status_.rings_accepted;
-        info.radius_deg = radius;
-        info.content = config_.alert_content;
-        info.direction = localizer_.peak();
-        fire = true;
-      }
-    }
+    core::LockGuard lock(mutex_);
+    fire = fold_batch_locked(requests, results, info);
   }
   // Outside the mutex so the callback may query this localizer.
   if (fire && on_alert_) on_alert_(info);
 }
 
+bool StreamLocalizer::fold_batch_locked(std::span<const ServeRequest> requests,
+                                        std::span<const ServeResult> results,
+                                        AlertInfo& info) {
+  static tm::Histogram& radius_hist =
+      tm::histogram("loc.incremental.radius_deg");
+  static tm::Counter& alerts_ctr = tm::counter("loc.incremental.alerts");
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].is_background && !config_.feed_background) {
+      ++status_.rings_skipped_background;
+      continue;
+    }
+    // By default the sky accumulator sees what was actually served:
+    // the ring with its NN-refined (or analytic-fallback) cone width.
+    recon::ComptonRing ring = requests[i].ring;
+    if (config_.use_served_d_eta) ring.d_eta = results[i].d_eta;
+    const std::size_t before = localizer_.n_rings();
+    localizer_.add_ring(ring);
+    if (localizer_.n_rings() == before) {
+      ++status_.rings_rejected;
+      continue;
+    }
+    ++status_.rings_accepted;
+    ++since_check_;
+  }
+
+  if (since_check_ < config_.check_every ||
+      status_.rings_accepted < config_.min_rings) {
+    return false;
+  }
+  since_check_ = 0;
+  const double radius = localizer_.credible_radius_deg(config_.alert_content);
+  ++status_.radius_checks;
+  status_.last_radius_deg = radius;
+  radius_hist.record(radius);
+  if (config_.alert_radius_deg > 0.0 && !status_.alert_fired &&
+      radius <= config_.alert_radius_deg) {
+    status_.alert_fired = true;
+    status_.alert_rings = status_.rings_accepted;
+    status_.alert_radius_deg = radius;
+    alerts_ctr.add();
+    info.n_rings = status_.rings_accepted;
+    info.radius_deg = radius;
+    info.content = config_.alert_content;
+    info.direction = localizer_.peak();
+    return true;
+  }
+  return false;
+}
+
 StreamLocalizer::Status StreamLocalizer::status() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  core::LockGuard lock(mutex_);
   return status_;
 }
 
 double StreamLocalizer::credible_radius_deg(double content) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  core::LockGuard lock(mutex_);
   return localizer_.credible_radius_deg(content);
 }
 
 core::Vec3 StreamLocalizer::peak() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  core::LockGuard lock(mutex_);
   return localizer_.peak();
 }
 

@@ -27,13 +27,20 @@
 /// inference while it runs — keep it cheap.
 ///
 /// Thread-safety: observe() runs on the server worker; status() and
-/// the query helpers are safe from any thread.
+/// the query helpers are safe from any thread.  The
+/// fire-the-callback-outside-the-lock rule is not a comment: observe()
+/// and every query helper are ADAPT_EXCLUDES(mutex_), the guarded fold
+/// lives in fold_batch_locked() ADAPT_REQUIRES(mutex_), and the Clang
+/// thread-safety gate rejects any edit that moves the `on_alert_`
+/// invocation back under the lock (the callback legitimately re-enters
+/// the query helpers, which would self-deadlock on the non-recursive
+/// mutex).
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <span>
 
+#include "core/sync.hpp"
 #include "core/vec3.hpp"
 #include "loc/incremental.hpp"
 #include "serve/inference_server.hpp"
@@ -78,9 +85,11 @@ class StreamLocalizer {
 
   /// BatchObserver entry (results[i] answers requests[i]).  Wire with
   /// `server.set_batch_observer(stream_localizer.observer())` or the
-  /// Supervisor equivalent.
+  /// Supervisor equivalent.  EXCLUDES(mutex_): the fold runs under the
+  /// lock, but the alert callback fires strictly after it is released,
+  /// so observe() must never be entered holding it.
   void observe(std::span<const ServeRequest> requests,
-               std::span<const ServeResult> results);
+               std::span<const ServeResult> results) ADAPT_EXCLUDES(mutex_);
 
   BatchObserver observer() {
     return [this](std::span<const ServeRequest> requests,
@@ -99,22 +108,31 @@ class StreamLocalizer {
     std::uint64_t alert_rings = 0;
     double alert_radius_deg = 0.0;
   };
-  Status status() const;
+  Status status() const ADAPT_EXCLUDES(mutex_);
 
   /// On-demand posterior queries (any thread).
-  double credible_radius_deg(double content);
-  core::Vec3 peak();
+  double credible_radius_deg(double content) ADAPT_EXCLUDES(mutex_);
+  core::Vec3 peak() ADAPT_EXCLUDES(mutex_);
 
   const StreamLocalizerConfig& config() const { return config_; }
 
  private:
+  /// Folds one batch into the accumulator and runs any due radius
+  /// check.  Returns true iff this batch crossed the alert threshold
+  /// for the first time, filling `info` — the caller fires the
+  /// callback AFTER releasing mutex_.
+  bool fold_batch_locked(std::span<const ServeRequest> requests,
+                         std::span<const ServeResult> results,
+                         AlertInfo& info) ADAPT_REQUIRES(mutex_);
+
+  // Immutable after construction; read without the lock.
   StreamLocalizerConfig config_;
   AlertCallback on_alert_;
 
-  mutable std::mutex mutex_;
-  loc::IncrementalLocalizer localizer_;
-  Status status_;
-  std::size_t since_check_ = 0;
+  mutable core::Mutex mutex_;
+  loc::IncrementalLocalizer localizer_ ADAPT_GUARDED_BY(mutex_);
+  Status status_ ADAPT_GUARDED_BY(mutex_);
+  std::size_t since_check_ ADAPT_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace adapt::serve

@@ -66,19 +66,26 @@ void Supervisor::set_batch_observer(BatchObserver observer) {
 void Supervisor::observe_batch(std::span<const ServeRequest> requests,
                                std::span<const ServeResult> results) {
   if (!batch_observer_) return;
-  std::lock_guard<std::mutex> lock(sink_mutex_);
-  // Filter injected duplicates WITHOUT erasing them: the worker calls
-  // the observer before the sink, and deliver() still needs the
-  // entries to suppress (and count) the duplicate results themselves.
   observed_requests_.clear();
   observed_results_.clear();
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    if (!expected_duplicates_.empty() &&
-        expected_duplicates_.count(results[i].sequence) > 0)
-      continue;
-    observed_requests_.push_back(requests[i]);
-    observed_results_.push_back(results[i]);
+  {
+    core::LockGuard lock(sink_mutex_);
+    // Filter injected duplicates WITHOUT erasing them: the worker
+    // calls the observer before the sink, and deliver() still needs
+    // the entries to suppress (and count) the duplicate results
+    // themselves.
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!expected_duplicates_.empty() &&
+          expected_duplicates_.count(results[i].sequence) > 0)
+        continue;
+      observed_requests_.push_back(requests[i]);
+      observed_results_.push_back(results[i]);
+    }
   }
+  // sink_mutex_ released: an observer that re-enters the supervisor
+  // (e.g. submit(), which takes server_mutex_ -> sink_mutex_ on the
+  // duplicate path) must not deadlock against the lock that filtered
+  // its batch (regression-tested in tests/serve/supervisor_test.cpp).
   if (!observed_results_.empty())
     batch_observer_(observed_requests_, observed_results_);
 }
@@ -86,7 +93,7 @@ void Supervisor::observe_batch(std::span<const ServeRequest> requests,
 void Supervisor::start() {
   ADAPT_REQUIRE(!started_.exchange(true), "supervisor already started");
   {
-    std::lock_guard<std::mutex> lock(server_mutex_);
+    core::LockGuard lock(server_mutex_);
     server_->start();
   }
   if (config_.watchdog_interval.count() > 0)
@@ -97,7 +104,7 @@ void Supervisor::stop() {
   if (!started_.load() || stopped_.exchange(true)) return;
   watchdog_stop_.store(true);
   if (watchdog_.joinable()) watchdog_.join();
-  std::lock_guard<std::mutex> lock(server_mutex_);
+  core::LockGuard lock(server_mutex_);
   if (server_) server_->stop();
 }
 
@@ -147,7 +154,7 @@ std::uint64_t Supervisor::submit(const recon::ComptonRing& ring,
     return 0;
   }
 
-  std::lock_guard<std::mutex> lock(server_mutex_);
+  core::LockGuard lock(server_mutex_);
   if (!server_) return 0;
   const std::uint64_t seq = server_->submit(ring, polar_deg_guess);
   if (seq == 0) return 0;
@@ -155,8 +162,10 @@ std::uint64_t Supervisor::submit(const recon::ComptonRing& ring,
   if (fault == QueueFault::kDuplicate) {
     // Register the duplicate before the worker can deliver it:
     // deliver() serializes on sink_mutex_, so holding it across the
-    // second submit closes the publish/consume race.
-    std::lock_guard<std::mutex> sink_lock(sink_mutex_);
+    // second submit closes the publish/consume race.  This is the one
+    // place two supervisor locks nest: server_mutex_ -> sink_mutex_
+    // (DESIGN.md lock ordering).
+    core::LockGuard sink_lock(sink_mutex_);
     const std::uint64_t dup = server_->submit(ring, polar_deg_guess);
     if (dup != 0) expected_duplicates_.insert(dup);
   }
@@ -188,7 +197,7 @@ BatchOutputs Supervisor::engine(std::span<const recon::ComptonRing> rings,
   static tm::Counter& fallback_metric =
       tm::counter("serve.supervisor.fallback_batches");
 
-  std::unique_lock<std::mutex> lock(state_mutex_);
+  core::UniqueLock lock(state_mutex_);
   for (std::size_t attempt = 0;; ++attempt) {
     // Quarantined models are nulled out for this batch; the
     // pipeline::Models null semantics (no veto / analytic d_eta) are
@@ -251,23 +260,28 @@ void Supervisor::deliver(std::span<const ServeResult> results) {
   static tm::Counter& delivered_metric =
       tm::counter("serve.supervisor.delivered");
 
-  std::lock_guard<std::mutex> lock(sink_mutex_);
   filtered_.clear();
-  for (const ServeResult& r : results) {
-    if (!expected_duplicates_.empty() &&
-        expected_duplicates_.erase(r.sequence) > 0) {
-      duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
-      suppressed_metric.add();
-      continue;
+  {
+    core::LockGuard lock(sink_mutex_);
+    for (const ServeResult& r : results) {
+      if (!expected_duplicates_.empty() &&
+          expected_duplicates_.erase(r.sequence) > 0) {
+        duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
+        suppressed_metric.add();
+        continue;
+      }
+      delivered_.fetch_add(1, std::memory_order_relaxed);
+      delivered_metric.add();
+      if (r.fallback)
+        delivered_fallback_.fetch_add(1, std::memory_order_relaxed);
+      if (r.degraded)
+        delivered_degraded_.fetch_add(1, std::memory_order_relaxed);
+      filtered_.push_back(r);
     }
-    delivered_.fetch_add(1, std::memory_order_relaxed);
-    delivered_metric.add();
-    if (r.fallback)
-      delivered_fallback_.fetch_add(1, std::memory_order_relaxed);
-    if (r.degraded)
-      delivered_degraded_.fetch_add(1, std::memory_order_relaxed);
-    filtered_.push_back(r);
   }
+  // The user sink runs with sink_mutex_ released (same contract as the
+  // batch observer): suppression bookkeeping is already done, and a
+  // sink that re-enters the supervisor must not deadlock.
   if (!filtered_.empty()) user_sink_(filtered_);
 }
 
@@ -301,10 +315,14 @@ void Supervisor::update_state_locked(bool allow_complete_recovery) {
 }
 
 void Supervisor::health_tick() {
+  core::LockGuard lock(state_mutex_);
+  health_tick_locked();
+}
+
+void Supervisor::health_tick_locked() {
   static tm::Counter& checksum_metric =
       tm::counter("serve.supervisor.checksum_failures");
 
-  std::lock_guard<std::mutex> lock(state_mutex_);
   // Only ok -> bad transitions count: a model already quarantined stays
   // quarantined (and uncounted) until an explicit restore re-arms it.
   if (background_ok_ && models_.background &&
@@ -323,24 +341,31 @@ void Supervisor::health_tick() {
 }
 
 bool Supervisor::try_health_tick() {
-  std::unique_lock<std::mutex> lock(state_mutex_, std::try_to_lock);
-  if (!lock.owns_lock()) return false;  // Worker mid-forward; next sample.
-  lock.unlock();
-  health_tick();
+  // The tick body runs under the TRY-acquired lock.  The previous
+  // shape (try-lock, release, then call the blocking health_tick())
+  // was a TOCTOU: between the release and the re-acquire the worker
+  // could enter a forward — or stall in one — and the watchdog would
+  // block on exactly the wedge it exists to detect.
+  if (!state_mutex_.try_lock()) return false;  // Worker mid-forward.
+  health_tick_locked();
+  state_mutex_.unlock();
   return true;
 }
 
 void Supervisor::with_models_quiesced(
     const std::function<void(pipeline::Models&)>& fn) {
   ADAPT_REQUIRE(static_cast<bool>(fn), "null quiesce callback");
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  // Deliberate callback-under-lock (the only one besides the forward
+  // hook): exclusive model access IS the quiesce contract.  `fn` must
+  // not call back into the Supervisor.
+  core::LockGuard lock(state_mutex_);
   fn(models_);
 }
 
 void Supervisor::restore_background(pipeline::BackgroundNet* net) {
   static tm::Counter& restores_metric =
       tm::counter("serve.supervisor.restores");
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  core::LockGuard lock(state_mutex_);
   models_.background = net;
   background_ref_ = net ? net->weight_checksum() : 0;
   background_ok_ = true;
@@ -354,7 +379,7 @@ void Supervisor::restore_background(pipeline::BackgroundNet* net) {
 void Supervisor::restore_deta(pipeline::DEtaNet* net) {
   static tm::Counter& restores_metric =
       tm::counter("serve.supervisor.restores");
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  core::LockGuard lock(state_mutex_);
   models_.deta = net;
   deta_ref_ = net ? net->weight_checksum() : 0;
   deta_ok_ = true;
@@ -378,7 +403,7 @@ void Supervisor::watchdog_loop() {
     std::uint64_t heartbeat = 0;
     bool in_flight = false;
     {
-      std::lock_guard<std::mutex> lock(server_mutex_);
+      core::LockGuard lock(server_mutex_);
       if (!server_) continue;
       heartbeat = server_->heartbeat();
       in_flight = server_->in_flight();
@@ -407,7 +432,7 @@ void Supervisor::watchdog_loop() {
 }
 
 void Supervisor::restart_server() {
-  std::lock_guard<std::mutex> lock(server_mutex_);
+  core::LockGuard lock(server_mutex_);
   if (!server_) return;
   // stop() closes the queue and joins the worker once the stalled
   // forward returns; every admitted request is delivered or counted
@@ -442,12 +467,12 @@ SupervisorStats Supervisor::stats() const {
 }
 
 HealthState Supervisor::state() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  core::LockGuard lock(state_mutex_);
   return state_;
 }
 
 InferenceServer::Stats Supervisor::server_stats() const {
-  std::lock_guard<std::mutex> lock(server_mutex_);
+  core::LockGuard lock(server_mutex_);
   if (!server_) return {};
   return server_->stats();
 }

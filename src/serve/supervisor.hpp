@@ -55,18 +55,26 @@
 /// Model state (pointers, ok flags, health state) lives behind
 /// `state_mutex_`, which the engine holds for the whole forward — a
 /// health tick therefore observes either pre- or post-batch state,
-/// never a torn middle.
+/// never a torn middle.  All three mutexes are core::sync capabilities
+/// with every guarded field annotated; the Clang thread-safety gate
+/// checks the discipline.  Lock ordering (DESIGN.md): server_mutex_ ->
+/// sink_mutex_ (submit's duplicate registration); state_mutex_ never
+/// nests with either.  User callbacks (sink, batch observer) run with
+/// NO supervisor lock held — the one deliberate exception is the
+/// campaign-only forward hook, which stands in for the forward itself
+/// and therefore runs under state_mutex_ like the forward it
+/// simulates (it must never call back into the Supervisor).
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "serve/inference_server.hpp"
 
 namespace adapt::serve {
@@ -157,7 +165,15 @@ class Supervisor {
   /// Revalidate model digests against their attach-time references and
   /// advance the state machine.  Cheap enough for a periodic tick;
   /// campaigns call it manually after each injection round.
-  void health_tick();
+  void health_tick() ADAPT_EXCLUDES(state_mutex_);
+
+  /// health_tick() via try-lock: returns false (skipping the tick)
+  /// when the worker holds state_mutex_ mid-forward.  This is what the
+  /// watchdog calls, and it must NEVER block on state_mutex_: a
+  /// stalled forward holds that mutex, and the watchdog has to stay
+  /// live to detect exactly that stall (regression-tested in
+  /// tests/serve/supervisor_test.cpp).
+  bool try_health_tick() ADAPT_EXCLUDES(state_mutex_);
 
   /// Swap in a replacement model (presumed good — its loader already
   /// verified the serialized checksum), re-arm the reference digest,
@@ -203,41 +219,50 @@ class Supervisor {
  private:
   std::unique_ptr<InferenceServer> make_server();
   BatchOutputs engine(std::span<const recon::ComptonRing> rings,
-                      std::span<const double> polar, bool degrade_requested);
+                      std::span<const double> polar, bool degrade_requested)
+      ADAPT_EXCLUDES(state_mutex_);
   BatchOutputs analytic_outputs(std::span<const recon::ComptonRing> rings)
       const;
-  void deliver(std::span<const ServeResult> results);
+  void deliver(std::span<const ServeResult> results)
+      ADAPT_EXCLUDES(sink_mutex_);
   void observe_batch(std::span<const ServeRequest> requests,
-                     std::span<const ServeResult> results);
+                     std::span<const ServeResult> results)
+      ADAPT_EXCLUDES(sink_mutex_);
   void watchdog_loop();
-  void restart_server();
-  /// health_tick() via try-lock: returns false (skipping the tick)
-  /// when the worker holds state_mutex_ mid-forward, so the watchdog
-  /// stays live during the very stalls it exists to detect.
-  bool try_health_tick();
+  void restart_server() ADAPT_EXCLUDES(server_mutex_);
+  /// Digest revalidation + state advance.  Caller holds state_mutex_
+  /// (health_tick takes it; try_health_tick try-takes it).
+  void health_tick_locked() ADAPT_REQUIRES(state_mutex_);
   /// Recompute state from the ok flags; counts transitions.  Caller
   /// holds state_mutex_.
-  void update_state_locked(bool all_ok_now);
+  void update_state_locked(bool all_ok_now) ADAPT_REQUIRES(state_mutex_);
 
   SupervisorConfig config_;
   ResultSink user_sink_;
 
   // --- model state (state_mutex_) ---
-  mutable std::mutex state_mutex_;
-  pipeline::Models models_;
-  std::uint64_t background_ref_ = 0;
-  std::uint64_t deta_ref_ = 0;
-  bool background_ok_ = true;
-  bool deta_ok_ = true;
-  HealthState state_ = HealthState::kHealthy;
+  mutable core::Mutex state_mutex_;
+  pipeline::Models models_ ADAPT_GUARDED_BY(state_mutex_);
+  std::uint64_t background_ref_ ADAPT_GUARDED_BY(state_mutex_) = 0;
+  std::uint64_t deta_ref_ ADAPT_GUARDED_BY(state_mutex_) = 0;
+  bool background_ok_ ADAPT_GUARDED_BY(state_mutex_) = true;
+  bool deta_ok_ ADAPT_GUARDED_BY(state_mutex_) = true;
+  HealthState state_ ADAPT_GUARDED_BY(state_mutex_) =
+      HealthState::kHealthy;
 
   // --- server lifecycle (server_mutex_) ---
-  mutable std::mutex server_mutex_;
-  std::unique_ptr<InferenceServer> server_;
+  mutable core::Mutex server_mutex_;
+  std::unique_ptr<InferenceServer> server_ ADAPT_GUARDED_BY(server_mutex_);
 
   // --- sink-side bookkeeping (sink_mutex_) ---
-  std::mutex sink_mutex_;
-  std::unordered_set<std::uint64_t> expected_duplicates_;
+  core::Mutex sink_mutex_;
+  std::unordered_set<std::uint64_t> expected_duplicates_
+      ADAPT_GUARDED_BY(sink_mutex_);
+  // Scratch buffers confined to the server worker thread (deliver and
+  // observe_batch only run there, and restart_server joins the old
+  // worker before the replacement starts).  They are filled under
+  // sink_mutex_ but handed to the user callback AFTER it is released —
+  // no supervisor lock is ever held across a callback.
   std::vector<ServeResult> filtered_;
   std::vector<ServeRequest> observed_requests_;
   std::vector<ServeResult> observed_results_;

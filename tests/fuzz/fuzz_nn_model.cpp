@@ -1,0 +1,30 @@
+/// \file fuzz_nn_model.cpp
+/// Fuzz harness for the NN model deserializer — the loader that parses
+/// ground-produced model files on the flight side, i.e. the classic
+/// untrusted-input surface.  The contract under test: for ANY byte
+/// string, load_model_from_bytes either returns a fully validated
+/// model or nullopt.  It must never throw (ContractViolation
+/// included), never crash, and never size an allocation from an
+/// unvalidated header count (ASan + the container's memory limit catch
+/// the latter).
+///
+/// Built two ways (tests/fuzz/CMakeLists.txt): with Clang as a real
+/// libFuzzer target (-fsanitize=fuzzer), otherwise with the standalone
+/// driver_main.cpp, which replays the checked-in corpus and runs
+/// deterministic seeded mutations of it — that is what the
+/// `fuzz-smoke` gate stage runs under GCC+ASan.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "nn/serialize.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  // The return value is intentionally ignored: accepting OR rejecting
+  // is fine, surviving is the property.
+  (void)adapt::nn::load_model_from_bytes(bytes);
+  return 0;
+}

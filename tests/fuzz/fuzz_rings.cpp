@@ -1,0 +1,21 @@
+/// \file fuzz_rings.cpp
+/// Fuzz harness for the Compton-ring dataset loader (eval/ring_io) —
+/// the interchange format any offline tool can produce, so its header
+/// count and per-record payloads are untrusted.  Contract: any byte
+/// string either parses (possibly with non-finite records skipped and
+/// counted) or returns nullopt — no throw, no crash, and the claimed
+/// record count is validated against the real payload size before any
+/// reserve().
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "eval/ring_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  (void)adapt::eval::load_rings_from_bytes(bytes);
+  return 0;
+}

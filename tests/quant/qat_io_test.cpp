@@ -1,0 +1,110 @@
+/// \file qat_io_test.cpp
+/// Byte-level hardening tests for the QAT model loader, built around
+/// load_qat_model_from_bytes (the fuzz entry point — see
+/// tests/fuzz/fuzz_qat_model.cpp).
+///
+/// The inverted/non-finite FakeQuant range cases pin a real bug found
+/// by the fuzz harness: the loader used to feed the on-disk range
+/// straight into FakeQuant::set_range, whose lo <= hi contract is an
+/// always-on throwing check — so a two-byte corruption in an otherwise
+/// checksum-valid file escaped the "reject, never throw" loader
+/// contract as a ContractViolation.  The loader now validates the
+/// range itself and rejects.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "core/checksum.hpp"
+#include "quant/qat_io.hpp"
+
+namespace adapt::quant {
+namespace {
+
+void append_u32(std::string& s, std::uint32_t v) {
+  s.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void append_f32(std::string& s, float v) {
+  s.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// A complete version-2 file holding exactly one FakeQuant layer with
+/// the given range: magic, version, empty standardizer, one layer,
+/// empty metadata, FNV-1a footer.  Mirrors save_qat_model's layout so
+/// the tests can plant arbitrary (including invalid) ranges behind a
+/// VALID checksum — the corruption must survive the digest gate to
+/// reach the range check under test.
+std::string fake_quant_file(float lo, float hi) {
+  std::string body;
+  body.append("ADQT", 4);
+  append_u32(body, 2);  // version
+  append_u32(body, 0);  // standardizer: not fitted
+  append_u32(body, 1);  // n_layers
+  append_u32(body, 2);  // Tag::kFakeQuant
+  append_f32(body, lo);
+  append_f32(body, hi);
+  append_u32(body, 0);  // n_metadata
+  const std::uint64_t digest = core::fnv1a64(body.data(), body.size());
+  body.append(reinterpret_cast<const char*>(&digest), sizeof(digest));
+  return body;
+}
+
+TEST(QatIoBytesTest, WellFormedFakeQuantLoads) {
+  const std::string bytes = fake_quant_file(-1.5f, 2.5f);
+  const auto loaded = load_qat_model_from_bytes(bytes);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->model.n_layers(), 1u);
+  EXPECT_FALSE(loaded->standardizer.fitted());
+  EXPECT_TRUE(loaded->metadata.empty());
+}
+
+TEST(QatIoBytesTest, DegenerateEqualRangeLoads) {
+  // lo == hi is degenerate but satisfies the lo <= hi contract; the
+  // loader must not be stricter than set_range itself.
+  EXPECT_TRUE(load_qat_model_from_bytes(fake_quant_file(0.0f, 0.0f))
+                  .has_value());
+}
+
+TEST(QatIoBytesTest, InvertedRangeRejectedNotThrown) {
+  const std::string bytes = fake_quant_file(2.5f, -1.5f);
+  std::optional<SavedQatModel> loaded;
+  EXPECT_NO_THROW(loaded = load_qat_model_from_bytes(bytes));
+  EXPECT_FALSE(loaded.has_value());
+}
+
+TEST(QatIoBytesTest, NonFiniteRangeRejectedNotThrown) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  for (const auto& [lo, hi] : {std::pair{nan, 1.0f}, std::pair{0.0f, nan},
+                               std::pair{-inf, 1.0f}, std::pair{0.0f, inf}}) {
+    const std::string bytes = fake_quant_file(lo, hi);
+    std::optional<SavedQatModel> loaded;
+    EXPECT_NO_THROW(loaded = load_qat_model_from_bytes(bytes));
+    EXPECT_FALSE(loaded.has_value()) << "lo=" << lo << " hi=" << hi;
+  }
+}
+
+TEST(QatIoBytesTest, CorruptedChecksumRejected) {
+  std::string bytes = fake_quant_file(-1.0f, 1.0f);
+  bytes[bytes.size() - 1] ^= 0x5a;  // flip a footer byte
+  EXPECT_FALSE(load_qat_model_from_bytes(bytes).has_value());
+}
+
+TEST(QatIoBytesTest, TruncatedFileRejected) {
+  const std::string bytes = fake_quant_file(-1.0f, 1.0f);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    // Every prefix either loses body bytes (checksum mismatch) or the
+    // footer itself (too short) — all must reject without throwing.
+    std::optional<SavedQatModel> loaded;
+    EXPECT_NO_THROW(loaded =
+                        load_qat_model_from_bytes(bytes.substr(0, len)));
+    EXPECT_FALSE(loaded.has_value()) << "prefix length " << len;
+  }
+}
+
+}  // namespace
+}  // namespace adapt::quant

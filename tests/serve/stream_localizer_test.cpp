@@ -260,5 +260,39 @@ TEST(StreamLocalizer, SupervisorFiltersInjectedDuplicates) {
   EXPECT_EQ(loc.status().rings_accepted, n);
 }
 
+// Regression for an annotation-surfaced bug: observe() used to invoke
+// on_alert_ while still holding mutex_, so an alert callback touching
+// the localizer's own query API — the natural thing for an alert
+// handler to do — self-deadlocked on the non-recursive mutex.  The
+// callback now fires after the lock is released (the ADAPT_EXCLUDES
+// contract on observe/status/credible_radius_deg/peak encodes exactly
+// this), so a reentrant handler must complete and see the post-alert
+// state.
+TEST(StreamLocalizer, AlertCallbackMayReenterQueryApi) {
+  core::Rng rng(29);
+  const core::Vec3 s = core::from_spherical(0.7, -0.4);
+  StreamLocalizerConfig cfg = analytic_config();
+  cfg.alert_radius_deg = 5.0;
+  int fired = 0;
+  StreamLocalizer* self = nullptr;
+  StreamLocalizer loc(cfg, [&](const AlertInfo& info) {
+    ++fired;
+    // Reentrant queries from inside the alert handler.
+    const StreamLocalizer::Status status = self->status();
+    EXPECT_TRUE(status.alert_fired);
+    EXPECT_EQ(status.alert_rings, info.n_rings);
+    EXPECT_GT(self->credible_radius_deg(cfg.alert_content), 0.0);
+    EXPECT_LT(core::rad_to_deg(core::angle_between(self->peak(), s)), 5.0);
+  });
+  self = &loc;
+
+  std::uint64_t seq = 1;
+  for (int batch = 0; batch < 8; ++batch) {
+    const Batch b = make_batch(rng, s, 32, 0.05, seq);
+    loc.observe(b.requests, b.results);
+  }
+  EXPECT_EQ(fired, 1);
+}
+
 }  // namespace
 }  // namespace adapt::serve

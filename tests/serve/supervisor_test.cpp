@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstddef>
@@ -284,6 +285,111 @@ TEST_F(SupervisorTest, WatchdogRestartsStalledWorkerAndServiceResumes) {
   ASSERT_TRUE(wait_delivered(2));
   supervisor_->stop();
   EXPECT_FALSE(delivered().back().fallback);
+}
+
+// Regression for a bug the thread-safety annotations surfaced: the old
+// try_health_tick checked try_lock(), UNLOCKED, then called
+// health_tick() — which blocks on state_mutex_.  The engine holds
+// state_mutex_ for the entire forward, so a watchdog calling the old
+// try_health_tick during a stalled forward would block on the very
+// mutex the stall holds, freezing the thread whose job is to detect
+// the stall.  The fixed version runs the tick under the try-acquired
+// lock and returns false — promptly — when the worker has it.
+TEST_F(SupervisorTest, TryHealthTickDoesNotBlockWhileForwardHoldsStateMutex) {
+  std::atomic<bool> in_forward{false};
+  std::atomic<bool> release_forward{false};
+  SupervisorConfig cfg = fast_config();
+  cfg.watchdog_interval = 0ms;  // No watchdog: this test IS the watchdog.
+  make_supervisor(cfg);
+  // The hook runs under state_mutex_, standing in for the forward.
+  supervisor_->set_forward_hook([&](std::size_t) {
+    in_forward = true;
+    while (!release_forward) std::this_thread::sleep_for(1ms);
+  });
+
+  supervisor_->start();
+  EXPECT_NE(submit_one(), 0u);
+  const auto entry_deadline = std::chrono::steady_clock::now() + 5s;
+  while (!in_forward && std::chrono::steady_clock::now() < entry_deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_TRUE(in_forward.load()) << "forward hook never entered";
+
+  // state_mutex_ is held by the (simulated) stalled forward: the tick
+  // must refuse, not wait.  Bound the call to rule out blocking.
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool ticked = supervisor_->try_health_tick();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(ticked);
+  EXPECT_LT(elapsed, 1s) << "try_health_tick blocked on a held state_mutex_";
+
+  release_forward = true;
+  ASSERT_TRUE(wait_delivered(1));
+  supervisor_->stop();
+  // Idle supervisor: the tick acquires and actually runs.
+  EXPECT_TRUE(supervisor_->try_health_tick());
+  EXPECT_EQ(supervisor_->stats().state, HealthState::kHealthy);
+}
+
+// Regression for the second annotation-surfaced bug: observe_batch and
+// deliver used to invoke the user callback while holding sink_mutex_.
+// A callback that reenters submit() during an injected-duplicate round
+// takes server_mutex_ -> sink_mutex_ (the duplicate registration), and
+// sink_mutex_ is not recursive — the worker thread self-deadlocked.
+// Both paths now release sink_mutex_ before the callback runs, so a
+// reentrant observer must complete.
+TEST_F(SupervisorTest, ReentrantObserverSubmittingDuplicateDoesNotDeadlock) {
+  std::atomic<bool> reentered{false};
+  make_supervisor(fast_config());
+  supervisor_->set_queue_fault_hook([] { return QueueFault::kDuplicate; });
+  supervisor_->set_batch_observer(
+      [&](std::span<const ServeRequest>, std::span<const ServeResult>) {
+        if (!reentered.exchange(true)) {
+          core::Rng rng(101);
+          EXPECT_NE(supervisor_->submit(synthetic_ring(rng), 30.0), 0u);
+        }
+      });
+
+  supervisor_->start();
+  EXPECT_NE(submit_one(), 0u);
+  // Both the original event and the observer's reentrant one deliver
+  // exactly once (their injected duplicates are suppressed).
+  ASSERT_TRUE(wait_delivered(2));
+  supervisor_->stop();
+
+  EXPECT_TRUE(reentered.load());
+  const SupervisorStats stats = supervisor_->stats();
+  EXPECT_EQ(stats.delivered, 2u);
+  EXPECT_EQ(stats.duplicates_suppressed, 2u);
+}
+
+// Same deadlock shape through deliver(): a sink that reenters submit()
+// while duplicates are being injected.
+TEST_F(SupervisorTest, ReentrantSinkSubmittingDuplicateDoesNotDeadlock) {
+  std::atomic<bool> reentered{false};
+  pipeline::Models models;
+  models.background = &background_;
+  models.deta = &deta_;
+  supervisor_ = std::make_unique<Supervisor>(
+      models, fast_config(), [this, &reentered](std::span<const ServeResult> results) {
+        {
+          std::lock_guard<std::mutex> lock(results_mutex_);
+          for (const auto& r : results) results_.push_back(r);
+        }
+        if (!reentered.exchange(true)) {
+          core::Rng rng(102);
+          EXPECT_NE(supervisor_->submit(synthetic_ring(rng), 30.0), 0u);
+        }
+      });
+  supervisor_->set_queue_fault_hook([] { return QueueFault::kDuplicate; });
+
+  supervisor_->start();
+  EXPECT_NE(submit_one(), 0u);
+  ASSERT_TRUE(wait_delivered(2));
+  supervisor_->stop();
+
+  EXPECT_TRUE(reentered.load());
+  EXPECT_EQ(supervisor_->stats().delivered, 2u);
 }
 
 }  // namespace

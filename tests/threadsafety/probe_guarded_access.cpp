@@ -1,0 +1,33 @@
+/// \file probe_guarded_access.cpp
+/// Positive-control probe for the thread-safety gate: identical shape
+/// to probe_unguarded_access.cpp but the guarded read happens under a
+/// core::LockGuard, so it MUST compile cleanly under
+/// `clang++ -Werror=thread-safety -Werror=thread-safety-beta`.
+///
+/// If this probe fails to compile, the try_compile harness itself is
+/// broken (missing include path, bad flags) — without it, a broken
+/// harness would be indistinguishable from a working gate, because
+/// both make the negative probe "fail".
+
+#include "core/sync.hpp"
+
+namespace {
+
+class Probe {
+ public:
+  int read_guarded() const {
+    adapt::core::LockGuard lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable adapt::core::Mutex mutex_;
+  int value_ ADAPT_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Probe probe;
+  return probe.read_guarded();
+}

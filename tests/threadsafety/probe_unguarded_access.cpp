@@ -1,0 +1,34 @@
+/// \file probe_unguarded_access.cpp
+/// Negative-control probe for the thread-safety gate: this translation
+/// unit reads an ADAPT_GUARDED_BY field WITHOUT holding its mutex and
+/// therefore MUST FAIL to compile under
+/// `clang++ -Werror=thread-safety -Werror=thread-safety-beta`.
+///
+/// The top-level CMakeLists try_compiles it at configure time whenever
+/// ADAPT_THREAD_SAFETY=ON: if this file ever compiles, the gate has
+/// silently become a no-op (wrong flags, attribute macros expanding to
+/// nothing under the gate compiler) and configuration aborts.  The
+/// matching positive control, probe_guarded_access.cpp, proves the
+/// probe harness itself can compile correct code.
+
+#include "core/sync.hpp"
+
+namespace {
+
+class Probe {
+ public:
+  // Deliberate violation: value_ is guarded by mutex_, and no lock is
+  // taken on this path.
+  int read_unguarded() const { return value_; }
+
+ private:
+  mutable adapt::core::Mutex mutex_;
+  int value_ ADAPT_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Probe probe;
+  return probe.read_unguarded();
+}

@@ -29,6 +29,13 @@ Run from anywhere; exits non-zero when any rule fires:
      reintroduces the O(pixels * rings) stall the streaming
      accumulator exists to avoid; the serve layer localizes through
      loc::IncrementalLocalizer (serve/stream_localizer.hpp) only.
+  7. no-naked-mutex: std::mutex / std::shared_mutex /
+     std::condition_variable and the std lock RAII types are banned
+     outside src/core/sync.hpp.  Locking must go through the
+     core::sync capability wrappers so the Clang thread-safety gate
+     (tools/check_static_analysis.sh --stage thread-safety) can see
+     every acquisition; a raw std primitive is a lock the analysis
+     cannot check.
 
 Usage: tools/adapt_lint.py [--repo DIR]
 """
@@ -85,6 +92,17 @@ FLOAT_LITERAL = re.compile(r"[0-9.]([eE][-+]?[0-9]+)?[fF]\b")
 # An x86 intrinsic call or vector type (SSE/AVX/AVX-512 families).
 INTRINSIC = re.compile(r"\b(?:_mm(?:256|512)?_[a-z0-9_]+|__m(?:64|128|256|512)[di]?)\b")
 BATCH_SKYMAP = re.compile(r"\bSkyMap::compute\s*\(")
+# A raw std synchronization primitive (type use or header include) —
+# everything the core::sync capability layer wraps.
+NAKED_MUTEX = re.compile(
+    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock)\b"
+    r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
+# The one place raw primitives are allowed: the wrapper layer itself.
+MUTEX_ALLOWLIST = {
+    "src/core/sync.hpp",
+}
 LINE_COMMENT = re.compile(r"//.*$")
 STRING = re.compile(r'"(?:[^"\\]|\\.)*"')
 
@@ -144,6 +162,12 @@ def main() -> int:
                     "hot path — stream rings through "
                     "loc::IncrementalLocalizer instead "
                     "[no-batch-skymap-in-serve]")
+            if rel not in MUTEX_ALLOWLIST and NAKED_MUTEX.search(line):
+                findings.append(
+                    f"{rel}:{ln}: raw std sync primitive — use the "
+                    "core::sync capability types (core/sync.hpp) so the "
+                    "thread-safety gate can check the lock discipline "
+                    "[no-naked-mutex]")
 
     # Rule 4: test coverage by stem.
     test_names = " ".join(

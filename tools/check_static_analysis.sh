@@ -14,6 +14,14 @@
 #                        TSan build swaps out libgomp)
 #   6. TSan serve+fault focus (queue/server/supervisor/chaos tests
 #                        repeated for more interleavings)
+#   7. thread-safety     (Clang Thread Safety Analysis over src/ with
+#                        -Werror=thread-safety{,-beta}; the configure
+#                        step itself proves the gate is live via a
+#                        compile-fail probe.  Documented-skip when no
+#                        clang++ is installed, like tidy)
+#   8. fuzz-smoke        (tests/fuzz parser harnesses replay the
+#                        checked-in corpus plus ~60 s of deterministic
+#                        seeded mutations each, under ASan+UBSan)
 #
 # Exits non-zero on the first failing stage.  Budget: ~10 minutes on
 # a multicore dev box; the dominant costs are the sanitizer builds and
@@ -26,9 +34,10 @@
 #
 # Usage: tools/check_static_analysis.sh [--stage NAME]... [build-root]
 #   --stage NAME  run only the named stage(s); repeatable.  Names:
-#                 lint tidy werror asan tsan tsan-serve.  This is how
-#                 the CI workflow fans the gate out across jobs without
-#                 duplicating any stage logic.
+#                 lint tidy werror asan tsan tsan-serve thread-safety
+#                 fuzz-smoke.  This is how the CI workflow fans the
+#                 gate out across jobs without duplicating any stage
+#                 logic.
 #   build-root defaults to .gate-builds/ under the repo root (kept out
 #   of the way of the normal build/ tree).
 
@@ -57,7 +66,7 @@ while [ $# -gt 0 ]; do
       ;;
   esac
 done
-[ -n "${stages}" ] || stages="lint tidy werror asan tsan tsan-serve"
+[ -n "${stages}" ] || stages="lint tidy werror asan tsan tsan-serve thread-safety fuzz-smoke"
 [ -n "${build_root}" ] || build_root="${repo}/.gate-builds"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
@@ -158,6 +167,56 @@ if want tsan-serve; then
   "${build_root}/tsan/tests/adapt_fault_tests" \
     --gtest_repeat=2 --gtest_brief=1 \
     || fail "fault-injection tests failed under TSan"
+fi
+
+# --- 7. Clang thread-safety analysis ----------------------------------
+# The core::sync capability annotations (src/core/sync.hpp) are only
+# checked by Clang; under GCC they expand to nothing.  This stage
+# compiles src/ with the annotations enforced as errors.  The CMake
+# configure step arms the gate with a pair of try_compile probes — an
+# unguarded-access probe that must FAIL and a guarded twin that must
+# compile — so a misconfigured toolchain cannot produce a silently
+# green stage.
+if want thread-safety; then
+  stage "thread-safety (Clang TSA, -Werror=thread-safety)"
+  if command -v clang++ >/dev/null 2>&1; then
+    cmake -B "${build_root}/tsa" -S "${repo}" \
+      -DCMAKE_CXX_COMPILER=clang++ -DADAPT_THREAD_SAFETY=ON \
+      -DADAPT_BUILD_BENCH=OFF -DADAPT_BUILD_EXAMPLES=OFF >/dev/null \
+      || fail "thread-safety configure failed (probe gate not armed?)"
+    cmake --build "${build_root}/tsa" -j"${jobs}" 2>&1 | tail -3 \
+      || fail "thread-safety analysis found lock-discipline violations"
+  else
+    echo "SKIPPED: clang++ not installed on this image (the annotations" \
+         "are checked in at src/core/sync.hpp; run on a clang-equipped" \
+         "host — CI runs this stage with clang)."
+  fi
+fi
+
+# --- 8. parser fuzz smoke ---------------------------------------------
+# Each harness replays the checked-in seed corpus, then spends
+# ADAPT_FUZZ_SMOKE_SECS (default 60) on deterministic seeded mutations
+# of it, under ASan+UBSan.  Under Clang the same sources build as real
+# libFuzzer targets for longer offline campaigns; the smoke stage uses
+# the standalone driver so it runs identically on the gcc-only image.
+if want fuzz-smoke; then
+  smoke_secs="${ADAPT_FUZZ_SMOKE_SECS:-60}"
+  stage "fuzz-smoke (${smoke_secs}s/harness, ASan+UBSan, seeded mutations)"
+  cmake -B "${build_root}/fuzz" -S "${repo}" \
+    -DADAPT_SANITIZE=address -DADAPT_CHECKED=ON -DADAPT_BUILD_FUZZERS=ON \
+    -DADAPT_BUILD_BENCH=OFF -DADAPT_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "${build_root}/fuzz" -j"${jobs}" \
+    --target fuzz_nn_model fuzz_qat_model fuzz_rings >/dev/null \
+    || fail "fuzz harness build failed"
+  for pair in "fuzz_nn_model nn_model" "fuzz_qat_model qat_model" \
+              "fuzz_rings rings"; do
+    set -- ${pair}
+    harness="$1"; corpus="${repo}/tests/fuzz/corpus/$2"
+    [ -d "${corpus}" ] || fail "missing seed corpus ${corpus}"
+    "${build_root}/fuzz/tests/fuzz/${harness}" \
+      --smoke "${smoke_secs}" "${corpus}" \
+      || fail "${harness} crashed (minimize the reproducer and pin it as a regression test)"
+  done
 fi
 
 stage "all gates passed"
