@@ -1,5 +1,6 @@
 #include "serve/event_queue.hpp"
 
+#include "core/contract.hpp"
 #include "core/require.hpp"
 #include "core/telemetry.hpp"
 
@@ -10,6 +11,17 @@ namespace tm = core::telemetry;
 EventQueue::EventQueue(std::size_t capacity)
     : capacity_(capacity), ring_(capacity) {
   ADAPT_REQUIRE(capacity >= 1, "event queue needs capacity >= 1");
+}
+
+EventQueue::~EventQueue() {
+  // Teardown ledger check (checked builds): every admitted request is
+  // popped, shed, or still resident.  An imbalance means an event was
+  // lost or double-counted somewhere between push's shed-oldest and a
+  // partially drained pop — the overlap the stress suite hammers.
+  core::LockGuard lock(mutex_);
+  ADAPT_INVARIANT(pushed_ == popped_ + shed_ + size_,
+                  "event queue ledger imbalance at teardown "
+                  "(pushed != popped + shed + resident)");
 }
 
 bool EventQueue::push(ServeRequest request) {
@@ -30,6 +42,7 @@ bool EventQueue::push(ServeRequest request) {
     }
     ring_[(head_ + size_) % capacity_] = std::move(request);
     ++size_;
+    ++pushed_;
   }
   nonempty_.notify_one();
   return true;
@@ -39,13 +52,24 @@ std::size_t EventQueue::pop_batch(std::vector<ServeRequest>& out,
                                   std::size_t max_items,
                                   std::chrono::microseconds flush_deadline) {
   ADAPT_REQUIRE(max_items >= 1, "pop_batch needs max_items >= 1");
+  static tm::Counter& flush_immediate = tm::counter("serve.flush.immediate");
   core::UniqueLock lock(mutex_);
   while (size_ == 0 && !closed_) nonempty_.wait(lock);
-  if (size_ == 0) return 0;  // Closed and drained.
+  if (size_ == 0) {
+    ADAPT_INVARIANT(closed_, "pop_batch returning 0 on an open queue");
+    return 0;  // Closed and drained.
+  }
 
   // The flush deadline starts at the first visible request, so a
-  // trickle of events never waits longer than one deadline.
-  if (size_ < max_items && !closed_) {
+  // trickle of events never waits longer than one deadline.  A zero
+  // deadline skips the wait entirely — "flush whatever is visible
+  // now" — instead of calling wait_until with an already-expired
+  // deadline, which burns a futex round-trip per spurious wakeup and
+  // (on implementations that report such wakeups as no_timeout) could
+  // re-enter the wait with the deadline still in the past.
+  if (flush_deadline.count() == 0) {
+    flush_immediate.add();
+  } else if (size_ < max_items && !closed_) {
     const auto deadline = std::chrono::steady_clock::now() + flush_deadline;
     while (size_ < max_items && !closed_) {
       if (nonempty_.wait_until(lock, deadline) == std::cv_status::timeout)
@@ -59,6 +83,7 @@ std::size_t EventQueue::pop_batch(std::vector<ServeRequest>& out,
     head_ = (head_ + 1) % capacity_;
   }
   size_ -= n;
+  popped_ += n;
   return n;
 }
 
@@ -68,6 +93,17 @@ void EventQueue::close() {
     closed_ = true;
   }
   nonempty_.notify_all();
+}
+
+EventQueue::Stats EventQueue::stats() const {
+  core::LockGuard lock(mutex_);
+  Stats s;
+  s.pushed = pushed_;
+  s.popped = popped_;
+  s.shed = shed_;
+  s.rejected = rejected_;
+  s.resident = size_;
+  return s;
 }
 
 std::size_t EventQueue::depth() const {

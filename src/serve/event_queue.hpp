@@ -54,12 +54,38 @@ class EventQueue {
   /// `flush_deadline` for the batch to fill to `max_items`, then
   /// appends the oldest min(depth, max_items) requests to `out`.
   /// Returns the number of requests popped.
+  ///
+  /// A zero `flush_deadline` means "flush whatever is visible NOW": the
+  /// fill-the-batch wait is skipped entirely (counted under
+  /// `serve.flush.immediate`) instead of entering the timed wait with
+  /// an already-expired deadline — the router workers poll shards this
+  /// way.  Either way pop_batch never returns 0 while the queue is
+  /// open: 0 strictly means closed-and-drained, so a consumer can use
+  /// it as its shutdown signal without racing producers mid-push.
   std::size_t pop_batch(std::vector<ServeRequest>& out, std::size_t max_items,
                         std::chrono::microseconds flush_deadline);
 
   /// Close the queue: producers are refused from now on; the consumer
   /// drains what is left and then gets 0 from pop_batch.
   void close();
+
+  /// Destructor checks the conservation ledger in checked builds:
+  /// every admitted request must be accounted for as popped, shed, or
+  /// still resident — pushed == popped + shed + resident.  A burst of
+  /// shed-oldest racing a partially drained pop must not lose or
+  /// double-count events (tests/serve/event_queue_test.cpp stresses
+  /// exactly that overlap).
+  ~EventQueue();
+
+  /// Conservation-ledger snapshot (one lock, mutually consistent).
+  struct Stats {
+    std::uint64_t pushed = 0;    ///< Admitted by push().
+    std::uint64_t popped = 0;    ///< Handed to a consumer.
+    std::uint64_t shed = 0;      ///< Dropped by shed-oldest.
+    std::uint64_t rejected = 0;  ///< Refused after close().
+    std::uint64_t resident = 0;  ///< Currently queued.
+  };
+  Stats stats() const;
 
   std::size_t depth() const;
   std::size_t capacity() const { return capacity_; }
@@ -77,9 +103,13 @@ class EventQueue {
   std::size_t head_ ADAPT_GUARDED_BY(mutex_) = 0;
   std::size_t size_ ADAPT_GUARDED_BY(mutex_) = 0;
   bool closed_ ADAPT_GUARDED_BY(mutex_) = false;
+  /// Requests admitted by push() — the ledger's debit side.
+  std::uint64_t pushed_ ADAPT_GUARDED_BY(mutex_) = 0;
+  /// Requests handed to a consumer via pop_batch.
+  std::uint64_t popped_ ADAPT_GUARDED_BY(mutex_) = 0;
   /// Requests dropped by shed-oldest.
   std::uint64_t shed_ ADAPT_GUARDED_BY(mutex_) = 0;
-  /// Pushes refused after close().
+  /// Pushes refused after close() (never entered the ledger).
   std::uint64_t rejected_ ADAPT_GUARDED_BY(mutex_) = 0;
 };
 

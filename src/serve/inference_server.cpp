@@ -46,10 +46,12 @@ void InferenceServer::set_batch_observer(BatchObserver observer) {
 }
 
 std::uint64_t InferenceServer::submit(const recon::ComptonRing& ring,
-                                      double polar_deg_guess) {
+                                      double polar_deg_guess,
+                                      std::uint32_t stream_id) {
   ServeRequest request;
   request.ring = ring;
   request.polar_deg_guess = polar_deg_guess;
+  request.stream_id = stream_id;
   request.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
   request.enqueued_at = std::chrono::steady_clock::now();
   const std::uint64_t seq = request.sequence;
@@ -183,6 +185,7 @@ void InferenceServer::process_batch(std::span<const ServeRequest> batch,
   for (std::size_t i = 0; i < batch.size(); ++i) {
     ServeResult res;
     res.sequence = batch[i].sequence;
+    res.stream_id = batch[i].stream_id;
     res.is_background = out.is_background[i];
     res.d_eta = out.d_eta[i];
     res.degraded = out.degraded;
@@ -207,6 +210,7 @@ void InferenceServer::emergency_results(std::span<const ServeRequest> batch,
   for (const ServeRequest& r : batch) {
     ServeResult res;
     res.sequence = r.sequence;
+    res.stream_id = r.stream_id;
     res.is_background = 0;  // No veto: background leaks are flagged, not
                             // silently dropped science.
     const double analytic =

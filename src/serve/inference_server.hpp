@@ -118,9 +118,12 @@ class InferenceServer {
 
   /// Enqueue one ring (thread-safe, non-blocking; any producer
   /// thread).  Returns the assigned sequence number, or 0 if the
-  /// server is stopped (sequence numbers start at 1).
+  /// server is stopped (sequence numbers start at 1).  `stream_id`
+  /// tags the request's logical stream; the single-queue server treats
+  /// it as opaque (no per-stream policy) and copies it onto the
+  /// result so shared sinks can demultiplex.
   std::uint64_t submit(const recon::ComptonRing& ring,
-                       double polar_deg_guess);
+                       double polar_deg_guess, std::uint32_t stream_id = 0);
 
   /// Close the queue, drain it, and join the worker.  Every request
   /// admitted before stop() is either delivered to the sink or counted

@@ -33,9 +33,13 @@ std::size_t MicroBatcher::next_batch(std::vector<ServeRequest>& out) {
     flush_size.add();
   } else if (queue_.closed()) {
     flush_drain.add();
-  } else {
+  } else if (policy_.flush_deadline.count() != 0) {
     flush_deadline.add();
   }
+  // A non-full flush from an open queue under a zero deadline is an
+  // immediate flush — EventQueue::pop_batch already counted it under
+  // serve.flush.immediate; calling it a deadline expiry here would
+  // misattribute the reason.
   return n;
 }
 

@@ -15,7 +15,10 @@
 ///
 /// The batcher also owns the serving layer's batch observability: the
 /// `serve.batch_size` / `serve.queue_depth` histograms and the
-/// per-reason `serve.flush.{size,deadline,drain}` counters.
+/// per-reason `serve.flush.{size,deadline,drain}` counters.  A zero
+/// `flush_deadline` is the documented "flush whatever is visible now"
+/// mode: those flushes are counted by the queue itself under
+/// `serve.flush.immediate`, never as deadline expiries.
 ///
 /// Thread-safety: stateless beyond the policy — it holds no lock of
 /// its own and delegates all blocking to EventQueue::pop_batch, so in

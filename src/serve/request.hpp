@@ -21,11 +21,20 @@ struct ServeRequest {
   recon::ComptonRing ring;
   double polar_deg_guess = 0.0;  ///< Localization estimate at submit time.
   std::uint64_t sequence = 0;    ///< Assigned by InferenceServer::submit.
+  std::uint32_t stream_id = 0;   ///< Logical event stream (telescope /
+                                 ///< replayed burst).  The single-stream
+                                 ///< InferenceServer leaves it 0; the
+                                 ///< StreamRouter keys shard placement,
+                                 ///< fairness, and per-stream
+                                 ///< localization on it.
   std::chrono::steady_clock::time_point enqueued_at{};
 };
 
 struct ServeResult {
   std::uint64_t sequence = 0;
+  std::uint32_t stream_id = 0;     ///< Copied from the request, so a
+                                   ///< shared sink can demultiplex a
+                                   ///< mixed multi-stream batch.
   std::uint8_t is_background = 0;  ///< Background net decision (1 = drop).
   double d_eta = 0.0;              ///< NN prediction, or the analytic
                                    ///< propagated value when degraded.

@@ -133,7 +133,8 @@ bool Supervisor::ring_admissible(const recon::ComptonRing& ring,
 }
 
 std::uint64_t Supervisor::submit(const recon::ComptonRing& ring,
-                                 double polar_deg_guess) {
+                                 double polar_deg_guess,
+                                 std::uint32_t stream_id) {
   static tm::Counter& rejected_metric =
       tm::counter("serve.supervisor.input_rejected");
   static tm::Counter& drops_metric =
@@ -156,7 +157,7 @@ std::uint64_t Supervisor::submit(const recon::ComptonRing& ring,
 
   core::LockGuard lock(server_mutex_);
   if (!server_) return 0;
-  const std::uint64_t seq = server_->submit(ring, polar_deg_guess);
+  const std::uint64_t seq = server_->submit(ring, polar_deg_guess, stream_id);
   if (seq == 0) return 0;
   submitted_.fetch_add(1, std::memory_order_relaxed);
   if (fault == QueueFault::kDuplicate) {
@@ -166,7 +167,8 @@ std::uint64_t Supervisor::submit(const recon::ComptonRing& ring,
     // place two supervisor locks nest: server_mutex_ -> sink_mutex_
     // (DESIGN.md lock ordering).
     core::LockGuard sink_lock(sink_mutex_);
-    const std::uint64_t dup = server_->submit(ring, polar_deg_guess);
+    const std::uint64_t dup =
+        server_->submit(ring, polar_deg_guess, stream_id);
     if (dup != 0) expected_duplicates_.insert(dup);
   }
   return seq;

@@ -158,9 +158,10 @@ class Supervisor {
 
   /// Validated, fault-absorbing ingress.  Returns the assigned
   /// sequence number, or 0 when the ring was rejected, dropped, or the
-  /// server is stopped.
+  /// server is stopped.  `stream_id` is carried through to the result
+  /// (see InferenceServer::submit).
   std::uint64_t submit(const recon::ComptonRing& ring,
-                       double polar_deg_guess);
+                       double polar_deg_guess, std::uint32_t stream_id = 0);
 
   /// Revalidate model digests against their attach-time references and
   /// advance the state machine.  Cheap enough for a periodic tick;

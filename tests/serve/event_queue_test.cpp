@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
 
 #include "core/contract.hpp"
+#include "core/telemetry.hpp"
 
 namespace adapt::serve {
 namespace {
@@ -128,6 +130,109 @@ TEST(EventQueue, MultiProducerDeliversEverySequence) {
   ASSERT_EQ(seen.size(), kProducers * kPerProducer);
   std::sort(seen.begin(), seen.end());
   for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i + 1);
+}
+
+// Regression: a zero flush deadline must mean "flush whatever is
+// visible now" — return the partial batch without entering the timed
+// fill wait (pre-fix, the code called wait_until with an
+// already-expired deadline, one futex round-trip per pop and a
+// busy-respin hazard on implementations that report spurious wakeups
+// as no_timeout).  The skipped wait is counted by the queue itself
+// under serve.flush.immediate.
+TEST(EventQueue, ZeroDeadlineFlushesVisibleNow) {
+  core::telemetry::set_enabled(true);
+  const std::uint64_t immediate_before =
+      core::telemetry::snapshot().counters["serve.flush.immediate"];
+
+  EventQueue q(16);
+  for (std::uint64_t s = 1; s <= 3; ++s) q.push(request(s));
+
+  // max_items far above the visible depth: a deadline-respecting pop
+  // would wait for the batch to fill; the zero-deadline pop must not.
+  std::vector<ServeRequest> batch;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t n = q.pop_batch(batch, 16, std::chrono::microseconds(0));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(sequences(batch), (std::vector<std::uint64_t>{1, 2, 3}));
+  // Generous bound — the point is "did not park on the condvar", and
+  // any wait path would be >= the deadline granularity, not ~0.
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(elapsed).count();
+  EXPECT_LT(elapsed_ms, 100.0);
+
+  const std::uint64_t immediate_after =
+      core::telemetry::snapshot().counters["serve.flush.immediate"];
+  EXPECT_EQ(immediate_after, immediate_before + 1);
+  core::telemetry::set_enabled(false);
+}
+
+// The conservation ledger in a fully deterministic setting: pushes
+// overflow the capacity (shed-oldest), a pop drains part of the rest,
+// and stats() must account for every request as popped, shed, or
+// resident.  The destructor re-checks the same identity in checked
+// builds.
+TEST(EventQueue, LedgerBalancesAfterShedAndPartialDrain) {
+  EventQueue q(4);
+  for (std::uint64_t s = 1; s <= 10; ++s) EXPECT_TRUE(q.push(request(s)));
+
+  std::vector<ServeRequest> batch;
+  EXPECT_EQ(q.pop_batch(batch, 3, std::chrono::microseconds(0)), 3u);
+  // Oldest survivors: 10 pushed into capacity 4 shed 1..6.
+  EXPECT_EQ(sequences(batch), (std::vector<std::uint64_t>{7, 8, 9}));
+
+  const EventQueue::Stats stats = q.stats();
+  EXPECT_EQ(stats.pushed, 10u);
+  EXPECT_EQ(stats.shed, 6u);
+  EXPECT_EQ(stats.popped, 3u);
+  EXPECT_EQ(stats.resident, 1u);
+  EXPECT_EQ(stats.pushed, stats.popped + stats.shed + stats.resident);
+}
+
+// Multi-producer ledger stress: a deliberately tiny queue so
+// shed-oldest races partially drained pops from every producer at
+// once.  Whatever interleaving happens, no request may be lost or
+// double-counted: pushed == popped + shed + resident, and the
+// consumer-side delivery count must equal the popped counter.  Runs
+// repeatedly under TSan with checked contracts in the
+// static-analysis gate.
+TEST(EventQueue, MultiProducerLedgerStress) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 5000;
+  EventQueue q(32);  // Tiny: forces heavy shedding under contention.
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i)
+        q.push(request(static_cast<std::uint64_t>(p) * kPerProducer + i + 1));
+    });
+  }
+
+  std::atomic<std::uint64_t> delivered{0};
+  std::thread consumer([&] {
+    std::vector<ServeRequest> batch;
+    for (;;) {
+      batch.clear();
+      // Zero deadline: poll-style pops maximize the overlap between
+      // shed-oldest in push and the drain loop here.
+      const std::size_t n =
+          q.pop_batch(batch, 16, std::chrono::microseconds(0));
+      if (n == 0) break;
+      delivered.fetch_add(n, std::memory_order_relaxed);
+    }
+  });
+
+  for (std::thread& t : producers) t.join();
+  q.close();
+  consumer.join();
+
+  const EventQueue::Stats stats = q.stats();
+  EXPECT_EQ(stats.pushed, kProducers * kPerProducer);
+  EXPECT_EQ(stats.resident, 0u);  // Consumer drained to the close.
+  EXPECT_EQ(stats.popped, delivered.load());
+  EXPECT_EQ(stats.pushed, stats.popped + stats.shed + stats.resident);
 }
 
 }  // namespace

@@ -1,0 +1,353 @@
+#include "serve/stream_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/contract.hpp"
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "serve/inference_server.hpp"
+#include "serve/synthetic_models.hpp"
+
+namespace adapt::serve {
+namespace {
+
+struct Event {
+  recon::ComptonRing ring;
+  double polar_deg = 0.0;
+};
+
+std::vector<Event> make_events(std::size_t n, std::uint64_t seed) {
+  core::Rng rng(seed);
+  std::vector<Event> events(n);
+  for (Event& e : events) {
+    e.ring = synthetic_ring(rng);
+    e.polar_deg = rng.uniform(0.0, 90.0);
+  }
+  return events;
+}
+
+struct Outputs {
+  std::uint8_t is_background = 0;
+  double d_eta = 0.0;
+  bool degraded = false;
+  bool fallback = false;
+};
+
+// The acceptance criterion of the multi-stream layer: with one
+// stream, one shard, and one worker, the router must be BIT-IDENTICAL
+// to the single-stream InferenceServer on the same submit sequence.
+// Batch splits may differ between the two runs (timing), but
+// Models::infer_batch is bit-identical across splits (the PR4/PR6
+// batch-equivalence guarantee), so per-sequence outputs must match
+// exactly.  Degrade is off and the queues are deep enough to never
+// shed, so no timing-dependent policy can fork the outputs.
+TEST(StreamRouter, SingleStreamBitIdenticalToInferenceServer) {
+  constexpr std::size_t kEvents = 3000;
+  auto background = synthetic_background_net_int8(0xB6);
+  auto deta = synthetic_deta_net(0xDE);
+  const pipeline::Models models{&background, &deta};
+  const std::vector<Event> events = make_events(kEvents, 99);
+
+  std::map<std::uint64_t, Outputs> server_out;
+  {
+    ServeConfig sc;
+    sc.queue_capacity = 32768;
+    sc.max_batch = 64;
+    sc.flush_deadline = std::chrono::microseconds(200);
+    sc.degrade_when_saturated = false;
+    InferenceServer server(models, sc,
+                           [&](std::span<const ServeResult> results) {
+                             for (const ServeResult& r : results)
+                               server_out[r.sequence] = {r.is_background,
+                                                         r.d_eta, r.degraded,
+                                                         r.fallback};
+                           });
+    server.start();
+    for (const Event& e : events) server.submit(e.ring, e.polar_deg);
+    server.stop();
+    EXPECT_EQ(server.stats().shed, 0u);
+  }
+
+  std::map<std::uint64_t, Outputs> router_out;
+  {
+    RouterConfig rc;
+    rc.num_shards = 1;
+    rc.num_workers = 1;
+    rc.shard_capacity = 32768;
+    rc.per_stream_cap = 32768;
+    rc.max_batch = 64;
+    rc.flush_deadline = std::chrono::microseconds(200);
+    rc.degrade_when_saturated = false;
+    StreamRouter router(models, rc,
+                        [&](std::span<const ServeResult> results) {
+                          for (const ServeResult& r : results)
+                            router_out[r.sequence] = {r.is_background,
+                                                      r.d_eta, r.degraded,
+                                                      r.fallback};
+                        });
+    router.start();
+    for (const Event& e : events) router.submit(0, e.ring, e.polar_deg);
+    router.stop();
+    const auto stats = router.stats();
+    EXPECT_EQ(stats.shed, 0u);
+    EXPECT_EQ(stats.mixed_batches, 0u);
+    EXPECT_EQ(stats.streams, 1u);
+  }
+
+  ASSERT_EQ(server_out.size(), kEvents);
+  ASSERT_EQ(router_out.size(), kEvents);
+  for (std::uint64_t seq = 1; seq <= kEvents; ++seq) {
+    const Outputs& s = server_out[seq];
+    const Outputs& r = router_out[seq];
+    EXPECT_EQ(s.is_background, r.is_background) << "sequence " << seq;
+    EXPECT_EQ(s.d_eta, r.d_eta) << "sequence " << seq;  // Bit-exact.
+    EXPECT_EQ(s.degraded, r.degraded) << "sequence " << seq;
+    EXPECT_EQ(s.fallback, r.fallback) << "sequence " << seq;
+  }
+}
+
+// Satellite regression: skewed arrivals.  One hot stream floods while
+// nine trickle streams submit modestly, all on ONE shard so the DRR
+// filler and the per-stream caps do all the work.  The engine is
+// gated until every submit has landed, which makes the outcome
+// deterministic: the hot stream MUST overflow its cap while the
+// worker is parked, and the trickle streams (under their cap) must
+// sail through untouched.
+TEST(StreamRouter, SkewedArrivalsShedOnlyTheHotStream) {
+  constexpr std::uint32_t kStreams = 10;
+  constexpr std::uint32_t kHot = 0;
+  constexpr std::uint64_t kHotEvents = 8000;
+  constexpr std::uint64_t kTrickleEvents = 100;
+  constexpr std::size_t kPerStreamCap = 256;
+
+  RouterConfig rc;
+  rc.num_shards = 1;
+  rc.num_workers = 1;
+  rc.shard_capacity = 4096;  // > 10 * 256: whole-shard shed never fires.
+  rc.per_stream_cap = kPerStreamCap;
+  rc.quantum = 8;
+  rc.max_batch = 64;
+  rc.degrade_when_saturated = false;
+
+  // Per-stream delivery logs, filled on the single worker thread.
+  std::vector<std::vector<std::uint64_t>> delivered(kStreams);
+  StreamRouter router(pipeline::Models{}, rc,
+                      [&](std::span<const ServeResult> results) {
+                        for (const ServeResult& r : results)
+                          delivered[r.stream_id].push_back(r.sequence);
+                      });
+
+  // Gate the first forward until all submissions are in.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  router.set_engine([opened](std::span<const recon::ComptonRing> rings,
+                             std::span<const double>, bool) {
+    opened.wait();
+    BatchOutputs out;
+    out.is_background.assign(rings.size(), 0);
+    out.d_eta.assign(rings.size(), 0.1);
+    return out;
+  });
+  router.start();
+
+  // Interleave: trickle first so every stream is registered in the
+  // shard's round-robin order before the flood starts.
+  for (std::uint32_t k = 1; k < kStreams; ++k) {
+    for (std::uint64_t i = 0; i < kTrickleEvents; ++i) {
+      core::Rng rng(k * 1000 + i);
+      router.submit(k, synthetic_ring(rng), 30.0);
+    }
+  }
+  {
+    core::Rng rng(7);
+    for (std::uint64_t i = 0; i < kHotEvents; ++i)
+      router.submit(kHot, synthetic_ring(rng), 30.0);
+  }
+  gate.set_value();
+  router.stop();
+
+  const auto rows = router.stream_stats();
+  ASSERT_EQ(rows.size(), kStreams);
+  std::uint64_t total_shed = 0;
+  std::uint64_t hot_shed = 0;
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.resident, 0u);  // stop() drains.
+    EXPECT_EQ(row.submitted, row.processed + row.shed);
+    total_shed += row.shed;
+    if (row.stream_id == kHot) {
+      hot_shed = row.shed;
+      EXPECT_GT(row.shed, 0u);  // The flood pays.
+      // The worker was parked for (almost all of) the flood: the hot
+      // stream cannot have delivered much more than its resident cap.
+      EXPECT_LE(row.processed, kPerStreamCap + rc.max_batch);
+    } else {
+      // Trickle streams: under their cap, NOTHING shed, everything
+      // delivered.
+      EXPECT_EQ(row.shed, 0u);
+      EXPECT_EQ(row.processed, kTrickleEvents);
+    }
+  }
+  // The hot stream absorbs ALL of the shedding.
+  EXPECT_EQ(total_shed, hot_shed);
+
+  // Per-stream delivery order is submit order, for every stream, even
+  // though batches mixed streams.
+  for (std::uint32_t k = 0; k < kStreams; ++k) {
+    EXPECT_TRUE(std::is_sorted(delivered[k].begin(), delivered[k].end()))
+        << "stream " << k;
+  }
+  EXPECT_GT(router.stats().mixed_batches, 0u);
+}
+
+// Streams spread across shards and workers: per-stream results still
+// arrive in submit order, and the per-stream ledger closes (submitted
+// == processed when nothing sheds).
+TEST(StreamRouter, MultiShardPreservesPerStreamOrder) {
+  constexpr std::uint32_t kStreams = 8;
+  constexpr std::uint64_t kPerStream = 500;
+
+  RouterConfig rc;
+  rc.num_shards = 4;
+  rc.num_workers = 2;
+  rc.shard_capacity = 8192;
+  rc.per_stream_cap = 4096;
+  rc.max_batch = 32;
+
+  std::mutex mu;
+  std::vector<std::vector<std::uint64_t>> delivered(kStreams);
+  StreamRouter router(pipeline::Models{}, rc,
+                      [&](std::span<const ServeResult> results) {
+                        // Two workers share this sink; same-stream
+                        // calls are serialized but cross-stream calls
+                        // race, so the shared structure locks.
+                        std::lock_guard<std::mutex> lock(mu);
+                        for (const ServeResult& r : results)
+                          delivered[r.stream_id].push_back(r.sequence);
+                      });
+  router.start();
+  std::vector<std::thread> producers;
+  for (std::uint32_t k = 0; k < kStreams; ++k) {
+    producers.emplace_back([&router, k] {
+      core::Rng rng(k);
+      for (std::uint64_t i = 0; i < kPerStream; ++i)
+        router.submit(k, synthetic_ring(rng), 45.0);
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  router.stop();
+
+  const auto stats = router.stats();
+  EXPECT_EQ(stats.processed, kStreams * kPerStream);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.streams, kStreams);
+  for (std::uint32_t k = 0; k < kStreams; ++k) {
+    ASSERT_EQ(delivered[k].size(), kPerStream) << "stream " << k;
+    EXPECT_TRUE(std::is_sorted(delivered[k].begin(), delivered[k].end()))
+        << "stream " << k;
+  }
+}
+
+// Per-stream localizers are independent: a stream fed a coherent
+// burst alerts; a stream fed a handful of incoherent rings does not.
+TEST(StreamRouter, PerStreamLocalizersAlertIndependently) {
+  RouterConfig rc;
+  rc.num_shards = 1;
+  rc.num_workers = 1;
+  rc.shard_capacity = 8192;
+  rc.per_stream_cap = 8192;
+  rc.localize = true;
+  rc.localizer_template.localizer.resolution_deg = 2.0;
+  rc.localizer_template.alert_radius_deg = 20.0;  // Generous threshold.
+  rc.localizer_template.check_every = 32;
+  rc.localizer_template.use_served_d_eta = false;
+
+  std::mutex mu;
+  std::vector<std::uint32_t> alerted;
+  StreamRouter router(pipeline::Models{}, rc,
+                      [](std::span<const ServeResult>) {});
+  router.set_alert_callback(
+      [&](std::uint32_t stream_id, const AlertInfo& info) {
+        std::lock_guard<std::mutex> lock(mu);
+        alerted.push_back(stream_id);
+        EXPECT_GT(info.n_rings, 0u);
+      });
+  router.start();
+
+  // Stream 0: a synthetic burst — rings whose cones agree on one
+  // source direction.
+  {
+    core::Rng rng(11);
+    const core::Vec3 source =
+        core::from_spherical(core::deg_to_rad(40.0), core::deg_to_rad(60.0));
+    for (int i = 0; i < 600; ++i) {
+      recon::ComptonRing ring = synthetic_ring(rng);
+      ring.axis = rng.isotropic_direction();
+      ring.d_eta = 0.05;
+      ring.eta = std::clamp(ring.axis.dot(source) + rng.normal(0.0, 0.05),
+                            -1.0, 1.0);
+      router.submit(0, ring, 40.0);
+    }
+  }
+  // Stream 1: too few rings to even reach the first radius check.
+  {
+    core::Rng rng(12);
+    for (int i = 0; i < 4; ++i) router.submit(1, synthetic_ring(rng), 40.0);
+  }
+  router.stop();
+
+  const auto s0 = router.localizer_status(0);
+  const auto s1 = router.localizer_status(1);
+  ASSERT_TRUE(s0.has_value());
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_TRUE(s0->alert_fired);
+  EXPECT_FALSE(s1->alert_fired);
+  EXPECT_EQ(alerted, (std::vector<std::uint32_t>{0}));
+  EXPECT_FALSE(router.localizer_status(99).has_value());  // Never seen.
+}
+
+TEST(StreamRouter, SubmitAfterStopIsRejected) {
+  RouterConfig rc;
+  rc.num_shards = 2;
+  rc.num_workers = 1;
+  StreamRouter router(pipeline::Models{}, rc,
+                      [](std::span<const ServeResult>) {});
+  router.start();
+  core::Rng rng(1);
+  const recon::ComptonRing ring = synthetic_ring(rng);
+  EXPECT_GT(router.submit(5, ring, 10.0), 0u);
+  router.stop();
+  EXPECT_EQ(router.submit(5, ring, 10.0), 0u);
+  EXPECT_EQ(router.stats().rejected, 1u);
+}
+
+TEST(StreamRouter, RejectsInvalidTopology) {
+  const auto sink = [](std::span<const ServeResult>) {};
+  RouterConfig more_workers_than_shards;
+  more_workers_than_shards.num_shards = 2;
+  more_workers_than_shards.num_workers = 4;
+  EXPECT_THROW(StreamRouter(pipeline::Models{}, more_workers_than_shards,
+                            sink),
+               core::ContractViolation);
+  RouterConfig zero_shards;
+  zero_shards.num_shards = 0;
+  EXPECT_THROW(StreamRouter(pipeline::Models{}, zero_shards, sink),
+               core::ContractViolation);
+  RouterConfig batch_over_capacity;
+  batch_over_capacity.shard_capacity = 32;
+  batch_over_capacity.per_stream_cap = 32;
+  batch_over_capacity.max_batch = 64;
+  EXPECT_THROW(StreamRouter(pipeline::Models{}, batch_over_capacity, sink),
+               core::ContractViolation);
+}
+
+}  // namespace
+}  // namespace adapt::serve

@@ -30,12 +30,13 @@ Run from anywhere; exits non-zero when any rule fires:
      accumulator exists to avoid; the serve layer localizes through
      loc::IncrementalLocalizer (serve/stream_localizer.hpp) only.
   7. no-naked-mutex: std::mutex / std::shared_mutex /
-     std::condition_variable and the std lock RAII types are banned
-     outside src/core/sync.hpp.  Locking must go through the
-     core::sync capability wrappers so the Clang thread-safety gate
-     (tools/check_static_analysis.sh --stage thread-safety) can see
-     every acquisition; a raw std primitive is a lock the analysis
-     cannot check.
+     std::condition_variable, the std lock RAII types, and the C++20
+     coordination primitives (std::latch, std::barrier, the
+     semaphores) are banned outside src/core/sync.hpp.  Locking must
+     go through the core::sync capability wrappers so the Clang
+     thread-safety gate (tools/check_static_analysis.sh --stage
+     thread-safety) can see every acquisition; a raw std primitive is
+     a lock the analysis cannot check.
 
 Usage: tools/adapt_lint.py [--repo DIR]
 """
@@ -97,8 +98,9 @@ BATCH_SKYMAP = re.compile(r"\bSkyMap::compute\s*\(")
 NAKED_MUTEX = re.compile(
     r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
     r"condition_variable(?:_any)?|lock_guard|unique_lock|shared_lock|"
-    r"scoped_lock)\b"
-    r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
+    r"scoped_lock|latch|barrier|counting_semaphore|binary_semaphore)\b"
+    r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable|latch|"
+    r"barrier|semaphore)>")
 # The one place raw primitives are allowed: the wrapper layer itself.
 MUTEX_ALLOWLIST = {
     "src/core/sync.hpp",

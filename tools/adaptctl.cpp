@@ -36,12 +36,14 @@
 /// Exit code 0 on success; 1 on command failure; 2 on usage errors;
 /// 3 when the --max-reject-frac gate breaches.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/cli.hpp"
 #include "core/cpu_features.hpp"
@@ -58,6 +60,7 @@
 #include "eval/model_provider.hpp"
 #include "fpga/hls_model.hpp"
 #include "pipeline/features.hpp"
+#include "serve/flood.hpp"
 #include "serve/synthetic_models.hpp"
 #include "serve/throughput.hpp"
 
@@ -280,17 +283,11 @@ int cmd_skymap(const CliArgs& args) {
 }
 
 int cmd_serve_bench(const CliArgs& args) {
-  serve::ThroughputConfig cfg;
-  cfg.events = args.count("events", 20000);
-  cfg.max_batch = args.count("batch", 64);
-  cfg.producers = args.count("producers", 2);
-  cfg.queue_capacity = args.count("queue", 32768);
-  cfg.flush_deadline = std::chrono::microseconds(
-      static_cast<long>(args.count("deadline-us", 200)));
-  cfg.seed = args.count("seed", 42);
-  cfg.alert_deg = args.number("alert-deg", 0.0);
-  cfg.alert_content = args.number("alert-content", 0.68);
-  cfg.background_fraction = args.number("background-fraction", 0.25);
+  // Strict parsing + range validation (serve/flood.hpp): a malformed
+  // flag throws CliError here and exits 2 with usage, instead of
+  // tripping an ADAPT_REQUIRE (exit 1) inside the serve layer.
+  const serve::ThroughputConfig cfg =
+      serve::throughput_config_from_args(args);
 
   // Synthetic paper-dimension networks (INT8 background + FP32 dEta):
   // identical compute shape to the deployed models, no training wait.
@@ -338,6 +335,70 @@ int cmd_serve_bench(const CliArgs& args) {
                   cfg.alert_deg, batched.final_radius_deg);
     }
   }
+  return 0;
+}
+
+int cmd_flood(const CliArgs& args) {
+  const serve::FloodConfig cfg = serve::flood_config_from_args(args);
+
+  auto background = serve::synthetic_background_net_int8(cfg.seed ^ 0xB6);
+  auto deta = serve::synthetic_deta_net(cfg.seed ^ 0xDE);
+  const pipeline::Models models{&background, &deta};
+
+  const serve::FloodReport report = serve::measure_flood(models, cfg);
+
+  std::printf("flood: %zu streams (skew %.2f), %zu events, %zu shards, "
+              "%zu workers, %zu producer(s)\n",
+              cfg.streams, cfg.skew, cfg.events, cfg.shards, cfg.workers,
+              cfg.producers);
+  std::printf("aggregate: %.1f kevents/s, p50 %.3f ms, p99 %.3f ms, "
+              "%llu batches (%llu mixed), shed %llu (%.2f%%), degraded "
+              "%llu, fairness %.4f\n",
+              report.events_per_s / 1e3, report.p50_latency_ms,
+              report.p99_latency_ms,
+              static_cast<unsigned long long>(report.batches),
+              static_cast<unsigned long long>(report.mixed_batches),
+              static_cast<unsigned long long>(report.shed),
+              report.submitted > 0
+                  ? 100.0 * static_cast<double>(report.shed) /
+                        static_cast<double>(report.submitted)
+                  : 0.0,
+              static_cast<unsigned long long>(report.degraded),
+              report.fairness);
+  if (cfg.alert_deg > 0.0) {
+    std::printf("early alerts: %zu of %zu streams crossed %.2f deg\n",
+                report.alerts_fired, cfg.streams, cfg.alert_deg);
+  }
+
+  // Per-stream table: all streams when small, the hottest head plus
+  // the coldest tail row otherwise (the interesting fairness story is
+  // hot-vs-cold, not 100 near-identical middle rows).
+  std::vector<serve::StreamFloodReport> by_load = report.streams;
+  std::sort(by_load.begin(), by_load.end(),
+            [](const auto& a, const auto& b) {
+              return a.submitted > b.submitted;
+            });
+  const std::size_t shown = std::min<std::size_t>(by_load.size(), 10);
+  core::TextTable table({"stream", "submitted", "processed", "shed",
+                         "p50 [ms]", "p99 [ms]", "alert"});
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& s = by_load[i];
+    table.add_row({std::to_string(s.stream_id), std::to_string(s.submitted),
+                   std::to_string(s.processed), std::to_string(s.shed),
+                   core::TextTable::num(s.p50_latency_ms, 3),
+                   core::TextTable::num(s.p99_latency_ms, 3),
+                   s.alert_fired ? "yes" : "-"});
+  }
+  if (by_load.size() > shown) {
+    const auto& s = by_load.back();
+    table.add_row({"... " + std::to_string(s.stream_id) + " (coldest)",
+                   std::to_string(s.submitted), std::to_string(s.processed),
+                   std::to_string(s.shed),
+                   core::TextTable::num(s.p50_latency_ms, 3),
+                   core::TextTable::num(s.p99_latency_ms, 3),
+                   s.alert_fired ? "yes" : "-"});
+  }
+  table.print(std::cout, "Per-stream (hottest first)");
   return 0;
 }
 
@@ -439,7 +500,7 @@ int cmd_chaos(const CliArgs& args) {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: adaptctl <simulate|localize|containment|train|fpga> "
+      "usage: adaptctl <simulate|localize|containment|train|fpga|...> "
       "[--key value ...] [--metrics json|csv]\n"
       "  simulate    --fluence F --polar P --seed S [--out rings.csv]\n"
       "  localize    --fluence F --polar P --seed S [--ml] [--models DIR]"
@@ -457,6 +518,16 @@ void usage() {
       "incrementally per\n"
       "              batch, report when the credible radius first "
       "shrinks below X deg)\n"
+      "  flood       --streams K --events N --skew Z [--shards S"
+      " --workers W]\n"
+      "              [--shard-cap C --stream-cap P --quantum Q --batch B"
+      " --deadline-us D]\n"
+      "              [--producers P] [--no-degrade] [--alert-deg X]\n"
+      "              (multi-stream load generator: Zipf(Z)-skewed K-stream"
+      " flood through\n"
+      "              the sharded StreamRouter; reports per-stream p50/p99,"
+      " shed rate, and\n"
+      "              the Jain fairness index)\n"
       "  chaos       --seed S --events N [--disable] [--transients N]"
       " [--persistents N]\n"
       "              [--stalls N] [--weight-flips N] [--model-garbles N]"
@@ -515,6 +586,7 @@ int main(int argc, char** argv) {
     else if (cmd == "trigger") rc = cmd_trigger(args);
     else if (cmd == "skymap") rc = cmd_skymap(args);
     else if (cmd == "serve-bench") rc = cmd_serve_bench(args);
+    else if (cmd == "flood") rc = cmd_flood(args);
     else if (cmd == "chaos") rc = cmd_chaos(args);
     else if (cmd == "cpu-features" || cmd == "--cpu-features")
       rc = cmd_cpu_features(args);

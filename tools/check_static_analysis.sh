@@ -161,7 +161,7 @@ if want tsan-serve; then
   stage "TSan serve+fault focus (queue + server + supervisor + chaos, repeated)"
   build_tsan_tree
   "${build_root}/tsan/tests/adapt_serve_tests" \
-    --gtest_filter='EventQueue.*:InferenceServer.*:ConcurrentInference.*:SupervisorTest.*' \
+    --gtest_filter='EventQueue.*:InferenceServer.*:ConcurrentInference.*:SupervisorTest.*:ShardQueue.*:StreamRouter.*' \
     --gtest_repeat=3 --gtest_brief=1 \
     || fail "serve tests failed under TSan"
   "${build_root}/tsan/tests/adapt_fault_tests" \

@@ -236,6 +236,81 @@ else
   exit "$serve_status"
 fi
 
+# ---- multi-stream serving gate ------------------------------------
+# bench_serve_multistream prints the same kind of `CSV,` block with a
+# trailing Jain-fairness column; this gate checks, against
+# tools/bench_serve_multistream.baseline.csv (config,events_per_s,
+# min_fairness rows):
+#   * aggregate throughput per config has not fallen below
+#     baseline / tolerance;
+#   * shed count is exactly 0 for every non-saturated config (the
+#     queues are sized to hold the whole stream);
+#   * Jain fairness >= the baseline's min_fairness column — an
+#     absolute floor, NOT scaled by the tolerance: fairness measures
+#     the round-robin fill and per-stream admission control, which
+#     machine noise does not excuse.
+multi_bench="$build_dir/bench/bench_serve_multistream"
+multi_baseline="$repo_root/tools/bench_serve_multistream.baseline.csv"
+if [ ! -x "$multi_bench" ]; then
+  echo "error: $multi_bench not built (cmake --build $build_dir --target bench_serve_multistream)" >&2
+  exit 2
+fi
+validate_baseline "$multi_baseline"
+"$multi_bench" >"$scratch/multi.log" 2>&1 || {
+  cat "$scratch/multi.log" >&2
+  echo "error: multi-stream serve bench failed" >&2
+  exit 2
+}
+grep '^CSV,' "$scratch/multi.log" >"$scratch/multi.csv" || {
+  echo "error: multi-stream bench produced no CSV block" >&2
+  exit 2
+}
+if [ -n "${ADAPT_BENCH_CSV_DIR:-}" ]; then
+  cp "$scratch/multi.csv" "$ADAPT_BENCH_CSV_DIR/bench_serve_multistream.csv"
+fi
+
+multi_status=0
+awk -F, -v tol="$tolerance" '
+  NR == FNR { if (FNR > 1) { base[$1] = $2; minfair[$1] = $3 } next }
+  $2 == "config" { next }  # header: CSV,config,events_per_s,...,fairness
+  {
+    cfg = $2; eps = $3 + 0; shed = $6 + 0; fair = $7 + 0
+    if (cfg != "saturated" && shed != 0) {
+      printf "FAIL  %-20s shed %d events (must be 0 below saturation)\n",
+             cfg, shed
+      failed = 1
+    }
+    if (!(cfg in base)) {
+      printf "SKIP  %-20s no baseline row\n", cfg
+      next
+    }
+    floor = base[cfg] / tol
+    if (eps < floor) {
+      printf "FAIL  %-20s %8.0f events/s < floor %8.0f (baseline %s)\n",
+             cfg, eps, floor, base[cfg]
+      failed = 1
+    } else {
+      printf "ok    %-20s %8.0f events/s (baseline %s, floor %8.0f)\n",
+             cfg, eps, base[cfg], floor
+    }
+    if (fair < minfair[cfg] + 0) {
+      printf "FAIL  %-20s fairness %6.4f < floor %s\n", cfg, fair, minfair[cfg]
+      failed = 1
+    }
+  }
+  END { exit failed ? 1 : 0 }
+' "$multi_baseline" "$scratch/multi.csv" || multi_status=$?
+
+if [ "$multi_status" -eq 0 ]; then
+  echo "multi-stream serving check passed (tolerance ${tolerance}x)"
+elif [ "$check_only" -eq 1 ]; then
+  echo "multi-stream serving below floor but --check-only set: reported, not gated"
+else
+  echo "multi-stream serving check FAILED — if the slowdown is intentional," >&2
+  echo "refresh tools/bench_serve_multistream.baseline.csv from a quiet machine" >&2
+  exit "$multi_status"
+fi
+
 # ---- SIMD kernel throughput gate ----------------------------------
 # bench_nn_kernels registers one benchmark per dispatched kernel
 # variant (BM_U8I8GemmKernel/<isa>, BM_U8RequantKernel/<isa>,
