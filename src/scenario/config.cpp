@@ -1,0 +1,296 @@
+#include "scenario/config.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+
+#include "core/cli.hpp"
+
+namespace adapt::scenario {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& where, std::size_t line_no,
+                       const std::string& msg) {
+  std::ostringstream out;
+  out << where << ":" << line_no << ": " << msg;
+  throw core::CliError(out.str());
+}
+
+[[noreturn]] void fail(const std::string& where, const std::string& msg) {
+  throw core::CliError(where + ": " + msg);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(s[begin])) != 0)
+    ++begin;
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1])) != 0)
+    --end;
+  return s.substr(begin, end - begin);
+}
+
+bool is_identifier(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    const bool ok = (std::isalnum(static_cast<unsigned char>(c)) != 0) ||
+                    c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+enum class Section {
+  kNone,
+  kScenario,
+  kBackground,
+  kBurst,
+  kFlareTrain,
+  kSurge,
+  kOccultation,
+};
+
+/// Strictly parsed positive integer for repeat counts.
+std::uint64_t parse_count(const std::string& token, const std::string& what,
+                          std::uint64_t max) {
+  const double value = core::parse_double(token, what);
+  const double rounded = std::floor(value);
+  if (value != rounded || value < 1.0 ||
+      value > static_cast<double>(max)) {
+    std::ostringstream out;
+    out << what << ": expected an integer in [1, " << max << "], got '"
+        << token << "'";
+    throw core::CliError(out.str());
+  }
+  return static_cast<std::uint64_t>(rounded);
+}
+
+}  // namespace
+
+ScenarioConfig parse_scenario(const std::string& text,
+                              const std::string& where) {
+  ScenarioConfig cfg;
+  Section section = Section::kNone;
+  bool saw_scenario = false;
+  bool saw_background = false;
+  // Duplicate-key detection is scoped to the current section instance.
+  std::unordered_set<std::string> seen_keys;
+
+  std::istringstream stream(text);
+  std::string raw_line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    const std::size_t hash = raw_line.find('#');
+    const std::string line =
+        trim(hash == std::string::npos ? raw_line : raw_line.substr(0, hash));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']')
+        fail(where, line_no, "malformed section header '" + line + "'");
+      const std::string name = trim(line.substr(1, line.size() - 2));
+      seen_keys.clear();
+      if (name == "scenario") {
+        if (saw_scenario)
+          fail(where, line_no, "duplicate [scenario] section");
+        saw_scenario = true;
+        section = Section::kScenario;
+      } else if (name == "background") {
+        if (saw_background)
+          fail(where, line_no, "duplicate [background] section");
+        saw_background = true;
+        section = Section::kBackground;
+      } else if (name == "burst") {
+        cfg.bursts.emplace_back();
+        section = Section::kBurst;
+      } else if (name == "flare_train") {
+        cfg.flare_trains.emplace_back();
+        section = Section::kFlareTrain;
+      } else if (name == "surge") {
+        cfg.surges.emplace_back();
+        section = Section::kSurge;
+      } else if (name == "occultation") {
+        cfg.occultations.emplace_back();
+        section = Section::kOccultation;
+      } else {
+        fail(where, line_no, "unknown section [" + name + "]");
+      }
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos)
+      fail(where, line_no, "expected 'key = value', got '" + line + "'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty())
+      fail(where, line_no, "expected 'key = value', got '" + line + "'");
+    if (section == Section::kNone)
+      fail(where, line_no, "key '" + key + "' before any [section]");
+    if (!seen_keys.insert(key).second)
+      fail(where, line_no, "duplicate key '" + key + "' in section");
+
+    std::ostringstream what_stream;
+    what_stream << where << ":" << line_no << ": " << key;
+    const std::string what = what_stream.str();
+    const auto num = [&] { return core::parse_double(value, what); };
+
+    switch (section) {
+      case Section::kScenario:
+        if (key == "name") {
+          if (!is_identifier(value))
+            fail(where, line_no,
+                 "name must be [A-Za-z0-9_-], got '" + value + "'");
+          cfg.name = value;
+        } else if (key == "duration_s") {
+          cfg.duration_s = num();
+        } else if (key == "alert_radius_deg") {
+          cfg.alert_radius_deg = num();
+        } else if (key == "pileup_latency_s") {
+          cfg.pileup_latency_s = num();
+        } else {
+          fail(where, line_no, "unknown key '" + key + "' in [scenario]");
+        }
+        break;
+      case Section::kBackground:
+        if (key == "rate_scale") {
+          cfg.background_rate_scale = num();
+        } else {
+          fail(where, line_no, "unknown key '" + key + "' in [background]");
+        }
+        break;
+      case Section::kBurst: {
+        BurstSpec& b = cfg.bursts.back();
+        if (key == "t_start") b.t_start = num();
+        else if (key == "fluence") b.fluence = num();
+        else if (key == "polar_deg") b.polar_deg = num();
+        else if (key == "azimuth_deg") b.azimuth_deg = num();
+        else if (key == "rise_s") b.rise_s = num();
+        else if (key == "decay_s") b.decay_s = num();
+        else if (key == "e_peak_mev") b.e_peak_mev = num();
+        else fail(where, line_no, "unknown key '" + key + "' in [burst]");
+        break;
+      }
+      case Section::kFlareTrain: {
+        FlareTrainSpec& f = cfg.flare_trains.back();
+        if (key == "t_first") f.t_first = num();
+        else if (key == "period_s") f.period_s = num();
+        else if (key == "pulses") f.pulses = parse_count(value, what, 32);
+        else if (key == "pulse_fluence") f.pulse_fluence = num();
+        else if (key == "pulse_width_s") f.pulse_width_s = num();
+        else if (key == "polar_deg") f.polar_deg = num();
+        else if (key == "azimuth_deg") f.azimuth_deg = num();
+        else if (key == "e_peak_mev") f.e_peak_mev = num();
+        else
+          fail(where, line_no, "unknown key '" + key + "' in [flare_train]");
+        break;
+      }
+      case Section::kSurge: {
+        SurgeSpec& s = cfg.surges.back();
+        if (key == "t_start") s.t_start = num();
+        else if (key == "t_end") s.t_end = num();
+        else if (key == "factor") s.factor = num();
+        else fail(where, line_no, "unknown key '" + key + "' in [surge]");
+        break;
+      }
+      case Section::kOccultation: {
+        OccultationSpec& o = cfg.occultations.back();
+        if (key == "t_start") o.t_start = num();
+        else if (key == "t_end") o.t_end = num();
+        else
+          fail(where, line_no, "unknown key '" + key + "' in [occultation]");
+        break;
+      }
+      case Section::kNone:
+        break;  // Unreachable: rejected above.
+    }
+  }
+
+  // Semantic validation.  parse_double already guarantees every number
+  // is finite, so range checks below complete the contract.
+  if (cfg.name.empty()) fail(where, "[scenario] name is required");
+  if (cfg.duration_s <= 0.0) fail(where, "duration_s must be positive");
+  if (cfg.duration_s > 600.0)
+    fail(where, "duration_s too large (max 600 s per scenario)");
+  if (cfg.alert_radius_deg < 0.0)
+    fail(where, "alert_radius_deg must be >= 0");
+  if (cfg.pileup_latency_s < 0.0)
+    fail(where, "pileup_latency_s must be >= 0");
+  if (cfg.background_rate_scale <= 0.0)
+    fail(where, "background rate_scale must be positive");
+  if (cfg.bursts.empty())
+    fail(where, "at least one [burst] section is required");
+
+  // Each burst's emission window is 1 s of scenario time (the FRED
+  // light-curve sampling window in ExposureSimulator::simulate_grb_only).
+  constexpr double kEmissionWindowS = 1.0;
+  for (std::size_t i = 0; i < cfg.bursts.size(); ++i) {
+    const BurstSpec& b = cfg.bursts[i];
+    const std::string tag = "[burst] #" + std::to_string(i + 1);
+    if (b.fluence <= 0.0) fail(where, tag + ": fluence must be positive");
+    if (b.t_start < 0.0) fail(where, tag + ": t_start must be >= 0");
+    if (b.t_start + kEmissionWindowS > cfg.duration_s)
+      fail(where, tag + ": emission window [t_start, t_start + 1 s) "
+                         "extends past duration_s");
+    if (b.polar_deg < 0.0 || b.polar_deg > 90.0)
+      fail(where, tag + ": polar_deg must be in [0, 90]");
+    if (b.rise_s <= 0.0 || b.decay_s <= 0.0)
+      fail(where, tag + ": rise_s and decay_s must be positive");
+    if (b.e_peak_mev <= 0.0)
+      fail(where, tag + ": e_peak_mev must be positive");
+  }
+  for (std::size_t i = 0; i < cfg.flare_trains.size(); ++i) {
+    const FlareTrainSpec& f = cfg.flare_trains[i];
+    const std::string tag = "[flare_train] #" + std::to_string(i + 1);
+    if (f.pulse_fluence <= 0.0)
+      fail(where, tag + ": pulse_fluence must be positive");
+    if (f.period_s <= 0.0) fail(where, tag + ": period_s must be positive");
+    if (f.pulse_width_s <= 0.0)
+      fail(where, tag + ": pulse_width_s must be positive");
+    if (f.t_first < 0.0) fail(where, tag + ": t_first must be >= 0");
+    const double last_start =
+        f.t_first + static_cast<double>(f.pulses - 1) * f.period_s;
+    if (last_start + kEmissionWindowS > cfg.duration_s)
+      fail(where, tag + ": last pulse extends past duration_s");
+    if (f.polar_deg < 0.0 || f.polar_deg > 90.0)
+      fail(where, tag + ": polar_deg must be in [0, 90]");
+    if (f.e_peak_mev <= 0.0)
+      fail(where, tag + ": e_peak_mev must be positive");
+  }
+  for (std::size_t i = 0; i < cfg.surges.size(); ++i) {
+    const SurgeSpec& s = cfg.surges[i];
+    const std::string tag = "[surge] #" + std::to_string(i + 1);
+    if (s.t_end <= s.t_start)
+      fail(where, tag + ": window inverted (t_end must be > t_start)");
+    if (s.t_start < 0.0 || s.t_end > cfg.duration_s)
+      fail(where, tag + ": window must lie inside [0, duration_s]");
+    if (s.factor < 1.0) fail(where, tag + ": factor must be >= 1");
+    if (s.factor > 100.0) fail(where, tag + ": factor too large (max 100)");
+  }
+  for (std::size_t i = 0; i < cfg.occultations.size(); ++i) {
+    const OccultationSpec& o = cfg.occultations[i];
+    const std::string tag = "[occultation] #" + std::to_string(i + 1);
+    if (o.t_end <= o.t_start)
+      fail(where, tag + ": window inverted (t_end must be > t_start)");
+    if (o.t_start < 0.0 || o.t_end > cfg.duration_s)
+      fail(where, tag + ": window must lie inside [0, duration_s]");
+  }
+  return cfg;
+}
+
+ScenarioConfig load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw core::CliError("cannot read scenario config '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_scenario(buffer.str(), path);
+}
+
+}  // namespace adapt::scenario

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file config.hpp
+/// Hostile-sky scenario configs: a strict, line-based TOML subset.
+///
+/// A scenario is a replayable sky campaign — overlapping GRBs, soft
+/// flare trains, background surge windows, Earth-occultation dead
+/// windows, and a pileup latency — described in a small text file so
+/// CI can check the files in, diff them in review, and gate golden
+/// reports on them.  The grammar is deliberately tiny:
+///
+///     # comment
+///     [scenario]
+///     name = multi_burst
+///     duration_s = 4.0
+///
+///     [burst]            # repeatable; one section per burst
+///     t_start = 0.5
+///     fluence = 6.0
+///     ...
+///
+/// Parsing is STRICT in the same spirit as core::CliArgs: unknown
+/// sections, unknown keys, duplicate keys, malformed numbers,
+/// non-finite rates, negative fluences, and inverted windows all throw
+/// core::CliError (adaptctl maps that to exit code 2 with usage) —
+/// never a silent default, never a crash.  A config that loads is a
+/// config the engine can replay bit-identically from (config, seed).
+
+#include <string>
+#include <vector>
+
+namespace adapt::scenario {
+
+/// One gamma-ray burst: FRED light curve + Band spectrum, simulated
+/// over a 1 s emission window starting at `t_start` scenario time.
+struct BurstSpec {
+  double t_start = 0.0;      ///< Emission window start [s, scenario clock].
+  double fluence = 1.0;      ///< Relative fluence (1.0 = paper baseline).
+  double polar_deg = 30.0;   ///< Source polar angle [deg, 0 = zenith].
+  double azimuth_deg = 0.0;  ///< Source azimuth [deg].
+  double rise_s = 0.01;      ///< FRED rise time [s].
+  double decay_s = 0.15;     ///< FRED decay time [s].
+  double e_peak_mev = 0.3;   ///< Band spectrum peak energy [MeV].
+};
+
+/// A repeating soft-gamma-flare train (SGR-like): `pulses` identical
+/// soft pulses starting at `t_first`, one every `period_s`.  Flare
+/// events are truth-tagged background — they are exactly the transient
+/// the trigger must NOT localize as a GRB.
+struct FlareTrainSpec {
+  double t_first = 0.0;        ///< First pulse start [s].
+  double period_s = 1.0;       ///< Pulse spacing [s].
+  std::uint64_t pulses = 3;    ///< Number of pulses.
+  double pulse_fluence = 0.5;  ///< Relative fluence per pulse.
+  double pulse_width_s = 0.1;  ///< Pulse duration scale [s].
+  double polar_deg = 60.0;     ///< Flare source polar angle [deg].
+  double azimuth_deg = 180.0;  ///< Flare source azimuth [deg].
+  double e_peak_mev = 0.08;    ///< Soft spectrum peak [MeV].
+};
+
+/// A solar-flare background surge: the background rate is multiplied
+/// by `factor` inside [t_start, t_end).
+struct SurgeSpec {
+  double t_start = 0.0;
+  double t_end = 0.0;
+  double factor = 2.0;  ///< Rate multiplier, >= 1.
+};
+
+/// An Earth-occultation dead window: every event inside [t_start,
+/// t_end) is dropped before reconstruction (the sky is blocked).
+struct OccultationSpec {
+  double t_start = 0.0;
+  double t_end = 0.0;
+};
+
+struct ScenarioConfig {
+  std::string name;               ///< Identifier ([A-Za-z0-9_-]).
+  double duration_s = 4.0;        ///< Total campaign duration [s].
+  double alert_radius_deg = 10.0; ///< Localizer alert threshold [deg].
+  double pileup_latency_s = 0.0;  ///< DAQ coincidence window [s].
+  double background_rate_scale = 1.0;  ///< Scale on the paper baseline.
+
+  std::vector<BurstSpec> bursts;  ///< At least one.
+  std::vector<FlareTrainSpec> flare_trains;
+  std::vector<SurgeSpec> surges;
+  std::vector<OccultationSpec> occultations;
+};
+
+/// Parse a scenario config from text.  Throws core::CliError on any
+/// syntactic or semantic problem; `where` names the source (file name)
+/// in the error message.
+ScenarioConfig parse_scenario(const std::string& text,
+                              const std::string& where = "<config>");
+
+/// Read and parse a config file.  Throws core::CliError when the file
+/// cannot be read or fails to parse.
+ScenarioConfig load_scenario_file(const std::string& path);
+
+}  // namespace adapt::scenario

@@ -1,0 +1,247 @@
+#include "scenario/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/rng.hpp"
+#include "detector/material.hpp"
+#include "loc/likelihood.hpp"
+#include "recon/event_reconstruction.hpp"
+#include "sim/exposure.hpp"
+#include "sim/pileup.hpp"
+
+namespace adapt::scenario {
+
+namespace {
+
+/// Emission window of a single simulated burst/pulse [s] — the FRED
+/// sampling window in ExposureSimulator::simulate_grb_only.
+constexpr double kEmissionWindowS = 1.0;
+
+sim::GrbConfig burst_grb(const BurstSpec& b) {
+  sim::GrbConfig g;
+  g.fluence = b.fluence;
+  g.polar_deg = b.polar_deg;
+  g.azimuth_deg = b.azimuth_deg;
+  g.spectrum.e_peak = b.e_peak_mev;
+  // Onset near the window start: the scenario clock, not the light
+  // curve, places the burst.
+  g.light_curve.t_start = 0.05;
+  g.light_curve.rise = b.rise_s;
+  g.light_curve.decay = b.decay_s;
+  return g;
+}
+
+sim::GrbConfig flare_pulse_grb(const FlareTrainSpec& f) {
+  sim::GrbConfig g;
+  g.fluence = f.pulse_fluence;
+  g.polar_deg = f.polar_deg;
+  g.azimuth_deg = f.azimuth_deg;
+  g.spectrum.e_peak = f.e_peak_mev;
+  g.light_curve.t_start = 0.02;
+  g.light_curve.rise = f.pulse_width_s / 4.0;
+  g.light_curve.decay = f.pulse_width_s / 2.0;
+  return g;
+}
+
+void append_shifted(std::vector<detector::MeasuredEvent>& timeline,
+                    std::vector<detector::MeasuredEvent>&& events,
+                    double t_shift) {
+  for (auto& event : events) {
+    event.time_s += t_shift;
+    timeline.push_back(std::move(event));
+  }
+}
+
+bool in_any_window(double t, const std::vector<OccultationSpec>& windows) {
+  for (const OccultationSpec& w : windows)
+    if (t >= w.t_start && t < w.t_end) return true;
+  return false;
+}
+
+}  // namespace
+
+ScenarioData simulate_scenario(const ScenarioConfig& config,
+                               std::uint64_t seed) {
+  // One splitmix64 chain, consumed in a FIXED order (calibration,
+  // baseline background, bursts, flare pulses, surges), hands every
+  // component an independent Rng: adding a surge cannot perturb a
+  // burst's realization drawn earlier in the chain.
+  std::uint64_t chain = seed;
+  const auto component_rng = [&chain] {
+    return core::Rng(core::splitmix64(chain));
+  };
+
+  const detector::Geometry geometry{detector::GeometryConfig{}};
+  const detector::Material material = detector::Material::csi();
+  const sim::ExposureSimulator simulator(geometry, material);
+
+  ScenarioData data;
+  data.config = config;
+
+  // Calibration: a burst-free window at the scenario's background level
+  // gives the trigger its running-average rate, exactly as the flight
+  // software would maintain one from pre-burst data.
+  sim::BackgroundConfig baseline;
+  baseline.photons_per_second *= config.background_rate_scale;
+  {
+    sim::BackgroundConfig calibration = baseline;
+    calibration.exposure_seconds = 1.0;
+    core::Rng rng = component_rng();
+    const sim::Exposure cal =
+        simulator.simulate_background_only(calibration, rng);
+    data.background_rate_hz = trigger::RateTrigger::estimate_background_rate(
+        cal.events, calibration.exposure_seconds);
+  }
+
+  // Baseline background over the whole campaign.
+  {
+    sim::BackgroundConfig bkg = baseline;
+    bkg.exposure_seconds = config.duration_s;
+    core::Rng rng = component_rng();
+    sim::Exposure exposure = simulator.simulate_background_only(bkg, rng);
+    data.background_events = exposure.events.size();
+    append_shifted(data.events, std::move(exposure.events), 0.0);
+  }
+
+  // Bursts: each one is a 1-second GRB-only exposure shifted onto the
+  // scenario clock.
+  for (const BurstSpec& spec : config.bursts) {
+    core::Rng rng = component_rng();
+    sim::Exposure exposure =
+        simulator.simulate_grb_only(burst_grb(spec), rng);
+    BurstTruth truth;
+    truth.direction = exposure.true_source_direction;
+    truth.t_start = spec.t_start;
+    truth.t_end = spec.t_start + kEmissionWindowS;
+    truth.events = exposure.events.size();
+    data.bursts.push_back(truth);
+    append_shifted(data.events, std::move(exposure.events), spec.t_start);
+  }
+
+  // Flare trains: repeated soft pulses, truth-tagged background so the
+  // scoring treats any trigger on them as a false positive.
+  for (const FlareTrainSpec& spec : config.flare_trains) {
+    for (std::uint64_t pulse = 0; pulse < spec.pulses; ++pulse) {
+      core::Rng rng = component_rng();
+      sim::Exposure exposure =
+          simulator.simulate_grb_only(flare_pulse_grb(spec), rng);
+      for (auto& event : exposure.events)
+        event.origin = detector::Origin::kBackground;
+      data.flare_events += exposure.events.size();
+      const double t_shift =
+          spec.t_first + static_cast<double>(pulse) * spec.period_s;
+      append_shifted(data.events, std::move(exposure.events), t_shift);
+    }
+  }
+
+  // Surges: extra background at rate * (factor - 1) inside the window
+  // (the baseline already covers the first 1x).
+  for (const SurgeSpec& spec : config.surges) {
+    sim::BackgroundConfig surge = baseline;
+    surge.photons_per_second *= (spec.factor - 1.0);
+    surge.exposure_seconds = spec.t_end - spec.t_start;
+    core::Rng rng = component_rng();
+    if (surge.photons_per_second <= 0.0) continue;  // factor == 1.
+    sim::Exposure exposure = simulator.simulate_background_only(surge, rng);
+    data.surge_events += exposure.events.size();
+    append_shifted(data.events, std::move(exposure.events), spec.t_start);
+  }
+
+  // Occultation dead windows: the sky is blocked, events vanish.
+  if (!config.occultations.empty()) {
+    const auto dead = [&](const detector::MeasuredEvent& e) {
+      return in_any_window(e.time_s, config.occultations);
+    };
+    const auto keep_end =
+        std::remove_if(data.events.begin(), data.events.end(), dead);
+    data.occulted_events = static_cast<std::uint64_t>(
+        std::distance(keep_end, data.events.end()));
+    data.events.erase(keep_end, data.events.end());
+  }
+
+  // One DAQ: sort the merged timeline, then apply the shared
+  // detection-latency pileup window across ALL components.
+  std::stable_sort(data.events.begin(), data.events.end(),
+                   [](const detector::MeasuredEvent& a,
+                      const detector::MeasuredEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
+  data.piled_up_events =
+      sim::merge_coincident(data.events, config.pileup_latency_s);
+
+  // Per-event serial reconstruction preserves the event -> ring time
+  // mapping (reconstruct_all is OpenMP-parallel and would still keep
+  // order, but the serial loop makes the pairing explicit and lets us
+  // record times for exactly the accepted events).
+  const recon::EventReconstructor reconstructor(material);
+  data.rings.reserve(data.events.size() / 2);
+  for (const detector::MeasuredEvent& event : data.events) {
+    if (auto ring = reconstructor.reconstruct(event)) {
+      data.rings.push_back(std::move(*ring));
+      data.ring_times.push_back(event.time_s);
+    }
+  }
+
+  for (BurstTruth& truth : data.bursts)
+    truth.rings = static_cast<std::uint64_t>(
+        rings_in_window(data, truth.t_start, truth.t_end).size());
+  return data;
+}
+
+TriggerScore score_trigger(const ScenarioData& data) {
+  trigger::TriggerConfig config;
+  config.background_rate_hz = data.background_rate_hz;
+  const trigger::RateTrigger rate_trigger(config);
+
+  std::vector<double> times;
+  times.reserve(data.events.size());
+  for (const auto& event : data.events) times.push_back(event.time_s);
+
+  TriggerScore score;
+  score.intervals =
+      rate_trigger.scan_all(std::move(times), data.config.duration_s);
+
+  const auto overlaps = [](const trigger::TriggerInterval& interval,
+                           const BurstTruth& burst) {
+    return interval.t_start < burst.t_end && burst.t_start < interval.t_end;
+  };
+  for (const trigger::TriggerInterval& interval : score.intervals) {
+    bool matched = false;
+    for (const BurstTruth& burst : data.bursts)
+      if (overlaps(interval, burst)) matched = true;
+    if (matched)
+      ++score.true_positives;
+    else
+      ++score.false_positives;
+  }
+  for (const BurstTruth& burst : data.bursts) {
+    for (const trigger::TriggerInterval& interval : score.intervals) {
+      if (overlaps(interval, burst)) {
+        ++score.bursts_detected;
+        break;
+      }
+    }
+  }
+  if (!data.bursts.empty())
+    score.efficiency = static_cast<double>(score.bursts_detected) /
+                       static_cast<double>(data.bursts.size());
+  if (!score.intervals.empty())
+    score.purity = static_cast<double>(score.true_positives) /
+                   static_cast<double>(score.intervals.size());
+  return score;
+}
+
+std::vector<std::size_t> rings_in_window(const ScenarioData& data,
+                                         double t_start, double t_end) {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < data.rings.size(); ++i) {
+    const double t = data.ring_times[i];
+    if (t < t_start || t >= t_end) continue;
+    if (!loc::ring_usable(data.rings[i])) continue;
+    indices.push_back(i);
+  }
+  return indices;
+}
+
+}  // namespace adapt::scenario

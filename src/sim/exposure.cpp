@@ -1,8 +1,7 @@
 #include "sim/exposure.hpp"
 
-#include <algorithm>
-
 #include "core/telemetry.hpp"
+#include "sim/pileup.hpp"
 
 namespace adapt::sim {
 
@@ -56,52 +55,6 @@ void ExposureSimulator::run_photons(
   }
 }
 
-namespace {
-
-/// Merge coincident events: pairs whose (simulated) arrival times fall
-/// within the detection latency are read out as one corrupted event.
-void apply_pileup(Exposure& exposure, double window_s) {
-  if (window_s <= 0.0 || exposure.events.size() < 2) return;
-
-  struct Timed {
-    double t;
-    std::size_t index;
-  };
-  std::vector<Timed> order(exposure.events.size());
-  for (std::size_t i = 0; i < order.size(); ++i)
-    order[i] = Timed{exposure.events[i].time_s, i};
-  std::sort(order.begin(), order.end(),
-            [](const Timed& a, const Timed& b) { return a.t < b.t; });
-
-  std::vector<detector::MeasuredEvent> merged;
-  merged.reserve(exposure.events.size());
-  std::size_t i = 0;
-  while (i < order.size()) {
-    detector::MeasuredEvent event =
-        std::move(exposure.events[order[i].index]);
-    std::size_t j = i + 1;
-    while (j < order.size() && order[j].t - order[i].t < window_s) {
-      const detector::MeasuredEvent& other = exposure.events[order[j].index];
-      // The DAQ sees one event: concatenated hits, summed energy.  The
-      // trajectory is no longer a single photon's — mark it partially
-      // absorbed and keep the earlier photon's truth (the tag the
-      // networks would ideally learn to reject).
-      event.hits.insert(event.hits.end(), other.hits.begin(),
-                        other.hits.end());
-      event.fully_absorbed = false;
-      if (other.origin == detector::Origin::kBackground)
-        event.origin = detector::Origin::kBackground;
-      ++exposure.piled_up_events;
-      ++j;
-    }
-    merged.push_back(std::move(event));
-    i = j;
-  }
-  exposure.events = std::move(merged);
-}
-
-}  // namespace
-
 Exposure ExposureSimulator::simulate(const GrbConfig& grb,
                                      const BackgroundConfig& background,
                                      core::Rng& rng,
@@ -141,7 +94,8 @@ Exposure ExposureSimulator::simulate(const GrbConfig& grb,
   count_photons(detector::Origin::kBackground, exposure.background_photons,
                 exposure.events.size() - grb_detected);
 
-  apply_pileup(exposure, pileup.detection_latency_s);
+  exposure.piled_up_events +=
+      merge_coincident(exposure.events, pileup.detection_latency_s);
   piled_up.add(exposure.piled_up_events);
   return exposure;
 }

@@ -1,0 +1,52 @@
+#include "sim/pileup.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace adapt::sim {
+
+std::uint64_t merge_coincident(std::vector<detector::MeasuredEvent>& events,
+                               double window_s) {
+  if (window_s <= 0.0 || events.size() < 2) return 0;
+
+  struct Timed {
+    double t;
+    std::size_t index;
+  };
+  std::vector<Timed> order(events.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order[i] = Timed{events[i].time_s, i};
+  // stable_sort: equal arrival times keep their assembly order, so the
+  // merge result is independent of how the timeline was concatenated.
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Timed& a, const Timed& b) { return a.t < b.t; });
+
+  std::uint64_t merged_away = 0;
+  std::vector<detector::MeasuredEvent> merged;
+  merged.reserve(events.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    detector::MeasuredEvent event = std::move(events[order[i].index]);
+    std::size_t j = i + 1;
+    while (j < order.size() && order[j].t - order[i].t < window_s) {
+      const detector::MeasuredEvent& other = events[order[j].index];
+      // The DAQ sees one event: concatenated hits, summed energy.  The
+      // trajectory is no longer a single photon's — mark it partially
+      // absorbed and keep the earlier photon's truth (the tag the
+      // networks would ideally learn to reject).
+      event.hits.insert(event.hits.end(), other.hits.begin(),
+                        other.hits.end());
+      event.fully_absorbed = false;
+      if (other.origin == detector::Origin::kBackground)
+        event.origin = detector::Origin::kBackground;
+      ++merged_away;
+      ++j;
+    }
+    merged.push_back(std::move(event));
+    i = j;
+  }
+  events = std::move(merged);
+  return merged_away;
+}
+
+}  // namespace adapt::sim

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file pileup.hpp
+/// Detection-latency pileup as a reusable timeline transform.
+///
+/// Two photons whose arrival times fall within the instrument's
+/// detection latency are read out as ONE event whose hit lists are
+/// merged — a corrupted trajectory that reconstruction cannot order
+/// correctly (the paper's first listed piece of future work).  The
+/// merge used to live inside ExposureSimulator::simulate; the scenario
+/// engine needs the same physics on timelines it assembles itself
+/// (overlapping bursts + flare trains + surges share one DAQ), so the
+/// transform is public: sort-by-time, group events closer than the
+/// latency window to the group anchor, concatenate hits.
+///
+/// Semantics (unchanged from the original exposure-internal version):
+/// grouping is anchor-based — an event joins the group when it arrives
+/// within `window_s` of the group's FIRST event, and the next group
+/// starts at the first event past that window.  The merged event keeps
+/// the anchor's arrival time and truth tag, except that any background
+/// contribution poisons the tag to kBackground; `fully_absorbed` is
+/// cleared because the combined trajectory is no longer one photon's.
+
+#include <cstdint>
+#include <vector>
+
+#include "detector/hit.hpp"
+
+namespace adapt::sim {
+
+/// Merge time-coincident events in place.  Returns the number of
+/// events absorbed into an earlier anchor (== the drop in
+/// events.size()); 0 when `window_s <= 0` or fewer than two events.
+std::uint64_t merge_coincident(std::vector<detector::MeasuredEvent>& events,
+                               double window_s);
+
+}  // namespace adapt::sim

@@ -72,6 +72,67 @@ TriggerResult RateTrigger::scan(
   return scan(std::move(times), exposure_s);
 }
 
+std::vector<TriggerInterval> RateTrigger::scan_all(
+    std::vector<double> event_times, double exposure_s) const {
+  ADAPT_REQUIRE(exposure_s > 0.0, "exposure must be positive");
+  const auto finite_end =
+      std::remove_if(event_times.begin(), event_times.end(),
+                     [](double t) { return !std::isfinite(t); });
+  event_times.erase(finite_end, event_times.end());
+  std::sort(event_times.begin(), event_times.end());
+
+  // Same sliding scan as scan(), but collect EVERY window clearing the
+  // threshold instead of keeping one champion.
+  std::vector<TriggerInterval> hits;
+  for (const double window : config_.window_sizes_s) {
+    if (window > exposure_s) continue;
+    const double mu = config_.background_rate_hz * window;
+    const double stride = window * config_.stride_fraction;
+    for (double t0 = 0.0; t0 + window <= exposure_s + 1e-12; t0 += stride) {
+      const double t1 = t0 + window;
+      const auto lo = std::lower_bound(event_times.begin(),
+                                       event_times.end(), t0);
+      const auto hi = std::lower_bound(lo, event_times.end(), t1);
+      const auto counts = static_cast<std::size_t>(std::distance(lo, hi));
+      const double sigma = core::poisson_significance_sigma(counts, mu);
+      if (sigma >= config_.threshold_sigma)
+        hits.push_back(TriggerInterval{t0, t1, sigma, counts, mu});
+    }
+  }
+  if (hits.empty()) return hits;
+
+  // Merge overlapping windows across timescales into disjoint episodes,
+  // each keeping its most significant constituent window's statistics.
+  std::sort(hits.begin(), hits.end(),
+            [](const TriggerInterval& a, const TriggerInterval& b) {
+              if (a.t_start != b.t_start) return a.t_start < b.t_start;
+              return a.t_end < b.t_end;
+            });
+  std::vector<TriggerInterval> merged;
+  for (const TriggerInterval& h : hits) {
+    if (!merged.empty() && h.t_start <= merged.back().t_end + 1e-12) {
+      TriggerInterval& episode = merged.back();
+      episode.t_end = std::max(episode.t_end, h.t_end);
+      if (h.significance_sigma > episode.significance_sigma) {
+        episode.significance_sigma = h.significance_sigma;
+        episode.counts = h.counts;
+        episode.expected = h.expected;
+      }
+    } else {
+      merged.push_back(h);
+    }
+  }
+  return merged;
+}
+
+std::vector<TriggerInterval> RateTrigger::scan_all(
+    std::span<const detector::MeasuredEvent> events, double exposure_s) const {
+  std::vector<double> times;
+  times.reserve(events.size());
+  for (const auto& event : events) times.push_back(event.time_s);
+  return scan_all(std::move(times), exposure_s);
+}
+
 double RateTrigger::estimate_background_rate(
     std::span<const detector::MeasuredEvent> events, double exposure_s) {
   ADAPT_REQUIRE(exposure_s > 0.0, "exposure must be positive");

@@ -45,6 +45,19 @@ struct TriggerResult {
   double expected = 0.0;            ///< Background expectation there.
 };
 
+/// One merged over-threshold episode from scan_all(): the union of all
+/// triggering windows (any timescale) that overlap each other, carrying
+/// the most significant single window inside it.  A multi-burst or
+/// hostile-sky exposure produces one interval per distinct rate excess
+/// — the unit the scenario matrix scores purity/efficiency on.
+struct TriggerInterval {
+  double t_start = 0.0;             ///< Merged episode bounds [s].
+  double t_end = 0.0;
+  double significance_sigma = 0.0;  ///< Best window inside the episode.
+  std::size_t counts = 0;           ///< Events in that best window.
+  double expected = 0.0;            ///< Background expectation there.
+};
+
 class RateTrigger {
  public:
   explicit RateTrigger(const TriggerConfig& config = {});
@@ -56,6 +69,17 @@ class RateTrigger {
   /// Convenience overload extracting times from measured events.
   TriggerResult scan(std::span<const detector::MeasuredEvent> events,
                      double exposure_s) const;
+
+  /// Every over-threshold episode in the exposure, not just the best
+  /// one: all windows (all timescales) whose significance clears the
+  /// threshold, merged when they overlap, ordered by start time.
+  /// Non-finite timestamps are dropped exactly as in scan().
+  std::vector<TriggerInterval> scan_all(std::vector<double> event_times,
+                                        double exposure_s) const;
+
+  std::vector<TriggerInterval> scan_all(
+      std::span<const detector::MeasuredEvent> events,
+      double exposure_s) const;
 
   /// Estimate the background detected-event rate from a (burst-free)
   /// exposure — what the flight software maintains as a running

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/matrix.hpp"
+
+namespace adapt::fault {
+namespace {
+
+// One tiny scenario keeps the 5-row matrix cheap enough for ctest
+// while still exercising every injection surface against real
+// scenario rings.
+scenario::ScenarioConfig tiny_scenario() {
+  scenario::ScenarioConfig cfg;
+  cfg.name = "matrix_tiny";
+  cfg.duration_s = 2.0;
+  cfg.background_rate_scale = 0.05;
+  scenario::BurstSpec burst;
+  burst.t_start = 0.3;
+  burst.fluence = 4.0;
+  burst.polar_deg = 25.0;
+  burst.azimuth_deg = 40.0;
+  cfg.bursts.push_back(burst);
+  return cfg;
+}
+
+TEST(MatrixRowNames, RoundTrip) {
+  EXPECT_STREQ(to_string(MatrixRow::kNone), "none");
+  EXPECT_STREQ(to_string(MatrixRow::kEvents), "events");
+  EXPECT_STREQ(to_string(MatrixRow::kForward), "forward");
+  EXPECT_STREQ(to_string(MatrixRow::kSeu), "seu");
+  EXPECT_STREQ(to_string(MatrixRow::kModelBytes), "model_bytes");
+}
+
+TEST(FaultMatrix, AllCellsPassWithBalancedLedgers) {
+  MatrixSpec spec;
+  spec.seed = 2026;
+  spec.scenarios.push_back(tiny_scenario());
+
+  const MatrixResult result = run_matrix(spec);
+  EXPECT_TRUE(result.ok) << result.report;
+  ASSERT_EQ(result.cells.size(), kMatrixRowCount);
+  for (const CellResult& cell : result.cells) {
+    EXPECT_TRUE(cell.ok) << cell.report;
+    EXPECT_TRUE(cell.ledger.balanced()) << cell.report;
+    EXPECT_EQ(cell.scenario, "matrix_tiny");
+    EXPECT_TRUE(cell.errors.empty()) << cell.errors;
+    // Every cell report is embedded in the matrix report verbatim.
+    EXPECT_NE(result.report.find(cell.report), std::string::npos);
+  }
+  // Fault rows actually injected something; the clean row did not.
+  EXPECT_EQ(result.cells[0].row, MatrixRow::kNone);
+  EXPECT_TRUE(result.cells[0].ledger.balanced());
+  for (std::size_t i = 1; i < result.cells.size(); ++i) {
+    std::uint64_t injected = 0;
+    for (const auto& n : result.cells[i].ledger.injected) injected += n;
+    EXPECT_GT(injected, 0u) << to_string(result.cells[i].row);
+  }
+}
+
+TEST(FaultMatrix, ReportIsByteIdenticalAcrossRuns) {
+  MatrixSpec spec;
+  spec.seed = 7;
+  spec.scenarios.push_back(tiny_scenario());
+
+  const MatrixResult a = run_matrix(spec);
+  const MatrixResult b = run_matrix(spec);
+  EXPECT_TRUE(a.ok);
+  EXPECT_EQ(a.report, b.report);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].report, b.cells[i].report);
+    EXPECT_EQ(a.cells[i].seed, b.cells[i].seed);
+  }
+}
+
+TEST(FaultMatrix, OnlyRowRestrictsTheMatrix) {
+  MatrixSpec spec;
+  spec.seed = 11;
+  spec.scenarios.push_back(tiny_scenario());
+  spec.only_row = "events";
+
+  const MatrixResult result = run_matrix(spec);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_EQ(result.cells[0].row, MatrixRow::kEvents);
+  EXPECT_TRUE(result.cells[0].ok) << result.cells[0].report;
+}
+
+TEST(FaultMatrix, CleanRowReportCarriesAlertAndStreamLines) {
+  MatrixSpec spec;
+  spec.seed = 2026;
+  spec.scenarios.push_back(tiny_scenario());
+  spec.only_row = "none";
+
+  const MatrixResult result = run_matrix(spec);
+  ASSERT_EQ(result.cells.size(), 1u);
+  const std::string& report = result.cells[0].report;
+  EXPECT_NE(report.find("sim: "), std::string::npos) << report;
+  EXPECT_NE(report.find("trigger: "), std::string::npos) << report;
+  EXPECT_NE(report.find("burst 1:"), std::string::npos) << report;
+  EXPECT_NE(report.find("stream 1:"), std::string::npos) << report;
+  EXPECT_NE(report.find("alert="), std::string::npos) << report;
+  EXPECT_NE(report.find("ledger invariant: balanced"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("cell status: ok"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace adapt::fault

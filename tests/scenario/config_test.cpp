@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/cli.hpp"
+#include "scenario/config.hpp"
+
+namespace adapt::scenario {
+namespace {
+
+// Checked-in fixtures live in the source tree.
+const std::string kFixtures =
+    std::string(ADAPT_SOURCE_DIR) + "/tests/scenario/";
+
+ScenarioConfig parse(const std::string& text) {
+  return parse_scenario(text, "test.scn");
+}
+
+void expect_rejected(const std::string& text, const std::string& fragment) {
+  try {
+    parse(text);
+    FAIL() << "config accepted; expected CliError mentioning '" << fragment
+           << "'";
+  } catch (const core::CliError& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(ScenarioConfigParse, FullConfigRoundTrips) {
+  const ScenarioConfig cfg = parse(R"(# hostile sky
+[scenario]
+name = demo-1
+duration_s = 5.0
+alert_radius_deg = 12.5
+pileup_latency_s = 0.0001
+
+[background]
+rate_scale = 0.4
+
+[burst]
+t_start = 0.5
+fluence = 4.0
+polar_deg = 25.0
+azimuth_deg = 40.0
+rise_s = 0.02
+decay_s = 0.2
+e_peak_mev = 0.35
+
+[burst]
+t_start = 2.5
+fluence = 2.0
+
+[flare_train]
+t_first = 0.2
+period_s = 1.0
+pulses = 3
+pulse_fluence = 0.6
+pulse_width_s = 0.08
+polar_deg = 70.0
+azimuth_deg = 120.0
+e_peak_mev = 0.08
+
+[surge]
+t_start = 1.0
+t_end = 2.0
+factor = 3.0
+
+[occultation]
+t_start = 3.6
+t_end = 4.4
+)");
+  EXPECT_EQ(cfg.name, "demo-1");
+  EXPECT_EQ(cfg.duration_s, 5.0);
+  EXPECT_EQ(cfg.alert_radius_deg, 12.5);
+  EXPECT_EQ(cfg.pileup_latency_s, 0.0001);
+  EXPECT_EQ(cfg.background_rate_scale, 0.4);
+  ASSERT_EQ(cfg.bursts.size(), 2u);
+  EXPECT_EQ(cfg.bursts[0].t_start, 0.5);
+  EXPECT_EQ(cfg.bursts[0].fluence, 4.0);
+  EXPECT_EQ(cfg.bursts[0].polar_deg, 25.0);
+  EXPECT_EQ(cfg.bursts[0].azimuth_deg, 40.0);
+  EXPECT_EQ(cfg.bursts[0].rise_s, 0.02);
+  EXPECT_EQ(cfg.bursts[0].decay_s, 0.2);
+  EXPECT_EQ(cfg.bursts[0].e_peak_mev, 0.35);
+  // Unset keys keep their documented defaults.
+  EXPECT_EQ(cfg.bursts[1].polar_deg, 30.0);
+  ASSERT_EQ(cfg.flare_trains.size(), 1u);
+  EXPECT_EQ(cfg.flare_trains[0].pulses, 3u);
+  EXPECT_EQ(cfg.flare_trains[0].e_peak_mev, 0.08);
+  ASSERT_EQ(cfg.surges.size(), 1u);
+  EXPECT_EQ(cfg.surges[0].factor, 3.0);
+  ASSERT_EQ(cfg.occultations.size(), 1u);
+  EXPECT_EQ(cfg.occultations[0].t_end, 4.4);
+}
+
+TEST(ScenarioConfigParse, MinimalConfigUsesDefaults) {
+  const ScenarioConfig cfg = parse(
+      "[scenario]\nname = tiny\n\n[burst]\nt_start = 0.5\n");
+  EXPECT_EQ(cfg.duration_s, 4.0);
+  EXPECT_EQ(cfg.background_rate_scale, 1.0);
+  ASSERT_EQ(cfg.bursts.size(), 1u);
+  EXPECT_EQ(cfg.bursts[0].fluence, 1.0);
+}
+
+TEST(ScenarioConfigParse, RejectsUnknownSection) {
+  expect_rejected("[scenario]\nname = x\n\n[bursts]\nt_start = 0\n",
+                  "unknown section");
+}
+
+TEST(ScenarioConfigParse, RejectsUnknownKey) {
+  expect_rejected(
+      "[scenario]\nname = x\nflux = 1.0\n\n[burst]\nt_start = 0\n",
+      "unknown key");
+}
+
+TEST(ScenarioConfigParse, RejectsDuplicateKey) {
+  expect_rejected(
+      "[scenario]\nname = x\nduration_s = 2\nduration_s = 3\n"
+      "\n[burst]\nt_start = 0\n",
+      "duplicate key");
+}
+
+TEST(ScenarioConfigParse, RejectsNegativeFluence) {
+  expect_rejected(
+      "[scenario]\nname = x\n\n[burst]\nt_start = 0\nfluence = -2\n",
+      "fluence");
+}
+
+TEST(ScenarioConfigParse, RejectsInvertedSurgeWindow) {
+  expect_rejected(
+      "[scenario]\nname = x\n\n[burst]\nt_start = 0\n"
+      "\n[surge]\nt_start = 2.0\nt_end = 1.0\nfactor = 2\n",
+      "t_end");
+}
+
+TEST(ScenarioConfigParse, RejectsInvertedOccultationWindow) {
+  expect_rejected(
+      "[scenario]\nname = x\n\n[burst]\nt_start = 0\n"
+      "\n[occultation]\nt_start = 3.0\nt_end = 3.0\n",
+      "t_end");
+}
+
+TEST(ScenarioConfigParse, RejectsNonFiniteRate) {
+  expect_rejected(
+      "[scenario]\nname = x\n\n[background]\nrate_scale = nan\n"
+      "\n[burst]\nt_start = 0\n",
+      "rate_scale");
+  expect_rejected(
+      "[scenario]\nname = x\n\n[background]\nrate_scale = inf\n"
+      "\n[burst]\nt_start = 0\n",
+      "rate_scale");
+}
+
+TEST(ScenarioConfigParse, RejectsMissingName) {
+  expect_rejected("[scenario]\nduration_s = 2\n\n[burst]\nt_start = 0\n",
+                  "name");
+}
+
+TEST(ScenarioConfigParse, RejectsConfigWithoutBurst) {
+  expect_rejected("[scenario]\nname = x\nduration_s = 2\n", "burst");
+}
+
+TEST(ScenarioConfigParse, RejectsBurstWindowPastDuration) {
+  // Emission window is 1 s; t_start 3.5 overruns a 4 s campaign.
+  expect_rejected(
+      "[scenario]\nname = x\nduration_s = 4\n\n[burst]\nt_start = 3.5\n",
+      "duration");
+}
+
+TEST(ScenarioConfigParse, RejectsPolarOutOfRange) {
+  expect_rejected(
+      "[scenario]\nname = x\n\n[burst]\nt_start = 0\npolar_deg = 120\n",
+      "polar_deg");
+}
+
+TEST(ScenarioConfigParse, RejectsMalformedNumber) {
+  expect_rejected(
+      "[scenario]\nname = x\nduration_s = fast\n\n[burst]\nt_start = 0\n",
+      "duration_s");
+}
+
+TEST(ScenarioConfigParse, RejectsKeyOutsideAnySection) {
+  expect_rejected("name = x\n\n[burst]\nt_start = 0\n", "section");
+}
+
+TEST(ScenarioConfigFiles, AllCheckedInScenariosLoad) {
+  for (const char* name :
+       {"multi_burst", "flare_train", "surge", "occultation",
+        "pileup_storm"}) {
+    const ScenarioConfig cfg =
+        load_scenario_file(kFixtures + "configs/" + name + ".scn");
+    EXPECT_EQ(cfg.name, name);
+    EXPECT_FALSE(cfg.bursts.empty()) << name;
+  }
+}
+
+TEST(ScenarioConfigFiles, AllMalformedFixturesThrowCliError) {
+  for (const char* name :
+       {"unknown_key", "negative_fluence", "inverted_window",
+        "nonfinite_rate", "duplicate_key", "no_burst"}) {
+    EXPECT_THROW(load_scenario_file(kFixtures + "malformed/" + name + ".scn"),
+                 core::CliError)
+        << name;
+  }
+}
+
+TEST(ScenarioConfigFiles, MissingFileThrowsCliError) {
+  EXPECT_THROW(load_scenario_file(kFixtures + "configs/does_not_exist.scn"),
+               core::CliError);
+}
+
+}  // namespace
+}  // namespace adapt::scenario

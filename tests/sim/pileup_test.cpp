@@ -2,9 +2,22 @@
 
 #include "recon/event_reconstruction.hpp"
 #include "sim/exposure.hpp"
+#include "sim/pileup.hpp"
 
 namespace adapt::sim {
 namespace {
+
+detector::MeasuredEvent event_at(double t, detector::Origin origin,
+                                 std::size_t n_hits = 2,
+                                 bool fully_absorbed = true) {
+  detector::MeasuredEvent ev;
+  ev.time_s = t;
+  ev.origin = origin;
+  ev.fully_absorbed = fully_absorbed;
+  ev.hits.resize(n_hits);
+  for (std::size_t i = 0; i < n_hits; ++i) ev.hits[i].energy = 0.1;
+  return ev;
+}
 
 class PileupTest : public ::testing::Test {
  protected:
@@ -92,6 +105,72 @@ TEST_F(PileupTest, PileupDegradesRingQuality) {
   const auto rings_clean = reconstructor.reconstruct_all(clean.events);
   const auto rings_piled = reconstructor.reconstruct_all(piled.events);
   EXPECT_LT(rings_piled.size(), rings_clean.size());
+}
+
+// ---------------------------------------------------------------------
+// merge_coincident: the public timeline transform (used directly by the
+// scenario engine on timelines it assembles itself).
+
+TEST(MergeCoincident, ZeroWindowAndSmallInputsAreNoOps) {
+  std::vector<detector::MeasuredEvent> empty;
+  EXPECT_EQ(merge_coincident(empty, 1.0), 0u);
+
+  std::vector<detector::MeasuredEvent> one{
+      event_at(0.5, detector::Origin::kGrb)};
+  EXPECT_EQ(merge_coincident(one, 1.0), 0u);
+  EXPECT_EQ(one.size(), 1u);
+
+  std::vector<detector::MeasuredEvent> pair{
+      event_at(0.1, detector::Origin::kGrb),
+      event_at(0.1001, detector::Origin::kGrb)};
+  EXPECT_EQ(merge_coincident(pair, 0.0), 0u);
+  EXPECT_EQ(pair.size(), 2u);
+}
+
+TEST(MergeCoincident, AnchorBasedGroupingMergesHitsAndTags) {
+  // 0.100 and 0.1004 fall inside the 1 ms window of the first; 0.102
+  // starts a new group.  Background poisons the merged tag and
+  // fully_absorbed is cleared.
+  std::vector<detector::MeasuredEvent> events{
+      event_at(0.102, detector::Origin::kGrb, 2, true),
+      event_at(0.100, detector::Origin::kGrb, 2, true),
+      event_at(0.1004, detector::Origin::kBackground, 3, true)};
+  EXPECT_EQ(merge_coincident(events, 1e-3), 1u);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].time_s, 0.100);
+  EXPECT_EQ(events[0].hits.size(), 5u);
+  EXPECT_EQ(events[0].origin, detector::Origin::kBackground);
+  EXPECT_FALSE(events[0].fully_absorbed);
+  // The survivor past the window is untouched.
+  EXPECT_EQ(events[1].time_s, 0.102);
+  EXPECT_EQ(events[1].hits.size(), 2u);
+  EXPECT_EQ(events[1].origin, detector::Origin::kGrb);
+  EXPECT_TRUE(events[1].fully_absorbed);
+}
+
+TEST(MergeCoincident, PureGrbGroupKeepsGrbTag) {
+  std::vector<detector::MeasuredEvent> events{
+      event_at(0.2, detector::Origin::kGrb, 2, true),
+      event_at(0.2002, detector::Origin::kGrb, 2, true)};
+  EXPECT_EQ(merge_coincident(events, 1e-3), 1u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].origin, detector::Origin::kGrb);
+  EXPECT_FALSE(events[0].fully_absorbed);
+}
+
+TEST(MergeCoincident, ReturnValueEqualsSizeDrop) {
+  core::Rng rng(7);
+  std::vector<detector::MeasuredEvent> events;
+  for (int i = 0; i < 500; ++i)
+    events.push_back(event_at(rng.uniform(0.0, 0.01),
+                              detector::Origin::kBackground));
+  const std::size_t before = events.size();
+  const std::uint64_t merged = merge_coincident(events, 5e-5);
+  EXPECT_GT(merged, 0u);
+  EXPECT_EQ(events.size() + merged, before);
+  // Result stays time-sorted with groups at least a window apart.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_GE(events[i].time_s, events[i - 1].time_s + 5e-5);
 }
 
 }  // namespace

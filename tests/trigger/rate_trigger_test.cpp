@@ -205,6 +205,93 @@ TEST(RateTrigger, ConfigValidation) {
 }
 
 // ---------------------------------------------------------------------
+// scan_all: every over-threshold episode, not just the champion.
+
+TEST(ScanAll, QuietBackgroundYieldsNoIntervals) {
+  TriggerConfig cfg;
+  cfg.background_rate_hz = 3000.0;
+  const RateTrigger trigger(cfg);
+  core::Rng rng(50);
+  EXPECT_TRUE(trigger.scan_all(uniform_times(3000.0, 1.0, rng), 1.0).empty());
+}
+
+TEST(ScanAll, SingleBurstYieldsOneIntervalMatchingScan) {
+  TriggerConfig cfg;
+  cfg.background_rate_hz = 3000.0;
+  const RateTrigger trigger(cfg);
+  core::Rng rng(51);
+  auto times = uniform_times(3000.0, 1.0, rng);
+  for (int i = 0; i < 400; ++i) times.push_back(rng.uniform(0.30, 0.40));
+
+  const auto best = trigger.scan(times, 1.0);
+  const auto intervals = trigger.scan_all(times, 1.0);
+  ASSERT_EQ(intervals.size(), 1u);
+  // The merged episode carries the champion window's statistics and
+  // covers it.
+  EXPECT_EQ(intervals[0].significance_sigma, best.significance_sigma);
+  EXPECT_EQ(intervals[0].counts, best.counts);
+  EXPECT_LE(intervals[0].t_start, best.t_start);
+  EXPECT_GE(intervals[0].t_end, best.t_end);
+}
+
+TEST(ScanAll, TwoSeparatedSpikesYieldTwoOrderedIntervals) {
+  TriggerConfig cfg;
+  cfg.background_rate_hz = 3000.0;
+  const RateTrigger trigger(cfg);
+  core::Rng rng(52);
+  auto times = uniform_times(3000.0, 4.0, rng);
+  for (int i = 0; i < 500; ++i) times.push_back(rng.uniform(0.50, 0.60));
+  for (int i = 0; i < 500; ++i) times.push_back(rng.uniform(2.80, 2.90));
+
+  const auto intervals = trigger.scan_all(std::move(times), 4.0);
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_LT(intervals[0].t_end, intervals[1].t_start);
+  // Each episode localizes its own spike.
+  EXPECT_LT(intervals[0].t_start, 0.60);
+  EXPECT_GT(intervals[0].t_end, 0.50);
+  EXPECT_LT(intervals[1].t_start, 2.90);
+  EXPECT_GT(intervals[1].t_end, 2.80);
+  EXPECT_GE(intervals[0].significance_sigma, cfg.threshold_sigma);
+  EXPECT_GE(intervals[1].significance_sigma, cfg.threshold_sigma);
+}
+
+TEST(ScanAll, IntervalsAreDisjoint) {
+  TriggerConfig cfg;
+  cfg.background_rate_hz = 3000.0;
+  const RateTrigger trigger(cfg);
+  core::Rng rng(53);
+  auto times = uniform_times(3000.0, 2.0, rng);
+  // Overlapping excesses on different timescales must merge.
+  for (int i = 0; i < 300; ++i) times.push_back(rng.uniform(0.80, 0.82));
+  for (int i = 0; i < 600; ++i) times.push_back(rng.uniform(0.75, 1.05));
+  const auto intervals = trigger.scan_all(std::move(times), 2.0);
+  ASSERT_GE(intervals.size(), 1u);
+  for (std::size_t i = 1; i < intervals.size(); ++i)
+    EXPECT_GT(intervals[i].t_start, intervals[i - 1].t_end);
+}
+
+TEST(ScanAll, NonFiniteTimesAreDropped) {
+  TriggerConfig cfg;
+  cfg.background_rate_hz = 3000.0;
+  const RateTrigger trigger(cfg);
+  core::Rng rng(54);
+  auto clean = uniform_times(3000.0, 1.0, rng);
+  for (int i = 0; i < 400; ++i) clean.push_back(rng.uniform(0.30, 0.40));
+  auto dirty = clean;
+  dirty.push_back(std::numeric_limits<double>::quiet_NaN());
+  dirty.push_back(std::numeric_limits<double>::infinity());
+
+  const auto a = trigger.scan_all(std::move(clean), 1.0);
+  const auto b = trigger.scan_all(std::move(dirty), 1.0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].t_start, b[i].t_start);
+    EXPECT_EQ(a[i].t_end, b[i].t_end);
+    EXPECT_EQ(a[i].significance_sigma, b[i].significance_sigma);
+  }
+}
+
+// ---------------------------------------------------------------------
 // End-to-end: trigger on a simulated exposure.
 
 TEST(RateTrigger, DetectsSimulatedBurst) {

@@ -37,6 +37,13 @@ Run from anywhere; exits non-zero when any rule fires:
      thread-safety gate (tools/check_static_analysis.sh --stage
      thread-safety) can see every acquisition; a raw std primitive is
      a lock the analysis cannot check.
+  8. golden-drift-guard: a commit touching a scenario golden report
+     (tests/scenario/golden/) must also touch the scenario configs,
+     the scenario/matrix engine, or the golden comparator in the SAME
+     commit.  Goldens only move when the behavior they pin moves; a
+     golden-only commit is someone silencing a red gate.  Inspects the
+     HEAD commit via git (best-effort: skipped outside a git
+     checkout).
 
 Usage: tools/adapt_lint.py [--repo DIR]
 """
@@ -46,6 +53,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import re
+import subprocess
 import sys
 
 # Files allowed to call the raw C parsing functions: the strict
@@ -107,6 +115,50 @@ MUTEX_ALLOWLIST = {
 }
 LINE_COMMENT = re.compile(r"//.*$")
 STRING = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+# Rule 8: paths whose change justifies a golden-report update — the
+# scenario definitions, the engine/serve/matrix code that produces the
+# reports, and the comparator that defines "within tolerance".
+GOLDEN_PREFIX = "tests/scenario/golden/"
+GOLDEN_JUSTIFIES = (
+    "tests/scenario/configs/",
+    "src/scenario/",
+    "src/fault/",
+    "src/serve/",
+    "src/trigger/",
+    "src/sim/",
+    "tools/adaptctl.cpp",
+    "tools/check_scenario_golden.py",
+)
+
+
+def check_golden_drift(repo: pathlib.Path) -> list[str]:
+    """Rule 8: golden files may only change alongside the code or
+    configs that define them.  Best-effort — returns nothing when git
+    or history is unavailable (tarball builds, shallow oddities)."""
+    try:
+        out = subprocess.run(
+            ["git", "log", "-1", "--name-only", "--pretty=format:"],
+            cwd=repo, capture_output=True, text=True, timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return []
+    if out.returncode != 0:
+        return []
+    changed = [line.strip() for line in out.stdout.splitlines()
+               if line.strip()]
+    goldens = [p for p in changed if p.startswith(GOLDEN_PREFIX)]
+    if not goldens:
+        return []
+    if any(p.startswith(GOLDEN_JUSTIFIES) for p in changed):
+        return []
+    return [
+        f"{p}: golden report changed with no accompanying scenario "
+        "config / engine / comparator change in the same commit — "
+        "goldens only move when the behavior they pin moves "
+        "[golden-drift-guard]"
+        for p in goldens
+    ]
 
 
 def strip_noise(line: str) -> str:
@@ -188,6 +240,9 @@ def main() -> int:
             findings.append(
                 f"{rel}: COVERAGE_ALLOWLIST points at missing {mapped} "
                 "[test-coverage]")
+
+    # Rule 8: golden drift.
+    findings.extend(check_golden_drift(repo))
 
     for f in findings:
         print(f)

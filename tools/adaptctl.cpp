@@ -40,6 +40,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -52,6 +54,8 @@
 #include "nn/kernels/kernels.hpp"
 #include "eval/reject_gate.hpp"
 #include "fault/campaign.hpp"
+#include "fault/matrix.hpp"
+#include "scenario/config.hpp"
 #include "loc/grid_search.hpp"
 #include "loc/skymap.hpp"
 #include "trigger/rate_trigger.hpp"
@@ -497,6 +501,75 @@ int cmd_chaos(const CliArgs& args) {
   return 0;
 }
 
+int cmd_campaign(const CliArgs& args) {
+  namespace fs = std::filesystem;
+
+  fault::MatrixSpec spec;
+  spec.seed = seed_from(args, 2026);
+  spec.only_row = args.text("row", "");
+  spec.scratch_dir = args.text("scratch", "");
+  if (!spec.only_row.empty()) {
+    bool known = false;
+    for (std::size_t r = 0; r < fault::kMatrixRowCount; ++r)
+      if (spec.only_row == fault::to_string(static_cast<fault::MatrixRow>(r)))
+        known = true;
+    if (!known)
+      throw core::CliError(
+          "--row must be one of none|events|forward|seu|model_bytes, got '" +
+          spec.only_row + "'");
+  }
+
+  // Scenario configs: one file via --config, or every *.scn in
+  // --config-dir (sorted by filename for a stable cell order).
+  if (args.has("config")) {
+    spec.scenarios.push_back(
+        scenario::load_scenario_file(args.text("config", "")));
+  } else {
+    const std::string dir =
+        args.text("config-dir", "tests/scenario/configs");
+    std::vector<fs::path> paths;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec))
+      if (entry.path().extension() == ".scn") paths.push_back(entry.path());
+    if (ec)
+      throw core::CliError("cannot read scenario config dir '" + dir + "'");
+    std::sort(paths.begin(), paths.end());
+    for (const auto& path : paths)
+      spec.scenarios.push_back(scenario::load_scenario_file(path.string()));
+    if (spec.scenarios.empty())
+      throw core::CliError("no *.scn scenario configs in '" + dir + "'");
+  }
+
+  const fault::MatrixResult result = fault::run_matrix(spec);
+  std::fputs(result.report.c_str(), stdout);
+
+  if (args.has("report-dir")) {
+    const fs::path report_dir = args.text("report-dir", "");
+    std::error_code ec;
+    fs::create_directories(report_dir, ec);
+    if (ec)
+      throw core::CliError("cannot create report dir '" +
+                           report_dir.string() + "'");
+    const auto write = [](const fs::path& path, const std::string& text) {
+      std::ofstream out(path, std::ios::trunc);
+      out << text;
+      if (!out)
+        throw core::CliError("cannot write report '" + path.string() + "'");
+    };
+    for (const auto& cell : result.cells)
+      write(report_dir / (cell.scenario + "__" +
+                          std::string(fault::to_string(cell.row)) + ".txt"),
+            cell.report);
+    write(report_dir / "matrix.txt", result.report);
+  }
+
+  if (!result.ok) {
+    std::fprintf(stderr, "campaign matrix FAILED\n");
+    return 1;
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(
       stderr,
@@ -532,6 +605,15 @@ void usage() {
       " [--persistents N]\n"
       "              [--stalls N] [--weight-flips N] [--model-garbles N]"
       " [--scratch DIR]\n"
+      "  campaign    --matrix [--seed S] [--config-dir DIR]"
+      " [--report-dir DIR] [--row R]\n"
+      "              | --config FILE [--seed S] [--row R]\n"
+      "              (fault-class x scenario matrix: replay each *.scn"
+      " hostile-sky\n"
+      "              scenario through the serve path under every fault"
+      " row; prints\n"
+      "              per-cell ScenarioReports and enforces the ledger"
+      " invariant)\n"
       "  cpu-features  report detected ISA, compiled/supported kernel\n"
       "              variants, and per-layer dispatch (ADAPT_SIMD="
       "scalar|avx2|avx512 overrides)\n"
@@ -588,6 +670,7 @@ int main(int argc, char** argv) {
     else if (cmd == "serve-bench") rc = cmd_serve_bench(args);
     else if (cmd == "flood") rc = cmd_flood(args);
     else if (cmd == "chaos") rc = cmd_chaos(args);
+    else if (cmd == "campaign") rc = cmd_campaign(args);
     else if (cmd == "cpu-features" || cmd == "--cpu-features")
       rc = cmd_cpu_features(args);
     else known = false;

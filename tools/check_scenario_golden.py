@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Tolerance-aware comparator for scenario golden reports.
+
+The scenario-matrix CI job proves determinism by diffing two runs of
+the SAME binary byte-for-byte.  Across machines (different libm,
+different FMA contraction) the floating-point values in a cell report
+can drift a little, so the golden gate must NOT be a byte diff: this
+script compares a fresh `adaptctl campaign` report directory against
+the checked-in goldens structurally.
+
+Exact-match contract (any mismatch fails):
+  * the set of golden cells (one per scenario, clean row),
+  * every line's key sequence (`sim:`, `trigger:`, `burst N:`,
+    `stream N:`, counter names, status lines),
+  * integer-valued semantics we engineered to be stable: efficiency /
+    purity (compared with a wide tolerance, see below), alert yes/no,
+    `ledger invariant: balanced`, `cell status: ok`.
+
+Numeric fields are compared with per-key tolerances chosen to absorb
+cross-platform FP drift and Poisson-level sensitivity while still
+catching real behavior changes (a lost alert, a localization that
+walks away, a collapsed event population):
+
+  * efficiency / purity: absolute 0.26 (one trigger episode).
+  * *_deg fields: absolute 3.0 degrees.
+  * base_rate_hz: relative 20%.
+  * times (alert_t_s / alert_latency_s, window bounds): absolute 0.3 s.
+  * everything else (counts): relative 25% + absolute 30.
+
+Usage:
+  tools/check_scenario_golden.py --report-dir DIR [--golden-dir DIR]
+  tools/check_scenario_golden.py --report-dir DIR --update
+
+--update overwrites the goldens from the report directory; the diff
+then goes through normal code review (see DESIGN.md, "Golden-file
+update policy").
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import shutil
+import sys
+
+NUMBER_RE = re.compile(r"^-?\d+(?:\.\d+)?$")
+
+
+def tolerance_ok(key: str, golden: float, fresh: float) -> bool:
+    if key == "seed":  # Derived from the matrix seed: must not move.
+        return golden == fresh
+    if key in ("efficiency", "purity"):
+        return abs(golden - fresh) <= 0.26
+    if key.endswith("_deg") or key == "radius68_deg":
+        return abs(golden - fresh) <= 3.0
+    if key == "base_rate_hz":
+        return abs(golden - fresh) <= 0.20 * max(abs(golden), 1.0)
+    if key.endswith("_s") or key in ("t_start", "t_end"):
+        return abs(golden - fresh) <= 0.3
+    return abs(golden - fresh) <= 0.25 * max(abs(golden), abs(fresh)) + 30.0
+
+
+def tokenize(line: str) -> list[tuple[str, str]]:
+    """Split a report line into (key, value) pairs.
+
+    `key=value` tokens compare by key; window bounds `[a,b)` become
+    (t_start, a), (t_end, b); everything else is structural text that
+    must match exactly (key "" marks it).
+    """
+    tokens: list[tuple[str, str]] = []
+    for raw in line.split():
+        if "=" in raw:
+            key, value = raw.split("=", 1)
+            tokens.append((key, value))
+        elif raw.startswith("[") and "," in raw:
+            bounds = raw.strip("[)").split(",")
+            if len(bounds) == 2:
+                tokens.append(("t_start", bounds[0]))
+                tokens.append(("t_end", bounds[1]))
+            else:
+                tokens.append(("", raw))
+        else:
+            tokens.append(("", raw))
+    return tokens
+
+
+def compare_cell(name: str, golden: str, fresh: str) -> list[str]:
+    errors: list[str] = []
+    golden_lines = golden.strip().splitlines()
+    fresh_lines = fresh.strip().splitlines()
+    if len(golden_lines) != len(fresh_lines):
+        return [
+            f"{name}: line count differs "
+            f"(golden {len(golden_lines)}, fresh {len(fresh_lines)})"
+        ]
+    for line_no, (gl, fl) in enumerate(zip(golden_lines, fresh_lines), 1):
+        # The cell header embeds the per-cell seed: structural.
+        gt, ft = tokenize(gl), tokenize(fl)
+        if len(gt) != len(ft):
+            errors.append(f"{name}:{line_no}: token count differs")
+            errors.append(f"  golden: {gl.strip()}")
+            errors.append(f"  fresh:  {fl.strip()}")
+            continue
+        for (gk, gv), (fk, fv) in zip(gt, ft):
+            if gk != fk:
+                errors.append(
+                    f"{name}:{line_no}: key sequence differs "
+                    f"('{gk}' vs '{fk}')"
+                )
+                continue
+            if NUMBER_RE.match(gv) and NUMBER_RE.match(fv):
+                if not tolerance_ok(gk, float(gv), float(fv)):
+                    errors.append(
+                        f"{name}:{line_no}: {gk or 'value'} out of "
+                        f"tolerance (golden {gv}, fresh {fv})"
+                    )
+            elif gv != fv:
+                # Non-numeric values (alert=yes/no, status words, row
+                # names) must match exactly.
+                errors.append(
+                    f"{name}:{line_no}: '{gk or gv}' differs "
+                    f"(golden '{gv}', fresh '{fv}')"
+                )
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--report-dir", required=True, type=pathlib.Path,
+        help="directory written by `adaptctl campaign --report-dir`",
+    )
+    parser.add_argument(
+        "--golden-dir", type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "tests" / "scenario" / "golden",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="overwrite goldens from the report dir instead of comparing",
+    )
+    args = parser.parse_args()
+
+    goldens = sorted(args.golden_dir.glob("*.txt"))
+    if args.update:
+        updated = 0
+        for golden in goldens:
+            fresh = args.report_dir / golden.name
+            if not fresh.is_file():
+                print(f"missing fresh report for {golden.name}",
+                      file=sys.stderr)
+                return 1
+            shutil.copyfile(fresh, golden)
+            updated += 1
+        print(f"updated {updated} golden report(s) in {args.golden_dir}")
+        return 0
+
+    if not goldens:
+        print(f"no golden reports in {args.golden_dir}", file=sys.stderr)
+        return 1
+
+    errors: list[str] = []
+    for golden in goldens:
+        fresh = args.report_dir / golden.name
+        if not fresh.is_file():
+            errors.append(f"{golden.name}: missing from {args.report_dir}")
+            continue
+        errors.extend(
+            compare_cell(
+                golden.name,
+                golden.read_text(encoding="utf-8"),
+                fresh.read_text(encoding="utf-8"),
+            )
+        )
+
+    if errors:
+        print("scenario golden check FAILED:", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        print(
+            "if the change is intentional, regenerate with "
+            "tools/check_scenario_golden.py --report-dir DIR --update "
+            "and commit the reviewed diff",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"scenario golden check passed ({len(goldens)} cell(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -137,7 +137,8 @@ if want asan; then
     -DADAPT_BUILD_BENCH=OFF -DADAPT_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build "${build_root}/asan" -j"${jobs}" >/dev/null \
     || fail "ASan build failed"
-  (cd "${build_root}/asan" && ctest --output-on-failure -j"${jobs}") \
+  (cd "${build_root}/asan" && \
+    ctest --output-on-failure -j"${jobs}" --timeout 1800) \
     || fail "tests failed under ASan+UBSan"
 fi
 
@@ -146,7 +147,8 @@ if want tsan; then
   stage "ThreadSanitizer ctest (std::thread backend, ${tsan_threads} threads)"
   build_tsan_tree
   (cd "${build_root}/tsan" && \
-    ADAPT_NUM_THREADS="${tsan_threads}" ctest --output-on-failure -j1) \
+    ADAPT_NUM_THREADS="${tsan_threads}" \
+      ctest --output-on-failure -j1 --timeout 1800) \
     || fail "tests failed under TSan"
 fi
 
